@@ -1,0 +1,38 @@
+// Ablation: EC-Cache's late binding (Section 3.2).
+//
+// EC-Cache reads k + delta of its n coded shards and decodes from the k
+// fastest. delta = 0 removes the straggler hedge (any slow shard stalls the
+// read); delta = 1 is the paper's setting; larger deltas waste bandwidth
+// for diminishing returns. Run with injected stragglers to expose the
+// trade-off in the tail.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/ec_cache.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Ablation: late binding",
+                          "EC-Cache reading k+delta of n=14 shards under injected "
+                          "stragglers (p=0.05), rate 10.");
+
+  const auto cat = make_uniform_catalog(500, 100 * kMB, 1.05, 10.0);
+
+  Table t({"delta", "mean_s", "p95_s", "p99_s"});
+  for (std::size_t delta : {0u, 1u, 2u, 4u}) {
+    EcCacheConfig cfg;
+    cfg.late_binding_extra = delta;
+    EcCacheScheme ec(cfg);
+    auto sim_cfg = default_sim_config(3101);
+    sim_cfg.stragglers = StragglerModel::bing(0.05);
+    const auto r = run_experiment(ec, cat, 9000, sim_cfg, 3102);
+    t.add_row({static_cast<long long>(delta), r.mean, r.p95, r.latencies.percentile(0.99)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: delta=0 suffers in the tail (any straggling shard stalls the\n"
+               "join); delta=1 buys most of the hedge; larger deltas add load for\n"
+               "little further gain — matching EC-Cache's choice of k+1.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Ablation: online partition adjustment vs full repartition (Section 8
+// "Short-Term Popularity Variation").
+//
+// Scenario: one mid-ranked file bursts (its request rate jumps 50x) between
+// two periodic re-balancing epochs. We compare the two reactions on the
+// threaded cluster:
+//   (a) online adjust — split the bursting file's existing partitions in a
+//       distributed manner (only partition halves move);
+//   (b) full parallel repartition — Algorithm 1 + Algorithm 2 over the
+//       whole catalog.
+// Metrics: data moved, modelled reaction time, and the bursting file's
+// resulting partition count.
+#include <iostream>
+
+#include "bench_common.h"
+#include "cluster/client.h"
+#include "cluster/online_adjust.h"
+#include "cluster/repartition_exec.h"
+#include "core/sp_cache.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+namespace {
+
+constexpr Bytes kFileSize = 2 * kMB;
+constexpr std::size_t kFiles = 150;
+constexpr FileId kBurstFile = 40;
+
+struct Bed {
+  Cluster cluster{kServers, gbps(1.0)};
+  Master master;
+  ThreadPool pool{4};
+  Catalog catalog;
+  SpCacheScheme sp;
+
+  void populate(Rng& rng) {
+    catalog = make_uniform_catalog(kFiles, kFileSize, 1.05, 10.0);
+    sp.place(catalog, cluster.bandwidths(), rng);
+    SpClient client(cluster, master, pool);
+    std::vector<std::uint8_t> payload(kFileSize, 0x42);
+    for (FileId f = 0; f < kFiles; ++f) client.write(f, payload, sp.placement(f).servers);
+  }
+
+  Catalog burst_catalog() const {
+    auto infos = catalog.files();
+    infos[kBurstFile].request_rate *= 50.0;  // the burst
+    return Catalog(std::move(infos));
+  }
+};
+
+}  // namespace
+
+int main() {
+  print_experiment_header(std::cout, "Ablation: online adjustment",
+                          "Reaction to a 50x burst on one file: distributed split of its "
+                          "existing partitions vs full parallel repartition.");
+
+  Table t({"reaction", "files_touched", "MB_moved", "modelled_time_s", "burst_file_k"});
+
+  {
+    Bed bed;
+    Rng rng(3200);
+    bed.populate(rng);
+    const auto live = bed.burst_catalog();
+    OnlineAdjustConfig cfg;
+    cfg.alpha = bed.sp.alpha();  // keep the epoch's scale factor
+    cfg.max_ops_per_file = 32;
+    const auto plan = plan_online_adjust(live, bed.master, kServers, cfg);
+    const auto stats = execute_online_adjust(bed.cluster, bed.master, plan);
+    t.add_row({std::string("Online split/merge"),
+               static_cast<long long>(plan.splits.empty() && plan.merges.empty() ? 0 : 1),
+               static_cast<double>(stats.bytes_moved) / static_cast<double>(kMB),
+               stats.modelled_time,
+               static_cast<long long>(bed.master.peek(kBurstFile)->partitions())});
+  }
+  {
+    Bed bed;
+    Rng rng(3200);
+    bed.populate(rng);
+    const auto live = bed.burst_catalog();
+    std::vector<std::vector<std::uint32_t>> old_servers;
+    for (const auto& p : bed.sp.placements()) old_servers.push_back(p.servers);
+    const auto plan = plan_repartition(live, bed.cluster.bandwidths(),
+                                       bed.sp.partition_counts(), old_servers,
+                                       ScaleFactorConfig{}, rng);
+    const auto stats = execute_parallel_repartition(bed.cluster, bed.master, plan, bed.pool);
+    t.add_row({std::string("Full parallel repartition"),
+               static_cast<long long>(stats.files_touched),
+               static_cast<double>(stats.bytes_moved) / static_cast<double>(kMB),
+               stats.modelled_time,
+               static_cast<long long>(bed.master.peek(kBurstFile)->partitions())});
+  }
+  // The paper's comparison point: EC-Cache must collect ALL of the file's
+  // partitions at the master and re-encode, then scatter k+parity anew;
+  // selective replication adds 1x size per extra replica.
+  {
+    const double s_mb = static_cast<double>(kFileSize) / static_cast<double>(kMB);
+    const double moved = s_mb + 1.4 * s_mb;  // collect S + scatter 1.4 S
+    t.add_row({std::string("EC-Cache re-encode (modelled)"), 1LL, moved,
+               moved * static_cast<double>(kMB) / gbps(1.0), 10LL});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading the table: the online reaction needs no global Algorithm 1 run\n"
+               "and touches only the bursting file; each split ships half of one\n"
+               "existing partition, so a LARGE granularity jump (2 -> ~10 here) can move\n"
+               "about as many bytes as a one-shot re-split — but unlike EC-Cache's\n"
+               "collect-everything re-encode it is fully distributed and incremental\n"
+               "(each op is independently usable, so the file gets faster after the\n"
+               "first split, not only at the end).\n";
+  return 0;
+}

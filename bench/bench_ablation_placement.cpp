@@ -1,0 +1,47 @@
+// Ablation: placement policy (Section 9 "Data Placement").
+//
+// Compares three placement philosophies on the same skewed workload:
+//   1. consistent hashing, no partition (popularity-agnostic; the related
+//      work the paper argues against),
+//   2. stock random placement, no partition,
+//   3. SP-Cache (selective partition + random placement).
+//
+// The point of Section 5.1: once per-partition loads are equalized by
+// Eq. 1, *random* placement suffices — placement optimization is obviated
+// by load equalization, not by a smarter mapping.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/hash_placement.h"
+#include "core/simple_partition.h"
+#include "core/sp_cache.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Ablation: placement",
+                          "Consistent hashing vs random (both unpartitioned) vs SP-Cache "
+                          "at rate 14 (500 x 100 MB files, Zipf 1.05).");
+
+  const auto cat = make_uniform_catalog(500, 100 * kMB, 1.05, 14.0);
+
+  Table t({"policy", "mean_s", "p95_s", "imbalance_eta"});
+  HashPlacementScheme hashing;
+  const auto r_hash = run_experiment(hashing, cat, 8000, default_sim_config(3001), 3002);
+  t.add_row({hashing.name(), r_hash.mean, r_hash.p95, r_hash.imbalance});
+
+  StockScheme random_stock;
+  const auto r_rand = run_experiment(random_stock, cat, 8000, default_sim_config(3001), 3002);
+  t.add_row({std::string("Random (no partition)"), r_rand.mean, r_rand.p95, r_rand.imbalance});
+
+  SpCacheScheme sp;
+  const auto r_sp = run_experiment(sp, cat, 8000, default_sim_config(3001), 3002);
+  t.add_row({sp.name(), r_sp.mean, r_sp.p95, r_sp.imbalance});
+  t.print(std::cout);
+
+  std::cout << "\nExpected: hashing and random placement are equally helpless against\n"
+               "popularity skew (hot spots dominate); selective partition removes the\n"
+               "skew at its source and random placement then balances fine.\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: segment-level vs whole-file selective partition (Section 8
+// "Finer-Grained Partition").
+//
+// A Parquet-like file with one hot column group: whole-file splitting makes
+// *every* read touch all k pieces; segment-level splitting concentrates
+// pieces on the hot bytes, so cold-column readers fetch a single piece.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/segment_partition.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Ablation: segment partition",
+                          "Whole-file vs per-segment Eq. 1 on a columnar file (hot key "
+                          "column + cold columns), sweeping the hot column's share of "
+                          "accesses.");
+
+  Table t({"hot_access_share", "whole_k", "whole_fetches_per_read", "seg_pieces",
+           "seg_fetches_per_read", "seg_max_piece_load_ratio"});
+  for (double hot_share : {0.5, 0.7, 0.9, 0.97}) {
+    SegmentedFile f;
+    const double cold_share = (1.0 - hot_share) / 7.0;
+    f.segments.push_back({40 * kMB, hot_share * 100.0});
+    for (int i = 0; i < 7; ++i) f.segments.push_back({10 * kMB, cold_share * 100.0});
+
+    Rng rng(3300);
+    const double alpha = 8.0 / f.segment_load(0);  // hot segment -> 8 pieces
+    const auto plan = plan_segment_partition(f, alpha, kServers, rng);
+    const std::size_t k_whole = whole_file_partitions(f, alpha, kServers);
+
+    double seg_fetches = 0.0;
+    for (std::size_t j = 0; j < f.segments.size(); ++j) {
+      seg_fetches += f.segments[j].request_rate / f.total_rate() *
+                     static_cast<double>(plan.partitions[j]);
+    }
+    const double balance_ratio =
+        max_partition_load(f, plan) / max_partition_load_whole(f, k_whole);
+
+    t.add_row({hot_share, static_cast<long long>(k_whole),
+               static_cast<double>(k_whole),  // every whole-file read touches all pieces
+               static_cast<long long>(plan.total_pieces()), seg_fetches, balance_ratio});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: per-segment splitting needs fewer fetches per read (cold\n"
+               "columns stay whole) at comparable per-piece load, and the advantage\n"
+               "grows with intra-file skew — the case the paper makes for extending\n"
+               "SP-Cache below file granularity.\n";
+  return 0;
+}

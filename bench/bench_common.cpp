@@ -1,0 +1,48 @@
+#include "bench_common.h"
+
+#include "workload/arrivals.h"
+
+namespace spcache::bench {
+
+SimConfig default_sim_config(std::uint64_t seed, Bandwidth link) {
+  SimConfig cfg;
+  cfg.n_servers = kServers;
+  cfg.bandwidth = {link};
+  cfg.goodput = GoodputModel::calibrated(link);
+  cfg.seed = seed;
+  return cfg;
+}
+
+ExperimentResult run_experiment(CachingScheme& scheme, const Catalog& catalog,
+                                std::size_t n_requests, const SimConfig& config,
+                                std::uint64_t seed) {
+  Rng place_rng(seed);
+  std::vector<Bandwidth> bw(config.n_servers,
+                            config.bandwidth.empty() ? gbps(1.0) : config.bandwidth.front());
+  scheme.place(catalog, bw, place_rng);
+
+  Rng arrival_rng(seed + 1);
+  const auto arrivals = generate_poisson_arrivals(catalog, n_requests, arrival_rng);
+  Simulation sim(config);
+  auto result = sim.run(arrivals, [&scheme](FileId f, Rng& r) { return scheme.plan_read(f, r); });
+
+  ExperimentResult out;
+  out.mean = result.mean_latency();
+  out.p95 = result.tail_latency();
+  out.cv = result.cv();
+  out.imbalance = result.imbalance();
+  out.server_loads = result.server_bytes;
+  out.latencies = std::move(result.latencies);
+  return out;
+}
+
+Seconds sequential_write_latency(const WritePlan& plan, Bandwidth client_link,
+                                 Seconds setup_per_store) {
+  Seconds t = plan.pre_process;
+  for (const auto& store : plan.stores) {
+    t += setup_per_store + static_cast<double>(store.bytes) / client_link;
+  }
+  return t;
+}
+
+}  // namespace spcache::bench

@@ -1,0 +1,49 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every bench reproduces one table or figure from the paper's evaluation
+// (see DESIGN.md's per-experiment index). This header centralizes the
+// cluster configuration of Section 7.1 — 30 cache servers, 1 Gbps links,
+// Zipf popularity, Poisson clients — plus the run/measure/report plumbing,
+// so each binary only states what differs from the default setup.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "core/scheme.h"
+#include "sim/simulation.h"
+#include "workload/file_catalog.h"
+
+namespace spcache::bench {
+
+inline constexpr std::size_t kServers = 30;
+
+// The Section 7.1 simulator configuration (r3.2xlarge-like: 1 Gbps links).
+SimConfig default_sim_config(std::uint64_t seed, Bandwidth link = gbps(1.0));
+
+struct ExperimentResult {
+  double mean = 0.0;
+  double p95 = 0.0;
+  double cv = 0.0;
+  double imbalance = 0.0;
+  std::vector<double> server_loads;
+  Sample latencies;
+};
+
+// Place the scheme on the default cluster and replay `n_requests` Poisson
+// arrivals through the simulator.
+ExperimentResult run_experiment(CachingScheme& scheme, const Catalog& catalog,
+                                std::size_t n_requests, const SimConfig& config,
+                                std::uint64_t seed);
+
+// Modelled write latency for a WritePlan under the paper's sequential-write
+// discipline (Section 7.8): encode (if any) + back-to-back transfers of all
+// stores over the client NIC + per-store connection setup.
+Seconds sequential_write_latency(const WritePlan& plan, Bandwidth client_link,
+                                 Seconds setup_per_store);
+
+}  // namespace spcache::bench

@@ -1,0 +1,54 @@
+// Fig. 1: distribution of file access counts and average file size in the
+// Yahoo! cluster trace — reproduced from the synthetic trace generator
+// (see DESIGN.md's substitution table).
+//
+// Paper-reported marginals: ~78% of files cold (<10 accesses), ~2% hot
+// (>=100 accesses), hot files 15-30x larger than cold ones.
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/histogram.h"
+#include "workload/trace.h"
+
+using namespace spcache;
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 1",
+                          "Access-count distribution and mean file size per popularity "
+                          "bucket, synthetic Yahoo!-like population (100k files).");
+
+  Rng rng(20180101);
+  YahooTraceModel model;
+  const auto records = generate_yahoo_trace(100000, model, rng);
+
+  // Power-of-10 buckets over access counts, as in the figure's x-axis.
+  LogHistogram counts(10.0, 6);
+  std::vector<double> bytes_per_bucket(6, 0.0);
+  std::vector<double> files_per_bucket(6, 0.0);
+  for (const auto& r : records) {
+    counts.add(static_cast<double>(r.access_count));
+    std::size_t b = 0;
+    for (double lo = 10.0; b + 1 < 6 && static_cast<double>(r.access_count) >= lo; lo *= 10.0) ++b;
+    bytes_per_bucket[b] += static_cast<double>(r.size);
+    files_per_bucket[b] += 1.0;
+  }
+
+  Table t({"access_count_bucket", "fraction_of_files", "avg_file_size_MB"});
+  for (std::size_t b = 0; b < counts.buckets(); ++b) {
+    const double avg_mb = files_per_bucket[b] == 0.0
+                              ? 0.0
+                              : bytes_per_bucket[b] / files_per_bucket[b] / static_cast<double>(kMB);
+    t.add_row({counts.bucket_label(b), counts.fraction(b), avg_mb});
+  }
+  t.print(std::cout);
+
+  const auto s = summarize_trace(records, model);
+  std::cout << "\nSummary vs paper:\n";
+  Table cmp({"metric", "paper", "measured"});
+  cmp.add_row({std::string("cold fraction (<10 accesses)"), std::string("~0.78"), s.cold_fraction});
+  cmp.add_row({std::string("hot fraction (>=100 accesses)"), std::string("~0.02"), s.hot_fraction});
+  cmp.add_row({std::string("hot/cold mean size ratio"), std::string("15-30x"),
+               s.hot_to_cold_size_ratio});
+  cmp.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 3 + Table 2: selective replication trades linear memory for
+// sublinear latency (Section 3.1).
+//
+// Setup per the paper: top 10% popular files copied to 1..5 replicas,
+// aggregate rate 6 req/s, 50 x 40 MB files, Zipf 1.1 (the Section 2.2
+// cluster). Expected shape: memory cost grows linearly with the replica
+// count while the mean latency improves sublinearly; CV only drops below 1
+// at around 4 replicas.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/selective_replication.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 3 + Table 2",
+                          "Mean latency, cache cost, and CV vs replica count for the top "
+                          "10% popular files (rate 6).");
+
+  const auto cat = make_uniform_catalog(50, 40 * kMB, 1.1, 6.0);
+  const Bandwidth link = gbps(0.8);
+
+  Table t({"replicas", "mean_latency_s", "p95_latency_s", "cv", "cache_cost_pct"});
+  for (std::size_t replicas : {1u, 2u, 3u, 4u, 5u}) {
+    SelectiveReplicationScheme scheme({0.10, replicas});
+    auto cfg = default_sim_config(23, link);
+    const auto r = run_experiment(scheme, cat, 8000, cfg, 211);
+    const double cost_pct = scheme.memory_overhead(cat) * 100.0;
+    t.add_row({static_cast<long long>(replicas), r.mean, r.p95, r.cv, cost_pct});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper shape: linear memory growth buys sublinear latency improvement;\n"
+               "CV falls below ~1 only once the hot files have ~4 replicas\n"
+               "(paper Table 2: CV 1.29 -> 0.61 from 1 to 4 replicas).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 8: the fork-join upper bound vs the measured mean latency across the
+// scale factor alpha (Sections 5.3 and 7.2).
+//
+// Setup per the paper: 300 files of 100 MB, aggregate rate 8, 30 servers.
+// We sweep alpha over a wide geometric grid around Algorithm 1's pick and
+// report (a) the analytic upper bound and (b) the simulated mean latency of
+// SP-Cache pinned to that alpha.
+//
+// Expected shape: both curves dip steeply to an elbow and flatten/rise for
+// large alpha; the bound tracks the measurement, with occasional
+// measurement excursions above it (the simulator includes effects the
+// model omits).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/sp_cache.h"
+#include "math/scale_factor.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 8",
+                          "Analytic upper bound vs simulated mean read latency across the "
+                          "scale factor alpha (300 x 100 MB files, rate 8).");
+
+  const auto cat = make_uniform_catalog(300, 100 * kMB, 1.05, 8.0);
+  const std::vector<Bandwidth> bw(kServers, gbps(1.0));
+
+  // Algorithm 1's pick anchors the sweep.
+  ScaleFactorConfig search_cfg;
+  Rng search_rng(808);
+  const auto picked = find_scale_factor(cat, bw, search_cfg, search_rng);
+
+  Table t({"alpha_rel_to_elbow", "upper_bound_s", "simulated_mean_s", "hottest_k"});
+  for (double mult : {0.015625, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const double alpha = picked.alpha * mult;
+    const double bound = latency_bound_for_alpha(cat, bw, alpha, search_cfg, 909);
+
+    SpCacheConfig sp_cfg;
+    sp_cfg.fixed_alpha = alpha;
+    SpCacheScheme sp(sp_cfg);
+    auto sim_cfg = default_sim_config(41);
+    const auto r = run_experiment(sp, cat, 8000, sim_cfg, 411);
+
+    const auto k = partition_counts_for_alpha(cat, alpha, kServers);
+    t.add_row({mult, bound, r.mean, static_cast<long long>(k[0])});
+  }
+  t.print(std::cout);
+  std::cout << "\nAlgorithm 1 settled on alpha = " << picked.alpha << " (bound "
+            << picked.bound << " s) after " << picked.iterations << " iterations.\n"
+            << "Paper shape: steep dip to an elbow, then a plateau/rise; the bound\n"
+               "closely tracks the measured mean.\n";
+  return 0;
+}

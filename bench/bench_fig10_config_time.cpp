@@ -1,0 +1,45 @@
+// Fig. 10: computational overhead of configuring the scale factor
+// (Section 7.2).
+//
+// The paper measures the master-side runtime of Algorithm 1 (which solves
+// the convex bound (9) for every file at every search step) for 1k-10k
+// files: the cost grows linearly and stays under ~90 s at 10k files with
+// CVXPY. Our golden-section solver is much faster in absolute terms; the
+// *linear scaling* is the reproduced shape.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.h"
+#include "math/scale_factor.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 10",
+                          "Runtime of Algorithm 1 (scale-factor configuration) vs number "
+                          "of files; mean over 3 trials with min/max spread.");
+
+  const std::vector<Bandwidth> bw(kServers, gbps(1.0));
+
+  Table t({"files", "mean_s", "min_s", "max_s", "iterations"});
+  for (std::size_t n : {1000u, 2000u, 4000u, 6000u, 8000u, 10000u}) {
+    const auto cat = make_uniform_catalog(n, 100 * kMB, 1.05, 8.0);
+    Sample times;
+    std::size_t iters = 0;
+    for (int trial = 0; trial < 3; ++trial) {
+      Rng rng(1000 + static_cast<std::uint64_t>(trial));
+      const auto start = std::chrono::steady_clock::now();
+      const auto res = find_scale_factor(cat, bw, ScaleFactorConfig{}, rng);
+      times.add(std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+      iters = res.iterations;
+    }
+    t.add_row({static_cast<long long>(n), times.mean(), times.min(), times.max(),
+               static_cast<long long>(iters)});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper shape: configuration time grows linearly with the file count and\n"
+               "remains far below the 12-hour re-balancing period (<= ~90 s at 10k files\n"
+               "in the paper's CVXPY implementation).\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 11: partition granularity chosen by SP-Cache across the popularity
+// ranking (Section 7.2).
+//
+// Setup per the paper: 100 files of 100 MB; SP-Cache configures alpha with
+// Algorithm 1 and splits file i into k_i = ceil(alpha * S_i * P_i) pieces.
+//
+// Expected shape: partition counts decay monotonically from the hottest
+// file to the cold tail — the "vital few" are split finest. (Our network
+// model rewards read parallelism more than the authors' EC2 fabric, so the
+// elbow alpha splits deeper into the tail than the paper's top-30%; see
+// EXPERIMENTS.md.)
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/sp_cache.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 11",
+                          "Partition count and partition size per popularity rank "
+                          "(100 x 100 MB files, Algorithm 1 alpha).");
+
+  const auto cat = make_uniform_catalog(100, 100 * kMB, 1.05, 8.0);
+  SpCacheScheme sp;
+  Rng rng(1111);
+  sp.place(cat, std::vector<Bandwidth>(kServers, gbps(1.0)), rng);
+
+  Table t({"popularity_rank", "popularity", "load_MB", "partitions_k", "partition_size_MB"});
+  for (std::size_t rank : {0u, 4u, 9u, 19u, 29u, 39u, 49u, 69u, 89u, 99u}) {
+    const auto id = static_cast<FileId>(rank);
+    const auto k = sp.partition_counts()[rank];
+    t.add_row({static_cast<long long>(rank + 1), cat.popularity(id),
+               cat.load(id) / static_cast<double>(kMB), static_cast<long long>(k),
+               100.0 / static_cast<double>(k)});
+  }
+  t.print(std::cout);
+
+  std::size_t split = 0;
+  for (auto k : sp.partition_counts()) split += (k > 1) ? 1 : 0;
+  std::cout << "\nalpha = " << sp.alpha() << "; files with k > 1: " << split << " / 100.\n"
+            << "Paper shape: granularity strictly follows the load ranking; the paper's\n"
+               "EC2 calibration left ~70% of files unsplit, our network model settles on\n"
+               "a deeper elbow (see EXPERIMENTS.md calibration note).\n";
+  return 0;
+}

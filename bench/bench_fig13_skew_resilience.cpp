@@ -1,0 +1,46 @@
+// Fig. 13: mean and tail (95th) read latencies under skewed popularity
+// (Section 7.3 "Skew Resilience").
+//
+// Setup per the paper: 500 x 100 MB files, Zipf 1.05, 30 cache servers
+// (r3.2xlarge-like, 1 Gbps), aggregate rate swept 6..22 req/s, naturally
+// occurring stragglers only. Cache space is sufficient for all schemes.
+//
+// Expected shape: SP-Cache consistently leads; vs EC-Cache it improves the
+// mean by ~29-50% and the tail by ~22-55%, with wider margins vs selective
+// replication (40-70% / 33-63%), growing as the rate rises.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/ec_cache.h"
+#include "core/selective_replication.h"
+#include "core/sp_cache.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 13",
+                          "Mean and 95th-percentile read latency vs aggregate request rate "
+                          "for SP-Cache, EC-Cache, and selective replication.");
+
+  Table t({"rate", "sp_mean", "ec_mean", "repl_mean", "sp_p95", "ec_p95", "repl_p95",
+           "mean_improv_vs_ec_pct", "tail_improv_vs_ec_pct"});
+  for (double rate : {6.0, 10.0, 14.0, 18.0, 22.0}) {
+    const auto cat = make_uniform_catalog(500, 100 * kMB, 1.05, rate);
+    SpCacheScheme sp;
+    EcCacheScheme ec;
+    SelectiveReplicationScheme sr;
+    const auto r_sp = run_experiment(sp, cat, 9000, default_sim_config(61), 601);
+    const auto r_ec = run_experiment(ec, cat, 9000, default_sim_config(61), 601);
+    const auto r_sr = run_experiment(sr, cat, 9000, default_sim_config(61), 601);
+    t.add_row({rate, r_sp.mean, r_ec.mean, r_sr.mean, r_sp.p95, r_ec.p95, r_sr.p95,
+               latency_improvement_percent(r_ec.mean, r_sp.mean),
+               latency_improvement_percent(r_ec.p95, r_sp.p95)});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper anchors: SP-Cache improves the mean by 29-50% and the tail by\n"
+               "22-55% over EC-Cache (40-70% / 33-63% over selective replication), with\n"
+               "the gap widening as the request rate surges. SP-Cache also uses 40% less\n"
+               "memory than both baselines while doing so.\n";
+  return 0;
+}

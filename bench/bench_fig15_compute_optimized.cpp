@@ -1,0 +1,47 @@
+// Fig. 15: compute-optimized cache servers (Section 7.3).
+//
+// Setup per the paper: c4.4xlarge-like servers — 1.4 Gbps links (40% more
+// bandwidth) and roughly doubled coding throughput (AVX2/Turbo Boost).
+//
+// Expected shape: everyone gets faster, but the SP-vs-EC gap stays salient
+// (paper: 39-47% mean / 40-53% tail improvement) because EC-Cache still
+// pays decode time; SP-Cache's mean stays below ~0.5 s and its tail below
+// ~0.6 s. Selective replication lags far behind (3.3-3.8x mean).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/ec_cache.h"
+#include "core/selective_replication.h"
+#include "core/sp_cache.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 15",
+                          "Mean and 95th-percentile latency on compute-optimized servers "
+                          "(1.4 Gbps links, 2x coding throughput).");
+
+  const Bandwidth link = gbps(1.4);
+
+  Table t({"rate", "sp_mean", "ec_mean", "repl_mean", "sp_p95", "ec_p95", "repl_p95",
+           "mean_improv_vs_ec_pct"});
+  for (double rate : {6.0, 10.0, 14.0, 18.0, 22.0}) {
+    const auto cat = make_uniform_catalog(500, 100 * kMB, 1.05, rate);
+    SpCacheScheme sp;
+    EcCacheConfig ec_cfg;
+    ec_cfg.codec = CodecModel::compute_optimized();
+    EcCacheScheme ec(ec_cfg);
+    SelectiveReplicationScheme sr;
+    const auto r_sp = run_experiment(sp, cat, 9000, default_sim_config(81, link), 801);
+    const auto r_ec = run_experiment(ec, cat, 9000, default_sim_config(81, link), 801);
+    const auto r_sr = run_experiment(sr, cat, 9000, default_sim_config(81, link), 801);
+    t.add_row({rate, r_sp.mean, r_ec.mean, r_sr.mean, r_sp.p95, r_ec.p95, r_sr.p95,
+               latency_improvement_percent(r_ec.mean, r_sp.mean)});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper anchors: SP-Cache still beats EC-Cache by 39-47% (mean) and\n"
+               "40-53% (tail) despite the faster codec; SP-Cache's own latency drops\n"
+               "with the higher bandwidth (mean < ~0.5 s).\n";
+  return 0;
+}

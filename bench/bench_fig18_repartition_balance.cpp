@@ -1,0 +1,96 @@
+// Fig. 18: load distribution after parallel (greedy placement) vs
+// sequential (random placement) repartition (Section 7.4).
+//
+// After the popularity shift of Fig. 16, the parallel scheme places each
+// changed file's partitions on the least-loaded servers (Algorithm 2),
+// while the sequential baseline re-places everything at random. We measure
+// each server's expected read load Sum_i lambda_i * piece_bytes over the
+// resulting layout.
+//
+// Expected shape: the greedy layout is tighter (lower imbalance factor).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "cluster/client.h"
+#include "cluster/repartition_exec.h"
+#include "core/sp_cache.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+namespace {
+
+constexpr Bytes kBytesPerFile = 1 * kMB;
+
+struct Bed {
+  Cluster cluster{kServers, gbps(1.0)};
+  Master master;
+  ThreadPool pool{4};
+  Catalog catalog;
+  std::vector<std::size_t> k;
+  std::vector<std::vector<std::uint32_t>> servers;
+};
+
+void populate(Bed& bed, std::size_t n_files, Rng& rng) {
+  bed.catalog = make_uniform_catalog(n_files, kBytesPerFile, 1.05, 10.0);
+  SpCacheScheme sp;
+  sp.place(bed.catalog, bed.cluster.bandwidths(), rng);
+  bed.k = sp.partition_counts();
+  SpClient client(bed.cluster, bed.master, bed.pool);
+  std::vector<std::uint8_t> payload(kBytesPerFile, 0x5A);
+  for (FileId f = 0; f < n_files; ++f) {
+    client.write(f, payload, sp.placement(f).servers);
+    bed.servers.push_back(sp.placement(f).servers);
+  }
+}
+
+// Expected per-server read load (bytes/s) from the master's layout.
+std::vector<double> expected_loads(const Bed& bed) {
+  std::vector<double> loads(kServers, 0.0);
+  for (FileId f : bed.master.file_ids()) {
+    const auto meta = bed.master.peek(f);
+    const double lambda = bed.catalog.file(f).request_rate;
+    for (std::size_t i = 0; i < meta->servers.size(); ++i) {
+      loads[meta->servers[i]] += lambda * static_cast<double>(meta->piece_sizes[i]);
+    }
+  }
+  return loads;
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 18",
+                          "Per-server expected read load after repartition: greedy "
+                          "(parallel scheme) vs random (sequential scheme) placement, "
+                          "350 files.");
+
+  Rng rng(1800);
+  Table t({"scheme", "min/avg", "median/avg", "max/avg", "imbalance_eta"});
+
+  for (const bool greedy : {true, false}) {
+    Bed bed;
+    populate(bed, 350, rng);
+    bed.catalog.shuffle_popularities(rng);
+    const auto plan = plan_repartition(bed.catalog, bed.cluster.bandwidths(), bed.k, bed.servers,
+                                       ScaleFactorConfig{}, rng);
+    if (greedy) {
+      execute_parallel_repartition(bed.cluster, bed.master, plan, bed.pool);
+    } else {
+      execute_sequential_repartition(bed.cluster, bed.master, plan, gbps(1.0), rng);
+    }
+    auto loads = expected_loads(bed);
+    const double eta = imbalance_factor(loads);
+    std::sort(loads.begin(), loads.end());
+    double avg = 0.0;
+    for (double l : loads) avg += l;
+    avg /= static_cast<double>(loads.size());
+    t.add_row({std::string(greedy ? "Parallel (greedy placement)" : "Sequential (random)"),
+               loads.front() / avg, loads[loads.size() / 2] / avg, loads.back() / avg, eta});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper shape: the greedy least-loaded placement of Algorithm 2 yields a\n"
+               "visibly tighter load distribution than random re-placement.\n";
+  return 0;
+}

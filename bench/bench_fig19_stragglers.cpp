@@ -1,0 +1,49 @@
+// Fig. 19: resilience to injected stragglers (Section 7.5).
+//
+// Setup per the paper: the Fig. 13 cluster with *intensive* stragglers —
+// every partition read is slowed with probability 0.05 by a factor drawn
+// from the Bing-profile distribution.
+//
+// Expected shape: SP-Cache keeps its mean-latency lead (up to ~40% over
+// EC-Cache, ~53% over replication). In the tail, SP-Cache can trail the
+// redundant baselines slightly at LOW rates (reading from many servers
+// raises the chance of hitting a straggler; late binding and replica choice
+// dodge them), but once the rate rises the hot-spot congestion dominates
+// and SP-Cache's tail wins too (up to ~41% / ~55%).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/ec_cache.h"
+#include "core/selective_replication.h"
+#include "core/sp_cache.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 19",
+                          "Mean and 95th-percentile latency with injected stragglers "
+                          "(p = 0.05 per partition read, Bing-like slowdown profile).");
+
+  Table t({"rate", "sp_mean", "ec_mean", "repl_mean", "sp_p95", "ec_p95", "repl_p95"});
+  for (double rate : {6.0, 10.0, 14.0, 18.0, 22.0}) {
+    const auto cat = make_uniform_catalog(500, 100 * kMB, 1.05, rate);
+    auto make_cfg = [] {
+      auto cfg = default_sim_config(91);
+      cfg.stragglers = StragglerModel::bing(0.05);
+      return cfg;
+    };
+    SpCacheScheme sp;
+    EcCacheScheme ec;
+    SelectiveReplicationScheme sr;
+    const auto r_sp = run_experiment(sp, cat, 9000, make_cfg(), 901);
+    const auto r_ec = run_experiment(ec, cat, 9000, make_cfg(), 901);
+    const auto r_sr = run_experiment(sr, cat, 9000, make_cfg(), 901);
+    t.add_row({rate, r_sp.mean, r_ec.mean, r_sr.mean, r_sp.p95, r_ec.p95, r_sr.p95});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper anchors: despite being redundancy-free, SP-Cache cuts the mean by\n"
+               "up to 40% (53%) vs EC-Cache (replication); its tail may trail slightly\n"
+               "at low rates but wins by up to 41% (55%) as the load grows.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fig. 20: cache hit ratio with throttled cache budget (Section 7.6).
+//
+// The Fig. 13 benefits were achieved with 40% LESS memory; this experiment
+// throttles the aggregate cache budget and replays the access stream
+// through an LRU per scheme, charging each scheme its cached footprint:
+// S_i for SP-Cache, 1.4 S_i for EC-Cache's (10,14) code, r_i S_i for
+// selective replication.
+//
+// Expected shape: redundancy-free SP-Cache keeps the most files resident
+// and wins at every budget; selective replication is worst (hot replicas
+// evict many not-so-hot files).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/ec_cache.h"
+#include "core/selective_replication.h"
+#include "core/sp_cache.h"
+#include "sim/lru_cache.h"
+#include "workload/arrivals.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 20",
+                          "LRU hit ratio vs throttled cache budget (fraction of the raw "
+                          "catalog bytes) for the three schemes' cached footprints.");
+
+  const auto cat = make_uniform_catalog(500, 100 * kMB, 1.05, 18.0);
+  const std::vector<Bandwidth> bw(kServers, gbps(1.0));
+  Rng rng(2020);
+
+  SpCacheScheme sp;
+  EcCacheScheme ec;
+  SelectiveReplicationScheme sr;
+  sp.place(cat, bw, rng);
+  ec.place(cat, bw, rng);
+  sr.place(cat, bw, rng);
+
+  Rng arrival_rng(2021);
+  const auto arrivals = generate_poisson_arrivals(cat, 60000, arrival_rng);
+  const Bytes raw = cat.total_bytes();
+
+  Table t({"budget_fraction", "sp_hit_ratio", "ec_hit_ratio", "repl_hit_ratio"});
+  for (double budget_frac : {0.2, 0.4, 0.6, 0.8, 1.0, 1.2}) {
+    const auto budget = static_cast<Bytes>(budget_frac * static_cast<double>(raw));
+    LruCache sp_lru(budget), ec_lru(budget), sr_lru(budget);
+    for (const auto& a : arrivals) {
+      sp_lru.access(a.file, sp.footprint(a.file));
+      ec_lru.access(a.file, ec.footprint(a.file));
+      sr_lru.access(a.file, sr.footprint(a.file));
+    }
+    t.add_row({budget_frac, sp_lru.hit_ratio(), ec_lru.hit_ratio(), sr_lru.hit_ratio()});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper shape: SP-Cache attains the highest hit ratio at every throttled\n"
+               "budget; selective replication the lowest (each extra hot replica evicts\n"
+               "an equally-sized 'not-so-hot' file).\n";
+  return 0;
+}

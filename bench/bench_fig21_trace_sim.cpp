@@ -1,0 +1,114 @@
+// Fig. 21: trace-driven simulation with real-world size distribution and
+// bursty arrivals (Section 7.7).
+//
+// Setup per the paper: 3k files with Yahoo!-like sizes (hot files larger),
+// Zipf 1.1 popularity, a non-Poisson (bursty) arrival sequence standing in
+// for the Google-trace job submissions, 30 servers x 10 GB, injected
+// stragglers, and a 3x latency penalty on cache misses under an LRU with
+// the scheme's footprint.
+//
+// Expected shape: SP-Cache leads the latency distribution (paper means:
+// SP 3.8 s, EC 6.0 s, replication 44.1 s — replication collapses because
+// replicating big hot files destroys its hit ratio).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/ec_cache.h"
+#include "core/selective_replication.h"
+#include "core/sp_cache.h"
+#include "sim/lru_cache.h"
+#include "workload/arrivals.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+namespace {
+
+struct TraceResult {
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double hit_ratio = 0.0;
+  Sample latencies;
+};
+
+TraceResult run_trace(CachingScheme& scheme, const Catalog& cat,
+                      const std::vector<Arrival>& arrivals, Bytes budget) {
+  Rng rng(2101);
+  scheme.place(cat, std::vector<Bandwidth>(kServers, gbps(1.0)), rng);
+
+  // Cache admission decided stream-order: misses cost 3x (Section 7.7).
+  LruCache lru(budget);
+  std::vector<double> scale(arrivals.size(), 1.0);
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    if (!lru.access(arrivals[i].file, scheme.footprint(arrivals[i].file))) scale[i] = 3.0;
+  }
+
+  auto cfg = default_sim_config(2102);
+  cfg.stragglers = StragglerModel::bing(0.05);
+  Simulation sim(cfg);
+  const auto r = sim.run(
+      arrivals, [&scheme](FileId f, Rng& rr) { return scheme.plan_read(f, rr); },
+      [&scale](std::size_t i) { return scale[i]; });
+
+  TraceResult out;
+  out.mean = r.mean_latency();
+  out.p50 = r.latencies.percentile(0.50);
+  out.p95 = r.tail_latency();
+  out.hit_ratio = lru.hit_ratio();
+  out.latencies = std::move(r.latencies);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header(std::cout, "Fig. 21",
+                          "Trace-driven simulation: Yahoo!-like sizes, Zipf 1.1, bursty "
+                          "(MMPP) arrivals, stragglers, 3x miss penalty, 120 GB budget.");
+
+  Rng rng(2100);
+  YahooSizeModel size_model;
+  size_model.cold_mean_size = 24 * kMB;  // scale sizes so the budget binds
+  const auto cat = make_yahoo_catalog(3000, 1.1, 3.6, size_model, rng);
+
+  MmppParams mmpp;
+  mmpp.calm_rate = 2.5;
+  mmpp.burst_rate = 12.0;
+  mmpp.mean_calm_time = 30.0;
+  mmpp.mean_burst_time = 4.0;
+  Rng arrival_rng(2103);
+  const auto arrivals = generate_mmpp_arrivals(cat, mmpp, 30000, arrival_rng);
+  std::cout << "Arrival burstiness (index of dispersion, 10 s windows): "
+            << index_of_dispersion(arrivals, 10.0) << " (Poisson = 1)\n\n";
+
+  const Bytes budget = 120 * kGB;  // throttled: 30 servers x 4 GB
+
+  Table t({"scheme", "mean_s", "median_s", "p95_s", "hit_ratio"});
+  SpCacheScheme sp;
+  const auto r_sp = run_trace(sp, cat, arrivals, budget);
+  t.add_row({std::string("SP-Cache"), r_sp.mean, r_sp.p50, r_sp.p95, r_sp.hit_ratio});
+  EcCacheScheme ec;
+  const auto r_ec = run_trace(ec, cat, arrivals, budget);
+  t.add_row({std::string("EC-Cache"), r_ec.mean, r_ec.p50, r_ec.p95, r_ec.hit_ratio});
+  SelectiveReplicationScheme sr;
+  const auto r_sr = run_trace(sr, cat, arrivals, budget);
+  t.add_row({std::string("Selective replication"), r_sr.mean, r_sr.p50, r_sr.p95,
+             r_sr.hit_ratio});
+  t.print(std::cout);
+
+  // The figure itself is a latency CDF; print the curves as quantile rows.
+  std::cout << "\nLatency CDF (seconds at each quantile):\n";
+  Table cdf({"quantile", "sp", "ec", "replication"});
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    cdf.add_row({q, r_sp.latencies.percentile(q), r_ec.latencies.percentile(q),
+                 r_sr.latencies.percentile(q)});
+  }
+  cdf.print(std::cout);
+
+  std::cout << "\nPaper anchors: SP-Cache leads (3.8 s mean) over EC-Cache (6.0 s);\n"
+               "selective replication collapses (44.1 s) because replicating large hot\n"
+               "files destroys its hit ratio under the shared budget. Poisson arrivals\n"
+               "are not critical — the ordering holds under bursty traffic.\n";
+  return 0;
+}

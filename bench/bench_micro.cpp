@@ -1,0 +1,114 @@
+// Microbenchmarks (google-benchmark): throughput of the building blocks —
+// GF(256) slice operations, Reed-Solomon encode/decode, CRC-32, the
+// fork-join bound solver, and the LRU — so regressions in the substrate are
+// visible independently of the experiment harnesses.
+#include <benchmark/benchmark.h>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "erasure/gf256.h"
+#include "erasure/rs_code.h"
+#include "math/forkjoin_bound.h"
+#include "math/scale_factor.h"
+#include "sim/lru_cache.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  return v;
+}
+
+void BM_Gf256MulAddSlice(benchmark::State& state) {
+  Rng rng(1);
+  const auto src = random_bytes(static_cast<std::size_t>(state.range(0)), rng);
+  std::vector<std::uint8_t> dst(src.size(), 0);
+  for (auto _ : state) {
+    gf256::mul_add_slice(dst, src, 0xA7);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(src.size()));
+}
+BENCHMARK(BM_Gf256MulAddSlice)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_RsEncode(benchmark::State& state) {
+  Rng rng(2);
+  const ReedSolomon rs(10, 14);
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto shards = rs.encode(data);
+    benchmark::DoNotOptimize(shards.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_RsEncode)->Arg(1 * 1000 * 1000)->Arg(10 * 1000 * 1000);
+
+void BM_RsDecodeWithParity(benchmark::State& state) {
+  Rng rng(3);
+  const ReedSolomon rs(10, 14);
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)), rng);
+  auto shards = rs.encode(data);
+  // Lose two data shards: decode from 8 data + 2 parity.
+  std::vector<Shard> subset(shards.begin() + 2, shards.begin() + 12);
+  for (auto _ : state) {
+    auto out = rs.decode(subset, data.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_RsDecodeWithParity)->Arg(1 * 1000 * 1000)->Arg(10 * 1000 * 1000);
+
+void BM_Crc32(benchmark::State& state) {
+  Rng rng(4);
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32)->Arg(1024 * 1024);
+
+void BM_ForkJoinBound(benchmark::State& state) {
+  std::vector<QueueStat> stats(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    stats[i] = QueueStat{0.1 + 0.01 * static_cast<double>(i), 0.02};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fork_join_upper_bound(stats));
+  }
+}
+BENCHMARK(BM_ForkJoinBound)->Arg(2)->Arg(10)->Arg(30);
+
+void BM_ScaleFactorSearch(benchmark::State& state) {
+  const auto cat = make_uniform_catalog(static_cast<std::size_t>(state.range(0)), 100 * kMB,
+                                        1.05, 8.0);
+  const std::vector<Bandwidth> bw(30, gbps(1.0));
+  for (auto _ : state) {
+    Rng rng(5);
+    benchmark::DoNotOptimize(find_scale_factor(cat, bw, ScaleFactorConfig{}, rng).alpha);
+  }
+}
+BENCHMARK(BM_ScaleFactorSearch)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_LruAccess(benchmark::State& state) {
+  const auto cat = make_uniform_catalog(10000, 100, 1.1, 1.0);
+  Rng rng(6);
+  LruCache lru(200000);
+  for (auto _ : state) {
+    const FileId f = cat.sample_file(rng);
+    benchmark::DoNotOptimize(lru.access(f, 100));
+  }
+}
+BENCHMARK(BM_LruAccess);
+
+}  // namespace
+}  // namespace spcache
+
+BENCHMARK_MAIN();

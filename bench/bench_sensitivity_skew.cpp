@@ -1,0 +1,54 @@
+// Sensitivity: how the SP-vs-baselines comparison moves with popularity
+// skew.
+//
+// The paper fixes Zipf exponents of 1.05/1.1 ("high skewness") citing
+// production measurements; this sweep shows the comparison is not an
+// artifact of that choice: SP-Cache's lead grows with skew (more
+// concentrated load = more value in selective splitting) and survives even
+// mild skew.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/ec_cache.h"
+#include "core/selective_replication.h"
+#include "core/sp_cache.h"
+#include "math/zipf_fit.h"
+#include "workload/zipf.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Sensitivity: popularity skew",
+                          "Mean latency and imbalance vs Zipf exponent at rate 14 "
+                          "(500 x 100 MB files), plus the MLE recovering the exponent "
+                          "from simulated access counts.");
+
+  Table t({"zipf_exponent", "fitted_exponent", "sp_mean", "ec_mean", "repl_mean",
+           "sp_imbalance", "ec_imbalance"});
+  for (double s : {0.7, 0.9, 1.05, 1.2, 1.4}) {
+    const auto cat = make_uniform_catalog(500, 100 * kMB, s, 14.0);
+
+    // Sanity loop an operator would run: sample the workload, re-estimate
+    // the skew from counts (the SP-Master's view).
+    ZipfDistribution zipf(500, s);
+    Rng count_rng(6001);
+    std::vector<std::uint64_t> counts(500, 0);
+    for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(count_rng)];
+    const auto fit = fit_zipf(counts);
+
+    SpCacheScheme sp;
+    EcCacheScheme ec;
+    SelectiveReplicationScheme sr;
+    const auto r_sp = run_experiment(sp, cat, 8000, default_sim_config(6002), 6003);
+    const auto r_ec = run_experiment(ec, cat, 8000, default_sim_config(6002), 6003);
+    const auto r_sr = run_experiment(sr, cat, 8000, default_sim_config(6002), 6003);
+    t.add_row({s, fit.exponent, r_sp.mean, r_ec.mean, r_sr.mean, r_sp.imbalance,
+               r_ec.imbalance});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: SP-Cache leads at every skew; the margin over the redundant\n"
+               "baselines widens as the exponent (and hence the hot-spot pressure)\n"
+               "grows; the MLE tracks the configured exponent within a few percent.\n";
+  return 0;
+}

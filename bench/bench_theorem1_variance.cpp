@@ -1,0 +1,44 @@
+// Theorem 1: SP-Cache's load-balance advantage over EC-Cache.
+//
+// Var(X^EC) / Var(X^SP) -> (alpha / k_EC) * (Sum L_i^2) / (Sum L_i) as the
+// cluster grows (Eq. 2). This bench cross-checks three estimates of the
+// per-server load variance in a large cluster:
+//   (a) the closed forms from the proof,
+//   (b) Monte-Carlo placement sampling,
+//   (c) the asymptotic ratio of Eq. 2,
+// across a sweep of scale factors.
+#include <iostream>
+
+#include "bench_common.h"
+#include "math/scale_factor.h"
+#include "math/variance.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+int main() {
+  print_experiment_header(std::cout, "Theorem 1",
+                          "Load-variance ratio Var(EC)/Var(SP): closed form vs Monte "
+                          "Carlo vs Eq. 2's asymptote (N = 300 servers, (10,14) code).");
+
+  const auto cat = make_uniform_catalog(500, 100 * kMB, 1.1, 18.0);
+  const std::size_t N = 300;
+  Rng rng(31337);
+
+  Table t({"hottest_k", "ratio_closed_form", "ratio_monte_carlo", "eq2_asymptote"});
+  for (double k_hot : {10.0, 20.0, 50.0, 100.0, 200.0}) {
+    const double alpha = k_hot / cat.max_load();
+    const auto k = partition_counts_for_alpha(cat, alpha, N);
+    const double sp_cf = sp_load_variance(cat, k, N);
+    const double ec_cf = ec_load_variance(cat, 10, N);
+    const double sp_mc = monte_carlo_sp_variance(cat, k, N, 60000, rng);
+    const double ec_mc = monte_carlo_ec_variance(cat, 10, 14, N, 60000, rng);
+    t.add_row({k_hot, ec_cf / sp_cf, ec_mc / sp_mc, theorem1_asymptotic_ratio(cat, alpha, 10)});
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper shape: the ratio grows with alpha (finer selective partition),\n"
+               "i.e. SP-Cache's balance advantage scales with the hottest file's load —\n"
+               "the O(L_max) improvement of Theorem 1. Closed form, Monte Carlo, and\n"
+               "Eq. 2 agree (Eq. 2 drops the ceiling and the (1 - k/N) corrections).\n";
+  return 0;
+}

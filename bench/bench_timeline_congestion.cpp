@@ -1,0 +1,76 @@
+// Timeline: hot-spot congestion building up in real time (the dynamic view
+// of Section 2.2's motivation).
+//
+// A two-phase workload — calm (rate 6) for the first half, surge (rate 20)
+// for the second — is replayed against the stock layout and SP-Cache. The
+// per-window mean latency series shows the stock layout's hot spots
+// snowballing once the surge begins (queues never drain), while SP-Cache
+// absorbs the same surge with a modest, stable increase.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/simple_partition.h"
+#include "core/sp_cache.h"
+#include "workload/arrivals.h"
+
+using namespace spcache;
+using namespace spcache::bench;
+
+namespace {
+
+std::vector<Arrival> two_phase_arrivals(const Catalog& base, double calm_rate,
+                                        double surge_rate, std::size_t per_phase,
+                                        std::uint64_t seed) {
+  auto calm = base;
+  calm.set_total_rate(calm_rate);
+  Rng rng(seed);
+  auto arrivals = generate_poisson_arrivals(calm, per_phase, rng);
+  const Seconds switch_time = arrivals.back().time;
+  auto surge = base;
+  surge.set_total_rate(surge_rate);
+  auto tail = generate_poisson_arrivals(surge, per_phase, rng);
+  for (auto& a : tail) a.time += switch_time;
+  arrivals.insert(arrivals.end(), tail.begin(), tail.end());
+  return arrivals;
+}
+
+std::vector<double> timeline(CachingScheme& scheme, const Catalog& cat,
+                             const std::vector<Arrival>& arrivals, Seconds window) {
+  Rng rng(8101);
+  scheme.place(cat, std::vector<Bandwidth>(kServers, gbps(1.0)), rng);
+  auto cfg = default_sim_config(8102);
+  cfg.metrics_window = window;
+  Simulation sim(cfg);
+  const auto result =
+      sim.run(arrivals, [&scheme](FileId f, Rng& r) { return scheme.plan_read(f, r); });
+  return result.window_mean_latency;
+}
+
+}  // namespace
+
+int main() {
+  print_experiment_header(std::cout, "Timeline: congestion onset",
+                          "Per-window mean latency while the request rate jumps 6 -> 20 "
+                          "req/s halfway through (50 x 40 MB files, Zipf 1.1).");
+
+  const auto cat = make_uniform_catalog(50, 40 * kMB, 1.1, 6.0);
+  const auto arrivals = two_phase_arrivals(cat, 6.0, 20.0, 3000, 8100);
+  const Seconds window = 50.0;
+
+  StockScheme stock;
+  const auto stock_series = timeline(stock, cat, arrivals, window);
+  SpCacheScheme sp;
+  const auto sp_series = timeline(sp, cat, arrivals, window);
+
+  Table t({"window_start_s", "stock_mean_s", "sp_mean_s"});
+  const std::size_t n = std::min(stock_series.size(), sp_series.size());
+  const std::size_t stride = std::max<std::size_t>(1, n / 14);
+  for (std::size_t w = 0; w < n; w += stride) {
+    t.add_row({static_cast<double>(w) * window, stock_series[w], sp_series[w]});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: both schemes idle along during the calm phase; once the\n"
+               "surge starts, the stock layout's hot-spot queues grow without bound\n"
+               "while SP-Cache's series steps up modestly and stays flat.\n";
+  return 0;
+}

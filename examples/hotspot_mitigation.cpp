@@ -1,0 +1,57 @@
+// Hot-spot mitigation: the Section 2 motivation, end to end.
+//
+// A data-analytics cluster caches 50 input files whose popularity follows
+// Zipf(1.1) — a handful of hot training/ETL inputs absorb most reads. With
+// the stock one-file-one-server layout, the servers holding hot files
+// congest and the benefit of in-memory caching evaporates. SP-Cache splits
+// exactly those files and spreads their load.
+//
+// The example sweeps the request rate and prints stock vs SP-Cache side by
+// side, reproducing the "diminishing benefits of caching" story and its fix.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/simple_partition.h"
+#include "core/sp_cache.h"
+#include "sim/simulation.h"
+#include "workload/arrivals.h"
+
+using namespace spcache;
+
+namespace {
+
+SimResult simulate(CachingScheme& scheme, const Catalog& cat, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.n_servers = 30;
+  cfg.bandwidth = {gbps(0.8)};  // m4.large-like
+  cfg.goodput = GoodputModel::calibrated(gbps(0.8));
+  cfg.seed = seed;
+  Rng place_rng(seed + 1);
+  scheme.place(cat, std::vector<Bandwidth>(30, gbps(0.8)), place_rng);
+  Rng arrival_rng(seed + 2);
+  const auto arrivals = generate_poisson_arrivals(cat, 6000, arrival_rng);
+  Simulation sim(cfg);
+  return sim.run(arrivals, [&scheme](FileId f, Rng& r) { return scheme.plan_read(f, r); });
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Hot-spot mitigation: stock layout vs SP-Cache on a skewed workload\n"
+               "(50 x 40 MB files, Zipf 1.1, 30 servers @ 0.8 Gbps)\n\n";
+
+  Table t({"rate_req_s", "stock_mean_s", "stock_cv", "sp_mean_s", "sp_cv", "speedup"});
+  for (double rate : {5.0, 7.0, 9.0, 10.0}) {
+    const auto cat = make_uniform_catalog(50, 40 * kMB, 1.1, rate);
+    StockScheme stock;
+    const auto r_stock = simulate(stock, cat, 100);
+    SpCacheScheme sp;
+    const auto r_sp = simulate(sp, cat, 100);
+    t.add_row({rate, r_stock.mean_latency(), r_stock.cv(), r_sp.mean_latency(), r_sp.cv(),
+               r_sp.mean_latency() > 0 ? r_stock.mean_latency() / r_sp.mean_latency() : 0.0});
+  }
+  t.print(std::cout);
+  std::cout << "\nAs the rate ramps up, the stock layout's hot spots dominate (CV > 1)\n"
+               "while SP-Cache keeps latency flat by splitting exactly the hot files.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Popularity shift: periodic re-balancing with parallel repartition
+// (Section 6.2) on the threaded cluster, with real bytes.
+//
+// Scenario: a nightly report pipeline changes which datasets are hot. The
+// SP-Master snapshots access counts, recomputes the scale factor, and
+// issues a repartition plan; per-server SP-Repartitioners execute it in
+// parallel, each seeded with a local partition. The example verifies every
+// file survives bit-exactly and compares the data moved / modelled time
+// against the naive sequential rebalance.
+#include <iostream>
+
+#include "cluster/client.h"
+#include "cluster/repartition_exec.h"
+#include "common/table.h"
+#include "core/sp_cache.h"
+
+using namespace spcache;
+
+int main() {
+  constexpr std::size_t kFiles = 120;
+  constexpr Bytes kFileSize = 2 * kMB;  // real bytes kept small; times scale linearly
+
+  Cluster cluster(30, gbps(1.0));
+  Master master;
+  ThreadPool pool(4);
+  Rng rng(42);
+
+  // Day 0: place and load the catalog.
+  auto catalog = make_uniform_catalog(kFiles, kFileSize, 1.05, 10.0);
+  SpCacheScheme sp;
+  sp.place(catalog, cluster.bandwidths(), rng);
+
+  SpClient client(cluster, master, pool);
+  std::vector<std::vector<std::uint8_t>> originals(kFiles);
+  for (FileId f = 0; f < kFiles; ++f) {
+    originals[f].resize(kFileSize);
+    for (std::size_t i = 0; i < kFileSize; ++i) {
+      originals[f][i] = static_cast<std::uint8_t>(f * 131 + i * 7);
+    }
+    client.write(f, originals[f], sp.placement(f).servers);
+  }
+  std::cout << "Loaded " << kFiles << " files (" << kFiles * kFileSize / kMB
+            << " MB) across 30 servers; hottest file has " << sp.partition_counts()[0]
+            << " partitions.\n";
+
+  // Overnight: the popularity ranking shuffles.
+  catalog.shuffle_popularities(rng);
+  std::vector<std::vector<std::uint32_t>> old_servers;
+  for (const auto& p : sp.placements()) old_servers.push_back(p.servers);
+  const auto plan = plan_repartition(catalog, cluster.bandwidths(), sp.partition_counts(),
+                                     old_servers, ScaleFactorConfig{}, rng);
+  std::cout << "Popularity shift: " << plan.changed_files.size() << " / " << kFiles
+            << " files need repartitioning (new alpha = " << plan.alpha << ").\n\n";
+
+  // Execute in parallel and verify integrity.
+  const auto par = execute_parallel_repartition(cluster, master, plan, pool);
+  for (FileId f = 0; f < kFiles; ++f) {
+    if (client.read(f).bytes != originals[f]) {
+      std::cerr << "DATA LOSS on file " << f << "!\n";
+      return 1;
+    }
+  }
+  std::cout << "Parallel repartition moved " << par.bytes_moved / kMB << " MB in a modelled "
+            << par.modelled_time << " s; all " << kFiles << " files verified bit-exact.\n";
+
+  // Compare against the sequential baseline on a fresh, identical cluster.
+  Cluster cluster2(30, gbps(1.0));
+  Master master2;
+  Rng rng2(42);
+  auto catalog2 = make_uniform_catalog(kFiles, kFileSize, 1.05, 10.0);
+  SpCacheScheme sp2;
+  sp2.place(catalog2, cluster2.bandwidths(), rng2);
+  SpClient client2(cluster2, master2, pool);
+  for (FileId f = 0; f < kFiles; ++f) client2.write(f, originals[f], sp2.placement(f).servers);
+  catalog2.shuffle_popularities(rng2);
+  std::vector<std::vector<std::uint32_t>> old2;
+  for (const auto& p : sp2.placements()) old2.push_back(p.servers);
+  const auto plan2 = plan_repartition(catalog2, cluster2.bandwidths(), sp2.partition_counts(),
+                                      old2, ScaleFactorConfig{}, rng2);
+  const auto seq = execute_sequential_repartition(cluster2, master2, plan2, gbps(1.0), rng2);
+
+  Table t({"scheme", "files_touched", "MB_moved", "modelled_time_s"});
+  t.add_row({std::string("Parallel (SP-Repartitioners)"),
+             static_cast<long long>(par.files_touched),
+             static_cast<double>(par.bytes_moved) / static_cast<double>(kMB), par.modelled_time});
+  t.add_row({std::string("Sequential (via master)"), static_cast<long long>(seq.files_touched),
+             static_cast<double>(seq.bytes_moved) / static_cast<double>(kMB), seq.modelled_time});
+  t.print(std::cout);
+  std::cout << "\nParallel repartition touches only the changed files and spreads the\n"
+               "work across servers — the Fig. 16 speedup, on real bytes.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// The SP-Cache architecture as communicating services (Fig. 9).
+//
+// Everything the quickstart does through direct calls happens here over
+// the message bus: an SP-Master service owns the metadata, cache-worker
+// services own the blocks, and an SP-Client performs Algorithm-1-placed
+// writes and parallel reads purely via RPC — every payload crossing a
+// serialization boundary, as in the networked Alluxio deployment.
+#include <iostream>
+
+#include "core/sp_cache.h"
+#include "rpc/cache_service.h"
+
+using namespace spcache;
+using namespace spcache::rpc;
+
+int main() {
+  constexpr std::size_t kWorkers = 12;
+  constexpr std::size_t kFiles = 30;
+  constexpr Bytes kFileSize = 256 * kKB;
+
+  // Boot the fleet: one master, twelve workers, one client.
+  Bus bus;
+  MasterService master(bus);
+  std::vector<std::unique_ptr<CacheWorkerService>> workers;
+  std::vector<NodeId> worker_nodes;
+  for (std::size_t s = 0; s < kWorkers; ++s) {
+    workers.push_back(std::make_unique<CacheWorkerService>(
+        bus, kFirstWorkerNode + static_cast<NodeId>(s), static_cast<std::uint32_t>(s),
+        gbps(1.0)));
+    worker_nodes.push_back(workers.back()->node_id());
+  }
+  RpcSpClient client(bus, kFirstClientNode, kMasterNode, worker_nodes);
+  std::cout << "Booted SP-Master + " << kWorkers << " cache workers on the message bus.\n";
+
+  // Algorithm 1 decides the layout; the client executes it over RPC.
+  const auto catalog = make_uniform_catalog(kFiles, kFileSize, 1.05, 10.0);
+  SpCacheScheme sp;
+  Rng rng(6);
+  sp.place(catalog, std::vector<Bandwidth>(kWorkers, gbps(1.0)), rng);
+
+  std::vector<std::vector<std::uint8_t>> originals(kFiles);
+  for (FileId f = 0; f < kFiles; ++f) {
+    originals[f].resize(kFileSize);
+    for (std::size_t i = 0; i < kFileSize; ++i) {
+      originals[f][i] = static_cast<std::uint8_t>((f + 1) * (i + 7));
+    }
+    client.write(f, originals[f], sp.placement(f).servers);
+  }
+  std::cout << "Wrote " << kFiles << " files (" << kFiles * kFileSize / kKB
+            << " kB) through PUT + REGISTER messages; hottest file spans "
+            << sp.placement(0).servers.size() << " workers.\n";
+
+  // Parallel reads: LOOKUP at the master, fan-out GETs, reassemble, verify.
+  for (FileId f = 0; f < kFiles; ++f) {
+    if (client.read(f) != originals[f]) {
+      std::cerr << "corruption on file " << f << "!\n";
+      return 1;
+    }
+  }
+  std::cout << "Read all files back bit-exact over RPC.\n";
+
+  // The master tracked popularity from LOOKUPs — the input to re-balancing.
+  std::cout << "Master access counts after one pass: file 0 -> " << client.access_count(0)
+            << ", file " << kFiles - 1 << " -> " << client.access_count(kFiles - 1) << ".\n";
+
+  // Per-worker residency, served by the workers' own bookkeeping.
+  std::cout << "Blocks per worker:";
+  for (const auto& w : workers) std::cout << ' ' << w->store().blocks_stored();
+  std::cout << '\n';
+  return 0;
+}

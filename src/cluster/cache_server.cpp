@@ -1,0 +1,122 @@
+#include "cluster/cache_server.h"
+
+#include <stdexcept>
+
+namespace spcache {
+
+CacheServer::CacheServer(std::uint32_t id, Bandwidth bandwidth)
+    : id_(id), bandwidth_(bandwidth) {}
+
+void CacheServer::put(BlockKey key, std::vector<std::uint8_t> bytes) {
+  const std::uint32_t crc = crc32(bytes);
+  std::lock_guard lock(mu_);
+  auto [it, inserted] = store_.try_emplace(key);
+  if (!inserted) bytes_stored_ -= it->second.bytes.size();
+  bytes_stored_ += bytes.size();
+  it->second = Block{std::move(bytes), crc};
+}
+
+std::optional<Block> CacheServer::get(const BlockKey& key) const {
+  Block copy;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = store_.find(key);
+    if (it == store_.end()) return std::nullopt;
+    copy = it->second;
+    bytes_served_ += static_cast<double>(copy.bytes.size());
+  }
+  if (crc32(copy.bytes) != copy.crc) {
+    throw std::runtime_error("CacheServer::get: checksum mismatch (corrupted block)");
+  }
+  return copy;
+}
+
+bool CacheServer::contains(const BlockKey& key) const {
+  std::lock_guard lock(mu_);
+  return store_.count(key) > 0;
+}
+
+bool CacheServer::rename(const BlockKey& from, const BlockKey& to) {
+  std::lock_guard lock(mu_);
+  const auto it = store_.find(from);
+  if (it == store_.end()) return false;
+  if (from == to) return true;
+  Block block = std::move(it->second);
+  const auto replaced = store_.find(to);
+  if (replaced != store_.end()) {
+    bytes_stored_ -= replaced->second.bytes.size();
+    store_.erase(replaced);
+  }
+  store_.erase(from);
+  store_.emplace(to, std::move(block));
+  return true;
+}
+
+void CacheServer::clear() {
+  std::lock_guard lock(mu_);
+  store_.clear();
+  bytes_stored_ = 0;
+}
+
+bool CacheServer::erase(const BlockKey& key) {
+  std::lock_guard lock(mu_);
+  const auto it = store_.find(key);
+  if (it == store_.end()) return false;
+  bytes_stored_ -= it->second.bytes.size();
+  store_.erase(it);
+  return true;
+}
+
+Bytes CacheServer::bytes_stored() const {
+  std::lock_guard lock(mu_);
+  return bytes_stored_;
+}
+
+std::size_t CacheServer::blocks_stored() const {
+  std::lock_guard lock(mu_);
+  return store_.size();
+}
+
+double CacheServer::bytes_served() const {
+  std::lock_guard lock(mu_);
+  return bytes_served_;
+}
+
+void CacheServer::reset_load_counters() {
+  std::lock_guard lock(mu_);
+  bytes_served_ = 0.0;
+}
+
+Cluster::Cluster(std::size_t n_servers, Bandwidth bandwidth) {
+  servers_.reserve(n_servers);
+  for (std::size_t i = 0; i < n_servers; ++i) {
+    servers_.push_back(std::make_unique<CacheServer>(static_cast<std::uint32_t>(i), bandwidth));
+  }
+}
+
+std::vector<Bandwidth> Cluster::bandwidths() const {
+  std::vector<Bandwidth> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back(s->bandwidth());
+  return out;
+}
+
+std::vector<double> Cluster::served_bytes() const {
+  std::vector<double> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back(s->bytes_served());
+  return out;
+}
+
+std::vector<double> Cluster::stored_bytes() const {
+  std::vector<double> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back(static_cast<double>(s->bytes_stored()));
+  return out;
+}
+
+void Cluster::reset_load_counters() {
+  for (auto& s : servers_) s->reset_load_counters();
+}
+
+}  // namespace spcache

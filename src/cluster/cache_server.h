@@ -1,0 +1,106 @@
+// In-memory cache servers: the Alluxio-worker stand-in.
+//
+// Each server owns a thread-safe block store holding real byte buffers,
+// checksummed with CRC-32 on ingest and verified on every read — the same
+// integrity discipline a networked cache worker applies to partition
+// transfers. Network cost is *accounted virtually* (see DESIGN.md): the
+// store tracks bytes in/out, and callers convert byte volumes to seconds
+// through TransferModel, so experiments measuring hours of simulated
+// traffic run in milliseconds while the data path stays real.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/units.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+
+using PieceIndex = std::uint32_t;
+
+struct BlockKey {
+  FileId file = 0;
+  PieceIndex piece = 0;
+
+  bool operator==(const BlockKey&) const = default;
+};
+
+struct BlockKeyHash {
+  std::size_t operator()(const BlockKey& k) const {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(k.file) << 32) | k.piece);
+  }
+};
+
+struct Block {
+  std::vector<std::uint8_t> bytes;
+  std::uint32_t crc = 0;
+};
+
+class CacheServer {
+ public:
+  CacheServer(std::uint32_t id, Bandwidth bandwidth);
+
+  std::uint32_t id() const { return id_; }
+  Bandwidth bandwidth() const { return bandwidth_; }
+
+  // Store a block (checksummed). Overwrites an existing piece.
+  void put(BlockKey key, std::vector<std::uint8_t> bytes);
+
+  // Copy a block out, verifying its checksum. nullopt if absent. Throws
+  // std::runtime_error on checksum mismatch (corruption).
+  std::optional<Block> get(const BlockKey& key) const;
+
+  bool contains(const BlockKey& key) const;
+  bool erase(const BlockKey& key);
+
+  // Metadata-only rename of a stored block (no byte movement) — used by the
+  // online partition adjuster when piece indices shift after a local
+  // split/merge. Returns false if `from` is absent; overwrites `to`.
+  bool rename(const BlockKey& from, const BlockKey& to);
+
+  // Drop every block (simulates a server crash for the recovery tests).
+  void clear();
+
+  Bytes bytes_stored() const;
+  std::size_t blocks_stored() const;
+
+  // Cumulative outbound bytes (load, for Figs. 12/18-style accounting).
+  double bytes_served() const;
+  void reset_load_counters();
+
+ private:
+  std::uint32_t id_;
+  Bandwidth bandwidth_;
+  mutable std::mutex mu_;
+  std::unordered_map<BlockKey, Block, BlockKeyHash> store_;
+  Bytes bytes_stored_ = 0;
+  mutable double bytes_served_ = 0.0;
+};
+
+// A fixed-size fleet of cache servers.
+class Cluster {
+ public:
+  Cluster(std::size_t n_servers, Bandwidth bandwidth);
+
+  std::size_t size() const { return servers_.size(); }
+  CacheServer& server(std::size_t i) { return *servers_[i]; }
+  const CacheServer& server(std::size_t i) const { return *servers_[i]; }
+
+  std::vector<Bandwidth> bandwidths() const;
+  // Per-server cumulative outbound bytes.
+  std::vector<double> served_bytes() const;
+  // Per-server resident bytes.
+  std::vector<double> stored_bytes() const;
+  void reset_load_counters();
+
+ private:
+  std::vector<std::unique_ptr<CacheServer>> servers_;
+};
+
+}  // namespace spcache

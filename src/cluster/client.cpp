@@ -1,0 +1,190 @@
+#include "cluster/client.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+namespace spcache {
+
+namespace {
+
+// Client NICs are provisioned like server NICs in the paper's clusters; the
+// write path is bottlenecked by the client's uplink shared across its
+// parallel streams, the read path by the slowest piece transfer.
+Seconds modelled_write_time(const Cluster& cluster, const std::vector<std::uint32_t>& servers,
+                            Bytes total_bytes, const GoodputModel& goodput) {
+  assert(!servers.empty());
+  const Bandwidth client_bw = cluster.server(servers.front()).bandwidth();
+  return static_cast<double>(total_bytes) / (client_bw * goodput.factor(servers.size()));
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+SpClient::SpClient(Cluster& cluster, Master& master, ThreadPool& pool, GoodputModel goodput)
+    : cluster_(cluster), master_(master), pool_(pool), goodput_(goodput) {}
+
+IoResult SpClient::write_sized(FileId id, std::span<const std::uint8_t> data,
+                               const std::vector<std::uint32_t>& servers,
+                               const std::vector<Bytes>& piece_sizes) {
+  assert(servers.size() == piece_sizes.size());
+  auto pieces = split_sized(data, piece_sizes);
+  FileMeta meta;
+  meta.size = data.size();
+  meta.servers = servers;
+  meta.piece_sizes = piece_sizes;
+  meta.file_crc = crc32(data);
+
+  pool_.parallel_for(pieces.size(), [&](std::size_t i) {
+    cluster_.server(servers[i]).put(BlockKey{id, static_cast<PieceIndex>(i)},
+                                    std::move(pieces[i]));
+  });
+  if (master_.peek(id).has_value()) {
+    master_.update_file(id, std::move(meta));
+  } else {
+    master_.register_file(id, std::move(meta));
+  }
+  IoResult result;
+  result.network_time = modelled_write_time(cluster_, servers, data.size(), goodput_);
+  return result;
+}
+
+IoResult SpClient::write(FileId id, std::span<const std::uint8_t> data,
+                         const std::vector<std::uint32_t>& servers) {
+  assert(!servers.empty());
+  auto pieces = split_plain(data, servers.size());
+  FileMeta meta;
+  meta.size = data.size();
+  meta.servers = servers;
+  meta.piece_sizes.reserve(pieces.size());
+  for (const auto& p : pieces) meta.piece_sizes.push_back(p.size());
+  meta.file_crc = crc32(data);
+
+  pool_.parallel_for(pieces.size(), [&](std::size_t i) {
+    cluster_.server(servers[i]).put(BlockKey{id, static_cast<PieceIndex>(i)},
+                                    std::move(pieces[i]));
+  });
+
+  if (master_.peek(id).has_value()) {
+    master_.update_file(id, std::move(meta));
+  } else {
+    master_.register_file(id, std::move(meta));
+  }
+
+  IoResult result;
+  result.network_time = modelled_write_time(cluster_, servers, data.size(), goodput_);
+  return result;
+}
+
+IoResult SpClient::read(FileId id) {
+  const auto meta = master_.lookup_for_read(id);
+  if (!meta) throw std::runtime_error("SpClient::read: unknown file");
+  const std::size_t k = meta->partitions();
+
+  std::vector<std::vector<std::uint8_t>> pieces(k);
+  pool_.parallel_for(k, [&](std::size_t i) {
+    auto block = cluster_.server(meta->servers[i]).get(BlockKey{id, static_cast<PieceIndex>(i)});
+    if (!block) throw std::runtime_error("SpClient::read: missing piece");
+    pieces[i] = std::move(block->bytes);
+  });
+
+  IoResult result;
+  result.bytes = join_plain(pieces);
+  if (crc32(result.bytes) != meta->file_crc) {
+    throw std::runtime_error("SpClient::read: whole-file checksum mismatch");
+  }
+  // Parallel fetch: modelled time is the slowest piece at its server's
+  // goodput-degraded bandwidth (queueing effects belong to the simulator).
+  Seconds slowest = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Bandwidth bw = cluster_.server(meta->servers[i]).bandwidth();
+    slowest = std::max(slowest, static_cast<double>(meta->piece_sizes[i]) /
+                                    (bw * goodput_.factor(k)));
+  }
+  result.network_time = slowest;
+  return result;
+}
+
+EcClient::EcClient(Cluster& cluster, Master& master, ThreadPool& pool, std::size_t k,
+                   std::size_t n, GoodputModel goodput)
+    : cluster_(cluster), master_(master), pool_(pool), rs_(k, n), goodput_(goodput) {}
+
+IoResult EcClient::write(FileId id, std::span<const std::uint8_t> data,
+                         const std::vector<std::uint32_t>& servers) {
+  if (servers.size() != rs_.total_shards()) {
+    throw std::invalid_argument("EcClient::write: need exactly n servers");
+  }
+  const auto encode_start = std::chrono::steady_clock::now();
+  auto shards = rs_.encode(data);
+  const double encode_time = elapsed_seconds(encode_start);
+
+  FileMeta meta;
+  meta.size = data.size();
+  meta.servers = servers;
+  meta.piece_sizes.reserve(shards.size());
+  for (const auto& s : shards) meta.piece_sizes.push_back(s.bytes.size());
+  meta.file_crc = crc32(data);
+
+  Bytes total = 0;
+  for (const auto& s : shards) total += s.bytes.size();
+  pool_.parallel_for(shards.size(), [&](std::size_t i) {
+    cluster_.server(servers[i]).put(BlockKey{id, static_cast<PieceIndex>(i)},
+                                    std::move(shards[i].bytes));
+  });
+
+  if (master_.peek(id).has_value()) {
+    master_.update_file(id, std::move(meta));
+  } else {
+    master_.register_file(id, std::move(meta));
+  }
+
+  IoResult result;
+  result.network_time = modelled_write_time(cluster_, servers, total, goodput_);
+  result.compute_time = encode_time;
+  return result;
+}
+
+IoResult EcClient::read(FileId id, Rng& rng) {
+  const auto meta = master_.lookup_for_read(id);
+  if (!meta) throw std::runtime_error("EcClient::read: unknown file");
+  const std::size_t k = rs_.data_shards();
+  const std::size_t n = rs_.total_shards();
+  if (meta->partitions() != n) throw std::runtime_error("EcClient::read: layout mismatch");
+
+  // Late binding: sample k+1 distinct shards; decode from the first k of
+  // the sample (in the real system, the k fastest to arrive).
+  const std::size_t fetch_count = std::min(k + 1, n);
+  const auto picks = rng.sample_without_replacement(n, fetch_count);
+
+  std::vector<Shard> shards(fetch_count);
+  pool_.parallel_for(fetch_count, [&](std::size_t j) {
+    const std::size_t piece = picks[j];
+    auto block = cluster_.server(meta->servers[piece])
+                     .get(BlockKey{id, static_cast<PieceIndex>(piece)});
+    if (!block) throw std::runtime_error("EcClient::read: missing shard");
+    shards[j] = Shard{piece, std::move(block->bytes)};
+  });
+  shards.resize(k);  // the k "fastest"
+
+  const auto decode_start = std::chrono::steady_clock::now();
+  IoResult result;
+  result.bytes = rs_.decode(shards, meta->size);
+  result.compute_time = elapsed_seconds(decode_start);
+  if (crc32(result.bytes) != meta->file_crc) {
+    throw std::runtime_error("EcClient::read: whole-file checksum mismatch");
+  }
+  Seconds slowest = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const Bandwidth bw = cluster_.server(meta->servers[shards[j].index]).bandwidth();
+    slowest = std::max(slowest, static_cast<double>(shards[j].bytes.size()) /
+                                    (bw * goodput_.factor(fetch_count)));
+  }
+  result.network_time = slowest;
+  return result;
+}
+
+}  // namespace spcache

@@ -1,0 +1,89 @@
+// SP-Client and EC-Client: the application-facing read/write paths
+// (Section 6.1, Fig. 9a).
+//
+// SpClient implements selective partition I/O on real bytes:
+//   * write: split the file into k contiguous pieces, store each piece on
+//     its assigned server, register the layout (incl. whole-file CRC) with
+//     the master;
+//   * read: look up the layout, fetch all pieces in parallel through the
+//     thread pool, verify per-block and whole-file checksums, reassemble.
+//
+// EcClient does the same through the (k, n) Reed-Solomon codec, fetching
+// k + 1 shards (late binding) and decoding from the k that arrive first —
+// here deterministically the first k of the sampled set.
+//
+// Both return the *modelled* network time of the operation alongside the
+// data (see cache_server.h on virtual-time accounting).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+#include "cluster/cache_server.h"
+#include "cluster/master.h"
+#include "erasure/rs_code.h"
+#include "net/network_model.h"
+
+namespace spcache {
+
+struct IoResult {
+  std::vector<std::uint8_t> bytes;  // empty for writes
+  Seconds network_time = 0.0;       // modelled transfer time of the op
+  Seconds compute_time = 0.0;       // modelled codec time (EC only)
+};
+
+class SpClient {
+ public:
+  SpClient(Cluster& cluster, Master& master, ThreadPool& pool,
+           GoodputModel goodput = GoodputModel{});
+
+  // Write `data` as `servers.size()` near-equal pieces, one per listed
+  // server (distinct). Registers/updates the file at the master.
+  IoResult write(FileId id, std::span<const std::uint8_t> data,
+                 const std::vector<std::uint32_t>& servers);
+
+  // Heterogeneous variant: explicit piece sizes (must sum to data.size(),
+  // parallel to `servers`) — used with bandwidth-weighted placements whose
+  // pieces follow server speeds.
+  IoResult write_sized(FileId id, std::span<const std::uint8_t> data,
+                       const std::vector<std::uint32_t>& servers,
+                       const std::vector<Bytes>& piece_sizes);
+
+  // Parallel read + reassembly + verification. Throws std::runtime_error
+  // if the file is unknown, a piece is missing, or a checksum fails.
+  IoResult read(FileId id);
+
+ private:
+  Cluster& cluster_;
+  Master& master_;
+  ThreadPool& pool_;
+  GoodputModel goodput_;
+};
+
+class EcClient {
+ public:
+  EcClient(Cluster& cluster, Master& master, ThreadPool& pool, std::size_t k, std::size_t n,
+           GoodputModel goodput = GoodputModel{});
+
+  // Encode into n shards and store them on the n listed (distinct) servers.
+  IoResult write(FileId id, std::span<const std::uint8_t> data,
+                 const std::vector<std::uint32_t>& servers);
+
+  // Late-binding read: sample k+1 of the n shards, decode from k.
+  IoResult read(FileId id, Rng& rng);
+
+  const ReedSolomon& codec() const { return rs_; }
+
+ private:
+  Cluster& cluster_;
+  Master& master_;
+  ThreadPool& pool_;
+  ReedSolomon rs_;
+  GoodputModel goodput_;
+};
+
+}  // namespace spcache

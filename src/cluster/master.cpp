@@ -1,0 +1,85 @@
+#include "cluster/master.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace spcache {
+
+void Master::register_file(FileId id, FileMeta meta) {
+  assert(meta.servers.size() == meta.piece_sizes.size());
+  std::lock_guard lock(mu_);
+  files_[id] = std::move(meta);
+  access_counts_.try_emplace(id, 0);
+}
+
+void Master::update_file(FileId id, FileMeta meta) {
+  assert(meta.servers.size() == meta.piece_sizes.size());
+  std::lock_guard lock(mu_);
+  assert(files_.count(id) > 0);
+  files_[id] = std::move(meta);
+}
+
+bool Master::remove_file(FileId id) {
+  std::lock_guard lock(mu_);
+  access_counts_.erase(id);
+  return files_.erase(id) > 0;
+}
+
+std::optional<FileMeta> Master::lookup_for_read(FileId id) {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(id);
+  if (it == files_.end()) return std::nullopt;
+  ++access_counts_[id];
+  return it->second;
+}
+
+std::optional<FileMeta> Master::peek(FileId id) const {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(id);
+  if (it == files_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t Master::access_count(FileId id) const {
+  std::lock_guard lock(mu_);
+  const auto it = access_counts_.find(id);
+  return it == access_counts_.end() ? 0 : it->second;
+}
+
+void Master::reset_access_counts() {
+  std::lock_guard lock(mu_);
+  for (auto& [id, count] : access_counts_) count = 0;
+}
+
+std::size_t Master::file_count() const {
+  std::lock_guard lock(mu_);
+  return files_.size();
+}
+
+std::vector<FileId> Master::file_ids() const {
+  std::lock_guard lock(mu_);
+  std::vector<FileId> ids;
+  ids.reserve(files_.size());
+  for (const auto& [id, meta] : files_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Catalog Master::snapshot_catalog(Seconds window, double min_rate) const {
+  assert(window > 0.0);
+  std::lock_guard lock(mu_);
+  // FileIds are expected to be dense (0..n-1) as produced by the workload
+  // generators; the catalog is indexed by id.
+  FileId max_id = 0;
+  for (const auto& [id, meta] : files_) max_id = std::max(max_id, id);
+  std::vector<FileInfo> infos(files_.empty() ? 0 : max_id + 1);
+  for (const auto& [id, meta] : files_) {
+    const auto it = access_counts_.find(id);
+    const double count = it == access_counts_.end() ? 0.0 : static_cast<double>(it->second);
+    infos[id].size = meta.size;
+    infos[id].request_rate = std::max(min_rate, count / window);
+  }
+  return Catalog(std::move(infos));
+}
+
+}  // namespace spcache

@@ -1,0 +1,66 @@
+// SP-Master metadata service (Section 6.1).
+//
+// Tracks, for every file: its size, partition layout (which server holds
+// which piece), a whole-file CRC for end-to-end verification, and the
+// access count used to estimate popularity for the periodic re-balancing
+// (Section 6.2). Thread-safe: concurrent SP-Clients bump access counts
+// while repartitioners rewrite layouts.
+//
+// Per Section 6.4, the master's state is deliberately tiny — partition
+// count plus server list per file.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+
+struct FileMeta {
+  Bytes size = 0;
+  std::vector<std::uint32_t> servers;    // piece i lives on servers[i]
+  std::vector<Bytes> piece_sizes;        // parallel to servers
+  std::uint32_t file_crc = 0;            // CRC of the whole file
+
+  std::size_t partitions() const { return servers.size(); }
+};
+
+class Master {
+ public:
+  void register_file(FileId id, FileMeta meta);
+  // Replace the layout after a repartition.
+  void update_file(FileId id, FileMeta meta);
+  bool remove_file(FileId id);
+
+  // Layout lookup for a read; bumps the access count (the master "updates
+  // the access count for the requested file", Section 6.1).
+  std::optional<FileMeta> lookup_for_read(FileId id);
+
+  // Metadata access without touching counters.
+  std::optional<FileMeta> peek(FileId id) const;
+
+  std::uint64_t access_count(FileId id) const;
+  void reset_access_counts();
+
+  std::size_t file_count() const;
+  std::vector<FileId> file_ids() const;
+
+  // Popularity snapshot: builds a Catalog whose request rates are the
+  // recorded access counts divided by `window` seconds — the input to
+  // Algorithm 1 at each re-balancing epoch ("based on the access count
+  // measured in the past 24 hours", Section 6.2). Files with no recorded
+  // access get rate `min_rate` so the optimizer stays well-defined.
+  Catalog snapshot_catalog(Seconds window, double min_rate = 1e-6) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<FileId, FileMeta> files_;
+  std::unordered_map<FileId, std::uint64_t> access_counts_;
+};
+
+}  // namespace spcache

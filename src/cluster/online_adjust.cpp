@@ -1,0 +1,184 @@
+#include "cluster/online_adjust.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace spcache {
+
+namespace {
+
+std::size_t target_partitions(double alpha, double load, std::size_t n_servers) {
+  const double raw = std::ceil(alpha * load);
+  return std::clamp<std::size_t>(raw <= 1.0 ? 1 : static_cast<std::size_t>(raw), 1, n_servers);
+}
+
+}  // namespace
+
+OnlineAdjustPlan plan_online_adjust(const Catalog& live_catalog, const Master& master,
+                                    std::size_t n_servers, const OnlineAdjustConfig& config) {
+  assert(config.alpha > 0.0);
+  OnlineAdjustPlan plan;
+
+  // Current per-server piece counts, for least-loaded split targets.
+  std::vector<std::size_t> server_pieces(n_servers, 0);
+  const auto ids = master.file_ids();
+  for (FileId id : ids) {
+    const auto meta = master.peek(id);
+    for (std::uint32_t s : meta->servers) ++server_pieces[s];
+  }
+
+  for (FileId id : ids) {
+    if (id >= live_catalog.size()) continue;
+    const auto meta = master.peek(id);
+    const std::size_t current_k = meta->partitions();
+    const std::size_t target_k =
+        target_partitions(config.alpha, live_catalog.load(id), n_servers);
+
+    if (static_cast<double>(target_k) >=
+        config.split_factor * static_cast<double>(current_k)) {
+      // Grow gradually toward the target: repeatedly halve the largest
+      // piece, simulating the evolving piece sizes within this plan.
+      std::vector<Bytes> sizes = meta->piece_sizes;
+      std::vector<std::uint32_t> holders = meta->servers;
+      const std::size_t ops =
+          std::min(config.max_ops_per_file, target_k > current_k ? target_k - current_k : 0);
+      for (std::size_t op = 0; op < ops && sizes.size() < n_servers; ++op) {
+        const auto largest = static_cast<std::size_t>(
+            std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+        if (sizes[largest] < 2) break;  // nothing left to halve
+        // Least-loaded server not already holding a piece of this file.
+        std::size_t best = n_servers;
+        std::size_t best_load = std::numeric_limits<std::size_t>::max();
+        for (std::size_t s = 0; s < n_servers; ++s) {
+          if (std::find(holders.begin(), holders.end(), static_cast<std::uint32_t>(s)) !=
+              holders.end()) {
+            continue;
+          }
+          if (server_pieces[s] < best_load) {
+            best = s;
+            best_load = server_pieces[s];
+          }
+        }
+        if (best == n_servers) break;
+        plan.splits.push_back(SplitOp{id, static_cast<PieceIndex>(largest),
+                                      static_cast<std::uint32_t>(best)});
+        ++server_pieces[best];
+        const Bytes half = sizes[largest] / 2;
+        sizes.insert(sizes.begin() + static_cast<std::ptrdiff_t>(largest) + 1,
+                     sizes[largest] - half);
+        sizes[largest] = half;
+        holders.insert(holders.begin() + static_cast<std::ptrdiff_t>(largest) + 1,
+                       static_cast<std::uint32_t>(best));
+      }
+    } else if (current_k > 1 &&
+               static_cast<double>(target_k) <=
+                   config.merge_factor * static_cast<double>(current_k)) {
+      // Shrink gradually: merge the last piece into its predecessor.
+      const std::size_t ops =
+          std::min(config.max_ops_per_file, current_k > target_k ? current_k - target_k : 0);
+      std::size_t k = current_k;
+      for (std::size_t op = 0; op < ops && k > 1 && k > target_k; ++op) {
+        plan.merges.push_back(MergeOp{id, static_cast<PieceIndex>(k - 2)});
+        --k;
+      }
+    }
+  }
+  return plan;
+}
+
+OnlineAdjustStats execute_split(Cluster& cluster, Master& master, const SplitOp& op) {
+  auto meta = master.peek(op.file);
+  if (!meta || op.piece >= meta->partitions()) {
+    throw std::runtime_error("execute_split: bad file/piece");
+  }
+  auto& holder = cluster.server(meta->servers[op.piece]);
+  auto block = holder.get(BlockKey{op.file, op.piece});
+  if (!block) throw std::runtime_error("execute_split: piece missing");
+
+  const Bytes half = block->bytes.size() / 2;
+  std::vector<std::uint8_t> first(block->bytes.begin(),
+                                  block->bytes.begin() + static_cast<std::ptrdiff_t>(half));
+  std::vector<std::uint8_t> second(block->bytes.begin() + static_cast<std::ptrdiff_t>(half),
+                                   block->bytes.end());
+  const Bytes shipped = second.size();
+
+  // Re-thread indices above the split point, from the top down so renames
+  // never collide.
+  const auto old_k = static_cast<PieceIndex>(meta->partitions());
+  for (PieceIndex i = old_k; i > op.piece + 1; --i) {
+    cluster.server(meta->servers[i - 1]).rename(BlockKey{op.file, static_cast<PieceIndex>(i - 1)},
+                                                BlockKey{op.file, i});
+  }
+  // The holder keeps the first half in place; the second half ships to the
+  // target server as piece op.piece + 1.
+  holder.put(BlockKey{op.file, op.piece}, std::move(first));
+  cluster.server(op.target_server)
+      .put(BlockKey{op.file, static_cast<PieceIndex>(op.piece + 1)}, std::move(second));
+
+  meta->servers.insert(meta->servers.begin() + op.piece + 1, op.target_server);
+  meta->piece_sizes[op.piece] = half;
+  meta->piece_sizes.insert(meta->piece_sizes.begin() + op.piece + 1, shipped);
+  master.update_file(op.file, *meta);
+
+  OnlineAdjustStats stats;
+  stats.splits = 1;
+  stats.bytes_moved = shipped;  // only the second half crosses the network
+  stats.modelled_time =
+      static_cast<double>(stats.bytes_moved) / cluster.server(op.target_server).bandwidth();
+  return stats;
+}
+
+OnlineAdjustStats execute_merge(Cluster& cluster, Master& master, const MergeOp& op) {
+  auto meta = master.peek(op.file);
+  if (!meta || op.piece + 1 >= meta->partitions()) {
+    throw std::runtime_error("execute_merge: bad file/piece");
+  }
+  auto& keeper = cluster.server(meta->servers[op.piece]);
+  auto left = keeper.get(BlockKey{op.file, op.piece});
+  auto right = cluster.server(meta->servers[op.piece + 1])
+                   .get(BlockKey{op.file, static_cast<PieceIndex>(op.piece + 1)});
+  if (!left || !right) throw std::runtime_error("execute_merge: piece missing");
+
+  const Bytes moved = right->bytes.size();
+  left->bytes.insert(left->bytes.end(), right->bytes.begin(), right->bytes.end());
+  keeper.put(BlockKey{op.file, op.piece}, std::move(left->bytes));
+  cluster.server(meta->servers[op.piece + 1])
+      .erase(BlockKey{op.file, static_cast<PieceIndex>(op.piece + 1)});
+
+  // Close the index gap from below.
+  const auto old_k = static_cast<PieceIndex>(meta->partitions());
+  for (PieceIndex i = op.piece + 2; i < old_k; ++i) {
+    cluster.server(meta->servers[i]).rename(BlockKey{op.file, i},
+                                            BlockKey{op.file, static_cast<PieceIndex>(i - 1)});
+  }
+
+  meta->piece_sizes[op.piece] += meta->piece_sizes[op.piece + 1];
+  meta->piece_sizes.erase(meta->piece_sizes.begin() + op.piece + 1);
+  meta->servers.erase(meta->servers.begin() + op.piece + 1);
+  master.update_file(op.file, *meta);
+
+  OnlineAdjustStats stats;
+  stats.merges = 1;
+  stats.bytes_moved = moved;
+  stats.modelled_time = static_cast<double>(moved) / keeper.bandwidth();
+  return stats;
+}
+
+OnlineAdjustStats execute_online_adjust(Cluster& cluster, Master& master,
+                                        const OnlineAdjustPlan& plan) {
+  OnlineAdjustStats total;
+  auto fold = [&total](const OnlineAdjustStats& s) {
+    total.splits += s.splits;
+    total.merges += s.merges;
+    total.bytes_moved += s.bytes_moved;
+    total.modelled_time += s.modelled_time;
+  };
+  for (const auto& op : plan.splits) fold(execute_split(cluster, master, op));
+  for (const auto& op : plan.merges) fold(execute_merge(cluster, master, op));
+  return total;
+}
+
+}  // namespace spcache

@@ -1,0 +1,78 @@
+// Online partition adjustment (Section 8 "Short-Term Popularity
+// Variation").
+//
+// When a file turns hot (or cold) within a re-balancing period, SP-Cache
+// can adjust its granularity immediately by *splitting and combining the
+// existing partitions in a distributed manner*: a split halves one cached
+// piece, shipping only the new half to a fresh server; a merge pulls one
+// piece onto its neighbour's server. Either way the data transferred is a
+// single partition — far cheaper than EC-Cache's full re-encode or
+// replication's extra full copy (the comparison the paper draws).
+//
+// `plan_online_adjust` compares each file's live target k (Eq. 1 on the
+// tracker's rate estimate) against its current partition count, with
+// hysteresis so small fluctuations don't thrash, and emits a bounded batch
+// of split/merge operations. `execute_online_adjust` applies them to the
+// threaded cluster: real bytes move, piece indices are re-threaded with
+// metadata renames (pieces are contiguous byte ranges, so splits/merges at
+// an index keep the file reconstructible by concatenation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cache_server.h"
+#include "cluster/master.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+
+struct OnlineAdjustConfig {
+  double alpha = 0.0;            // current scale factor (from Algorithm 1)
+  double split_factor = 2.0;     // split when target_k >= factor * current_k
+  double merge_factor = 0.5;     // merge when target_k <= factor * current_k
+  std::size_t max_ops_per_file = 8;  // gradual adjustment per invocation
+};
+
+struct SplitOp {
+  FileId file = 0;
+  PieceIndex piece = 0;           // piece to halve
+  std::uint32_t target_server = 0;  // receives the second half (piece+1)
+};
+
+struct MergeOp {
+  FileId file = 0;
+  PieceIndex piece = 0;  // piece (piece+1) is pulled onto piece's server
+};
+
+struct OnlineAdjustPlan {
+  std::vector<SplitOp> splits;
+  std::vector<MergeOp> merges;
+
+  bool empty() const { return splits.empty() && merges.empty(); }
+  std::size_t size() const { return splits.size() + merges.size(); }
+};
+
+// Decide the adjustment batch from the live catalog (sizes + tracked rates)
+// and the master's current layouts. Split targets are chosen least-loaded
+// (by resident pieces) among servers not already holding the file.
+OnlineAdjustPlan plan_online_adjust(const Catalog& live_catalog, const Master& master,
+                                    std::size_t n_servers, const OnlineAdjustConfig& config);
+
+struct OnlineAdjustStats {
+  std::size_t splits = 0;
+  std::size_t merges = 0;
+  Bytes bytes_moved = 0;       // network traffic (one piece per op at most)
+  Seconds modelled_time = 0.0; // serial transfer time at cluster bandwidth
+};
+
+// Apply one split / merge / whole plan against the cluster + master.
+// Throws std::runtime_error on inconsistent state (missing pieces).
+OnlineAdjustStats execute_split(Cluster& cluster, Master& master, const SplitOp& op);
+OnlineAdjustStats execute_merge(Cluster& cluster, Master& master, const MergeOp& op);
+OnlineAdjustStats execute_online_adjust(Cluster& cluster, Master& master,
+                                        const OnlineAdjustPlan& plan);
+
+}  // namespace spcache

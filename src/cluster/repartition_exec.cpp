@@ -1,0 +1,144 @@
+#include "cluster/repartition_exec.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "common/log.h"
+#include "erasure/rs_code.h"
+
+namespace spcache {
+
+namespace {
+
+// Fetch all pieces of a file and reassemble. Returns the raw bytes and the
+// number of remote bytes pulled (pieces on `local_server` are free;
+// pass a sentinel >= cluster size to count everything as remote).
+std::vector<std::uint8_t> assemble_file(Cluster& cluster, const FileMeta& meta, FileId id,
+                                        std::uint32_t local_server, Bytes* remote_bytes) {
+  std::vector<std::vector<std::uint8_t>> pieces(meta.partitions());
+  for (std::size_t i = 0; i < meta.partitions(); ++i) {
+    auto block = cluster.server(meta.servers[i]).get(BlockKey{id, static_cast<PieceIndex>(i)});
+    if (!block) throw std::runtime_error("repartition: missing piece during assembly");
+    if (meta.servers[i] != local_server) *remote_bytes += block->bytes.size();
+    pieces[i] = std::move(block->bytes);
+  }
+  return join_plain(pieces);
+}
+
+// Remove the old layout's blocks.
+void erase_old_pieces(Cluster& cluster, const FileMeta& meta, FileId id) {
+  for (std::size_t i = 0; i < meta.partitions(); ++i) {
+    cluster.server(meta.servers[i]).erase(BlockKey{id, static_cast<PieceIndex>(i)});
+  }
+}
+
+// Split `data` into `servers.size()` pieces and store them; returns the
+// new meta and accumulates remote write bytes (writes to `local_server`
+// are free).
+FileMeta scatter_file(Cluster& cluster, FileId id, const std::vector<std::uint8_t>& data,
+                      const std::vector<std::uint32_t>& servers, std::uint32_t local_server,
+                      std::uint32_t file_crc, Bytes* remote_bytes) {
+  auto pieces = split_plain(data, servers.size());
+  FileMeta meta;
+  meta.size = data.size();
+  meta.servers = servers;
+  meta.file_crc = file_crc;
+  meta.piece_sizes.reserve(pieces.size());
+  for (const auto& p : pieces) meta.piece_sizes.push_back(p.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (servers[i] != local_server) *remote_bytes += pieces[i].size();
+    cluster.server(servers[i]).put(BlockKey{id, static_cast<PieceIndex>(i)},
+                                   std::move(pieces[i]));
+  }
+  return meta;
+}
+
+constexpr std::uint32_t kNoLocalServer = 0xFFFFFFFFu;
+
+}  // namespace
+
+RepartitionStats execute_sequential_repartition(Cluster& cluster, Master& master,
+                                                const RepartitionPlan& plan,
+                                                Bandwidth master_bandwidth, Rng& rng) {
+  assert(master_bandwidth > 0.0);
+  RepartitionStats stats;
+  const auto ids = master.file_ids();
+  assert(ids.size() == plan.new_k.size());
+  for (FileId id : ids) {
+    const auto meta = master.peek(id);
+    if (!meta) continue;
+    // The master pulls every piece over its own NIC and pushes every new
+    // piece back out — nothing is local to the master.
+    Bytes moved = 0;
+    const auto data = assemble_file(cluster, *meta, id, kNoLocalServer, &moved);
+    erase_old_pieces(cluster, *meta, id);
+    const std::size_t k = plan.new_k[id];
+    const auto picks = rng.sample_without_replacement(cluster.size(), k);
+    std::vector<std::uint32_t> servers;
+    servers.reserve(k);
+    for (std::size_t s : picks) servers.push_back(static_cast<std::uint32_t>(s));
+    auto new_meta =
+        scatter_file(cluster, id, data, servers, kNoLocalServer, meta->file_crc, &moved);
+    master.update_file(id, std::move(new_meta));
+    stats.bytes_moved += moved;
+    ++stats.files_touched;
+  }
+  stats.modelled_time = static_cast<double>(stats.bytes_moved) / master_bandwidth;
+  SPCACHE_LOG(kInfo) << "sequential repartition: " << stats.files_touched << " files, "
+                     << stats.bytes_moved / kMB << " MB via master, modelled "
+                     << stats.modelled_time << " s";
+  return stats;
+}
+
+RepartitionStats execute_parallel_repartition(Cluster& cluster, Master& master,
+                                              const RepartitionPlan& plan, ThreadPool& pool) {
+  RepartitionStats stats;
+  const std::size_t n_changed = plan.changed_files.size();
+  stats.files_touched = n_changed;
+  if (n_changed == 0) return stats;
+
+  // Group the changed files by executing repartitioner so per-executor
+  // traffic can be accumulated (the fleet finishes when the busiest
+  // repartitioner does).
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_executor;
+  for (std::size_t j = 0; j < n_changed; ++j) by_executor[plan.executor[j]].push_back(j);
+
+  std::mutex stats_mu;
+  Seconds max_executor_time = 0.0;
+  Bytes total_moved = 0;
+
+  std::vector<std::pair<std::uint32_t, std::vector<std::size_t>>> groups(by_executor.begin(),
+                                                                         by_executor.end());
+  pool.parallel_for(groups.size(), [&](std::size_t g) {
+    const std::uint32_t executor = groups[g].first;
+    const Bandwidth bw = cluster.server(executor).bandwidth();
+    Bytes moved = 0;
+    for (std::size_t j : groups[g].second) {
+      const FileId id = plan.changed_files[j];
+      const auto meta = master.peek(id);
+      if (!meta) throw std::runtime_error("parallel repartition: file vanished");
+      const auto data = assemble_file(cluster, *meta, id, executor, &moved);
+      erase_old_pieces(cluster, *meta, id);
+      auto new_meta = scatter_file(cluster, id, data, plan.new_servers[j], executor,
+                                   meta->file_crc, &moved);
+      master.update_file(id, std::move(new_meta));
+    }
+    const Seconds t = static_cast<double>(moved) / bw;
+    std::lock_guard lock(stats_mu);
+    max_executor_time = std::max(max_executor_time, t);
+    total_moved += moved;
+  });
+
+  stats.modelled_time = max_executor_time;
+  stats.bytes_moved = total_moved;
+  SPCACHE_LOG(kInfo) << "parallel repartition: " << stats.files_touched << " files across "
+                     << by_executor.size() << " executors, " << stats.bytes_moved / kMB
+                     << " MB moved, modelled " << stats.modelled_time << " s";
+  return stats;
+}
+
+}  // namespace spcache

@@ -1,0 +1,51 @@
+// Repartition execution: sequential baseline vs. SP-Cache's parallel
+// scheme (Section 6.2, Fig. 9b; evaluated in Figs. 16-18).
+//
+// Sequential ("naive") — the conference-version behaviour the journal paper
+// improves on: the SP-Master collects EVERY file over its own NIC,
+// re-splits it, and writes the new partitions back out, one file at a time.
+// Modelled time = (bytes read + bytes written) / master bandwidth, summed
+// over all files.
+//
+// Parallel — only the files whose partition count changed are touched; each
+// is handled by an SP-Repartitioner on a server that already holds one of
+// its pieces (that piece moves for free). Repartitioners run concurrently;
+// modelled time = max over repartitioners of their remote traffic divided
+// by their NIC bandwidth.
+//
+// Both executors move the real blocks and update the master, so the test
+// suite can verify post-conditions (every file reassembles bit-exactly
+// after repartition; old pieces are gone).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+#include "cluster/cache_server.h"
+#include "cluster/master.h"
+#include "core/repartition.h"
+
+namespace spcache {
+
+struct RepartitionStats {
+  Seconds modelled_time = 0.0;  // virtual completion time of the data movement
+  Bytes bytes_moved = 0;        // remote traffic (excludes free local pieces)
+  std::size_t files_touched = 0;
+};
+
+// Sequential baseline: re-splits every file in `plan.new_k` through the
+// master (bandwidth `master_bandwidth`), placing partitions on random
+// distinct servers.
+RepartitionStats execute_sequential_repartition(Cluster& cluster, Master& master,
+                                                const RepartitionPlan& plan,
+                                                Bandwidth master_bandwidth, Rng& rng);
+
+// Parallel scheme: executes only plan.changed_files on their assigned
+// executors, concurrently via `pool`.
+RepartitionStats execute_parallel_repartition(Cluster& cluster, Master& master,
+                                              const RepartitionPlan& plan, ThreadPool& pool);
+
+}  // namespace spcache

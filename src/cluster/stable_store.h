@@ -1,0 +1,85 @@
+// Stable backing storage and failure recovery (Section 8 "Fault
+// Tolerance").
+//
+// SP-Cache is redundancy-free, so a crashed cache server loses its
+// partitions. The paper's answer: the *underlying* storage system (HDFS /
+// S3, cross-rack replicated) already holds every file durably — Alluxio
+// periodically checkpoints cached files there — so SP-Cache recovers lost
+// partitions from stable storage rather than keeping cache-level replicas.
+//
+// `StableStore` models that checkpointed tier: a durable, checksummed
+// file-level store with a (slow) recovery bandwidth. `RecoveryManager`
+// repairs a file whose pieces went missing: it restores the bytes from the
+// stable store, re-splits them per the master's current layout, re-places
+// the lost pieces (least-loaded distinct servers), and returns the volume
+// moved plus the modelled recovery time.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cache_server.h"
+#include "cluster/master.h"
+#include "common/units.h"
+
+namespace spcache {
+
+class StableStore {
+ public:
+  // `bandwidth` is the effective restore throughput from stable storage —
+  // disk/cross-rack, far below memory speed.
+  explicit StableStore(Bandwidth bandwidth = mbps(400));
+
+  Bandwidth bandwidth() const { return bandwidth_; }
+
+  // Durably record a full file (Alluxio-style checkpoint).
+  void checkpoint(FileId id, std::span<const std::uint8_t> bytes);
+
+  bool contains(FileId id) const;
+
+  // Restore a full file; nullopt if never checkpointed. Throws on
+  // checksum mismatch (corrupted stable copy — should never happen).
+  std::optional<std::vector<std::uint8_t>> restore(FileId id) const;
+
+  std::size_t file_count() const;
+  Bytes bytes_stored() const;
+
+ private:
+  Bandwidth bandwidth_;
+  mutable std::mutex mu_;
+  std::unordered_map<FileId, Block> files_;
+};
+
+struct RecoveryStats {
+  std::size_t pieces_recovered = 0;
+  Bytes bytes_restored = 0;   // pulled from stable storage
+  Seconds modelled_time = 0;  // restore transfer + re-placement writes
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(Cluster& cluster, Master& master, StableStore& stable);
+
+  // Scan the file's layout and re-create any missing pieces from stable
+  // storage. Keeps surviving pieces in place; lost pieces are rewritten to
+  // their original servers if alive, otherwise the caller should first
+  // update the layout (see repair_after_server_loss). Returns the stats;
+  // throws std::runtime_error if the file was never checkpointed.
+  RecoveryStats repair_file(FileId id);
+
+  // Handle a whole-server loss: for every file with a piece on `server`,
+  // move that piece's slot to the least-loaded live server not already
+  // holding the file, then repair from stable storage.
+  RecoveryStats repair_after_server_loss(std::uint32_t failed_server);
+
+ private:
+  Cluster& cluster_;
+  Master& master_;
+  StableStore& stable_;
+};
+
+}  // namespace spcache

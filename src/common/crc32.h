@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for block integrity checks.
+//
+// The threaded cluster substrate (src/cluster) checksums every cached block
+// on write and verifies it on read/reassembly, mirroring how real cluster
+// caches detect corruption during partition transfer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace spcache {
+
+// One-shot CRC of a byte buffer.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// Incremental interface: crc32_update(crc32_init(), chunk) ... then
+// crc32_final. Allows checksumming a file across partition boundaries.
+std::uint32_t crc32_init();
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data);
+std::uint32_t crc32_final(std::uint32_t state);
+
+}  // namespace spcache

@@ -1,0 +1,74 @@
+#include "common/histogram.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace spcache {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0.0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // fp edge
+  }
+  counts_[i] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ == 0.0 ? 0.0 : counts_[i] / total_;
+}
+
+LogHistogram::LogHistogram(double base, std::size_t buckets)
+    : base_(base), counts_(buckets, 0.0) {
+  assert(base > 1.0 && buckets > 0);
+}
+
+void LogHistogram::add(double x, double weight) {
+  std::size_t i = 0;
+  if (x >= base_) {
+    i = static_cast<std::size_t>(std::floor(std::log(x) / std::log(base_)));
+    if (i >= counts_.size()) i = counts_.size() - 1;
+  }
+  counts_[i] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::bucket_lo(std::size_t i) const {
+  return i == 0 ? 0.0 : std::pow(base_, static_cast<double>(i));
+}
+
+double LogHistogram::bucket_hi(std::size_t i) const {
+  if (i + 1 == counts_.size()) return std::numeric_limits<double>::infinity();
+  return std::pow(base_, static_cast<double>(i + 1));
+}
+
+double LogHistogram::fraction(std::size_t i) const {
+  return total_ == 0.0 ? 0.0 : counts_[i] / total_;
+}
+
+std::string LogHistogram::bucket_label(std::size_t i) const {
+  std::ostringstream os;
+  if (i + 1 == counts_.size()) {
+    os << ">=" << bucket_lo(i);
+  } else {
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ")";
+  }
+  return os.str();
+}
+
+}  // namespace spcache

@@ -1,0 +1,61 @@
+// Fixed-bin and logarithmic histograms for experiment reporting.
+//
+// Used by the benchmark harnesses to print the distribution plots the paper
+// shows as figures (e.g. Fig. 1 access-count distribution, Fig. 21 latency
+// CDFs) as ASCII tables/series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace spcache {
+
+// Linear-bin histogram over [lo, hi); values outside are clamped into the
+// first/last bin so totals are conserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double bin_center(std::size_t i) const { return 0.5 * (bin_lo(i) + bin_hi(i)); }
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+  // Fraction of total weight in bin i (0 when empty).
+  double fraction(std::size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+// Power-of-`base` bucketed histogram, for heavy-tailed quantities such as
+// file access counts (Fig. 1: buckets <10, 10-100, >=100 accesses).
+class LogHistogram {
+ public:
+  // Buckets: [0, base^1), [base^1, base^2), ... up to `buckets` buckets;
+  // the last bucket is open-ended.
+  LogHistogram(double base, std::size_t buckets);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t buckets() const { return counts_.size(); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;  // +inf for the last bucket
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+  double fraction(std::size_t i) const;
+  std::string bucket_label(std::size_t i) const;
+
+ private:
+  double base_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace spcache

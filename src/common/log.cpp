@@ -1,0 +1,53 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace spcache {
+
+namespace {
+
+std::atomic<LogLevel> g_level{[]() {
+  if (const char* env = std::getenv("SPCACHE_LOG")) {
+    return parse_log_level(env);
+  }
+  return LogLevel::kOff;
+}()};
+
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel parse_log_level(const std::string& s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_io_mutex);
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace spcache

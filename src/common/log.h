@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// The library itself is quiet by default (benchmarks should print only
+// their tables); set SPCACHE_LOG=debug|info|warn|error, or call
+// set_log_level(), to surface diagnostics from the cluster substrate
+// (evictions, repartition plans, straggler injections).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spcache {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Parses "debug"/"info"/"warn"/"error"/"off"; returns kOff for anything else.
+LogLevel parse_log_level(const std::string& s);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& message);
+}  // namespace detail
+
+// Stream-style logging that only materializes the message when enabled.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level), enabled_(level >= log_level()) {}
+  ~LogLine() {
+    if (enabled_) detail::log_write(level_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+#define SPCACHE_LOG(level) ::spcache::LogLine(::spcache::LogLevel::level)
+
+}  // namespace spcache

@@ -1,0 +1,123 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in this repository (workload generators, the
+// discrete-event simulator, placement policies, straggler injection) draws
+// from an explicitly seeded `Rng` so that experiments and tests are
+// reproducible bit-for-bit across runs.
+//
+// The engine is xoshiro256** (Blackman & Vigna), seeded through SplitMix64,
+// which is the de-facto standard for fast, high-quality non-cryptographic
+// generation. It satisfies the C++ UniformRandomBitGenerator requirements,
+// so it can also be plugged into <random> distributions when convenient —
+// but the distribution helpers below are preferred because libstdc++'s
+// distributions are not guaranteed reproducible across versions.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace spcache {
+
+// SplitMix64: used to expand a single 64-bit seed into the xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** 1.0 with seeding via SplitMix64 and distribution helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5f3759df) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0. Uses Lemire rejection to
+  // avoid modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  // Exponential with mean `mean` (rate 1/mean). mean must be > 0.
+  double exponential(double mean);
+
+  // Standard normal via Marsaglia polar method.
+  double normal(double mu = 0.0, double sigma = 1.0);
+
+  // Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation with rounding for large means).
+  std::uint64_t poisson(double mean);
+
+  // Pareto with scale x_m > 0 and shape a > 0.
+  double pareto(double x_m, double a);
+
+  // Sample an index from a discrete distribution given cumulative weights
+  // (cum.back() must be the total weight, strictly positive).
+  std::size_t sample_cumulative(const std::vector<double>& cum);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Sample k distinct indices from [0, n) uniformly at random (k <= n).
+  // Returned in random order. Uses a partial Fisher-Yates over an index
+  // vector for small n and Floyd's algorithm for large n with small k.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  // Weighted sampling without replacement (k <= #positive weights):
+  // successive-draw semantics — each draw picks index i with probability
+  // proportional to weights[i] among the not-yet-chosen. Implemented with
+  // the Efraimidis-Spirakis exponential-key trick. Zero-weight indices are
+  // never selected.
+  std::vector<std::size_t> sample_weighted_without_replacement(
+      const std::vector<double>& weights, std::size_t k);
+
+  // Derive an independent child generator (for per-thread / per-entity
+  // streams) without correlating sequences.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace spcache

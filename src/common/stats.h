@@ -1,0 +1,83 @@
+// Statistics helpers used by every experiment harness.
+//
+// The paper reports three families of metrics (Section 7.1):
+//   * mean and tail (95th percentile) read latency,
+//   * coefficient of variation CV = stddev / mean (Tables 1-3),
+//   * the load imbalance factor eta = (L_max - L_avg) / L_avg (Eq. 15).
+//
+// `RunningStats` accumulates count/mean/variance in one pass (Welford);
+// `Sample` keeps the raw observations for percentiles and CDFs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace spcache {
+
+// One-pass mean/variance accumulator (Welford's algorithm). Numerically
+// stable; O(1) memory. Suitable for streams of millions of observations.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Sample variance (divides by n-1); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  // Coefficient of variation: stddev / mean; 0 when the mean is 0.
+  double cv() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Raw-sample container with percentile queries. Percentiles use the
+// nearest-rank-with-linear-interpolation definition (type 7, the numpy /
+// Excel default) so "95th percentile latency" matches common tooling.
+class Sample {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double cv() const;
+  double min() const;
+  double max() const;
+
+  // q in [0, 1]; e.g. percentile(0.95) is the tail latency metric.
+  double percentile(double q) const;
+
+  // Empirical CDF evaluated at x: fraction of observations <= x.
+  double cdf(double x) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Load imbalance factor over per-server loads (paper Eq. 15):
+//   eta = (max - avg) / avg.     Returns 0 for empty or all-zero loads.
+double imbalance_factor(const std::vector<double>& loads);
+
+// Latency improvement of `ours` over `baseline` in percent (paper Eq. 14):
+//   (D - D_SP) / D * 100.
+double latency_improvement_percent(double baseline, double ours);
+
+}  // namespace spcache

@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace spcache {
+
+void Table::add_row(std::vector<Cell> row) {
+  assert(row.size() == columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(render_cell(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i ? "  " : "") << std::setw(static_cast<int>(widths[i])) << cells[i];
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rendered) print_row(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    os << (i ? "," : "") << escape(columns_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "," : "") << escape(render_cell(row[i]));
+    }
+    os << '\n';
+  }
+}
+
+void print_experiment_header(std::ostream& os, const std::string& artifact,
+                             const std::string& description) {
+  os << "=== " << artifact << " ===\n" << description << "\n\n";
+}
+
+}  // namespace spcache

@@ -1,0 +1,49 @@
+// Console table / CSV printers for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures; this
+// helper keeps their output uniform: an aligned human-readable table plus an
+// optional machine-readable CSV block, with a titled header naming the paper
+// artifact being reproduced.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace spcache {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, long long>;
+
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  // Number of significant digits printed for floating-point cells.
+  void set_precision(int digits) { precision_ = digits; }
+
+  void add_row(std::vector<Cell> row);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  // Aligned fixed-width rendering for the console.
+  void print(std::ostream& os) const;
+  // RFC-4180-ish CSV rendering.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string render_cell(const Cell& c) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+// Prints the standard banner for a reproduced experiment:
+//   === Fig. 13: Mean and tail latencies under skewed popularity ===
+//   <description>
+void print_experiment_header(std::ostream& os, const std::string& artifact,
+                             const std::string& description);
+
+}  // namespace spcache

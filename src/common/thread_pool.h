@@ -1,0 +1,72 @@
+// A small fixed-size thread pool.
+//
+// Used by the threaded cluster substrate for (a) the per-server worker
+// threads' sibling tasks, (b) the SP-Client's parallel partition fetches,
+// and (c) the parallel repartitioner (Algorithm 2), where one repartition
+// task per SP-Repartitioner runs concurrently.
+//
+// Design notes (following the C++ Core Guidelines concurrency rules):
+//   * tasks are std::move_only_function-style packaged jobs; results flow
+//     back through std::future so no shared mutable state is needed,
+//   * the destructor joins all workers (CP.23/CP.25: threads are scoped,
+//     never detached),
+//   * submission after shutdown throws, making lifetime bugs loud.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace spcache {
+
+class ThreadPool {
+ public:
+  // `threads` == 0 picks hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a callable; returns a future for its result. Throws
+  // std::runtime_error if the pool is shutting down.
+  template <typename F, typename... Args>
+  auto submit(F&& f, Args&&... args) -> std::future<std::invoke_result_t<F, Args...>> {
+    using R = std::invoke_result_t<F, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(f), ... as = std::forward<Args>(args)]() mutable {
+          return std::invoke(std::move(fn), std::move(as)...);
+        });
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool: submit after shutdown");
+      jobs_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Run `fn(i)` for i in [0, n) across the pool and wait for completion.
+  // Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace spcache

@@ -1,0 +1,41 @@
+// Units and strong-ish typedefs shared across the SP-Cache codebase.
+//
+// Conventions (used consistently by every module):
+//   * sizes        : bytes, stored in `Bytes` (uint64_t)
+//   * bandwidth    : bytes per second, stored in `Bandwidth` (double)
+//   * virtual time : seconds, stored in `Seconds` (double)
+//
+// The paper quotes sizes in MB and bandwidths in Gbps; the helpers below
+// perform those conversions in one place so experiment code reads like the
+// paper ("100 MB files", "1 Gbps links").
+#pragma once
+
+#include <cstdint>
+
+namespace spcache {
+
+using Bytes = std::uint64_t;
+using Bandwidth = double;  // bytes per second
+using Seconds = double;    // virtual time
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+// The paper uses decimal MB for file sizes (40 MB, 100 MB files).
+inline constexpr Bytes kKB = 1000;
+inline constexpr Bytes kMB = 1000 * kKB;
+inline constexpr Bytes kGB = 1000 * kMB;
+
+constexpr Bytes megabytes(double mb) { return static_cast<Bytes>(mb * static_cast<double>(kMB)); }
+
+// Network bandwidths are quoted in bits per second (1 Gbps NICs).
+constexpr Bandwidth gbps(double g) { return g * 1e9 / 8.0; }
+constexpr Bandwidth mbps(double m) { return m * 1e6 / 8.0; }
+
+// Transfer time of `size` bytes over a link of bandwidth `bw`.
+constexpr Seconds transfer_seconds(Bytes size, Bandwidth bw) {
+  return static_cast<double>(size) / bw;
+}
+
+}  // namespace spcache

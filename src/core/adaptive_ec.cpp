@@ -1,0 +1,112 @@
+#include "core/adaptive_ec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+#include <utility>
+#include <stdexcept>
+
+namespace spcache {
+
+AdaptiveEcScheme::AdaptiveEcScheme(AdaptiveEcConfig config) : config_(config) {
+  if (config_.k < 1) throw std::invalid_argument("AdaptiveEcScheme: k >= 1 required");
+}
+
+void AdaptiveEcScheme::place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+                             Rng& rng) {
+  const std::size_t n_servers = bandwidth.size();
+  if (config_.k + config_.max_parity > n_servers) {
+    throw std::invalid_argument("AdaptiveEcScheme: k + max_parity exceeds server count");
+  }
+
+  // Greedy parity allocation by marginal benefit per shard: the next parity
+  // shard goes to the file with the highest L_i / (parity_i + 1) — each
+  // extra shard on the same file hedges a smaller slice of its load — until
+  // the byte budget is exhausted. The head of the load ranking is fully
+  // provisioned before the tail sees any redundancy.
+  parity_.assign(catalog.size(), 0);
+  double budget = config_.overhead_budget * static_cast<double>(catalog.total_bytes());
+  using Entry = std::pair<double, std::size_t>;  // (marginal benefit, file)
+  std::priority_queue<Entry> heap;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const double load = catalog.load(static_cast<FileId>(i));
+    if (load > 0.0) heap.emplace(load, i);
+  }
+  while (!heap.empty() && budget > 0.0) {
+    const auto [benefit, idx] = heap.top();
+    heap.pop();
+    const double shard_bytes = static_cast<double>(
+        (catalog.file(static_cast<FileId>(idx)).size + config_.k - 1) / config_.k);
+    if (shard_bytes > budget) continue;  // this file no longer fits; try others
+    ++parity_[idx];
+    budget -= shard_bytes;
+    if (parity_[idx] < config_.max_parity) {
+      heap.emplace(catalog.load(static_cast<FileId>(idx)) /
+                       static_cast<double>(parity_[idx] + 1),
+                   idx);
+    }
+  }
+
+  placements_.clear();
+  placements_.reserve(catalog.size());
+  file_sizes_.clear();
+  file_sizes_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const Bytes size = catalog.file(static_cast<FileId>(i)).size;
+    file_sizes_.push_back(size);
+    const std::size_t n_i = config_.k + parity_[i];
+    FilePlacement p;
+    p.data_pieces = config_.k;
+    const Bytes shard = (size + config_.k - 1) / config_.k;
+    const auto servers = rng.sample_without_replacement(n_servers, n_i);
+    p.piece_bytes.assign(n_i, shard);
+    p.servers.reserve(n_i);
+    for (std::size_t s : servers) p.servers.push_back(static_cast<std::uint32_t>(s));
+    placements_.push_back(std::move(p));
+  }
+}
+
+ReadPlan AdaptiveEcScheme::plan_read(FileId file, Rng& rng) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  ReadPlan plan;
+  if (parity_[file] == 0) {
+    // Plain (k, k): read everything, nothing to decode.
+    plan.fetches.reserve(p.servers.size());
+    for (std::size_t i = 0; i < p.servers.size(); ++i) {
+      plan.fetches.push_back(PartitionFetch{p.servers[i], p.piece_bytes[i]});
+    }
+    plan.needed = plan.fetches.size();
+    return plan;
+  }
+  // Late binding over the coded shards.
+  const std::size_t fetch_count = std::min(config_.k + 1, p.servers.size());
+  const auto picks = rng.sample_without_replacement(p.servers.size(), fetch_count);
+  plan.fetches.reserve(fetch_count);
+  for (std::size_t idx : picks) {
+    plan.fetches.push_back(PartitionFetch{p.servers[idx], p.piece_bytes[idx]});
+  }
+  plan.needed = config_.k;
+  plan.post_process = config_.codec.decode_time(file_sizes_[file]);
+  return plan;
+}
+
+WritePlan AdaptiveEcScheme::plan_write(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  WritePlan plan;
+  plan.stores.reserve(p.servers.size());
+  for (std::size_t i = 0; i < p.servers.size(); ++i) {
+    plan.stores.push_back(PartitionFetch{p.servers[i], p.piece_bytes[i]});
+  }
+  if (parity_[file] > 0) {
+    // Encoding cost scales with the parity fraction actually computed.
+    plan.pre_process = config_.codec.encode_time(file_sizes_[file]) *
+                       static_cast<double>(parity_[file]) /
+                       static_cast<double>(config_.max_parity);
+  }
+  return plan;
+}
+
+}  // namespace spcache

@@ -1,0 +1,67 @@
+#include "core/ec_cache.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace spcache {
+
+EcCacheScheme::EcCacheScheme(EcCacheConfig config) : config_(config) {
+  if (config_.k < 1 || config_.n < config_.k) {
+    throw std::invalid_argument("EcCacheScheme: require 1 <= k <= n");
+  }
+}
+
+void EcCacheScheme::place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+                          Rng& rng) {
+  const std::size_t n_servers = bandwidth.size();
+  if (config_.n > n_servers) {
+    throw std::invalid_argument("EcCacheScheme: n exceeds the number of servers");
+  }
+  placements_.clear();
+  placements_.reserve(catalog.size());
+  file_sizes_.clear();
+  file_sizes_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const Bytes size = catalog.file(static_cast<FileId>(i)).size;
+    file_sizes_.push_back(size);
+    FilePlacement p;
+    p.data_pieces = config_.k;
+    // All n shards have the padded size ceil(S/k) (RS shards are equal).
+    const Bytes shard = (size + config_.k - 1) / config_.k;
+    const auto servers = rng.sample_without_replacement(n_servers, config_.n);
+    p.servers.reserve(config_.n);
+    p.piece_bytes.assign(config_.n, shard);
+    for (std::size_t s : servers) p.servers.push_back(static_cast<std::uint32_t>(s));
+    placements_.push_back(std::move(p));
+  }
+}
+
+ReadPlan EcCacheScheme::plan_read(FileId file, Rng& rng) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  const std::size_t fetch_count =
+      std::min(config_.k + config_.late_binding_extra, p.servers.size());
+  const auto picks = rng.sample_without_replacement(p.servers.size(), fetch_count);
+  ReadPlan plan;
+  plan.fetches.reserve(fetch_count);
+  for (std::size_t idx : picks) {
+    plan.fetches.push_back(PartitionFetch{p.servers[idx], p.piece_bytes[idx]});
+  }
+  plan.needed = config_.k;  // join on the k fastest of k+1 (late binding)
+  plan.post_process = config_.codec.decode_time(file_sizes_[file]);
+  return plan;
+}
+
+WritePlan EcCacheScheme::plan_write(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  WritePlan plan;
+  plan.stores.reserve(p.servers.size());
+  for (std::size_t i = 0; i < p.servers.size(); ++i) {
+    plan.stores.push_back(PartitionFetch{p.servers[i], p.piece_bytes[i]});
+  }
+  plan.pre_process = config_.codec.encode_time(file_sizes_[file]);
+  return plan;
+}
+
+}  // namespace spcache

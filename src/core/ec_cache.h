@@ -1,0 +1,48 @@
+// EC-Cache baseline (Rashmi et al., OSDI'16; paper Section 3.2).
+//
+// Every file is encoded with a (k, n) Reed-Solomon code: k data partitions
+// of S_i/k bytes plus n-k parity partitions of the same size, on n distinct
+// servers. Reads use *late binding*: fetch k+1 randomly chosen partitions
+// and join on the k fastest, then pay the decode cost. Memory overhead is
+// (n-k)/k — 40% for the (10, 14) code the paper evaluates.
+//
+// The simulator charges decode time through `CodecModel`; the threaded
+// cluster (src/cluster) runs the real GF(256) codec from src/erasure.
+#pragma once
+
+#include "core/scheme.h"
+#include "net/network_model.h"
+
+namespace spcache {
+
+struct EcCacheConfig {
+  std::size_t k = 10;
+  std::size_t n = 14;
+  CodecModel codec{};
+  // Extra partitions fetched beyond k (the paper's EC-Cache uses 1).
+  std::size_t late_binding_extra = 1;
+};
+
+class EcCacheScheme : public CachingScheme {
+ public:
+  explicit EcCacheScheme(EcCacheConfig config = {});
+
+  std::string name() const override { return "EC-Cache"; }
+
+  void place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+             Rng& rng) override;
+
+  ReadPlan plan_read(FileId file, Rng& rng) const override;
+  WritePlan plan_write(FileId file, Rng& rng) const override;
+
+  const EcCacheConfig& config() const { return config_; }
+  double code_overhead() const {
+    return static_cast<double>(config_.n - config_.k) / static_cast<double>(config_.k);
+  }
+
+ private:
+  EcCacheConfig config_;
+  std::vector<Bytes> file_sizes_;  // for decode-cost accounting
+};
+
+}  // namespace spcache

@@ -1,0 +1,67 @@
+#include "core/fixed_chunking.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace spcache {
+
+FixedChunkingScheme::FixedChunkingScheme(FixedChunkingConfig config) : config_(config) {
+  assert(config_.chunk_size > 0);
+}
+
+std::string FixedChunkingScheme::name() const {
+  std::ostringstream os;
+  os << "Fixed chunking (" << config_.chunk_size / kMB << " MB)";
+  return os.str();
+}
+
+void FixedChunkingScheme::place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+                                Rng& rng) {
+  const std::size_t n_servers = bandwidth.size();
+  placements_.clear();
+  placements_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const Bytes size = catalog.file(static_cast<FileId>(i)).size;
+    const std::size_t chunks =
+        std::max<std::size_t>(1, (size + config_.chunk_size - 1) / config_.chunk_size);
+    FilePlacement p;
+    p.data_pieces = chunks;
+    const std::size_t distinct = std::min(chunks, n_servers);
+    const auto servers = rng.sample_without_replacement(n_servers, distinct);
+    p.servers.reserve(chunks);
+    p.piece_bytes.reserve(chunks);
+    Bytes remaining = size;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const Bytes piece = std::min<Bytes>(config_.chunk_size, remaining);
+      remaining -= piece;
+      p.servers.push_back(static_cast<std::uint32_t>(servers[c % distinct]));
+      p.piece_bytes.push_back(piece);
+    }
+    placements_.push_back(std::move(p));
+  }
+}
+
+ReadPlan FixedChunkingScheme::plan_read(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  ReadPlan plan;
+  plan.fetches.reserve(p.servers.size());
+  for (std::size_t i = 0; i < p.servers.size(); ++i) {
+    plan.fetches.push_back(PartitionFetch{p.servers[i], p.piece_bytes[i]});
+  }
+  plan.needed = plan.fetches.size();
+  return plan;
+}
+
+WritePlan FixedChunkingScheme::plan_write(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  WritePlan plan;
+  plan.stores.reserve(p.servers.size());
+  for (std::size_t i = 0; i < p.servers.size(); ++i) {
+    plan.stores.push_back(PartitionFetch{p.servers[i], p.piece_bytes[i]});
+  }
+  return plan;
+}
+
+}  // namespace spcache

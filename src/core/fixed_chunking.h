@@ -1,0 +1,36 @@
+// Fixed-size chunking baseline (Section 4.3, Fig. 14).
+//
+// Files are split into chunks of a constant pre-specified size (HDFS /
+// Azure / Alluxio style), irrespective of popularity. A file of S bytes
+// yields ceil(S / chunk_size) chunks; reads fetch all chunks. If a file has
+// more chunks than servers, chunks wrap round-robin over a random distinct
+// server set (a server may then hold several chunks of the same file).
+#pragma once
+
+#include "core/scheme.h"
+
+namespace spcache {
+
+struct FixedChunkingConfig {
+  Bytes chunk_size = 8 * kMB;
+};
+
+class FixedChunkingScheme : public CachingScheme {
+ public:
+  explicit FixedChunkingScheme(FixedChunkingConfig config = {});
+
+  std::string name() const override;
+
+  void place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+             Rng& rng) override;
+
+  ReadPlan plan_read(FileId file, Rng& rng) const override;
+  WritePlan plan_write(FileId file, Rng& rng) const override;
+
+  Bytes chunk_size() const { return config_.chunk_size; }
+
+ private:
+  FixedChunkingConfig config_;
+};
+
+}  // namespace spcache

@@ -1,0 +1,91 @@
+#include "core/hash_placement.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace spcache {
+
+namespace {
+
+// SplitMix64 as a 64-bit mixing hash (deterministic across runs).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(std::size_t n_servers, std::size_t vnodes)
+    : n_servers_(n_servers) {
+  assert(n_servers > 0 && vnodes > 0);
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    for (std::size_t v = 0; v < vnodes; ++v) {
+      // Hash (server, vnode) to a ring point; collisions are vanishingly
+      // rare and harmless (last writer wins).
+      ring_[mix(mix(s) ^ (v * 0x9e3779b97f4a7c15ULL + 1))] = static_cast<std::uint32_t>(s);
+    }
+  }
+}
+
+std::uint32_t ConsistentHashRing::server_for(std::uint64_t key) const {
+  const std::uint64_t h = mix(key);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<std::uint32_t> ConsistentHashRing::servers_for(std::uint64_t key,
+                                                           std::size_t count) const {
+  assert(count <= n_servers_);
+  std::vector<std::uint32_t> out;
+  std::vector<bool> taken(n_servers_, false);
+  const std::uint64_t h = mix(key);
+  auto it = ring_.lower_bound(h);
+  while (out.size() < count) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!taken[it->second]) {
+      taken[it->second] = true;
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+HashPlacementScheme::HashPlacementScheme(std::size_t vnodes) : vnodes_(vnodes) {}
+
+void HashPlacementScheme::place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+                                Rng& /*rng*/) {
+  const ConsistentHashRing ring(bandwidth.size(), vnodes_);
+  placements_.clear();
+  placements_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    FilePlacement p;
+    p.data_pieces = 1;
+    p.servers = {ring.server_for(i)};
+    p.piece_bytes = {catalog.file(static_cast<FileId>(i)).size};
+    placements_.push_back(std::move(p));
+  }
+}
+
+ReadPlan HashPlacementScheme::plan_read(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  ReadPlan plan;
+  plan.fetches.push_back(PartitionFetch{p.servers[0], p.piece_bytes[0]});
+  plan.needed = 1;
+  return plan;
+}
+
+WritePlan HashPlacementScheme::plan_write(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  WritePlan plan;
+  plan.stores.push_back(PartitionFetch{p.servers[0], p.piece_bytes[0]});
+  return plan;
+}
+
+}  // namespace spcache

@@ -1,0 +1,60 @@
+// Consistent-hashing placement baseline (Section 9 "Data Placement").
+//
+// Prevalent caches map files to servers with consistent hashing. The paper
+// argues this cannot fix skew: even a "perfect" hash that equalizes file
+// *counts* is agnostic to file popularity, so the server that happens to
+// receive a hot file becomes a hot spot. This module provides a classic
+// virtual-node hash ring and a no-partition placement scheme built on it,
+// used by the ablation bench to quantify that argument against SP-Cache's
+// load-proportional splitting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/scheme.h"
+
+namespace spcache {
+
+// A consistent-hash ring with virtual nodes. Deterministic: the mapping
+// depends only on (server id, vnode index, key), so adding or removing a
+// server reassigns only the keys adjacent to its vnodes.
+class ConsistentHashRing {
+ public:
+  // `n_servers` physical servers, each projected to `vnodes` points.
+  ConsistentHashRing(std::size_t n_servers, std::size_t vnodes = 64);
+
+  std::size_t n_servers() const { return n_servers_; }
+
+  // The server owning `key` (first vnode clockwise from hash(key)).
+  std::uint32_t server_for(std::uint64_t key) const;
+
+  // The `count` distinct servers clockwise from hash(key) — used for
+  // replica chains or multi-piece placements.
+  std::vector<std::uint32_t> servers_for(std::uint64_t key, std::size_t count) const;
+
+ private:
+  std::size_t n_servers_;
+  std::map<std::uint64_t, std::uint32_t> ring_;  // hash point -> server
+};
+
+// No-partition placement via consistent hashing: each file lives, whole, on
+// the ring owner of its id. Popularity-agnostic by construction.
+class HashPlacementScheme : public CachingScheme {
+ public:
+  explicit HashPlacementScheme(std::size_t vnodes = 64);
+
+  std::string name() const override { return "Consistent hashing (no partition)"; }
+
+  void place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+             Rng& rng) override;
+
+  ReadPlan plan_read(FileId file, Rng& rng) const override;
+  WritePlan plan_write(FileId file, Rng& rng) const override;
+
+ private:
+  std::size_t vnodes_;
+};
+
+}  // namespace spcache

@@ -1,0 +1,61 @@
+// Periodic load re-balancing with parallel repartition (Section 6.2,
+// Algorithm 2).
+//
+// When file popularities shift, the SP-Master recomputes the scale factor
+// (Algorithm 1) and the partition counts k_i. Files whose k_i is unchanged
+// stay put, but their load is *recorded* per server so the greedy placement
+// of the changed files balances against it. Each changed file is then
+// assigned:
+//   * a set of k_i new servers — greedily, the least-loaded servers that do
+//     not already hold a piece of this file (load measured by the number of
+//     recorded partitions, which is proportional to real load because every
+//     partition carries ~1/alpha);
+//   * an executing SP-Repartitioner — a random server among the file's
+//     *old* holders, so at least one partition needs no network transfer.
+//
+// The plan is pure metadata; execution (actually moving the bytes,
+// sequentially via the master or in parallel on the repartitioners) lives
+// in src/cluster/repartition_exec.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "math/scale_factor.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+
+struct RepartitionPlan {
+  double alpha = 0.0;                   // the new scale factor
+  std::vector<std::size_t> new_k;       // per file
+  std::vector<FileId> changed_files;    // files with new_k != old_k
+  // Parallel to changed_files: the new server set (k_i distinct servers)
+  // and the server executing the repartition.
+  std::vector<std::vector<std::uint32_t>> new_servers;
+  std::vector<std::uint32_t> executor;
+
+  double changed_fraction(std::size_t n_files) const {
+    return n_files == 0 ? 0.0
+                        : static_cast<double>(changed_files.size()) / static_cast<double>(n_files);
+  }
+};
+
+// Algorithm 2. `old_k[i]` / `old_servers[i]` describe the current layout.
+RepartitionPlan plan_repartition(const Catalog& updated_catalog,
+                                 const std::vector<Bandwidth>& bandwidth,
+                                 const std::vector<std::size_t>& old_k,
+                                 const std::vector<std::vector<std::uint32_t>>& old_servers,
+                                 const ScaleFactorConfig& search_config, Rng& rng);
+
+// Variant with a caller-supplied scale factor (skips Algorithm 1): used
+// when the epoch's alpha should be held fixed across the re-balance, and
+// by A/B experiments that must not conflate alpha changes with placement
+// changes.
+RepartitionPlan plan_repartition_with_alpha(
+    const Catalog& updated_catalog, std::size_t n_servers, double alpha,
+    const std::vector<std::size_t>& old_k,
+    const std::vector<std::vector<std::uint32_t>>& old_servers, Rng& rng);
+
+}  // namespace spcache

@@ -1,0 +1,85 @@
+#include "core/scheme.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace spcache {
+
+Bytes CachingScheme::footprint(FileId file) const {
+  assert(file < placements_.size());
+  return placements_[file].footprint();
+}
+
+Bytes CachingScheme::total_footprint() const {
+  Bytes total = 0;
+  for (const auto& p : placements_) total += p.footprint();
+  return total;
+}
+
+double CachingScheme::memory_overhead(const Catalog& catalog) const {
+  const Bytes raw = catalog.total_bytes();
+  if (raw == 0) return 0.0;
+  return static_cast<double>(total_footprint()) / static_cast<double>(raw) - 1.0;
+}
+
+namespace {
+
+void fill_piece_sizes(FilePlacement& p, Bytes size, std::size_t k) {
+  // Same piece sizes as split_plain: the first (size % k) pieces get one
+  // extra byte.
+  const Bytes base = size / k;
+  const Bytes extra = size % k;
+  p.piece_bytes.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    p.piece_bytes.push_back(base + (i < extra ? 1 : 0));
+  }
+}
+
+}  // namespace
+
+FilePlacement CachingScheme::make_plain_placement(Bytes size, std::size_t k,
+                                                  std::size_t n_servers, Rng& rng) const {
+  assert(k >= 1 && k <= n_servers);
+  FilePlacement p;
+  p.data_pieces = k;
+  const auto servers = rng.sample_without_replacement(n_servers, k);
+  p.servers.reserve(k);
+  for (std::size_t s : servers) p.servers.push_back(static_cast<std::uint32_t>(s));
+  fill_piece_sizes(p, size, k);
+  return p;
+}
+
+FilePlacement CachingScheme::make_weighted_placement(Bytes size, std::size_t k,
+                                                     const std::vector<double>& weights,
+                                                     Rng& rng) const {
+  assert(k >= 1 && k <= weights.size());
+  FilePlacement p;
+  p.data_pieces = k;
+  const auto servers = rng.sample_weighted_without_replacement(weights, k);
+  p.servers.reserve(k);
+  double chosen_weight = 0.0;
+  for (std::size_t s : servers) {
+    p.servers.push_back(static_cast<std::uint32_t>(s));
+    chosen_weight += weights[s];
+  }
+  // Piece sizes proportional to the chosen servers' weights, distributed
+  // exactly (largest-remainder rounding) so they sum to `size`.
+  p.piece_bytes.assign(k, 0);
+  std::vector<std::pair<double, std::size_t>> remainders(k);
+  Bytes assigned = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double exact = static_cast<double>(size) * weights[servers[i]] / chosen_weight;
+    p.piece_bytes[i] = static_cast<Bytes>(exact);
+    assigned += p.piece_bytes[i];
+    remainders[i] = {exact - static_cast<double>(p.piece_bytes[i]), i};
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t j = 0; assigned < size; ++j, ++assigned) {
+    ++p.piece_bytes[remainders[j % k].second];
+  }
+  return p;
+}
+
+}  // namespace spcache

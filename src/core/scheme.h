@@ -1,0 +1,92 @@
+// The caching-scheme abstraction.
+//
+// A scheme decides, for every file in a catalog, (a) how the file is
+// materialized in the cluster (how many pieces, with or without parity or
+// replicas, on which servers) and (b) how a read/write request translates
+// into partition fetches/stores (a ReadPlan/WritePlan for the simulator or
+// the threaded cluster).
+//
+// Implementations:
+//   * SpCacheScheme            — the paper's contribution (Section 5)
+//   * EcCacheScheme            — (k, n) erasure coding with late binding [8]
+//   * SelectiveReplicationScheme — popularity-based replication [9]
+//   * FixedChunkingScheme      — constant chunk size (Section 4.3)
+//   * SimplePartitionScheme    — uniform partition count (Section 4.1);
+//                                k = 1 is the stock, no-partition layout
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sim/read_plan.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+
+// Where one file's pieces live.
+struct FilePlacement {
+  std::vector<std::uint32_t> servers;  // one entry per stored piece, distinct
+  std::vector<Bytes> piece_bytes;      // parallel to `servers`
+  std::size_t data_pieces = 1;         // k_i (pieces needed to reconstruct)
+
+  Bytes footprint() const {
+    Bytes total = 0;
+    for (Bytes b : piece_bytes) total += b;
+    return total;
+  }
+};
+
+class CachingScheme {
+ public:
+  virtual ~CachingScheme() = default;
+
+  virtual std::string name() const = 0;
+
+  // Compute placements for the whole catalog over the given servers.
+  // Must be called before plan_read/plan_write. `bandwidth` has one entry
+  // per server (schemes that ignore bandwidth only use its size).
+  virtual void place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+                     Rng& rng) = 0;
+
+  // Translate a read request into partition fetches + join rule.
+  virtual ReadPlan plan_read(FileId file, Rng& rng) const = 0;
+
+  // Translate a write of the file into stores + client-side pre-processing.
+  virtual WritePlan plan_write(FileId file, Rng& rng) const = 0;
+
+  // Bytes this scheme keeps in cluster memory for the file (redundancy
+  // included). Drives the memory-overhead accounting (Figs. 3, 20).
+  virtual Bytes footprint(FileId file) const;
+
+  const FilePlacement& placement(FileId file) const { return placements_[file]; }
+  const std::vector<FilePlacement>& placements() const { return placements_; }
+  bool placed() const { return !placements_.empty(); }
+
+  // Total cached bytes across the catalog.
+  Bytes total_footprint() const;
+
+  // Memory overhead relative to the raw catalog bytes: cached/raw - 1.
+  double memory_overhead(const Catalog& catalog) const;
+
+ protected:
+  // Helper shared by implementations: split `size` into `k` near-equal
+  // pieces (matching split_plain's sizes) on `k` random distinct servers.
+  FilePlacement make_plain_placement(Bytes size, std::size_t k, std::size_t n_servers,
+                                     Rng& rng) const;
+
+  // Variant for heterogeneous clusters: servers are drawn without
+  // replacement with probability proportional to `weights` (their NIC
+  // bandwidths), and piece sizes are made proportional to the chosen
+  // servers' weights — every piece then transfers in the same time and a
+  // slow server neither bottlenecks the fork-join nor carries
+  // disproportionate utilization.
+  FilePlacement make_weighted_placement(Bytes size, std::size_t k,
+                                        const std::vector<double>& weights, Rng& rng) const;
+
+  std::vector<FilePlacement> placements_;
+};
+
+}  // namespace spcache

@@ -1,0 +1,82 @@
+#include "core/segment_partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace spcache {
+
+Bytes SegmentedFile::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& s : segments) total += s.size;
+  return total;
+}
+
+double SegmentedFile::total_rate() const {
+  double total = 0.0;
+  for (const auto& s : segments) total += s.request_rate;
+  return total;
+}
+
+double SegmentedFile::segment_load(std::size_t j) const {
+  assert(j < segments.size());
+  const double total = total_rate();
+  if (total <= 0.0) return 0.0;
+  return static_cast<double>(segments[j].size) * (segments[j].request_rate / total);
+}
+
+std::size_t SegmentPlan::total_pieces() const {
+  std::size_t total = 0;
+  for (auto k : partitions) total += k;
+  return total;
+}
+
+SegmentPlan plan_segment_partition(const SegmentedFile& file, double alpha,
+                                   std::size_t n_servers, Rng& rng) {
+  assert(alpha > 0.0 && n_servers > 0);
+  SegmentPlan plan;
+  plan.partitions.reserve(file.segments.size());
+  plan.servers.reserve(file.segments.size());
+  for (std::size_t j = 0; j < file.segments.size(); ++j) {
+    const double load = file.segment_load(j);
+    const double raw = std::ceil(alpha * load);
+    const std::size_t k =
+        std::clamp<std::size_t>(raw <= 1.0 ? 1 : static_cast<std::size_t>(raw), 1, n_servers);
+    plan.partitions.push_back(k);
+    const auto picks = rng.sample_without_replacement(n_servers, k);
+    std::vector<std::uint32_t> servers;
+    servers.reserve(k);
+    for (std::size_t s : picks) servers.push_back(static_cast<std::uint32_t>(s));
+    plan.servers.push_back(std::move(servers));
+  }
+  return plan;
+}
+
+std::size_t whole_file_partitions(const SegmentedFile& file, double alpha,
+                                  std::size_t n_servers) {
+  // Whole-file Eq. 1: the file's load is the sum of its segments' loads.
+  double load = 0.0;
+  for (std::size_t j = 0; j < file.segments.size(); ++j) load += file.segment_load(j);
+  const double raw = std::ceil(alpha * load);
+  return std::clamp<std::size_t>(raw <= 1.0 ? 1 : static_cast<std::size_t>(raw), 1, n_servers);
+}
+
+double max_partition_load(const SegmentedFile& file, const SegmentPlan& plan) {
+  assert(plan.partitions.size() == file.segments.size());
+  double mx = 0.0;
+  for (std::size_t j = 0; j < file.segments.size(); ++j) {
+    mx = std::max(mx, file.segment_load(j) / static_cast<double>(plan.partitions[j]));
+  }
+  return mx;
+}
+
+double max_partition_load_whole(const SegmentedFile& file, std::size_t k) {
+  assert(k >= 1);
+  // Uniform whole-file pieces each contain 1/k of every segment, so each
+  // piece carries 1/k of the total load.
+  double load = 0.0;
+  for (std::size_t j = 0; j < file.segments.size(); ++j) load += file.segment_load(j);
+  return load / static_cast<double>(k);
+}
+
+}  // namespace spcache

@@ -1,0 +1,70 @@
+// Finer-grained partition within structured files (Section 8
+// "Finer-Grained Partition").
+//
+// For formats with clear internal semantics — e.g. Parquet, where some
+// columns are read far more often than others — splitting or replicating
+// the *whole* file uniformly wastes effort: the paper proposes extending
+// SP-Cache to examine "the popularities of different parts of the file".
+//
+// A `SegmentedFile` describes such a file as a sequence of segments, each
+// with its own size and access rate. `plan_segment_partition` applies
+// Eq. 1 *per segment*: segment j of file i gets
+//
+//     k_ij = ceil(alpha * S_ij * P_ij)
+//
+// partitions, so a hot column group is split finely while cold column
+// groups stay whole — strictly fewer pieces (and less metadata, fewer
+// connections) than whole-file splitting at the same per-partition load.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace spcache {
+
+struct FileSegment {
+  Bytes size = 0;
+  double request_rate = 0.0;  // accesses/second touching this segment
+};
+
+struct SegmentedFile {
+  std::vector<FileSegment> segments;
+
+  Bytes total_bytes() const;
+  double total_rate() const;
+  // Expected load of segment j under the file's own access mix:
+  //   L_j = S_j * (rate_j / total_rate).
+  double segment_load(std::size_t j) const;
+};
+
+struct SegmentPlan {
+  // Partition count per segment (Eq. 1 applied segment-wise).
+  std::vector<std::size_t> partitions;
+  // Placement: for each segment, the distinct servers holding its pieces.
+  std::vector<std::vector<std::uint32_t>> servers;
+
+  std::size_t total_pieces() const;
+};
+
+// Apply selective partition within the file. `alpha` plays the same role as
+// the file-level scale factor; counts are clamped to [1, n_servers].
+SegmentPlan plan_segment_partition(const SegmentedFile& file, double alpha,
+                                   std::size_t n_servers, Rng& rng);
+
+// Whole-file equivalent for comparison: split the file uniformly into
+// ceil(alpha * S * 1) pieces regardless of internal skew (every piece then
+// contains a slice of every segment).
+std::size_t whole_file_partitions(const SegmentedFile& file, double alpha,
+                                  std::size_t n_servers);
+
+// Diagnostic used by tests and the ablation bench: the maximum
+// per-partition load under a plan (lower = better balanced). For the
+// segment plan this is max_j L_j / k_j; for whole-file splitting it is
+// (sum_j L_j) / k.
+double max_partition_load(const SegmentedFile& file, const SegmentPlan& plan);
+double max_partition_load_whole(const SegmentedFile& file, std::size_t k);
+
+}  // namespace spcache

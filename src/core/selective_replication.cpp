@@ -1,0 +1,63 @@
+#include "core/selective_replication.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace spcache {
+
+SelectiveReplicationScheme::SelectiveReplicationScheme(SelectiveReplicationConfig config)
+    : config_(config) {}
+
+void SelectiveReplicationScheme::place(const Catalog& catalog,
+                                       const std::vector<Bandwidth>& bandwidth, Rng& rng) {
+  const std::size_t n_servers = bandwidth.size();
+  assert(n_servers >= config_.replicas);
+
+  // Rank files by expected load L_i = S_i * P_i, hottest first.
+  std::vector<std::size_t> order(catalog.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&catalog](std::size_t a, std::size_t b) {
+    return catalog.load(static_cast<FileId>(a)) > catalog.load(static_cast<FileId>(b));
+  });
+  const auto hot_count = static_cast<std::size_t>(config_.top_fraction *
+                                                  static_cast<double>(catalog.size()));
+  std::vector<std::size_t> replicas(catalog.size(), 1);
+  for (std::size_t r = 0; r < hot_count; ++r) replicas[order[r]] = config_.replicas;
+
+  placements_.clear();
+  placements_.resize(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const Bytes size = catalog.file(static_cast<FileId>(i)).size;
+    FilePlacement p;
+    p.data_pieces = 1;  // each replica is the whole file
+    const auto servers = rng.sample_without_replacement(n_servers, replicas[i]);
+    p.servers.reserve(servers.size());
+    p.piece_bytes.assign(servers.size(), size);
+    for (std::size_t s : servers) p.servers.push_back(static_cast<std::uint32_t>(s));
+    placements_[i] = std::move(p);
+  }
+}
+
+ReadPlan SelectiveReplicationScheme::plan_read(FileId file, Rng& rng) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  const std::size_t pick = static_cast<std::size_t>(rng.uniform_index(p.servers.size()));
+  ReadPlan plan;
+  plan.fetches.push_back(PartitionFetch{p.servers[pick], p.piece_bytes[pick]});
+  plan.needed = 1;
+  return plan;
+}
+
+WritePlan SelectiveReplicationScheme::plan_write(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  WritePlan plan;
+  plan.stores.reserve(p.servers.size());
+  for (std::size_t i = 0; i < p.servers.size(); ++i) {
+    plan.stores.push_back(PartitionFetch{p.servers[i], p.piece_bytes[i]});
+  }
+  return plan;
+}
+
+}  // namespace spcache

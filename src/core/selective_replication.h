@@ -1,0 +1,36 @@
+// Selective replication baseline (Scarlett [9]; paper Sections 3.1, 7.1).
+//
+// The most popular files get extra full replicas; a read picks one replica
+// uniformly at random. The paper's comparison setting replicates the top
+// 10% of files (by load) 4x, for an aggregate memory overhead of ~40% under
+// equal file sizes — matching EC-Cache's (10,14) overhead.
+#pragma once
+
+#include "core/scheme.h"
+
+namespace spcache {
+
+struct SelectiveReplicationConfig {
+  double top_fraction = 0.10;  // fraction of files (by load rank) replicated
+  std::size_t replicas = 4;    // copies for the replicated files
+};
+
+class SelectiveReplicationScheme : public CachingScheme {
+ public:
+  explicit SelectiveReplicationScheme(SelectiveReplicationConfig config = {});
+
+  std::string name() const override { return "Selective replication"; }
+
+  void place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+             Rng& rng) override;
+
+  ReadPlan plan_read(FileId file, Rng& rng) const override;
+  WritePlan plan_write(FileId file, Rng& rng) const override;
+
+  std::size_t replica_count(FileId file) const { return placements_[file].servers.size(); }
+
+ private:
+  SelectiveReplicationConfig config_;
+};
+
+}  // namespace spcache

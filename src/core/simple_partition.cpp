@@ -1,0 +1,51 @@
+#include "core/simple_partition.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace spcache {
+
+SimplePartitionScheme::SimplePartitionScheme(std::size_t k) : k_(k) { assert(k >= 1); }
+
+std::string SimplePartitionScheme::name() const {
+  std::ostringstream os;
+  os << "Simple partition (k=" << k_ << ")";
+  return os.str();
+}
+
+void SimplePartitionScheme::place(const Catalog& catalog,
+                                  const std::vector<Bandwidth>& bandwidth, Rng& rng) {
+  const std::size_t n_servers = bandwidth.size();
+  assert(k_ <= n_servers);
+  placements_.clear();
+  placements_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    placements_.push_back(
+        make_plain_placement(catalog.file(static_cast<FileId>(i)).size, k_, n_servers, rng));
+  }
+}
+
+ReadPlan SimplePartitionScheme::plan_read(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  ReadPlan plan;
+  plan.fetches.reserve(p.servers.size());
+  for (std::size_t i = 0; i < p.servers.size(); ++i) {
+    plan.fetches.push_back(PartitionFetch{p.servers[i], p.piece_bytes[i]});
+  }
+  plan.needed = plan.fetches.size();
+  return plan;
+}
+
+WritePlan SimplePartitionScheme::plan_write(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  WritePlan plan;
+  plan.stores.reserve(p.servers.size());
+  for (std::size_t i = 0; i < p.servers.size(); ++i) {
+    plan.stores.push_back(PartitionFetch{p.servers[i], p.piece_bytes[i]});
+  }
+  return plan;
+}
+
+}  // namespace spcache

@@ -1,0 +1,38 @@
+// Simple (uniform) partition baseline (Section 4.1, Fig. 5).
+//
+// Every file — regardless of size or popularity — is split into the same
+// number k of partitions on k random distinct servers ("EC-Cache in a
+// coding-free (k, k) mode"). k = 1 degenerates to the stock, no-partition
+// layout used for the caching-on/off motivation experiment (Fig. 2).
+#pragma once
+
+#include "core/scheme.h"
+
+namespace spcache {
+
+class SimplePartitionScheme : public CachingScheme {
+ public:
+  explicit SimplePartitionScheme(std::size_t k);
+
+  std::string name() const override;
+
+  void place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+             Rng& rng) override;
+
+  ReadPlan plan_read(FileId file, Rng& rng) const override;
+  WritePlan plan_write(FileId file, Rng& rng) const override;
+
+  std::size_t partition_count() const { return k_; }
+
+ private:
+  std::size_t k_;
+};
+
+// Convenience alias for the no-partition stock layout.
+class StockScheme : public SimplePartitionScheme {
+ public:
+  StockScheme() : SimplePartitionScheme(1) {}
+  std::string name() const override { return "Stock (no partition)"; }
+};
+
+}  // namespace spcache

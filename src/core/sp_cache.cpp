@@ -1,0 +1,67 @@
+#include "core/sp_cache.h"
+
+#include <cassert>
+
+namespace spcache {
+
+SpCacheScheme::SpCacheScheme(SpCacheConfig config) : config_(std::move(config)) {}
+
+void SpCacheScheme::place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+                          Rng& rng) {
+  assert(!catalog.empty() && !bandwidth.empty());
+  const std::size_t n_servers = bandwidth.size();
+  if (config_.fixed_alpha) {
+    alpha_ = *config_.fixed_alpha;
+    search_result_.reset();
+  } else {
+    search_result_ = find_scale_factor(catalog, bandwidth, config_.search, rng);
+    alpha_ = search_result_->alpha;
+  }
+  partition_counts_ = partition_counts_for_alpha(catalog, alpha_, n_servers);
+
+  placements_.clear();
+  placements_.reserve(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const Bytes size = catalog.file(static_cast<FileId>(i)).size;
+    if (config_.bandwidth_weighted_placement) {
+      placements_.push_back(
+          make_weighted_placement(size, partition_counts_[i], bandwidth, rng));
+    } else {
+      placements_.push_back(make_plain_placement(size, partition_counts_[i], n_servers, rng));
+    }
+  }
+}
+
+ReadPlan SpCacheScheme::plan_read(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  ReadPlan plan;
+  plan.fetches.reserve(p.servers.size());
+  for (std::size_t i = 0; i < p.servers.size(); ++i) {
+    plan.fetches.push_back(PartitionFetch{p.servers[i], p.piece_bytes[i]});
+  }
+  plan.needed = plan.fetches.size();  // join on all partitions
+  plan.post_process = 0.0;            // redundancy-free: nothing to decode
+  return plan;
+}
+
+WritePlan SpCacheScheme::plan_write(FileId file, Rng& /*rng*/) const {
+  assert(placed() && file < placements_.size());
+  const auto& p = placements_[file];
+  WritePlan plan;
+  plan.stores.reserve(p.servers.size());
+  for (std::size_t i = 0; i < p.servers.size(); ++i) {
+    plan.stores.push_back(PartitionFetch{p.servers[i], p.piece_bytes[i]});
+  }
+  plan.pre_process = 0.0;  // splitting is a pointer-arithmetic operation
+  return plan;
+}
+
+WritePlan SpCacheScheme::plan_initial_write(Bytes size, std::size_t n_servers, Rng& rng) const {
+  WritePlan plan;
+  plan.stores.push_back(
+      PartitionFetch{static_cast<std::uint32_t>(rng.uniform_index(n_servers)), size});
+  return plan;
+}
+
+}  // namespace spcache

@@ -1,0 +1,68 @@
+// SP-Cache: selective partition (the paper's contribution, Section 5).
+//
+// For each file i, k_i = ceil(alpha * S_i * P_i) partitions (Eq. 1), where
+// alpha is chosen by Algorithm 1 (exponential search over the fork-join
+// latency upper bound). Partitions are placed on k_i distinct servers
+// chosen uniformly at random; since every partition then carries roughly
+// the same load ~1/alpha, random placement suffices for balance
+// (Section 5.1). Reads fork to all k_i partitions and join on the slowest;
+// there is no decode step and no cache redundancy.
+#pragma once
+
+#include <optional>
+
+#include "core/scheme.h"
+#include "math/scale_factor.h"
+
+namespace spcache {
+
+struct SpCacheConfig {
+  // Forwarded to Algorithm 1.
+  ScaleFactorConfig search{};
+  // If set, skips Algorithm 1 and uses this scale factor directly (used by
+  // the Fig. 8 alpha sweep and by tests).
+  std::optional<double> fixed_alpha;
+  // Heterogeneous-cluster extension: draw each file's servers with
+  // probability proportional to their bandwidth, so faster NICs host
+  // proportionally more partitions. Off by default (the paper's clusters
+  // are homogeneous and use uniform random placement).
+  bool bandwidth_weighted_placement = false;
+};
+
+class SpCacheScheme : public CachingScheme {
+ public:
+  explicit SpCacheScheme(SpCacheConfig config = {});
+
+  std::string name() const override { return "SP-Cache"; }
+
+  void place(const Catalog& catalog, const std::vector<Bandwidth>& bandwidth,
+             Rng& rng) override;
+
+  ReadPlan plan_read(FileId file, Rng& rng) const override;
+
+  // Fig. 22 note: the write benchmark configures SP-Cache "to enforce file
+  // splitting upon write based on the provided file popularity"; we store
+  // the k_i pieces computed at placement time. (The production write path
+  // of Section 6.1 — one unsplit copy for a brand-new file whose popularity
+  // is unknown — is modelled by plan_initial_write.)
+  WritePlan plan_write(FileId file, Rng& rng) const override;
+
+  // A new file enters the cluster unsplit on one random server
+  // (Section 6.1 "Writes").
+  WritePlan plan_initial_write(Bytes size, std::size_t n_servers, Rng& rng) const;
+
+  // The scale factor chosen by Algorithm 1 (or the fixed override).
+  double alpha() const { return alpha_; }
+  // k_i per file, after placement.
+  const std::vector<std::size_t>& partition_counts() const { return partition_counts_; }
+  // Full Algorithm 1 result (empty when fixed_alpha was used).
+  const std::optional<ScaleFactorResult>& search_result() const { return search_result_; }
+
+ private:
+  SpCacheConfig config_;
+  double alpha_ = 0.0;
+  std::vector<std::size_t> partition_counts_;
+  std::optional<ScaleFactorResult> search_result_;
+};
+
+}  // namespace spcache

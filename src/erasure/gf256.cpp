@@ -1,0 +1,107 @@
+#include "erasure/gf256.h"
+
+#include <array>
+#include <cassert>
+
+namespace spcache::gf256 {
+
+namespace {
+
+struct Tables {
+  // exp_ is doubled so mul can skip the mod-255 reduction.
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<std::uint16_t, 256> log_{};
+
+  Tables() {
+    // 0x03 (x + 1) generates the multiplicative group for 0x11B.
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log_[x] = static_cast<std::uint16_t>(i);
+      // multiply x by the generator 0x03: x*2 ^ x
+      std::uint16_t nx = static_cast<std::uint16_t>(x << 1) ^ x;
+      if (nx & 0x100) nx ^= kPolynomial;
+      x = nx & 0xFF;
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp_[static_cast<std::size_t>(i)] = exp_[static_cast<std::size_t>(i - 255)];
+    }
+    log_[0] = 0;  // unused; guarded by callers
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp_[static_cast<std::size_t>(t.log_[a]) + t.log_[b]];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp_[static_cast<std::size_t>(t.log_[a]) + 255 - t.log_[b]];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  assert(a != 0);
+  const auto& t = tables();
+  return t.exp_[255 - t.log_[a]];
+}
+
+std::uint8_t pow(std::uint8_t a, unsigned e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  const unsigned log_result = (static_cast<unsigned>(t.log_[a]) * e) % 255;
+  return t.exp_[log_result];
+}
+
+void mul_add_slice(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
+                   std::uint8_t c) {
+  assert(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+    return;
+  }
+  // Per-coefficient 256-entry product table: one lookup per byte instead of
+  // two log lookups — the standard software RS inner loop.
+  const auto& t = tables();
+  const std::uint16_t log_c = t.log_[c];
+  std::array<std::uint8_t, 256> row{};
+  for (int v = 1; v < 256; ++v) {
+    row[static_cast<std::size_t>(v)] =
+        t.exp_[static_cast<std::size_t>(t.log_[static_cast<std::size_t>(v)]) + log_c];
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_slice(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src, std::uint8_t c) {
+  assert(dst.size() == src.size());
+  if (c == 0) {
+    for (auto& b : dst) b = 0;
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+    return;
+  }
+  const auto& t = tables();
+  const std::uint16_t log_c = t.log_[c];
+  std::array<std::uint8_t, 256> row{};
+  for (int v = 1; v < 256; ++v) {
+    row[static_cast<std::size_t>(v)] =
+        t.exp_[static_cast<std::size_t>(t.log_[static_cast<std::size_t>(v)]) + log_c];
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace spcache::gf256

@@ -1,0 +1,37 @@
+// GF(2^8) arithmetic for Reed-Solomon coding.
+//
+// The EC-Cache baseline (Section 3.2) uses a (k, n) Reed-Solomon code over
+// GF(256) — the same field as Intel ISA-L, which the paper's EC-Cache
+// implementation builds on. Field elements are bytes; addition is XOR and
+// multiplication is carried out through log/antilog tables over the AES
+// polynomial x^8 + x^4 + x^3 + x + 1 (0x11B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace spcache::gf256 {
+
+inline constexpr std::uint16_t kPolynomial = 0x11B;
+
+// Addition and subtraction coincide in characteristic 2.
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+constexpr std::uint8_t sub(std::uint8_t a, std::uint8_t b) { return a ^ b; }
+
+// Table-based multiply/divide/inverse. div(a, 0) and inv(0) are undefined
+// (assert in debug builds).
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+std::uint8_t inv(std::uint8_t a);
+
+// a^e with exponentiation in the multiplicative group (0^0 == 1).
+std::uint8_t pow(std::uint8_t a, unsigned e);
+
+// Bulk shard operations used by the RS encoder/decoder:
+//   dst[i] ^= c * src[i]   (multiply-accumulate over a byte slice)
+void mul_add_slice(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
+                   std::uint8_t c);
+//   dst[i] = c * src[i]
+void mul_slice(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src, std::uint8_t c);
+
+}  // namespace spcache::gf256

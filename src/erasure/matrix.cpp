@@ -1,0 +1,94 @@
+#include "erasure/matrix.h"
+
+#include <cassert>
+
+#include "erasure/gf256.h"
+
+namespace spcache {
+
+GfMatrix::GfMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+GfMatrix GfMatrix::identity(std::size_t n) {
+  GfMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+GfMatrix GfMatrix::cauchy(std::size_t rows, std::size_t cols) {
+  assert(rows + cols <= 256);
+  GfMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const auto x = static_cast<std::uint8_t>(i);
+      const auto y = static_cast<std::uint8_t>(rows + j);
+      m.at(i, j) = gf256::inv(gf256::add(x, y));
+    }
+  }
+  return m;
+}
+
+GfMatrix GfMatrix::multiply(const GfMatrix& other) const {
+  assert(cols_ == other.rows_);
+  GfMatrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::uint8_t a = at(i, k);
+      if (a == 0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) = gf256::add(out.at(i, j), gf256::mul(a, other.at(k, j)));
+      }
+    }
+  }
+  return out;
+}
+
+GfMatrix GfMatrix::select_rows(const std::vector<std::size_t>& indices) const {
+  GfMatrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < rows_);
+    for (std::size_t j = 0; j < cols_; ++j) out.at(i, j) = at(indices[i], j);
+  }
+  return out;
+}
+
+std::optional<GfMatrix> GfMatrix::inverse() const {
+  assert(rows_ == cols_);
+  const std::size_t n = rows_;
+  GfMatrix work = *this;
+  GfMatrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find a pivot.
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return std::nullopt;  // singular
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(work.at(pivot, j), work.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t p = work.at(col, col);
+    if (p != 1) {
+      const std::uint8_t pinv = gf256::inv(p);
+      for (std::size_t j = 0; j < n; ++j) {
+        work.at(col, j) = gf256::mul(work.at(col, j), pinv);
+        inv.at(col, j) = gf256::mul(inv.at(col, j), pinv);
+      }
+    }
+    // Eliminate the column from all other rows.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        work.at(r, j) = gf256::add(work.at(r, j), gf256::mul(factor, work.at(col, j)));
+        inv.at(r, j) = gf256::add(inv.at(r, j), gf256::mul(factor, inv.at(col, j)));
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace spcache

@@ -1,0 +1,48 @@
+// Dense matrices over GF(256), used to build and invert Reed-Solomon
+// encoding matrices.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace spcache {
+
+class GfMatrix {
+ public:
+  GfMatrix() = default;
+  GfMatrix(std::size_t rows, std::size_t cols);
+
+  static GfMatrix identity(std::size_t n);
+
+  // Cauchy matrix C[i][j] = 1 / (x_i + y_j) with x_i = i and y_j = rows + j
+  // (all distinct in GF(256); requires rows + cols <= 256). Every square
+  // submatrix of a Cauchy matrix is nonsingular, which makes the systematic
+  // code [I ; C] MDS.
+  static GfMatrix cauchy(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::uint8_t at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  std::uint8_t& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+
+  const std::uint8_t* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  GfMatrix multiply(const GfMatrix& other) const;
+
+  // Select a subset of rows, in the given order.
+  GfMatrix select_rows(const std::vector<std::size_t>& indices) const;
+
+  // Gauss-Jordan inverse; nullopt if singular. Requires a square matrix.
+  std::optional<GfMatrix> inverse() const;
+
+  bool operator==(const GfMatrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace spcache

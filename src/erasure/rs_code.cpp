@@ -1,0 +1,167 @@
+#include "erasure/rs_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "erasure/gf256.h"
+
+namespace spcache {
+
+ReedSolomon::ReedSolomon(std::size_t k, std::size_t n) : k_(k), n_(n), generator_(n, k) {
+  if (k < 1 || n < k || n > 256) {
+    throw std::invalid_argument("ReedSolomon: require 1 <= k <= n <= 256");
+  }
+  const GfMatrix parity = GfMatrix::cauchy(n - k, k);
+  for (std::size_t i = 0; i < k; ++i) generator_.at(i, i) = 1;
+  for (std::size_t i = 0; i < n - k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) generator_.at(k + i, j) = parity.at(i, j);
+  }
+}
+
+std::vector<Shard> ReedSolomon::encode(std::span<const std::uint8_t> data) const {
+  const std::size_t len = shard_size(data.size());
+  std::vector<Shard> shards(n_);
+  // Data shards: contiguous slices, zero-padded at the end.
+  for (std::size_t i = 0; i < k_; ++i) {
+    shards[i].index = i;
+    shards[i].bytes.assign(len, 0);
+    const std::size_t offset = i * len;
+    if (offset < data.size()) {
+      const std::size_t count = std::min(len, data.size() - offset);
+      std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(offset), count,
+                  shards[i].bytes.begin());
+    }
+  }
+  // Parity shards.
+  for (std::size_t p = 0; p < n_ - k_; ++p) {
+    auto& shard = shards[k_ + p];
+    shard.index = k_ + p;
+    shard.bytes.assign(len, 0);
+    for (std::size_t j = 0; j < k_; ++j) {
+      gf256::mul_add_slice(shard.bytes, shards[j].bytes, generator_.at(k_ + p, j));
+    }
+  }
+  return shards;
+}
+
+std::vector<Shard> ReedSolomon::encode_parity(
+    const std::vector<std::span<const std::uint8_t>>& data) const {
+  if (data.size() != k_) throw std::invalid_argument("encode_parity: need exactly k data shards");
+  const std::size_t len = data.front().size();
+  for (const auto& d : data) {
+    if (d.size() != len) throw std::invalid_argument("encode_parity: shard length mismatch");
+  }
+  std::vector<Shard> parity(n_ - k_);
+  for (std::size_t p = 0; p < n_ - k_; ++p) {
+    parity[p].index = k_ + p;
+    parity[p].bytes.assign(len, 0);
+    for (std::size_t j = 0; j < k_; ++j) {
+      gf256::mul_add_slice(parity[p].bytes, data[j], generator_.at(k_ + p, j));
+    }
+  }
+  return parity;
+}
+
+std::vector<std::uint8_t> ReedSolomon::decode(const std::vector<Shard>& shards,
+                                              std::size_t original_size) const {
+  if (shards.size() < k_) throw std::invalid_argument("decode: need at least k shards");
+  const std::size_t len = shard_size(original_size);
+
+  // Validate every supplied shard before touching any of them.
+  std::vector<bool> seen(n_, false);
+  for (const auto& s : shards) {
+    if (s.index >= n_) throw std::invalid_argument("decode: shard index out of range");
+    if (s.bytes.size() != len) throw std::invalid_argument("decode: shard length mismatch");
+    if (seen[s.index]) throw std::invalid_argument("decode: duplicate shard index");
+    seen[s.index] = true;
+  }
+
+  // Pick the first k shards, preferring data shards (cheap path).
+  std::vector<const Shard*> chosen;
+  for (const auto& s : shards) {
+    if (chosen.size() == k_) break;
+    if (s.index < k_) chosen.push_back(&s);
+  }
+  for (const auto& s : shards) {
+    if (chosen.size() == k_) break;
+    if (s.index >= k_) chosen.push_back(&s);
+  }
+  if (chosen.size() < k_) throw std::invalid_argument("decode: need k distinct shards");
+
+  // Fast path: all k data shards present — concatenate.
+  const bool all_data = std::all_of(chosen.begin(), chosen.end(),
+                                    [this](const Shard* s) { return s->index < k_; });
+  std::vector<std::vector<std::uint8_t>> data_shards(k_);
+  if (all_data) {
+    for (const Shard* s : chosen) data_shards[s->index] = s->bytes;
+  } else {
+    // Invert the k x k submatrix of the generator given by the chosen rows.
+    std::vector<std::size_t> rows;
+    rows.reserve(k_);
+    for (const Shard* s : chosen) rows.push_back(s->index);
+    const auto inv = generator_.select_rows(rows).inverse();
+    assert(inv.has_value() && "Cauchy construction guarantees invertibility");
+    // data_j = sum_i inv[j][i] * chosen_i
+    for (std::size_t j = 0; j < k_; ++j) {
+      data_shards[j].assign(len, 0);
+      for (std::size_t i = 0; i < k_; ++i) {
+        gf256::mul_add_slice(data_shards[j], chosen[i]->bytes, inv->at(j, i));
+      }
+    }
+  }
+
+  std::vector<std::uint8_t> out;
+  out.reserve(original_size);
+  for (std::size_t j = 0; j < k_ && out.size() < original_size; ++j) {
+    const std::size_t want = std::min(len, original_size - out.size());
+    out.insert(out.end(), data_shards[j].begin(),
+               data_shards[j].begin() + static_cast<std::ptrdiff_t>(want));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> split_plain(std::span<const std::uint8_t> data,
+                                                   std::size_t k) {
+  assert(k >= 1);
+  std::vector<std::vector<std::uint8_t>> out(k);
+  const std::size_t base = data.size() / k;
+  const std::size_t extra = data.size() % k;
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    out[i].assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                  data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+    offset += len;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> split_sized(std::span<const std::uint8_t> data,
+                                                   const std::vector<Bytes>& sizes) {
+  Bytes total = 0;
+  for (Bytes s : sizes) total += s;
+  if (total != data.size()) {
+    throw std::invalid_argument("split_sized: piece sizes must sum to the data size");
+  }
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(sizes.size());
+  std::size_t offset = 0;
+  for (Bytes s : sizes) {
+    out.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                     data.begin() + static_cast<std::ptrdiff_t>(offset + s));
+    offset += s;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> join_plain(const std::vector<std::vector<std::uint8_t>>& pieces) {
+  std::size_t total = 0;
+  for (const auto& p : pieces) total += p.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  for (const auto& p : pieces) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace spcache

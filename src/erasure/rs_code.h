@@ -1,0 +1,82 @@
+// Systematic (k, n) Reed-Solomon erasure code.
+//
+// EC-Cache (Section 3.2) splits a file into k data partitions and derives
+// n - k parity partitions such that any k of the n reconstruct the file.
+// We implement the systematic Cauchy construction: the n x k generator is
+// [I_k ; C] with C a Cauchy matrix, so data shards are stored verbatim and
+// any k rows of the generator are invertible (MDS property).
+//
+// Shard layout: a file of `size` bytes is zero-padded to a multiple of k
+// and split row-wise into k equal data shards. decode() strips the padding
+// back off using the original size recorded by the caller.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "erasure/matrix.h"
+
+namespace spcache {
+
+struct Shard {
+  std::size_t index = 0;  // 0..n-1; < k means a data shard
+  std::vector<std::uint8_t> bytes;
+};
+
+class ReedSolomon {
+ public:
+  // Requires 1 <= k <= n <= 256.
+  ReedSolomon(std::size_t k, std::size_t n);
+
+  std::size_t data_shards() const { return k_; }
+  std::size_t total_shards() const { return n_; }
+  std::size_t parity_shards() const { return n_ - k_; }
+
+  // Memory overhead of the code, (n - k) / k (Section 3.2).
+  double memory_overhead() const {
+    return static_cast<double>(n_ - k_) / static_cast<double>(k_);
+  }
+
+  // Shard byte length for a file of `size` bytes: ceil(size / k).
+  std::size_t shard_size(std::size_t size) const { return (size + k_ - 1) / k_; }
+
+  // Encode a file into n shards (first k are the zero-padded data).
+  std::vector<Shard> encode(std::span<const std::uint8_t> data) const;
+
+  // Compute only the parity shards for pre-split data shards (all the same
+  // length). Used by the cluster write path, which splits first.
+  std::vector<Shard> encode_parity(
+      const std::vector<std::span<const std::uint8_t>>& data) const;
+
+  // Reconstruct the original file from any >= k distinct shards.
+  // `original_size` removes the padding. Throws std::invalid_argument on
+  // fewer than k shards, duplicate/out-of-range indices, or mismatched
+  // shard lengths.
+  std::vector<std::uint8_t> decode(const std::vector<Shard>& shards,
+                                   std::size_t original_size) const;
+
+  const GfMatrix& generator() const { return generator_; }
+
+ private:
+  std::size_t k_, n_;
+  GfMatrix generator_;  // n x k: [I ; Cauchy]
+};
+
+// Plain splitting used by SP-Cache and fixed-size chunking: divide `data`
+// into `k` near-equal contiguous pieces (no padding; the last piece may be
+// shorter). Reassembly is concatenation.
+std::vector<std::vector<std::uint8_t>> split_plain(std::span<const std::uint8_t> data,
+                                                   std::size_t k);
+
+// Split into contiguous pieces of the exact given sizes (must sum to
+// data.size(); throws std::invalid_argument otherwise). Used by the
+// heterogeneous extension, whose piece sizes follow server bandwidths.
+std::vector<std::vector<std::uint8_t>> split_sized(std::span<const std::uint8_t> data,
+                                                   const std::vector<Bytes>& sizes);
+
+std::vector<std::uint8_t> join_plain(const std::vector<std::vector<std::uint8_t>>& pieces);
+
+}  // namespace spcache

@@ -1,0 +1,38 @@
+#include "math/convex.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace spcache {
+
+MinimizeResult golden_section_minimize(const std::function<double(double)>& f, double lo,
+                                       double hi, double tol, int max_iter) {
+  assert(lo <= hi);
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+  double a = lo, b = hi;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = f(c);
+  double fd = f(d);
+  int iter = 0;
+  while ((b - a) > tol && iter < max_iter) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = f(d);
+    }
+    ++iter;
+  }
+  const double x = 0.5 * (a + b);
+  return MinimizeResult{x, f(x), iter};
+}
+
+}  // namespace spcache

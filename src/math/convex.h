@@ -1,0 +1,25 @@
+// One-dimensional convex minimization.
+//
+// The paper solves the fork-join latency bound (Eq. 9) — a convex program
+// in one auxiliary scalar z — with CVXPY. We replace that dependency with
+// golden-section search, which converges linearly on any unimodal (in
+// particular, convex) function and needs only function evaluations.
+#pragma once
+
+#include <functional>
+
+namespace spcache {
+
+struct MinimizeResult {
+  double x = 0.0;  // argmin
+  double fx = 0.0; // minimum value
+  int iterations = 0;
+};
+
+// Golden-section search for the minimum of a unimodal `f` on [lo, hi].
+// Terminates when the bracket is narrower than `tol` (absolute) or after
+// `max_iter` shrink steps.
+MinimizeResult golden_section_minimize(const std::function<double(double)>& f, double lo,
+                                       double hi, double tol = 1e-9, int max_iter = 200);
+
+}  // namespace spcache

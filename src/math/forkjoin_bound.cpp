@@ -1,0 +1,46 @@
+#include "math/forkjoin_bound.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace spcache {
+
+double fork_join_objective(const std::vector<QueueStat>& stats, double z) {
+  double obj = z;
+  for (const auto& q : stats) {
+    const double d = q.mean - z;
+    obj += 0.5 * d + 0.5 * std::sqrt(d * d + q.variance);
+  }
+  return obj;
+}
+
+double fork_join_upper_bound(const std::vector<QueueStat>& stats) {
+  assert(!stats.empty());
+  if (stats.size() == 1) {
+    // With one branch the max is the branch itself; the infimum of the
+    // objective as z -> -inf is exactly E[Q].
+    return stats[0].mean;
+  }
+  // Bracket the minimizer. The objective's derivative is
+  //   1 - m/2 + 1/2 sum (z - E_s)/sqrt((z-E_s)^2 + V_s),
+  // which is negative for z far below min(E) (m >= 2) and positive for z far
+  // above max(E), so the minimizer lies within a few standard deviations of
+  // the means.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double max_sd = 0.0;
+  for (const auto& q : stats) {
+    lo = std::min(lo, q.mean);
+    hi = std::max(hi, q.mean);
+    max_sd = std::max(max_sd, std::sqrt(std::max(0.0, q.variance)));
+  }
+  const double pad = 10.0 * (max_sd + (hi - lo)) + 1e-9;
+  const double tol = std::max(1e-12, 1e-10 * (hi + pad - (lo - pad)));
+  const auto res = golden_section_minimize(
+      [&stats](double z) { return fork_join_objective(stats, z); }, lo - pad, hi + pad, tol);
+  return res.fx;
+}
+
+}  // namespace spcache

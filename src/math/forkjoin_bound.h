@@ -1,0 +1,33 @@
+// Split-merge / fork-join mean-latency upper bound (paper Eq. 9).
+//
+// A file read forks into one partition read per hosting server and joins on
+// the slowest. Following Xiang et al. ("Joint latency and cost optimization
+// for erasure-coded data center storage", Lemma 2), the mean of the maximum
+// of the per-server sojourn times Q_{i,s} is upper-bounded by
+//
+//   T_i <= min_z  z + sum_s 1/2 (E[Q_{i,s}] - z)
+//                   + sum_s 1/2 sqrt( (E[Q_{i,s}] - z)^2 + Var[Q_{i,s}] )
+//
+// which is convex in the scalar z and is minimized here by golden-section
+// search. For a single server the bound tightens to exactly E[Q].
+#pragma once
+
+#include <vector>
+
+#include "math/convex.h"
+
+namespace spcache {
+
+struct QueueStat {
+  double mean = 0.0;      // E[Q_{i,s}]
+  double variance = 0.0;  // Var[Q_{i,s}]
+};
+
+// Evaluate the objective of Eq. 9 at a fixed z (exposed for tests, which
+// verify convexity and the analytic derivative sign structure).
+double fork_join_objective(const std::vector<QueueStat>& stats, double z);
+
+// The bound itself: min over z of the objective.
+double fork_join_upper_bound(const std::vector<QueueStat>& stats);
+
+}  // namespace spcache

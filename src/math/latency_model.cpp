@@ -1,0 +1,66 @@
+#include "math/latency_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "math/forkjoin_bound.h"
+
+namespace spcache {
+
+LatencyBoundResult fork_join_latency_bound(const LatencyModelInput& input) {
+  const std::size_t n_servers = input.bandwidth.size();
+  LatencyBoundResult result;
+  result.per_file_bound.assign(input.files.size(), 0.0);
+  result.utilization.assign(n_servers, 0.0);
+
+  // Pass 1: per-server service classes.
+  std::vector<std::vector<ServiceClass>> classes(n_servers);
+  for (const auto& f : input.files) {
+    for (std::uint32_t s : f.servers) {
+      assert(s < n_servers);
+      classes[s].push_back(ServiceClass{
+          f.lambda, f.partition_bytes / input.bandwidth[s] + f.extra_service_seconds});
+    }
+  }
+  std::vector<Mg1Server> servers(n_servers);
+  for (std::size_t s = 0; s < n_servers; ++s) {
+    servers[s] = aggregate_server(classes[s]);
+    result.utilization[s] = servers[s].rho;
+    if (!servers[s].stable()) result.stable = false;
+  }
+
+  // Pass 2: per-file fork-join bounds and the weighted system bound. An
+  // unstable server makes the bound of every file it hosts (and hence the
+  // system bound) infinite.
+  double total_lambda = 0.0;
+  for (const auto& f : input.files) total_lambda += f.lambda;
+
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < input.files.size(); ++i) {
+    const auto& f = input.files[i];
+    if (f.lambda <= 0.0 || f.servers.empty()) continue;
+    bool file_stable = true;
+    std::vector<QueueStat> stats;
+    stats.reserve(f.servers.size());
+    for (std::uint32_t s : f.servers) {
+      if (!servers[s].stable()) {
+        file_stable = false;
+        break;
+      }
+      const double m = f.partition_bytes / input.bandwidth[s] + f.extra_service_seconds;
+      stats.push_back(QueueStat{mg1_sojourn_mean(servers[s], m),
+                                mg1_sojourn_variance(servers[s], m)});
+    }
+    const double bound =
+        file_stable
+            ? std::max(fork_join_upper_bound(stats), f.floor_seconds) + f.client_overhead_seconds
+            : std::numeric_limits<double>::infinity();
+    result.per_file_bound[i] = bound;
+    if (total_lambda > 0.0) weighted += f.lambda / total_lambda * bound;
+  }
+  result.mean_bound = weighted;
+  return result;
+}
+
+}  // namespace spcache

@@ -1,0 +1,56 @@
+// System-level mean-latency bound: wires the M/G/1 per-server model and the
+// fork-join bound together (paper Section 5.3 "Summary").
+//
+// Input: for each file, its arrival rate lambda_i, partition size
+// S_i / k_i, and the set of servers C holding its partitions; per-server
+// network bandwidth B_s. Output: the per-file latency bounds T_hat_i
+// (Eq. 9), the popularity-weighted system bound T_bar (Eq. 8), and the
+// per-server utilizations (stability diagnostics).
+//
+// This module is deliberately independent of src/core: the caching schemes
+// produce a `LatencyModelInput` via a thin adapter, which keeps the analytic
+// machinery reusable (e.g. the tests drive it with hand-built placements).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/mg1.h"
+
+namespace spcache {
+
+struct LatencyModelInput {
+  // B_s for each server, bytes/second.
+  std::vector<double> bandwidth;
+
+  struct FileEntry {
+    double lambda = 0.0;          // request rate of the file, req/s
+    double partition_bytes = 0.0; // S_i / k_i
+    // Fixed per-fetch service cost (TCP/RPC setup) added to the transfer
+    // time at every server; prices the connection overhead of
+    // over-partitioning (Sections 4.2/5.3 "networking overhead").
+    double extra_service_seconds = 0.0;
+    // Client-side lower bound on the read latency (NIC aggregation limit);
+    // the per-file bound is max(fork-join bound, floor_seconds).
+    double floor_seconds = 0.0;
+    // Serialized client-side cost of issuing this file's fetches, added on
+    // top of the (floored) fork-join bound.
+    double client_overhead_seconds = 0.0;
+    std::vector<std::uint32_t> servers;  // distinct servers holding partitions
+  };
+  std::vector<FileEntry> files;
+};
+
+struct LatencyBoundResult {
+  // T_hat_i per file. Files with zero lambda get bound 0.
+  std::vector<double> per_file_bound;
+  // Popularity-weighted system bound T_bar (Eq. 8).
+  double mean_bound = 0.0;
+  // Per-server utilization rho_s; stable iff all < 1.
+  std::vector<double> utilization;
+  bool stable = true;
+};
+
+LatencyBoundResult fork_join_latency_bound(const LatencyModelInput& input);
+
+}  // namespace spcache

@@ -1,0 +1,47 @@
+#include "math/mg1.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace spcache {
+
+Mg1Server aggregate_server(const std::vector<ServiceClass>& classes) {
+  Mg1Server s;
+  for (const auto& c : classes) {
+    assert(c.lambda >= 0.0 && c.mean_service >= 0.0);
+    s.lambda += c.lambda;
+  }
+  if (s.lambda <= 0.0) return s;
+  for (const auto& c : classes) {
+    const double w = c.lambda / s.lambda;
+    const double m = c.mean_service;
+    s.mu += w * m;
+    s.gamma2 += w * 2.0 * m * m;      // Eq. 12: exponential second moment
+    s.gamma3 += w * 6.0 * m * m * m;  // Eq. 13: exponential third moment
+  }
+  s.rho = s.lambda * s.mu;
+  return s;
+}
+
+double mg1_sojourn_mean(const Mg1Server& s, double service_mean) {
+  assert(s.stable());
+  const double wait = s.lambda * s.gamma2 / (2.0 * (1.0 - s.rho));
+  return service_mean + wait;  // Eq. 10
+}
+
+double mg1_sojourn_variance(const Mg1Server& s, double service_mean) {
+  assert(s.stable());
+  const double one_minus_rho = 1.0 - s.rho;
+  const double term_service = service_mean * service_mean;  // Var of Exp(mean)
+  const double term_wait3 = s.lambda * s.gamma3 / (3.0 * one_minus_rho);
+  const double term_wait2 =
+      s.lambda * s.lambda * s.gamma2 * s.gamma2 / (4.0 * one_minus_rho * one_minus_rho);
+  return term_service + term_wait3 + term_wait2;  // Eq. 11
+}
+
+double mm1_sojourn_mean(double lambda, double service_rate) {
+  assert(service_rate > lambda);
+  return 1.0 / (service_rate - lambda);
+}
+
+}  // namespace spcache

@@ -1,0 +1,55 @@
+// M/G/1 FIFO queue formulas (paper Section 5.3, Eqs. 5-6 and 10-13).
+//
+// Each cache server s is modelled as an M/G/1 queue whose service time is a
+// popularity-weighted mixture of exponentials: a read of file i's partition
+// takes Exp(mean = (S_i/k_i)/B_s). The Pollaczek-Khinchin transform then
+// gives the mean and variance of the sojourn time Q_{i,s} (queueing +
+// service) experienced by file i's partition read:
+//
+//   E[Q_{i,s}]   = S_i/(k_i B_s) + Lambda_s Gamma2_s / (2 (1 - rho_s))      (10)
+//   Var[Q_{i,s}] = (S_i/(k_i B_s))^2 + Lambda_s Gamma3_s / (3 (1 - rho_s))
+//                  + Lambda_s^2 Gamma2_s^2 / (4 (1 - rho_s)^2)              (11)
+//
+// where Gamma2/Gamma3 are the second/third moments of the server's service
+// time (Eqs. 12-13) and rho_s = Lambda_s * mu_s its utilization.
+#pragma once
+
+#include <vector>
+
+namespace spcache {
+
+// One file class at a server: arrival rate of partition reads and the mean
+// transfer (service) time of one partition.
+struct ServiceClass {
+  double lambda = 0.0;        // partition-read arrival rate at this server
+  double mean_service = 0.0;  // S_i / (k_i * B_s), seconds
+};
+
+// Aggregated server-level quantities (Eqs. 5, 6, 12, 13).
+struct Mg1Server {
+  double lambda = 0.0;  // Lambda_s: total arrival rate
+  double mu = 0.0;      // mean service time (popularity-weighted), Eq. 6
+  double gamma2 = 0.0;  // E[X^2] of service time, Eq. 12
+  double gamma3 = 0.0;  // E[X^3] of service time, Eq. 13
+  double rho = 0.0;     // utilization Lambda_s * mu
+
+  bool stable() const { return rho < 1.0; }
+};
+
+// Build server-level moments from its file classes. Each class's service
+// time is exponential with the given mean, so E[X^2] = 2 m^2, E[X^3] = 6 m^3
+// per class, mixed with weights lambda_i / Lambda_s.
+Mg1Server aggregate_server(const std::vector<ServiceClass>& classes);
+
+// Mean sojourn time of a class with mean service `service_mean` at server
+// `s` (Eq. 10). Requires s.stable().
+double mg1_sojourn_mean(const Mg1Server& s, double service_mean);
+
+// Variance of the sojourn time (Eq. 11). Requires s.stable().
+double mg1_sojourn_variance(const Mg1Server& s, double service_mean);
+
+// Classic M/M/1 sanity references used by the test suite: mean sojourn
+// W = 1 / (mu_rate - lambda) for service *rate* mu_rate.
+double mm1_sojourn_mean(double lambda, double service_rate);
+
+}  // namespace spcache

@@ -1,0 +1,121 @@
+#include "math/scale_factor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "math/latency_model.h"
+
+namespace spcache {
+
+std::vector<std::size_t> partition_counts_for_alpha(const Catalog& catalog, double alpha,
+                                                    std::size_t n_servers) {
+  assert(alpha > 0.0 && n_servers > 0);
+  std::vector<std::size_t> k(catalog.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const double load = catalog.load(static_cast<FileId>(i));
+    const double raw = std::ceil(alpha * load);
+    k[i] = std::clamp<std::size_t>(raw <= 1.0 ? 1 : static_cast<std::size_t>(raw), 1, n_servers);
+  }
+  return k;
+}
+
+namespace {
+
+LatencyModelInput build_input(const Catalog& catalog, const std::vector<double>& bandwidth,
+                              const std::vector<std::size_t>& k,
+                              const ScaleFactorConfig& config, std::uint64_t placement_seed) {
+  LatencyModelInput input;
+  input.bandwidth = bandwidth;
+  input.files.resize(catalog.size());
+  const std::size_t n_servers = bandwidth.size();
+  double mean_bw = 0.0;
+  for (double b : bandwidth) mean_bw += b;
+  mean_bw /= static_cast<double>(bandwidth.size());
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const auto& f = catalog.file(static_cast<FileId>(i));
+    auto& entry = input.files[i];
+    entry.lambda = f.request_rate;
+    // Effective per-partition transfer bytes, inflated by the goodput loss
+    // of k_i parallel connections (see ScaleFactorConfig::goodput), plus
+    // the fixed per-fetch setup cost.
+    entry.partition_bytes =
+        static_cast<double>(f.size) / static_cast<double>(k[i]) / config.goodput.factor(k[i]);
+    entry.extra_service_seconds = config.fetch_overhead;
+    // Client NIC floor: aggregate multi-stream throughput caps at
+    // client_parallel_streams links, degraded by incast goodput.
+    const double streams = std::min(static_cast<double>(k[i]), config.client_parallel_streams);
+    entry.floor_seconds = static_cast<double>(f.size) /
+                          (streams * mean_bw * config.goodput.factor(k[i]));
+    entry.client_overhead_seconds =
+        config.client_setup_per_fetch * static_cast<double>(k[i]);
+    // Per-file deterministic placement: the partial Fisher-Yates sampler
+    // returns a prefix-stable sample, so k -> k+1 keeps the first k servers.
+    Rng file_rng(placement_seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(i) + 1)));
+    const auto servers = file_rng.sample_without_replacement(n_servers, k[i]);
+    entry.servers.reserve(servers.size());
+    for (std::size_t s : servers) entry.servers.push_back(static_cast<std::uint32_t>(s));
+  }
+  return input;
+}
+
+}  // namespace
+
+double latency_bound_for_alpha(const Catalog& catalog, const std::vector<double>& bandwidth,
+                               double alpha, const ScaleFactorConfig& config,
+                               std::uint64_t placement_seed) {
+  const auto k = partition_counts_for_alpha(catalog, alpha, bandwidth.size());
+  const auto input = build_input(catalog, bandwidth, k, config, placement_seed);
+  return fork_join_latency_bound(input).mean_bound;
+}
+
+ScaleFactorResult find_scale_factor(const Catalog& catalog, const std::vector<double>& bandwidth,
+                                    const ScaleFactorConfig& config, Rng& rng) {
+  assert(!catalog.empty() && !bandwidth.empty());
+  const std::size_t n_servers = bandwidth.size();
+
+  ScaleFactorResult result;
+  const double max_load = catalog.max_load();
+  assert(max_load > 0.0);
+  // alpha^1: hottest file split into N * initial_fraction partitions.
+  double alpha = static_cast<double>(n_servers) * config.initial_fraction / max_load;
+
+  // Algorithm 1 line 3 draws the random placement ONCE, outside the loop;
+  // re-placing per iteration would inject >1% noise into the improvement
+  // test and the search would never converge. We re-derive each iteration's
+  // placement from the same seed so successive iterations differ only
+  // through the partition counts.
+  const std::uint64_t placement_seed = rng.next_u64();
+  double best_alpha = alpha;
+  double best_bound = std::numeric_limits<double>::infinity();
+  std::size_t stale = 0;
+  for (std::size_t t = 1; t <= config.max_iterations; ++t) {
+    const double bound =
+        latency_bound_for_alpha(catalog, bandwidth, alpha, config, placement_seed);
+    result.history.emplace_back(alpha, bound);
+    result.iterations = t;
+    if (bound < best_bound * (1.0 - config.improvement_threshold)) {
+      best_bound = bound;
+      best_alpha = alpha;
+      stale = 0;
+    } else if (std::isfinite(bound) && std::isfinite(best_bound)) {
+      // An infinite bound (overloaded server at this alpha) neither improves
+      // nor counts against patience: keep inflating until the system is
+      // stable, then apply the improvement test.
+      ++stale;
+      if (stale >= config.patience || bound > best_bound * config.divergence_factor) break;
+    }
+    // Saturation: every file already spans all N servers; larger alphas are
+    // indistinguishable.
+    const auto k = partition_counts_for_alpha(catalog, alpha, n_servers);
+    if (std::all_of(k.begin(), k.end(), [&](std::size_t ki) { return ki == n_servers; })) break;
+    alpha *= config.inflation;
+  }
+  result.alpha = best_alpha;
+  result.bound = best_bound;
+  result.partition_counts = partition_counts_for_alpha(catalog, result.alpha, n_servers);
+  return result;
+}
+
+}  // namespace spcache

@@ -1,0 +1,95 @@
+#include "math/variance.h"
+
+#include <cassert>
+
+namespace spcache {
+
+double sp_load_variance(const Catalog& catalog, const std::vector<std::size_t>& k,
+                        std::size_t n_servers) {
+  assert(k.size() == catalog.size());
+  const auto N = static_cast<double>(n_servers);
+  double var = 0.0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const double load = catalog.load(static_cast<FileId>(i));
+    const auto ki = static_cast<double>(k[i]);
+    const double p = ki / N;
+    const double per_partition = load / ki;
+    var += per_partition * per_partition * p * (1.0 - p);
+  }
+  return var;
+}
+
+double ec_load_variance(const Catalog& catalog, std::size_t k_ec, std::size_t n_servers) {
+  const auto N = static_cast<double>(n_servers);
+  const auto k = static_cast<double>(k_ec);
+  const double p = (k + 1.0) / N;
+  double var = 0.0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const double load = catalog.load(static_cast<FileId>(i));
+    const double per_partition = load / k;
+    var += per_partition * per_partition * p * (1.0 - p);
+  }
+  return var;
+}
+
+double theorem1_asymptotic_ratio(const Catalog& catalog, double alpha, std::size_t k_ec) {
+  double sum_l = 0.0, sum_l2 = 0.0;
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    const double load = catalog.load(static_cast<FileId>(i));
+    sum_l += load;
+    sum_l2 += load * load;
+  }
+  if (sum_l <= 0.0) return 0.0;
+  return alpha / static_cast<double>(k_ec) * sum_l2 / sum_l;
+}
+
+double monte_carlo_sp_variance(const Catalog& catalog, const std::vector<std::size_t>& k,
+                               std::size_t n_servers, std::size_t trials, Rng& rng) {
+  assert(k.size() == catalog.size());
+  // Server 0 is representative by exchangeability; a file contributes
+  // L_i / k_i iff one of its k_i partitions lands on server 0, which
+  // happens with probability k_i / N per placement. Sampling a Bernoulli
+  // directly is equivalent to materializing the placement.
+  double sum = 0.0, sum2 = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    double x = 0.0;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      const double p = static_cast<double>(k[i]) / static_cast<double>(n_servers);
+      if (rng.bernoulli(p)) {
+        x += catalog.load(static_cast<FileId>(i)) / static_cast<double>(k[i]);
+      }
+    }
+    sum += x;
+    sum2 += x * x;
+  }
+  const auto n = static_cast<double>(trials);
+  const double mean = sum / n;
+  return sum2 / n - mean * mean;
+}
+
+double monte_carlo_ec_variance(const Catalog& catalog, std::size_t k_ec, std::size_t n_ec,
+                               std::size_t n_servers, std::size_t trials, Rng& rng) {
+  assert(n_ec >= k_ec + 1 && n_servers >= n_ec);
+  // Two-stage event per file: server 0 hosts one of the n_ec partitions
+  // w.p. n_ec/N; given hosting, the late-binding read of k_ec+1 partitions
+  // selects it w.p. (k_ec+1)/n_ec. Combined Bernoulli((k_ec+1)/N), matching
+  // the proof of Theorem 1.
+  const double p_host = static_cast<double>(n_ec) / static_cast<double>(n_servers);
+  const double p_read = static_cast<double>(k_ec + 1) / static_cast<double>(n_ec);
+  double sum = 0.0, sum2 = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    double x = 0.0;
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      if (rng.bernoulli(p_host) && rng.bernoulli(p_read)) {
+        x += catalog.load(static_cast<FileId>(i)) / static_cast<double>(k_ec);
+      }
+    }
+    sum += x;
+    sum2 += x * x;
+  }
+  const auto n = static_cast<double>(trials);
+  const double mean = sum / n;
+  return sum2 / n - mean * mean;
+}
+
+}  // namespace spcache

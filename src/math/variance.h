@@ -1,0 +1,47 @@
+// Theorem 1: load-balance comparison of SP-Cache vs. EC-Cache.
+//
+// The per-server load X is a sum over files of a_i * L_i / k_i where a_i
+// indicates whether the file's request touches this server. Theorem 1 shows
+//
+//   Var(X^EC) / Var(X^SP)  ->  (alpha / k_EC) * (sum_i L_i^2) / (sum_i L_i)
+//
+// as the cluster grows. This module provides the closed-form finite-N
+// variances from the proof, the asymptotic ratio of Eq. 2, and a Monte
+// Carlo estimator over random placements used to validate both.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+
+// Exact finite-N variance of the per-server load under SP-Cache with the
+// given partition counts k_i (from Eq. 1):
+//   Var(X^SP) = sum_i (L_i / k_i)^2 * (k_i/N) * (1 - k_i/N).
+double sp_load_variance(const Catalog& catalog, const std::vector<std::size_t>& k,
+                        std::size_t n_servers);
+
+// Exact finite-N variance under EC-Cache with a (k, n) code and k+1 late
+// binding:
+//   Var(X^EC) = sum_i (L_i / k)^2 * ((k+1)/N) * (1 - (k+1)/N).
+double ec_load_variance(const Catalog& catalog, std::size_t k_ec, std::size_t n_servers);
+
+// Asymptotic ratio of Eq. 2: (alpha / k_EC) * sum L_i^2 / sum L_i.
+double theorem1_asymptotic_ratio(const Catalog& catalog, double alpha, std::size_t k_ec);
+
+// Monte Carlo estimate of Var(X) for SP-Cache: draw `trials` random
+// placements (k_i distinct servers each), accumulate the load seen by
+// server 0 (all servers are exchangeable), and return the sample variance.
+double monte_carlo_sp_variance(const Catalog& catalog, const std::vector<std::size_t>& k,
+                               std::size_t n_servers, std::size_t trials, Rng& rng);
+
+// Monte Carlo estimate for EC-Cache: each file has n_ec partitions placed on
+// distinct servers; a request reads k_ec + 1 of them chosen uniformly
+// (late binding), each fetched partition contributing L_i / k_ec of load.
+double monte_carlo_ec_variance(const Catalog& catalog, std::size_t k_ec, std::size_t n_ec,
+                               std::size_t n_servers, std::size_t trials, Rng& rng);
+
+}  // namespace spcache

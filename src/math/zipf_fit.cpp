@@ -1,0 +1,48 @@
+#include "math/zipf_fit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/convex.h"
+
+namespace spcache {
+
+ZipfFit fit_zipf(const std::vector<std::uint64_t>& access_counts, double max_exponent) {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(access_counts.size());
+  for (auto c : access_counts) {
+    if (c > 0) counts.push_back(c);
+  }
+  if (counts.size() < 2) {
+    throw std::invalid_argument("fit_zipf: need at least two files with positive counts");
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  const std::size_t n = counts.size();
+
+  // log-likelihood of Zipf(s) over ranks 1..n:
+  //   logL(s) = -s * sum_r c_r ln r  -  (sum_r c_r) * ln H_n(s),
+  // concave in s (one-parameter exponential family), so golden-section on
+  // the negation finds the MLE.
+  double total = 0.0, weighted_log_rank = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += static_cast<double>(counts[r]);
+    weighted_log_rank += static_cast<double>(counts[r]) * std::log(static_cast<double>(r + 1));
+  }
+  auto log_likelihood = [&](double s) {
+    double harmonic = 0.0;
+    for (std::size_t r = 1; r <= n; ++r) harmonic += std::pow(static_cast<double>(r), -s);
+    return -s * weighted_log_rank - total * std::log(harmonic);
+  };
+  const auto res =
+      golden_section_minimize([&](double s) { return -log_likelihood(s); }, 0.0, max_exponent,
+                              1e-6);
+  ZipfFit fit;
+  fit.exponent = res.x;
+  fit.log_likelihood = -res.fx;
+  fit.ranks = n;
+  return fit;
+}
+
+}  // namespace spcache

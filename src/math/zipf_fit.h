@@ -1,0 +1,29 @@
+// Zipf exponent estimation from observed access counts.
+//
+// Production operators rarely know their workload's skew parameter; the
+// paper simply *assumes* Zipf(1.05-1.1) based on prior measurements. This
+// fitter closes the loop for real deployments: given per-file access
+// counts (e.g. the SP-Master's window counters), it estimates the exponent
+// s of p_r proportional to r^{-s} by maximum likelihood over the rank-
+// frequency curve, so Algorithm 1 can be driven from measured skew and
+// workload drift can be monitored as a scalar.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spcache {
+
+struct ZipfFit {
+  double exponent = 0.0;        // MLE of s
+  double log_likelihood = 0.0;  // at the optimum
+  std::size_t ranks = 0;        // number of nonzero-count files used
+};
+
+// Fit Zipf(s) over ranks 1..n to the given access counts (order
+// irrelevant; counts are sorted internally; zero counts are dropped).
+// Requires at least two files with positive counts and searches s in
+// [0, max_exponent].
+ZipfFit fit_zipf(const std::vector<std::uint64_t>& access_counts, double max_exponent = 4.0);
+
+}  // namespace spcache

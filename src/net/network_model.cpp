@@ -1,0 +1,54 @@
+#include "net/network_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace spcache {
+
+double GoodputModel::factor(std::size_t connections) const {
+  assert(connections >= 1);
+  const auto c = static_cast<double>(connections);
+  const double g = 1.0 - a * std::log(c) - b * (c - 1.0);
+  return std::clamp(g, floor, 1.0);
+}
+
+GoodputModel GoodputModel::calibrated(Bandwidth link) {
+  GoodputModel m;
+  // Reference calibration at 1 Gbps; scale overhead sublinearly with link
+  // speed so slower links see a gentler decay (Fig. 6).
+  const double rel = link / gbps(1.0);
+  const double scale = std::pow(std::max(rel, 1e-3), 0.3);
+  m.a *= scale;
+  m.b *= scale;
+  return m;
+}
+
+Seconds TransferModel::mean_transfer(Bytes bytes, std::size_t connections) const {
+  const double effective = bandwidth * goodput.factor(connections);
+  return static_cast<double>(bytes) / effective;
+}
+
+Seconds TransferModel::sample(Bytes bytes, std::size_t connections, Rng& rng) const {
+  const Seconds mean = mean_transfer(bytes, connections);
+  if (!exponential_jitter || mean <= 0.0) return mean;
+  return rng.exponential(mean);
+}
+
+Seconds CodecModel::decode_time(Bytes file_bytes) const {
+  return fixed_overhead + static_cast<double>(file_bytes) / decode_bytes_per_sec;
+}
+
+Seconds CodecModel::encode_time(Bytes file_bytes) const {
+  return fixed_overhead + static_cast<double>(file_bytes) / encode_bytes_per_sec;
+}
+
+CodecModel CodecModel::compute_optimized() {
+  CodecModel m;
+  m.decode_bytes_per_sec = 1000e6;
+  m.encode_bytes_per_sec = 1400e6;
+  m.fixed_overhead = 1e-3;
+  return m;
+}
+
+}  // namespace spcache

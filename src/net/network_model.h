@@ -1,0 +1,76 @@
+// Network and codec cost models.
+//
+// Three effects dominate read/write time in the paper's evaluation:
+//
+//  1. Transfer time: a partition of b bytes over a link of bandwidth B is
+//     modelled as exponentially distributed with mean b / B (Section 5.3),
+//     matching the paper's analytic model ("to account for the possible
+//     network jitters").
+//
+//  2. Goodput degradation with connection count (Fig. 6): reading a file
+//     through c parallel TCP connections wastes protocol overhead and
+//     triggers incast, shrinking useful throughput. We model the
+//     normalized goodput as
+//
+//         g(c) = max(floor, 1 - a*ln(c) - b*(c-1)),
+//
+//     with (a, b) calibrated so that at 1 Gbps g(20) ~ 0.8 and
+//     g(100) ~ 0.6 — the paper's measured drops of 20% and 40%.
+//
+//  3. Erasure-codec cost (Fig. 4): EC-Cache decode (encode) time scales
+//     with file size; rates are calibrated so that decoding delays reads
+//     of >= 100 MB files by ~15-30% at 1 Gbps, as the paper measures with
+//     ISA-L.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace spcache {
+
+struct GoodputModel {
+  double a = 0.0582;    // logarithmic per-connection protocol overhead
+  double b = 0.001335;  // linear incast pressure
+  double floor = 0.30;  // goodput never collapses below this fraction
+
+  // Normalized goodput for `connections` parallel streams (>= 1).
+  double factor(std::size_t connections) const;
+
+  // Calibrated instance for a given link speed. Slower links amortize the
+  // per-connection overhead over longer transfers, softening the curve
+  // (paper Fig. 6: the 500 Mbps curve decays more gradually).
+  static GoodputModel calibrated(Bandwidth link);
+};
+
+// Samples partition transfer times.
+struct TransferModel {
+  Bandwidth bandwidth = gbps(1.0);
+  GoodputModel goodput{};
+  bool exponential_jitter = true;
+
+  // Mean transfer time of `bytes` when the reader holds `connections`
+  // parallel streams: bytes / (bandwidth * g(connections)).
+  Seconds mean_transfer(Bytes bytes, std::size_t connections) const;
+
+  // One sampled transfer (exponential around the mean when jitter is on).
+  Seconds sample(Bytes bytes, std::size_t connections, Rng& rng) const;
+};
+
+// Erasure-codec timing for the simulator; the real codec (src/erasure) is
+// used where actual bytes flow (threaded cluster, Fig. 22).
+struct CodecModel {
+  double decode_bytes_per_sec = 500e6;
+  double encode_bytes_per_sec = 700e6;
+  Seconds fixed_overhead = 2e-3;  // matrix inversion + dispatch
+
+  Seconds decode_time(Bytes file_bytes) const;
+  Seconds encode_time(Bytes file_bytes) const;
+
+  // A compute-optimized profile (paper Section 7.3, c4.4xlarge with AVX2):
+  // roughly 2x coding throughput.
+  static CodecModel compute_optimized();
+};
+
+}  // namespace spcache

@@ -1,0 +1,185 @@
+#include "rpc/bus.h"
+
+#include <cassert>
+
+namespace spcache::rpc {
+
+RpcNode::RpcNode(Bus& bus, NodeId id, std::string name)
+    : bus_(bus), id_(id), name_(std::move(name)) {
+  bus_.add(*this);
+}
+
+RpcNode::~RpcNode() {
+  bus_.remove(id_);
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (service_thread_.joinable()) service_thread_.join();
+  // Fail any calls still waiting for replies.
+  std::lock_guard lock(pending_mu_);
+  for (auto& [request_id, promise] : pending_) {
+    Reply reply;
+    reply.status = Status::kError;
+    const std::string msg = "rpc node shut down";
+    reply.payload.assign(msg.begin(), msg.end());
+    promise.set_value(std::move(reply));
+  }
+  pending_.clear();
+}
+
+void RpcNode::handle(MethodId method, Handler handler) {
+  assert(!started_ && "handlers must be registered before start()");
+  handlers_[method] = std::move(handler);
+}
+
+void RpcNode::start() {
+  assert(!started_);
+  started_ = true;
+  service_thread_ = std::thread([this] { service_loop(); });
+}
+
+std::future<Reply> RpcNode::call(NodeId to, MethodId method,
+                                 std::vector<std::uint8_t> payload) {
+  std::promise<Reply> promise;
+  auto future = promise.get_future();
+  std::uint64_t request_id;
+  {
+    std::lock_guard lock(pending_mu_);
+    request_id = next_request_id_++;
+    pending_.emplace(request_id, std::move(promise));
+  }
+  Envelope envelope;
+  envelope.from = id_;
+  envelope.to = to;
+  envelope.request_id = request_id;
+  envelope.is_reply = false;
+  envelope.method = method;
+  envelope.payload = std::move(payload);
+  if (!bus_.route(std::move(envelope))) {
+    std::lock_guard lock(pending_mu_);
+    const auto it = pending_.find(request_id);
+    if (it != pending_.end()) {
+      Reply reply;
+      reply.status = Status::kError;
+      const std::string msg = "no such node";
+      reply.payload.assign(msg.begin(), msg.end());
+      it->second.set_value(std::move(reply));
+      pending_.erase(it);
+    }
+  }
+  return future;
+}
+
+Reply RpcNode::call_sync(NodeId to, MethodId method, std::vector<std::uint8_t> payload,
+                         std::chrono::milliseconds timeout) {
+  auto future = call(to, method, std::move(payload));
+  if (future.wait_for(timeout) != std::future_status::ready) {
+    // Abandon the pending slot so a late reply is dropped quietly.
+    Reply reply;
+    reply.status = Status::kError;
+    const std::string msg = "rpc timeout";
+    reply.payload.assign(msg.begin(), msg.end());
+    return reply;
+  }
+  return future.get();
+}
+
+void RpcNode::deliver(Envelope envelope) {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    mailbox_.push_back(std::move(envelope));
+  }
+  cv_.notify_one();
+}
+
+void RpcNode::service_loop() {
+  for (;;) {
+    Envelope envelope;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !mailbox_.empty(); });
+      if (mailbox_.empty()) return;  // stopping with drained mailbox
+      envelope = std::move(mailbox_.front());
+      mailbox_.pop_front();
+    }
+    if (envelope.is_reply) {
+      resolve_reply(envelope);
+    } else {
+      dispatch_request(envelope);
+    }
+  }
+}
+
+void RpcNode::dispatch_request(const Envelope& envelope) {
+  Envelope reply;
+  reply.from = id_;
+  reply.to = envelope.from;
+  reply.request_id = envelope.request_id;
+  reply.is_reply = true;
+  reply.method = envelope.method;
+
+  const auto it = handlers_.find(envelope.method);
+  if (it == handlers_.end()) {
+    reply.payload.push_back(static_cast<std::uint8_t>(Status::kNoSuchMethod));
+  } else {
+    try {
+      BufferReader reader(envelope.payload);
+      auto body = it->second(reader);
+      reply.payload.reserve(body.size() + 1);
+      reply.payload.push_back(static_cast<std::uint8_t>(Status::kOk));
+      reply.payload.insert(reply.payload.end(), body.begin(), body.end());
+    } catch (const std::exception& e) {
+      reply.payload.clear();
+      reply.payload.push_back(static_cast<std::uint8_t>(Status::kError));
+      const std::string msg = e.what();
+      reply.payload.insert(reply.payload.end(), msg.begin(), msg.end());
+    }
+  }
+  bus_.route(std::move(reply));
+}
+
+void RpcNode::resolve_reply(const Envelope& envelope) {
+  std::promise<Reply> promise;
+  {
+    std::lock_guard lock(pending_mu_);
+    const auto it = pending_.find(envelope.request_id);
+    if (it == pending_.end()) return;  // timed out and abandoned
+    promise = std::move(it->second);
+    pending_.erase(it);
+  }
+  Reply reply;
+  if (envelope.payload.empty()) {
+    reply.status = Status::kError;
+  } else {
+    reply.status = static_cast<Status>(envelope.payload.front());
+    reply.payload.assign(envelope.payload.begin() + 1, envelope.payload.end());
+  }
+  promise.set_value(std::move(reply));
+}
+
+void Bus::add(RpcNode& node) {
+  std::lock_guard lock(mu_);
+  nodes_[node.id()] = &node;
+}
+
+void Bus::remove(NodeId id) {
+  std::lock_guard lock(mu_);
+  nodes_.erase(id);
+}
+
+bool Bus::route(Envelope envelope) {
+  RpcNode* target = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = nodes_.find(envelope.to);
+    if (it == nodes_.end()) return false;
+    target = it->second;
+  }
+  target->deliver(std::move(envelope));
+  return true;
+}
+
+}  // namespace spcache::rpc

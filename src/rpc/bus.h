@@ -1,0 +1,127 @@
+// In-process message bus: mailboxes, service nodes, request/reply RPC.
+//
+// The paper's system is a set of networked processes — SP-Master,
+// SP-Clients, Alluxio workers, SP-Repartitioners (Fig. 9). This module
+// gives the repository that structure without sockets: every component is
+// an `RpcNode` with its own mailbox and service thread; nodes exchange
+// length-delimited binary envelopes through a `Bus` that routes by node id.
+// Calls are asynchronous request/reply pairs matched by request id, with
+// timeouts; handlers run on the callee's service thread, so all the
+// concurrency discipline of a real deployment (no shared memory between
+// components, explicit serialization at every boundary) is exercised.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/serialize.h"
+
+namespace spcache::rpc {
+
+using NodeId = std::uint32_t;
+using MethodId = std::uint16_t;
+
+// Status byte leading every reply payload.
+enum class Status : std::uint8_t { kOk = 0, kError = 1, kNoSuchMethod = 2 };
+
+struct Envelope {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t request_id = 0;  // matches replies to calls
+  bool is_reply = false;
+  MethodId method = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// The reply to a call: status + payload (error text for non-kOk).
+struct Reply {
+  Status status = Status::kOk;
+  std::vector<std::uint8_t> payload;
+
+  bool ok() const { return status == Status::kOk; }
+  // Error message carried by a failed reply.
+  std::string error_text() const { return std::string(payload.begin(), payload.end()); }
+};
+
+class Bus;
+
+// A service endpoint: owns a mailbox drained by one service thread.
+// Handlers are registered per MethodId before start(); each handler maps a
+// request payload to a reply payload (exceptions become kError replies).
+class RpcNode {
+ public:
+  using Handler = std::function<std::vector<std::uint8_t>(BufferReader&)>;
+
+  RpcNode(Bus& bus, NodeId id, std::string name);
+  ~RpcNode();
+
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // Registration is only legal before start().
+  void handle(MethodId method, Handler handler);
+  void start();
+
+  // Asynchronous call; the future resolves with the callee's Reply or, on
+  // timeout, a kError reply marked "rpc timeout".
+  std::future<Reply> call(NodeId to, MethodId method, std::vector<std::uint8_t> payload);
+
+  // Blocking convenience with timeout.
+  Reply call_sync(NodeId to, MethodId method, std::vector<std::uint8_t> payload,
+                  std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  // Used by the Bus to deliver an envelope into this node's mailbox.
+  void deliver(Envelope envelope);
+
+ private:
+  void service_loop();
+  void dispatch_request(const Envelope& envelope);
+  void resolve_reply(const Envelope& envelope);
+
+  Bus& bus_;
+  NodeId id_;
+  std::string name_;
+  std::unordered_map<MethodId, Handler> handlers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Envelope> mailbox_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread service_thread_;
+
+  std::mutex pending_mu_;
+  std::uint64_t next_request_id_ = 1;
+  std::unordered_map<std::uint64_t, std::promise<Reply>> pending_;
+};
+
+// Routes envelopes between registered nodes. Nodes register on
+// construction and deregister on destruction; sending to an unknown node
+// fails the call immediately.
+class Bus {
+ public:
+  void add(RpcNode& node);
+  void remove(NodeId id);
+
+  // Returns false if the destination is unknown (the caller turns this
+  // into an immediate error reply).
+  bool route(Envelope envelope);
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<NodeId, RpcNode*> nodes_;
+};
+
+}  // namespace spcache::rpc

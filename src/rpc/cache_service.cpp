@@ -1,0 +1,265 @@
+#include "rpc/cache_service.h"
+
+#include <stdexcept>
+
+#include "common/crc32.h"
+#include "erasure/rs_code.h"
+
+namespace spcache::rpc {
+
+namespace {
+
+std::vector<std::uint8_t> empty_body() { return {}; }
+
+}  // namespace
+
+CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t server_id,
+                                       Bandwidth bandwidth)
+    : store_(server_id, bandwidth) {
+  node_ = std::make_unique<RpcNode>(bus, node_id, "worker-" + std::to_string(server_id));
+  node_->handle(kPutBlock, [this](BufferReader& r) {
+    const auto file = static_cast<FileId>(r.u32());
+    const auto piece = static_cast<PieceIndex>(r.u32());
+    store_.put(BlockKey{file, piece}, r.bytes());
+    return empty_body();
+  });
+  node_->handle(kGetBlock, [this](BufferReader& r) {
+    const auto file = static_cast<FileId>(r.u32());
+    const auto piece = static_cast<PieceIndex>(r.u32());
+    const auto block = store_.get(BlockKey{file, piece});
+    if (!block) throw std::runtime_error("block not found");
+    BufferWriter w;
+    w.bytes(block->bytes);
+    return w.take();
+  });
+  node_->handle(kEraseBlock, [this](BufferReader& r) {
+    const auto file = static_cast<FileId>(r.u32());
+    const auto piece = static_cast<PieceIndex>(r.u32());
+    BufferWriter w;
+    w.u8(store_.erase(BlockKey{file, piece}) ? 1 : 0);
+    return w.take();
+  });
+  node_->start();
+}
+
+MasterService::MasterService(Bus& bus, NodeId node_id) {
+  node_ = std::make_unique<RpcNode>(bus, node_id, "sp-master");
+  node_->handle(kRegisterFile, [this](BufferReader& r) {
+    const auto id = static_cast<FileId>(r.u32());
+    FileMeta meta;
+    meta.size = r.u64();
+    meta.file_crc = r.u32();
+    const std::uint32_t n = r.u32();
+    meta.servers.reserve(n);
+    meta.piece_sizes.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      meta.servers.push_back(r.u32());
+      meta.piece_sizes.push_back(r.u64());
+    }
+    if (master_.peek(id).has_value()) {
+      master_.update_file(id, std::move(meta));
+    } else {
+      master_.register_file(id, std::move(meta));
+    }
+    return empty_body();
+  });
+  node_->handle(kLookupFile, [this](BufferReader& r) {
+    const auto id = static_cast<FileId>(r.u32());
+    const auto meta = master_.lookup_for_read(id);
+    if (!meta) throw std::runtime_error("unknown file");
+    BufferWriter w;
+    w.u64(meta->size);
+    w.u32(meta->file_crc);
+    w.u32(static_cast<std::uint32_t>(meta->partitions()));
+    for (std::size_t i = 0; i < meta->partitions(); ++i) {
+      w.u32(meta->servers[i]);
+      w.u64(meta->piece_sizes[i]);
+    }
+    return w.take();
+  });
+  node_->handle(kAccessCount, [this](BufferReader& r) {
+    const auto id = static_cast<FileId>(r.u32());
+    BufferWriter w;
+    w.u64(master_.access_count(id));
+    return w.take();
+  });
+  node_->start();
+}
+
+RpcSpClient::RpcSpClient(Bus& bus, NodeId node_id, NodeId master_node,
+                         std::vector<NodeId> worker_of_server)
+    : master_node_(master_node), worker_of_server_(std::move(worker_of_server)) {
+  node_ = std::make_unique<RpcNode>(bus, node_id, "sp-client-" + std::to_string(node_id));
+  node_->start();  // needed to receive replies
+}
+
+void RpcSpClient::write(FileId id, std::span<const std::uint8_t> data,
+                        const std::vector<std::uint32_t>& servers) {
+  const auto pieces = split_plain(data, servers.size());
+
+  // Fan out the PUTs, then join.
+  std::vector<std::future<Reply>> puts;
+  puts.reserve(pieces.size());
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    BufferWriter w;
+    w.u32(id);
+    w.u32(static_cast<std::uint32_t>(i));
+    w.bytes(pieces[i]);
+    puts.push_back(node_->call(worker_of_server_.at(servers[i]), kPutBlock, w.take()));
+  }
+  for (auto& f : puts) {
+    const auto reply = f.get();
+    if (!reply.ok()) throw std::runtime_error("PUT failed: " + reply.error_text());
+  }
+
+  BufferWriter w;
+  w.u32(id);
+  w.u64(data.size());
+  w.u32(crc32(data));
+  w.u32(static_cast<std::uint32_t>(servers.size()));
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    w.u32(servers[i]);
+    w.u64(pieces[i].size());
+  }
+  const auto reply = node_->call_sync(master_node_, kRegisterFile, w.take());
+  if (!reply.ok()) throw std::runtime_error("REGISTER failed: " + reply.error_text());
+}
+
+std::vector<std::uint8_t> RpcSpClient::read(FileId id) {
+  BufferWriter lookup;
+  lookup.u32(id);
+  const auto reply = node_->call_sync(master_node_, kLookupFile, lookup.take());
+  if (!reply.ok()) throw std::runtime_error("LOOKUP failed: " + reply.error_text());
+
+  BufferReader r(reply.payload);
+  const std::uint64_t size = r.u64();
+  const std::uint32_t file_crc = r.u32();
+  const std::uint32_t n = r.u32();
+  std::vector<std::uint32_t> servers(n);
+  std::vector<std::uint64_t> piece_sizes(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    servers[i] = r.u32();
+    piece_sizes[i] = r.u64();
+  }
+
+  // Parallel GETs (async fan-out), joined in piece order.
+  std::vector<std::future<Reply>> gets;
+  gets.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    BufferWriter w;
+    w.u32(id);
+    w.u32(i);
+    gets.push_back(node_->call(worker_of_server_.at(servers[i]), kGetBlock, w.take()));
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(size);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto piece_reply = gets[i].get();
+    if (!piece_reply.ok()) {
+      throw std::runtime_error("GET failed: " + piece_reply.error_text());
+    }
+    BufferReader pr(piece_reply.payload);
+    const auto bytes = pr.bytes();
+    if (bytes.size() != piece_sizes[i]) throw std::runtime_error("piece size mismatch");
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  if (out.size() != size || crc32(out) != file_crc) {
+    throw std::runtime_error("whole-file checksum mismatch");
+  }
+  return out;
+}
+
+RpcEcClient::RpcEcClient(Bus& bus, NodeId node_id, NodeId master_node,
+                         std::vector<NodeId> worker_of_server, std::size_t k, std::size_t n)
+    : master_node_(master_node), worker_of_server_(std::move(worker_of_server)), rs_(k, n) {
+  node_ = std::make_unique<RpcNode>(bus, node_id, "ec-client-" + std::to_string(node_id));
+  node_->start();
+}
+
+void RpcEcClient::write(FileId id, std::span<const std::uint8_t> data,
+                        const std::vector<std::uint32_t>& servers) {
+  if (servers.size() != rs_.total_shards()) {
+    throw std::invalid_argument("RpcEcClient::write: need exactly n servers");
+  }
+  const auto shards = rs_.encode(data);
+  std::vector<std::future<Reply>> puts;
+  puts.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    BufferWriter w;
+    w.u32(id);
+    w.u32(static_cast<std::uint32_t>(i));
+    w.bytes(shards[i].bytes);
+    puts.push_back(node_->call(worker_of_server_.at(servers[i]), kPutBlock, w.take()));
+  }
+  for (auto& f : puts) {
+    const auto reply = f.get();
+    if (!reply.ok()) throw std::runtime_error("EC PUT failed: " + reply.error_text());
+  }
+
+  BufferWriter w;
+  w.u32(id);
+  w.u64(data.size());
+  w.u32(crc32(data));
+  w.u32(static_cast<std::uint32_t>(servers.size()));
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    w.u32(servers[i]);
+    w.u64(shards[i].bytes.size());
+  }
+  const auto reply = node_->call_sync(master_node_, kRegisterFile, w.take());
+  if (!reply.ok()) throw std::runtime_error("EC REGISTER failed: " + reply.error_text());
+}
+
+std::vector<std::uint8_t> RpcEcClient::read(FileId id, Rng& rng) {
+  BufferWriter lookup;
+  lookup.u32(id);
+  const auto reply = node_->call_sync(master_node_, kLookupFile, lookup.take());
+  if (!reply.ok()) throw std::runtime_error("EC LOOKUP failed: " + reply.error_text());
+
+  BufferReader r(reply.payload);
+  const std::uint64_t size = r.u64();
+  const std::uint32_t file_crc = r.u32();
+  const std::uint32_t n = r.u32();
+  if (n != rs_.total_shards()) throw std::runtime_error("EC layout mismatch");
+  std::vector<std::uint32_t> servers(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    servers[i] = r.u32();
+    (void)r.u64();  // shard length (implied by the code geometry)
+  }
+
+  // Late binding: fan out k+1 GETs; decode from the first k that return.
+  const std::size_t fetch_count = std::min(rs_.data_shards() + 1, static_cast<std::size_t>(n));
+  const auto picks = rng.sample_without_replacement(n, fetch_count);
+  std::vector<std::future<Reply>> gets;
+  gets.reserve(fetch_count);
+  for (std::size_t j = 0; j < fetch_count; ++j) {
+    BufferWriter w;
+    w.u32(id);
+    w.u32(static_cast<std::uint32_t>(picks[j]));
+    gets.push_back(node_->call(worker_of_server_.at(servers[picks[j]]), kGetBlock, w.take()));
+  }
+  std::vector<Shard> shards;
+  shards.reserve(rs_.data_shards());
+  for (std::size_t j = 0; j < fetch_count && shards.size() < rs_.data_shards(); ++j) {
+    const auto shard_reply = gets[j].get();
+    if (!shard_reply.ok()) continue;  // the late-binding hedge absorbs one loss
+    BufferReader pr(shard_reply.payload);
+    shards.push_back(Shard{picks[j], pr.bytes()});
+  }
+  if (shards.size() < rs_.data_shards()) {
+    throw std::runtime_error("EC read: not enough shards survived");
+  }
+  auto out = rs_.decode(shards, size);
+  if (crc32(out) != file_crc) throw std::runtime_error("EC read: checksum mismatch");
+  return out;
+}
+
+std::uint64_t RpcSpClient::access_count(FileId id) {
+  BufferWriter w;
+  w.u32(id);
+  const auto reply = node_->call_sync(master_node_, kAccessCount, w.take());
+  if (!reply.ok()) throw std::runtime_error("ACCESS_COUNT failed: " + reply.error_text());
+  BufferReader r(reply.payload);
+  return r.u64();
+}
+
+}  // namespace spcache::rpc

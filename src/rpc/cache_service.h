@@ -1,0 +1,111 @@
+// The SP-Cache components as RPC services (Fig. 9, over the in-process
+// bus): cache workers expose block put/get/erase, the SP-Master exposes
+// registration and layout lookup, and an RPC SP-Client performs the
+// paper's read/write flows purely through messages — every byte and every
+// piece of metadata crosses a serialization boundary, exactly as in the
+// networked deployment.
+//
+// Node-id convention: master = 0, workers = 1..N, clients >= 1000.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cluster/cache_server.h"
+#include "cluster/master.h"
+#include "erasure/rs_code.h"
+#include "rpc/bus.h"
+
+namespace spcache::rpc {
+
+inline constexpr NodeId kMasterNode = 0;
+inline constexpr NodeId kFirstWorkerNode = 1;
+inline constexpr NodeId kFirstClientNode = 1000;
+
+// Method ids.
+inline constexpr MethodId kPutBlock = 1;
+inline constexpr MethodId kGetBlock = 2;
+inline constexpr MethodId kEraseBlock = 3;
+inline constexpr MethodId kRegisterFile = 10;
+inline constexpr MethodId kLookupFile = 11;   // bumps the access count
+inline constexpr MethodId kAccessCount = 12;
+
+// A cache worker: an RpcNode whose handlers are backed by a CacheServer
+// block store (checksummed, thread-safe).
+class CacheWorkerService {
+ public:
+  CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t server_id, Bandwidth bandwidth);
+
+  NodeId node_id() const { return node_->id(); }
+  CacheServer& store() { return store_; }
+
+ private:
+  CacheServer store_;
+  std::unique_ptr<RpcNode> node_;
+};
+
+// The SP-Master as a service over the metadata Master.
+class MasterService {
+ public:
+  MasterService(Bus& bus, NodeId node_id = kMasterNode);
+
+  Master& master() { return master_; }
+  NodeId node_id() const { return node_->id(); }
+
+ private:
+  Master master_;
+  std::unique_ptr<RpcNode> node_;
+};
+
+// An SP-Client that speaks only RPC. Reads follow Section 6.1: LOOKUP at
+// the master (which bumps the access count), parallel GETs to the listed
+// workers, client-side reassembly and whole-file CRC verification.
+class RpcSpClient {
+ public:
+  // `worker_of_server[i]` maps cache-server index i to its bus NodeId.
+  RpcSpClient(Bus& bus, NodeId node_id, NodeId master_node,
+              std::vector<NodeId> worker_of_server);
+
+  // Split into servers.size() near-equal pieces, PUT them (in parallel,
+  // via async calls), then REGISTER the layout. Throws on any RPC failure.
+  void write(FileId id, std::span<const std::uint8_t> data,
+             const std::vector<std::uint32_t>& servers);
+
+  // LOOKUP + parallel GET + reassemble + verify. Throws std::runtime_error
+  // on unknown file, missing piece, RPC failure, or checksum mismatch.
+  std::vector<std::uint8_t> read(FileId id);
+
+  // Master-side access count (for tests).
+  std::uint64_t access_count(FileId id);
+
+ private:
+  std::unique_ptr<RpcNode> node_;
+  NodeId master_node_;
+  std::vector<NodeId> worker_of_server_;
+};
+
+// An EC-Cache client over the same wire: writes run the real Reed-Solomon
+// encoder and PUT all n shards; reads LOOKUP, late-bind k+1 GETs, and
+// decode from the first k that complete.
+class RpcEcClient {
+ public:
+  RpcEcClient(Bus& bus, NodeId node_id, NodeId master_node,
+              std::vector<NodeId> worker_of_server, std::size_t k = 10, std::size_t n = 14);
+
+  // Encode into n shards and store them on the n listed (distinct) servers.
+  void write(FileId id, std::span<const std::uint8_t> data,
+             const std::vector<std::uint32_t>& servers);
+
+  // Late-binding read + decode + whole-file CRC verification.
+  std::vector<std::uint8_t> read(FileId id, Rng& rng);
+
+ private:
+  std::unique_ptr<RpcNode> node_;
+  NodeId master_node_;
+  std::vector<NodeId> worker_of_server_;
+  ReedSolomon rs_;
+};
+
+}  // namespace spcache::rpc

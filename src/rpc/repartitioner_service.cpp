@@ -1,0 +1,136 @@
+#include "rpc/repartitioner_service.h"
+
+#include <stdexcept>
+
+#include "common/crc32.h"
+#include "erasure/rs_code.h"
+
+namespace spcache::rpc {
+
+RepartitionerService::RepartitionerService(Bus& bus, NodeId node_id, std::uint32_t server_id,
+                                           NodeId master_node,
+                                           std::vector<NodeId> worker_of_server)
+    : server_id_(server_id),
+      master_node_(master_node),
+      worker_of_server_(std::move(worker_of_server)) {
+  // Two endpoints: the service node receives REPARTITION_FILE requests; a
+  // sibling client node issues the GET/PUT/REGISTER calls from inside the
+  // handler. (A node cannot await replies on its own service thread — the
+  // same reason real services separate server and client sockets.)
+  node_ = std::make_unique<RpcNode>(bus, node_id, "repartitioner-" + std::to_string(server_id));
+  client_ = std::make_unique<RpcNode>(bus, node_id + 10000,
+                                      "repartitioner-client-" + std::to_string(server_id));
+  node_->handle(kRepartitionFile, [this](BufferReader& r) { return handle_repartition(r); });
+  node_->start();
+  client_->start();
+}
+
+std::vector<std::uint8_t> RepartitionerService::handle_repartition(BufferReader& r) {
+  const auto file = static_cast<FileId>(r.u32());
+  const std::uint32_t old_n = r.u32();
+  std::vector<std::uint32_t> old_servers(old_n);
+  for (auto& s : old_servers) s = r.u32();
+  const std::uint32_t new_n = r.u32();
+  std::vector<std::uint32_t> new_servers(new_n);
+  for (auto& s : new_servers) s = r.u32();
+
+  Bytes moved = 0;
+
+  // Assemble: GET every old piece; pieces already on this executor's
+  // co-located worker are free (Fig. 9b's locality optimization).
+  std::vector<std::future<Reply>> gets;
+  gets.reserve(old_n);
+  for (std::uint32_t i = 0; i < old_n; ++i) {
+    BufferWriter w;
+    w.u32(file);
+    w.u32(i);
+    gets.push_back(client_->call(worker_of_server_.at(old_servers[i]), kGetBlock, w.take()));
+  }
+  std::vector<std::uint8_t> data;
+  for (std::uint32_t i = 0; i < old_n; ++i) {
+    const auto reply = gets[i].get();
+    if (!reply.ok()) throw std::runtime_error("repartition GET failed: " + reply.error_text());
+    BufferReader pr(reply.payload);
+    const auto piece = pr.bytes();
+    if (old_servers[i] != server_id_) moved += piece.size();
+    data.insert(data.end(), piece.begin(), piece.end());
+  }
+
+  // Drop the old layout.
+  for (std::uint32_t i = 0; i < old_n; ++i) {
+    BufferWriter w;
+    w.u32(file);
+    w.u32(i);
+    const auto reply =
+        client_->call_sync(worker_of_server_.at(old_servers[i]), kEraseBlock, w.take());
+    if (!reply.ok()) throw std::runtime_error("repartition ERASE failed");
+  }
+
+  // Re-split and scatter.
+  const auto pieces = split_plain(data, new_n);
+  std::vector<std::future<Reply>> puts;
+  puts.reserve(new_n);
+  for (std::uint32_t i = 0; i < new_n; ++i) {
+    BufferWriter w;
+    w.u32(file);
+    w.u32(i);
+    w.bytes(pieces[i]);
+    if (new_servers[i] != server_id_) moved += pieces[i].size();
+    puts.push_back(client_->call(worker_of_server_.at(new_servers[i]), kPutBlock, w.take()));
+  }
+  for (auto& f : puts) {
+    const auto reply = f.get();
+    if (!reply.ok()) throw std::runtime_error("repartition PUT failed: " + reply.error_text());
+  }
+
+  // Publish the new layout.
+  BufferWriter reg;
+  reg.u32(file);
+  reg.u64(data.size());
+  reg.u32(crc32(data));
+  reg.u32(new_n);
+  for (std::uint32_t i = 0; i < new_n; ++i) {
+    reg.u32(new_servers[i]);
+    reg.u64(pieces[i].size());
+  }
+  const auto reply = client_->call_sync(master_node_, kRegisterFile, reg.take());
+  if (!reply.ok()) throw std::runtime_error("repartition REGISTER failed");
+
+  BufferWriter out;
+  out.u64(moved);
+  return out.take();
+}
+
+RpcRepartitionStats rpc_execute_repartition(
+    RpcNode& coordinator, const RepartitionPlan& plan,
+    const std::vector<std::vector<std::uint32_t>>& old_servers,
+    const std::vector<NodeId>& repartitioner_of_server) {
+  std::vector<std::future<Reply>> futures;
+  futures.reserve(plan.changed_files.size());
+  for (std::size_t j = 0; j < plan.changed_files.size(); ++j) {
+    const FileId file = plan.changed_files[j];
+    BufferWriter w;
+    w.u32(file);
+    const auto& old = old_servers[file];
+    w.u32(static_cast<std::uint32_t>(old.size()));
+    for (auto s : old) w.u32(s);
+    const auto& fresh = plan.new_servers[j];
+    w.u32(static_cast<std::uint32_t>(fresh.size()));
+    for (auto s : fresh) w.u32(s);
+    futures.push_back(coordinator.call(repartitioner_of_server.at(plan.executor[j]),
+                                       kRepartitionFile, w.take()));
+  }
+  RpcRepartitionStats stats;
+  for (auto& f : futures) {
+    const auto reply = f.get();
+    if (!reply.ok()) {
+      throw std::runtime_error("rpc repartition failed: " + reply.error_text());
+    }
+    BufferReader r(reply.payload);
+    stats.bytes_moved += r.u64();
+    ++stats.files_touched;
+  }
+  return stats;
+}
+
+}  // namespace spcache::rpc

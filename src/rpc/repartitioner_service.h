@@ -1,0 +1,65 @@
+// SP-Repartitioners as RPC services (Fig. 9b over messages).
+//
+// The parallel repartition scheme of Section 6.2 runs one SP-Repartitioner
+// per cache server; the SP-Master assigns each a disjoint set of changed
+// files. Here each repartitioner is an RPC service co-located with its
+// worker: on a REPARTITION_FILE request it assembles the file (local piece
+// free, remote pieces via GET messages to sibling workers), re-splits it,
+// PUTs the new pieces to their target workers, and reports the remote byte
+// volume it moved. A coordinator fans the per-file requests out to all
+// executors and joins — the whole Fig. 9b flow, message by message.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/repartition.h"
+#include "rpc/cache_service.h"
+
+namespace spcache::rpc {
+
+// Method id on repartitioner nodes.
+inline constexpr MethodId kRepartitionFile = 20;
+// Node-id convention: repartitioner for server s = kFirstRepartitionerNode + s.
+inline constexpr NodeId kFirstRepartitionerNode = 500;
+
+// Wire format of kRepartitionFile (request):
+//   u32 file id
+//   u32 old piece count, then per old piece: u32 server
+//   u32 new piece count, then per new piece: u32 server
+// Reply: u64 remote bytes moved.
+class RepartitionerService {
+ public:
+  // The repartitioner lives next to worker `server_id`; it reaches every
+  // worker (including its own) through `worker_of_server`, and the master
+  // through `master_node` for the final metadata update.
+  RepartitionerService(Bus& bus, NodeId node_id, std::uint32_t server_id, NodeId master_node,
+                       std::vector<NodeId> worker_of_server);
+
+  NodeId node_id() const { return node_->id(); }
+
+ private:
+  std::vector<std::uint8_t> handle_repartition(BufferReader& r);
+
+  std::uint32_t server_id_;
+  NodeId master_node_;
+  std::vector<NodeId> worker_of_server_;
+  std::unique_ptr<RpcNode> node_;    // serves kRepartitionFile
+  std::unique_ptr<RpcNode> client_;  // outbound GET/PUT/REGISTER calls
+};
+
+struct RpcRepartitionStats {
+  Bytes bytes_moved = 0;       // remote traffic summed over executors
+  std::size_t files_touched = 0;
+};
+
+// The coordinator side: dispatch `plan` to the per-server repartitioners
+// (each changed file goes to its planned executor) and join all replies.
+// Issues every request asynchronously, so executors genuinely run in
+// parallel. Throws std::runtime_error if any executor fails.
+RpcRepartitionStats rpc_execute_repartition(RpcNode& coordinator, const RepartitionPlan& plan,
+                                            const std::vector<std::vector<std::uint32_t>>&
+                                                old_servers,
+                                            const std::vector<NodeId>& repartitioner_of_server);
+
+}  // namespace spcache::rpc

@@ -1,0 +1,74 @@
+#include "rpc/serialize.h"
+
+namespace spcache::rpc {
+
+void BufferWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BufferWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void BufferWriter::bytes(std::span<const std::uint8_t> data) {
+  if (data.size() > 0xFFFFFFFFull) throw std::runtime_error("BufferWriter: bytes too long");
+  u32(static_cast<std::uint32_t>(data.size()));
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void BufferWriter::str(const std::string& s) {
+  bytes(std::span(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void BufferReader::need(std::size_t n) {
+  if (remaining() < n) throw std::runtime_error("BufferReader: truncated message");
+}
+
+std::uint8_t BufferReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint32_t BufferReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t BufferReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  return v;
+}
+
+double BufferReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::vector<std::uint8_t> BufferReader::bytes() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::string BufferReader::str() {
+  const auto b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace spcache::rpc

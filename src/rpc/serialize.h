@@ -1,0 +1,59 @@
+// Binary serialization for RPC payloads.
+//
+// The cluster components (SP-Master, SP-Clients, cache servers,
+// SP-Repartitioners) exchange small, fixed-schema messages plus raw block
+// bytes. A tiny explicit writer/reader pair keeps the wire format obvious
+// and versionable without dragging in a serialization framework:
+// little-endian fixed-width integers, doubles as IEEE-754 bit patterns,
+// and length-prefixed byte strings. Readers validate bounds and throw
+// std::runtime_error on truncated or oversized input.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace spcache::rpc {
+
+class BufferWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  // Length-prefixed (u32) byte string.
+  void bytes(std::span<const std::uint8_t> data);
+  void str(const std::string& s);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::vector<std::uint8_t> bytes();
+  std::string str();
+
+  bool exhausted() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace spcache::rpc

@@ -1,0 +1,49 @@
+#include "sim/lru_cache.h"
+
+#include <cassert>
+
+namespace spcache {
+
+LruCache::LruCache(Bytes budget) : budget_(budget) {}
+
+bool LruCache::access(FileId file, Bytes footprint) {
+  auto it = entries_.find(file);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.position);
+    return true;
+  }
+  ++misses_;
+  if (footprint > budget_) {
+    // The file can never fit; serve it uncached (no admission).
+    return false;
+  }
+  evict_until_fits(footprint);
+  lru_.push_front(file);
+  entries_.emplace(file, Entry{lru_.begin(), footprint});
+  used_ += footprint;
+  return false;
+}
+
+void LruCache::evict_until_fits(Bytes incoming) {
+  while (used_ + incoming > budget_ && !lru_.empty()) {
+    const FileId victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    assert(it != entries_.end());
+    used_ -= it->second.footprint;
+    entries_.erase(it);
+  }
+}
+
+double LruCache::hit_ratio() const {
+  const std::size_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void LruCache::reset_counters() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace spcache

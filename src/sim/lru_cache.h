@@ -1,0 +1,57 @@
+// Byte-budgeted LRU cache (Section 7.6: "we throttled the cluster caches
+// ... and used the LRU policy for cache replacement").
+//
+// Keys are files; each file occupies its *cached footprint*, which depends
+// on the scheme: S_i for SP-Cache (redundancy-free), 1.4 * S_i for EC-Cache
+// with a (10,14) code, r_i * S_i for selective replication. The hit-ratio
+// experiment (Fig. 20) replays the access stream through one LRU per scheme
+// and compares hit ratios under a shared byte budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/units.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+
+class LruCache {
+ public:
+  explicit LruCache(Bytes budget);
+
+  Bytes budget() const { return budget_; }
+  Bytes used() const { return used_; }
+  std::size_t resident_files() const { return entries_.size(); }
+
+  // Record an access to `file` with cached footprint `footprint` bytes.
+  // Returns true on hit. On miss the file is admitted (if it fits the
+  // budget at all), evicting least-recently-used files as needed.
+  bool access(FileId file, Bytes footprint);
+
+  bool contains(FileId file) const { return entries_.count(file) > 0; }
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  double hit_ratio() const;
+
+  void reset_counters();
+
+ private:
+  void evict_until_fits(Bytes incoming);
+
+  Bytes budget_;
+  Bytes used_ = 0;
+  std::list<FileId> lru_;  // front = most recent
+  struct Entry {
+    std::list<FileId>::iterator position;
+    Bytes footprint;
+  };
+  std::unordered_map<FileId, Entry> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace spcache

@@ -1,0 +1,5 @@
+#include "sim/read_plan.h"
+
+// Header-only data carriers; this translation unit exists so the library
+// has a home for future out-of-line helpers and to keep the build graph
+// uniform (one .cpp per header).

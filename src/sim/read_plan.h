@@ -1,0 +1,45 @@
+// Read plans: what one file-read request does inside the cluster.
+//
+// A caching scheme (src/core) turns a request for file i into a set of
+// partition fetches plus a join rule. The simulator executes the plan
+// against its per-server FIFO queues:
+//
+//   * SP-Cache / simple partition / chunking: fetch all k_i partitions,
+//     join on all of them (`needed == fetches.size()`).
+//   * EC-Cache: fetch k+1 of the n coded partitions, join on the k fastest
+//     (late binding), then pay `post_process` decode time.
+//   * Selective replication / stock: fetch one replica.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace spcache {
+
+struct PartitionFetch {
+  std::uint32_t server = 0;
+  Bytes bytes = 0;
+};
+
+struct ReadPlan {
+  std::vector<PartitionFetch> fetches;
+  // Number of completed fetches after which the request's network part is
+  // done; must be in [1, fetches.size()].
+  std::size_t needed = 0;
+  // Client-side post-processing (e.g. RS decode) added after the join.
+  Seconds post_process = 0.0;
+
+  bool valid() const {
+    return !fetches.empty() && needed >= 1 && needed <= fetches.size();
+  }
+};
+
+struct WritePlan {
+  std::vector<PartitionFetch> stores;  // partition placements with sizes
+  // Client-side pre-processing (e.g. RS encode) paid before transfer.
+  Seconds pre_process = 0.0;
+};
+
+}  // namespace spcache

@@ -1,0 +1,203 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+
+namespace spcache {
+
+namespace {
+
+// One outstanding partition fetch, queued at a server.
+struct QueuedFetch {
+  std::size_t request = 0;  // index into the in-flight request table
+  Seconds service_time = 0.0;
+  Bytes bytes = 0;
+};
+
+struct ServerState {
+  std::deque<QueuedFetch> queue;
+  bool busy = false;
+  double bytes_served = 0.0;
+  double busy_seconds = 0.0;
+};
+
+struct RequestState {
+  std::size_t remaining_to_join = 0;  // fetches still needed before join
+  std::size_t outstanding = 0;        // fetches not yet completed at all
+  Seconds arrival = 0.0;
+  Seconds post_process = 0.0;
+  Seconds client_floor = 0.0;  // NIC-limited minimum read time
+  Seconds client_setup = 0.0;  // serialized per-fetch issuance cost
+  double scale = 1.0;
+  bool recorded = false;
+};
+
+enum class EventType { kArrival, kServiceDone };
+
+struct Event {
+  Seconds time = 0.0;
+  EventType type = EventType::kArrival;
+  std::uint64_t seq = 0;  // tie-breaker for determinism
+  std::size_t index = 0;  // arrival index or server id
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+}  // namespace
+
+Simulation::Simulation(SimConfig config) : config_(std::move(config)) {
+  assert(config_.n_servers > 0);
+  assert(!config_.bandwidth.empty());
+}
+
+Bandwidth Simulation::server_bandwidth(std::size_t s) const {
+  const auto& bw = config_.bandwidth;
+  return s < bw.size() ? bw[s] : bw.back();
+}
+
+Seconds sample_transfer_time(const SimConfig& config, std::size_t server, Bytes bytes,
+                             std::size_t connections, Rng& rng) {
+  const Bandwidth raw =
+      server < config.bandwidth.size() ? config.bandwidth[server] : config.bandwidth.back();
+  TransferModel model{raw, config.goodput, config.exponential_jitter};
+  return model.sample(bytes, connections, rng);
+}
+
+SimResult Simulation::run(const std::vector<Arrival>& arrivals, const Planner& planner,
+                          const std::function<double(std::size_t)>& latency_scale) {
+  Rng rng(config_.seed);
+  std::vector<ServerState> servers(config_.n_servers);
+  std::vector<RequestState> requests(arrivals.size());
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    events.push(Event{arrivals[i].time, EventType::kArrival, seq++, i});
+  }
+
+  SimResult result;
+  result.latencies.reserve(arrivals.size());
+  result.server_bytes.assign(config_.n_servers, 0.0);
+  result.metrics_window = config_.metrics_window;
+  std::vector<double> window_latency_sum;
+
+  auto start_service = [&](std::size_t s, Seconds now) {
+    auto& server = servers[s];
+    if (server.busy || server.queue.empty()) return;
+    server.busy = true;
+    events.push(Event{now + server.queue.front().service_time, EventType::kServiceDone, seq++, s});
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const Seconds now = ev.time;
+    result.horizon = now;
+
+    if (ev.type == EventType::kArrival) {
+      const std::size_t i = ev.index;
+      const ReadPlan plan = planner(arrivals[i].file, rng);
+      assert(plan.valid());
+      auto& req = requests[i];
+      req.arrival = now;
+      req.remaining_to_join = plan.needed;
+      req.outstanding = plan.fetches.size();
+      req.post_process = plan.post_process;
+      req.scale = latency_scale ? latency_scale(i) : 1.0;
+      const std::size_t connections = plan.fetches.size();
+      req.client_setup = config_.client_setup_per_fetch * static_cast<double>(connections);
+      if (config_.client_nic_floor) {
+        // The client must pull `needed` partitions' worth of bytes through
+        // its own NIC: min(k, streams) links of aggregate throughput at the
+        // k-connection goodput.
+        double total_bytes = 0.0;
+        for (const auto& fetch : plan.fetches) total_bytes += static_cast<double>(fetch.bytes);
+        const double needed_bytes =
+            total_bytes * static_cast<double>(plan.needed) / static_cast<double>(connections);
+        const double streams =
+            std::min(static_cast<double>(connections), config_.client_parallel_streams);
+        const Bandwidth base = config_.bandwidth.front();
+        req.client_floor =
+            needed_bytes / (streams * base * config_.goodput.factor(connections));
+      }
+      for (const auto& fetch : plan.fetches) {
+        assert(fetch.server < config_.n_servers);
+        // Service time = fixed fetch setup + jittered transfer at the
+        // server's (goodput-degraded) effective bandwidth, stretched by a
+        // straggler factor if injected.
+        Seconds service = config_.fetch_overhead +
+                          sample_transfer_time(config_, fetch.server, fetch.bytes, connections, rng);
+        service *= config_.stragglers.sample_slowdown(rng);
+        servers[fetch.server].queue.push_back(QueuedFetch{i, service, fetch.bytes});
+        start_service(fetch.server, now);
+      }
+      continue;
+    }
+
+    // Service completion at server ev.index.
+    const std::size_t s = ev.index;
+    auto& server = servers[s];
+    assert(server.busy && !server.queue.empty());
+    const QueuedFetch done = server.queue.front();
+    server.queue.pop_front();
+    server.busy = false;
+    server.bytes_served += static_cast<double>(done.bytes);
+    server.busy_seconds += done.service_time;
+    start_service(s, now);
+
+    auto& req = requests[done.request];
+    assert(req.outstanding > 0);
+    --req.outstanding;
+    if (req.remaining_to_join > 0) {
+      --req.remaining_to_join;
+      if (req.remaining_to_join == 0 && !req.recorded) {
+        req.recorded = true;
+        ++result.completed;
+        if (done.request >= config_.warmup_requests) {
+          const Seconds network = std::max(now - req.arrival, req.client_floor);
+          const Seconds latency = (network + req.client_setup + req.post_process) * req.scale;
+          result.latencies.add(latency);
+          if (config_.metrics_window > 0.0) {
+            const auto w = static_cast<std::size_t>(now / config_.metrics_window);
+            if (w >= window_latency_sum.size()) {
+              window_latency_sum.resize(w + 1, 0.0);
+              result.window_completions.resize(w + 1, 0);
+            }
+            window_latency_sum[w] += latency;
+            ++result.window_completions[w];
+          }
+        }
+      }
+    }
+  }
+
+  result.server_busy_seconds.resize(config_.n_servers);
+  for (std::size_t s = 0; s < config_.n_servers; ++s) {
+    result.server_bytes[s] = servers[s].bytes_served;
+    result.server_busy_seconds[s] = servers[s].busy_seconds;
+  }
+  if (config_.metrics_window > 0.0) {
+    result.window_mean_latency.resize(window_latency_sum.size(), 0.0);
+    for (std::size_t w = 0; w < window_latency_sum.size(); ++w) {
+      if (result.window_completions[w] > 0) {
+        result.window_mean_latency[w] =
+            window_latency_sum[w] / static_cast<double>(result.window_completions[w]);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> SimResult::utilization() const {
+  std::vector<double> out(server_busy_seconds.size(), 0.0);
+  if (horizon <= 0.0) return out;
+  for (std::size_t s = 0; s < out.size(); ++s) out[s] = server_busy_seconds[s] / horizon;
+  return out;
+}
+
+}  // namespace spcache

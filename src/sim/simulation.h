@@ -1,0 +1,114 @@
+// Discrete-event simulation of the cluster cache.
+//
+// The simulator realizes exactly the system the paper analyzes and deploys:
+// N cache servers, each a FIFO queue serving one partition transfer at a
+// time (M/G/1 when arrivals are Poisson); clients fork a request into
+// parallel partition fetches and join per the scheme's ReadPlan. On top of
+// the paper's analytic model it adds the effects the model deliberately
+// omits (Section 5.3): goodput loss from parallel connections (Fig. 6),
+// injected stragglers (Section 4.2), and codec post-processing — which is
+// why measured latencies can exceed the analytic bound, as in Fig. 8.
+//
+// Virtual time is in seconds; the engine is deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "net/network_model.h"
+#include "sim/read_plan.h"
+#include "workload/arrivals.h"
+#include "workload/straggler.h"
+
+namespace spcache {
+
+struct SimConfig {
+  std::size_t n_servers = 30;
+  // Per-server bandwidth; if shorter than n_servers the last value is
+  // repeated (typically a single uniform entry).
+  std::vector<Bandwidth> bandwidth{gbps(1.0)};
+  GoodputModel goodput{};
+  bool exponential_jitter = true;
+  // Fixed per-partition-fetch service cost (TCP + RPC/metadata setup),
+  // matching the analytic model's ScaleFactorConfig::fetch_overhead.
+  // Stragglers stretch it along with the transfer.
+  Seconds fetch_overhead = 0.01;
+  // Client NIC model (mirrors ScaleFactorConfig): a request's latency can
+  // never beat needed_bytes / (min(k, streams) * B_client * g(k)). Parallel
+  // streams raise the client's aggregate download throughput up to
+  // `client_parallel_streams` links' worth; the goodput factor g(k) models
+  // incast/protocol losses as the stream count grows. Disable for pure
+  // M/G/1 validation.
+  bool client_nic_floor = true;
+  double client_parallel_streams = 4.0;
+  // Serialized client-side cost per issued fetch (connection setup, RPC
+  // marshalling): a k-way read pays k * this on top of the network time.
+  // This is the per-chunk cost that makes small fixed-size chunks slow at
+  // low load (Fig. 14) and tempers over-partitioning.
+  Seconds client_setup_per_fetch = 0.008;
+  StragglerModel stragglers = StragglerModel::none();
+  // Warm-up: the first `warmup_requests` arrivals are simulated (they load
+  // the queues) but excluded from the latency sample, so reported metrics
+  // reflect steady state rather than the empty-system transient.
+  std::size_t warmup_requests = 0;
+  // Metrics time series: when > 0, per-window mean latency and completion
+  // throughput are collected into SimResult::window_* (window length in
+  // virtual seconds). 0 disables the series.
+  Seconds metrics_window = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  Sample latencies;                  // per-request end-to-end read latency
+  std::vector<double> server_bytes;  // total bytes served per server
+  std::vector<double> server_busy_seconds;  // cumulative service time per server
+  Seconds horizon = 0.0;             // virtual time of the last event
+  std::size_t completed = 0;
+  // Time series (empty unless SimConfig::metrics_window > 0): indexed by
+  // window number; windows with no completions hold 0 latency.
+  Seconds metrics_window = 0.0;
+  std::vector<double> window_mean_latency;
+  std::vector<std::size_t> window_completions;
+
+  double mean_latency() const { return latencies.mean(); }
+  double tail_latency(double q = 0.95) const { return latencies.percentile(q); }
+  double cv() const { return latencies.cv(); }
+  double imbalance() const { return imbalance_factor(server_bytes); }
+
+  // Fraction of the simulated horizon each server spent serving fetches.
+  std::vector<double> utilization() const;
+};
+
+class Simulation {
+ public:
+  // Planner: maps (file, rng) -> ReadPlan. Called once per request; the rng
+  // supports randomized choices (replica selection, late-binding subsets).
+  using Planner = std::function<ReadPlan(FileId, Rng&)>;
+
+  explicit Simulation(SimConfig config);
+
+  const SimConfig& config() const { return config_; }
+  Bandwidth server_bandwidth(std::size_t s) const;
+
+  // Execute all arrivals to completion and collect metrics. Optionally
+  // `latency_scale` rescales individual request latencies after the fact
+  // (used by the trace-driven cache-miss experiment, where a miss costs 3x);
+  // it maps the request index to a multiplicative factor.
+  SimResult run(const std::vector<Arrival>& arrivals, const Planner& planner,
+                const std::function<double(std::size_t)>& latency_scale = {});
+
+ private:
+  SimConfig config_;
+};
+
+// Convenience: mean service-time sampler shared with the write-latency
+// experiment (Fig. 22) — the time for one client to push `bytes` through
+// `connections` parallel streams of a `bandwidth` link.
+Seconds sample_transfer_time(const SimConfig& config, std::size_t server, Bytes bytes,
+                             std::size_t connections, Rng& rng);
+
+}  // namespace spcache

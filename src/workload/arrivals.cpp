@@ -1,0 +1,72 @@
+#include "workload/arrivals.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace spcache {
+
+std::vector<Arrival> generate_poisson_arrivals(const Catalog& catalog, std::size_t n_requests,
+                                               Rng& rng) {
+  assert(catalog.total_rate() > 0.0);
+  std::vector<Arrival> out;
+  out.reserve(n_requests);
+  Seconds t = 0.0;
+  const double mean_gap = 1.0 / catalog.total_rate();
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    t += rng.exponential(mean_gap);
+    out.push_back(Arrival{t, catalog.sample_file(rng)});
+  }
+  return out;
+}
+
+double MmppParams::average_rate() const {
+  const double w_calm = mean_calm_time / (mean_calm_time + mean_burst_time);
+  return w_calm * calm_rate + (1.0 - w_calm) * burst_rate;
+}
+
+std::vector<Arrival> generate_mmpp_arrivals(const Catalog& catalog, const MmppParams& params,
+                                            std::size_t n_requests, Rng& rng) {
+  assert(params.calm_rate > 0.0 && params.burst_rate > 0.0);
+  assert(params.mean_calm_time > 0.0 && params.mean_burst_time > 0.0);
+  std::vector<Arrival> out;
+  out.reserve(n_requests);
+  Seconds t = 0.0;
+  bool bursting = false;
+  Seconds state_end = rng.exponential(params.mean_calm_time);
+  while (out.size() < n_requests) {
+    const double rate = bursting ? params.burst_rate : params.calm_rate;
+    const Seconds next = t + rng.exponential(1.0 / rate);
+    if (next > state_end) {
+      // State switch before the next arrival would land: advance to the
+      // switch point and resample from the new state's rate (memorylessness
+      // makes discarding the tentative arrival exact).
+      t = state_end;
+      bursting = !bursting;
+      state_end = t + rng.exponential(bursting ? params.mean_burst_time : params.mean_calm_time);
+      continue;
+    }
+    t = next;
+    out.push_back(Arrival{t, catalog.sample_file(rng)});
+  }
+  return out;
+}
+
+double index_of_dispersion(const std::vector<Arrival>& arrivals, Seconds window) {
+  assert(window > 0.0);
+  if (arrivals.empty()) return 0.0;
+  const Seconds horizon = arrivals.back().time;
+  const auto n_windows = static_cast<std::size_t>(horizon / window);
+  if (n_windows < 2) return 0.0;
+  std::vector<double> counts(n_windows, 0.0);
+  for (const auto& a : arrivals) {
+    const auto w = static_cast<std::size_t>(a.time / window);
+    if (w < n_windows) counts[w] += 1.0;
+  }
+  RunningStats stats;
+  for (double c : counts) stats.add(c);
+  return stats.mean() == 0.0 ? 0.0 : stats.variance() / stats.mean();
+}
+
+}  // namespace spcache

@@ -1,0 +1,57 @@
+// Request arrival processes.
+//
+// The EC2 experiments model clients as independent Poisson processes whose
+// aggregate rate is swept (Sections 2.2, 7.1). The trace-driven simulation
+// (Section 7.7) replaces Poisson with the submission sequence of the Google
+// cluster trace, which is bursty; we substitute a Markov-modulated Poisson
+// process (MMPP) with a heavy burst state (see DESIGN.md).
+//
+// All generators produce a time-ordered sequence of (arrival time, file id)
+// pairs drawn against a Catalog's popularity distribution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+
+struct Arrival {
+  Seconds time = 0.0;
+  FileId file = 0;
+};
+
+// `n_requests` arrivals of a Poisson process with the catalog's aggregate
+// rate; each request targets a file sampled by popularity. This is exactly
+// the superposition of the paper's per-client Poisson processes.
+std::vector<Arrival> generate_poisson_arrivals(const Catalog& catalog, std::size_t n_requests,
+                                               Rng& rng);
+
+// Two-state MMPP: a "calm" state with rate calm_rate and a "burst" state
+// with rate burst_rate; state holding times are exponential with the given
+// means. Produces bursty, positively autocorrelated arrivals like cluster
+// job-submission traces.
+struct MmppParams {
+  double calm_rate = 5.0;        // requests/second in the calm state
+  double burst_rate = 50.0;      // requests/second in the burst state
+  Seconds mean_calm_time = 20.0;
+  Seconds mean_burst_time = 2.0;
+
+  // Long-run average rate of the process (weighted by stationary holding
+  // time fractions); used to compare against a Poisson process of equal
+  // average intensity.
+  double average_rate() const;
+};
+
+std::vector<Arrival> generate_mmpp_arrivals(const Catalog& catalog, const MmppParams& params,
+                                            std::size_t n_requests, Rng& rng);
+
+// Index of dispersion of counts over windows of `window` seconds — 1 for
+// Poisson, >1 for bursty processes. Diagnostic used in tests to verify the
+// MMPP generator actually produces burstier-than-Poisson arrivals.
+double index_of_dispersion(const std::vector<Arrival>& arrivals, Seconds window);
+
+}  // namespace spcache

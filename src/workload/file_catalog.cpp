@@ -1,0 +1,114 @@
+#include "workload/file_catalog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "workload/zipf.h"
+
+namespace spcache {
+
+Catalog::Catalog(std::vector<FileInfo> files) : files_(std::move(files)) {
+  total_rate_ = 0.0;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    files_[i].id = static_cast<FileId>(i);
+    assert(files_[i].request_rate >= 0.0);
+    total_rate_ += files_[i].request_rate;
+  }
+}
+
+double Catalog::popularity(FileId i) const {
+  if (total_rate_ <= 0.0) return 0.0;
+  return files_[i].request_rate / total_rate_;
+}
+
+double Catalog::max_load() const {
+  double mx = 0.0;
+  for (const auto& f : files_) {
+    mx = std::max(mx, static_cast<double>(f.size) * (total_rate_ > 0 ? f.request_rate / total_rate_ : 0.0));
+  }
+  return mx;
+}
+
+Bytes Catalog::total_bytes() const {
+  Bytes total = 0;
+  for (const auto& f : files_) total += f.size;
+  return total;
+}
+
+void Catalog::set_total_rate(double new_total) {
+  assert(new_total >= 0.0);
+  if (total_rate_ <= 0.0) return;
+  const double scale = new_total / total_rate_;
+  for (auto& f : files_) f.request_rate *= scale;
+  total_rate_ = new_total;
+  cdf_valid_ = false;
+}
+
+void Catalog::shuffle_popularities(Rng& rng) {
+  std::vector<double> rates;
+  rates.reserve(files_.size());
+  for (const auto& f : files_) rates.push_back(f.request_rate);
+  rng.shuffle(rates);
+  for (std::size_t i = 0; i < files_.size(); ++i) files_[i].request_rate = rates[i];
+  cdf_valid_ = false;
+}
+
+FileId Catalog::sample_file(Rng& rng) const {
+  assert(!files_.empty() && total_rate_ > 0.0);
+  rebuild_cache();
+  return static_cast<FileId>(rng.sample_cumulative(rate_cdf_));
+}
+
+void Catalog::rebuild_cache() const {
+  if (cdf_valid_) return;
+  rate_cdf_.resize(files_.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    cum += files_[i].request_rate;
+    rate_cdf_[i] = cum;
+  }
+  cdf_valid_ = true;
+}
+
+Catalog make_uniform_catalog(std::size_t n_files, Bytes file_size, double zipf_exponent,
+                             double total_rate) {
+  assert(n_files > 0);
+  ZipfDistribution zipf(n_files, zipf_exponent);
+  std::vector<FileInfo> files(n_files);
+  for (std::size_t i = 0; i < n_files; ++i) {
+    files[i].size = file_size;
+    files[i].request_rate = total_rate * zipf.pmf(i);
+  }
+  return Catalog(std::move(files));
+}
+
+Catalog make_yahoo_catalog(std::size_t n_files, double zipf_exponent, double total_rate,
+                           const YahooSizeModel& model, Rng& rng) {
+  assert(n_files > 0);
+  ZipfDistribution zipf(n_files, zipf_exponent);
+  std::vector<FileInfo> files(n_files);
+  const auto hot_cutoff = static_cast<std::size_t>(model.hot_fraction * static_cast<double>(n_files));
+  const auto warm_cutoff = static_cast<std::size_t>(
+      (model.hot_fraction + model.warm_fraction) * static_cast<double>(n_files));
+  // Lognormal with mean cold_mean_size: mean = exp(mu + sigma^2/2).
+  const double mu =
+      std::log(static_cast<double>(model.cold_mean_size)) - 0.5 * model.lognormal_sigma * model.lognormal_sigma;
+  for (std::size_t i = 0; i < n_files; ++i) {
+    double mult = 1.0;
+    if (i < hot_cutoff) {
+      mult = rng.uniform(model.hot_mult_lo, model.hot_mult_hi);
+    } else if (i < warm_cutoff) {
+      // Smooth ramp from warm_mult down to 1 across the warm band.
+      const double t = static_cast<double>(i - hot_cutoff) /
+                       std::max<double>(1.0, static_cast<double>(warm_cutoff - hot_cutoff));
+      mult = model.warm_mult * (1.0 - t) + 1.0 * t;
+    }
+    const double raw = rng.lognormal(mu, model.lognormal_sigma) * mult;
+    files[i].size = std::max<Bytes>(static_cast<Bytes>(raw), 64 * kKB);
+    files[i].request_rate = total_rate * zipf.pmf(i);
+  }
+  return Catalog(std::move(files));
+}
+
+}  // namespace spcache

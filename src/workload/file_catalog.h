@@ -1,0 +1,107 @@
+// File catalogs: the set of cached files with sizes and request rates.
+//
+// Every caching scheme, the analytic model, the simulator, and the threaded
+// cluster all consume a `Catalog`. The paper's key quantities map directly:
+//
+//   lambda_i  = files[i].request_rate           (requests/second)
+//   P_i       = popularity(i) = lambda_i / sum_j lambda_j     (Eq. 4)
+//   L_i       = load(i) = S_i * P_i              (expected load, Eq. 1 input)
+//
+// Builders reproduce the paper's workloads:
+//   * make_uniform_catalog  - n equal-size files, Zipf(s) popularity
+//     (Sections 2.2, 7.2, 7.3: "50 files (40 MB each)", "500 files each of
+//     size 100 MB", Zipf exponent 1.05/1.1).
+//   * make_yahoo_catalog    - Yahoo!-trace-like sizes: hot files are 15-30x
+//     larger than cold ones, larger files are more popular (Section 7.7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace spcache {
+
+using FileId = std::uint32_t;
+
+struct FileInfo {
+  FileId id = 0;
+  Bytes size = 0;
+  double request_rate = 0.0;  // lambda_i in requests per second
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  explicit Catalog(std::vector<FileInfo> files);
+
+  std::size_t size() const { return files_.size(); }
+  bool empty() const { return files_.empty(); }
+  const FileInfo& file(FileId i) const { return files_[i]; }
+  const std::vector<FileInfo>& files() const { return files_; }
+
+  // Aggregate request rate Lambda = sum_i lambda_i.
+  double total_rate() const { return total_rate_; }
+
+  // Popularity P_i (Eq. 4). Zero if the catalog carries no traffic.
+  double popularity(FileId i) const;
+
+  // Expected load L_i = S_i * P_i (bytes). Input to Eq. 1.
+  double load(FileId i) const { return static_cast<double>(files_[i].size) * popularity(i); }
+
+  // max_i L_i, the "hottest file" load used to initialize Algorithm 1.
+  double max_load() const;
+
+  Bytes total_bytes() const;
+
+  // Rescale all request rates so that total_rate() == new_total (used to
+  // sweep the aggregate request rate, e.g. Fig. 13's 6..22 req/s axis).
+  void set_total_rate(double new_total);
+
+  // Randomly permute the request rates across files while keeping sizes in
+  // place — the popularity shift of Section 7.4 ("randomly shuffling the
+  // popularity ranks of all files under the same Zipf distribution").
+  void shuffle_popularities(Rng& rng);
+
+  // Sample a file according to popularity. `cdf` is rebuilt lazily after
+  // mutations.
+  FileId sample_file(Rng& rng) const;
+
+ private:
+  void rebuild_cache() const;
+
+  std::vector<FileInfo> files_;
+  double total_rate_ = 0.0;
+  mutable std::vector<double> rate_cdf_;
+  mutable bool cdf_valid_ = false;
+};
+
+// n files of identical size with Zipf(s) popularity summing to total_rate.
+// File 0 is the most popular (rank order == id order).
+Catalog make_uniform_catalog(std::size_t n_files, Bytes file_size, double zipf_exponent,
+                             double total_rate);
+
+// Parameters of the Yahoo!-like size model (see DESIGN.md, substitution
+// table). Sizes are lognormal around a cold base size; the hot multiplier
+// is drawn uniformly in [hot_mult_lo, hot_mult_hi] for the hottest
+// hot_fraction of files, with a smooth ramp for the "warm" middle of the
+// popularity range, reproducing the paper's observation that hot files are
+// 15-30x larger than cold ones (Fig. 1).
+struct YahooSizeModel {
+  Bytes cold_mean_size = 8 * kMB;
+  double lognormal_sigma = 0.7;
+  double hot_fraction = 0.02;    // ~2% of files are hot (>=100 accesses)
+  double warm_fraction = 0.20;   // files with moderate access counts
+  double hot_mult_lo = 15.0;
+  double hot_mult_hi = 30.0;
+  double warm_mult = 4.0;
+};
+
+// n files, Zipf(s) popularity, Yahoo-like sizes positively correlated with
+// popularity ("we assume that a larger file is more popular", Section 7.7).
+Catalog make_yahoo_catalog(std::size_t n_files, double zipf_exponent, double total_rate,
+                           const YahooSizeModel& model, Rng& rng);
+
+}  // namespace spcache

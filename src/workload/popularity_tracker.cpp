@@ -1,0 +1,40 @@
+#include "workload/popularity_tracker.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace spcache {
+
+PopularityTracker::PopularityTracker(Seconds half_life) : half_life_(half_life) {
+  assert(half_life > 0.0);
+  lambda_ = std::log(2.0) / half_life;
+}
+
+double PopularityTracker::decayed(const Entry& e, Seconds now) const {
+  const Seconds dt = now > e.last ? now - e.last : 0.0;
+  return e.weight * std::exp(-lambda_ * dt);
+}
+
+void PopularityTracker::record(FileId id, Seconds now) {
+  auto& e = entries_[id];
+  e.weight = decayed(e, now) + 1.0;
+  e.last = std::max(e.last, now);
+}
+
+double PopularityTracker::rate(FileId id, Seconds now) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return 0.0;
+  return decayed(it->second, now) * lambda_;
+}
+
+Catalog PopularityTracker::snapshot(const std::vector<Bytes>& sizes, Seconds now,
+                                    double min_rate) const {
+  std::vector<FileInfo> files(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    files[i].size = sizes[i];
+    files[i].request_rate = std::max(min_rate, rate(static_cast<FileId>(i), now));
+  }
+  return Catalog(std::move(files));
+}
+
+}  // namespace spcache

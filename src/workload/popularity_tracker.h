@@ -1,0 +1,54 @@
+// Online popularity estimation (Section 8 "Short-Term Popularity
+// Variation").
+//
+// The periodic 12-hour re-balancing of Section 6.2 cannot react to bursts.
+// The online extension needs a *live* request-rate estimate per file; this
+// tracker maintains an exponentially-decayed access counter
+//
+//     S(now) = sum_i exp(-lambda (now - t_i)),   lambda = ln2 / half_life,
+//
+// whose expectation for a Poisson stream of rate r is r / lambda — so
+// rate(now) = S(now) * lambda is an unbiased rate estimate that forgets the
+// past with the configured half-life.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/units.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+
+class PopularityTracker {
+ public:
+  explicit PopularityTracker(Seconds half_life = 300.0);
+
+  Seconds half_life() const { return half_life_; }
+
+  // Record one access to `id` at virtual time `now` (must be non-decreasing
+  // per file; out-of-order times within a batch are tolerated by clamping).
+  void record(FileId id, Seconds now);
+
+  // Estimated request rate of `id` at time `now` (0 for never-seen files).
+  double rate(FileId id, Seconds now) const;
+
+  // Build a Catalog from the tracked rates for the given file sizes (file
+  // id == index); never-seen files get `min_rate` so downstream Eq. 1 math
+  // stays well-defined.
+  Catalog snapshot(const std::vector<Bytes>& sizes, Seconds now, double min_rate = 1e-6) const;
+
+  std::size_t tracked_files() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    double weight = 0.0;  // S at time `last`
+    Seconds last = 0.0;
+  };
+  double decayed(const Entry& e, Seconds now) const;
+
+  Seconds half_life_;
+  double lambda_;
+  std::unordered_map<FileId, Entry> entries_;
+};
+
+}  // namespace spcache

@@ -1,0 +1,56 @@
+#include "workload/straggler.h"
+
+#include <cassert>
+
+namespace spcache {
+
+StragglerModel::StragglerModel(double probability, std::vector<Entry> profile)
+    : probability_(probability), profile_(std::move(profile)) {
+  assert(probability >= 0.0 && probability <= 1.0);
+  double cum = 0.0;
+  cum_weights_.reserve(profile_.size());
+  for (const auto& e : profile_) {
+    assert(e.slowdown >= 1.0 && e.weight >= 0.0);
+    cum += e.weight;
+    cum_weights_.push_back(cum);
+  }
+  assert(profile_.empty() || cum > 0.0);
+}
+
+StragglerModel StragglerModel::bing(double probability) {
+  // Mantri-like shape: the bulk of stragglers run 1.5-3x slower; a thin
+  // tail reaches 10x.
+  return StragglerModel(probability, {
+                                         {1.5, 0.30},
+                                         {2.0, 0.25},
+                                         {2.5, 0.15},
+                                         {3.0, 0.12},
+                                         {4.0, 0.08},
+                                         {5.0, 0.05},
+                                         {6.0, 0.03},
+                                         {8.0, 0.01},
+                                         {10.0, 0.01},
+                                     });
+}
+
+StragglerModel StragglerModel::none() { return StragglerModel(0.0, {}); }
+
+double StragglerModel::sample_slowdown(Rng& rng) const {
+  if (probability_ <= 0.0 || profile_.empty() || !rng.bernoulli(probability_)) {
+    return 1.0;
+  }
+  const std::size_t i = rng.sample_cumulative(cum_weights_);
+  return profile_[i].slowdown;
+}
+
+double StragglerModel::conditional_mean_slowdown() const {
+  if (profile_.empty()) return 1.0;
+  double total = 0.0, weighted = 0.0;
+  for (const auto& e : profile_) {
+    total += e.weight;
+    weighted += e.weight * e.slowdown;
+  }
+  return total == 0.0 ? 1.0 : weighted / total;
+}
+
+}  // namespace spcache

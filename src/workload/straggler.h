@@ -1,0 +1,51 @@
+// Straggler injection model.
+//
+// Section 4.2 / 7.5: "for each partition read, we slept the server thread
+// with probability 0.05 and delayed the read completion by a factor
+// randomly drawn from the distribution profiled in the Microsoft Bing
+// cluster trace [Mantri]". The Bing profile itself is not public; we use a
+// discrete slowdown distribution with the shape reported by Mantri — most
+// stragglers are 1.5-3x slower, with a thin tail out to 10x (see DESIGN.md
+// substitution table).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spcache {
+
+class StragglerModel {
+ public:
+  struct Entry {
+    double slowdown;  // multiplicative factor >= 1
+    double weight;    // relative probability mass
+  };
+
+  // `probability` is the per-partition-read chance of hitting a straggler.
+  StragglerModel(double probability, std::vector<Entry> profile);
+
+  // The default profile used throughout the benchmarks: Mantri-like shape,
+  // p = 0.05 ("intensive stragglers").
+  static StragglerModel bing(double probability = 0.05);
+
+  // A disabled model (factor always 1).
+  static StragglerModel none();
+
+  double probability() const { return probability_; }
+  bool enabled() const { return probability_ > 0.0; }
+
+  // Returns 1.0 with probability (1 - p); otherwise a slowdown factor drawn
+  // from the profile.
+  double sample_slowdown(Rng& rng) const;
+
+  // Mean slowdown conditioned on being a straggler.
+  double conditional_mean_slowdown() const;
+
+ private:
+  double probability_;
+  std::vector<Entry> profile_;
+  std::vector<double> cum_weights_;
+};
+
+}  // namespace spcache

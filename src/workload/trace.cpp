@@ -1,0 +1,84 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace spcache {
+
+namespace {
+
+// Log-uniform draw in [lo, hi): density proportional to 1/x, the local
+// behaviour of a power law within a bounded segment.
+double log_uniform(double lo, double hi, Rng& rng) {
+  return lo * std::pow(hi / lo, rng.uniform());
+}
+
+}  // namespace
+
+std::vector<TraceFileRecord> generate_yahoo_trace(std::size_t n, const YahooTraceModel& model,
+                                                  Rng& rng) {
+  assert(model.cold_fraction + model.hot_fraction <= 1.0);
+  assert(model.cold_count_threshold >= 2 && model.hot_count_threshold > model.cold_count_threshold);
+  std::vector<TraceFileRecord> out(n);
+  const double size_mu = std::log(static_cast<double>(model.cold_mean_size)) -
+                         0.5 * model.size_sigma * model.size_sigma;
+  const auto cold_hi = static_cast<double>(model.cold_count_threshold);
+  const auto hot_lo = static_cast<double>(model.hot_count_threshold);
+  for (auto& rec : out) {
+    const double u = rng.uniform();
+    double count;
+    if (u < model.cold_fraction) {
+      count = log_uniform(1.0, cold_hi, rng);
+    } else if (u < 1.0 - model.hot_fraction) {
+      count = log_uniform(cold_hi, hot_lo, rng);
+    } else {
+      count = rng.pareto(hot_lo, model.hot_tail_shape);
+    }
+    rec.access_count = std::min<std::uint64_t>(model.max_count,
+                                               std::max<std::uint64_t>(1, static_cast<std::uint64_t>(count)));
+    double mult = 1.0;
+    if (rec.access_count >= model.hot_count_threshold) {
+      mult = rng.uniform(model.hot_size_mult_lo, model.hot_size_mult_hi);
+    } else if (rec.access_count >= model.cold_count_threshold) {
+      // Warm band: interpolate the multiplier with log access count.
+      const double t = std::log(static_cast<double>(rec.access_count) / cold_hi) /
+                       std::log(hot_lo / cold_hi);
+      mult = 1.0 + t * (model.hot_size_mult_lo - 1.0);
+    }
+    rec.size = std::max<Bytes>(static_cast<Bytes>(rng.lognormal(size_mu, model.size_sigma) * mult),
+                               64 * kKB);
+  }
+  return out;
+}
+
+TraceSummary summarize_trace(const std::vector<TraceFileRecord>& records,
+                             const YahooTraceModel& model) {
+  TraceSummary s;
+  if (records.empty()) return s;
+  std::size_t cold = 0, hot = 0;
+  double cold_bytes = 0.0, hot_bytes = 0.0;
+  double count_sum = 0.0;
+  for (const auto& r : records) {
+    count_sum += static_cast<double>(r.access_count);
+    if (r.access_count < model.cold_count_threshold) {
+      ++cold;
+      cold_bytes += static_cast<double>(r.size);
+    } else if (r.access_count >= model.hot_count_threshold) {
+      ++hot;
+      hot_bytes += static_cast<double>(r.size);
+    }
+  }
+  const auto n = static_cast<double>(records.size());
+  s.cold_fraction = static_cast<double>(cold) / n;
+  s.hot_fraction = static_cast<double>(hot) / n;
+  s.mean_access_count = count_sum / n;
+  if (cold > 0 && hot > 0) {
+    const double cold_mean = cold_bytes / static_cast<double>(cold);
+    const double hot_mean = hot_bytes / static_cast<double>(hot);
+    s.hot_to_cold_size_ratio = cold_mean == 0.0 ? 0.0 : hot_mean / cold_mean;
+  }
+  return s;
+}
+
+}  // namespace spcache

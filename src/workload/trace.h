@@ -1,0 +1,64 @@
+// Synthetic Yahoo!-like trace generator (Fig. 1 reproduction).
+//
+// The paper characterizes the Yahoo! webscope trace (40M files, two months)
+// by three marginals:
+//   * ~78% of files are cold (< 10 accesses),
+//   * ~2%  of files are hot (>= 100 accesses),
+//   * hot files are 15-30x larger than cold ones.
+//
+// We cannot redistribute the trace, so `YahooTraceModel` generates a
+// synthetic population matching those marginals directly: the access-count
+// distribution is a three-segment mixture — cold [1, cold_threshold),
+// warm [cold_threshold, hot_threshold), hot [hot_threshold, max] — with the
+// segment masses set to the paper's fractions; within the cold/warm
+// segments counts are log-uniform (a local power law), and the hot tail is
+// Pareto. Sizes follow the same lognormal-with-hot-multiplier model as
+// make_yahoo_catalog.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace spcache {
+
+struct TraceFileRecord {
+  std::uint64_t access_count = 0;
+  Bytes size = 0;
+};
+
+struct YahooTraceModel {
+  // Segment masses (must sum to <= 1; the warm segment absorbs the rest).
+  double cold_fraction = 0.78;  // accesses in [1, cold_threshold)
+  double hot_fraction = 0.02;   // accesses >= hot_threshold
+  std::uint64_t cold_count_threshold = 10;
+  std::uint64_t hot_count_threshold = 100;
+  double hot_tail_shape = 1.1;  // Pareto shape of the hot tail
+  std::uint64_t max_count = 1'000'000;
+
+  Bytes cold_mean_size = 8 * kMB;
+  double size_sigma = 0.7;
+  double hot_size_mult_lo = 15.0;
+  double hot_size_mult_hi = 30.0;
+};
+
+// Generate `n` file records (unordered population).
+std::vector<TraceFileRecord> generate_yahoo_trace(std::size_t n, const YahooTraceModel& model,
+                                                  Rng& rng);
+
+// Summary marginals of a trace population; used by tests and the Fig. 1
+// bench to check the generator against the paper's numbers.
+struct TraceSummary {
+  double cold_fraction = 0.0;     // access_count < cold threshold
+  double hot_fraction = 0.0;      // access_count >= hot threshold
+  double hot_to_cold_size_ratio = 0.0;
+  double mean_access_count = 0.0;
+};
+
+TraceSummary summarize_trace(const std::vector<TraceFileRecord>& records,
+                             const YahooTraceModel& model);
+
+}  // namespace spcache

@@ -1,0 +1,150 @@
+#include "workload/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace spcache {
+
+namespace {
+
+[[noreturn]] void malformed(const char* what, std::size_t line) {
+  std::ostringstream os;
+  os << "trace_io: " << what << " at line " << line;
+  throw std::runtime_error(os.str());
+}
+
+// Split a CSV line into exactly `n` fields; no quoting (the formats are
+// purely numeric).
+std::vector<std::string> fields(const std::string& line, std::size_t n, std::size_t line_no) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto comma = line.find(',', start);
+    out.push_back(line.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.size() != n) malformed("wrong field count", line_no);
+  return out;
+}
+
+double parse_double(const std::string& s, std::size_t line_no) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) malformed("trailing characters in number", line_no);
+    return v;
+  } catch (const std::invalid_argument&) {
+    malformed("not a number", line_no);
+  } catch (const std::out_of_range&) {
+    malformed("number out of range", line_no);
+  }
+}
+
+std::uint64_t parse_u64(const std::string& s, std::size_t line_no) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) malformed("not an integer", line_no);
+  return v;
+}
+
+}  // namespace
+
+void save_catalog_csv(const Catalog& catalog, std::ostream& os) {
+  os << "file_id,size_bytes,request_rate\n";
+  os << std::setprecision(17);
+  for (const auto& f : catalog.files()) {
+    os << f.id << ',' << f.size << ',' << f.request_rate << '\n';
+  }
+}
+
+Catalog load_catalog_csv(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 1;
+  if (!std::getline(is, line) || line.rfind("file_id,", 0) != 0) {
+    malformed("missing catalog header", line_no);
+  }
+  std::vector<FileInfo> infos;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto f = fields(line, 3, line_no);
+    const auto id = parse_u64(f[0], line_no);
+    if (id != infos.size()) malformed("file ids must be dense and ordered", line_no);
+    FileInfo info;
+    info.size = parse_u64(f[1], line_no);
+    info.request_rate = parse_double(f[2], line_no);
+    if (info.request_rate < 0.0) malformed("negative request rate", line_no);
+    infos.push_back(info);
+  }
+  return Catalog(std::move(infos));
+}
+
+void save_arrivals_csv(const std::vector<Arrival>& arrivals, std::ostream& os) {
+  os << "time_seconds,file_id\n";
+  os << std::setprecision(17);
+  for (const auto& a : arrivals) os << a.time << ',' << a.file << '\n';
+}
+
+std::vector<Arrival> load_arrivals_csv(std::istream& is) {
+  std::string line;
+  std::size_t line_no = 1;
+  if (!std::getline(is, line) || line.rfind("time_seconds,", 0) != 0) {
+    malformed("missing arrivals header", line_no);
+  }
+  std::vector<Arrival> out;
+  double prev = -1.0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto f = fields(line, 2, line_no);
+    Arrival a;
+    a.time = parse_double(f[0], line_no);
+    a.file = static_cast<FileId>(parse_u64(f[1], line_no));
+    if (a.time < prev) malformed("arrival times must be non-decreasing", line_no);
+    prev = a.time;
+    out.push_back(a);
+  }
+  return out;
+}
+
+namespace {
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("trace_io: cannot open " + path);
+  return is;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("trace_io: cannot open " + path);
+  return os;
+}
+
+}  // namespace
+
+void save_catalog_csv_file(const Catalog& catalog, const std::string& path) {
+  auto os = open_out(path);
+  save_catalog_csv(catalog, os);
+}
+
+Catalog load_catalog_csv_file(const std::string& path) {
+  auto is = open_in(path);
+  return load_catalog_csv(is);
+}
+
+void save_arrivals_csv_file(const std::vector<Arrival>& arrivals, const std::string& path) {
+  auto os = open_out(path);
+  save_arrivals_csv(arrivals, os);
+}
+
+std::vector<Arrival> load_arrivals_csv_file(const std::string& path) {
+  auto is = open_in(path);
+  return load_arrivals_csv(is);
+}
+
+}  // namespace spcache

@@ -1,0 +1,36 @@
+// CSV import/export for catalogs and arrival traces.
+//
+// Lets users replay their own production traces through the schemes and
+// the simulator, and lets generated workloads be inspected or post-
+// processed outside the library. Formats:
+//
+//   catalog:  file_id,size_bytes,request_rate      (ids must be dense 0..n-1)
+//   arrivals: time_seconds,file_id                 (times non-decreasing)
+//
+// Loaders validate eagerly and throw std::runtime_error with a line number
+// on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/arrivals.h"
+#include "workload/file_catalog.h"
+
+namespace spcache {
+
+void save_catalog_csv(const Catalog& catalog, std::ostream& os);
+Catalog load_catalog_csv(std::istream& is);
+
+void save_arrivals_csv(const std::vector<Arrival>& arrivals, std::ostream& os);
+std::vector<Arrival> load_arrivals_csv(std::istream& is);
+
+// File-path conveniences; throw std::runtime_error if the file cannot be
+// opened.
+void save_catalog_csv_file(const Catalog& catalog, const std::string& path);
+Catalog load_catalog_csv_file(const std::string& path);
+void save_arrivals_csv_file(const std::vector<Arrival>& arrivals, const std::string& path);
+std::vector<Arrival> load_arrivals_csv_file(const std::string& path);
+
+}  // namespace spcache

@@ -1,0 +1,41 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace spcache {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double exponent) : exponent_(exponent) {
+  assert(n >= 1);
+  assert(exponent >= 0.0);
+  pmf_.resize(n);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf_[i] = std::pow(static_cast<double>(i + 1), -exponent);
+    norm += pmf_[i];
+  }
+  cdf_.resize(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pmf_[i] /= norm;
+    cum += pmf_[i];
+    cdf_[i] = cum;
+  }
+  cdf_.back() = 1.0;  // guard against fp drift
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::head_mass(std::size_t k) const {
+  k = std::min(k, pmf_.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < k; ++i) s += pmf_[i];
+  return s;
+}
+
+}  // namespace spcache

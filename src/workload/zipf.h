@@ -1,0 +1,45 @@
+// Zipf popularity distributions.
+//
+// The paper configures skewed file popularity as Zipf with exponent 1.05
+// (EC2 experiments, Section 7.1) or 1.1 (motivation experiments Section 2.2
+// and the trace-driven simulation Section 7.7). File i (1-indexed rank) has
+// probability
+//
+//   p_i = i^{-s} / H_{n,s},   H_{n,s} = sum_{j=1..n} j^{-s}.
+//
+// `ZipfDistribution` precomputes the normalized pmf and a cumulative table
+// for O(log n) sampling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spcache {
+
+class ZipfDistribution {
+ public:
+  // n >= 1 ranks, exponent s >= 0 (s == 0 degenerates to uniform).
+  ZipfDistribution(std::size_t n, double exponent);
+
+  std::size_t size() const { return pmf_.size(); }
+  double exponent() const { return exponent_; }
+
+  // Probability of rank r (0-indexed: rank 0 is the most popular item).
+  double pmf(std::size_t rank) const { return pmf_[rank]; }
+  const std::vector<double>& probabilities() const { return pmf_; }
+
+  // Sample a 0-indexed rank.
+  std::size_t sample(Rng& rng) const;
+
+  // Sum of the top-k probabilities (mass concentration diagnostic).
+  double head_mass(std::size_t k) const;
+
+ private:
+  double exponent_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace spcache

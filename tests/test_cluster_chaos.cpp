@@ -1,0 +1,104 @@
+// Chaos test: concurrent readers racing online adjustments, failures, and
+// recovery on one shared cluster. The invariants: no crashes or deadlocks,
+// transient read failures are retryable, and at quiescence every file is
+// bit-exact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "cluster/client.h"
+#include "cluster/online_adjust.h"
+#include "cluster/stable_store.h"
+#include "core/sp_cache.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed * 31 + i * 7);
+  return v;
+}
+
+TEST(ClusterChaos, ReadersSurviveOnlineAdjustmentsAndRecovery) {
+  constexpr std::size_t kFiles = 24;
+  constexpr Bytes kFileSize = 96 * kKB;
+  Cluster cluster(16, gbps(1.0));
+  Master master;
+  ThreadPool io_pool(4);
+  StableStore stable;
+  Rng rng(2024);
+
+  // Populate + checkpoint.
+  auto catalog = make_uniform_catalog(kFiles, kFileSize, 1.05, 10.0);
+  SpCacheScheme sp;
+  sp.place(catalog, cluster.bandwidths(), rng);
+  SpClient writer(cluster, master, io_pool);
+  std::vector<std::vector<std::uint8_t>> originals(kFiles);
+  for (FileId f = 0; f < kFiles; ++f) {
+    originals[f] = pattern_bytes(kFileSize, f);
+    writer.write(f, originals[f], sp.placement(f).servers);
+    stable.checkpoint(f, originals[f]);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> good_reads{0};
+  std::atomic<std::size_t> transient_failures{0};
+  std::atomic<std::size_t> corruptions{0};
+
+  // Reader threads: random files, tolerate transient errors (a read can
+  // race a split's re-indexing window), but never tolerate wrong bytes.
+  auto reader_loop = [&](std::uint64_t seed) {
+    Rng local(seed);
+    ThreadPool fetch_pool(2);
+    SpClient client(cluster, master, fetch_pool);
+    while (!stop.load()) {
+      const auto f = static_cast<FileId>(local.uniform_index(kFiles));
+      try {
+        const auto bytes = client.read(f).bytes;
+        if (bytes != originals[f]) {
+          corruptions.fetch_add(1);
+        } else {
+          good_reads.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        transient_failures.fetch_add(1);
+      }
+    }
+  };
+  std::thread r1(reader_loop, 1), r2(reader_loop, 2);
+
+  // Chaos driver: bursts of online splits/merges and one failure+recovery.
+  Rng chaos(7);
+  for (int round = 0; round < 6; ++round) {
+    auto live = catalog;
+    live.shuffle_popularities(chaos);
+    OnlineAdjustConfig cfg;
+    cfg.alpha = 4.0 / live.max_load();
+    cfg.max_ops_per_file = 2;
+    const auto plan = plan_online_adjust(live, master, cluster.size(), cfg);
+    execute_online_adjust(cluster, master, plan);
+  }
+  {
+    // Crash a server mid-traffic and repair it.
+    cluster.server(3).clear();
+    RecoveryManager recovery(cluster, master, stable);
+    recovery.repair_after_server_loss(3);
+  }
+
+  stop.store(true);
+  r1.join();
+  r2.join();
+
+  EXPECT_EQ(corruptions.load(), 0u) << "readers must never see wrong bytes";
+  EXPECT_GT(good_reads.load(), 0u);
+
+  // Quiescent state: every file reassembles bit-exactly.
+  SpClient verifier(cluster, master, io_pool);
+  for (FileId f = 0; f < kFiles; ++f) {
+    EXPECT_EQ(verifier.read(f).bytes, originals[f]) << "file " << f;
+  }
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,188 @@
+// SP-Client / EC-Client end-to-end tests on real bytes: write-read
+// roundtrips, parallel fetch, checksums, master bookkeeping, RS decode path.
+#include "cluster/client.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  return v;
+}
+
+std::vector<std::uint32_t> first_servers(std::size_t k) {
+  std::vector<std::uint32_t> s(k);
+  for (std::size_t i = 0; i < k; ++i) s[i] = static_cast<std::uint32_t>(i);
+  return s;
+}
+
+class ClientTest : public ::testing::Test {
+ protected:
+  Cluster cluster_{30, gbps(1.0)};
+  Master master_;
+  ThreadPool pool_{4};
+  Rng rng_{17};
+};
+
+TEST_F(ClientTest, SpWriteReadRoundtrip) {
+  SpClient client(cluster_, master_, pool_);
+  const auto data = random_bytes(1 * kMB + 13, rng_);
+  client.write(7, data, first_servers(5));
+  const auto result = client.read(7);
+  EXPECT_EQ(result.bytes, data);
+  EXPECT_GT(result.network_time, 0.0);
+  EXPECT_DOUBLE_EQ(result.compute_time, 0.0);
+}
+
+TEST_F(ClientTest, SpSinglePartitionFile) {
+  SpClient client(cluster_, master_, pool_);
+  const auto data = random_bytes(4096, rng_);
+  client.write(1, data, {std::uint32_t{12}});
+  EXPECT_EQ(client.read(1).bytes, data);
+}
+
+TEST_F(ClientTest, SpManyPartitions) {
+  SpClient client(cluster_, master_, pool_);
+  const auto data = random_bytes(100 * kKB + 1, rng_);
+  client.write(2, data, first_servers(29));
+  EXPECT_EQ(client.read(2).bytes, data);
+}
+
+TEST_F(ClientTest, SpPiecesLandOnAssignedServers) {
+  SpClient client(cluster_, master_, pool_);
+  const auto data = random_bytes(30 * kKB, rng_);
+  const std::vector<std::uint32_t> servers{3, 9, 21};
+  client.write(4, data, servers);
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    EXPECT_TRUE(cluster_.server(servers[i]).contains(BlockKey{4, static_cast<PieceIndex>(i)}));
+  }
+  // No stray copies anywhere else.
+  std::size_t total_blocks = 0;
+  for (std::size_t s = 0; s < cluster_.size(); ++s) total_blocks += cluster_.server(s).blocks_stored();
+  EXPECT_EQ(total_blocks, 3u);
+}
+
+TEST_F(ClientTest, ReadUnknownFileThrows) {
+  SpClient client(cluster_, master_, pool_);
+  EXPECT_THROW(client.read(99), std::runtime_error);
+}
+
+TEST_F(ClientTest, MissingPieceDetected) {
+  SpClient client(cluster_, master_, pool_);
+  const auto data = random_bytes(10 * kKB, rng_);
+  client.write(5, data, first_servers(4));
+  cluster_.server(2).erase(BlockKey{5, 2});
+  EXPECT_THROW(client.read(5), std::runtime_error);
+}
+
+TEST_F(ClientTest, AccessCountsBumpOnRead) {
+  SpClient client(cluster_, master_, pool_);
+  const auto data = random_bytes(kKB, rng_);
+  client.write(6, data, first_servers(2));
+  EXPECT_EQ(master_.access_count(6), 0u);
+  client.read(6);
+  client.read(6);
+  client.read(6);
+  EXPECT_EQ(master_.access_count(6), 3u);
+}
+
+TEST_F(ClientTest, OverwriteUpdatesLayout) {
+  SpClient client(cluster_, master_, pool_);
+  const auto v1 = random_bytes(10 * kKB, rng_);
+  const auto v2 = random_bytes(20 * kKB, rng_);
+  client.write(8, v1, first_servers(3));
+  client.write(8, v2, {std::uint32_t{10}, std::uint32_t{11}});
+  EXPECT_EQ(client.read(8).bytes, v2);
+  EXPECT_EQ(master_.peek(8)->partitions(), 2u);
+}
+
+TEST_F(ClientTest, EcWriteReadRoundtrip) {
+  EcClient client(cluster_, master_, pool_, 10, 14);
+  const auto data = random_bytes(1 * kMB + 77, rng_);
+  const auto w = client.write(3, data, first_servers(14));
+  EXPECT_GT(w.compute_time, 0.0);  // real encode happened
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto r = client.read(3, rng_);
+    EXPECT_EQ(r.bytes, data);
+  }
+}
+
+TEST_F(ClientTest, EcDecodePathWithParityShards) {
+  // Repeated late-binding reads eventually pick parity-heavy subsets; all
+  // must decode to the same bytes.
+  EcClient client(cluster_, master_, pool_, 4, 8);
+  const auto data = random_bytes(333 * kKB, rng_);
+  client.write(9, data, first_servers(8));
+  for (int trial = 0; trial < 25; ++trial) {
+    EXPECT_EQ(client.read(9, rng_).bytes, data);
+  }
+}
+
+TEST_F(ClientTest, EcWriteValidatesServerCount) {
+  EcClient client(cluster_, master_, pool_, 10, 14);
+  const auto data = random_bytes(kKB, rng_);
+  EXPECT_THROW(client.write(1, data, first_servers(10)), std::invalid_argument);
+}
+
+TEST_F(ClientTest, EcStoresExactlyNShards) {
+  EcClient client(cluster_, master_, pool_, 10, 14);
+  const auto data = random_bytes(140 * kKB, rng_);
+  client.write(2, data, first_servers(14));
+  std::size_t total_blocks = 0;
+  Bytes total_bytes = 0;
+  for (std::size_t s = 0; s < cluster_.size(); ++s) {
+    total_blocks += cluster_.server(s).blocks_stored();
+    total_bytes += cluster_.server(s).bytes_stored();
+  }
+  EXPECT_EQ(total_blocks, 14u);
+  // 40% memory overhead (up to per-shard padding).
+  EXPECT_GE(total_bytes, data.size() * 14 / 10);
+}
+
+TEST_F(ClientTest, ConcurrentClientsOnSharedCluster) {
+  SpClient client(cluster_, master_, pool_);
+  // Write 20 files, then read them back concurrently from sibling threads.
+  std::vector<std::vector<std::uint8_t>> originals(20);
+  for (FileId f = 0; f < 20; ++f) {
+    originals[f] = random_bytes(32 * kKB + f, rng_);
+    client.write(f, originals[f], first_servers(3 + f % 5));
+  }
+  ThreadPool readers(6);
+  readers.parallel_for(20, [&](std::size_t f) {
+    SpClient local(cluster_, master_, pool_);
+    const auto result = local.read(static_cast<FileId>(f));
+    ASSERT_EQ(result.bytes, originals[f]);
+  });
+}
+
+TEST_F(ClientTest, ModelledTimesScaleWithSize) {
+  SpClient client(cluster_, master_, pool_);
+  const auto small = random_bytes(10 * kKB, rng_);
+  const auto large = random_bytes(1000 * kKB, rng_);
+  const auto ws = client.write(11, small, first_servers(2));
+  const auto wl = client.write(12, large, first_servers(2));
+  EXPECT_GT(wl.network_time, ws.network_time);
+  EXPECT_GT(client.read(12).network_time, client.read(11).network_time);
+}
+
+
+TEST_F(ClientTest, SizedWriteReadRoundtrip) {
+  SpClient client(cluster_, master_, pool_);
+  const auto data = random_bytes(1000 * kKB, rng_);
+  // Pieces sized 2:1:1 as a bandwidth-weighted placement would produce.
+  const std::vector<Bytes> sizes{500 * kKB, 250 * kKB, 250 * kKB};
+  client.write_sized(20, data, {std::uint32_t{1}, std::uint32_t{2}, std::uint32_t{3}}, sizes);
+  const auto meta = master_.peek(20);
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(meta->piece_sizes, sizes);
+  EXPECT_EQ(cluster_.server(1).bytes_stored(), 500 * kKB);
+  EXPECT_EQ(client.read(20).bytes, data);
+}
+
+}  // namespace
+}  // namespace spcache

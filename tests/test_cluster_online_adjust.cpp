@@ -1,0 +1,180 @@
+// Online partition split/merge tests (Section 8 "Short-Term Popularity
+// Variation" extension).
+#include "cluster/online_adjust.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/client.h"
+#include "workload/popularity_tracker.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed + i * 13);
+  return v;
+}
+
+class OnlineAdjustTest : public ::testing::Test {
+ protected:
+  void write_file(FileId id, Bytes size, const std::vector<std::uint32_t>& servers) {
+    SpClient client(cluster_, master_, pool_);
+    originals_[id] = pattern(size, static_cast<std::uint8_t>(id));
+    client.write(id, originals_[id], servers);
+  }
+
+  void expect_intact(FileId id) {
+    SpClient client(cluster_, master_, pool_);
+    EXPECT_EQ(client.read(id).bytes, originals_[id]) << "file " << id;
+  }
+
+  Cluster cluster_{30, gbps(1.0)};
+  Master master_;
+  ThreadPool pool_{4};
+  std::unordered_map<FileId, std::vector<std::uint8_t>> originals_;
+};
+
+TEST_F(OnlineAdjustTest, SplitPreservesContentAndShipsHalf) {
+  write_file(1, 64 * kKB, {0, 1});
+  const auto stats = execute_split(cluster_, master_, SplitOp{1, 0, 7});
+  EXPECT_EQ(stats.splits, 1u);
+  EXPECT_EQ(stats.bytes_moved, 16 * kKB);  // half of piece 0 (32 KiB)
+  const auto meta = master_.peek(1);
+  ASSERT_EQ(meta->partitions(), 3u);
+  EXPECT_EQ(meta->servers[1], 7u);  // new half right after the split piece
+  expect_intact(1);
+}
+
+TEST_F(OnlineAdjustTest, SplitReindexesTrailingPieces) {
+  write_file(2, 90 * kKB, {3, 4, 5});
+  execute_split(cluster_, master_, SplitOp{2, 0, 9});
+  const auto meta = master_.peek(2);
+  ASSERT_EQ(meta->partitions(), 4u);
+  EXPECT_EQ(meta->servers, (std::vector<std::uint32_t>{3, 9, 4, 5}));
+  // Old pieces 1 and 2 now answer to indices 2 and 3.
+  EXPECT_TRUE(cluster_.server(4).contains(BlockKey{2, 2}));
+  EXPECT_TRUE(cluster_.server(5).contains(BlockKey{2, 3}));
+  EXPECT_FALSE(cluster_.server(4).contains(BlockKey{2, 1}));
+  expect_intact(2);
+}
+
+TEST_F(OnlineAdjustTest, MergePreservesContentAndMovesOnePiece) {
+  write_file(3, 60 * kKB, {0, 1, 2});
+  const auto before = master_.peek(3)->piece_sizes;
+  const auto stats = execute_merge(cluster_, master_, MergeOp{3, 1});
+  EXPECT_EQ(stats.merges, 1u);
+  EXPECT_EQ(stats.bytes_moved, before[2]);
+  const auto meta = master_.peek(3);
+  ASSERT_EQ(meta->partitions(), 2u);
+  EXPECT_EQ(meta->servers, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(meta->piece_sizes[1], before[1] + before[2]);
+  EXPECT_FALSE(cluster_.server(2).contains(BlockKey{3, 2}));
+  expect_intact(3);
+}
+
+TEST_F(OnlineAdjustTest, MergeMidListReindexes) {
+  write_file(4, 100 * kKB, {0, 1, 2, 3});
+  execute_merge(cluster_, master_, MergeOp{4, 0});  // pull piece 1 onto piece 0
+  const auto meta = master_.peek(4);
+  ASSERT_EQ(meta->partitions(), 3u);
+  EXPECT_EQ(meta->servers, (std::vector<std::uint32_t>{0, 2, 3}));
+  EXPECT_TRUE(cluster_.server(2).contains(BlockKey{4, 1}));
+  EXPECT_TRUE(cluster_.server(3).contains(BlockKey{4, 2}));
+  expect_intact(4);
+}
+
+TEST_F(OnlineAdjustTest, SplitThenMergeRoundtrip) {
+  write_file(5, 48 * kKB, {10, 11});
+  execute_split(cluster_, master_, SplitOp{5, 1, 12});
+  execute_merge(cluster_, master_, MergeOp{5, 1});
+  const auto meta = master_.peek(5);
+  EXPECT_EQ(meta->partitions(), 2u);
+  expect_intact(5);
+}
+
+TEST_F(OnlineAdjustTest, PlanSplitsBurstingFile) {
+  // File 0 written with 2 pieces; its live rate explodes -> target k jumps.
+  write_file(0, 200 * kKB, {0, 1});
+  write_file(9, 200 * kKB, {2, 3});
+
+  std::vector<FileInfo> infos(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    infos[i].size = 200 * kKB;
+    infos[i].request_rate = (i == 0) ? 50.0 : 0.1;  // burst on file 0
+  }
+  const Catalog live(std::move(infos));
+
+  OnlineAdjustConfig cfg;
+  // Target k for file 0: ceil(alpha * L_0); choose alpha for ~8 pieces.
+  cfg.alpha = 8.0 / live.load(0);
+  cfg.max_ops_per_file = 16;
+  const auto plan = plan_online_adjust(live, master_, cluster_.size(), cfg);
+
+  std::size_t splits_f0 = 0;
+  for (const auto& op : plan.splits) {
+    if (op.file == 0) ++splits_f0;
+  }
+  EXPECT_GE(splits_f0, 5u);  // grows toward 8 pieces
+  // The cold file 9 must not be split (its target is 1; merge threshold
+  // applies instead since current is 2 and target 1).
+  for (const auto& op : plan.splits) EXPECT_NE(op.file, 9u);
+}
+
+TEST_F(OnlineAdjustTest, PlanMergesCooledFile) {
+  write_file(6, 240 * kKB, {0, 1, 2, 3, 4, 5});
+  std::vector<FileInfo> infos(7);
+  for (std::size_t i = 0; i < 7; ++i) {
+    infos[i].size = 240 * kKB;
+    infos[i].request_rate = 1e-6;  // everything cooled off
+  }
+  const Catalog live(std::move(infos));
+  OnlineAdjustConfig cfg;
+  cfg.alpha = 1e-12;  // target k = 1 for all
+  const auto plan = plan_online_adjust(live, master_, cluster_.size(), cfg);
+  std::size_t merges_f6 = 0;
+  for (const auto& op : plan.merges) {
+    if (op.file == 6) ++merges_f6;
+  }
+  EXPECT_EQ(merges_f6, 5u);  // 6 pieces -> 1
+}
+
+TEST_F(OnlineAdjustTest, HysteresisSuppressesSmallChanges) {
+  write_file(7, 120 * kKB, {0, 1, 2, 3});  // current k = 4
+  std::vector<FileInfo> infos(8);
+  for (auto& fi : infos) {
+    fi.size = 120 * kKB;
+    fi.request_rate = 1.0;
+  }
+  const Catalog live(std::move(infos));
+  OnlineAdjustConfig cfg;
+  cfg.alpha = 5.0 / live.load(7);  // target 5 vs current 4: within hysteresis
+  const auto plan = plan_online_adjust(live, master_, cluster_.size(), cfg);
+  for (const auto& op : plan.splits) EXPECT_NE(op.file, 7u);
+  for (const auto& op : plan.merges) EXPECT_NE(op.file, 7u);
+}
+
+TEST_F(OnlineAdjustTest, ExecutePlanEndToEnd) {
+  write_file(8, 400 * kKB, {0, 1});
+  std::vector<FileInfo> infos(9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    infos[i].size = 400 * kKB;
+    infos[i].request_rate = (i == 8) ? 40.0 : 0.01;
+  }
+  const Catalog live(std::move(infos));
+  OnlineAdjustConfig cfg;
+  cfg.alpha = 10.0 / live.load(8);
+  cfg.max_ops_per_file = 16;
+  const auto plan = plan_online_adjust(live, master_, cluster_.size(), cfg);
+  ASSERT_FALSE(plan.empty());
+  const auto stats = execute_online_adjust(cluster_, master_, plan);
+  EXPECT_EQ(stats.splits, plan.splits.size());
+  EXPECT_GT(master_.peek(8)->partitions(), 2u);
+  // Only partition halves crossed the network — much less than a full
+  // repartition of the file would move.
+  EXPECT_LT(stats.bytes_moved, 500 * kKB);  // vs ~800 kB for reassemble+rescatter
+  expect_intact(8);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,152 @@
+// Stable-store checkpointing and failure recovery tests (Section 8
+// "Fault Tolerance" extension).
+#include "cluster/stable_store.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/client.h"
+#include "core/sp_cache.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  return v;
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void populate(std::size_t n_files, Bytes size) {
+    catalog_ = make_uniform_catalog(n_files, size, 1.05, 10.0);
+    SpCacheScheme sp;
+    sp.place(catalog_, cluster_.bandwidths(), rng_);
+    SpClient client(cluster_, master_, pool_);
+    originals_.resize(n_files);
+    for (FileId f = 0; f < n_files; ++f) {
+      originals_[f] = random_bytes(size, rng_);
+      client.write(f, originals_[f], sp.placement(f).servers);
+      stable_.checkpoint(f, originals_[f]);  // Alluxio-style checkpoint
+    }
+  }
+
+  Cluster cluster_{30, gbps(1.0)};
+  Master master_;
+  ThreadPool pool_{4};
+  StableStore stable_;
+  Rng rng_{77};
+  Catalog catalog_;
+  std::vector<std::vector<std::uint8_t>> originals_;
+};
+
+TEST_F(RecoveryTest, StableStoreRoundtrip) {
+  Rng rng(1);
+  const auto data = random_bytes(123456, rng);
+  StableStore store;
+  EXPECT_FALSE(store.contains(9));
+  store.checkpoint(9, data);
+  EXPECT_TRUE(store.contains(9));
+  EXPECT_EQ(*store.restore(9), data);
+  EXPECT_EQ(store.file_count(), 1u);
+  EXPECT_EQ(store.bytes_stored(), data.size());
+  EXPECT_FALSE(store.restore(10).has_value());
+}
+
+TEST_F(RecoveryTest, RepairSingleLostPiece) {
+  populate(10, 200 * kKB);
+  RecoveryManager recovery(cluster_, master_, stable_);
+  const auto meta = master_.peek(0);
+  ASSERT_GE(meta->partitions(), 2u);
+  // Lose one piece.
+  cluster_.server(meta->servers[1]).erase(BlockKey{0, 1});
+  SpClient client(cluster_, master_, pool_);
+  EXPECT_THROW(client.read(0), std::runtime_error);
+
+  const auto stats = recovery.repair_file(0);
+  EXPECT_EQ(stats.pieces_recovered, 1u);
+  EXPECT_EQ(stats.bytes_restored, 200 * kKB);
+  EXPECT_GT(stats.modelled_time, 0.0);
+  EXPECT_EQ(client.read(0).bytes, originals_[0]);
+}
+
+TEST_F(RecoveryTest, RepairIsIdempotent) {
+  populate(5, 100 * kKB);
+  RecoveryManager recovery(cluster_, master_, stable_);
+  const auto stats = recovery.repair_file(2);  // nothing missing
+  EXPECT_EQ(stats.pieces_recovered, 0u);
+  EXPECT_EQ(stats.bytes_restored, 0u);
+}
+
+TEST_F(RecoveryTest, RepairUncheckpointedFileThrows) {
+  populate(3, 100 * kKB);
+  StableStore empty;
+  RecoveryManager recovery(cluster_, master_, empty);
+  const auto meta = master_.peek(0);
+  cluster_.server(meta->servers[0]).erase(BlockKey{0, 0});
+  EXPECT_THROW(recovery.repair_file(0), std::runtime_error);
+}
+
+TEST_F(RecoveryTest, WholeServerLossRecovered) {
+  populate(20, 150 * kKB);
+  RecoveryManager recovery(cluster_, master_, stable_);
+
+  // Crash server 5: all its blocks vanish.
+  const std::uint32_t failed = 5;
+  cluster_.server(failed).clear();
+  const auto stats = recovery.repair_after_server_loss(failed);
+  EXPECT_GT(stats.pieces_recovered, 0u);
+
+  // Every file is readable and bit-exact; nothing lives on the dead server.
+  SpClient client(cluster_, master_, pool_);
+  for (FileId f = 0; f < 20; ++f) {
+    EXPECT_EQ(client.read(f).bytes, originals_[f]) << "file " << f;
+    const auto meta = master_.peek(f);
+    for (std::uint32_t s : meta->servers) EXPECT_NE(s, failed);
+  }
+  EXPECT_EQ(cluster_.server(failed).blocks_stored(), 0u);
+}
+
+TEST_F(RecoveryTest, ServerLossReplacementsSpread) {
+  populate(30, 100 * kKB);
+  RecoveryManager recovery(cluster_, master_, stable_);
+  cluster_.server(0).clear();
+  recovery.repair_after_server_loss(0);
+  // The re-placed pieces should not all pile onto one replacement server.
+  std::vector<std::size_t> pieces(cluster_.size(), 0);
+  for (FileId f = 0; f < 30; ++f) {
+    const auto meta = master_.peek(f);
+    for (std::uint32_t s : meta->servers) ++pieces[s];
+  }
+  std::size_t mx = 0, total = 0;
+  for (std::size_t s = 1; s < cluster_.size(); ++s) {
+    mx = std::max(mx, pieces[s]);
+    total += pieces[s];
+  }
+  const double avg = static_cast<double>(total) / static_cast<double>(cluster_.size() - 1);
+  // Discreteness dominates with ~2 pieces/server; allow a small absolute
+  // slack over the average rather than a tight multiplicative bound.
+  EXPECT_LE(static_cast<double>(mx), avg + 4.0);
+}
+
+TEST_F(RecoveryTest, RecoveryTimeScalesWithBackingBandwidth) {
+  populate(5, 500 * kKB);
+  StableStore slow(mbps(100));
+  StableStore fast(mbps(1000));
+  for (FileId f = 0; f < 5; ++f) {
+    slow.checkpoint(f, originals_[f]);
+    fast.checkpoint(f, originals_[f]);
+  }
+  const auto meta = master_.peek(1);
+  cluster_.server(meta->servers[0]).erase(BlockKey{1, 0});
+  RecoveryManager slow_rec(cluster_, master_, slow);
+  const auto s1 = slow_rec.repair_file(1);
+  // Re-erase and repair with the fast store.
+  cluster_.server(meta->servers[0]).erase(BlockKey{1, 0});
+  RecoveryManager fast_rec(cluster_, master_, fast);
+  const auto s2 = fast_rec.repair_file(1);
+  EXPECT_GT(s1.modelled_time, s2.modelled_time);
+}
+
+}  // namespace
+}  // namespace spcache

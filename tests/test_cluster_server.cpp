@@ -1,0 +1,107 @@
+// Cache-server and cluster substrate tests: storage accounting, checksums,
+// concurrent access.
+#include "cluster/cache_server.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed + i * 7);
+  return v;
+}
+
+TEST(CacheServer, PutGetRoundtrip) {
+  CacheServer s(0, gbps(1.0));
+  const auto data = pattern(1000, 3);
+  s.put(BlockKey{1, 0}, data);
+  const auto block = s.get(BlockKey{1, 0});
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->bytes, data);
+}
+
+TEST(CacheServer, MissingBlockIsNullopt) {
+  CacheServer s(0, gbps(1.0));
+  EXPECT_FALSE(s.get(BlockKey{9, 9}).has_value());
+}
+
+TEST(CacheServer, BytesStoredAccounting) {
+  CacheServer s(0, gbps(1.0));
+  s.put(BlockKey{1, 0}, pattern(100, 1));
+  s.put(BlockKey{1, 1}, pattern(250, 2));
+  EXPECT_EQ(s.bytes_stored(), 350u);
+  EXPECT_EQ(s.blocks_stored(), 2u);
+  // Overwrite shrinks.
+  s.put(BlockKey{1, 1}, pattern(50, 3));
+  EXPECT_EQ(s.bytes_stored(), 150u);
+  EXPECT_EQ(s.blocks_stored(), 2u);
+  EXPECT_TRUE(s.erase(BlockKey{1, 0}));
+  EXPECT_EQ(s.bytes_stored(), 50u);
+  EXPECT_FALSE(s.erase(BlockKey{1, 0}));
+}
+
+TEST(CacheServer, ServedBytesCounter) {
+  CacheServer s(0, gbps(1.0));
+  s.put(BlockKey{1, 0}, pattern(100, 1));
+  EXPECT_DOUBLE_EQ(s.bytes_served(), 0.0);
+  (void)s.get(BlockKey{1, 0});
+  (void)s.get(BlockKey{1, 0});
+  EXPECT_DOUBLE_EQ(s.bytes_served(), 200.0);
+  s.reset_load_counters();
+  EXPECT_DOUBLE_EQ(s.bytes_served(), 0.0);
+}
+
+TEST(CacheServer, DistinctKeysPerPiece) {
+  CacheServer s(0, gbps(1.0));
+  s.put(BlockKey{1, 0}, pattern(10, 1));
+  s.put(BlockKey{1, 1}, pattern(10, 2));
+  s.put(BlockKey{2, 0}, pattern(10, 3));
+  EXPECT_NE(s.get(BlockKey{1, 0})->bytes, s.get(BlockKey{1, 1})->bytes);
+  EXPECT_NE(s.get(BlockKey{1, 0})->bytes, s.get(BlockKey{2, 0})->bytes);
+}
+
+TEST(CacheServer, ConcurrentPutGet) {
+  CacheServer s(0, gbps(1.0));
+  ThreadPool pool(8);
+  pool.parallel_for(200, [&s](std::size_t i) {
+    const auto key = BlockKey{static_cast<FileId>(i % 17), static_cast<PieceIndex>(i / 17)};
+    s.put(key, pattern(64 + i, static_cast<std::uint8_t>(i)));
+    const auto block = s.get(key);
+    ASSERT_TRUE(block.has_value());
+  });
+  EXPECT_EQ(s.blocks_stored(), 200u);
+}
+
+TEST(Cluster, ConstructionAndAccess) {
+  Cluster c(5, gbps(1.0));
+  EXPECT_EQ(c.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(c.server(i).id(), i);
+    EXPECT_DOUBLE_EQ(c.server(i).bandwidth(), gbps(1.0));
+  }
+  EXPECT_EQ(c.bandwidths().size(), 5u);
+}
+
+TEST(Cluster, LoadVectors) {
+  Cluster c(3, gbps(1.0));
+  c.server(0).put(BlockKey{1, 0}, pattern(100, 1));
+  c.server(2).put(BlockKey{2, 0}, pattern(300, 2));
+  (void)c.server(2).get(BlockKey{2, 0});
+  const auto stored = c.stored_bytes();
+  EXPECT_DOUBLE_EQ(stored[0], 100.0);
+  EXPECT_DOUBLE_EQ(stored[1], 0.0);
+  EXPECT_DOUBLE_EQ(stored[2], 300.0);
+  const auto served = c.served_bytes();
+  EXPECT_DOUBLE_EQ(served[2], 300.0);
+  c.reset_load_counters();
+  EXPECT_DOUBLE_EQ(c.served_bytes()[2], 0.0);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,56 @@
+// CRC-32 correctness: standard check value, incrementality, sensitivity.
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  std::vector<std::uint8_t> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+TEST(Crc32, StandardCheckValue) {
+  // The canonical CRC-32/IEEE test vector.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = bytes_of("the quick brown fox jumps over the lazy dog");
+  const auto whole = crc32(data);
+  for (std::size_t cut = 0; cut <= data.size(); cut += 7) {
+    auto state = crc32_init();
+    state = crc32_update(state, std::span(data).subspan(0, cut));
+    state = crc32_update(state, std::span(data).subspan(cut));
+    EXPECT_EQ(crc32_final(state), whole) << "cut at " << cut;
+  }
+}
+
+TEST(Crc32, SingleBitFlipDetected) {
+  auto data = bytes_of("partition payload");
+  const auto original = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(crc32(data), original) << "flip at byte " << i;
+    data[i] ^= 0x01;
+  }
+  EXPECT_EQ(crc32(data), original);
+}
+
+TEST(Crc32, DifferentLengthsDiffer) {
+  const auto a = bytes_of("aaaa");
+  const auto b = bytes_of("aaaaa");
+  EXPECT_NE(crc32(a), crc32(b));
+}
+
+}  // namespace
+}  // namespace spcache

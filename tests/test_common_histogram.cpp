@@ -1,0 +1,91 @@
+// Tests for the linear and logarithmic histograms.
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace spcache {
+namespace {
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 5.0);
+}
+
+TEST(Histogram, ValuesLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(3.9);
+  h.add(4.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram, WeightsAndFractions) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0, 3.0);
+  h.add(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(Histogram, EmptyFractionsZero) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+TEST(LogHistogram, BucketBoundaries) {
+  LogHistogram h(10.0, 4);  // [0,10), [10,100), [100,1000), [1000,inf)
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(1), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(2), 1000.0);
+  EXPECT_TRUE(std::isinf(h.bucket_hi(3)));
+}
+
+TEST(LogHistogram, PlacementMatchesFig1Buckets) {
+  // Fig. 1's categories: < 10 accesses (cold), >= 100 (hot).
+  LogHistogram h(10.0, 3);  // [0,10), [10,100), [100,inf)
+  h.add(3.0);   // cold
+  h.add(9.99);  // cold
+  h.add(10.0);  // warm
+  h.add(99.0);  // warm
+  h.add(100.0); // hot
+  h.add(5000.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 2.0);
+}
+
+TEST(LogHistogram, OverflowGoesToLastBucket) {
+  LogHistogram h(2.0, 3);  // [0,2), [2,4), [4,inf)
+  h.add(1e12);
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);
+}
+
+TEST(LogHistogram, Labels) {
+  LogHistogram h(10.0, 2);
+  EXPECT_EQ(h.bucket_label(0), "[0, 10)");
+  EXPECT_EQ(h.bucket_label(1), ">=10");
+}
+
+}  // namespace
+}  // namespace spcache

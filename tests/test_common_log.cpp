@@ -1,0 +1,75 @@
+// Logger tests: level parsing, gating, thread safety of the sink.
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace spcache {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kOff);
+}
+
+TEST(Log, SetAndGetLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, DisabledLinesAreCheap) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("costly");
+  };
+  // The stream payload is only materialized when the level is enabled; the
+  // operand itself is still evaluated (standard stream semantics), so this
+  // documents the contract: gate expensive *formatting*, not side effects.
+  SPCACHE_LOG(kDebug) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, EnabledLevelsRespectThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  // Nothing to assert on stderr content here without capturing it; this
+  // exercises both the enabled and disabled paths for coverage and
+  // crash-freedom.
+  SPCACHE_LOG(kDebug) << "below threshold";
+  SPCACHE_LOG(kError) << "above threshold";
+  SUCCEED();
+}
+
+TEST(Log, ConcurrentWritersDoNotRace) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  ThreadPool pool(4);
+  pool.parallel_for(64, [](std::size_t i) {
+    SPCACHE_LOG(kError) << "writer " << i;
+  });
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace spcache

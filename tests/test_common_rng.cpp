@@ -1,0 +1,311 @@
+// Tests for the deterministic PRNG and its distribution helpers.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace spcache {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(5);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformIndexBoundsAndCoverage) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto x = rng.uniform_index(10);
+    ASSERT_LT(x, 10u);
+    ++counts[static_cast<std::size_t>(x)];
+  }
+  // Each bucket ~10000; allow +/-5%.
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, UniformIndexOne) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialPositive) {
+  Rng rng(37);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(41);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, LognormalMean) {
+  Rng rng(43);
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+  const double mu = 1.0, sigma = 0.5;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  EXPECT_NEAR(sum / n, std::exp(mu + 0.5 * sigma * sigma), 0.05);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(47);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto x = static_cast<double>(rng.poisson(4.0));
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 4.0, 0.05);
+  EXPECT_NEAR(sum2 / n - mean * mean, 4.0, 0.15);  // Poisson: var == mean
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(53);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 0.5);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(59);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, ParetoTailAndSupport) {
+  Rng rng(61);
+  int above2 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(1.0, 1.5);
+    EXPECT_GE(x, 1.0);
+    if (x > 2.0) ++above2;
+  }
+  // P(X > 2) = (1/2)^1.5 ~ 0.3536.
+  EXPECT_NEAR(static_cast<double>(above2) / n, std::pow(0.5, 1.5), 0.01);
+}
+
+TEST(Rng, SampleCumulativeRespectsWeights) {
+  Rng rng(67);
+  const std::vector<double> cum{1.0, 1.0, 4.0};  // weights 1, 0, 3
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.sample_cumulative(cum)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(71);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+class SampleWithoutReplacementTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SampleWithoutReplacementTest, DistinctInRangeCorrectCount) {
+  const auto [n, k] = GetParam();
+  Rng rng(73 + n * 131 + k);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = rng.sample_without_replacement(n, k);
+    ASSERT_EQ(s.size(), k);
+    std::set<std::size_t> distinct(s.begin(), s.end());
+    EXPECT_EQ(distinct.size(), k);
+    for (auto x : s) EXPECT_LT(x, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SampleWithoutReplacementTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                                           std::pair<std::size_t, std::size_t>{10, 10},
+                                           std::pair<std::size_t, std::size_t>{30, 14},
+                                           std::pair<std::size_t, std::size_t>{100, 3},
+                                           std::pair<std::size_t, std::size_t>{5000, 7},
+                                           std::pair<std::size_t, std::size_t>{5000, 4999}));
+
+TEST(Rng, SampleWithoutReplacementUniform) {
+  // Each element of [0, 20) should appear in a size-5 sample w.p. 5/20.
+  Rng rng(79);
+  std::vector<int> counts(20, 0);
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t) {
+    for (auto x : rng.sample_without_replacement(20, 5)) ++counts[x];
+  }
+  for (int c : counts) EXPECT_NEAR(c / static_cast<double>(trials), 0.25, 0.02);
+}
+
+TEST(Rng, WeightedSampleDistinctAndInRange) {
+  Rng rng(89);
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  for (int t = 0; t < 200; ++t) {
+    const auto s = rng.sample_weighted_without_replacement(w, 4);
+    ASSERT_EQ(s.size(), 4u);
+    std::set<std::size_t> distinct(s.begin(), s.end());
+    EXPECT_EQ(distinct.size(), 4u);
+    for (auto i : s) EXPECT_LT(i, w.size());
+  }
+}
+
+TEST(Rng, WeightedSampleZeroWeightNeverChosen) {
+  Rng rng(97);
+  const std::vector<double> w{1.0, 0.0, 2.0, 0.0, 3.0};
+  for (int t = 0; t < 500; ++t) {
+    for (auto i : rng.sample_weighted_without_replacement(w, 3)) {
+      EXPECT_NE(i, 1u);
+      EXPECT_NE(i, 3u);
+    }
+  }
+}
+
+TEST(Rng, WeightedSampleFirstDrawFollowsWeights) {
+  // With k = 1 the sample reduces to a single weighted draw.
+  Rng rng(101);
+  const std::vector<double> w{1.0, 3.0};
+  int hits1 = 0;
+  const int n = 100000;
+  for (int t = 0; t < n; ++t) {
+    if (rng.sample_weighted_without_replacement(w, 1)[0] == 1) ++hits1;
+  }
+  EXPECT_NEAR(hits1 / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(Rng, WeightedSampleInclusionSkewsTowardHeavy) {
+  // Heavier indices appear in the sample more often.
+  Rng rng(103);
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0, 4.0};
+  int heavy = 0;
+  const int n = 20000;
+  for (int t = 0; t < n; ++t) {
+    for (auto i : rng.sample_weighted_without_replacement(w, 2)) {
+      if (i == 4) ++heavy;
+    }
+  }
+  // Inclusion probability of the weight-4 item is well above the 0.4 of a
+  // uniform 2-of-5 draw.
+  EXPECT_GT(heavy / static_cast<double>(n), 0.6);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(83);
+  Rng child = a.split();
+  // The child stream should not be identical to the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,155 @@
+// Tests for RunningStats, Sample, and the paper's summary metrics
+// (CV, imbalance factor eta, latency improvement).
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace spcache {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squares = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStats, SingleValueVarianceZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i * 0.1;
+    all.add(x);
+    (i < 37 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_DOUBLE_EQ(c.mean(), mean);
+}
+
+TEST(RunningStats, CvDefinition) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_NEAR(s.cv(), s.stddev() / s.mean(), 1e-12);
+}
+
+TEST(Sample, PercentileKnownArray) {
+  Sample s;
+  for (double x : {15.0, 20.0, 35.0, 40.0, 50.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 35.0);
+  // Linear interpolation (numpy type-7): 0.25 -> 20 + 0*(35-20)... position
+  // = 0.25 * 4 = 1.0 exactly -> 20.
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 20.0);
+  // position 0.95 * 4 = 3.8 -> 40 + 0.8 * 10 = 48.
+  EXPECT_NEAR(s.percentile(0.95), 48.0, 1e-12);
+}
+
+TEST(Sample, PercentileSingleValue) {
+  Sample s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.95), 7.0);
+}
+
+TEST(Sample, EmptyIsZero) {
+  Sample s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+  EXPECT_EQ(s.cdf(1.0), 0.0);
+}
+
+TEST(Sample, MeanStddevMatchRunningStats) {
+  Sample s;
+  RunningStats r;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = std::cos(i) * 5 + 2;
+    s.add(x);
+    r.add(x);
+  }
+  EXPECT_NEAR(s.mean(), r.mean(), 1e-9);
+  EXPECT_NEAR(s.stddev(), r.stddev(), 1e-9);
+  EXPECT_NEAR(s.cv(), r.cv(), 1e-9);
+}
+
+TEST(Sample, CdfMonotoneAndCorrect) {
+  Sample s;
+  for (double x : {1.0, 2.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.cdf(10.0), 1.0);
+}
+
+TEST(Sample, SortInvalidationAfterAdd) {
+  Sample s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);  // re-sorts after mutation
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(ImbalanceFactor, PerfectBalanceIsZero) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(ImbalanceFactor, KnownSkew) {
+  // max = 10, avg = 5 -> eta = 1.
+  EXPECT_DOUBLE_EQ(imbalance_factor({10.0, 5.0, 0.0}), 1.0);
+}
+
+TEST(ImbalanceFactor, EmptyAndZeros) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_factor({0.0, 0.0}), 0.0);
+}
+
+TEST(LatencyImprovement, Definition) {
+  // Eq. 14: (D - D_SP) / D * 100.
+  EXPECT_DOUBLE_EQ(latency_improvement_percent(2.0, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(latency_improvement_percent(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(latency_improvement_percent(1.0, 2.0), -100.0);
+  EXPECT_DOUBLE_EQ(latency_improvement_percent(0.0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,66 @@
+// Table rendering tests.
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spcache {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"scheme", "mean_s", "tail_s"});
+  t.add_row({std::string("SP-Cache"), 0.5, 0.9});
+  t.add_row({std::string("EC-Cache"), 0.8, 1.4});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("scheme"), std::string::npos);
+  EXPECT_NE(out.find("SP-Cache"), std::string::npos);
+  EXPECT_NE(out.find("0.8"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.add_row({static_cast<long long>(1), 2.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name"});
+  t.add_row({std::string("has,comma")});
+  t.add_row({std::string("has\"quote")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsDigits) {
+  Table t({"x"});
+  t.set_precision(2);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("3.1"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({1.0});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(ExperimentHeader, ContainsArtifactName) {
+  std::ostringstream os;
+  print_experiment_header(os, "Fig. 13", "Mean and tail latencies");
+  EXPECT_NE(os.str().find("=== Fig. 13 ==="), std::string::npos);
+  EXPECT_NE(os.str().find("Mean and tail"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spcache

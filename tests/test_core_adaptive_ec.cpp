@@ -1,0 +1,106 @@
+// Adaptive EC-Cache tests: budgeted greedy parity allocation, dual read
+// paths, memory accounting.
+#include "core/adaptive_ec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spcache {
+namespace {
+
+std::vector<Bandwidth> uniform_bw(std::size_t n) { return std::vector<Bandwidth>(n, gbps(1.0)); }
+
+TEST(AdaptiveEc, OverheadStaysWithinBudget) {
+  AdaptiveEcScheme ec({10, 4, 0.15, {}});
+  const auto cat = make_uniform_catalog(200, 100 * kMB, 1.05, 10.0);
+  Rng rng(1);
+  ec.place(cat, uniform_bw(30), rng);
+  // Shards are padded (ceil(S/k)), so allow a sliver above the raw budget.
+  EXPECT_LE(ec.memory_overhead(cat), 0.16);
+  EXPECT_GT(ec.memory_overhead(cat), 0.10);  // the budget is actually used
+}
+
+TEST(AdaptiveEc, HottestFilesGetParityFirst) {
+  AdaptiveEcScheme ec({10, 4, 0.15, {}});
+  const auto cat = make_uniform_catalog(200, 100 * kMB, 1.05, 10.0);
+  Rng rng(2);
+  ec.place(cat, uniform_bw(30), rng);
+  // Parity counts are non-increasing along the load ranking (uniform sizes
+  // => rank order == load order), and the head strictly out-provisions the
+  // tail.
+  for (std::size_t i = 1; i < cat.size(); ++i) {
+    EXPECT_GE(ec.parity_count(static_cast<FileId>(i - 1)),
+              ec.parity_count(static_cast<FileId>(i)));
+  }
+  EXPECT_GT(ec.parity_count(0), ec.parity_count(199));
+  EXPECT_EQ(ec.parity_count(199), 0u);
+}
+
+TEST(AdaptiveEc, GenerousBudgetReachesUniform1014) {
+  AdaptiveEcScheme ec({10, 4, 0.40, {}});
+  const auto cat = make_uniform_catalog(50, 100 * kMB, 1.05, 10.0);
+  Rng rng(3);
+  ec.place(cat, uniform_bw(30), rng);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_EQ(ec.parity_count(static_cast<FileId>(i)), 4u);
+    EXPECT_EQ(ec.placement(static_cast<FileId>(i)).servers.size(), 14u);
+  }
+}
+
+TEST(AdaptiveEc, CodedReadUsesLateBindingAndDecode) {
+  AdaptiveEcScheme ec({10, 4, 0.15, {}});
+  const auto cat = make_uniform_catalog(100, 100 * kMB, 1.05, 10.0);
+  Rng rng(4);
+  ec.place(cat, uniform_bw(30), rng);
+  ASSERT_GT(ec.parity_count(0), 0u);
+  const auto plan = ec.plan_read(0, rng);
+  EXPECT_EQ(plan.fetches.size(), 11u);
+  EXPECT_EQ(plan.needed, 10u);
+  EXPECT_GT(plan.post_process, 0.0);
+}
+
+TEST(AdaptiveEc, UncodedReadIsPlainSplit) {
+  AdaptiveEcScheme ec({10, 4, 0.05, {}});  // tight budget: tail uncoded
+  const auto cat = make_uniform_catalog(100, 100 * kMB, 1.05, 10.0);
+  Rng rng(5);
+  ec.place(cat, uniform_bw(30), rng);
+  ASSERT_EQ(ec.parity_count(99), 0u);
+  const auto plan = ec.plan_read(99, rng);
+  EXPECT_EQ(plan.fetches.size(), 10u);
+  EXPECT_EQ(plan.needed, 10u);
+  EXPECT_DOUBLE_EQ(plan.post_process, 0.0);  // no decode without parity
+}
+
+TEST(AdaptiveEc, PlacementsDistinct) {
+  AdaptiveEcScheme ec;
+  const auto cat = make_uniform_catalog(80, 100 * kMB, 1.05, 10.0);
+  Rng rng(6);
+  ec.place(cat, uniform_bw(30), rng);
+  for (const auto& p : ec.placements()) {
+    const std::set<std::uint32_t> distinct(p.servers.begin(), p.servers.end());
+    EXPECT_EQ(distinct.size(), p.servers.size());
+    EXPECT_GE(p.servers.size(), 10u);
+    EXPECT_LE(p.servers.size(), 14u);
+  }
+}
+
+TEST(AdaptiveEc, WriteEncodeCostOnlyWithParity) {
+  AdaptiveEcScheme ec({10, 4, 0.05, {}});
+  const auto cat = make_uniform_catalog(100, 100 * kMB, 1.05, 10.0);
+  Rng rng(7);
+  ec.place(cat, uniform_bw(30), rng);
+  EXPECT_GT(ec.plan_write(0, rng).pre_process, 0.0);
+  EXPECT_DOUBLE_EQ(ec.plan_write(99, rng).pre_process, 0.0);
+}
+
+TEST(AdaptiveEc, InvalidGeometryThrows) {
+  EXPECT_THROW(AdaptiveEcScheme({0, 4, 0.15, {}}), std::invalid_argument);
+  AdaptiveEcScheme too_wide({28, 4, 0.15, {}});
+  const auto cat = make_uniform_catalog(10, kMB, 1.0, 1.0);
+  Rng rng(8);
+  EXPECT_THROW(too_wide.place(cat, uniform_bw(30), rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,112 @@
+// Consistent-hash ring and hash-placement baseline tests.
+#include "core/hash_placement.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/stats.h"
+
+namespace spcache {
+namespace {
+
+std::vector<Bandwidth> uniform_bw(std::size_t n) { return std::vector<Bandwidth>(n, gbps(1.0)); }
+
+TEST(HashRing, Deterministic) {
+  ConsistentHashRing a(30), b(30);
+  for (std::uint64_t key = 0; key < 500; ++key) {
+    EXPECT_EQ(a.server_for(key), b.server_for(key));
+  }
+}
+
+TEST(HashRing, AllServersReachable) {
+  ConsistentHashRing ring(10, 128);
+  std::set<std::uint32_t> seen;
+  for (std::uint64_t key = 0; key < 5000; ++key) seen.insert(ring.server_for(key));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(HashRing, RoughKeyBalanceWithManyVnodes) {
+  ConsistentHashRing ring(10, 256);
+  std::map<std::uint32_t, int> counts;
+  const int keys = 50000;
+  for (std::uint64_t key = 0; key < keys; ++key) ++counts[ring.server_for(key)];
+  for (const auto& [server, count] : counts) {
+    // Within 2x of the fair share — hashing balances counts, not load.
+    EXPECT_GT(count, keys / 10 / 2);
+    EXPECT_LT(count, keys / 10 * 2);
+  }
+}
+
+TEST(HashRing, ServersForDistinct) {
+  ConsistentHashRing ring(30, 64);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    const auto servers = ring.servers_for(key, 14);
+    const std::set<std::uint32_t> distinct(servers.begin(), servers.end());
+    EXPECT_EQ(distinct.size(), 14u);
+    EXPECT_EQ(servers.front(), ring.server_for(key));  // chain starts at owner
+  }
+}
+
+TEST(HashRing, MinimalDisruptionWhenGrowing) {
+  // Adding a server must not reshuffle the bulk of the keys — the defining
+  // property of consistent hashing.
+  ConsistentHashRing before(20, 64), after(21, 64);
+  int moved = 0;
+  const int keys = 20000;
+  for (std::uint64_t key = 0; key < keys; ++key) {
+    if (before.server_for(key) != after.server_for(key)) ++moved;
+  }
+  // Expected churn ~ 1/21 of keys; allow generous slack.
+  EXPECT_LT(moved, keys / 5);
+  EXPECT_GT(moved, 0);
+}
+
+TEST(HashPlacement, WholeFileOnRingOwner) {
+  HashPlacementScheme scheme;
+  const auto cat = make_uniform_catalog(50, 100 * kMB, 1.05, 8.0);
+  Rng rng(1);
+  scheme.place(cat, uniform_bw(30), rng);
+  const ConsistentHashRing ring(30, 64);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto& p = scheme.placement(static_cast<FileId>(i));
+    ASSERT_EQ(p.servers.size(), 1u);
+    EXPECT_EQ(p.servers[0], ring.server_for(i));
+    EXPECT_EQ(p.piece_bytes[0], 100 * kMB);
+  }
+  EXPECT_NEAR(scheme.memory_overhead(cat), 0.0, 1e-9);
+}
+
+TEST(HashPlacement, PopularityAgnosticImbalance) {
+  // The Section 9 argument: perfect count balance != load balance. Hash
+  // placement's per-server expected load variance is far above SP-Cache's
+  // under skew.
+  const auto cat = make_uniform_catalog(300, 100 * kMB, 1.1, 10.0);
+  HashPlacementScheme hash;
+  Rng rng(2);
+  hash.place(cat, uniform_bw(30), rng);
+  std::vector<double> loads(30, 0.0);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    loads[hash.placement(static_cast<FileId>(i)).servers[0]] +=
+        cat.load(static_cast<FileId>(i));
+  }
+  // The hottest file alone pushes its server far above average.
+  EXPECT_GT(imbalance_factor(loads), 1.0);
+}
+
+TEST(HashPlacement, ReadAndWritePlans) {
+  HashPlacementScheme scheme;
+  const auto cat = make_uniform_catalog(10, 10 * kMB, 1.0, 1.0);
+  Rng rng(3);
+  scheme.place(cat, uniform_bw(30), rng);
+  const auto read = scheme.plan_read(4, rng);
+  EXPECT_EQ(read.fetches.size(), 1u);
+  EXPECT_EQ(read.needed, 1u);
+  const auto write = scheme.plan_write(4, rng);
+  EXPECT_EQ(write.stores.size(), 1u);
+  EXPECT_EQ(write.stores[0].server, read.fetches[0].server);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,151 @@
+// Algorithm 2 (repartition planning) tests.
+#include "core/repartition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sp_cache.h"
+
+namespace spcache {
+namespace {
+
+std::vector<Bandwidth> uniform_bw(std::size_t n) { return std::vector<Bandwidth>(n, gbps(1.0)); }
+
+struct Layout {
+  Catalog catalog;
+  std::vector<std::size_t> k;
+  std::vector<std::vector<std::uint32_t>> servers;
+};
+
+Layout make_layout(std::size_t n_files, std::uint64_t seed) {
+  Layout layout;
+  layout.catalog = make_uniform_catalog(n_files, 50 * kMB, 1.05, 10.0);
+  SpCacheScheme sp;
+  Rng rng(seed);
+  sp.place(layout.catalog, uniform_bw(30), rng);
+  layout.k = sp.partition_counts();
+  layout.servers.reserve(n_files);
+  for (const auto& p : sp.placements()) layout.servers.push_back(p.servers);
+  return layout;
+}
+
+TEST(Repartition, NoShiftMeansNothingChanges) {
+  auto layout = make_layout(100, 1);
+  Rng rng(2);
+  // Same catalog, same popularities: Algorithm 1 may choose a slightly
+  // different alpha, but with identical inputs the k_i should mostly match.
+  const auto plan = plan_repartition(layout.catalog, uniform_bw(30), layout.k, layout.servers,
+                                     ScaleFactorConfig{}, rng);
+  EXPECT_LT(plan.changed_fraction(100), 0.25);
+}
+
+TEST(Repartition, ShiftTouchesOnlyChangedFiles) {
+  auto layout = make_layout(150, 3);
+  Rng rng(4);
+  layout.catalog.shuffle_popularities(rng);
+  const auto plan = plan_repartition(layout.catalog, uniform_bw(30), layout.k, layout.servers,
+                                     ScaleFactorConfig{}, rng);
+  // Every listed file really changed count; every unlisted file kept it.
+  std::set<FileId> changed(plan.changed_files.begin(), plan.changed_files.end());
+  for (std::size_t i = 0; i < layout.catalog.size(); ++i) {
+    if (changed.count(static_cast<FileId>(i))) {
+      EXPECT_NE(plan.new_k[i], layout.k[i]) << "file " << i;
+    } else {
+      EXPECT_EQ(plan.new_k[i], layout.k[i]) << "file " << i;
+    }
+  }
+}
+
+TEST(Repartition, ChangedFilesGetDistinctServers) {
+  auto layout = make_layout(150, 5);
+  Rng rng(6);
+  layout.catalog.shuffle_popularities(rng);
+  const auto plan = plan_repartition(layout.catalog, uniform_bw(30), layout.k, layout.servers,
+                                     ScaleFactorConfig{}, rng);
+  ASSERT_GT(plan.changed_files.size(), 0u);
+  for (std::size_t j = 0; j < plan.changed_files.size(); ++j) {
+    const FileId f = plan.changed_files[j];
+    EXPECT_EQ(plan.new_servers[j].size(), plan.new_k[f]);
+    const std::set<std::uint32_t> distinct(plan.new_servers[j].begin(),
+                                           plan.new_servers[j].end());
+    EXPECT_EQ(distinct.size(), plan.new_servers[j].size());
+  }
+}
+
+TEST(Repartition, ExecutorIsAnOldHolder) {
+  auto layout = make_layout(150, 7);
+  Rng rng(8);
+  layout.catalog.shuffle_popularities(rng);
+  const auto plan = plan_repartition(layout.catalog, uniform_bw(30), layout.k, layout.servers,
+                                     ScaleFactorConfig{}, rng);
+  for (std::size_t j = 0; j < plan.changed_files.size(); ++j) {
+    const FileId f = plan.changed_files[j];
+    const auto& old = layout.servers[f];
+    EXPECT_NE(std::find(old.begin(), old.end(), plan.executor[j]), old.end())
+        << "executor must already hold a piece of file " << f;
+  }
+}
+
+TEST(Repartition, GreedyPlacementBalancesPartitionCounts) {
+  auto layout = make_layout(200, 9);
+  Rng rng(10);
+  layout.catalog.shuffle_popularities(rng);
+  const auto plan = plan_repartition(layout.catalog, uniform_bw(30), layout.k, layout.servers,
+                                     ScaleFactorConfig{}, rng);
+  // Count partitions per server in the post-plan layout.
+  std::vector<std::size_t> per_server(30, 0);
+  std::set<FileId> changed(plan.changed_files.begin(), plan.changed_files.end());
+  for (std::size_t i = 0; i < layout.catalog.size(); ++i) {
+    if (!changed.count(static_cast<FileId>(i))) {
+      for (auto s : layout.servers[i]) ++per_server[s];
+    }
+  }
+  for (std::size_t j = 0; j < plan.changed_files.size(); ++j) {
+    for (auto s : plan.new_servers[j]) ++per_server[s];
+  }
+  std::size_t mx = 0, mn = SIZE_MAX;
+  for (auto c : per_server) {
+    mx = std::max(mx, c);
+    mn = std::min(mn, c);
+  }
+  // Greedy least-loaded placement keeps the spread tight.
+  EXPECT_LE(mx - mn, 6u);
+}
+
+TEST(Repartition, FractionDecreasesWithCatalogSize) {
+  // Fig. 17's trend: with more files, cold single-partition files dominate
+  // and the changed fraction shrinks.
+  double small_frac = 0.0, large_frac = 0.0;
+  {
+    auto layout = make_layout(100, 11);
+    Rng rng(12);
+    layout.catalog.shuffle_popularities(rng);
+    const auto plan = plan_repartition(layout.catalog, uniform_bw(30), layout.k,
+                                       layout.servers, ScaleFactorConfig{}, rng);
+    small_frac = plan.changed_fraction(100);
+  }
+  {
+    auto layout = make_layout(1000, 13);
+    Rng rng(14);
+    layout.catalog.shuffle_popularities(rng);
+    const auto plan = plan_repartition(layout.catalog, uniform_bw(30), layout.k,
+                                       layout.servers, ScaleFactorConfig{}, rng);
+    large_frac = plan.changed_fraction(1000);
+  }
+  EXPECT_LT(large_frac, small_frac);
+}
+
+TEST(Repartition, AlphaRecomputedForNewPopularities) {
+  auto layout = make_layout(100, 15);
+  Rng rng(16);
+  auto hot = layout.catalog;
+  hot.set_total_rate(40.0);  // 4x the load
+  const auto plan = plan_repartition(hot, uniform_bw(30), layout.k, layout.servers,
+                                     ScaleFactorConfig{}, rng);
+  EXPECT_GT(plan.alpha, 0.0);
+  EXPECT_EQ(plan.new_k, partition_counts_for_alpha(hot, plan.alpha, 30));
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,278 @@
+// Baseline caching-scheme tests: placement invariants, plan structure,
+// memory-overhead accounting for EC-Cache, selective replication, fixed
+// chunking, and simple partition.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ec_cache.h"
+#include "core/fixed_chunking.h"
+#include "core/selective_replication.h"
+#include "core/simple_partition.h"
+
+namespace spcache {
+namespace {
+
+std::vector<Bandwidth> uniform_bw(std::size_t n) { return std::vector<Bandwidth>(n, gbps(1.0)); }
+
+// ---------------------------------------------------------------- EC-Cache
+
+TEST(EcCache, PlacementHasNDistinctServers) {
+  EcCacheScheme ec;
+  const auto cat = make_uniform_catalog(50, 100 * kMB, 1.05, 8.0);
+  Rng rng(1);
+  ec.place(cat, uniform_bw(30), rng);
+  for (const auto& p : ec.placements()) {
+    EXPECT_EQ(p.servers.size(), 14u);
+    EXPECT_EQ(p.data_pieces, 10u);
+    const std::set<std::uint32_t> distinct(p.servers.begin(), p.servers.end());
+    EXPECT_EQ(distinct.size(), 14u);
+  }
+}
+
+TEST(EcCache, MemoryOverheadIsFortyPercent) {
+  EcCacheScheme ec;
+  const auto cat = make_uniform_catalog(50, 100 * kMB, 1.05, 8.0);
+  Rng rng(2);
+  ec.place(cat, uniform_bw(30), rng);
+  EXPECT_NEAR(ec.memory_overhead(cat), 0.4, 0.001);
+  EXPECT_NEAR(ec.code_overhead(), 0.4, 1e-12);
+}
+
+TEST(EcCache, ReadPlanIsLateBinding) {
+  EcCacheScheme ec;
+  const auto cat = make_uniform_catalog(10, 100 * kMB, 1.05, 8.0);
+  Rng rng(3);
+  ec.place(cat, uniform_bw(30), rng);
+  const auto plan = ec.plan_read(0, rng);
+  EXPECT_EQ(plan.fetches.size(), 11u);  // k + 1
+  EXPECT_EQ(plan.needed, 10u);          // join on k
+  EXPECT_GT(plan.post_process, 0.0);    // decode cost
+  // All fetched servers belong to the file's placement.
+  const auto& p = ec.placement(0);
+  const std::set<std::uint32_t> placed(p.servers.begin(), p.servers.end());
+  for (const auto& f : plan.fetches) EXPECT_TRUE(placed.count(f.server));
+}
+
+TEST(EcCache, LateBindingSamplesVary) {
+  EcCacheScheme ec;
+  const auto cat = make_uniform_catalog(1, 100 * kMB, 1.0, 1.0);
+  Rng rng(4);
+  ec.place(cat, uniform_bw(30), rng);
+  std::set<std::uint32_t> seen;
+  for (int t = 0; t < 50; ++t) {
+    for (const auto& f : ec.plan_read(0, rng).fetches) seen.insert(f.server);
+  }
+  // Over 50 draws of 11-of-14 we should see all 14 shard servers.
+  EXPECT_EQ(seen.size(), 14u);
+}
+
+TEST(EcCache, DecodeCostGrowsWithFileSize) {
+  EcCacheScheme ec;
+  std::vector<FileInfo> files(2);
+  files[0].size = 10 * kMB;
+  files[0].request_rate = 1.0;
+  files[1].size = 200 * kMB;
+  files[1].request_rate = 1.0;
+  const Catalog cat(std::move(files));
+  Rng rng(5);
+  ec.place(cat, uniform_bw(30), rng);
+  EXPECT_LT(ec.plan_read(0, rng).post_process, ec.plan_read(1, rng).post_process);
+}
+
+TEST(EcCache, WritePlanStoresAllShardsWithEncodeCost) {
+  EcCacheScheme ec;
+  const auto cat = make_uniform_catalog(5, 100 * kMB, 1.0, 1.0);
+  Rng rng(6);
+  ec.place(cat, uniform_bw(30), rng);
+  const auto plan = ec.plan_write(0, rng);
+  EXPECT_EQ(plan.stores.size(), 14u);
+  EXPECT_GT(plan.pre_process, 0.0);
+}
+
+TEST(EcCache, RejectsTooFewServers) {
+  EcCacheScheme ec;
+  const auto cat = make_uniform_catalog(5, 100 * kMB, 1.0, 1.0);
+  Rng rng(7);
+  EXPECT_THROW(ec.place(cat, uniform_bw(10), rng), std::invalid_argument);
+}
+
+TEST(EcCache, InvalidConfigThrows) {
+  EXPECT_THROW(EcCacheScheme(EcCacheConfig{0, 4, {}, 1}), std::invalid_argument);
+  EXPECT_THROW(EcCacheScheme(EcCacheConfig{5, 4, {}, 1}), std::invalid_argument);
+}
+
+// ------------------------------------------------- Selective replication
+
+TEST(SelectiveReplication, TopFilesGetReplicas) {
+  SelectiveReplicationScheme sr;  // top 10% x4
+  const auto cat = make_uniform_catalog(100, 100 * kMB, 1.1, 8.0);
+  Rng rng(8);
+  sr.place(cat, uniform_bw(30), rng);
+  // Files 0..9 carry the highest loads (uniform sizes, Zipf rates).
+  for (FileId f = 0; f < 10; ++f) EXPECT_EQ(sr.replica_count(f), 4u);
+  for (FileId f = 10; f < 100; ++f) EXPECT_EQ(sr.replica_count(f), 1u);
+}
+
+TEST(SelectiveReplication, ReplicasOnDistinctServers) {
+  SelectiveReplicationScheme sr;
+  const auto cat = make_uniform_catalog(50, 100 * kMB, 1.1, 8.0);
+  Rng rng(9);
+  sr.place(cat, uniform_bw(30), rng);
+  for (const auto& p : sr.placements()) {
+    const std::set<std::uint32_t> distinct(p.servers.begin(), p.servers.end());
+    EXPECT_EQ(distinct.size(), p.servers.size());
+    for (Bytes b : p.piece_bytes) EXPECT_EQ(b, 100 * kMB);  // full copies
+  }
+}
+
+TEST(SelectiveReplication, MemoryOverheadMatchesConfig) {
+  // Equal sizes: overhead = top_fraction * (replicas - 1) = 0.1 * 3 = 30%.
+  SelectiveReplicationScheme sr;
+  const auto cat = make_uniform_catalog(100, 100 * kMB, 1.1, 8.0);
+  Rng rng(10);
+  sr.place(cat, uniform_bw(30), rng);
+  EXPECT_NEAR(sr.memory_overhead(cat), 0.3, 0.001);
+}
+
+TEST(SelectiveReplication, ReadPicksSingleReplica) {
+  SelectiveReplicationScheme sr;
+  const auto cat = make_uniform_catalog(20, 100 * kMB, 1.1, 8.0);
+  Rng rng(11);
+  sr.place(cat, uniform_bw(30), rng);
+  std::set<std::uint32_t> seen;
+  for (int t = 0; t < 100; ++t) {
+    const auto plan = sr.plan_read(0, rng);
+    ASSERT_EQ(plan.fetches.size(), 1u);
+    EXPECT_EQ(plan.needed, 1u);
+    EXPECT_DOUBLE_EQ(plan.post_process, 0.0);
+    seen.insert(plan.fetches[0].server);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // load spread over all 4 replicas
+}
+
+TEST(SelectiveReplication, WriteStoresAllReplicas) {
+  SelectiveReplicationScheme sr;
+  const auto cat = make_uniform_catalog(20, 100 * kMB, 1.1, 8.0);
+  Rng rng(12);
+  sr.place(cat, uniform_bw(30), rng);
+  EXPECT_EQ(sr.plan_write(0, rng).stores.size(), 4u);
+  EXPECT_EQ(sr.plan_write(19, rng).stores.size(), 1u);
+}
+
+TEST(SelectiveReplication, RanksBySizeTimesPopularity) {
+  // A huge lukewarm file can out-load a hot small one; ranking is by L_i.
+  std::vector<FileInfo> files(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    files[i].size = 10 * kMB;
+    files[i].request_rate = 1.0;
+  }
+  files[7].size = 10 * kGB;  // dominates load despite average popularity
+  const Catalog cat(std::move(files));
+  SelectiveReplicationScheme sr({0.1, 4});
+  Rng rng(13);
+  sr.place(cat, uniform_bw(30), rng);
+  EXPECT_EQ(sr.replica_count(7), 4u);
+}
+
+// ------------------------------------------------------- Fixed chunking
+
+TEST(FixedChunking, ChunkCountCeilsSize) {
+  FixedChunkingScheme fc({8 * kMB});
+  std::vector<FileInfo> files(3);
+  files[0].size = 8 * kMB;       // 1 chunk
+  files[1].size = 8 * kMB + 1;   // 2 chunks
+  files[2].size = 100 * kMB;     // 13 chunks
+  for (auto& f : files) f.request_rate = 1.0;
+  const Catalog cat(std::move(files));
+  Rng rng(14);
+  fc.place(cat, uniform_bw(30), rng);
+  EXPECT_EQ(fc.placement(0).servers.size(), 1u);
+  EXPECT_EQ(fc.placement(1).servers.size(), 2u);
+  EXPECT_EQ(fc.placement(2).servers.size(), 13u);
+}
+
+TEST(FixedChunking, ChunkSizesSumToFile) {
+  FixedChunkingScheme fc({8 * kMB});
+  const auto cat = make_uniform_catalog(20, 100 * kMB, 1.05, 8.0);
+  Rng rng(15);
+  fc.place(cat, uniform_bw(30), rng);
+  for (const auto& p : fc.placements()) {
+    Bytes total = 0;
+    for (Bytes b : p.piece_bytes) {
+      EXPECT_LE(b, 8 * kMB);
+      total += b;
+    }
+    EXPECT_EQ(total, 100 * kMB);
+  }
+}
+
+TEST(FixedChunking, NoRedundancy) {
+  FixedChunkingScheme fc({4 * kMB});
+  const auto cat = make_uniform_catalog(20, 100 * kMB, 1.05, 8.0);
+  Rng rng(16);
+  fc.place(cat, uniform_bw(30), rng);
+  EXPECT_NEAR(fc.memory_overhead(cat), 0.0, 1e-9);
+}
+
+TEST(FixedChunking, WrapsWhenChunksExceedServers) {
+  FixedChunkingScheme fc({kMB});
+  std::vector<FileInfo> files(1);
+  files[0].size = 50 * kMB;  // 50 chunks > 30 servers
+  files[0].request_rate = 1.0;
+  const Catalog cat(std::move(files));
+  Rng rng(17);
+  fc.place(cat, uniform_bw(30), rng);
+  const auto& p = fc.placement(0);
+  EXPECT_EQ(p.servers.size(), 50u);
+  const std::set<std::uint32_t> distinct(p.servers.begin(), p.servers.end());
+  EXPECT_EQ(distinct.size(), 30u);  // all servers used, some twice
+}
+
+TEST(FixedChunking, NameEncodesChunkSize) {
+  EXPECT_EQ(FixedChunkingScheme({4 * kMB}).name(), "Fixed chunking (4 MB)");
+}
+
+// ----------------------------------------------------- Simple partition
+
+TEST(SimplePartition, UniformPartitionCount) {
+  SimplePartitionScheme sp(9);
+  const auto cat = make_uniform_catalog(20, 40 * kMB, 1.1, 10.0);
+  Rng rng(18);
+  sp.place(cat, uniform_bw(30), rng);
+  for (const auto& p : sp.placements()) {
+    EXPECT_EQ(p.servers.size(), 9u);
+    const std::set<std::uint32_t> distinct(p.servers.begin(), p.servers.end());
+    EXPECT_EQ(distinct.size(), 9u);
+    Bytes total = 0;
+    for (Bytes b : p.piece_bytes) total += b;
+    EXPECT_EQ(total, 40 * kMB);
+  }
+}
+
+TEST(SimplePartition, ReadJoinsOnAll) {
+  SimplePartitionScheme sp(5);
+  const auto cat = make_uniform_catalog(5, 40 * kMB, 1.1, 10.0);
+  Rng rng(19);
+  sp.place(cat, uniform_bw(30), rng);
+  const auto plan = sp.plan_read(2, rng);
+  EXPECT_EQ(plan.fetches.size(), 5u);
+  EXPECT_EQ(plan.needed, 5u);
+  EXPECT_DOUBLE_EQ(plan.post_process, 0.0);
+}
+
+TEST(StockScheme, SinglePieceNoSplit) {
+  StockScheme stock;
+  const auto cat = make_uniform_catalog(10, 40 * kMB, 1.1, 10.0);
+  Rng rng(20);
+  stock.place(cat, uniform_bw(30), rng);
+  for (const auto& p : stock.placements()) {
+    EXPECT_EQ(p.servers.size(), 1u);
+    EXPECT_EQ(p.piece_bytes[0], 40 * kMB);
+  }
+  EXPECT_EQ(stock.name(), "Stock (no partition)");
+  EXPECT_NEAR(stock.memory_overhead(cat), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,112 @@
+// Segment-level selective partition tests (Section 8 extension).
+#include "core/segment_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace spcache {
+namespace {
+
+SegmentedFile parquet_like() {
+  // A columnar file: one hot column group, two lukewarm, many cold.
+  SegmentedFile f;
+  f.segments.push_back({40 * kMB, 50.0});  // hot key column
+  f.segments.push_back({30 * kMB, 5.0});
+  f.segments.push_back({20 * kMB, 3.0});
+  for (int i = 0; i < 5; ++i) f.segments.push_back({10 * kMB, 0.2});
+  return f;
+}
+
+TEST(SegmentedFile, Totals) {
+  const auto f = parquet_like();
+  EXPECT_EQ(f.total_bytes(), (40 + 30 + 20 + 50) * kMB);
+  EXPECT_NEAR(f.total_rate(), 59.0, 1e-12);
+}
+
+TEST(SegmentedFile, SegmentLoadDefinition) {
+  const auto f = parquet_like();
+  EXPECT_NEAR(f.segment_load(0), 40.0 * kMB * (50.0 / 59.0), 1.0);
+  EXPECT_NEAR(f.segment_load(3), 10.0 * kMB * (0.2 / 59.0), 1.0);
+}
+
+TEST(SegmentPlan, HotSegmentsSplitFinest) {
+  const auto f = parquet_like();
+  Rng rng(1);
+  const double alpha = 8.0 / f.segment_load(0);  // hot segment -> 8 pieces
+  const auto plan = plan_segment_partition(f, alpha, 30, rng);
+  ASSERT_EQ(plan.partitions.size(), f.segments.size());
+  EXPECT_EQ(plan.partitions[0], 8u);
+  // Cold column groups stay whole.
+  for (std::size_t j = 3; j < f.segments.size(); ++j) EXPECT_EQ(plan.partitions[j], 1u);
+  // Counts follow the load ordering.
+  EXPECT_GE(plan.partitions[0], plan.partitions[1]);
+  EXPECT_GE(plan.partitions[1], plan.partitions[2]);
+}
+
+TEST(SegmentPlan, ServersDistinctPerSegment) {
+  const auto f = parquet_like();
+  Rng rng(2);
+  const auto plan = plan_segment_partition(f, 10.0 / f.segment_load(0), 30, rng);
+  for (std::size_t j = 0; j < plan.servers.size(); ++j) {
+    ASSERT_EQ(plan.servers[j].size(), plan.partitions[j]);
+    const std::set<std::uint32_t> distinct(plan.servers[j].begin(), plan.servers[j].end());
+    EXPECT_EQ(distinct.size(), plan.servers[j].size());
+  }
+}
+
+TEST(SegmentPlan, FewerFetchesPerAccessAtSameBalance) {
+  // The extension's selling point: a reader touching one column group only
+  // fetches that group's pieces. At equal per-partition load, segment-wise
+  // splitting serves the popularity-weighted access with fewer fetches than
+  // whole-file splitting (whose every read touches all k pieces).
+  const auto f = parquet_like();
+  Rng rng(3);
+  const double alpha = 8.0 / f.segment_load(0);
+  const auto seg_plan = plan_segment_partition(f, alpha, 30, rng);
+  const double seg_balance = max_partition_load(f, seg_plan);
+
+  // Whole-file pieces needed for the same balance.
+  std::size_t k_whole = 1;
+  while (k_whole < 30 && max_partition_load_whole(f, k_whole) > seg_balance) ++k_whole;
+
+  double seg_fetches = 0.0;  // expected fetches per access
+  for (std::size_t j = 0; j < f.segments.size(); ++j) {
+    seg_fetches += f.segments[j].request_rate / f.total_rate() *
+                   static_cast<double>(seg_plan.partitions[j]);
+  }
+  EXPECT_LT(seg_fetches, static_cast<double>(k_whole));
+  // Cold-column readers in particular touch a single piece.
+  EXPECT_EQ(seg_plan.partitions.back(), 1u);
+}
+
+TEST(SegmentPlan, UniformSegmentsReduceToWholeFileBehaviour) {
+  SegmentedFile f;
+  for (int i = 0; i < 4; ++i) f.segments.push_back({25 * kMB, 1.0});
+  Rng rng(4);
+  const double alpha = 2.0 / f.segment_load(0);
+  const auto plan = plan_segment_partition(f, alpha, 30, rng);
+  for (auto k : plan.partitions) EXPECT_EQ(k, 2u);
+  EXPECT_EQ(plan.total_pieces(), 8u);
+  EXPECT_EQ(whole_file_partitions(f, alpha, 30), 8u);
+}
+
+TEST(SegmentPlan, ClampedToServerCount) {
+  SegmentedFile f;
+  f.segments.push_back({100 * kMB, 100.0});
+  Rng rng(5);
+  const auto plan = plan_segment_partition(f, 1.0, 10, rng);  // absurd alpha
+  EXPECT_EQ(plan.partitions[0], 10u);
+}
+
+TEST(SegmentPlan, ZeroRateFile) {
+  SegmentedFile f;
+  f.segments.push_back({10 * kMB, 0.0});
+  EXPECT_DOUBLE_EQ(f.segment_load(0), 0.0);
+  Rng rng(6);
+  const auto plan = plan_segment_partition(f, 1.0, 10, rng);
+  EXPECT_EQ(plan.partitions[0], 1u);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,123 @@
+// GF(256) field-axiom tests (property-style over sampled triples) and bulk
+// slice operation tests.
+#include "erasure/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spcache::gf256 {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(sub(0x53, 0xCA), 0x53 ^ 0xCA);
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(x, 1), x);
+    EXPECT_EQ(mul(1, x), x);
+    EXPECT_EQ(mul(x, 0), 0);
+    EXPECT_EQ(mul(0, x), 0);
+  }
+}
+
+TEST(Gf256, KnownAesProducts) {
+  // Classic AES-field check values (polynomial 0x11B).
+  EXPECT_EQ(mul(0x53, 0xCA), 0x01);
+  EXPECT_EQ(mul(0x02, 0x80), 0x1B);
+  EXPECT_EQ(mul(0x57, 0x13), 0xFE);
+}
+
+TEST(Gf256, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(mul(x, inv(x)), 1) << "a=" << a;
+    EXPECT_EQ(div(x, x), 1);
+  }
+}
+
+TEST(Gf256, DivIsMulByInverse) {
+  Rng rng(1);
+  for (int t = 0; t < 2000; ++t) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto b = static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+    EXPECT_EQ(div(a, b), mul(a, inv(b)));
+  }
+}
+
+class Gf256AxiomsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Gf256AxiomsTest, CommutativeAssociativeDistributive) {
+  Rng rng(GetParam());
+  for (int t = 0; t < 3000; ++t) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_index(256));
+    EXPECT_EQ(mul(a, b), mul(b, a));
+    EXPECT_EQ(mul(a, mul(b, c)), mul(mul(a, b), c));
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Gf256AxiomsTest, ::testing::Values(11, 22, 33, 44));
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  Rng rng(5);
+  for (int t = 0; t < 500; ++t) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_index(256));
+    const unsigned e = static_cast<unsigned>(rng.uniform_index(16));
+    std::uint8_t expected = 1;
+    for (unsigned i = 0; i < e; ++i) expected = mul(expected, a);
+    EXPECT_EQ(pow(a, e), expected) << "a=" << int(a) << " e=" << e;
+  }
+}
+
+TEST(Gf256, PowZeroExponent) {
+  EXPECT_EQ(pow(0, 0), 1);
+  EXPECT_EQ(pow(97, 0), 1);
+}
+
+TEST(Gf256, FermatLittleTheorem) {
+  // a^255 == 1 for all nonzero a.
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(pow(static_cast<std::uint8_t>(a), 255), 1);
+  }
+}
+
+TEST(Gf256, MulSliceMatchesScalar) {
+  Rng rng(6);
+  std::vector<std::uint8_t> src(257);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  for (std::uint8_t c : {std::uint8_t{0}, std::uint8_t{1}, std::uint8_t{0x53}, std::uint8_t{0xFF}}) {
+    std::vector<std::uint8_t> dst(src.size());
+    mul_slice(dst, src, c);
+    for (std::size_t i = 0; i < src.size(); ++i) EXPECT_EQ(dst[i], mul(src[i], c));
+  }
+}
+
+TEST(Gf256, MulAddSliceMatchesScalar) {
+  Rng rng(7);
+  std::vector<std::uint8_t> src(129), dst(129), expected(129);
+  for (auto& b : src) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  for (auto& b : dst) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  expected = dst;
+  const std::uint8_t c = 0xA7;
+  for (std::size_t i = 0; i < src.size(); ++i) expected[i] = add(expected[i], mul(src[i], c));
+  mul_add_slice(dst, src, c);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST(Gf256, MulAddSliceZeroCoefficientIsNoop) {
+  std::vector<std::uint8_t> src{1, 2, 3}, dst{9, 8, 7};
+  const auto before = dst;
+  mul_add_slice(dst, src, 0);
+  EXPECT_EQ(dst, before);
+}
+
+}  // namespace
+}  // namespace spcache::gf256

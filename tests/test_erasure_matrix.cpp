@@ -1,0 +1,109 @@
+// GF(256) matrix tests: identity, multiplication, Cauchy submatrix
+// invertibility (the MDS property's foundation), Gauss-Jordan inversion.
+#include "erasure/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "erasure/gf256.h"
+
+namespace spcache {
+namespace {
+
+TEST(GfMatrix, IdentityMultiplication) {
+  const auto id = GfMatrix::identity(4);
+  GfMatrix m(4, 4);
+  Rng rng(1);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      m.at(i, j) = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+  }
+  EXPECT_EQ(id.multiply(m), m);
+  EXPECT_EQ(m.multiply(id), m);
+}
+
+TEST(GfMatrix, InverseOfIdentityIsIdentity) {
+  const auto id = GfMatrix::identity(5);
+  const auto inv = id.inverse();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, id);
+}
+
+TEST(GfMatrix, SingularMatrixReturnsNullopt) {
+  GfMatrix m(2, 2);  // all zeros
+  EXPECT_FALSE(m.inverse().has_value());
+  // Duplicate rows.
+  GfMatrix d(2, 2);
+  d.at(0, 0) = 1;
+  d.at(0, 1) = 2;
+  d.at(1, 0) = 1;
+  d.at(1, 1) = 2;
+  EXPECT_FALSE(d.inverse().has_value());
+}
+
+TEST(GfMatrix, InverseTimesSelfIsIdentity) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    GfMatrix m(6, 6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t j = 0; j < 6; ++j) {
+        m.at(i, j) = static_cast<std::uint8_t>(rng.uniform_index(256));
+      }
+    }
+    const auto inv = m.inverse();
+    if (!inv.has_value()) continue;  // randomly singular: skip
+    EXPECT_EQ(inv->multiply(m), GfMatrix::identity(6));
+    EXPECT_EQ(m.multiply(*inv), GfMatrix::identity(6));
+  }
+}
+
+TEST(GfMatrix, CauchyEntriesFormula) {
+  const auto c = GfMatrix::cauchy(4, 10);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      const auto x = static_cast<std::uint8_t>(i);
+      const auto y = static_cast<std::uint8_t>(4 + j);
+      EXPECT_EQ(c.at(i, j), gf256::inv(gf256::add(x, y)));
+    }
+  }
+}
+
+TEST(GfMatrix, CauchySquareSubmatricesInvertible) {
+  // Every square submatrix of a Cauchy matrix is nonsingular — the property
+  // that makes [I ; C] an MDS generator. Sample row/column subsets.
+  const auto c = GfMatrix::cauchy(8, 8);
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t size = 1 + rng.uniform_index(8);
+    const auto rows = rng.sample_without_replacement(8, size);
+    const auto cols = rng.sample_without_replacement(8, size);
+    GfMatrix sub(size, size);
+    for (std::size_t i = 0; i < size; ++i) {
+      for (std::size_t j = 0; j < size; ++j) sub.at(i, j) = c.at(rows[i], cols[j]);
+    }
+    EXPECT_TRUE(sub.inverse().has_value()) << "trial " << trial << " size " << size;
+  }
+}
+
+TEST(GfMatrix, SelectRows) {
+  GfMatrix m(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) m.at(i, j) = static_cast<std::uint8_t>(10 * i + j);
+  }
+  const auto s = m.select_rows({2, 0});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.at(0, 0), 20);
+  EXPECT_EQ(s.at(0, 1), 21);
+  EXPECT_EQ(s.at(1, 0), 0);
+}
+
+TEST(GfMatrix, MultiplyDimensions) {
+  GfMatrix a(2, 3), b(3, 4);
+  const auto c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+}
+
+}  // namespace
+}  // namespace spcache

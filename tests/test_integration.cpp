@@ -1,0 +1,191 @@
+// Cross-module integration tests: the paper's headline orderings must
+// emerge end-to-end from the catalog -> scheme -> simulator pipeline, and
+// the analytic bound must actually bound the simulated system it models.
+#include <gtest/gtest.h>
+
+#include "core/ec_cache.h"
+#include "core/selective_replication.h"
+#include "core/simple_partition.h"
+#include "core/sp_cache.h"
+#include "math/latency_model.h"
+#include "sim/simulation.h"
+
+namespace spcache {
+namespace {
+
+constexpr std::size_t kServers = 30;
+
+SimResult run_scheme(CachingScheme& scheme, const Catalog& catalog, std::size_t n_requests,
+                     std::uint64_t seed, const StragglerModel& stragglers) {
+  Rng rng(seed);
+  scheme.place(catalog, std::vector<Bandwidth>(kServers, gbps(1.0)), rng);
+  SimConfig cfg;
+  cfg.n_servers = kServers;
+  cfg.bandwidth = {gbps(1.0)};
+  cfg.goodput = GoodputModel::calibrated(gbps(1.0));
+  cfg.stragglers = stragglers;
+  cfg.seed = seed + 1;
+  Simulation sim(cfg);
+  Rng arrival_rng(seed + 2);
+  const auto arrivals = generate_poisson_arrivals(catalog, n_requests, arrival_rng);
+  return sim.run(arrivals,
+                 [&scheme](FileId f, Rng& r) { return scheme.plan_read(f, r); });
+}
+
+TEST(Integration, SpBeatsEcBeatsReplicationAtHighLoad) {
+  // The Fig. 13 ordering at a heavy request rate.
+  const auto cat = make_uniform_catalog(200, 100 * kMB, 1.05, 18.0);
+  SpCacheScheme sp;
+  EcCacheScheme ec;
+  SelectiveReplicationScheme sr;
+  const auto none = StragglerModel::none();
+  const auto r_sp = run_scheme(sp, cat, 6000, 1, none);
+  const auto r_ec = run_scheme(ec, cat, 6000, 1, none);
+  const auto r_sr = run_scheme(sr, cat, 6000, 1, none);
+  EXPECT_LT(r_sp.mean_latency(), r_ec.mean_latency());
+  EXPECT_LT(r_ec.mean_latency(), r_sr.mean_latency());
+  // Tail ordering: SP below replication by a wide margin.
+  EXPECT_LT(r_sp.tail_latency(), r_sr.tail_latency());
+}
+
+TEST(Integration, SpHasBestLoadBalance) {
+  // The Fig. 12 ordering of imbalance factors.
+  const auto cat = make_uniform_catalog(200, 100 * kMB, 1.05, 18.0);
+  SpCacheScheme sp;
+  EcCacheScheme ec;
+  SelectiveReplicationScheme sr;
+  const auto none = StragglerModel::none();
+  const auto r_sp = run_scheme(sp, cat, 8000, 2, none);
+  const auto r_ec = run_scheme(ec, cat, 8000, 2, none);
+  const auto r_sr = run_scheme(sr, cat, 8000, 2, none);
+  EXPECT_LT(r_sp.imbalance(), r_ec.imbalance());
+  EXPECT_LT(r_ec.imbalance(), r_sr.imbalance());
+}
+
+TEST(Integration, SpStillWinsUnderStragglers) {
+  // Fig. 19: with injected stragglers at high load, SP-Cache keeps the
+  // mean-latency lead.
+  const auto cat = make_uniform_catalog(200, 100 * kMB, 1.05, 18.0);
+  SpCacheScheme sp;
+  EcCacheScheme ec;
+  const auto stragglers = StragglerModel::bing(0.05);
+  const auto r_sp = run_scheme(sp, cat, 6000, 3, stragglers);
+  const auto r_ec = run_scheme(ec, cat, 6000, 3, stragglers);
+  EXPECT_LT(r_sp.mean_latency(), r_ec.mean_latency());
+}
+
+TEST(Integration, PartitioningBeatsStockUnderSkew) {
+  // Fig. 5's premise: uniform partitioning crushes the no-partition layout
+  // at high load.
+  const auto cat = make_uniform_catalog(50, 40 * kMB, 1.1, 10.0);
+  StockScheme stock;
+  SimplePartitionScheme split(9);
+  const auto none = StragglerModel::none();
+  const auto r_stock = run_scheme(stock, cat, 4000, 4, none);
+  const auto r_split = run_scheme(split, cat, 4000, 4, none);
+  EXPECT_LT(r_split.mean_latency(), r_stock.mean_latency() / 3.0);
+}
+
+TEST(Integration, AnalyticBoundHoldsInModelRegime) {
+  // In the exact regime the bound models (Poisson arrivals, exponential
+  // transfers, no goodput loss, no stragglers, no decode), the simulated
+  // mean latency must stay below the Eq. 8/9 upper bound.
+  const auto cat = make_uniform_catalog(100, 100 * kMB, 1.05, 8.0);
+  SpCacheScheme sp;
+  Rng rng(5);
+  const std::vector<Bandwidth> bw(kServers, gbps(1.0));
+  sp.place(cat, bw, rng);
+
+  // Bound for this exact placement.
+  LatencyModelInput input;
+  input.bandwidth = bw;
+  input.files.resize(cat.size());
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    const auto& p = sp.placement(static_cast<FileId>(i));
+    input.files[i].lambda = cat.file(static_cast<FileId>(i)).request_rate;
+    input.files[i].partition_bytes =
+        static_cast<double>(cat.file(static_cast<FileId>(i)).size) /
+        static_cast<double>(p.servers.size());
+    input.files[i].servers = p.servers;
+  }
+  const auto bound = fork_join_latency_bound(input);
+  ASSERT_TRUE(bound.stable);
+
+  SimConfig cfg;
+  cfg.n_servers = kServers;
+  cfg.bandwidth = {gbps(1.0)};
+  cfg.goodput = GoodputModel{0.0, 0.0, 1.0};  // model regime: no goodput loss
+  cfg.fetch_overhead = 0.0;
+  cfg.client_nic_floor = false;
+  cfg.client_setup_per_fetch = 0.0;
+  cfg.seed = 6;
+  Simulation sim(cfg);
+  Rng arrival_rng(7);
+  const auto arrivals = generate_poisson_arrivals(cat, 20000, arrival_rng);
+  const auto result =
+      sim.run(arrivals, [&sp](FileId f, Rng& r) { return sp.plan_read(f, r); });
+
+  EXPECT_LE(result.mean_latency(), bound.mean_bound * 1.05);
+  // And the bound is not vacuous: within a small factor of the measurement.
+  EXPECT_LE(bound.mean_bound, result.mean_latency() * 3.0);
+}
+
+TEST(Integration, MemoryFootprintOrdering) {
+  // SP-Cache uses 40% less memory than EC-Cache (the headline claim) and
+  // less than selective replication.
+  const auto cat = make_uniform_catalog(200, 100 * kMB, 1.05, 8.0);
+  SpCacheScheme sp;
+  EcCacheScheme ec;
+  SelectiveReplicationScheme sr;
+  Rng rng(8);
+  const std::vector<Bandwidth> bw(kServers, gbps(1.0));
+  sp.place(cat, bw, rng);
+  ec.place(cat, bw, rng);
+  sr.place(cat, bw, rng);
+  EXPECT_NEAR(static_cast<double>(sp.total_footprint()) /
+                  static_cast<double>(ec.total_footprint()),
+              1.0 / 1.4, 0.01);
+  EXPECT_LT(sp.total_footprint(), sr.total_footprint());
+}
+
+TEST(Integration, HigherRateInflatesLatencyForEveryScheme) {
+  const auto make_cat = [](double rate) {
+    return make_uniform_catalog(100, 100 * kMB, 1.05, rate);
+  };
+  const auto none = StragglerModel::none();
+  SpCacheScheme sp_low, sp_high;
+  const auto low = run_scheme(sp_low, make_cat(6.0), 4000, 9, none);
+  const auto high = run_scheme(sp_high, make_cat(20.0), 4000, 9, none);
+  EXPECT_GT(high.mean_latency(), low.mean_latency());
+}
+
+
+// Parameterized robustness sweep: the SP-vs-EC mean-latency ordering must
+// hold across skews and loads, not just at the headline operating point.
+struct SweepCase {
+  double zipf;
+  double rate;
+};
+
+class SchemeOrderingSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SchemeOrderingSweep, SpBeatsEcOnMeanLatency) {
+  const auto [zipf, rate] = GetParam();
+  const auto cat = make_uniform_catalog(300, 100 * kMB, zipf, rate);
+  SpCacheScheme sp;
+  EcCacheScheme ec;
+  const auto none = StragglerModel::none();
+  const auto r_sp = run_scheme(sp, cat, 5000, 42, none);
+  const auto r_ec = run_scheme(ec, cat, 5000, 42, none);
+  EXPECT_LT(r_sp.mean_latency(), r_ec.mean_latency())
+      << "zipf=" << zipf << " rate=" << rate;
+  EXPECT_LT(r_sp.imbalance(), r_ec.imbalance() + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(SkewAndLoad, SchemeOrderingSweep,
+                         ::testing::Values(SweepCase{0.9, 10.0}, SweepCase{0.9, 18.0},
+                                           SweepCase{1.05, 10.0}, SweepCase{1.05, 18.0},
+                                           SweepCase{1.2, 10.0}, SweepCase{1.2, 18.0}));
+
+}  // namespace
+}  // namespace spcache

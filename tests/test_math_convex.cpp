@@ -1,0 +1,57 @@
+// Golden-section minimizer tests.
+#include "math/convex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spcache {
+namespace {
+
+TEST(GoldenSection, Quadratic) {
+  const auto r = golden_section_minimize([](double x) { return (x - 3.0) * (x - 3.0) + 2.0; },
+                                         -10.0, 10.0);
+  EXPECT_NEAR(r.x, 3.0, 1e-6);
+  EXPECT_NEAR(r.fx, 2.0, 1e-10);
+}
+
+TEST(GoldenSection, AbsoluteValueKink) {
+  const auto r = golden_section_minimize([](double x) { return std::abs(x - 1.5); }, -5.0, 5.0);
+  EXPECT_NEAR(r.x, 1.5, 1e-6);
+  EXPECT_NEAR(r.fx, 0.0, 1e-6);
+}
+
+TEST(GoldenSection, MinimumAtBoundary) {
+  const auto r = golden_section_minimize([](double x) { return x; }, 2.0, 8.0);
+  EXPECT_NEAR(r.x, 2.0, 1e-5);
+}
+
+TEST(GoldenSection, FlatFunction) {
+  const auto r = golden_section_minimize([](double) { return 4.0; }, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.fx, 4.0);
+}
+
+TEST(GoldenSection, ToleranceRespected) {
+  const auto r = golden_section_minimize([](double x) { return x * x; }, -100.0, 100.0, 1e-3);
+  EXPECT_NEAR(r.x, 0.0, 1e-3);
+}
+
+TEST(GoldenSection, FJBoundShapedObjective) {
+  // The Eq. 9 objective for two branches with mean 1 and 2, variance 0.25:
+  // convex, minimum strictly between the means region.
+  auto f = [](double z) {
+    double obj = z;
+    for (double m : {1.0, 2.0}) {
+      const double d = m - z;
+      obj += 0.5 * d + 0.5 * std::sqrt(d * d + 0.25);
+    }
+    return obj;
+  };
+  const auto r = golden_section_minimize(f, -10.0, 10.0);
+  // Verify first-order optimality numerically.
+  const double h = 1e-5;
+  EXPECT_NEAR((f(r.x + h) - f(r.x - h)) / (2 * h), 0.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,114 @@
+// System latency bound tests (Eqs. 8-13 wired together).
+#include "math/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/mg1.h"
+
+namespace spcache {
+namespace {
+
+LatencyModelInput single_file_single_server(double lambda, double bytes, double bw) {
+  LatencyModelInput in;
+  in.bandwidth = {bw};
+  LatencyModelInput::FileEntry f;
+  f.lambda = lambda;
+  f.partition_bytes = bytes;
+  f.servers = {0};
+  in.files.push_back(f);
+  return in;
+}
+
+TEST(LatencyModel, SingleServerReducesToMm1) {
+  // One file, one server: the fork-join bound over one branch is E[Q],
+  // which for an exponential class is the M/M/1 sojourn 1/(mu - lambda).
+  const double lambda = 0.5, bytes = 1e8, bw = 1e9;
+  const double service_mean = bytes / bw;  // 0.1 s -> mu = 10
+  const auto result = fork_join_latency_bound(single_file_single_server(lambda, bytes, bw));
+  ASSERT_TRUE(result.stable);
+  EXPECT_NEAR(result.mean_bound, 1.0 / (1.0 / service_mean - lambda), 1e-9);
+  EXPECT_NEAR(result.utilization[0], lambda * service_mean, 1e-12);
+}
+
+TEST(LatencyModel, UnstableServerFlagged) {
+  // rho = lambda * S/B = 20 * 0.1 = 2 > 1.
+  const auto result = fork_join_latency_bound(single_file_single_server(20.0, 1e8, 1e9));
+  EXPECT_FALSE(result.stable);
+  EXPECT_TRUE(std::isinf(result.per_file_bound[0]));
+}
+
+TEST(LatencyModel, PopularityWeighting) {
+  // Two files on two separate servers; system bound = rate-weighted mean.
+  LatencyModelInput in;
+  in.bandwidth = {1e9, 1e9};
+  LatencyModelInput::FileEntry f0;
+  f0.lambda = 3.0;
+  f0.partition_bytes = 1e8;
+  f0.servers = {0};
+  LatencyModelInput::FileEntry f1;
+  f1.lambda = 1.0;
+  f1.partition_bytes = 2e8;
+  f1.servers = {1};
+  in.files = {f0, f1};
+  const auto result = fork_join_latency_bound(in);
+  ASSERT_TRUE(result.stable);
+  const double expected =
+      (3.0 * result.per_file_bound[0] + 1.0 * result.per_file_bound[1]) / 4.0;
+  EXPECT_NEAR(result.mean_bound, expected, 1e-12);
+}
+
+TEST(LatencyModel, SplittingReducesBoundUnderLoad) {
+  // A hot file on one server vs split across four servers: partitioning
+  // must reduce the bound (that is the point of SP-Cache).
+  LatencyModelInput whole;
+  whole.bandwidth = std::vector<double>(4, 1e9);
+  LatencyModelInput::FileEntry f;
+  f.lambda = 8.0;
+  f.partition_bytes = 1e8;
+  f.servers = {0};
+  whole.files = {f};
+
+  LatencyModelInput split = whole;
+  split.files[0].partition_bytes = 0.25e8;
+  split.files[0].servers = {0, 1, 2, 3};
+
+  const auto whole_result = fork_join_latency_bound(whole);
+  const auto split_result = fork_join_latency_bound(split);
+  ASSERT_TRUE(whole_result.stable);
+  ASSERT_TRUE(split_result.stable);
+  EXPECT_LT(split_result.mean_bound, whole_result.mean_bound);
+}
+
+TEST(LatencyModel, ZeroRateFileIgnored) {
+  LatencyModelInput in = single_file_single_server(0.0, 1e8, 1e9);
+  const auto result = fork_join_latency_bound(in);
+  EXPECT_DOUBLE_EQ(result.per_file_bound[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.mean_bound, 0.0);
+}
+
+TEST(LatencyModel, SharedServerCreatesInterference) {
+  // Two files sharing a server wait on each other; separating them onto
+  // distinct servers lowers both bounds.
+  LatencyModelInput shared;
+  shared.bandwidth = {1e9, 1e9};
+  LatencyModelInput::FileEntry f0;
+  f0.lambda = 4.0;
+  f0.partition_bytes = 1e8;
+  f0.servers = {0};
+  auto f1 = f0;
+  shared.files = {f0, f1};  // both on server 0
+
+  auto separated = shared;
+  separated.files[1].servers = {1};
+
+  const auto a = fork_join_latency_bound(shared);
+  const auto b = fork_join_latency_bound(separated);
+  ASSERT_TRUE(a.stable);
+  ASSERT_TRUE(b.stable);
+  EXPECT_GT(a.mean_bound, b.mean_bound);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,92 @@
+// M/G/1 formula tests, anchored on the M/M/1 closed forms: with a single
+// exponential class, Eq. 10 must reduce to W = 1/(mu - lambda) and Eq. 11 to
+// Var = 1/(mu - lambda)^2.
+#include "math/mg1.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spcache {
+namespace {
+
+TEST(Mg1, AggregateSingleClass) {
+  const auto s = aggregate_server({{0.5, 0.8}});
+  EXPECT_DOUBLE_EQ(s.lambda, 0.5);
+  EXPECT_DOUBLE_EQ(s.mu, 0.8);
+  EXPECT_DOUBLE_EQ(s.gamma2, 2 * 0.8 * 0.8);
+  EXPECT_DOUBLE_EQ(s.gamma3, 6 * 0.8 * 0.8 * 0.8);
+  EXPECT_DOUBLE_EQ(s.rho, 0.4);
+  EXPECT_TRUE(s.stable());
+}
+
+TEST(Mg1, AggregateMixtureWeights) {
+  // Two classes with rates 1 and 3; weights 0.25 / 0.75 (Eqs. 6, 12, 13).
+  const auto s = aggregate_server({{1.0, 0.2}, {3.0, 0.1}});
+  EXPECT_DOUBLE_EQ(s.lambda, 4.0);
+  EXPECT_NEAR(s.mu, 0.25 * 0.2 + 0.75 * 0.1, 1e-12);
+  EXPECT_NEAR(s.gamma2, 0.25 * 2 * 0.04 + 0.75 * 2 * 0.01, 1e-12);
+  EXPECT_NEAR(s.gamma3, 0.25 * 6 * 0.008 + 0.75 * 6 * 0.001, 1e-12);
+}
+
+TEST(Mg1, EmptyServerIsIdle) {
+  const auto s = aggregate_server({});
+  EXPECT_DOUBLE_EQ(s.lambda, 0.0);
+  EXPECT_DOUBLE_EQ(s.rho, 0.0);
+  EXPECT_TRUE(s.stable());
+}
+
+class Mm1ReductionTest : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(Mm1ReductionTest, SojournMeanReducesToMm1) {
+  const auto [lambda, service_mean] = GetParam();
+  const auto s = aggregate_server({{lambda, service_mean}});
+  ASSERT_TRUE(s.stable());
+  const double expected = mm1_sojourn_mean(lambda, 1.0 / service_mean);
+  EXPECT_NEAR(mg1_sojourn_mean(s, service_mean), expected, 1e-9);
+}
+
+TEST_P(Mm1ReductionTest, SojournVarianceReducesToMm1) {
+  const auto [lambda, service_mean] = GetParam();
+  const auto s = aggregate_server({{lambda, service_mean}});
+  ASSERT_TRUE(s.stable());
+  // M/M/1 FIFO sojourn time is Exp(mu - lambda): variance = mean^2.
+  const double w = mm1_sojourn_mean(lambda, 1.0 / service_mean);
+  EXPECT_NEAR(mg1_sojourn_variance(s, service_mean), w * w, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadSweep, Mm1ReductionTest,
+                         ::testing::Values(std::pair{0.1, 1.0}, std::pair{0.5, 1.0},
+                                           std::pair{0.9, 1.0}, std::pair{2.0, 0.25},
+                                           std::pair{7.0, 0.1}));
+
+TEST(Mg1, WaitGrowsWithUtilization) {
+  double prev = 0.0;
+  for (double lambda : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const auto s = aggregate_server({{lambda, 1.0}});
+    const double w = mg1_sojourn_mean(s, 1.0);
+    EXPECT_GT(w, prev);
+    prev = w;
+  }
+}
+
+TEST(Mg1, UnstableDetected) {
+  const auto s = aggregate_server({{2.0, 1.0}});  // rho = 2
+  EXPECT_FALSE(s.stable());
+}
+
+TEST(Mg1, MixtureWaitExceedsMm1WithSameMean) {
+  // A hyperexponential mixture has a larger second moment than a pure
+  // exponential with the same mean, so P-K predicts a longer queue wait.
+  const double lambda = 0.8;
+  const auto mixed = aggregate_server({{lambda / 2, 0.1}, {lambda / 2, 1.9}});  // mean 1.0
+  const auto pure = aggregate_server({{lambda, 1.0}});
+  ASSERT_TRUE(mixed.stable());
+  ASSERT_TRUE(pure.stable());
+  const double wait_mixed = mg1_sojourn_mean(mixed, 1.0) - 1.0;
+  const double wait_pure = mg1_sojourn_mean(pure, 1.0) - 1.0;
+  EXPECT_GT(wait_mixed, wait_pure);
+}
+
+}  // namespace
+}  // namespace spcache

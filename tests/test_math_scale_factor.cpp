@@ -1,0 +1,159 @@
+// Algorithm 1 (scale-factor search) tests.
+#include "math/scale_factor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace spcache {
+namespace {
+
+std::vector<Bandwidth> uniform_bw(std::size_t n, Bandwidth bw = gbps(1.0)) {
+  return std::vector<Bandwidth>(n, bw);
+}
+
+TEST(PartitionCounts, FollowsEquationOne) {
+  // k_i = ceil(alpha * L_i), clamped to [1, N].
+  const auto cat = make_uniform_catalog(10, 100 * kMB, 1.1, 8.0);
+  const double alpha = 1.0 / (10 * kMB);  // 1 partition per 10 MB of load
+  const auto k = partition_counts_for_alpha(cat, alpha, 30);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    const double load = cat.load(static_cast<FileId>(i));
+    const auto expected =
+        std::clamp<std::size_t>(static_cast<std::size_t>(std::ceil(alpha * load)), 1, 30);
+    EXPECT_EQ(k[i], expected) << "file " << i;
+  }
+}
+
+TEST(PartitionCounts, ColdFilesGetOnePartition) {
+  const auto cat = make_uniform_catalog(100, 100 * kMB, 1.1, 8.0);
+  // Tiny alpha: nobody splits.
+  const auto k = partition_counts_for_alpha(cat, 1e-12, 30);
+  for (auto ki : k) EXPECT_EQ(ki, 1u);
+}
+
+TEST(PartitionCounts, CapAtServerCount) {
+  const auto cat = make_uniform_catalog(5, 100 * kMB, 1.1, 8.0);
+  const auto k = partition_counts_for_alpha(cat, 1e6, 30);  // absurdly large alpha
+  for (auto ki : k) EXPECT_EQ(ki, 30u);
+}
+
+TEST(PartitionCounts, MonotoneInLoad) {
+  // More load -> at least as many partitions.
+  const auto cat = make_uniform_catalog(50, 100 * kMB, 1.1, 10.0);
+  const auto k = partition_counts_for_alpha(cat, 3e-7, 30);
+  for (std::size_t i = 1; i < k.size(); ++i) EXPECT_GE(k[i - 1], k[i]);
+}
+
+TEST(ScaleFactor, InitialAlphaGivesHottestFileThirdOfServers) {
+  const auto cat = make_uniform_catalog(300, 100 * kMB, 1.05, 8.0);
+  ScaleFactorConfig cfg;
+  cfg.max_iterations = 1;  // stop immediately: result is alpha^1
+  Rng rng(1);
+  const auto res = find_scale_factor(cat, uniform_bw(30), cfg, rng);
+  const auto k = partition_counts_for_alpha(cat, res.alpha, 30);
+  EXPECT_EQ(k[0], 10u);  // N/3 partitions for the hottest file
+}
+
+TEST(ScaleFactor, SearchTerminatesAndReturnsPositiveAlpha) {
+  const auto cat = make_uniform_catalog(300, 100 * kMB, 1.05, 8.0);
+  Rng rng(2);
+  const auto res = find_scale_factor(cat, uniform_bw(30), ScaleFactorConfig{}, rng);
+  EXPECT_GT(res.alpha, 0.0);
+  EXPECT_GE(res.iterations, 1u);
+  EXPECT_LE(res.iterations, ScaleFactorConfig{}.max_iterations);
+  EXPECT_TRUE(std::isfinite(res.bound));
+  EXPECT_GT(res.bound, 0.0);
+}
+
+TEST(ScaleFactor, ReturnsNearMinimalBoundOnSearchPath) {
+  // The search keeps the earliest alpha within the improvement threshold of
+  // the minimum (a later point must beat the incumbent by >1% to replace
+  // it, which also biases toward fewer partitions at equal quality).
+  const auto cat = make_uniform_catalog(300, 100 * kMB, 1.05, 8.0);
+  Rng rng(3);
+  ScaleFactorConfig cfg;
+  const auto res = find_scale_factor(cat, uniform_bw(30), cfg, rng);
+  double min_bound = res.history.front().second;
+  for (const auto& [a, b] : res.history) min_bound = std::min(min_bound, b);
+  EXPECT_LE(res.bound, min_bound * (1.0 + cfg.improvement_threshold) + 1e-12);
+  // The reported bound really is the bound at the reported alpha.
+  bool found = false;
+  for (const auto& [a, b] : res.history) {
+    if (a == res.alpha) {
+      EXPECT_DOUBLE_EQ(b, res.bound);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScaleFactor, TerminatesForAKnownReason) {
+  const auto cat = make_uniform_catalog(300, 100 * kMB, 1.05, 8.0);
+  Rng rng(33);
+  ScaleFactorConfig cfg;
+  const auto res = find_scale_factor(cat, uniform_bw(30), cfg, rng);
+  if (res.iterations < cfg.max_iterations) {
+    // Stopped early: either patience ran out / the bound diverged past the
+    // elbow, or every file saturated at N partitions.
+    std::size_t after_best = 0;
+    bool diverged = false;
+    for (const auto& [a, b] : res.history) {
+      if (a > res.alpha) {
+        ++after_best;
+        if (b > res.bound * cfg.divergence_factor) diverged = true;
+      }
+    }
+    const auto last_k =
+        partition_counts_for_alpha(cat, res.history.back().first, 30);
+    const bool saturated =
+        std::all_of(last_k.begin(), last_k.end(), [](std::size_t k) { return k == 30; });
+    EXPECT_TRUE(after_best >= cfg.patience || diverged || saturated);
+  }
+}
+
+TEST(ScaleFactor, AlphaInflatesGeometrically) {
+  const auto cat = make_uniform_catalog(300, 100 * kMB, 1.05, 8.0);
+  Rng rng(4);
+  const auto res = find_scale_factor(cat, uniform_bw(30), ScaleFactorConfig{}, rng);
+  for (std::size_t t = 1; t < res.history.size(); ++t) {
+    EXPECT_NEAR(res.history[t].first / res.history[t - 1].first, 1.5, 1e-9);
+  }
+}
+
+TEST(ScaleFactor, BoundNearSweepMinimum) {
+  // The chosen alpha's bound should be close to the best bound over a wide
+  // alpha sweep — the "elbow" property of Fig. 8.
+  const auto cat = make_uniform_catalog(100, 100 * kMB, 1.05, 8.0);
+  const auto bw = uniform_bw(30);
+  Rng rng(5);
+  const auto res = find_scale_factor(cat, bw, ScaleFactorConfig{}, rng);
+
+  double best = res.bound;
+  for (double alpha = res.alpha / 16.0; alpha <= res.alpha * 16.0; alpha *= 1.3) {
+    best = std::min(best, latency_bound_for_alpha(cat, bw, alpha, ScaleFactorConfig{}, 77));
+  }
+  EXPECT_LE(res.bound, best * 1.3);  // within 30% of the sweep optimum
+}
+
+TEST(ScaleFactor, PartitionCountsMatchChosenAlpha) {
+  const auto cat = make_uniform_catalog(200, 100 * kMB, 1.05, 8.0);
+  Rng rng(6);
+  const auto res = find_scale_factor(cat, uniform_bw(30), ScaleFactorConfig{}, rng);
+  EXPECT_EQ(res.partition_counts, partition_counts_for_alpha(cat, res.alpha, 30));
+}
+
+TEST(ScaleFactor, HottestFileAlwaysWellSplit) {
+  // The search only ever inflates alpha from alpha^1, so the hottest file
+  // is split into at least N * initial_fraction partitions at any load.
+  for (double rate : {6.0, 8.0, 14.0, 20.0}) {
+    auto cat = make_uniform_catalog(200, 100 * kMB, 1.05, rate);
+    Rng rng(7);
+    const auto res = find_scale_factor(cat, uniform_bw(30), ScaleFactorConfig{}, rng);
+    EXPECT_GE(res.partition_counts[0], 10u) << "rate " << rate;
+  }
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,95 @@
+// Metamorphic model-coherence tests: the analytic latency machinery must
+// respect the physical scaling symmetries of the system it models.
+#include <gtest/gtest.h>
+
+#include "math/latency_model.h"
+#include "math/scale_factor.h"
+
+namespace spcache {
+namespace {
+
+// A pure-queueing config (no fetch overhead / goodput / floor terms, which
+// deliberately break scale invariance by introducing absolute time/count
+// constants).
+ScaleFactorConfig pure_config() {
+  ScaleFactorConfig cfg;
+  cfg.fetch_overhead = 0.0;
+  cfg.client_setup_per_fetch = 0.0;
+  cfg.goodput = GoodputModel{0.0, 0.0, 1.0};
+  cfg.client_parallel_streams = 1e9;  // floor never binds
+  return cfg;
+}
+
+LatencyModelInput simple_input(double size_scale, double bw_scale, double rate_scale) {
+  LatencyModelInput in;
+  in.bandwidth = {1e9 * bw_scale, 1e9 * bw_scale};
+  LatencyModelInput::FileEntry f0;
+  f0.lambda = 3.0 * rate_scale;
+  f0.partition_bytes = 5e7 * size_scale;
+  f0.servers = {0, 1};
+  LatencyModelInput::FileEntry f1;
+  f1.lambda = 1.0 * rate_scale;
+  f1.partition_bytes = 1e8 * size_scale;
+  f1.servers = {1};
+  in.files = {f0, f1};
+  return in;
+}
+
+TEST(ModelScaling, JointSizeBandwidthScalingIsInvariant) {
+  // Multiplying every file size AND every link speed by c leaves all
+  // service times — hence all latencies — unchanged.
+  const auto base = fork_join_latency_bound(simple_input(1.0, 1.0, 1.0));
+  for (double c : {0.5, 2.0, 10.0}) {
+    const auto scaled = fork_join_latency_bound(simple_input(c, c, 1.0));
+    ASSERT_TRUE(scaled.stable);
+    EXPECT_NEAR(scaled.mean_bound, base.mean_bound, base.mean_bound * 1e-9) << "c=" << c;
+  }
+}
+
+TEST(ModelScaling, TimeDilation) {
+  // Scaling bandwidth by c and request rates by c compresses time by c:
+  // utilization is unchanged and every latency shrinks exactly c-fold.
+  const auto base = fork_join_latency_bound(simple_input(1.0, 1.0, 1.0));
+  for (double c : {2.0, 5.0}) {
+    const auto fast = fork_join_latency_bound(simple_input(1.0, c, c));
+    ASSERT_TRUE(fast.stable);
+    EXPECT_NEAR(fast.mean_bound * c, base.mean_bound, base.mean_bound * 1e-9) << "c=" << c;
+    for (std::size_t s = 0; s < base.utilization.size(); ++s) {
+      EXPECT_NEAR(fast.utilization[s], base.utilization[s], 1e-12);
+    }
+  }
+}
+
+TEST(ModelScaling, AlgorithmOneAlphaScalesInverselyWithFileSize) {
+  // k_i = ceil(alpha * S_i * P_i): doubling every file size halves the
+  // alpha that yields the same partition counts, so with bandwidth doubled
+  // too (invariant latencies) Algorithm 1 must pick ~halved alpha and the
+  // SAME partition layout.
+  const auto cfg = pure_config();
+  const auto small_cat = make_uniform_catalog(100, 50 * kMB, 1.05, 8.0);
+  const auto large_cat = make_uniform_catalog(100, 100 * kMB, 1.05, 8.0);
+  Rng rng1(5), rng2(5);
+  const auto small = find_scale_factor(small_cat, std::vector<Bandwidth>(30, gbps(0.5)), cfg,
+                                       rng1);
+  const auto large = find_scale_factor(large_cat, std::vector<Bandwidth>(30, gbps(1.0)), cfg,
+                                       rng2);
+  EXPECT_EQ(small.partition_counts, large.partition_counts);
+  EXPECT_NEAR(small.alpha * 50.0, large.alpha * 100.0, large.alpha * 100.0 * 1e-9);
+  EXPECT_NEAR(small.bound, large.bound, large.bound * 1e-9);
+}
+
+TEST(ModelScaling, RateScalingPreservesPartitionCountsAtFixedAlphaLoad) {
+  // P_i is normalized, so L_i = S_i P_i is independent of the aggregate
+  // rate: partition counts at a fixed alpha must not change with load.
+  auto cat = make_uniform_catalog(100, 100 * kMB, 1.05, 8.0);
+  // Stay off the ceil() integer boundary: rate rescaling perturbs L_i in
+  // the last ulp, which would flip ceil(5.0) to 6.
+  const double alpha = 4.9 / cat.max_load();
+  const auto k_low = partition_counts_for_alpha(cat, alpha, 30);
+  cat.set_total_rate(20.0);
+  const auto k_high = partition_counts_for_alpha(cat, alpha, 30);
+  EXPECT_EQ(k_low, k_high);
+}
+
+}  // namespace
+}  // namespace spcache

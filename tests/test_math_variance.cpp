@@ -1,0 +1,113 @@
+// Theorem 1 tests: closed-form load variances vs Monte Carlo, and the
+// asymptotic ratio of Eq. 2.
+#include "math/variance.h"
+
+#include <gtest/gtest.h>
+
+#include "math/scale_factor.h"
+
+namespace spcache {
+namespace {
+
+TEST(Variance, SpClosedFormMatchesMonteCarlo) {
+  const auto cat = make_uniform_catalog(50, 100 * kMB, 1.05, 8.0);
+  const std::size_t N = 30;
+  const double alpha = 1.0 / cat.max_load() * 10.0;
+  const auto k = partition_counts_for_alpha(cat, alpha, N);
+  const double closed = sp_load_variance(cat, k, N);
+  Rng rng(1);
+  const double mc = monte_carlo_sp_variance(cat, k, N, 200000, rng);
+  EXPECT_NEAR(mc, closed, closed * 0.05);
+}
+
+TEST(Variance, EcClosedFormMatchesMonteCarlo) {
+  const auto cat = make_uniform_catalog(50, 100 * kMB, 1.05, 8.0);
+  const std::size_t N = 30;
+  const double closed = ec_load_variance(cat, 10, N);
+  Rng rng(2);
+  const double mc = monte_carlo_ec_variance(cat, 10, 14, N, 200000, rng);
+  EXPECT_NEAR(mc, closed, closed * 0.05);
+}
+
+TEST(Variance, SpBeatsEcUnderSkew) {
+  // The headline of Theorem 1: SP-Cache's per-server load variance is far
+  // below EC-Cache's under skewed popularity. The theorem's regime is
+  // N >> k_i (large cluster) with alpha big enough that hot files split
+  // finely (per-partition load 1/alpha small); there SP's variance must be
+  // below EC's, consistent with Eq. 2's ratio exceeding 1.
+  const auto cat = make_uniform_catalog(500, 100 * kMB, 1.1, 18.0);
+  const std::size_t N = 300;
+  const double alpha = 50.0 / cat.max_load();  // hottest file: 50 partitions
+  const auto k = partition_counts_for_alpha(cat, alpha, N);
+  EXPECT_GT(theorem1_asymptotic_ratio(cat, alpha, 10), 1.0);
+  EXPECT_LT(sp_load_variance(cat, k, N), ec_load_variance(cat, 10, N));
+}
+
+TEST(Variance, RatioGrowsWithAlpha) {
+  // Finer partitioning strictly improves SP's balance relative to EC.
+  const auto cat = make_uniform_catalog(300, 100 * kMB, 1.1, 10.0);
+  const std::size_t N = 300;
+  double prev = 0.0;
+  for (double mult : {5.0, 15.0, 45.0}) {
+    const double alpha = mult / cat.max_load();
+    const auto k = partition_counts_for_alpha(cat, alpha, N);
+    const double ratio = ec_load_variance(cat, 10, N) / sp_load_variance(cat, k, N);
+    EXPECT_GT(ratio, prev);
+    prev = ratio;
+  }
+}
+
+TEST(Variance, AsymptoticRatioFormula) {
+  // Hand-computable catalog: two files, loads L0 and L1.
+  std::vector<FileInfo> files(2);
+  files[0].size = 100 * kMB;
+  files[0].request_rate = 3.0;
+  files[1].size = 100 * kMB;
+  files[1].request_rate = 1.0;
+  const Catalog cat(std::move(files));
+  const double l0 = cat.load(0), l1 = cat.load(1);
+  const double alpha = 1e-6;
+  const double expected = alpha / 10.0 * (l0 * l0 + l1 * l1) / (l0 + l1);
+  EXPECT_NEAR(theorem1_asymptotic_ratio(cat, alpha, 10), expected, expected * 1e-9);
+}
+
+TEST(Variance, RatioApproachesAsymptoteInLargeClusters) {
+  // In a large cluster (N >> k_i), the finite-N variance ratio should be
+  // close to Eq. 2's limit — within the (1 - k/N) correction factors.
+  const auto cat = make_uniform_catalog(200, 100 * kMB, 1.05, 10.0);
+  const std::size_t N = 2000;
+  const double alpha = 5.0 / cat.max_load();
+  const auto k = partition_counts_for_alpha(cat, alpha, N);
+
+  const double ratio = ec_load_variance(cat, 10, N) / sp_load_variance(cat, k, N);
+  // Eq. 2's limit, evaluated with the actual (ceiled) k_i so only the
+  // (1 - k/N) finite-size corrections differ:
+  //   EC: sum (L/10)^2 * 11/N ; SP: sum (L/k)^2 * k/N = sum L^2/(k N)
+  double ec = 0.0, sp = 0.0;
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    const double load = cat.load(static_cast<FileId>(i));
+    ec += load * load / 100.0 * 11.0;
+    sp += load * load / static_cast<double>(k[i]);
+  }
+  EXPECT_NEAR(ratio, ec / sp, ec / sp * 0.02);
+}
+
+TEST(Variance, ZeroTrafficCatalog) {
+  std::vector<FileInfo> files(3);
+  for (auto& f : files) f.size = kMB;
+  const Catalog cat(std::move(files));
+  EXPECT_DOUBLE_EQ(theorem1_asymptotic_ratio(cat, 1.0, 10), 0.0);
+}
+
+TEST(Variance, MoreSkewRaisesRatio) {
+  // Heavier skew concentrates load -> larger sum L^2 / sum L -> larger
+  // advantage for SP-Cache (the O(L_max) claim).
+  const auto mild = make_uniform_catalog(200, 100 * kMB, 0.5, 10.0);
+  const auto heavy = make_uniform_catalog(200, 100 * kMB, 1.5, 10.0);
+  const double alpha = 1e-7;
+  EXPECT_GT(theorem1_asymptotic_ratio(heavy, alpha, 10),
+            theorem1_asymptotic_ratio(mild, alpha, 10));
+}
+
+}  // namespace
+}  // namespace spcache

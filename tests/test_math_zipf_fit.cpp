@@ -1,0 +1,75 @@
+// Zipf MLE fitter tests: recovery of known exponents, edge cases.
+#include "math/zipf_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/zipf.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint64_t> sample_counts(double exponent, std::size_t files,
+                                         std::size_t accesses, std::uint64_t seed) {
+  ZipfDistribution zipf(files, exponent);
+  Rng rng(seed);
+  std::vector<std::uint64_t> counts(files, 0);
+  for (std::size_t i = 0; i < accesses; ++i) ++counts[zipf.sample(rng)];
+  return counts;
+}
+
+class ZipfFitRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFitRecovery, RecoversTrueExponent) {
+  const double s = GetParam();
+  const auto counts = sample_counts(s, 300, 200000, 42);
+  const auto fit = fit_zipf(counts);
+  EXPECT_NEAR(fit.exponent, s, 0.05) << "true s = " << s;
+  EXPECT_GT(fit.ranks, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfFitRecovery, ::testing::Values(0.8, 1.05, 1.1, 1.5));
+
+TEST(ZipfFit, UniformCountsGiveNearZeroExponent) {
+  std::vector<std::uint64_t> counts(100, 50);
+  const auto fit = fit_zipf(counts);
+  EXPECT_NEAR(fit.exponent, 0.0, 0.02);
+}
+
+TEST(ZipfFit, ExtremeSkew) {
+  // One file with nearly all accesses: the MLE should push toward the cap.
+  std::vector<std::uint64_t> counts{1000000, 1, 1, 1, 1};
+  const auto fit = fit_zipf(counts, 6.0);
+  EXPECT_GT(fit.exponent, 3.0);
+}
+
+TEST(ZipfFit, ZeroCountsDropped) {
+  std::vector<std::uint64_t> counts{100, 0, 50, 0, 25};
+  const auto fit = fit_zipf(counts);
+  EXPECT_EQ(fit.ranks, 3u);
+  EXPECT_GT(fit.exponent, 0.5);
+}
+
+TEST(ZipfFit, TooFewFilesThrows) {
+  EXPECT_THROW(fit_zipf({5}), std::invalid_argument);
+  EXPECT_THROW(fit_zipf({0, 0, 7}), std::invalid_argument);
+}
+
+TEST(ZipfFit, OrderIrrelevant) {
+  auto counts = sample_counts(1.1, 100, 50000, 7);
+  const auto sorted_fit = fit_zipf(counts);
+  Rng rng(8);
+  rng.shuffle(counts);
+  const auto shuffled_fit = fit_zipf(counts);
+  EXPECT_NEAR(sorted_fit.exponent, shuffled_fit.exponent, 1e-9);
+}
+
+TEST(ZipfFit, MasterCountsDriveTheFit) {
+  // The intended workflow: SP-Master window counters -> skew estimate.
+  const auto counts = sample_counts(1.05, 500, 100000, 9);
+  const auto fit = fit_zipf(counts);
+  // Close enough to feed Algorithm 1's popularity model.
+  EXPECT_NEAR(fit.exponent, 1.05, 0.06);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,105 @@
+// Network and codec model tests: goodput calibration (Fig. 6), transfer
+// sampling, codec time scaling (Fig. 4 inputs).
+#include "net/network_model.h"
+
+#include <gtest/gtest.h>
+
+namespace spcache {
+namespace {
+
+TEST(Goodput, SingleConnectionIsFullGoodput) {
+  GoodputModel g;
+  EXPECT_DOUBLE_EQ(g.factor(1), 1.0);
+}
+
+TEST(Goodput, MonotoneNonIncreasing) {
+  GoodputModel g;
+  double prev = 1.0;
+  for (std::size_t c = 1; c <= 200; ++c) {
+    const double f = g.factor(c);
+    EXPECT_LE(f, prev + 1e-12);
+    prev = f;
+  }
+}
+
+TEST(Goodput, CalibratedToPaperAtOneGbps) {
+  // Fig. 6 at 1 Gbps: ~20% loss with 20 partitions, ~40% with 100.
+  const auto g = GoodputModel::calibrated(gbps(1.0));
+  EXPECT_NEAR(g.factor(20), 0.80, 0.03);
+  EXPECT_NEAR(g.factor(100), 0.60, 0.04);
+}
+
+TEST(Goodput, SlowerLinkDecaysMoreGently) {
+  const auto fast = GoodputModel::calibrated(gbps(1.0));
+  const auto slow = GoodputModel::calibrated(mbps(500));
+  for (std::size_t c : {5u, 20u, 50u, 100u}) {
+    EXPECT_GE(slow.factor(c), fast.factor(c));
+  }
+  // But the slow link still degrades noticeably by 100 connections.
+  EXPECT_LT(slow.factor(100), 0.8);
+}
+
+TEST(Goodput, FloorRespected) {
+  GoodputModel g;
+  g.floor = 0.5;
+  EXPECT_GE(g.factor(100000), 0.5);
+}
+
+TEST(Transfer, MeanMatchesBytesOverEffectiveBandwidth) {
+  TransferModel t{gbps(1.0), GoodputModel{}, false};
+  // 125 MB at 1 Gbps = 1 s with one connection.
+  EXPECT_NEAR(t.mean_transfer(125000000, 1), 1.0, 1e-9);
+  // With goodput loss the transfer takes longer.
+  EXPECT_GT(t.mean_transfer(125000000, 50), 1.0);
+}
+
+TEST(Transfer, DeterministicWithoutJitter) {
+  TransferModel t{gbps(1.0), GoodputModel{}, false};
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(t.sample(1000000, 1, rng), t.mean_transfer(1000000, 1));
+}
+
+TEST(Transfer, JitteredSamplesAverageToMean) {
+  TransferModel t{gbps(1.0), GoodputModel{}, true};
+  Rng rng(2);
+  const double mean = t.mean_transfer(50 * kMB, 4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += t.sample(50 * kMB, 4, rng);
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST(Codec, TimesScaleWithSize) {
+  CodecModel c;
+  EXPECT_LT(c.decode_time(10 * kMB), c.decode_time(100 * kMB));
+  EXPECT_LT(c.encode_time(10 * kMB), c.encode_time(100 * kMB));
+  // Fixed overhead dominates tiny files.
+  EXPECT_GE(c.decode_time(0), c.fixed_overhead);
+}
+
+TEST(Codec, DecodeOverheadInPaperRangeFor100MB) {
+  // Fig. 4: decoding delays reads of >=100 MB files by ~15-30% at 1 Gbps.
+  CodecModel c;
+  const Bytes size = 100 * kMB;
+  const double read_time = static_cast<double>(size) / gbps(1.0);
+  const double overhead = c.decode_time(size) / read_time;
+  EXPECT_GT(overhead, 0.12);
+  EXPECT_LT(overhead, 0.35);
+}
+
+TEST(Codec, ComputeOptimizedIsFaster) {
+  CodecModel base;
+  const auto fast = CodecModel::compute_optimized();
+  EXPECT_LT(fast.decode_time(100 * kMB), base.decode_time(100 * kMB));
+  EXPECT_LT(fast.encode_time(100 * kMB), base.encode_time(100 * kMB));
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(gbps(1.0), 125000000.0);
+  EXPECT_DOUBLE_EQ(mbps(500), 62500000.0);
+  EXPECT_EQ(megabytes(100), 100 * kMB);
+  EXPECT_NEAR(transfer_seconds(125000000, gbps(1.0)), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,91 @@
+// Binary serialization tests: roundtrips, endianness independence at the
+// API level, truncation detection.
+#include "rpc/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <span>
+
+#include "common/rng.h"
+
+namespace spcache::rpc {
+namespace {
+
+TEST(Serialize, ScalarRoundtrip) {
+  BufferWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f64(-3.14159e42);
+  BufferReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_DOUBLE_EQ(r.f64(), -3.14159e42);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, BytesAndStringRoundtrip) {
+  Rng rng(1);
+  std::vector<std::uint8_t> blob(1000);
+  for (auto& b : blob) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  BufferWriter w;
+  w.bytes(blob);
+  w.str("sp-cache");
+  w.bytes({});  // empty payload is legal
+  BufferReader r(w.data());
+  EXPECT_EQ(r.bytes(), blob);
+  EXPECT_EQ(r.str(), "sp-cache");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, LittleEndianWireFormat) {
+  BufferWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.data().size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+TEST(Serialize, TruncationDetected) {
+  BufferWriter w;
+  w.u64(7);
+  const auto buf = w.data();
+  {
+    const std::span<const std::uint8_t> view(buf.data(), 4);
+    BufferReader r(view);
+    EXPECT_THROW(r.u64(), std::runtime_error);
+  }
+  {
+    // Length prefix claims more bytes than exist.
+    BufferWriter w2;
+    w2.u32(100);  // fake length
+    BufferReader r(w2.data());
+    EXPECT_THROW(r.bytes(), std::runtime_error);
+  }
+}
+
+TEST(Serialize, SequentialFieldsIndependent) {
+  BufferWriter w;
+  for (std::uint32_t i = 0; i < 100; ++i) w.u32(i * i);
+  BufferReader r(w.data());
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(r.u32(), i * i);
+}
+
+TEST(Serialize, SpecialDoubles) {
+  BufferWriter w;
+  w.f64(0.0);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(std::numeric_limits<double>::denorm_min());
+  BufferReader r(w.data());
+  EXPECT_EQ(r.f64(), 0.0);
+  EXPECT_EQ(r.f64(), -0.0);
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::denorm_min());
+}
+
+}  // namespace
+}  // namespace spcache::rpc

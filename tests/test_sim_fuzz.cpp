@@ -1,0 +1,109 @@
+// Simulator fuzz invariants: across random workloads, schemes, and seeds,
+// the discrete-event engine must conserve work, complete every request,
+// and stay deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/ec_cache.h"
+#include "core/fixed_chunking.h"
+#include "core/selective_replication.h"
+#include "core/simple_partition.h"
+#include "core/sp_cache.h"
+#include "sim/simulation.h"
+#include "workload/arrivals.h"
+
+namespace spcache {
+namespace {
+
+std::unique_ptr<CachingScheme> random_scheme(Rng& rng) {
+  switch (rng.uniform_index(5)) {
+    case 0: return std::make_unique<SpCacheScheme>();
+    case 1: return std::make_unique<EcCacheScheme>();
+    case 2: return std::make_unique<SelectiveReplicationScheme>();
+    case 3: return std::make_unique<FixedChunkingScheme>(FixedChunkingConfig{8 * kMB});
+    default: return std::make_unique<SimplePartitionScheme>(1 + rng.uniform_index(12));
+  }
+}
+
+class SimFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimFuzz, InvariantsHoldForRandomConfigurations) {
+  Rng meta_rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t n_files = 20 + meta_rng.uniform_index(180);
+    const double zipf = meta_rng.uniform(0.5, 1.3);
+    const double rate = meta_rng.uniform(2.0, 12.0);
+    const auto cat = make_uniform_catalog(n_files, (20 + meta_rng.uniform_index(80)) * kMB,
+                                          zipf, rate);
+    auto scheme = random_scheme(meta_rng);
+    Rng place_rng(meta_rng.next_u64());
+    scheme->place(cat, std::vector<Bandwidth>(30, gbps(1.0)), place_rng);
+
+    SimConfig cfg;
+    cfg.n_servers = 30;
+    cfg.bandwidth = {gbps(1.0)};
+    cfg.goodput = GoodputModel::calibrated(gbps(1.0));
+    if (meta_rng.bernoulli(0.5)) cfg.stragglers = StragglerModel::bing(0.05);
+    cfg.seed = meta_rng.next_u64();
+
+    Rng arrival_rng(meta_rng.next_u64());
+    const std::size_t n_requests = 300 + meta_rng.uniform_index(700);
+    const auto arrivals = generate_poisson_arrivals(cat, n_requests, arrival_rng);
+
+    // Track the exact bytes every plan requests so conservation is checkable
+    // even for randomized plans (late binding, replica choice).
+    double planned_bytes = 0.0;
+    auto planner = [&](FileId f, Rng& r) {
+      auto plan = scheme->plan_read(f, r);
+      for (const auto& fetch : plan.fetches) planned_bytes += static_cast<double>(fetch.bytes);
+      return plan;
+    };
+
+    Simulation sim(cfg);
+    const auto result = sim.run(arrivals, planner);
+
+    // Invariant 1: every request completes.
+    EXPECT_EQ(result.completed, n_requests);
+    EXPECT_EQ(result.latencies.count(), n_requests);
+    // Invariant 2: work conservation — servers served exactly the bytes
+    // the plans requested.
+    double served = 0.0;
+    for (double b : result.server_bytes) served += b;
+    EXPECT_NEAR(served, planned_bytes, planned_bytes * 1e-12 + 1.0);
+    // Invariant 3: latencies are finite, positive, ordered sanely.
+    EXPECT_GT(result.latencies.min(), 0.0);
+    EXPECT_TRUE(std::isfinite(result.latencies.max()));
+    EXPECT_LE(result.mean_latency(), result.latencies.max());
+    EXPECT_GE(result.tail_latency(), result.latencies.percentile(0.5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzz, ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull, 13ull));
+
+TEST(SimFuzz, DeterministicAcrossRuns) {
+  // A full random configuration replayed twice must match exactly.
+  const auto cat = make_uniform_catalog(100, 50 * kMB, 1.1, 8.0);
+  auto run_once = [&cat] {
+    SpCacheScheme sp;
+    Rng place_rng(99);
+    sp.place(cat, std::vector<Bandwidth>(30, gbps(1.0)), place_rng);
+    SimConfig cfg;
+    cfg.n_servers = 30;
+    cfg.bandwidth = {gbps(1.0)};
+    cfg.stragglers = StragglerModel::bing(0.05);
+    cfg.seed = 7;
+    Simulation sim(cfg);
+    Rng arrival_rng(8);
+    const auto arrivals = generate_poisson_arrivals(cat, 2000, arrival_rng);
+    return sim.run(arrivals, [&sp](FileId f, Rng& r) { return sp.plan_read(f, r); });
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.latencies.values(), b.latencies.values());
+  EXPECT_EQ(a.server_bytes, b.server_bytes);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,107 @@
+// LRU cache tests: hit/miss accounting, eviction order, budget invariants.
+#include "sim/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace spcache {
+namespace {
+
+TEST(Lru, MissThenHit) {
+  LruCache cache(100);
+  EXPECT_FALSE(cache.access(1, 10));
+  EXPECT_TRUE(cache.access(1, 10));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_ratio(), 0.5);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache cache(30);
+  cache.access(1, 10);
+  cache.access(2, 10);
+  cache.access(3, 10);
+  cache.access(1, 10);  // touch 1 -> LRU order is 2, 3, 1
+  cache.access(4, 10);  // evicts 2
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(Lru, BudgetNeverExceeded) {
+  LruCache cache(100);
+  for (FileId f = 0; f < 50; ++f) {
+    cache.access(f, 7 + (f % 13));
+    EXPECT_LE(cache.used(), cache.budget());
+  }
+}
+
+TEST(Lru, OversizedFileNotAdmitted) {
+  LruCache cache(50);
+  cache.access(1, 20);
+  EXPECT_FALSE(cache.access(2, 60));  // larger than the whole budget
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));  // nothing evicted for it
+  EXPECT_FALSE(cache.access(2, 60));  // still a miss every time
+}
+
+TEST(Lru, LargeFileEvictsMultiple) {
+  LruCache cache(100);
+  cache.access(1, 40);
+  cache.access(2, 40);
+  cache.access(3, 90);  // must evict both
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.used(), 90u);
+}
+
+TEST(Lru, UsedTracksResidents) {
+  LruCache cache(100);
+  cache.access(1, 30);
+  cache.access(2, 20);
+  EXPECT_EQ(cache.used(), 50u);
+  EXPECT_EQ(cache.resident_files(), 2u);
+}
+
+TEST(Lru, HitDoesNotChangeUsage) {
+  LruCache cache(100);
+  cache.access(1, 30);
+  cache.access(1, 30);
+  cache.access(1, 30);
+  EXPECT_EQ(cache.used(), 30u);
+}
+
+TEST(Lru, ResetCountersKeepsContents) {
+  LruCache cache(100);
+  cache.access(1, 10);
+  cache.access(1, 10);
+  cache.reset_counters();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.access(1, 10));  // warm hit after reset
+}
+
+TEST(Lru, EmptyHitRatioZero) {
+  LruCache cache(10);
+  EXPECT_DOUBLE_EQ(cache.hit_ratio(), 0.0);
+}
+
+TEST(Lru, ZipfStreamFavorsSmallFootprintScheme) {
+  // The Fig. 20 mechanism in miniature: identical access stream, two
+  // footprints (1.0x for SP-Cache vs 1.4x for EC-Cache). The
+  // redundancy-free footprint must achieve the higher hit ratio.
+  const auto cat = make_uniform_catalog(200, 10, 1.1, 1.0);  // 10-byte "files"
+  Rng rng(3);
+  LruCache sp(500), ec(500);
+  for (int i = 0; i < 20000; ++i) {
+    const FileId f = cat.sample_file(rng);
+    sp.access(f, 10);
+    ec.access(f, 14);
+  }
+  EXPECT_GT(sp.hit_ratio(), ec.hit_ratio());
+}
+
+}  // namespace
+}  // namespace spcache

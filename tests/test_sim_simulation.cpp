@@ -1,0 +1,302 @@
+// Discrete-event simulator tests: M/M/1 validation against queueing theory,
+// fork-join join semantics, determinism, load conservation, stragglers.
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/mg1.h"
+
+namespace spcache {
+namespace {
+
+// A planner that always reads one piece of `bytes` from server 0.
+Simulation::Planner single_server_planner(Bytes bytes) {
+  return [bytes](FileId, Rng&) {
+    ReadPlan plan;
+    plan.fetches.push_back(PartitionFetch{0, bytes});
+    plan.needed = 1;
+    return plan;
+  };
+}
+
+SimConfig basic_config(std::size_t n_servers, bool jitter = true) {
+  SimConfig cfg;
+  cfg.n_servers = n_servers;
+  cfg.bandwidth = {gbps(1.0)};
+  cfg.goodput = GoodputModel{0.0, 0.0, 1.0};  // disable goodput loss
+  cfg.exponential_jitter = jitter;
+  cfg.fetch_overhead = 0.0;   // pure-queueing regime for analytic checks
+  cfg.client_nic_floor = false;
+  cfg.client_setup_per_fetch = 0.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+std::vector<Arrival> poisson_stream(double rate, std::size_t n, std::uint64_t seed) {
+  const auto cat = make_uniform_catalog(1, kMB, 1.0, rate);
+  Rng rng(seed);
+  return generate_poisson_arrivals(cat, n, rng);
+}
+
+TEST(Simulation, Mm1MeanSojournMatchesTheory) {
+  // lambda = 5/s, service = Exp(mean 0.1 s) -> W = 1/(10 - 5) = 0.2 s.
+  const Bytes bytes = static_cast<Bytes>(0.1 * gbps(1.0));
+  Simulation sim(basic_config(1));
+  const auto arrivals = poisson_stream(5.0, 60000, 7);
+  const auto result = sim.run(arrivals, single_server_planner(bytes));
+  EXPECT_EQ(result.completed, arrivals.size());
+  EXPECT_NEAR(result.mean_latency(), 0.2, 0.02);
+}
+
+TEST(Simulation, Mm1HighLoad) {
+  // rho = 0.9: W = 1/(10 - 9) = 1.0 s. Longer run for the heavier tail.
+  const Bytes bytes = static_cast<Bytes>(0.1 * gbps(1.0));
+  Simulation sim(basic_config(1));
+  const auto arrivals = poisson_stream(9.0, 150000, 8);
+  const auto result = sim.run(arrivals, single_server_planner(bytes));
+  EXPECT_NEAR(result.mean_latency(), 1.0, 0.15);
+}
+
+TEST(Simulation, Md1WaitsHalfOfMm1) {
+  // Deterministic service: M/D/1 queueing delay is half the M/M/1 delay.
+  const Bytes bytes = static_cast<Bytes>(0.1 * gbps(1.0));
+  auto cfg = basic_config(1, /*jitter=*/false);
+  Simulation sim(cfg);
+  const auto arrivals = poisson_stream(5.0, 60000, 9);
+  const auto result = sim.run(arrivals, single_server_planner(bytes));
+  // M/D/1: W = s + rho*s / (2(1-rho)) = 0.1 + 0.05 = 0.15.
+  EXPECT_NEAR(result.mean_latency(), 0.15, 0.01);
+}
+
+TEST(Simulation, DeterministicForFixedSeed) {
+  const Bytes bytes = static_cast<Bytes>(0.05 * gbps(1.0));
+  const auto arrivals = poisson_stream(5.0, 5000, 10);
+  Simulation a(basic_config(1)), b(basic_config(1));
+  const auto ra = a.run(arrivals, single_server_planner(bytes));
+  const auto rb = b.run(arrivals, single_server_planner(bytes));
+  ASSERT_EQ(ra.latencies.count(), rb.latencies.count());
+  EXPECT_EQ(ra.latencies.values(), rb.latencies.values());
+}
+
+TEST(Simulation, LoadConservation) {
+  // Total bytes served must equal bytes requested across all fetches.
+  SimConfig cfg = basic_config(4);
+  Simulation sim(cfg);
+  const auto arrivals = poisson_stream(2.0, 1000, 11);
+  const Bytes piece = 250 * kKB;
+  auto planner = [piece](FileId, Rng&) {
+    ReadPlan plan;
+    for (std::uint32_t s = 0; s < 4; ++s) plan.fetches.push_back(PartitionFetch{s, piece});
+    plan.needed = 4;
+    return plan;
+  };
+  const auto result = sim.run(arrivals, planner);
+  double total = 0.0;
+  for (double b : result.server_bytes) total += b;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(1000 * 4 * piece));
+  // Uniform plan -> near-uniform per-server bytes.
+  for (double b : result.server_bytes) EXPECT_DOUBLE_EQ(b, 1000.0 * piece);
+}
+
+TEST(Simulation, ForkJoinWaitsForSlowest) {
+  // Two deterministic fetches of different sizes on idle servers: latency
+  // equals the larger transfer.
+  auto cfg = basic_config(2, /*jitter=*/false);
+  Simulation sim(cfg);
+  const std::vector<Arrival> arrivals{{0.0, 0}};
+  auto planner = [](FileId, Rng&) {
+    ReadPlan plan;
+    plan.fetches.push_back(PartitionFetch{0, static_cast<Bytes>(0.1 * gbps(1.0))});
+    plan.fetches.push_back(PartitionFetch{1, static_cast<Bytes>(0.4 * gbps(1.0))});
+    plan.needed = 2;
+    return plan;
+  };
+  const auto result = sim.run(arrivals, planner);
+  ASSERT_EQ(result.completed, 1u);
+  EXPECT_NEAR(result.latencies.values()[0], 0.4, 1e-9);
+}
+
+TEST(Simulation, LateBindingJoinsOnKFastest) {
+  // needed = 1 of 2: latency equals the *smaller* transfer.
+  auto cfg = basic_config(2, /*jitter=*/false);
+  Simulation sim(cfg);
+  const std::vector<Arrival> arrivals{{0.0, 0}};
+  auto planner = [](FileId, Rng&) {
+    ReadPlan plan;
+    plan.fetches.push_back(PartitionFetch{0, static_cast<Bytes>(0.1 * gbps(1.0))});
+    plan.fetches.push_back(PartitionFetch{1, static_cast<Bytes>(0.4 * gbps(1.0))});
+    plan.needed = 1;
+    return plan;
+  };
+  const auto result = sim.run(arrivals, planner);
+  EXPECT_NEAR(result.latencies.values()[0], 0.1, 1e-9);
+}
+
+TEST(Simulation, ExtraLateBindingFetchStillConsumesServer) {
+  // The abandoned (k+1)-th fetch occupies its server: a second request to
+  // that server queues behind it.
+  auto cfg = basic_config(2, /*jitter=*/false);
+  Simulation sim(cfg);
+  const std::vector<Arrival> arrivals{{0.0, 0}, {0.0, 1}};
+  int call = 0;
+  auto planner = [&call](FileId, Rng&) {
+    ReadPlan plan;
+    if (call++ == 0) {
+      // Request A: late-binding read, fast piece on server 0, slow on 1.
+      plan.fetches.push_back(PartitionFetch{0, static_cast<Bytes>(0.1 * gbps(1.0))});
+      plan.fetches.push_back(PartitionFetch{1, static_cast<Bytes>(0.5 * gbps(1.0))});
+      plan.needed = 1;
+    } else {
+      // Request B: must wait for A's abandoned slow fetch on server 1.
+      plan.fetches.push_back(PartitionFetch{1, static_cast<Bytes>(0.1 * gbps(1.0))});
+      plan.needed = 1;
+    }
+    return plan;
+  };
+  const auto result = sim.run(arrivals, planner);
+  ASSERT_EQ(result.completed, 2u);
+  // B's latency = 0.5 (queueing behind A's abandoned fetch) + 0.1.
+  EXPECT_NEAR(result.latencies.values()[1], 0.6, 1e-9);
+}
+
+TEST(Simulation, PostProcessAddsToLatency) {
+  auto cfg = basic_config(1, /*jitter=*/false);
+  Simulation sim(cfg);
+  const std::vector<Arrival> arrivals{{0.0, 0}};
+  auto planner = [](FileId, Rng&) {
+    ReadPlan plan;
+    plan.fetches.push_back(PartitionFetch{0, static_cast<Bytes>(0.1 * gbps(1.0))});
+    plan.needed = 1;
+    plan.post_process = 0.25;
+    return plan;
+  };
+  const auto result = sim.run(arrivals, planner);
+  EXPECT_NEAR(result.latencies.values()[0], 0.35, 1e-9);
+}
+
+TEST(Simulation, StragglersRaiseMeanLatency) {
+  const Bytes bytes = static_cast<Bytes>(0.05 * gbps(1.0));
+  auto clean_cfg = basic_config(1);
+  auto straggle_cfg = basic_config(1);
+  straggle_cfg.stragglers = StragglerModel::bing(0.3);
+  const auto arrivals = poisson_stream(3.0, 30000, 12);
+  const auto clean = Simulation(clean_cfg).run(arrivals, single_server_planner(bytes));
+  const auto slow = Simulation(straggle_cfg).run(arrivals, single_server_planner(bytes));
+  EXPECT_GT(slow.mean_latency(), clean.mean_latency() * 1.1);
+}
+
+TEST(Simulation, LatencyScaleApplied) {
+  auto cfg = basic_config(1, /*jitter=*/false);
+  Simulation sim(cfg);
+  const std::vector<Arrival> arrivals{{0.0, 0}, {10.0, 0}};
+  const Bytes bytes = static_cast<Bytes>(0.1 * gbps(1.0));
+  const auto result = sim.run(arrivals, single_server_planner(bytes),
+                              [](std::size_t i) { return i == 1 ? 3.0 : 1.0; });
+  EXPECT_NEAR(result.latencies.values()[0], 0.1, 1e-9);
+  EXPECT_NEAR(result.latencies.values()[1], 0.3, 1e-9);  // cache miss: 3x
+}
+
+TEST(Simulation, GoodputDegradationSlowsManyConnectionReads) {
+  // Same bytes, split over more connections with goodput loss enabled.
+  SimConfig cfg = basic_config(16, /*jitter=*/false);
+  cfg.goodput = GoodputModel::calibrated(gbps(1.0));
+  const std::vector<Arrival> arrivals{{0.0, 0}};
+  auto make_planner = [](std::size_t k) {
+    return [k](FileId, Rng&) {
+      ReadPlan plan;
+      const Bytes piece = static_cast<Bytes>(1.6 * gbps(1.0) / static_cast<double>(k));
+      for (std::uint32_t s = 0; s < k; ++s) plan.fetches.push_back(PartitionFetch{s, piece});
+      plan.needed = k;
+      return plan;
+    };
+  };
+  const auto r1 = Simulation(cfg).run(arrivals, make_planner(1));
+  const auto r16 = Simulation(cfg).run(arrivals, make_planner(16));
+  // 16-way split: per-piece transfer is 1/16th but runs at degraded
+  // goodput; the *parallel* read is still much faster overall...
+  EXPECT_LT(r16.latencies.values()[0], r1.latencies.values()[0]);
+  // ...but slower than the ideal 1/16 of the single-read time.
+  EXPECT_GT(r16.latencies.values()[0], r1.latencies.values()[0] / 16.0 * 1.05);
+}
+
+
+TEST(Simulation, WarmupExcludedFromLatencySample) {
+  const Bytes bytes = static_cast<Bytes>(0.1 * gbps(1.0));
+  auto cfg = basic_config(1, /*jitter=*/false);
+  cfg.warmup_requests = 1;
+  Simulation sim(cfg);
+  // Two back-to-back arrivals: the second queues behind the first.
+  const std::vector<Arrival> arrivals{{0.0, 0}, {0.0, 0}};
+  const auto result = sim.run(arrivals, single_server_planner(bytes));
+  EXPECT_EQ(result.completed, 2u);           // both simulated...
+  ASSERT_EQ(result.latencies.count(), 1u);   // ...one recorded
+  EXPECT_NEAR(result.latencies.values()[0], 0.2, 1e-9);  // queued behind #0
+}
+
+
+TEST(Simulation, MetricsTimeSeries) {
+  const Bytes bytes = static_cast<Bytes>(0.1 * gbps(1.0));
+  auto cfg = basic_config(1);
+  cfg.metrics_window = 10.0;
+  Simulation sim(cfg);
+  const auto arrivals = poisson_stream(4.0, 4000, 21);
+  const auto result = sim.run(arrivals, single_server_planner(bytes));
+  ASSERT_GT(result.window_mean_latency.size(), 5u);
+  EXPECT_EQ(result.window_mean_latency.size(), result.window_completions.size());
+  // Completions are conserved across windows.
+  std::size_t total = 0;
+  for (auto c : result.window_completions) total += c;
+  EXPECT_EQ(total, result.completed);
+  // Window means are consistent with the aggregate mean.
+  double weighted = 0.0;
+  for (std::size_t w = 0; w < result.window_mean_latency.size(); ++w) {
+    weighted += result.window_mean_latency[w] * static_cast<double>(result.window_completions[w]);
+  }
+  EXPECT_NEAR(weighted / static_cast<double>(total), result.mean_latency(), 1e-9);
+}
+
+TEST(Simulation, MetricsSeriesDisabledByDefault) {
+  const Bytes bytes = static_cast<Bytes>(0.05 * gbps(1.0));
+  Simulation sim(basic_config(1));
+  const auto arrivals = poisson_stream(2.0, 100, 22);
+  const auto result = sim.run(arrivals, single_server_planner(bytes));
+  EXPECT_TRUE(result.window_mean_latency.empty());
+}
+
+
+TEST(Simulation, UtilizationMatchesOfferedLoad) {
+  // M/M/1 at rho = 0.5: the server must be busy ~half the horizon.
+  const Bytes bytes = static_cast<Bytes>(0.1 * gbps(1.0));
+  Simulation sim(basic_config(1));
+  const auto arrivals = poisson_stream(5.0, 40000, 31);
+  const auto result = sim.run(arrivals, single_server_planner(bytes));
+  ASSERT_EQ(result.server_busy_seconds.size(), 1u);
+  EXPECT_GT(result.horizon, 0.0);
+  EXPECT_NEAR(result.utilization()[0], 0.5, 0.03);
+}
+
+TEST(Simulation, IdleServersHaveZeroUtilization) {
+  auto cfg = basic_config(3, /*jitter=*/false);
+  Simulation sim(cfg);
+  const std::vector<Arrival> arrivals{{0.0, 0}};
+  const auto result = sim.run(arrivals, single_server_planner(1000));
+  const auto util = result.utilization();
+  EXPECT_GT(util[0], 0.0);
+  EXPECT_DOUBLE_EQ(util[1], 0.0);
+  EXPECT_DOUBLE_EQ(util[2], 0.0);
+}
+
+TEST(SimResult, MetricAccessors) {
+  SimResult r;
+  r.latencies.add(1.0);
+  r.latencies.add(3.0);
+  r.server_bytes = {10.0, 0.0};
+  EXPECT_DOUBLE_EQ(r.mean_latency(), 2.0);
+  EXPECT_DOUBLE_EQ(r.tail_latency(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(r.imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace spcache

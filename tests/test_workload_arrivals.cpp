@@ -1,0 +1,95 @@
+// Arrival process tests: Poisson statistics and MMPP burstiness.
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace spcache {
+namespace {
+
+TEST(PoissonArrivals, TimesAreSortedAndPositive) {
+  Rng rng(1);
+  const auto cat = make_uniform_catalog(10, kMB, 1.0, 5.0);
+  const auto arrivals = generate_poisson_arrivals(cat, 1000, rng);
+  ASSERT_EQ(arrivals.size(), 1000u);
+  EXPECT_GT(arrivals.front().time, 0.0);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i].time, arrivals[i - 1].time);
+  }
+}
+
+TEST(PoissonArrivals, RateMatchesCatalog) {
+  Rng rng(2);
+  const auto cat = make_uniform_catalog(10, kMB, 1.0, 8.0);
+  const auto arrivals = generate_poisson_arrivals(cat, 20000, rng);
+  // 20000 arrivals at 8/s should span ~2500 s.
+  EXPECT_NEAR(arrivals.back().time, 2500.0, 125.0);
+}
+
+TEST(PoissonArrivals, FilesFollowPopularity) {
+  Rng rng(3);
+  const auto cat = make_uniform_catalog(5, kMB, 1.5, 4.0);
+  const auto arrivals = generate_poisson_arrivals(cat, 100000, rng);
+  std::map<FileId, int> counts;
+  for (const auto& a : arrivals) ++counts[a.file];
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    const auto id = static_cast<FileId>(i);
+    EXPECT_NEAR(counts[id] / 100000.0, cat.popularity(id), 0.01);
+  }
+}
+
+TEST(PoissonArrivals, DispersionNearOne) {
+  Rng rng(4);
+  const auto cat = make_uniform_catalog(10, kMB, 1.0, 10.0);
+  const auto arrivals = generate_poisson_arrivals(cat, 50000, rng);
+  const double iod = index_of_dispersion(arrivals, 10.0);
+  EXPECT_NEAR(iod, 1.0, 0.25);  // Poisson: variance == mean
+}
+
+TEST(MmppArrivals, AverageRateFormula) {
+  MmppParams p;
+  p.calm_rate = 5.0;
+  p.burst_rate = 50.0;
+  p.mean_calm_time = 20.0;
+  p.mean_burst_time = 2.0;
+  // (20*5 + 2*50) / 22 = 200/22.
+  EXPECT_NEAR(p.average_rate(), 200.0 / 22.0, 1e-9);
+}
+
+TEST(MmppArrivals, EmpiricalRateMatchesAverage) {
+  Rng rng(5);
+  const auto cat = make_uniform_catalog(10, kMB, 1.0, 1.0);
+  MmppParams p;
+  const auto arrivals = generate_mmpp_arrivals(cat, p, 50000, rng);
+  const double empirical_rate = 50000.0 / arrivals.back().time;
+  EXPECT_NEAR(empirical_rate, p.average_rate(), p.average_rate() * 0.1);
+}
+
+TEST(MmppArrivals, BurstierThanPoisson) {
+  Rng rng(6);
+  const auto cat = make_uniform_catalog(10, kMB, 1.0, 1.0);
+  MmppParams p;
+  const auto mmpp = generate_mmpp_arrivals(cat, p, 50000, rng);
+  const double iod = index_of_dispersion(mmpp, 10.0);
+  EXPECT_GT(iod, 2.0);  // strongly over-dispersed
+}
+
+TEST(MmppArrivals, SortedTimes) {
+  Rng rng(7);
+  const auto cat = make_uniform_catalog(3, kMB, 1.0, 1.0);
+  const auto arrivals = generate_mmpp_arrivals(cat, MmppParams{}, 5000, rng);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i].time, arrivals[i - 1].time);
+  }
+}
+
+TEST(IndexOfDispersion, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(index_of_dispersion({}, 1.0), 0.0);
+  // A single short stream with < 2 windows.
+  std::vector<Arrival> a{{0.5, 0}};
+  EXPECT_DOUBLE_EQ(index_of_dispersion(a, 10.0), 0.0);
+}
+
+}  // namespace
+}  // namespace spcache

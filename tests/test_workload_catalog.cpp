@@ -1,0 +1,135 @@
+// File catalog semantics: popularity, loads, rate scaling, shuffling,
+// sampling, and the Yahoo-like catalog builder.
+#include "workload/file_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace spcache {
+namespace {
+
+TEST(Catalog, PopularitySumsToOne) {
+  const auto cat = make_uniform_catalog(100, 40 * kMB, 1.1, 8.0);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < cat.size(); ++i) sum += cat.popularity(static_cast<FileId>(i));
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(cat.total_rate(), 8.0, 1e-9);
+}
+
+TEST(Catalog, IdsAreDense) {
+  const auto cat = make_uniform_catalog(10, kMB, 1.0, 1.0);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    EXPECT_EQ(cat.file(static_cast<FileId>(i)).id, static_cast<FileId>(i));
+  }
+}
+
+TEST(Catalog, LoadDefinition) {
+  // L_i = S_i * P_i (Eq. 1 input).
+  const auto cat = make_uniform_catalog(10, 100 * kMB, 1.05, 5.0);
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    const auto id = static_cast<FileId>(i);
+    EXPECT_NEAR(cat.load(id),
+                static_cast<double>(cat.file(id).size) * cat.popularity(id), 1e-6);
+  }
+}
+
+TEST(Catalog, MaxLoadIsHottestFile) {
+  const auto cat = make_uniform_catalog(50, 100 * kMB, 1.1, 10.0);
+  // With uniform sizes and Zipf popularity, file 0 carries the max load.
+  EXPECT_NEAR(cat.max_load(), cat.load(0), 1e-9);
+  for (std::size_t i = 1; i < cat.size(); ++i) {
+    EXPECT_LE(cat.load(static_cast<FileId>(i)), cat.max_load() + 1e-9);
+  }
+}
+
+TEST(Catalog, SetTotalRateScalesProportionally) {
+  auto cat = make_uniform_catalog(20, kMB, 1.0, 6.0);
+  const double p0 = cat.popularity(0);
+  cat.set_total_rate(22.0);
+  EXPECT_NEAR(cat.total_rate(), 22.0, 1e-9);
+  EXPECT_NEAR(cat.popularity(0), p0, 1e-12);  // popularity unchanged
+}
+
+TEST(Catalog, ShufflePreservesRateMultisetAndSizes) {
+  Rng rng(99);
+  auto cat = make_uniform_catalog(30, 50 * kMB, 1.1, 9.0);
+  std::vector<double> before;
+  for (const auto& f : cat.files()) before.push_back(f.request_rate);
+  cat.shuffle_popularities(rng);
+  std::vector<double> after;
+  for (const auto& f : cat.files()) {
+    after.push_back(f.request_rate);
+    EXPECT_EQ(f.size, 50 * kMB);  // sizes stay in place
+  }
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+  EXPECT_NEAR(cat.total_rate(), 9.0, 1e-9);
+}
+
+TEST(Catalog, ShuffleActuallyMoves) {
+  Rng rng(7);
+  auto cat = make_uniform_catalog(100, kMB, 1.1, 5.0);
+  const double top_rate = cat.file(0).request_rate;
+  int moved = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    cat.shuffle_popularities(rng);
+    if (cat.file(0).request_rate != top_rate) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(Catalog, SampleFileMatchesPopularity) {
+  Rng rng(55);
+  const auto cat = make_uniform_catalog(10, kMB, 1.0, 4.0);
+  std::map<FileId, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[cat.sample_file(rng)];
+  for (std::size_t i = 0; i < cat.size(); ++i) {
+    const auto id = static_cast<FileId>(i);
+    EXPECT_NEAR(counts[id] / static_cast<double>(n), cat.popularity(id), 0.01);
+  }
+}
+
+TEST(Catalog, TotalBytes) {
+  const auto cat = make_uniform_catalog(5, 10 * kMB, 1.0, 1.0);
+  EXPECT_EQ(cat.total_bytes(), 50 * kMB);
+}
+
+TEST(YahooCatalog, HotFilesAreLarger) {
+  Rng rng(12);
+  YahooSizeModel model;
+  const auto cat = make_yahoo_catalog(2000, 1.1, 10.0, model, rng);
+  ASSERT_EQ(cat.size(), 2000u);
+  // Mean size of the top 2% (hot) vs the bottom 50% (cold).
+  double hot = 0.0, cold = 0.0;
+  const std::size_t hot_n = 40, cold_start = 1000;
+  for (std::size_t i = 0; i < hot_n; ++i) hot += static_cast<double>(cat.file(static_cast<FileId>(i)).size);
+  for (std::size_t i = cold_start; i < 2000; ++i) {
+    cold += static_cast<double>(cat.file(static_cast<FileId>(i)).size);
+  }
+  hot /= static_cast<double>(hot_n);
+  cold /= static_cast<double>(2000 - cold_start);
+  const double ratio = hot / cold;
+  EXPECT_GT(ratio, 10.0);  // paper: 15-30x, allow sampling noise
+  EXPECT_LT(ratio, 45.0);
+}
+
+TEST(YahooCatalog, SizesHaveFloor) {
+  Rng rng(13);
+  const auto cat = make_yahoo_catalog(500, 1.1, 5.0, YahooSizeModel{}, rng);
+  for (const auto& f : cat.files()) EXPECT_GE(f.size, 64 * kKB);
+}
+
+TEST(YahooCatalog, PopularityFollowsZipf) {
+  Rng rng(14);
+  const auto cat = make_yahoo_catalog(100, 1.1, 10.0, YahooSizeModel{}, rng);
+  EXPECT_GT(cat.popularity(0), cat.popularity(50));
+  EXPECT_GT(cat.popularity(10), cat.popularity(90));
+}
+
+}  // namespace
+}  // namespace spcache

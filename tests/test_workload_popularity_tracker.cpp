@@ -1,0 +1,95 @@
+// EWMA popularity tracker tests.
+#include "workload/popularity_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spcache {
+namespace {
+
+TEST(PopularityTracker, UnknownFileHasZeroRate) {
+  PopularityTracker t(60.0);
+  EXPECT_DOUBLE_EQ(t.rate(42, 100.0), 0.0);
+}
+
+TEST(PopularityTracker, SteadyPoissonStreamEstimatesRate) {
+  PopularityTracker t(300.0);
+  Rng rng(1);
+  // 5 req/s for 30 minutes.
+  Seconds now = 0.0;
+  while (now < 1800.0) {
+    now += rng.exponential(0.2);
+    t.record(7, now);
+  }
+  EXPECT_NEAR(t.rate(7, now), 5.0, 0.8);
+}
+
+TEST(PopularityTracker, RateDecaysWithHalfLife) {
+  PopularityTracker t(100.0);
+  Rng rng(2);
+  Seconds now = 0.0;
+  while (now < 1000.0) {
+    now += rng.exponential(0.5);  // 2 req/s
+    t.record(3, now);
+  }
+  const double at_end = t.rate(3, now);
+  EXPECT_NEAR(t.rate(3, now + 100.0), at_end / 2.0, at_end * 0.01);
+  EXPECT_NEAR(t.rate(3, now + 200.0), at_end / 4.0, at_end * 0.01);
+}
+
+TEST(PopularityTracker, DetectsBurst) {
+  PopularityTracker t(60.0);
+  Rng rng(3);
+  // Cold file: one access a minute for 20 minutes.
+  Seconds now = 0.0;
+  while (now < 1200.0) {
+    now += 60.0;
+    t.record(1, now);
+  }
+  const double cold_rate = t.rate(1, now);
+  EXPECT_LT(cold_rate, 0.1);
+  // Burst: 10 req/s for one minute.
+  while (now < 1260.0) {
+    now += 0.1;
+    t.record(1, now);
+  }
+  EXPECT_GT(t.rate(1, now), cold_rate * 20.0);
+  EXPECT_NEAR(t.rate(1, now), 10.0, 5.0);  // approaching the burst rate
+}
+
+TEST(PopularityTracker, IndependentFiles) {
+  PopularityTracker t(60.0);
+  t.record(1, 10.0);
+  t.record(1, 11.0);
+  t.record(2, 11.0);
+  EXPECT_GT(t.rate(1, 11.0), t.rate(2, 11.0));
+  EXPECT_EQ(t.tracked_files(), 2u);
+}
+
+TEST(PopularityTracker, SnapshotBuildsCatalog) {
+  PopularityTracker t(120.0);
+  Rng rng(4);
+  Seconds now = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    now += rng.exponential(0.25);  // 4 req/s on file 0
+    t.record(0, now);
+  }
+  const std::vector<Bytes> sizes{100 * kMB, 50 * kMB};
+  const auto cat = t.snapshot(sizes, now, 1e-6);
+  ASSERT_EQ(cat.size(), 2u);
+  EXPECT_EQ(cat.file(0).size, 100 * kMB);
+  EXPECT_NEAR(cat.file(0).request_rate, 4.0, 1.0);
+  EXPECT_DOUBLE_EQ(cat.file(1).request_rate, 1e-6);  // floor for unseen file
+  EXPECT_GT(cat.popularity(0), 0.99);
+}
+
+TEST(PopularityTracker, OutOfOrderTimesTolerated) {
+  PopularityTracker t(60.0);
+  t.record(5, 100.0);
+  t.record(5, 99.5);  // slightly stale timestamp within a batch
+  EXPECT_GT(t.rate(5, 100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,76 @@
+// Straggler model tests: injection probability and slowdown profile.
+#include "workload/straggler.h"
+
+#include <gtest/gtest.h>
+
+namespace spcache {
+namespace {
+
+TEST(Straggler, NoneAlwaysReturnsOne) {
+  auto model = StragglerModel::none();
+  Rng rng(1);
+  EXPECT_FALSE(model.enabled());
+  for (int i = 0; i < 1000; ++i) EXPECT_DOUBLE_EQ(model.sample_slowdown(rng), 1.0);
+}
+
+TEST(Straggler, InjectionProbability) {
+  auto model = StragglerModel::bing(0.05);
+  Rng rng(2);
+  int straggled = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample_slowdown(rng) > 1.0) ++straggled;
+  }
+  EXPECT_NEAR(straggled / static_cast<double>(n), 0.05, 0.005);
+}
+
+TEST(Straggler, SlowdownsAtLeastMinProfileFactor) {
+  auto model = StragglerModel::bing(1.0);  // always straggle
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double s = model.sample_slowdown(rng);
+    EXPECT_GE(s, 1.5);
+    EXPECT_LE(s, 10.0);
+  }
+}
+
+TEST(Straggler, ConditionalMeanMatchesEmpirical) {
+  auto model = StragglerModel::bing(1.0);
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += model.sample_slowdown(rng);
+  EXPECT_NEAR(sum / n, model.conditional_mean_slowdown(), 0.02);
+}
+
+TEST(Straggler, ProfileShapeIsHeavyHeaded) {
+  // Most stragglers are mild (< 3x), few are extreme — the Mantri shape.
+  auto model = StragglerModel::bing(1.0);
+  Rng rng(5);
+  int mild = 0, extreme = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double s = model.sample_slowdown(rng);
+    if (s < 3.0) ++mild;
+    if (s >= 8.0) ++extreme;
+  }
+  EXPECT_GT(mild / static_cast<double>(n), 0.6);
+  EXPECT_LT(extreme / static_cast<double>(n), 0.05);
+}
+
+TEST(Straggler, CustomProfile) {
+  StragglerModel model(0.5, {{2.0, 1.0}});
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double s = model.sample_slowdown(rng);
+    EXPECT_TRUE(s == 1.0 || s == 2.0);
+  }
+  EXPECT_DOUBLE_EQ(model.conditional_mean_slowdown(), 2.0);
+}
+
+TEST(Straggler, DefaultBingProbability) {
+  EXPECT_DOUBLE_EQ(StragglerModel::bing().probability(), 0.05);
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,66 @@
+// Synthetic Yahoo trace: the generated population must match the marginals
+// the paper reports for Fig. 1 (~78% cold, ~2% hot, hot files 15-30x larger).
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace spcache {
+namespace {
+
+TEST(YahooTrace, ColdFractionNearPaper) {
+  Rng rng(1);
+  YahooTraceModel model;
+  const auto records = generate_yahoo_trace(100000, model, rng);
+  const auto s = summarize_trace(records, model);
+  EXPECT_NEAR(s.cold_fraction, 0.78, 0.08);
+}
+
+TEST(YahooTrace, HotFractionNearPaper) {
+  Rng rng(2);
+  YahooTraceModel model;
+  const auto records = generate_yahoo_trace(100000, model, rng);
+  const auto s = summarize_trace(records, model);
+  EXPECT_NEAR(s.hot_fraction, 0.02, 0.015);
+}
+
+TEST(YahooTrace, HotFilesMuchLarger) {
+  Rng rng(3);
+  YahooTraceModel model;
+  const auto records = generate_yahoo_trace(100000, model, rng);
+  const auto s = summarize_trace(records, model);
+  EXPECT_GT(s.hot_to_cold_size_ratio, 10.0);
+  EXPECT_LT(s.hot_to_cold_size_ratio, 45.0);
+}
+
+TEST(YahooTrace, CountsBoundedAndPositive) {
+  Rng rng(4);
+  YahooTraceModel model;
+  model.max_count = 5000;
+  const auto records = generate_yahoo_trace(10000, model, rng);
+  for (const auto& r : records) {
+    EXPECT_GE(r.access_count, 1u);
+    EXPECT_LE(r.access_count, 5000u);
+    EXPECT_GE(r.size, 64 * kKB);
+  }
+}
+
+TEST(YahooTrace, SummaryOfEmptyPopulation) {
+  const auto s = summarize_trace({}, YahooTraceModel{});
+  EXPECT_DOUBLE_EQ(s.cold_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(s.hot_fraction, 0.0);
+}
+
+TEST(YahooTrace, DeterministicForSeed) {
+  YahooTraceModel model;
+  Rng r1(42), r2(42);
+  const auto a = generate_yahoo_trace(1000, model, r1);
+  const auto b = generate_yahoo_trace(1000, model, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].access_count, b[i].access_count);
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+}
+
+}  // namespace
+}  // namespace spcache

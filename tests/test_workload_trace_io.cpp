@@ -1,0 +1,100 @@
+// CSV trace I/O tests: roundtrips and malformed-input rejection.
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spcache {
+namespace {
+
+TEST(TraceIo, CatalogRoundtrip) {
+  Rng rng(1);
+  const auto original = make_yahoo_catalog(200, 1.1, 12.5, YahooSizeModel{}, rng);
+  std::stringstream buffer;
+  save_catalog_csv(original, buffer);
+  const auto loaded = load_catalog_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.file(static_cast<FileId>(i)).size,
+              original.file(static_cast<FileId>(i)).size);
+    EXPECT_DOUBLE_EQ(loaded.file(static_cast<FileId>(i)).request_rate,
+                     original.file(static_cast<FileId>(i)).request_rate);
+  }
+  EXPECT_DOUBLE_EQ(loaded.total_rate(), original.total_rate());
+}
+
+TEST(TraceIo, ArrivalsRoundtrip) {
+  Rng rng(2);
+  const auto cat = make_uniform_catalog(50, kMB, 1.05, 10.0);
+  const auto original = generate_poisson_arrivals(cat, 1000, rng);
+  std::stringstream buffer;
+  save_arrivals_csv(original, buffer);
+  const auto loaded = load_arrivals_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].time, original[i].time);
+    EXPECT_EQ(loaded[i].file, original[i].file);
+  }
+}
+
+TEST(TraceIo, EmptyCatalog) {
+  std::stringstream buffer;
+  save_catalog_csv(Catalog{}, buffer);
+  EXPECT_EQ(load_catalog_csv(buffer).size(), 0u);
+}
+
+TEST(TraceIo, MissingHeaderRejected) {
+  std::stringstream c("0,100,1.0\n");
+  EXPECT_THROW(load_catalog_csv(c), std::runtime_error);
+  std::stringstream a("0.5,3\n");
+  EXPECT_THROW(load_arrivals_csv(a), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedRowsRejected) {
+  {
+    std::stringstream s("file_id,size_bytes,request_rate\n0,100\n");
+    EXPECT_THROW(load_catalog_csv(s), std::runtime_error);  // field count
+  }
+  {
+    std::stringstream s("file_id,size_bytes,request_rate\n0,abc,1.0\n");
+    EXPECT_THROW(load_catalog_csv(s), std::runtime_error);  // non-integer
+  }
+  {
+    std::stringstream s("file_id,size_bytes,request_rate\n0,100,-2.0\n");
+    EXPECT_THROW(load_catalog_csv(s), std::runtime_error);  // negative rate
+  }
+  {
+    std::stringstream s("file_id,size_bytes,request_rate\n1,100,1.0\n");
+    EXPECT_THROW(load_catalog_csv(s), std::runtime_error);  // non-dense ids
+  }
+  {
+    std::stringstream s("time_seconds,file_id\n2.0,1\n1.0,2\n");
+    EXPECT_THROW(load_arrivals_csv(s), std::runtime_error);  // out of order
+  }
+  {
+    std::stringstream s("time_seconds,file_id\n1.0,1.5\n");
+    EXPECT_THROW(load_arrivals_csv(s), std::runtime_error);  // fractional id
+  }
+}
+
+TEST(TraceIo, BlankLinesTolerated) {
+  std::stringstream s("file_id,size_bytes,request_rate\n0,100,1.0\n\n1,200,2.0\n");
+  const auto cat = load_catalog_csv(s);
+  EXPECT_EQ(cat.size(), 2u);
+}
+
+TEST(TraceIo, FileRoundtrip) {
+  Rng rng(3);
+  const auto cat = make_uniform_catalog(20, kMB, 1.0, 5.0);
+  const auto arrivals = generate_poisson_arrivals(cat, 100, rng);
+  const std::string dir = ::testing::TempDir();
+  save_catalog_csv_file(cat, dir + "/cat.csv");
+  save_arrivals_csv_file(arrivals, dir + "/arr.csv");
+  EXPECT_EQ(load_catalog_csv_file(dir + "/cat.csv").size(), 20u);
+  EXPECT_EQ(load_arrivals_csv_file(dir + "/arr.csv").size(), 100u);
+  EXPECT_THROW(load_catalog_csv_file(dir + "/does_not_exist.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace spcache

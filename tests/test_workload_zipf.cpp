@@ -1,0 +1,71 @@
+// Zipf distribution: normalization, shape, sampling fidelity.
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace spcache {
+namespace {
+
+TEST(Zipf, ProbabilitiesSumToOne) {
+  for (double s : {0.0, 0.5, 1.05, 1.1, 2.0}) {
+    ZipfDistribution z(100, s);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < z.size(); ++i) sum += z.pmf(i);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "s=" << s;
+  }
+}
+
+TEST(Zipf, MonotoneDecreasing) {
+  ZipfDistribution z(50, 1.05);
+  for (std::size_t i = 1; i < z.size(); ++i) EXPECT_LE(z.pmf(i), z.pmf(i - 1));
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_NEAR(z.pmf(i), 0.1, 1e-12);
+}
+
+TEST(Zipf, RatioMatchesPowerLaw) {
+  ZipfDistribution z(100, 1.1);
+  // p_1 / p_2 = 2^1.1
+  EXPECT_NEAR(z.pmf(0) / z.pmf(1), std::pow(2.0, 1.1), 1e-9);
+  EXPECT_NEAR(z.pmf(0) / z.pmf(9), std::pow(10.0, 1.1), 1e-9);
+}
+
+TEST(Zipf, HeadMassConcentration) {
+  // With exponent 1.05 over 500 files the head holds a large share.
+  ZipfDistribution z(500, 1.05);
+  EXPECT_GT(z.head_mass(50), 0.5);   // top 10% of files
+  EXPECT_LT(z.head_mass(50), 0.95);
+  EXPECT_DOUBLE_EQ(z.head_mass(500), 1.0);
+  EXPECT_DOUBLE_EQ(z.head_mass(1000), 1.0);  // clamped
+}
+
+TEST(Zipf, SingleItem) {
+  ZipfDistribution z(1, 1.05);
+  EXPECT_DOUBLE_EQ(z.pmf(0), 1.0);
+  Rng rng(1);
+  EXPECT_EQ(z.sample(rng), 0u);
+}
+
+class ZipfSamplingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSamplingTest, EmpiricalFrequenciesMatchPmf) {
+  const double s = GetParam();
+  ZipfDistribution z(20, s);
+  Rng rng(static_cast<std::uint64_t>(s * 1000) + 7);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), z.pmf(i), 0.005) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSamplingTest, ::testing::Values(0.0, 0.8, 1.05, 1.1, 1.5));
+
+}  // namespace
+}  // namespace spcache

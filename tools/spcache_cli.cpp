@@ -1,0 +1,226 @@
+// spcache_cli — run a custom cluster-caching experiment from the command
+// line: pick a scheme, shape the workload, and get latency / balance /
+// memory numbers without writing any code.
+//
+//   spcache_cli --scheme sp --files 500 --size-mb 100 --zipf 1.05 \
+//               --rate 18 --servers 30 --requests 9000 --stragglers 0.05
+//
+// Options (defaults in brackets):
+//   --scheme sp|ec|replication|chunk|simple|stock|hash   [sp]
+//   --files N          catalog size                      [500]
+//   --size-mb S        file size in MB                   [100]
+//   --zipf Z           popularity exponent               [1.05]
+//   --rate R           aggregate request rate, req/s     [18]
+//   --servers N        cache servers                     [30]
+//   --requests N       simulated requests                [9000]
+//   --bandwidth-gbps B per-server link speed             [1.0]
+//   --stragglers P     per-fetch straggler probability   [0]
+//   --chunk-mb C       chunk size for --scheme chunk     [8]
+//   --k K --n N        code geometry for --scheme ec     [10 14]
+//   --replicas R       copies for --scheme replication   [4]
+//   --simple-k K       partitions for --scheme simple    [9]
+//   --alpha A          fix SP-Cache's scale factor (skip Algorithm 1)
+//   --weighted         bandwidth-weighted SP placement
+//   --hetero F         fraction of servers at half bandwidth [0]
+//   --seed S           master seed                       [1]
+//   --catalog F        replay a catalog CSV (overrides --files/--size-mb/
+//                      --zipf/--rate; see workload/trace_io.h)
+//   --arrivals F       replay an arrivals CSV (overrides --requests)
+//   --csv              machine-readable output
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/table.h"
+#include "core/ec_cache.h"
+#include "core/fixed_chunking.h"
+#include "core/hash_placement.h"
+#include "core/selective_replication.h"
+#include "core/simple_partition.h"
+#include "core/sp_cache.h"
+#include "sim/simulation.h"
+#include "workload/arrivals.h"
+#include "workload/trace_io.h"
+
+using namespace spcache;
+
+namespace {
+
+struct Options {
+  std::string scheme = "sp";
+  std::size_t files = 500;
+  double size_mb = 100.0;
+  double zipf = 1.05;
+  double rate = 18.0;
+  std::size_t servers = 30;
+  std::size_t requests = 9000;
+  double bandwidth_gbps = 1.0;
+  double stragglers = 0.0;
+  double chunk_mb = 8.0;
+  std::size_t k = 10, n = 14;
+  std::size_t replicas = 4;
+  std::size_t simple_k = 9;
+  double alpha = 0.0;  // 0 = run Algorithm 1
+  bool weighted = false;
+  double hetero = 0.0;
+  std::string catalog_file;
+  std::string arrivals_file;
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "spcache_cli: " << message << "\nSee the header of tools/spcache_cli.cpp.\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need_value = [&](int i) {
+    if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+    return std::string(argv[i + 1]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto num = [&](double& out) { out = std::atof(need_value(i).c_str()); ++i; };
+    auto unum = [&](std::size_t& out) {
+      out = static_cast<std::size_t>(std::atoll(need_value(i).c_str()));
+      ++i;
+    };
+    if (flag == "--scheme") {
+      o.scheme = need_value(i);
+      ++i;
+    } else if (flag == "--files") {
+      unum(o.files);
+    } else if (flag == "--size-mb") {
+      num(o.size_mb);
+    } else if (flag == "--zipf") {
+      num(o.zipf);
+    } else if (flag == "--rate") {
+      num(o.rate);
+    } else if (flag == "--servers") {
+      unum(o.servers);
+    } else if (flag == "--requests") {
+      unum(o.requests);
+    } else if (flag == "--bandwidth-gbps") {
+      num(o.bandwidth_gbps);
+    } else if (flag == "--stragglers") {
+      num(o.stragglers);
+    } else if (flag == "--chunk-mb") {
+      num(o.chunk_mb);
+    } else if (flag == "--k") {
+      unum(o.k);
+    } else if (flag == "--n") {
+      unum(o.n);
+    } else if (flag == "--replicas") {
+      unum(o.replicas);
+    } else if (flag == "--simple-k") {
+      unum(o.simple_k);
+    } else if (flag == "--alpha") {
+      num(o.alpha);
+    } else if (flag == "--weighted") {
+      o.weighted = true;
+    } else if (flag == "--hetero") {
+      num(o.hetero);
+    } else if (flag == "--seed") {
+      std::size_t s = 0;
+      unum(s);
+      o.seed = s;
+    } else if (flag == "--catalog") {
+      o.catalog_file = need_value(i);
+      ++i;
+    } else if (flag == "--arrivals") {
+      o.arrivals_file = need_value(i);
+      ++i;
+    } else if (flag == "--csv") {
+      o.csv = true;
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << "See the header comment of tools/spcache_cli.cpp for options.\n";
+      std::exit(0);
+    } else {
+      usage_error("unknown flag " + flag);
+    }
+  }
+  if (o.files == 0 || o.servers == 0 || o.requests == 0) usage_error("zero-sized experiment");
+  return o;
+}
+
+std::unique_ptr<CachingScheme> make_scheme(const Options& o) {
+  if (o.scheme == "sp") {
+    SpCacheConfig cfg;
+    if (o.alpha > 0.0) cfg.fixed_alpha = o.alpha;
+    cfg.bandwidth_weighted_placement = o.weighted;
+    return std::make_unique<SpCacheScheme>(cfg);
+  }
+  if (o.scheme == "ec") {
+    EcCacheConfig cfg;
+    cfg.k = o.k;
+    cfg.n = o.n;
+    return std::make_unique<EcCacheScheme>(cfg);
+  }
+  if (o.scheme == "replication") {
+    return std::make_unique<SelectiveReplicationScheme>(
+        SelectiveReplicationConfig{0.10, o.replicas});
+  }
+  if (o.scheme == "chunk") {
+    return std::make_unique<FixedChunkingScheme>(FixedChunkingConfig{megabytes(o.chunk_mb)});
+  }
+  if (o.scheme == "simple") return std::make_unique<SimplePartitionScheme>(o.simple_k);
+  if (o.scheme == "stock") return std::make_unique<StockScheme>();
+  if (o.scheme == "hash") return std::make_unique<HashPlacementScheme>();
+  usage_error("unknown scheme '" + o.scheme + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  const auto catalog = o.catalog_file.empty()
+                           ? make_uniform_catalog(o.files, megabytes(o.size_mb), o.zipf, o.rate)
+                           : load_catalog_csv_file(o.catalog_file);
+  std::vector<Bandwidth> bandwidth(o.servers, gbps(o.bandwidth_gbps));
+  const auto slow = static_cast<std::size_t>(o.hetero * static_cast<double>(o.servers));
+  for (std::size_t s = 0; s < slow; ++s) {
+    bandwidth[o.servers - 1 - s] = gbps(o.bandwidth_gbps / 2.0);
+  }
+
+  auto scheme = make_scheme(o);
+  Rng rng(o.seed);
+  scheme->place(catalog, bandwidth, rng);
+
+  SimConfig cfg;
+  cfg.n_servers = o.servers;
+  cfg.bandwidth = bandwidth;
+  cfg.goodput = GoodputModel::calibrated(gbps(o.bandwidth_gbps));
+  if (o.stragglers > 0.0) cfg.stragglers = StragglerModel::bing(o.stragglers);
+  cfg.seed = o.seed + 1;
+  Simulation sim(cfg);
+  Rng arrival_rng(o.seed + 2);
+  const auto arrivals = o.arrivals_file.empty()
+                            ? generate_poisson_arrivals(catalog, o.requests, arrival_rng)
+                            : load_arrivals_csv_file(o.arrivals_file);
+  const auto r = sim.run(
+      arrivals, [&scheme](FileId f, Rng& rr) { return scheme->plan_read(f, rr); });
+
+  Table t({"scheme", "mean_s", "p50_s", "p95_s", "p99_s", "cv", "imbalance_eta",
+           "memory_overhead_pct"});
+  t.add_row({scheme->name(), r.mean_latency(), r.latencies.percentile(0.50), r.tail_latency(),
+             r.latencies.percentile(0.99), r.cv(), r.imbalance(),
+             scheme->memory_overhead(catalog) * 100.0});
+  if (o.csv) {
+    t.print_csv(std::cout);
+  } else {
+    std::cout << "Workload: " << catalog.size() << " files ("
+              << static_cast<double>(catalog.total_bytes()) / static_cast<double>(kGB)
+              << " GB), " << catalog.total_rate() << " req/s over " << o.servers << " servers @ "
+              << o.bandwidth_gbps << " Gbps";
+    if (slow > 0) std::cout << " (" << slow << " at half speed)";
+    if (o.stragglers > 0) std::cout << ", stragglers p=" << o.stragglers;
+    std::cout << ", " << arrivals.size() << " requests\n\n";
+    t.print(std::cout);
+  }
+  return 0;
+}
