@@ -1,5 +1,8 @@
 #include "bench_common.h"
 
+#include <fstream>
+#include <sstream>
+
 #include "workload/arrivals.h"
 
 namespace spcache::bench {
@@ -43,6 +46,24 @@ Seconds sequential_write_latency(const WritePlan& plan, Bandwidth client_link,
     t += setup_per_store + static_cast<double>(store.bytes) / client_link;
   }
   return t;
+}
+
+std::string write_json_report(const std::string& name, const std::vector<JsonRow>& rows) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ostringstream out;
+  out.precision(12);
+  out << "{\"bench\": \"" << name << "\", \"rows\": [";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << (r == 0 ? "" : ", ") << "{";
+    for (std::size_t f = 0; f < rows[r].size(); ++f) {
+      out << (f == 0 ? "" : ", ") << "\"" << rows[r][f].key << "\": " << rows[r][f].value;
+    }
+    out << "}";
+  }
+  out << "]}\n";
+  std::ofstream file(path);
+  file << out.str();
+  return path;
 }
 
 }  // namespace spcache::bench

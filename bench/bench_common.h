@@ -46,4 +46,17 @@ ExperimentResult run_experiment(CachingScheme& scheme, const Catalog& catalog,
 Seconds sequential_write_latency(const WritePlan& plan, Bandwidth client_link,
                                  Seconds setup_per_store);
 
+// Machine-readable benchmark output, so future PRs can track curves (e.g.
+// the concurrency-scaling numbers) across revisions. Writes
+// `BENCH_<name>.json` in the working directory:
+//   {"bench": "<name>", "rows": [{"k1": v1, "k2": v2, ...}, ...]}
+// Every value is a double; field order within a row is preserved.
+struct JsonField {
+  std::string key;
+  double value = 0.0;
+};
+using JsonRow = std::vector<JsonField>;
+// Returns the path written.
+std::string write_json_report(const std::string& name, const std::vector<JsonRow>& rows);
+
 }  // namespace spcache::bench

@@ -8,83 +8,121 @@ CacheServer::CacheServer(std::uint32_t id, Bandwidth bandwidth)
     : id_(id), bandwidth_(bandwidth) {}
 
 void CacheServer::put(BlockKey key, std::vector<std::uint8_t> bytes) {
-  const std::uint32_t crc = crc32(bytes);
-  std::lock_guard lock(mu_);
-  auto [it, inserted] = store_.try_emplace(key);
-  if (!inserted) bytes_stored_ -= it->second.bytes.size();
-  bytes_stored_ += bytes.size();
-  it->second = Block{std::move(bytes), crc};
+  // Checksum and allocation happen before the stripe lock; the critical
+  // section is just the map probe and pointer swap.
+  const Bytes incoming = bytes.size();
+  auto block = std::make_shared<Block>(Block{std::move(bytes), 0});
+  block->crc = crc32(block->bytes);
+  Bytes replaced = 0;
+  {
+    auto& stripe = stripe_for(key);
+    std::lock_guard lock(stripe.mu);
+    auto [it, inserted] = stripe.blocks.try_emplace(key);
+    if (!inserted) replaced = it->second->bytes.size();
+    it->second = std::move(block);
+  }
+  if (replaced > 0) bytes_stored_.fetch_sub(replaced, std::memory_order_relaxed);
+  bytes_stored_.fetch_add(incoming, std::memory_order_relaxed);
 }
 
-std::optional<Block> CacheServer::get(const BlockKey& key) const {
-  Block copy;
+BlockRef CacheServer::get(const BlockKey& key) const {
+  BlockRef block;
   {
-    std::lock_guard lock(mu_);
-    const auto it = store_.find(key);
-    if (it == store_.end()) return std::nullopt;
-    copy = it->second;
-    bytes_served_ += static_cast<double>(copy.bytes.size());
+    auto& stripe = stripe_for(key);
+    std::lock_guard lock(stripe.mu);
+    const auto it = stripe.blocks.find(key);
+    if (it == stripe.blocks.end()) return nullptr;
+    block = it->second;
   }
-  if (crc32(copy.bytes) != copy.crc) {
+  bytes_served_.fetch_add(block->bytes.size(), std::memory_order_relaxed);
+  // Verify outside the lock: CRC over the payload is the expensive part of
+  // a read and must not serialize the stripe. The block is immutable once
+  // published, so the check is race-free.
+  if (crc32(block->bytes) != block->crc) {
     throw std::runtime_error("CacheServer::get: checksum mismatch (corrupted block)");
   }
-  return copy;
+  return block;
 }
 
 bool CacheServer::contains(const BlockKey& key) const {
-  std::lock_guard lock(mu_);
-  return store_.count(key) > 0;
+  auto& stripe = stripe_for(key);
+  std::lock_guard lock(stripe.mu);
+  return stripe.blocks.count(key) > 0;
 }
 
 bool CacheServer::rename(const BlockKey& from, const BlockKey& to) {
-  std::lock_guard lock(mu_);
-  const auto it = store_.find(from);
-  if (it == store_.end()) return false;
-  if (from == to) return true;
-  Block block = std::move(it->second);
-  const auto replaced = store_.find(to);
-  if (replaced != store_.end()) {
-    bytes_stored_ -= replaced->second.bytes.size();
-    store_.erase(replaced);
+  if (from == to) {
+    return contains(from);
   }
-  store_.erase(from);
-  store_.emplace(to, std::move(block));
+  auto& src = stripe_for(from);
+  auto& dst = stripe_for(to);
+  // Two stripes: lock in address order so concurrent renames can't deadlock.
+  std::unique_lock<std::mutex> first;
+  std::unique_lock<std::mutex> second;
+  if (&src == &dst) {
+    first = std::unique_lock(src.mu);
+  } else if (&src < &dst) {
+    first = std::unique_lock(src.mu);
+    second = std::unique_lock(dst.mu);
+  } else {
+    first = std::unique_lock(dst.mu);
+    second = std::unique_lock(src.mu);
+  }
+  const auto it = src.blocks.find(from);
+  if (it == src.blocks.end()) return false;
+  BlockRef block = std::move(it->second);
+  src.blocks.erase(it);
+  const auto replaced = dst.blocks.find(to);
+  if (replaced != dst.blocks.end()) {
+    bytes_stored_.fetch_sub(replaced->second->bytes.size(), std::memory_order_relaxed);
+    replaced->second = std::move(block);
+  } else {
+    dst.blocks.emplace(to, std::move(block));
+  }
   return true;
 }
 
 void CacheServer::clear() {
-  std::lock_guard lock(mu_);
-  store_.clear();
-  bytes_stored_ = 0;
+  for (auto& stripe : stripes_) {
+    std::lock_guard lock(stripe.mu);
+    stripe.blocks.clear();
+  }
+  bytes_stored_.store(0, std::memory_order_relaxed);
 }
 
 bool CacheServer::erase(const BlockKey& key) {
-  std::lock_guard lock(mu_);
-  const auto it = store_.find(key);
-  if (it == store_.end()) return false;
-  bytes_stored_ -= it->second.bytes.size();
-  store_.erase(it);
+  Bytes dropped = 0;
+  {
+    auto& stripe = stripe_for(key);
+    std::lock_guard lock(stripe.mu);
+    const auto it = stripe.blocks.find(key);
+    if (it == stripe.blocks.end()) return false;
+    dropped = it->second->bytes.size();
+    stripe.blocks.erase(it);
+  }
+  bytes_stored_.fetch_sub(dropped, std::memory_order_relaxed);
   return true;
 }
 
 Bytes CacheServer::bytes_stored() const {
-  std::lock_guard lock(mu_);
-  return bytes_stored_;
+  return bytes_stored_.load(std::memory_order_relaxed);
 }
 
 std::size_t CacheServer::blocks_stored() const {
-  std::lock_guard lock(mu_);
-  return store_.size();
+  std::size_t n = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard lock(stripe.mu);
+    n += stripe.blocks.size();
+  }
+  return n;
 }
 
 double CacheServer::bytes_served() const {
-  std::lock_guard lock(mu_);
-  return bytes_served_;
+  return static_cast<double>(bytes_served_.load(std::memory_order_relaxed));
 }
 
 void CacheServer::reset_load_counters() {
-  std::lock_guard lock(mu_);
-  bytes_served_ = 0.0;
+  bytes_served_.store(0, std::memory_order_relaxed);
 }
 
 Cluster::Cluster(std::size_t n_servers, Bandwidth bandwidth) {

@@ -7,16 +7,28 @@
 // store tracks bytes in/out, and callers convert byte volumes to seconds
 // through TransferModel, so experiments measuring hours of simulated
 // traffic run in milliseconds while the data path stays real.
+//
+// Concurrency: the store is striped kStripes ways by the SplitMix64 mix
+// of the block key (common/hash_mix.h — the same mixer the master uses
+// for metadata sharding), so concurrent readers and writers of different
+// blocks rarely share a lock. Reads are zero-copy: get() hands back a
+// shared_ptr<const Block> to the resident buffer and drops the stripe
+// lock before CRC verification, so the lock is held only for the map
+// probe, never for byte-sized work. Callers MUST NOT mutate a shared
+// block; an overwrite via put() publishes a fresh block while in-flight
+// readers keep the old one alive. Load counters are lock-free atomics.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/crc32.h"
+#include "common/hash_mix.h"
 #include "common/units.h"
 #include "workload/file_catalog.h"
 
@@ -29,11 +41,18 @@ struct BlockKey {
   PieceIndex piece = 0;
 
   bool operator==(const BlockKey&) const = default;
+
+  std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(file) << 32) | piece;
+  }
 };
 
+// SplitMix64-mixed: std::hash<uint64_t> is the identity on libstdc++, so
+// hashing the packed key directly would cluster consecutive FileIds into
+// the same buckets/stripes.
 struct BlockKeyHash {
   std::size_t operator()(const BlockKey& k) const {
-    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(k.file) << 32) | k.piece);
+    return static_cast<std::size_t>(mix64(k.packed()));
   }
 };
 
@@ -42,19 +61,27 @@ struct Block {
   std::uint32_t crc = 0;
 };
 
+// An immutable, shareable reference to a resident block. Readers get the
+// actual cached buffer, not a copy; the contract is look-don't-touch.
+using BlockRef = std::shared_ptr<const Block>;
+
 class CacheServer {
  public:
+  static constexpr std::size_t kStripes = 16;
+
   CacheServer(std::uint32_t id, Bandwidth bandwidth);
 
   std::uint32_t id() const { return id_; }
   Bandwidth bandwidth() const { return bandwidth_; }
 
-  // Store a block (checksummed). Overwrites an existing piece.
+  // Store a block (checksummed). Overwrites an existing piece; readers
+  // already holding the old block keep a consistent snapshot.
   void put(BlockKey key, std::vector<std::uint8_t> bytes);
 
-  // Copy a block out, verifying its checksum. nullopt if absent. Throws
-  // std::runtime_error on checksum mismatch (corruption).
-  std::optional<Block> get(const BlockKey& key) const;
+  // Zero-copy read: returns a shared reference to the resident block,
+  // verifying its checksum (outside the stripe lock). nullptr if absent.
+  // Throws std::runtime_error on checksum mismatch (corruption).
+  BlockRef get(const BlockKey& key) const;
 
   bool contains(const BlockKey& key) const;
   bool erase(const BlockKey& key);
@@ -75,12 +102,20 @@ class CacheServer {
   void reset_load_counters();
 
  private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<BlockKey, BlockRef, BlockKeyHash> blocks;
+  };
+
+  Stripe& stripe_for(const BlockKey& key) const {
+    return stripes_[shard_of<kStripes>(key.packed())];
+  }
+
   std::uint32_t id_;
   Bandwidth bandwidth_;
-  mutable std::mutex mu_;
-  std::unordered_map<BlockKey, Block, BlockKeyHash> store_;
-  Bytes bytes_stored_ = 0;
-  mutable double bytes_served_ = 0.0;
+  mutable std::array<Stripe, kStripes> stripes_;
+  std::atomic<Bytes> bytes_stored_{0};
+  mutable std::atomic<std::uint64_t> bytes_served_{0};
 };
 
 // A fixed-size fleet of cache servers.

@@ -85,15 +85,26 @@ IoResult SpClient::read(FileId id) {
   if (!meta) throw std::runtime_error("SpClient::read: unknown file");
   const std::size_t k = meta->partitions();
 
-  std::vector<std::vector<std::uint8_t>> pieces(k);
+  // Zero-copy reassembly: each shared block's bytes are copied exactly
+  // once, directly into their final offset in the output buffer.
+  std::vector<Bytes> offsets(k, 0);
+  Bytes total = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    offsets[i] = total;
+    total += meta->piece_sizes[i];
+  }
+
+  IoResult result;
+  result.bytes.resize(total);
   pool_.parallel_for(k, [&](std::size_t i) {
     auto block = cluster_.server(meta->servers[i]).get(BlockKey{id, static_cast<PieceIndex>(i)});
     if (!block) throw std::runtime_error("SpClient::read: missing piece");
-    pieces[i] = std::move(block->bytes);
+    if (block->bytes.size() != meta->piece_sizes[i]) {
+      throw std::runtime_error("SpClient::read: piece size mismatch");
+    }
+    std::copy(block->bytes.begin(), block->bytes.end(),
+              result.bytes.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
   });
-
-  IoResult result;
-  result.bytes = join_plain(pieces);
   if (crc32(result.bytes) != meta->file_crc) {
     throw std::runtime_error("SpClient::read: whole-file checksum mismatch");
   }
@@ -166,7 +177,9 @@ IoResult EcClient::read(FileId id, Rng& rng) {
     auto block = cluster_.server(meta->servers[piece])
                      .get(BlockKey{id, static_cast<PieceIndex>(piece)});
     if (!block) throw std::runtime_error("EcClient::read: missing shard");
-    shards[j] = Shard{piece, std::move(block->bytes)};
+    // The decoder needs its own working copy; the shared block stays
+    // untouched in the cache (zero-copy read contract).
+    shards[j] = Shard{piece, block->bytes};
   });
   shards.resize(k);  // the k "fastest"
 

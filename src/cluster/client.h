@@ -7,6 +7,9 @@
 //     the master;
 //   * read: look up the layout, fetch all pieces in parallel through the
 //     thread pool, verify per-block and whole-file checksums, reassemble.
+//     Fetches are zero-copy (shared BlockRefs into the stores); each
+//     piece's bytes are copied exactly once, into their final offset in
+//     the reassembled file.
 //
 // EcClient does the same through the (k, n) Reed-Solomon codec, fetching
 // k + 1 shards (late binding) and decoding from the k that arrive first —

@@ -3,83 +3,139 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/hash_mix.h"
+
 namespace spcache {
+
+Master::Shard& Master::shard_for(FileId id) { return shards_[shard_of<kShards>(id)]; }
+
+const Master::Shard& Master::shard_for(FileId id) const {
+  return shards_[shard_of<kShards>(id)];
+}
 
 void Master::register_file(FileId id, FileMeta meta) {
   assert(meta.servers.size() == meta.piece_sizes.size());
-  std::lock_guard lock(mu_);
-  files_[id] = std::move(meta);
-  access_counts_.try_emplace(id, 0);
+  auto& shard = shard_for(id);
+  std::unique_lock lock(shard.mu);
+  auto [it, inserted] = shard.files.try_emplace(id);
+  if (inserted) it->second = std::make_shared<MasterFileEntry>();
+  // Re-registering keeps the existing access count (matches the pre-shard
+  // behaviour of try_emplace on the counter map).
+  it->second->meta = std::move(meta);
 }
 
 void Master::update_file(FileId id, FileMeta meta) {
   assert(meta.servers.size() == meta.piece_sizes.size());
-  std::lock_guard lock(mu_);
-  assert(files_.count(id) > 0);
-  files_[id] = std::move(meta);
+  auto& shard = shard_for(id);
+  std::unique_lock lock(shard.mu);
+  const auto it = shard.files.find(id);
+  assert(it != shard.files.end());
+  it->second->meta = std::move(meta);
 }
 
 bool Master::remove_file(FileId id) {
-  std::lock_guard lock(mu_);
-  access_counts_.erase(id);
-  return files_.erase(id) > 0;
+  auto& shard = shard_for(id);
+  std::unique_lock lock(shard.mu);
+  return shard.files.erase(id) > 0;
 }
 
 std::optional<FileMeta> Master::lookup_for_read(FileId id) {
-  std::lock_guard lock(mu_);
-  const auto it = files_.find(id);
-  if (it == files_.end()) return std::nullopt;
-  ++access_counts_[id];
-  return it->second;
+  auto& shard = shard_for(id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.files.find(id);
+  if (it == shard.files.end()) return std::nullopt;
+  it->second->access_count.fetch_add(1, std::memory_order_relaxed);
+  return it->second->meta;
 }
 
 std::optional<FileMeta> Master::peek(FileId id) const {
-  std::lock_guard lock(mu_);
-  const auto it = files_.find(id);
-  if (it == files_.end()) return std::nullopt;
-  return it->second;
+  const auto& shard = shard_for(id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.files.find(id);
+  if (it == shard.files.end()) return std::nullopt;
+  return it->second->meta;
 }
 
 std::uint64_t Master::access_count(FileId id) const {
-  std::lock_guard lock(mu_);
-  const auto it = access_counts_.find(id);
-  return it == access_counts_.end() ? 0 : it->second;
+  const auto& shard = shard_for(id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.files.find(id);
+  return it == shard.files.end() ? 0
+                                 : it->second->access_count.load(std::memory_order_relaxed);
 }
 
 void Master::reset_access_counts() {
-  std::lock_guard lock(mu_);
-  for (auto& [id, count] : access_counts_) count = 0;
+  for (auto& shard : shards_) {
+    // Shared lock: the map is not mutated, only the (atomic) counters.
+    std::shared_lock lock(shard.mu);
+    for (auto& [id, entry] : shard.files) {
+      entry->access_count.store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 std::size_t Master::file_count() const {
-  std::lock_guard lock(mu_);
-  return files_.size();
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    n += shard.files.size();
+  }
+  return n;
 }
 
 std::vector<FileId> Master::file_ids() const {
-  std::lock_guard lock(mu_);
   std::vector<FileId> ids;
-  ids.reserve(files_.size());
-  for (const auto& [id, meta] : files_) ids.push_back(id);
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [id, entry] : shard.files) ids.push_back(id);
+  }
   std::sort(ids.begin(), ids.end());
   return ids;
 }
 
 Catalog Master::snapshot_catalog(Seconds window, double min_rate) const {
   assert(window > 0.0);
-  std::lock_guard lock(mu_);
   // FileIds are expected to be dense (0..n-1) as produced by the workload
-  // generators; the catalog is indexed by id.
+  // generators; the catalog is indexed by id. Collect (id, size, count)
+  // shard by shard, then build the dense table.
+  struct Row {
+    FileId id;
+    Bytes size;
+    std::uint64_t count;
+  };
+  std::vector<Row> rows;
+  for (const auto& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [id, entry] : shard.files) {
+      rows.push_back(
+          Row{id, entry->meta.size, entry->access_count.load(std::memory_order_relaxed)});
+    }
+  }
   FileId max_id = 0;
-  for (const auto& [id, meta] : files_) max_id = std::max(max_id, id);
-  std::vector<FileInfo> infos(files_.empty() ? 0 : max_id + 1);
-  for (const auto& [id, meta] : files_) {
-    const auto it = access_counts_.find(id);
-    const double count = it == access_counts_.end() ? 0.0 : static_cast<double>(it->second);
-    infos[id].size = meta.size;
-    infos[id].request_rate = std::max(min_rate, count / window);
+  for (const auto& r : rows) max_id = std::max(max_id, r.id);
+  std::vector<FileInfo> infos(rows.empty() ? 0 : max_id + 1);
+  for (const auto& r : rows) {
+    infos[r.id].size = r.size;
+    infos[r.id].request_rate = std::max(min_rate, static_cast<double>(r.count) / window);
   }
   return Catalog(std::move(infos));
+}
+
+Master::FileGuard Master::lock_file(FileId id) {
+  std::shared_ptr<MasterFileEntry> entry;
+  {
+    auto& shard = shard_for(id);
+    std::shared_lock lock(shard.mu);
+    const auto it = shard.files.find(id);
+    if (it == shard.files.end()) return {};
+    entry = it->second;
+  }
+  // Lock outside the shard lock: a guard holder blocking on op_mu must not
+  // stall unrelated lookups in the same shard.
+  FileGuard guard;
+  guard.lock_ = std::unique_lock(entry->op_mu);
+  guard.entry_ = std::move(entry);
+  return guard;
 }
 
 }  // namespace spcache

@@ -7,12 +7,34 @@
 // while repartitioners rewrite layouts.
 //
 // Per Section 6.4, the master's state is deliberately tiny — partition
-// count plus server list per file.
+// count plus server list per file — and the paper keeps it that way
+// precisely so the metadata path never bottlenecks. This implementation
+// honors that with shard-per-core concurrency instead of one global lock:
+//
+//   * metadata lives in kShards shards, selected by the SplitMix64 mix of
+//     the FileId (common/hash_mix.h — the same mixer the block store uses
+//     for stripe selection), each guarded by its own std::shared_mutex;
+//     lookups take the shard's shared lock, layout writes its unique lock;
+//   * access counters are std::atomic<uint64_t> bumped with relaxed
+//     ordering, so a counter bump never contends with other lookups —
+//     the counters feed a statistical popularity estimate (Section 6.2)
+//     and need totals, not ordering;
+//   * snapshot_catalog / file_ids iterate shard by shard instead of
+//     stalling the world; a snapshot is therefore per-shard-consistent,
+//     which is all the periodic re-balancer needs;
+//   * lock_file(id) hands out a per-file guard serializing the
+//     read-modify-write sequences of Algorithm 2 (peek → move blocks →
+//     update_file), keeping layout updates linearizable *per file* while
+//     unrelated files proceed in parallel.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -32,13 +54,17 @@ struct FileMeta {
 
 class Master {
  public:
+  static constexpr std::size_t kShards = 64;
+
   void register_file(FileId id, FileMeta meta);
   // Replace the layout after a repartition.
   void update_file(FileId id, FileMeta meta);
   bool remove_file(FileId id);
 
   // Layout lookup for a read; bumps the access count (the master "updates
-  // the access count for the requested file", Section 6.1).
+  // the access count for the requested file", Section 6.1). Takes only the
+  // shard's shared lock: concurrent lookups — and their counter bumps —
+  // never serialize against each other.
   std::optional<FileMeta> lookup_for_read(FileId id);
 
   // Metadata access without touching counters.
@@ -55,12 +81,54 @@ class Master {
   // Algorithm 1 at each re-balancing epoch ("based on the access count
   // measured in the past 24 hours", Section 6.2). Files with no recorded
   // access get rate `min_rate` so the optimizer stays well-defined.
+  // Iterates shard by shard; counts racing in during the walk land in
+  // either this epoch or the next, which the estimate tolerates.
   Catalog snapshot_catalog(Seconds window, double min_rate = 1e-6) const;
 
+  // Per-file mutation guard for read-modify-write sequences (Algorithm 2's
+  // repartition, online split/merge, recovery re-placement):
+  //
+  //   auto guard = master.lock_file(id);
+  //   auto meta = master.peek(id);        // read
+  //   ... move blocks around ...          // modify
+  //   master.update_file(id, new_meta);   // write
+  //
+  // While held, no other guard holder can interleave its own RMW on the
+  // same file, making layout updates linearizable per file; lookups and
+  // RMWs on other files are unaffected. The guard keeps the file's entry
+  // alive even across a concurrent remove_file. Evaluates to false if the
+  // file is unknown.
+  class FileGuard {
+   public:
+    FileGuard() = default;
+    explicit operator bool() const { return entry_ != nullptr; }
+
+   private:
+    friend class Master;
+    std::shared_ptr<struct MasterFileEntry> entry_;
+    std::unique_lock<std::mutex> lock_;
+  };
+  FileGuard lock_file(FileId id);
+
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<FileId, FileMeta> files_;
-  std::unordered_map<FileId, std::uint64_t> access_counts_;
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<FileId, std::shared_ptr<MasterFileEntry>> files;
+  };
+
+  Shard& shard_for(FileId id);
+  const Shard& shard_for(FileId id) const;
+
+  std::array<Shard, kShards> shards_;
+};
+
+// One file's master-side state. Entries are heap-allocated and shared so
+// FileGuard can pin one across shard-map mutations; the access counter is
+// lock-free (relaxed — it is a statistical tally, not a synchronizer).
+struct MasterFileEntry {
+  FileMeta meta;
+  std::atomic<std::uint64_t> access_count{0};
+  std::mutex op_mu;  // serializes per-file read-modify-write sequences
 };
 
 }  // namespace spcache

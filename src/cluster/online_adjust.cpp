@@ -90,6 +90,9 @@ OnlineAdjustPlan plan_online_adjust(const Catalog& live_catalog, const Master& m
 }
 
 OnlineAdjustStats execute_split(Cluster& cluster, Master& master, const SplitOp& op) {
+  // Per-file linearizability: the split's read-modify-write of the layout
+  // cannot interleave with a concurrent repartition/merge of the same file.
+  const auto guard = master.lock_file(op.file);
   auto meta = master.peek(op.file);
   if (!meta || op.piece >= meta->partitions()) {
     throw std::runtime_error("execute_split: bad file/piece");
@@ -132,6 +135,7 @@ OnlineAdjustStats execute_split(Cluster& cluster, Master& master, const SplitOp&
 }
 
 OnlineAdjustStats execute_merge(Cluster& cluster, Master& master, const MergeOp& op) {
+  const auto guard = master.lock_file(op.file);
   auto meta = master.peek(op.file);
   if (!meta || op.piece + 1 >= meta->partitions()) {
     throw std::runtime_error("execute_merge: bad file/piece");
@@ -143,8 +147,13 @@ OnlineAdjustStats execute_merge(Cluster& cluster, Master& master, const MergeOp&
   if (!left || !right) throw std::runtime_error("execute_merge: piece missing");
 
   const Bytes moved = right->bytes.size();
-  left->bytes.insert(left->bytes.end(), right->bytes.begin(), right->bytes.end());
-  keeper.put(BlockKey{op.file, op.piece}, std::move(left->bytes));
+  // Shared blocks are immutable: build the combined piece in a fresh
+  // buffer rather than appending to the cached one.
+  std::vector<std::uint8_t> combined;
+  combined.reserve(left->bytes.size() + right->bytes.size());
+  combined.insert(combined.end(), left->bytes.begin(), left->bytes.end());
+  combined.insert(combined.end(), right->bytes.begin(), right->bytes.end());
+  keeper.put(BlockKey{op.file, op.piece}, std::move(combined));
   cluster.server(meta->servers[op.piece + 1])
       .erase(BlockKey{op.file, static_cast<PieceIndex>(op.piece + 1)});
 

@@ -17,16 +17,27 @@ namespace {
 // Fetch all pieces of a file and reassemble. Returns the raw bytes and the
 // number of remote bytes pulled (pieces on `local_server` are free;
 // pass a sentinel >= cluster size to count everything as remote).
+// Zero-copy fetch: each shared block is copied exactly once, into its
+// final offset of the reassembled file.
 std::vector<std::uint8_t> assemble_file(Cluster& cluster, const FileMeta& meta, FileId id,
                                         std::uint32_t local_server, Bytes* remote_bytes) {
-  std::vector<std::vector<std::uint8_t>> pieces(meta.partitions());
+  std::vector<std::uint8_t> out(meta.size);
+  Bytes offset = 0;
   for (std::size_t i = 0; i < meta.partitions(); ++i) {
     auto block = cluster.server(meta.servers[i]).get(BlockKey{id, static_cast<PieceIndex>(i)});
     if (!block) throw std::runtime_error("repartition: missing piece during assembly");
+    if (offset + block->bytes.size() > out.size()) {
+      throw std::runtime_error("repartition: pieces exceed recorded file size");
+    }
     if (meta.servers[i] != local_server) *remote_bytes += block->bytes.size();
-    pieces[i] = std::move(block->bytes);
+    std::copy(block->bytes.begin(), block->bytes.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += block->bytes.size();
   }
-  return join_plain(pieces);
+  if (offset != out.size()) {
+    throw std::runtime_error("repartition: pieces shorter than recorded file size");
+  }
+  return out;
 }
 
 // Remove the old layout's blocks.
@@ -69,6 +80,10 @@ RepartitionStats execute_sequential_repartition(Cluster& cluster, Master& master
   const auto ids = master.file_ids();
   assert(ids.size() == plan.new_k.size());
   for (FileId id : ids) {
+    // Per-file guard: the read-modify-write below is linearizable against
+    // any concurrent layout mutation of the same file.
+    const auto guard = master.lock_file(id);
+    if (!guard) continue;
     const auto meta = master.peek(id);
     if (!meta) continue;
     // The master pulls every piece over its own NIC and pushes every new
@@ -119,6 +134,12 @@ RepartitionStats execute_parallel_repartition(Cluster& cluster, Master& master,
     Bytes moved = 0;
     for (std::size_t j : groups[g].second) {
       const FileId id = plan.changed_files[j];
+      // Algorithm 2's read-modify-write stays linearizable per file under
+      // the sharded master: the guard serializes this repartitioner against
+      // any concurrent layout mutation of the same file, while other files
+      // proceed in parallel.
+      const auto guard = master.lock_file(id);
+      if (!guard) throw std::runtime_error("parallel repartition: file vanished");
       const auto meta = master.peek(id);
       if (!meta) throw std::runtime_error("parallel repartition: file vanished");
       const auto data = assemble_file(cluster, *meta, id, executor, &moved);

@@ -57,6 +57,14 @@ RecoveryManager::RecoveryManager(Cluster& cluster, Master& master, StableStore& 
     : cluster_(cluster), master_(master), stable_(stable) {}
 
 RecoveryStats RecoveryManager::repair_file(FileId id) {
+  // Serialize against concurrent layout mutations (repartition, online
+  // split/merge) of the same file while pieces are re-created.
+  const auto guard = master_.lock_file(id);
+  if (!guard) throw std::runtime_error("repair_file: unknown file");
+  return repair_pieces(id);
+}
+
+RecoveryStats RecoveryManager::repair_pieces(FileId id) {
   RecoveryStats stats;
   const auto meta = master_.peek(id);
   if (!meta) throw std::runtime_error("repair_file: unknown file");
@@ -106,6 +114,8 @@ RecoveryStats RecoveryManager::repair_after_server_loss(std::uint32_t failed_ser
   }
 
   for (FileId id : ids) {
+    const auto guard = master_.lock_file(id);
+    if (!guard) continue;
     auto meta = master_.peek(id);
     bool touched = false;
     for (std::size_t i = 0; i < meta->partitions(); ++i) {
@@ -135,7 +145,7 @@ RecoveryStats RecoveryManager::repair_after_server_loss(std::uint32_t failed_ser
     }
     if (touched) {
       master_.update_file(id, *meta);
-      const auto stats = repair_file(id);
+      const auto stats = repair_pieces(id);  // guard already held
       total.pieces_recovered += stats.pieces_recovered;
       total.bytes_restored += stats.bytes_restored;
       // Repartitioned files recover in parallel in a real deployment; we

@@ -77,6 +77,10 @@ class RecoveryManager {
   RecoveryStats repair_after_server_loss(std::uint32_t failed_server);
 
  private:
+  // Body of repair_file, run while the caller already holds the file's
+  // master-side mutation guard.
+  RecoveryStats repair_pieces(FileId id);
+
   Cluster& cluster_;
   Master& master_;
   StableStore& stable_;

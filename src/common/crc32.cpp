@@ -6,21 +6,34 @@ namespace spcache {
 
 namespace {
 
-// Table for the reflected IEEE polynomial 0xEDB88320, generated at startup.
-std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> table{};
+// Slicing-by-8 tables for the reflected IEEE polynomial 0xEDB88320,
+// generated at startup. Table 0 is the classic byte-at-a-time table;
+// table k advances a byte's contribution k extra positions, letting the
+// inner loop fold 8 input bytes per iteration. Same polynomial, same
+// results as the byte-wise form — only the throughput changes (the block
+// store verifies every cached piece, so this is squarely on the hot read
+// path).
+using Crc32Tables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+Crc32Tables make_tables() {
+  Crc32Tables t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    t[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+    }
+  }
+  return t;
 }
 
-const std::array<std::uint32_t, 256>& table() {
-  static const auto t = make_table();
+const Crc32Tables& tables() {
+  static const auto t = make_tables();
   return t;
 }
 
@@ -29,9 +42,24 @@ const std::array<std::uint32_t, 256>& table() {
 std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
 
 std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data) {
-  const auto& t = table();
-  for (std::uint8_t b : data) {
-    state = t[(state ^ b) & 0xFFu] ^ (state >> 8);
+  const auto& t = tables();
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  // Explicit byte loads keep this endian-agnostic.
+  while (n >= 8) {
+    const std::uint32_t lo = state ^ (static_cast<std::uint32_t>(p[0]) |
+                                      static_cast<std::uint32_t>(p[1]) << 8 |
+                                      static_cast<std::uint32_t>(p[2]) << 16 |
+                                      static_cast<std::uint32_t>(p[3]) << 24);
+    state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+            t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    state = t[0][(state ^ *p) & 0xFFu] ^ (state >> 8);
+    ++p;
+    --n;
   }
   return state;
 }

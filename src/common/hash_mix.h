@@ -1,0 +1,41 @@
+// 64-bit hash finalizer shared by every sharded container in the hot
+// path (master metadata shards, cache-server stripes, BlockKeyHash).
+//
+// `std::hash<uint64_t>` is the identity on libstdc++, so feeding it
+// structured keys — e.g. `(file << 32) | piece` — clusters consecutive
+// FileIds into the same buckets/stripes and defeats sharding entirely.
+// SplitMix64's finalizer (Steele, Lea & Flood; the same mixer rng.h uses
+// for seeding) is a cheap bijection whose output bits all depend on all
+// input bits, so both the low bits (hash-table buckets) and the high
+// bits (shard/stripe selection) are uniformly distributed.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace spcache {
+
+// SplitMix64 finalizer: bijective avalanche mix of a 64-bit key.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Shard selector for a power-of-two shard count. Uses the *high* bits of
+// the mix so the low bits remain independent for intra-shard hash-table
+// bucketing.
+template <std::size_t NShards>
+constexpr std::size_t shard_of(std::uint64_t key) {
+  static_assert(NShards > 0 && (NShards & (NShards - 1)) == 0,
+                "shard count must be a power of two");
+  if constexpr (NShards == 1) {
+    return 0;
+  } else {
+    return static_cast<std::size_t>(mix64(key) >> (64 - std::bit_width(NShards - 1)));
+  }
+}
+
+}  // namespace spcache

@@ -161,24 +161,20 @@ void RpcNode::resolve_reply(const Envelope& envelope) {
 }
 
 void Bus::add(RpcNode& node) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
   nodes_[node.id()] = &node;
 }
 
 void Bus::remove(NodeId id) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(mu_);
   nodes_.erase(id);
 }
 
 bool Bus::route(Envelope envelope) {
-  RpcNode* target = nullptr;
-  {
-    std::lock_guard lock(mu_);
-    const auto it = nodes_.find(envelope.to);
-    if (it == nodes_.end()) return false;
-    target = it->second;
-  }
-  target->deliver(std::move(envelope));
+  std::shared_lock lock(mu_);
+  const auto it = nodes_.find(envelope.to);
+  if (it == nodes_.end()) return false;
+  it->second->deliver(std::move(envelope));
   return true;
 }
 

@@ -18,6 +18,7 @@
 #include <future>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -120,7 +121,10 @@ class Bus {
   bool route(Envelope envelope);
 
  private:
-  std::mutex mu_;
+  // Held shared across the whole lookup + deliver so a node cannot be
+  // destroyed while an envelope is in flight to it: ~RpcNode's remove()
+  // takes it exclusively and thus waits out concurrent deliveries.
+  std::shared_mutex mu_;
   std::unordered_map<NodeId, RpcNode*> nodes_;
 };
 

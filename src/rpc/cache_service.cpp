@@ -1,5 +1,6 @@
 #include "rpc/cache_service.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/crc32.h"
@@ -26,6 +27,8 @@ CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t s
   node_->handle(kGetBlock, [this](BufferReader& r) {
     const auto file = static_cast<FileId>(r.u32());
     const auto piece = static_cast<PieceIndex>(r.u32());
+    // Zero-copy store read: the shared block is serialized straight into
+    // the reply frame — the only copy a GET makes.
     const auto block = store_.get(BlockKey{file, piece});
     if (!block) throw std::runtime_error("block not found");
     BufferWriter w;
@@ -142,7 +145,8 @@ std::vector<std::uint8_t> RpcSpClient::read(FileId id) {
     piece_sizes[i] = r.u64();
   }
 
-  // Parallel GETs (async fan-out), joined in piece order.
+  // Parallel GETs (async fan-out); each piece lands exactly once, at its
+  // final offset in the preallocated output buffer.
   std::vector<std::future<Reply>> gets;
   gets.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -151,17 +155,23 @@ std::vector<std::uint8_t> RpcSpClient::read(FileId id) {
     w.u32(i);
     gets.push_back(node_->call(worker_of_server_.at(servers[i]), kGetBlock, w.take()));
   }
-  std::vector<std::uint8_t> out;
-  out.reserve(size);
+  std::vector<std::uint64_t> offsets(n, 0);
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    offsets[i] = total;
+    total += piece_sizes[i];
+  }
+  std::vector<std::uint8_t> out(total);
   for (std::uint32_t i = 0; i < n; ++i) {
     const auto piece_reply = gets[i].get();
     if (!piece_reply.ok()) {
       throw std::runtime_error("GET failed: " + piece_reply.error_text());
     }
     BufferReader pr(piece_reply.payload);
-    const auto bytes = pr.bytes();
+    const auto bytes = pr.bytes_view();
     if (bytes.size() != piece_sizes[i]) throw std::runtime_error("piece size mismatch");
-    out.insert(out.end(), bytes.begin(), bytes.end());
+    std::copy(bytes.begin(), bytes.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
   }
   if (out.size() != size || crc32(out) != file_crc) {
     throw std::runtime_error("whole-file checksum mismatch");

@@ -58,12 +58,16 @@ double BufferReader::f64() {
 }
 
 std::vector<std::uint8_t> BufferReader::bytes() {
+  const auto view = bytes_view();
+  return std::vector<std::uint8_t>(view.begin(), view.end());
+}
+
+std::span<const std::uint8_t> BufferReader::bytes_view() {
   const std::uint32_t len = u32();
   need(len);
-  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  const auto view = data_.subspan(pos_, len);
   pos_ += len;
-  return out;
+  return view;
 }
 
 std::string BufferReader::str() {

@@ -44,6 +44,10 @@ class BufferReader {
   std::uint64_t u64();
   double f64();
   std::vector<std::uint8_t> bytes();
+  // Non-copying variant: a view into the underlying frame, valid only
+  // while that frame is alive. Lets reassembly copy payloads exactly once,
+  // straight to their final destination.
+  std::span<const std::uint8_t> bytes_view();
   std::string str();
 
   bool exhausted() const { return pos_ == data_.size(); }

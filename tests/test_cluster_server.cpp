@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <thread>
 
 #include "common/thread_pool.h"
@@ -22,13 +23,43 @@ TEST(CacheServer, PutGetRoundtrip) {
   const auto data = pattern(1000, 3);
   s.put(BlockKey{1, 0}, data);
   const auto block = s.get(BlockKey{1, 0});
-  ASSERT_TRUE(block.has_value());
+  ASSERT_TRUE(block != nullptr);
   EXPECT_EQ(block->bytes, data);
 }
 
-TEST(CacheServer, MissingBlockIsNullopt) {
+TEST(CacheServer, MissingBlockIsNull) {
   CacheServer s(0, gbps(1.0));
-  EXPECT_FALSE(s.get(BlockKey{9, 9}).has_value());
+  EXPECT_EQ(s.get(BlockKey{9, 9}), nullptr);
+}
+
+TEST(CacheServer, OverwriteKeepsInFlightReadersConsistent) {
+  // Zero-copy contract: a reader holding a BlockRef keeps its snapshot
+  // even if the block is overwritten underneath it.
+  CacheServer s(0, gbps(1.0));
+  const auto v1 = pattern(64, 1);
+  const auto v2 = pattern(64, 2);
+  s.put(BlockKey{1, 0}, v1);
+  const auto held = s.get(BlockKey{1, 0});
+  s.put(BlockKey{1, 0}, v2);
+  EXPECT_EQ(held->bytes, v1);
+  EXPECT_EQ(s.get(BlockKey{1, 0})->bytes, v2);
+  EXPECT_EQ(s.bytes_stored(), 64u);
+}
+
+TEST(CacheServer, BlockKeyHashSpreadsConsecutiveFileIds) {
+  // std::hash<uint64_t> is the identity on libstdc++; the SplitMix64 mix
+  // must spread consecutive FileIds across stripes instead of clustering
+  // them. With 256 consecutive ids over 16 stripes, a uniform spread puts
+  // ~16 in each; the unmixed identity hash would leave most stripes empty.
+  BlockKeyHash h;
+  std::array<std::size_t, CacheServer::kStripes> stripe_counts{};
+  for (FileId f = 0; f < 256; ++f) {
+    stripe_counts[h(BlockKey{f, 0}) >> 60] += 1;  // top bits, as stripe_for does
+  }
+  for (const auto c : stripe_counts) {
+    EXPECT_GT(c, 0u);
+    EXPECT_LT(c, 64u);
+  }
 }
 
 TEST(CacheServer, BytesStoredAccounting) {
@@ -73,7 +104,7 @@ TEST(CacheServer, ConcurrentPutGet) {
     const auto key = BlockKey{static_cast<FileId>(i % 17), static_cast<PieceIndex>(i / 17)};
     s.put(key, pattern(64 + i, static_cast<std::uint8_t>(i)));
     const auto block = s.get(key);
-    ASSERT_TRUE(block.has_value());
+    ASSERT_TRUE(block != nullptr);
   });
   EXPECT_EQ(s.blocks_stored(), 200u);
 }

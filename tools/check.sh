@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the concurrent
+# substrate.
+#
+#   tools/check.sh          # release build + full ctest, then TSan suite
+#   tools/check.sh --quick  # TSan pass only on the concurrency-heavy tests
+#
+# The TSan tree lives in build-tsan/ (the `tsan` preset in
+# CMakePresets.json); the release tree in build/ (the `default` preset).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+# Concurrency-heavy tier: everything that exercises the sharded master,
+# striped stores, thread pool, or the RPC bus — including the
+# test_cluster_concurrency stress test.
+TSAN_FILTER='test_cluster_|test_rpc_|test_common_thread_pool|test_integration'
+
+if [[ "$QUICK" -eq 0 ]]; then
+  echo "==> tier-1: release build + full test suite"
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)"
+  ctest --preset default -j "$(nproc)"
+fi
+
+echo "==> ThreadSanitizer: configure + build"
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+
+echo "==> ThreadSanitizer: tier-1 suite (concurrency tier: ${TSAN_FILTER})"
+ctest --preset tsan -R "${TSAN_FILTER}"
+
+echo "==> all checks passed"
