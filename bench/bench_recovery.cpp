@@ -1,0 +1,176 @@
+// Fault-tolerance cost accounting (Section 8 "Fault Tolerance").
+//
+// Three measurements on the threaded cluster:
+//
+//   healthy    baseline whole-file reads on an intact 16-server cluster —
+//              wall-clock and modelled (1 Gbps fork-join) latency.
+//   degraded   the same reads after one piece of every file is lost: the
+//              client retries, then fails over to an inline restore from
+//              the (slow, 400 Mbps) stable store. This is the price a
+//              reader pays *during* the detection+repair window.
+//   repair     kill one server outright and let the HealthMonitor →
+//              RecoveryManager pipeline notice and re-place every lost
+//              partition from stable storage: wall-clock time from kill
+//              to all-healthy, plus the modelled repair seconds and the
+//              post-repair (fully healed) read latency.
+//
+// Output: console table + BENCH_recovery.json.
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/client.h"
+#include "cluster/health_monitor.h"
+#include "cluster/stable_store.h"
+#include "common/table.h"
+#include "core/sp_cache.h"
+
+namespace spcache::bench {
+namespace {
+
+constexpr std::size_t kNServers = 16;
+constexpr std::size_t kFiles = 32;
+constexpr Bytes kFileBytes = 256 * kKB;
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed * 31 + i * 7);
+  return v;
+}
+
+struct ReadSample {
+  double wall_ms = 0.0;      // mean wall-clock per read
+  double modelled_ms = 0.0;  // mean modelled network time per read
+  double degraded_frac = 0.0;
+};
+
+ReadSample read_all(SpClient& client) {
+  ReadSample s;
+  std::size_t degraded = 0;
+  const auto t0 = Clock::now();
+  for (FileId f = 0; f < kFiles; ++f) {
+    const auto result = client.read(f);
+    s.modelled_ms += result.network_time * 1e3;
+    if (result.degraded) ++degraded;
+  }
+  const std::chrono::duration<double, std::milli> wall = Clock::now() - t0;
+  s.wall_ms = wall.count() / static_cast<double>(kFiles);
+  s.modelled_ms /= static_cast<double>(kFiles);
+  s.degraded_frac = static_cast<double>(degraded) / static_cast<double>(kFiles);
+  return s;
+}
+
+}  // namespace
+}  // namespace spcache::bench
+
+int main() {
+  using namespace spcache;
+  using namespace spcache::bench;
+
+  print_experiment_header(std::cout, "Recovery",
+                          "Degraded-read and self-healing repair cost: healthy vs "
+                          "stable-failover reads, and heartbeat-to-healed repair time "
+                          "(16 servers, 1 Gbps links, 400 Mbps stable store).");
+
+  Cluster cluster(kNServers, gbps(1.0));
+  Master master;
+  ThreadPool pool(4);
+  StableStore stable;  // 400 Mbps restore path
+  Rng rng(8080);
+
+  auto catalog = make_uniform_catalog(kFiles, kFileBytes, 1.05, 10.0);
+  SpCacheScheme sp;
+  sp.place(catalog, cluster.bandwidths(), rng);
+  SpClient writer(cluster, master, pool);
+  for (FileId f = 0; f < kFiles; ++f) {
+    const auto data = pattern_bytes(kFileBytes, f);
+    writer.write(f, data, sp.placement(f).servers);
+    stable.checkpoint(f, data);
+  }
+
+  fault::RetryPolicy retry;
+  retry.piece_attempts = 2;
+  retry.base_backoff = std::chrono::microseconds(50);
+  retry.max_backoff = std::chrono::microseconds(400);
+  SpClient client(cluster, master, pool, &stable, retry);
+
+  // --- healthy baseline -------------------------------------------------
+  const auto healthy = read_all(client);
+
+  // --- degraded: every file loses one piece ----------------------------
+  for (FileId f = 0; f < kFiles; ++f) {
+    const auto meta = master.peek(f);
+    cluster.server(meta->servers[0]).erase(BlockKey{f, 0});
+  }
+  const auto degraded = read_all(client);
+
+  // Heal the self-inflicted losses before the server-kill experiment.
+  RecoveryManager recovery(cluster, master, stable);
+  for (FileId f = 0; f < kFiles; ++f) (void)recovery.repair_file(f);
+
+  // --- repair: kill a server, let the monitor heal the cluster ---------
+  HealthMonitorConfig mon_cfg;
+  mon_cfg.heartbeat_interval = std::chrono::milliseconds(1);
+  mon_cfg.missed_beats_to_declare_dead = 3;
+  HealthMonitor monitor(cluster, recovery, mon_cfg);
+  monitor.start();
+
+  // Kill the server carrying the most bytes so the repair has real work.
+  std::uint32_t victim = 0;
+  for (std::uint32_t s = 1; s < kNServers; ++s) {
+    if (cluster.server(s).bytes_stored() > cluster.server(victim).bytes_stored()) victim = s;
+  }
+  const auto kill_t0 = Clock::now();
+  cluster.kill(victim);
+  // Wall clock from the kill to the monitor finishing the automatic
+  // repair (detection via K missed heartbeats + re-placement of every
+  // lost partition from stable storage).
+  while (monitor.stats().repairs_completed == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::chrono::duration<double, std::milli> repair_wall = Clock::now() - kill_t0;
+  cluster.revive(victim);
+  (void)monitor.wait_all_healthy(std::chrono::seconds(5));
+  const auto hs = monitor.stats();
+  monitor.stop();
+
+  const auto healed = read_all(client);
+
+  Table t({"phase", "wall_ms_per_read", "modelled_ms_per_read", "degraded_frac"});
+  t.add_row({std::string("healthy"), healthy.wall_ms, healthy.modelled_ms,
+             healthy.degraded_frac});
+  t.add_row({std::string("degraded"), degraded.wall_ms, degraded.modelled_ms,
+             degraded.degraded_frac});
+  t.add_row({std::string("post_repair"), healed.wall_ms, healed.modelled_ms,
+             healed.degraded_frac});
+  t.print(std::cout);
+
+  std::cout << "\nself-healing repair after killing the most-loaded server:\n"
+            << "  wall time (kill -> all healthy): " << repair_wall.count() << " ms\n"
+            << "  pieces recovered:                " << hs.pieces_recovered << "\n"
+            << "  modelled repair time:            " << hs.modelled_repair_time * 1e3
+            << " ms\n"
+            << "  degraded read penalty:           "
+            << degraded.modelled_ms / healthy.modelled_ms << "x modelled, "
+            << degraded.wall_ms / healthy.wall_ms << "x wall\n";
+
+  std::vector<JsonRow> rows;
+  rows.push_back(JsonRow{{"healthy_wall_ms", healthy.wall_ms},
+                         {"healthy_modelled_ms", healthy.modelled_ms},
+                         {"degraded_wall_ms", degraded.wall_ms},
+                         {"degraded_modelled_ms", degraded.modelled_ms},
+                         {"degraded_frac", degraded.degraded_frac},
+                         {"post_repair_wall_ms", healed.wall_ms},
+                         {"post_repair_modelled_ms", healed.modelled_ms},
+                         {"repair_wall_ms", repair_wall.count()},
+                         {"repair_modelled_ms", hs.modelled_repair_time * 1e3},
+                         {"pieces_recovered", static_cast<double>(hs.pieces_recovered)},
+                         {"deaths_declared", static_cast<double>(hs.deaths_declared)}});
+  const auto path = write_json_report("recovery", rows);
+  std::cout << "\nwrote " << path << "\n";
+  return 0;
+}

@@ -1,6 +1,9 @@
 #include "cluster/cache_server.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "fault/fault_injector.h"
 
 namespace spcache {
 
@@ -8,6 +11,9 @@ CacheServer::CacheServer(std::uint32_t id, Bandwidth bandwidth)
     : id_(id), bandwidth_(bandwidth) {}
 
 void CacheServer::put(BlockKey key, std::vector<std::uint8_t> bytes) {
+  if (!alive()) {
+    throw std::runtime_error("CacheServer::put: server " + std::to_string(id_) + " is down");
+  }
   // Checksum and allocation happen before the stripe lock; the critical
   // section is just the map probe and pointer swap.
   const Bytes incoming = bytes.size();
@@ -26,6 +32,14 @@ void CacheServer::put(BlockKey key, std::vector<std::uint8_t> bytes) {
 }
 
 BlockRef CacheServer::get(const BlockKey& key) const {
+  if (!alive()) {
+    throw std::runtime_error("CacheServer::get: server " + std::to_string(id_) + " is down");
+  }
+  auto* injector = injector_.load(std::memory_order_acquire);
+  if (injector && injector->fail_fetch(id_)) {
+    throw std::runtime_error("CacheServer::get: injected fetch failure (server " +
+                             std::to_string(id_) + ")");
+  }
   BlockRef block;
   {
     auto& stripe = stripe_for(key);
@@ -35,6 +49,14 @@ BlockRef CacheServer::get(const BlockKey& key) const {
     block = it->second;
   }
   bytes_served_.fetch_add(block->bytes.size(), std::memory_order_relaxed);
+  if (injector && !block->bytes.empty() && injector->corrupt_read(id_)) {
+    // Post-checksum wire flip: hand back a bit-flipped copy carrying the
+    // original CRC. The resident block stays pristine; only the caller's
+    // end-to-end verification can notice.
+    auto corrupted = std::make_shared<Block>(*block);
+    corrupted->bytes[corrupted->bytes.size() / 2] ^= 0x40;
+    return corrupted;
+  }
   // Verify outside the lock: CRC over the payload is the expensive part of
   // a read and must not serialize the stripe. The block is immutable once
   // published, so the check is race-free.
@@ -45,9 +67,19 @@ BlockRef CacheServer::get(const BlockKey& key) const {
 }
 
 bool CacheServer::contains(const BlockKey& key) const {
+  if (!alive()) return false;
   auto& stripe = stripe_for(key);
   std::lock_guard lock(stripe.mu);
   return stripe.blocks.count(key) > 0;
+}
+
+void CacheServer::kill() {
+  alive_.store(false, std::memory_order_release);
+  clear();  // a crash loses every in-memory block
+}
+
+void CacheServer::revive() {
+  alive_.store(true, std::memory_order_release);
 }
 
 bool CacheServer::rename(const BlockKey& from, const BlockKey& to) {
@@ -155,6 +187,16 @@ std::vector<double> Cluster::stored_bytes() const {
 
 void Cluster::reset_load_counters() {
   for (auto& s : servers_) s->reset_load_counters();
+}
+
+std::size_t Cluster::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& s : servers_) n += s->alive() ? 1 : 0;
+  return n;
+}
+
+void Cluster::set_fault_injector(fault::FaultInjector* injector) {
+  for (auto& s : servers_) s->set_fault_injector(injector);
 }
 
 }  // namespace spcache

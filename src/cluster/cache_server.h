@@ -32,6 +32,10 @@
 #include "common/units.h"
 #include "workload/file_catalog.h"
 
+namespace spcache::fault {
+class FaultInjector;
+}  // namespace spcache::fault
+
 namespace spcache {
 
 using PieceIndex = std::uint32_t;
@@ -80,11 +84,28 @@ class CacheServer {
 
   // Zero-copy read: returns a shared reference to the resident block,
   // verifying its checksum (outside the stripe lock). nullptr if absent.
-  // Throws std::runtime_error on checksum mismatch (corruption).
+  // Throws std::runtime_error on checksum mismatch (corruption), on a
+  // dead server, or when the fault injector fires a fetch failure. An
+  // injected read corruption returns a bit-flipped *copy* (the resident
+  // block stays pristine), modelling a post-checksum wire flip that only
+  // the client's whole-file CRC can catch.
   BlockRef get(const BlockKey& key) const;
 
   bool contains(const BlockKey& key) const;
   bool erase(const BlockKey& key);
+
+  // --- Crash/restart lifecycle (fault-injection substrate) -----------
+  // kill() drops every block and marks the server down: subsequent put/get
+  // throw, contains() reports false — exactly what a crashed worker looks
+  // like to its peers. revive() brings the (empty) server back.
+  void kill();
+  void revive();
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+
+  // Optional chaos hook consulted on every get(); nullptr disables.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
 
   // Metadata-only rename of a stored block (no byte movement) — used by the
   // online partition adjuster when piece indices shift after a local
@@ -116,6 +137,8 @@ class CacheServer {
   mutable std::array<Stripe, kStripes> stripes_;
   std::atomic<Bytes> bytes_stored_{0};
   mutable std::atomic<std::uint64_t> bytes_served_{0};
+  std::atomic<bool> alive_{true};
+  std::atomic<fault::FaultInjector*> injector_{nullptr};
 };
 
 // A fixed-size fleet of cache servers.
@@ -126,6 +149,16 @@ class Cluster {
   std::size_t size() const { return servers_.size(); }
   CacheServer& server(std::size_t i) { return *servers_[i]; }
   const CacheServer& server(std::size_t i) const { return *servers_[i]; }
+
+  // Crash/restart lifecycle, used by the fault-injection substrate and
+  // the HealthMonitor's kill/revive chaos drivers.
+  void kill(std::size_t i) { servers_[i]->kill(); }
+  void revive(std::size_t i) { servers_[i]->revive(); }
+  bool is_alive(std::size_t i) const { return servers_[i]->alive(); }
+  std::size_t alive_count() const;
+
+  // Install (or clear, with nullptr) the chaos hook on every server.
+  void set_fault_injector(fault::FaultInjector* injector);
 
   std::vector<Bandwidth> bandwidths() const;
   // Per-server cumulative outbound bytes.

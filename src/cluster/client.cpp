@@ -1,9 +1,13 @@
 #include "cluster/client.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <chrono>
 #include <stdexcept>
+
+#include "cluster/stable_store.h"
+#include "common/hash_mix.h"
 
 namespace spcache {
 
@@ -27,6 +31,15 @@ double elapsed_seconds(std::chrono::steady_clock::time_point start) {
 
 SpClient::SpClient(Cluster& cluster, Master& master, ThreadPool& pool, GoodputModel goodput)
     : cluster_(cluster), master_(master), pool_(pool), goodput_(goodput) {}
+
+SpClient::SpClient(Cluster& cluster, Master& master, ThreadPool& pool, StableStore* stable,
+                   fault::RetryPolicy retry, GoodputModel goodput)
+    : cluster_(cluster),
+      master_(master),
+      pool_(pool),
+      stable_(stable),
+      retry_(retry),
+      goodput_(goodput) {}
 
 IoResult SpClient::write_sized(FileId id, std::span<const std::uint8_t> data,
                                const std::vector<std::uint32_t>& servers,
@@ -80,44 +93,119 @@ IoResult SpClient::write(FileId id, std::span<const std::uint8_t> data,
   return result;
 }
 
-IoResult SpClient::read(FileId id) {
-  const auto meta = master_.lookup_for_read(id);
-  if (!meta) throw std::runtime_error("SpClient::read: unknown file");
-  const std::size_t k = meta->partitions();
-
-  // Zero-copy reassembly: each shared block's bytes are copied exactly
-  // once, directly into their final offset in the output buffer.
+// One pass of the degraded-read state machine:
+//   fetch (per-piece retries) -> failover (stable restore) -> verify.
+// A false return means "retry the whole read with a fresh layout": either
+// pieces stayed unfetchable with no usable stable copy, or the end-to-end
+// CRC failed (racing repartition, injected wire flip) — both heal on a
+// later pass once the layout settles or the flip doesn't recur.
+bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, IoResult& result,
+                         std::string& error) {
+  const std::size_t k = meta.partitions();
   std::vector<Bytes> offsets(k, 0);
   Bytes total = 0;
   for (std::size_t i = 0; i < k; ++i) {
     offsets[i] = total;
-    total += meta->piece_sizes[i];
+    total += meta.piece_sizes[i];
   }
 
-  IoResult result;
-  result.bytes.resize(total);
+  result.bytes.assign(total, 0);
+  // Zero-copy reassembly: each shared block's bytes are copied exactly
+  // once, directly into their final offset in the output buffer. Fetch
+  // outcomes are per-piece; a thread never throws out of the pool.
+  std::vector<std::uint8_t> fetched(k, 0);
+  std::atomic<std::size_t> refetches{0};
   pool_.parallel_for(k, [&](std::size_t i) {
-    auto block = cluster_.server(meta->servers[i]).get(BlockKey{id, static_cast<PieceIndex>(i)});
-    if (!block) throw std::runtime_error("SpClient::read: missing piece");
-    if (block->bytes.size() != meta->piece_sizes[i]) {
-      throw std::runtime_error("SpClient::read: piece size mismatch");
+    const BlockKey key{id, static_cast<PieceIndex>(i)};
+    for (std::size_t attempt = 1; attempt <= retry_.piece_attempts; ++attempt) {
+      try {
+        auto block = cluster_.server(meta.servers[i]).get(key);
+        if (block && block->bytes.size() == meta.piece_sizes[i]) {
+          std::copy(block->bytes.begin(), block->bytes.end(),
+                    result.bytes.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+          fetched[i] = 1;
+          return;
+        }
+      } catch (const std::exception&) {
+        // Dead server, injected fetch failure, or a block-level checksum
+        // trip: all retryable.
+      }
+      if (attempt < retry_.piece_attempts) {
+        refetches.fetch_add(1, std::memory_order_relaxed);
+        fault::backoff_sleep(retry_, attempt,
+                             mix64((static_cast<std::uint64_t>(id) << 20) ^ (i << 4) ^ pass));
+      }
     }
-    std::copy(block->bytes.begin(), block->bytes.end(),
-              result.bytes.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
   });
-  if (crc32(result.bytes) != meta->file_crc) {
-    throw std::runtime_error("SpClient::read: whole-file checksum mismatch");
+  result.retries += refetches.load(std::memory_order_relaxed);
+
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!fetched[i]) failed.push_back(i);
   }
+  std::size_t degraded = 0;
+  if (!failed.empty()) {
+    // Failover: restore the checkpointed file inline and serve the
+    // unfetchable pieces from it (the read completes degraded while the
+    // HealthMonitor/RecoveryManager repair catches up in the background).
+    bool restored = false;
+    if (stable_ != nullptr) {
+      const auto bytes = stable_->restore(id);
+      if (bytes && bytes->size() == total && crc32(*bytes) == meta.file_crc) {
+        for (std::size_t i : failed) {
+          std::copy(bytes->begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+                    bytes->begin() + static_cast<std::ptrdiff_t>(offsets[i] + meta.piece_sizes[i]),
+                    result.bytes.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+          ++degraded;
+        }
+        restored = true;
+      }
+    }
+    if (!restored) {
+      error = "piece(s) unfetchable and no usable stable copy";
+      return false;
+    }
+  }
+
+  if (crc32(result.bytes) != meta.file_crc) {
+    error = "whole-file checksum mismatch";
+    return false;
+  }
+  result.degraded_pieces += degraded;
+  result.degraded = result.degraded_pieces > 0;
+
   // Parallel fetch: modelled time is the slowest piece at its server's
-  // goodput-degraded bandwidth (queueing effects belong to the simulator).
+  // goodput-degraded bandwidth (queueing effects belong to the simulator);
+  // a degraded read additionally pays the whole-file restore at the
+  // stable store's (slow) recovery bandwidth.
   Seconds slowest = 0.0;
   for (std::size_t i = 0; i < k; ++i) {
-    const Bandwidth bw = cluster_.server(meta->servers[i]).bandwidth();
-    slowest = std::max(slowest, static_cast<double>(meta->piece_sizes[i]) /
-                                    (bw * goodput_.factor(k)));
+    if (!fetched[i]) continue;
+    const Bandwidth bw = cluster_.server(meta.servers[i]).bandwidth();
+    slowest =
+        std::max(slowest, static_cast<double>(meta.piece_sizes[i]) / (bw * goodput_.factor(k)));
+  }
+  if (degraded > 0 && stable_ != nullptr) {
+    slowest = std::max(slowest, static_cast<double>(total) / stable_->bandwidth());
   }
   result.network_time = slowest;
-  return result;
+  return true;
+}
+
+IoResult SpClient::read(FileId id) {
+  IoResult result;
+  std::string error = "unknown file";
+  for (std::size_t pass = 1; pass <= retry_.read_attempts; ++pass) {
+    if (pass > 1) {
+      ++result.retries;
+      fault::backoff_sleep(retry_, pass, mix64(static_cast<std::uint64_t>(id) * 0x51ed) ^ pass);
+    }
+    const auto meta = master_.lookup_for_read(id);
+    if (!meta) throw std::runtime_error("SpClient::read: unknown file");
+    if (read_pass(id, *meta, pass, result, error)) return result;
+  }
+  throw std::runtime_error("SpClient::read: " + error + " after " +
+                           std::to_string(retry_.read_attempts) + " attempts");
 }
 
 EcClient::EcClient(Cluster& cluster, Master& master, ThreadPool& pool, std::size_t k,

@@ -17,10 +17,22 @@
 //
 // Both return the *modelled* network time of the operation alongside the
 // data (see cache_server.h on virtual-time accounting).
+//
+// Degraded reads (Section 8 "Fault Tolerance"): SpClient::read no longer
+// dies on the first missing piece or failed fetch. Each piece is retried
+// with capped exponential backoff + jitter (fault::RetryPolicy); a piece
+// that stays unfetchable fails over to an inline StableStore restore when
+// a stable store is attached; and a whole-file checksum mismatch (e.g. a
+// read racing a repartition, or an injected wire flip) triggers a fresh
+// pass with a re-fetched layout — which is how readers ride through a
+// concurrent HealthMonitor/RecoveryManager repair. IoResult reports the
+// retry count and whether (and how many pieces of) the read was served
+// degraded.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -29,20 +41,32 @@
 #include "cluster/cache_server.h"
 #include "cluster/master.h"
 #include "erasure/rs_code.h"
+#include "fault/retry.h"
 #include "net/network_model.h"
 
 namespace spcache {
+
+class StableStore;
 
 struct IoResult {
   std::vector<std::uint8_t> bytes;  // empty for writes
   Seconds network_time = 0.0;       // modelled transfer time of the op
   Seconds compute_time = 0.0;       // modelled codec time (EC only)
+  std::size_t retries = 0;          // piece refetches + extra whole-read passes
+  std::size_t degraded_pieces = 0;  // pieces served from stable storage
+  bool degraded = false;            // true iff any piece failed over to stable
 };
 
 class SpClient {
  public:
   SpClient(Cluster& cluster, Master& master, ThreadPool& pool,
            GoodputModel goodput = GoodputModel{});
+
+  // Fault-tolerant variant: `stable` (may be nullptr) enables per-piece
+  // failover to an inline stable-storage restore; `retry` tunes the
+  // backoff schedule.
+  SpClient(Cluster& cluster, Master& master, ThreadPool& pool, StableStore* stable,
+           fault::RetryPolicy retry, GoodputModel goodput = GoodputModel{});
 
   // Write `data` as `servers.size()` near-equal pieces, one per listed
   // server (distinct). Registers/updates the file at the master.
@@ -56,14 +80,26 @@ class SpClient {
                        const std::vector<std::uint32_t>& servers,
                        const std::vector<Bytes>& piece_sizes);
 
-  // Parallel read + reassembly + verification. Throws std::runtime_error
-  // if the file is unknown, a piece is missing, or a checksum fails.
+  // Parallel read + reassembly + verification, with per-piece retry,
+  // stable-store failover, and whole-read repair-aware passes (see the
+  // header comment). Throws std::runtime_error only once the file is
+  // unknown or every pass of the retry budget is exhausted.
   IoResult read(FileId id);
 
+  const fault::RetryPolicy& retry_policy() const { return retry_; }
+
  private:
+  // One full read pass against a freshly fetched layout. Returns true on
+  // success; false means retryable failure (missing pieces without a
+  // usable stable copy, or a whole-file checksum mismatch).
+  bool read_pass(FileId id, const FileMeta& meta, std::size_t pass, IoResult& result,
+                 std::string& error);
+
   Cluster& cluster_;
   Master& master_;
   ThreadPool& pool_;
+  StableStore* stable_ = nullptr;
+  fault::RetryPolicy retry_;
   GoodputModel goodput_;
 };
 

@@ -1,0 +1,122 @@
+#include "cluster/health_monitor.h"
+
+#include "common/log.h"
+
+namespace spcache {
+
+HealthMonitor::HealthMonitor(Cluster& cluster, RecoveryManager& recovery,
+                             HealthMonitorConfig config)
+    : cluster_(cluster), recovery_(recovery), config_(config), states_(cluster.size()) {}
+
+HealthMonitor::~HealthMonitor() { stop(); }
+
+void HealthMonitor::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard lock(wake_mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void HealthMonitor::stop() {
+  {
+    std::lock_guard lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void HealthMonitor::loop() {
+  for (;;) {
+    {
+      std::unique_lock lock(wake_mu_);
+      wake_cv_.wait_for(lock, config_.heartbeat_interval, [this] { return stop_requested_; });
+      if (stop_requested_) return;
+    }
+    heartbeat_round();
+  }
+}
+
+void HealthMonitor::heartbeat_round() {
+  // The heartbeat is the liveness probe of the real deployment: a live
+  // server answers, a crashed one stays silent. Collect the deaths to
+  // declare first, run the (slow) repairs outside the state lock.
+  std::vector<std::uint32_t> newly_dead;
+  {
+    std::lock_guard lock(mu_);
+    for (std::size_t s = 0; s < cluster_.size(); ++s) {
+      auto& state = states_[s];
+      if (cluster_.is_alive(s)) {
+        if (state.declared_dead) {
+          ++stats_.revivals_observed;
+          SPCACHE_LOG(kInfo) << "health: server " << s << " rejoined (empty)";
+        }
+        state.missed = 0;
+        state.declared_dead = false;
+      } else {
+        ++state.missed;
+        if (!state.declared_dead && state.missed >= config_.missed_beats_to_declare_dead) {
+          state.declared_dead = true;
+          ++stats_.deaths_declared;
+          newly_dead.push_back(static_cast<std::uint32_t>(s));
+        }
+      }
+    }
+    ++stats_.beats;
+  }
+
+  for (const std::uint32_t s : newly_dead) {
+    SPCACHE_LOG(kWarn) << "health: server " << s << " missed "
+                       << config_.missed_beats_to_declare_dead << " beats — declared dead";
+    if (!config_.auto_repair) continue;
+    repair_in_flight_.store(true, std::memory_order_release);
+    try {
+      const auto stats = recovery_.repair_after_server_loss(s);
+      std::lock_guard lock(mu_);
+      ++stats_.repairs_completed;
+      stats_.pieces_recovered += stats.pieces_recovered;
+      stats_.modelled_repair_time += stats.modelled_time;
+    } catch (const std::exception& e) {
+      SPCACHE_LOG(kError) << "health: repair after loss of server " << s
+                          << " failed: " << e.what();
+      std::lock_guard lock(mu_);
+      ++stats_.repair_failures;
+    }
+    repair_in_flight_.store(false, std::memory_order_release);
+  }
+}
+
+HealthStats HealthMonitor::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+bool HealthMonitor::server_healthy(std::uint32_t server) const {
+  std::lock_guard lock(mu_);
+  return server < states_.size() && !states_[server].declared_dead &&
+         states_[server].missed == 0 && cluster_.is_alive(server);
+}
+
+bool HealthMonitor::all_healthy() const {
+  if (repair_in_flight_.load(std::memory_order_acquire)) return false;
+  std::lock_guard lock(mu_);
+  for (std::size_t s = 0; s < states_.size(); ++s) {
+    if (states_[s].declared_dead || states_[s].missed > 0 || !cluster_.is_alive(s)) return false;
+  }
+  return true;
+}
+
+bool HealthMonitor::wait_all_healthy(std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (all_healthy()) return true;
+    std::this_thread::sleep_for(config_.heartbeat_interval);
+  }
+  return all_healthy();
+}
+
+}  // namespace spcache

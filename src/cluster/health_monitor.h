@@ -1,0 +1,94 @@
+// Heartbeat-driven failure detection and self-healing recovery
+// (Section 8 "Fault Tolerance").
+//
+// The paper's master learns about dead Alluxio workers from missed
+// heartbeats and re-creates their partitions from checkpointed stable
+// storage. `HealthMonitor` closes that loop for the threaded cluster: a
+// monitor thread next to the Master pings every cache server once per
+// `heartbeat_interval`; a server that misses `missed_beats_to_declare_dead`
+// consecutive beats is declared dead, and (with auto_repair on) the
+// monitor immediately invokes `RecoveryManager::repair_after_server_loss`
+// so the lost partitions are re-placed on live servers while readers ride
+// through on retries and degraded (stable-store) reads. A revived server
+// rejoins empty and is simply marked healthy again — its former
+// partitions already live elsewhere.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "cluster/cache_server.h"
+#include "cluster/stable_store.h"
+
+namespace spcache {
+
+struct HealthMonitorConfig {
+  std::chrono::milliseconds heartbeat_interval{2};
+  int missed_beats_to_declare_dead = 3;  // K
+  bool auto_repair = true;
+};
+
+struct HealthStats {
+  std::uint64_t beats = 0;  // heartbeat rounds completed
+  std::uint64_t deaths_declared = 0;
+  std::uint64_t revivals_observed = 0;
+  std::uint64_t repairs_completed = 0;
+  std::uint64_t repair_failures = 0;
+  std::uint64_t pieces_recovered = 0;
+  double modelled_repair_time = 0.0;  // aggregate RecoveryStats seconds
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor(Cluster& cluster, RecoveryManager& recovery,
+                HealthMonitorConfig config = HealthMonitorConfig{});
+  ~HealthMonitor();  // stops and joins
+
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const HealthMonitorConfig& config() const { return config_; }
+  HealthStats stats() const;
+
+  // A server is healthy when it answered its latest heartbeat.
+  bool server_healthy(std::uint32_t server) const;
+  // Every server answering heartbeats and no repair in flight.
+  bool all_healthy() const;
+  // Poll until all_healthy() (true) or the deadline passes (false).
+  bool wait_all_healthy(std::chrono::milliseconds timeout) const;
+
+ private:
+  void loop();
+  void heartbeat_round();
+
+  Cluster& cluster_;
+  RecoveryManager& recovery_;
+  HealthMonitorConfig config_;
+
+  struct ServerState {
+    int missed = 0;
+    bool declared_dead = false;
+  };
+
+  mutable std::mutex mu_;  // guards states_ and stats_
+  std::vector<ServerState> states_;
+  HealthStats stats_;
+  std::atomic<bool> repair_in_flight_{false};
+
+  std::atomic<bool> running_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
+
+}  // namespace spcache

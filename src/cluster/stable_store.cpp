@@ -64,17 +64,44 @@ RecoveryStats RecoveryManager::repair_file(FileId id) {
   return repair_pieces(id);
 }
 
+namespace {
+
+// Byte range of piece i under the layout's (possibly heterogeneous —
+// write_sized) piece sizes. The write path stores contiguous slices, so
+// slicing the restored file by the recorded sizes reproduces each piece
+// exactly, replication of split_plain's rounding included.
+std::vector<std::uint8_t> piece_slice(const std::vector<std::uint8_t>& bytes,
+                                      const std::vector<Bytes>& piece_sizes, std::size_t i) {
+  Bytes offset = 0;
+  for (std::size_t j = 0; j < i; ++j) offset += piece_sizes[j];
+  const auto begin = bytes.begin() + static_cast<std::ptrdiff_t>(offset);
+  return std::vector<std::uint8_t>(begin, begin + static_cast<std::ptrdiff_t>(piece_sizes[i]));
+}
+
+}  // namespace
+
 RecoveryStats RecoveryManager::repair_pieces(FileId id) {
   RecoveryStats stats;
   const auto meta = master_.peek(id);
   if (!meta) throw std::runtime_error("repair_file: unknown file");
 
-  // Which pieces are gone?
+  // Which pieces are gone? A piece whose server is down cannot be
+  // re-placed in place — that is a server-loss repair, not a piece repair.
   std::vector<std::size_t> missing;
+  bool on_dead_server = false;
   for (std::size_t i = 0; i < meta->partitions(); ++i) {
+    if (!cluster_.server(meta->servers[i]).alive()) {
+      on_dead_server = true;
+      continue;
+    }
     if (!cluster_.server(meta->servers[i]).contains(BlockKey{id, static_cast<PieceIndex>(i)})) {
       missing.push_back(i);
     }
+  }
+  if (on_dead_server) {
+    SPCACHE_LOG(kWarn) << "repair_file: file " << id
+                       << " has piece(s) on a dead server; run repair_after_server_loss";
+    ++stats.files_skipped;
   }
   if (missing.empty()) return stats;
 
@@ -84,12 +111,13 @@ RecoveryStats RecoveryManager::repair_pieces(FileId id) {
     throw std::runtime_error("repair_file: stable copy does not match the cached file");
   }
 
-  // Re-split exactly as the write path did and re-place the lost pieces.
-  const auto pieces = split_plain(*bytes, meta->partitions());
+  // Re-slice exactly as the write path stored and re-place the lost pieces.
   Bytes rewritten = 0;
   for (std::size_t i : missing) {
-    cluster_.server(meta->servers[i]).put(BlockKey{id, static_cast<PieceIndex>(i)}, pieces[i]);
-    rewritten += pieces[i].size();
+    auto piece = piece_slice(*bytes, meta->piece_sizes, i);
+    rewritten += piece.size();
+    cluster_.server(meta->servers[i]).put(BlockKey{id, static_cast<PieceIndex>(i)},
+                                          std::move(piece));
     ++stats.pieces_recovered;
   }
   stats.bytes_restored = bytes->size();
@@ -105,29 +133,50 @@ RecoveryStats RecoveryManager::repair_pieces(FileId id) {
 RecoveryStats RecoveryManager::repair_after_server_loss(std::uint32_t failed_server) {
   SPCACHE_LOG(kWarn) << "repairing after loss of server " << failed_server;
   RecoveryStats total;
-  // Current per-server piece counts (for least-loaded re-placement).
+  // Current per-server piece counts (for least-loaded re-placement). The
+  // scan is advisory — layouts move underneath it — but each file's actual
+  // mutation happens under its guard below, so a stale count only costs
+  // balance, never correctness.
   std::vector<std::size_t> load(cluster_.size(), 0);
   const auto ids = master_.file_ids();
   for (FileId id : ids) {
     const auto meta = master_.peek(id);
+    if (!meta) continue;
     for (std::uint32_t s : meta->servers) ++load[s];
   }
 
   for (FileId id : ids) {
     const auto guard = master_.lock_file(id);
-    if (!guard) continue;
+    if (!guard) continue;  // removed since the scan
     auto meta = master_.peek(id);
-    bool touched = false;
+    if (!meta) continue;
+
+    // Slots still on the failed server. None ⇒ already repaired (by an
+    // earlier or concurrent run) — idempotent skip.
+    std::vector<std::size_t> slots;
     for (std::size_t i = 0; i < meta->partitions(); ++i) {
-      if (meta->servers[i] != failed_server) continue;
-      // Move the slot to the least-loaded live server not already holding a
-      // piece of this file.
+      if (meta->servers[i] == failed_server) slots.push_back(i);
+    }
+    if (slots.empty()) continue;
+
+    const auto bytes = stable_.restore(id);
+    if (!bytes || bytes->size() != meta->size || crc32(*bytes) != meta->file_crc) {
+      SPCACHE_LOG(kWarn) << "repair_after_server_loss: no usable stable copy of file " << id
+                         << " — skipped";
+      ++total.files_skipped;
+      continue;
+    }
+
+    // Choose the least-loaded live replacement for each lost slot.
+    bool placed = true;
+    auto new_meta = *meta;
+    for (std::size_t i : slots) {
       std::size_t best = cluster_.size();
       std::size_t best_load = std::numeric_limits<std::size_t>::max();
       for (std::size_t s = 0; s < cluster_.size(); ++s) {
-        if (s == failed_server) continue;
-        if (std::find(meta->servers.begin(), meta->servers.end(),
-                      static_cast<std::uint32_t>(s)) != meta->servers.end()) {
+        if (s == failed_server || !cluster_.is_alive(s)) continue;
+        if (std::find(new_meta.servers.begin(), new_meta.servers.end(),
+                      static_cast<std::uint32_t>(s)) != new_meta.servers.end()) {
           continue;
         }
         if (load[s] < best_load) {
@@ -136,22 +185,37 @@ RecoveryStats RecoveryManager::repair_after_server_loss(std::uint32_t failed_ser
         }
       }
       if (best == cluster_.size()) {
-        throw std::runtime_error("repair_after_server_loss: no replacement server available");
+        placed = false;
+        break;
       }
-      --load[failed_server];
+      if (load[failed_server] > 0) --load[failed_server];
       ++load[best];
-      meta->servers[i] = static_cast<std::uint32_t>(best);
-      touched = true;
+      new_meta.servers[i] = static_cast<std::uint32_t>(best);
     }
-    if (touched) {
-      master_.update_file(id, *meta);
-      const auto stats = repair_pieces(id);  // guard already held
-      total.pieces_recovered += stats.pieces_recovered;
-      total.bytes_restored += stats.bytes_restored;
-      // Repartitioned files recover in parallel in a real deployment; we
-      // report the aggregate serial time as a conservative upper bound.
-      total.modelled_time += stats.modelled_time;
+    if (!placed) {
+      SPCACHE_LOG(kWarn) << "repair_after_server_loss: no live replacement server for file " << id
+                         << " — skipped";
+      ++total.files_skipped;
+      continue;
     }
+
+    // Write the replacement pieces first, publish the layout second:
+    // readers holding the new layout always find the bytes; readers
+    // holding the old one fail, retry, and pick up the new layout.
+    Bytes rewritten = 0;
+    for (std::size_t i : slots) {
+      auto piece = piece_slice(*bytes, new_meta.piece_sizes, i);
+      rewritten += piece.size();
+      cluster_.server(new_meta.servers[i])
+          .put(BlockKey{id, static_cast<PieceIndex>(i)}, std::move(piece));
+      ++total.pieces_recovered;
+    }
+    master_.update_file(id, new_meta);
+    total.bytes_restored += bytes->size();
+    // Repartitioned files recover in parallel in a real deployment; we
+    // report the aggregate serial time as a conservative upper bound.
+    total.modelled_time += static_cast<double>(bytes->size()) / stable_.bandwidth() +
+                           static_cast<double>(rewritten) / cluster_.server(0).bandwidth();
   }
   return total;
 }

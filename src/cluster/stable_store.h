@@ -56,8 +56,9 @@ class StableStore {
 
 struct RecoveryStats {
   std::size_t pieces_recovered = 0;
-  Bytes bytes_restored = 0;   // pulled from stable storage
-  Seconds modelled_time = 0;  // restore transfer + re-placement writes
+  std::size_t files_skipped = 0;  // no stable copy / no live replacement server
+  Bytes bytes_restored = 0;       // pulled from stable storage
+  Seconds modelled_time = 0;      // restore transfer + re-placement writes
 };
 
 class RecoveryManager {
@@ -66,14 +67,25 @@ class RecoveryManager {
 
   // Scan the file's layout and re-create any missing pieces from stable
   // storage. Keeps surviving pieces in place; lost pieces are rewritten to
-  // their original servers if alive, otherwise the caller should first
-  // update the layout (see repair_after_server_loss). Returns the stats;
-  // throws std::runtime_error if the file was never checkpointed.
+  // their original servers if alive (a piece whose server is down is
+  // skipped — that is repair_after_server_loss territory). Returns the
+  // stats; throws std::runtime_error if the file was never checkpointed.
   RecoveryStats repair_file(FileId id);
 
   // Handle a whole-server loss: for every file with a piece on `server`,
-  // move that piece's slot to the least-loaded live server not already
+  // move that piece's slot to the least-loaded *live* server not already
   // holding the file, then repair from stable storage.
+  //
+  // Safe to run while readers are in flight and safe to run twice (e.g.
+  // two HealthMonitor ticks racing): each file is handled under its
+  // master-side mutation guard (Master::lock_file); a file with no slot
+  // left on the failed server — already repaired by a concurrent run — is
+  // skipped; and replacement pieces are written to their new servers
+  // *before* the layout is published, so a reader holding the new layout
+  // always finds the bytes (readers holding the old layout retry and pick
+  // up the new one). Files without a matching stable copy, or with no
+  // live replacement server, are skipped and counted in files_skipped
+  // rather than aborting the sweep.
   RecoveryStats repair_after_server_loss(std::uint32_t failed_server);
 
  private:

@@ -1,0 +1,96 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/hash_mix.h"
+
+namespace spcache::fault {
+
+namespace {
+
+// Map a 64-bit hash to a uniform double in [0, 1).
+double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultConfig config)
+    : seed_(seed), config_(config) {}
+
+bool FaultInjector::decide(std::uint64_t site, std::atomic<std::uint64_t>& counter, double p,
+                           std::atomic<std::uint64_t>& fired) {
+  if (!armed_.load(std::memory_order_relaxed) || p <= 0.0) return false;
+  // The n-th decision at a site is a pure function of (seed, site, n):
+  // thread interleaving changes *when* index n is consumed, never its
+  // verdict, so the schedule replays exactly under the same seed.
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = mix64(mix64(seed_ + site) ^ n);
+  const bool fire = to_unit(h) < p;
+  if (fire) fired.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+bool FaultInjector::drop_envelope() {
+  return decide(kSiteBusDrop, bus_drop_seq_, config_.bus_drop_p, bus_drops_);
+}
+
+bool FaultInjector::delay_envelope() {
+  return decide(kSiteBusDelay, bus_delay_seq_, config_.bus_delay_p, bus_delays_);
+}
+
+bool FaultInjector::duplicate_envelope() {
+  return decide(kSiteBusDuplicate, bus_dup_seq_, config_.bus_duplicate_p, bus_dups_);
+}
+
+bool FaultInjector::fail_fetch(std::uint32_t server) {
+  const std::size_t slot = server % kServerSlots;
+  return decide(kSiteFetchFail + slot, fetch_seq_[slot], config_.fetch_fail_p, fetch_failures_);
+}
+
+bool FaultInjector::corrupt_read(std::uint32_t server) {
+  const std::size_t slot = server % kServerSlots;
+  return decide(kSiteCorruptRead + slot, corrupt_seq_[slot], config_.corrupt_read_p,
+                corrupt_reads_);
+}
+
+void FaultInjector::schedule(CrashEvent event) {
+  std::lock_guard lock(schedule_mu_);
+  schedule_.push_back(event);
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const CrashEvent& a, const CrashEvent& b) { return a.at_step < b.at_step; });
+}
+
+std::vector<CrashEvent> FaultInjector::due(std::uint64_t step) {
+  std::lock_guard lock(schedule_mu_);
+  std::vector<CrashEvent> out;
+  auto keep = schedule_.begin();
+  for (auto it = schedule_.begin(); it != schedule_.end(); ++it) {
+    if (it->at_step <= step) {
+      out.push_back(*it);
+    } else {
+      *keep++ = *it;
+    }
+  }
+  schedule_.erase(keep, schedule_.end());
+  return out;
+}
+
+std::size_t FaultInjector::scheduled_remaining() const {
+  std::lock_guard lock(schedule_mu_);
+  return schedule_.size();
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats s;
+  s.bus_drops = bus_drops_.load(std::memory_order_relaxed);
+  s.bus_delays = bus_delays_.load(std::memory_order_relaxed);
+  s.bus_duplicates = bus_dups_.load(std::memory_order_relaxed);
+  s.fetch_failures = fetch_failures_.load(std::memory_order_relaxed);
+  s.corrupt_reads = corrupt_reads_.load(std::memory_order_relaxed);
+  s.decisions = decisions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace spcache::fault

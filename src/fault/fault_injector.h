@@ -1,0 +1,142 @@
+// Seeded, deterministic fault injection (Section 8 "Fault Tolerance").
+//
+// SP-Cache's robustness story — a redundancy-free cache that keeps serving
+// reads because lost partitions are repaired from checkpointed stable
+// storage — is only credible if the failure paths are exercised on purpose.
+// This module is the chaos substrate: one `FaultInjector`, shared by every
+// layer, decides at well-known *sites* whether a fault fires:
+//
+//   * Bus envelope faults: drop (the message vanishes, the caller times
+//     out), delay (sender-side stall), duplication (the envelope is
+//     delivered twice — exercising handler idempotency and the late-reply
+//     accounting of `RpcNode`);
+//   * Cache-server read faults: piece-fetch failure (the GET throws, as a
+//     connection reset would) and read corruption (the caller receives a
+//     bit-flipped copy, modelling a post-checksum wire flip that only the
+//     client's whole-file CRC can catch);
+//   * Whole-server crash/restart, via a scheduled event list that a chaos
+//     driver applies with `Cluster::kill` / `Cluster::revive`.
+//
+// Determinism: every site keeps its own atomic decision counter, and the
+// n-th decision at a site is a pure function of (seed, site, n) through
+// SplitMix64 mixing. The fault *schedule* — which decision indices fire at
+// each site — is therefore bit-identical across runs with the same seed,
+// independent of thread interleaving; replaying a chaotic run only needs
+// the seed and the config. All methods are thread-safe and lock-free on
+// the decision path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace spcache::fault {
+
+struct FaultConfig {
+  // Bus envelope faults: probability per routed envelope.
+  double bus_drop_p = 0.0;
+  double bus_delay_p = 0.0;
+  double bus_duplicate_p = 0.0;
+  // Sender-side stall applied when a delay fires.
+  std::chrono::microseconds bus_delay{200};
+
+  // Cache-server read faults: probability per CacheServer::get().
+  double fetch_fail_p = 0.0;
+  double corrupt_read_p = 0.0;
+};
+
+// Cumulative fired-fault counters (a snapshot; counters are monotonic).
+struct FaultStats {
+  std::uint64_t bus_drops = 0;
+  std::uint64_t bus_delays = 0;
+  std::uint64_t bus_duplicates = 0;
+  std::uint64_t fetch_failures = 0;
+  std::uint64_t corrupt_reads = 0;
+  std::uint64_t decisions = 0;  // total decision points consulted
+
+  bool operator==(const FaultStats&) const = default;
+};
+
+// A scheduled whole-server lifecycle event, keyed to a driver-defined
+// step counter (an operation index, a chaos-loop round — anything
+// monotonic). The injector only stores and hands back the schedule;
+// the driver applies it via Cluster::kill / Cluster::revive so the
+// injector stays free of cluster dependencies.
+struct CrashEvent {
+  std::uint64_t at_step = 0;
+  std::uint32_t server = 0;
+  enum class Action : std::uint8_t { kKill, kRevive } action = Action::kKill;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed, FaultConfig config = FaultConfig{});
+
+  const FaultConfig& config() const { return config_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // Master switch: a disarmed injector never fires (decision counters do
+  // not advance, so re-arming resumes the same schedule).
+  void arm() { armed_.store(true, std::memory_order_relaxed); }
+  void disarm() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  // Decision sites. Each call consumes one index of that site's
+  // deterministic decision stream and returns whether the fault fires.
+  bool drop_envelope();
+  bool delay_envelope();
+  bool duplicate_envelope();
+  bool fail_fetch(std::uint32_t server);
+  bool corrupt_read(std::uint32_t server);
+
+  // --- Scheduled crash/restart lifecycle -----------------------------
+  void schedule(CrashEvent event);
+  // All not-yet-fired events with at_step <= step, in schedule order;
+  // each is handed out exactly once.
+  std::vector<CrashEvent> due(std::uint64_t step);
+  std::size_t scheduled_remaining() const;
+
+  FaultStats stats() const;
+
+ private:
+  // Stable site tags feeding the per-site decision hash.
+  enum Site : std::uint64_t {
+    kSiteBusDrop = 0x01,
+    kSiteBusDelay = 0x02,
+    kSiteBusDuplicate = 0x03,
+    kSiteFetchFail = 0x100,    // + server id
+    kSiteCorruptRead = 0x200,  // + server id
+  };
+
+  // Per-server decision streams are tracked modulo this many slots; two
+  // servers sharing a slot share a stream, which stays deterministic.
+  static constexpr std::size_t kServerSlots = 256;
+
+  bool decide(std::uint64_t site, std::atomic<std::uint64_t>& counter, double p,
+              std::atomic<std::uint64_t>& fired);
+
+  std::uint64_t seed_;
+  FaultConfig config_;
+  std::atomic<bool> armed_{true};
+
+  std::atomic<std::uint64_t> bus_drop_seq_{0};
+  std::atomic<std::uint64_t> bus_delay_seq_{0};
+  std::atomic<std::uint64_t> bus_dup_seq_{0};
+  std::array<std::atomic<std::uint64_t>, kServerSlots> fetch_seq_{};
+  std::array<std::atomic<std::uint64_t>, kServerSlots> corrupt_seq_{};
+
+  std::atomic<std::uint64_t> bus_drops_{0};
+  std::atomic<std::uint64_t> bus_delays_{0};
+  std::atomic<std::uint64_t> bus_dups_{0};
+  std::atomic<std::uint64_t> fetch_failures_{0};
+  std::atomic<std::uint64_t> corrupt_reads_{0};
+  std::atomic<std::uint64_t> decisions_{0};
+
+  mutable std::mutex schedule_mu_;
+  std::vector<CrashEvent> schedule_;  // fired events are compacted away
+};
+
+}  // namespace spcache::fault

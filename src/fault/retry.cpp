@@ -1,0 +1,30 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/hash_mix.h"
+
+namespace spcache::fault {
+
+std::chrono::microseconds backoff_delay(const RetryPolicy& policy, std::size_t attempt,
+                                        std::uint64_t token) {
+  if (attempt == 0) attempt = 1;
+  const std::uint64_t shift = std::min<std::uint64_t>(attempt - 1, 32);
+  const std::int64_t scaled = policy.base_backoff.count() * static_cast<std::int64_t>(1ULL << shift);
+  std::chrono::microseconds delay{std::min(scaled, policy.max_backoff.count())};
+  const double unit =
+      static_cast<double>(mix64(policy.jitter_seed ^ token ^ (attempt * 0x9e3779b97f4a7c15ULL)) >>
+                          11) *
+      0x1.0p-53;
+  const double factor = 1.0 + policy.jitter * (2.0 * unit - 1.0);
+  return std::chrono::microseconds(
+      static_cast<std::int64_t>(static_cast<double>(delay.count()) * std::max(0.0, factor)));
+}
+
+void backoff_sleep(const RetryPolicy& policy, std::size_t attempt, std::uint64_t token) {
+  const auto delay = backoff_delay(policy, attempt, token);
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+}
+
+}  // namespace spcache::fault

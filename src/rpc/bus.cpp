@@ -1,6 +1,9 @@
 #include "rpc/bus.h"
 
 #include <cassert>
+#include <thread>
+
+#include "fault/fault_injector.h"
 
 namespace spcache::rpc {
 
@@ -40,26 +43,26 @@ void RpcNode::start() {
   service_thread_ = std::thread([this] { service_loop(); });
 }
 
-std::future<Reply> RpcNode::call(NodeId to, MethodId method,
-                                 std::vector<std::uint8_t> payload) {
+RpcNode::PendingCall RpcNode::call_tagged(NodeId to, MethodId method,
+                                          std::vector<std::uint8_t> payload) {
   std::promise<Reply> promise;
-  auto future = promise.get_future();
-  std::uint64_t request_id;
+  PendingCall pending;
+  pending.reply = promise.get_future();
   {
     std::lock_guard lock(pending_mu_);
-    request_id = next_request_id_++;
-    pending_.emplace(request_id, std::move(promise));
+    pending.request_id = next_request_id_++;
+    pending_.emplace(pending.request_id, std::move(promise));
   }
   Envelope envelope;
   envelope.from = id_;
   envelope.to = to;
-  envelope.request_id = request_id;
+  envelope.request_id = pending.request_id;
   envelope.is_reply = false;
   envelope.method = method;
   envelope.payload = std::move(payload);
   if (!bus_.route(std::move(envelope))) {
     std::lock_guard lock(pending_mu_);
-    const auto it = pending_.find(request_id);
+    const auto it = pending_.find(pending.request_id);
     if (it != pending_.end()) {
       Reply reply;
       reply.status = Status::kError;
@@ -69,21 +72,40 @@ std::future<Reply> RpcNode::call(NodeId to, MethodId method,
       pending_.erase(it);
     }
   }
-  return future;
+  return pending;
+}
+
+std::future<Reply> RpcNode::call(NodeId to, MethodId method,
+                                 std::vector<std::uint8_t> payload) {
+  return call_tagged(to, method, std::move(payload)).reply;
+}
+
+bool RpcNode::forget(std::uint64_t request_id) {
+  std::lock_guard lock(pending_mu_);
+  return pending_.erase(request_id) > 0;
 }
 
 Reply RpcNode::call_sync(NodeId to, MethodId method, std::vector<std::uint8_t> payload,
                          std::chrono::milliseconds timeout) {
-  auto future = call(to, method, std::move(payload));
-  if (future.wait_for(timeout) != std::future_status::ready) {
-    // Abandon the pending slot so a late reply is dropped quietly.
-    Reply reply;
-    reply.status = Status::kError;
-    const std::string msg = "rpc timeout";
-    reply.payload.assign(msg.begin(), msg.end());
-    return reply;
+  auto pending = call_tagged(to, method, std::move(payload));
+  if (pending.reply.wait_for(timeout) != std::future_status::ready) {
+    // Reclaim the pending slot so it cannot leak and a late reply becomes
+    // a counted no-op. If the reply raced us past the timeout, forget()
+    // finds the slot already resolved and the real reply wins.
+    if (forget(pending.request_id)) {
+      Reply reply;
+      reply.status = Status::kError;
+      const std::string msg = "rpc timeout";
+      reply.payload.assign(msg.begin(), msg.end());
+      return reply;
+    }
   }
-  return future.get();
+  return pending.reply.get();
+}
+
+std::size_t RpcNode::pending_calls() const {
+  std::lock_guard lock(pending_mu_);
+  return pending_.size();
 }
 
 void RpcNode::deliver(Envelope envelope) {
@@ -146,7 +168,12 @@ void RpcNode::resolve_reply(const Envelope& envelope) {
   {
     std::lock_guard lock(pending_mu_);
     const auto it = pending_.find(envelope.request_id);
-    if (it == pending_.end()) return;  // timed out and abandoned
+    if (it == pending_.end()) {
+      // Timed out and abandoned (or a duplicated envelope's second reply):
+      // a counted no-op, never a dead-promise resolution.
+      late_replies_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     promise = std::move(it->second);
     pending_.erase(it);
   }
@@ -171,9 +198,18 @@ void Bus::remove(NodeId id) {
 }
 
 bool Bus::route(Envelope envelope) {
+  bool duplicate = false;
+  if (auto* injector = injector_.load(std::memory_order_acquire)) {
+    // Drop: the envelope vanishes like a lost packet. Deliberately returns
+    // true — the network accepted the send; the caller's timeout fires.
+    if (injector->drop_envelope()) return true;
+    if (injector->delay_envelope()) std::this_thread::sleep_for(injector->config().bus_delay);
+    duplicate = injector->duplicate_envelope();
+  }
   std::shared_lock lock(mu_);
   const auto it = nodes_.find(envelope.to);
   if (it == nodes_.end()) return false;
+  if (duplicate) it->second->deliver(envelope);
   it->second->deliver(std::move(envelope));
   return true;
 }

@@ -11,6 +11,7 @@
 // components, explicit serialization at every boundary) is exercised.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -25,6 +26,10 @@
 #include <vector>
 
 #include "rpc/serialize.h"
+
+namespace spcache::fault {
+class FaultInjector;
+}  // namespace spcache::fault
 
 namespace spcache::rpc {
 
@@ -75,13 +80,33 @@ class RpcNode {
   void handle(MethodId method, Handler handler);
   void start();
 
-  // Asynchronous call; the future resolves with the callee's Reply or, on
-  // timeout, a kError reply marked "rpc timeout".
+  // An in-flight call: the reply future plus the request id needed to
+  // abandon it (forget) if the caller gives up waiting.
+  struct PendingCall {
+    std::uint64_t request_id = 0;
+    std::future<Reply> reply;
+  };
+
+  // Asynchronous call; the future resolves with the callee's Reply. If the
+  // request or its reply is lost (dropped envelope, dead node), the future
+  // never resolves — bounded waiters must pair wait_for with forget().
+  PendingCall call_tagged(NodeId to, MethodId method, std::vector<std::uint8_t> payload);
   std::future<Reply> call(NodeId to, MethodId method, std::vector<std::uint8_t> payload);
 
-  // Blocking convenience with timeout.
+  // Abandon a pending call after a timeout: erases its slot so a reply
+  // arriving later becomes a counted no-op instead of resolving a dead
+  // promise (and so the slot does not leak). Returns false if the call
+  // already resolved (or was never pending).
+  bool forget(std::uint64_t request_id);
+
+  // Blocking convenience with timeout. On timeout the pending slot is
+  // reclaimed via forget(); a reply racing the timeout still wins.
   Reply call_sync(NodeId to, MethodId method, std::vector<std::uint8_t> payload,
                   std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  // Observability for the timeout/loss paths.
+  std::size_t pending_calls() const;
+  std::uint64_t late_replies() const { return late_replies_.load(std::memory_order_relaxed); }
 
   // Used by the Bus to deliver an envelope into this node's mailbox.
   void deliver(Envelope envelope);
@@ -103,14 +128,21 @@ class RpcNode {
   bool started_ = false;
   std::thread service_thread_;
 
-  std::mutex pending_mu_;
+  mutable std::mutex pending_mu_;
   std::uint64_t next_request_id_ = 1;
   std::unordered_map<std::uint64_t, std::promise<Reply>> pending_;
+  std::atomic<std::uint64_t> late_replies_{0};
 };
 
 // Routes envelopes between registered nodes. Nodes register on
 // construction and deregister on destruction; sending to an unknown node
 // fails the call immediately.
+//
+// Chaos hook: with a FaultInjector installed, route() may drop an
+// envelope (it vanishes, like a lost packet — the caller's timeout path
+// fires), stall the sender briefly (delay), or deliver the envelope twice
+// (duplication — handlers run twice and the second reply lands as a
+// counted late-reply no-op).
 class Bus {
  public:
   void add(RpcNode& node);
@@ -120,7 +152,13 @@ class Bus {
   // into an immediate error reply).
   bool route(Envelope envelope);
 
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
  private:
+  std::atomic<fault::FaultInjector*> injector_{nullptr};
+
   // Held shared across the whole lookup + deliver so a node cannot be
   // destroyed while an envelope is in flight to it: ~RpcNode's remove()
   // takes it exclusively and thus waits out concurrent deliveries.

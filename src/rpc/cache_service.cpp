@@ -90,8 +90,12 @@ MasterService::MasterService(Bus& bus, NodeId node_id) {
 }
 
 RpcSpClient::RpcSpClient(Bus& bus, NodeId node_id, NodeId master_node,
-                         std::vector<NodeId> worker_of_server)
-    : master_node_(master_node), worker_of_server_(std::move(worker_of_server)) {
+                         std::vector<NodeId> worker_of_server, fault::RetryPolicy retry,
+                         std::chrono::milliseconds rpc_timeout)
+    : master_node_(master_node),
+      worker_of_server_(std::move(worker_of_server)),
+      retry_(retry),
+      rpc_timeout_(rpc_timeout) {
   node_ = std::make_unique<RpcNode>(bus, node_id, "sp-client-" + std::to_string(node_id));
   node_->start();  // needed to receive replies
 }
@@ -128,56 +132,125 @@ void RpcSpClient::write(FileId id, std::span<const std::uint8_t> data,
   if (!reply.ok()) throw std::runtime_error("REGISTER failed: " + reply.error_text());
 }
 
-std::vector<std::uint8_t> RpcSpClient::read(FileId id) {
-  BufferWriter lookup;
-  lookup.u32(id);
-  const auto reply = node_->call_sync(master_node_, kLookupFile, lookup.take());
-  if (!reply.ok()) throw std::runtime_error("LOOKUP failed: " + reply.error_text());
-
-  BufferReader r(reply.payload);
-  const std::uint64_t size = r.u64();
-  const std::uint32_t file_crc = r.u32();
-  const std::uint32_t n = r.u32();
-  std::vector<std::uint32_t> servers(n);
-  std::vector<std::uint64_t> piece_sizes(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    servers[i] = r.u32();
-    piece_sizes[i] = r.u64();
-  }
-
-  // Parallel GETs (async fan-out); each piece lands exactly once, at its
-  // final offset in the preallocated output buffer.
-  std::vector<std::future<Reply>> gets;
-  gets.reserve(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
+std::optional<std::vector<std::uint8_t>> RpcSpClient::fetch_piece(FileId id, std::uint32_t piece,
+                                                                  NodeId worker, std::size_t pass,
+                                                                  std::size_t& retries) {
+  for (std::size_t attempt = 1; attempt <= retry_.piece_attempts; ++attempt) {
     BufferWriter w;
     w.u32(id);
-    w.u32(i);
-    gets.push_back(node_->call(worker_of_server_.at(servers[i]), kGetBlock, w.take()));
-  }
-  std::vector<std::uint64_t> offsets(n, 0);
-  std::uint64_t total = 0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    offsets[i] = total;
-    total += piece_sizes[i];
-  }
-  std::vector<std::uint8_t> out(total);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    const auto piece_reply = gets[i].get();
-    if (!piece_reply.ok()) {
-      throw std::runtime_error("GET failed: " + piece_reply.error_text());
+    w.u32(piece);
+    auto pending = node_->call_tagged(worker, kGetBlock, w.take());
+    Reply reply;
+    if (pending.reply.wait_for(rpc_timeout_) == std::future_status::ready) {
+      reply = pending.reply.get();
+    } else {
+      // Lost request or reply (dropped envelope, dead worker): reclaim the
+      // slot so the late reply — if any — is a counted no-op.
+      node_->forget(pending.request_id);
+      reply.status = Status::kError;
     }
-    BufferReader pr(piece_reply.payload);
-    const auto bytes = pr.bytes_view();
-    if (bytes.size() != piece_sizes[i]) throw std::runtime_error("piece size mismatch");
-    std::copy(bytes.begin(), bytes.end(),
-              out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+    if (reply.ok()) {
+      BufferReader pr(reply.payload);
+      return pr.bytes();
+    }
+    if (attempt < retry_.piece_attempts) {
+      ++retries;
+      fault::backoff_sleep(retry_, attempt,
+                           (static_cast<std::uint64_t>(id) << 24) ^ (piece << 8) ^ pass);
+    }
   }
-  if (out.size() != size || crc32(out) != file_crc) {
-    throw std::runtime_error("whole-file checksum mismatch");
-  }
-  return out;
+  return std::nullopt;
 }
+
+RpcReadStats RpcSpClient::read_with_stats(FileId id) {
+  RpcReadStats stats;
+  std::string error = "retry budget exhausted";
+  for (std::size_t pass = 1; pass <= retry_.read_attempts; ++pass) {
+    stats.passes = pass;
+    if (pass > 1) {
+      ++stats.retries;
+      fault::backoff_sleep(retry_, pass, static_cast<std::uint64_t>(id) * 0x9e37 + pass);
+    }
+    // Fresh LOOKUP each pass: a repaired file's re-placed layout is only
+    // visible through the master.
+    BufferWriter lookup;
+    lookup.u32(id);
+    const auto reply = node_->call_sync(master_node_, kLookupFile, lookup.take(), rpc_timeout_);
+    if (!reply.ok()) {
+      error = "LOOKUP failed: " + reply.error_text();
+      if (reply.error_text() == "unknown file") {
+        throw std::runtime_error("RpcSpClient::read: unknown file");
+      }
+      continue;
+    }
+
+    BufferReader r(reply.payload);
+    const std::uint64_t size = r.u64();
+    const std::uint32_t file_crc = r.u32();
+    const std::uint32_t n = r.u32();
+    std::vector<std::uint32_t> servers(n);
+    std::vector<std::uint64_t> piece_sizes(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      servers[i] = r.u32();
+      piece_sizes[i] = r.u64();
+    }
+    std::vector<std::uint64_t> offsets(n, 0);
+    std::uint64_t total = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      offsets[i] = total;
+      total += piece_sizes[i];
+    }
+
+    // First round: parallel GET fan-out; each piece lands exactly once, at
+    // its final offset in the preallocated output buffer. Pieces that fail
+    // or time out drop into the sequential retry path below.
+    std::vector<RpcNode::PendingCall> gets;
+    gets.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      BufferWriter w;
+      w.u32(id);
+      w.u32(i);
+      gets.push_back(node_->call_tagged(worker_of_server_.at(servers[i]), kGetBlock, w.take()));
+    }
+    std::vector<std::uint8_t> out(total);
+    bool all_ok = true;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::optional<std::vector<std::uint8_t>> bytes;
+      Reply piece_reply;
+      if (gets[i].reply.wait_for(rpc_timeout_) == std::future_status::ready) {
+        piece_reply = gets[i].reply.get();
+      } else {
+        node_->forget(gets[i].request_id);
+        piece_reply.status = Status::kError;
+      }
+      if (piece_reply.ok()) {
+        BufferReader pr(piece_reply.payload);
+        bytes = pr.bytes();
+      } else {
+        ++stats.retries;
+        bytes = fetch_piece(id, i, worker_of_server_.at(servers[i]), pass, stats.retries);
+      }
+      if (!bytes || bytes->size() != piece_sizes[i]) {
+        all_ok = false;
+        error = "piece " + std::to_string(i) + " unfetchable";
+        continue;  // drain the remaining futures so none leak
+      }
+      std::copy(bytes->begin(), bytes->end(),
+                out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+    }
+    if (!all_ok) continue;
+    if (out.size() != size || crc32(out) != file_crc) {
+      error = "whole-file checksum mismatch";
+      continue;
+    }
+    stats.bytes = std::move(out);
+    return stats;
+  }
+  throw std::runtime_error("RpcSpClient::read: " + error + " after " +
+                           std::to_string(retry_.read_attempts) + " attempts");
+}
+
+std::vector<std::uint8_t> RpcSpClient::read(FileId id) { return read_with_stats(id).bytes; }
 
 RpcEcClient::RpcEcClient(Bus& bus, NodeId node_id, NodeId master_node,
                          std::vector<NodeId> worker_of_server, std::size_t k, std::size_t n)

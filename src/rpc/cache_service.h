@@ -8,6 +8,7 @@
 // Node-id convention: master = 0, workers = 1..N, clients >= 1000.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <span>
@@ -16,6 +17,7 @@
 #include "cluster/cache_server.h"
 #include "cluster/master.h"
 #include "erasure/rs_code.h"
+#include "fault/retry.h"
 #include "rpc/bus.h"
 
 namespace spcache::rpc {
@@ -59,31 +61,62 @@ class MasterService {
   std::unique_ptr<RpcNode> node_;
 };
 
+// What an RPC read went through to complete (degraded-read telemetry).
+struct RpcReadStats {
+  std::vector<std::uint8_t> bytes;
+  std::size_t retries = 0;  // per-piece re-GETs plus extra whole-read passes
+  std::size_t passes = 1;   // LOOKUP rounds (>1 ⇒ the layout was re-fetched)
+};
+
 // An SP-Client that speaks only RPC. Reads follow Section 6.1: LOOKUP at
 // the master (which bumps the access count), parallel GETs to the listed
 // workers, client-side reassembly and whole-file CRC verification.
+//
+// Fault tolerance: every GET carries a bounded wait; a timed-out or
+// failed GET is retried with capped exponential backoff + jitter
+// (fault::RetryPolicy), and when a piece stays unfetchable the whole
+// read re-LOOKUPs — picking up any layout the RecoveryManager published
+// while repairing — before trying again. Abandoned GETs are forgotten at
+// the RpcNode, so dropped replies become counted no-ops, not leaks.
 class RpcSpClient {
  public:
   // `worker_of_server[i]` maps cache-server index i to its bus NodeId.
   RpcSpClient(Bus& bus, NodeId node_id, NodeId master_node,
-              std::vector<NodeId> worker_of_server);
+              std::vector<NodeId> worker_of_server,
+              fault::RetryPolicy retry = fault::RetryPolicy{},
+              std::chrono::milliseconds rpc_timeout = std::chrono::milliseconds(1000));
 
   // Split into servers.size() near-equal pieces, PUT them (in parallel,
   // via async calls), then REGISTER the layout. Throws on any RPC failure.
   void write(FileId id, std::span<const std::uint8_t> data,
              const std::vector<std::uint32_t>& servers);
 
-  // LOOKUP + parallel GET + reassemble + verify. Throws std::runtime_error
-  // on unknown file, missing piece, RPC failure, or checksum mismatch.
+  // LOOKUP + parallel GET + reassemble + verify, with the retry/backoff
+  // machinery above. Throws std::runtime_error on unknown file or once
+  // the retry budget is exhausted.
   std::vector<std::uint8_t> read(FileId id);
+
+  // read() plus the retry telemetry.
+  RpcReadStats read_with_stats(FileId id);
 
   // Master-side access count (for tests).
   std::uint64_t access_count(FileId id);
 
+  const fault::RetryPolicy& retry_policy() const { return retry_; }
+  RpcNode& node() { return *node_; }
+
  private:
+  // One bounded-wait GET of piece `i`, including per-piece retries.
+  // Returns the payload or nullopt once the per-piece budget is spent.
+  std::optional<std::vector<std::uint8_t>> fetch_piece(FileId id, std::uint32_t piece,
+                                                       NodeId worker, std::size_t pass,
+                                                       std::size_t& retries);
+
   std::unique_ptr<RpcNode> node_;
   NodeId master_node_;
   std::vector<NodeId> worker_of_server_;
+  fault::RetryPolicy retry_;
+  std::chrono::milliseconds rpc_timeout_;
 };
 
 // An EC-Cache client over the same wire: writes run the real Reed-Solomon

@@ -1,0 +1,228 @@
+// Degraded reads: per-piece retry with backoff, failover to an inline
+// StableStore restore, and the IoResult degradation telemetry — for both
+// the threaded SpClient and the RPC client.
+#include <gtest/gtest.h>
+
+#include "cluster/client.h"
+#include "cluster/stable_store.h"
+#include "core/sp_cache.h"
+#include "fault/fault_injector.h"
+#include "rpc/cache_service.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed * 31 + i * 7);
+  return v;
+}
+
+fault::RetryPolicy fast_retry() {
+  fault::RetryPolicy policy;
+  policy.piece_attempts = 3;
+  policy.read_attempts = 6;
+  policy.base_backoff = std::chrono::microseconds(50);
+  policy.max_backoff = std::chrono::microseconds(500);
+  return policy;
+}
+
+class DegradedReadTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kFiles = 8;
+  static constexpr Bytes kFileSize = 64 * kKB;
+
+  void populate() {
+    auto catalog = make_uniform_catalog(kFiles, kFileSize, 1.05, 10.0);
+    SpCacheScheme sp;
+    sp.place(catalog, cluster_.bandwidths(), rng_);
+    SpClient writer(cluster_, master_, pool_);
+    originals_.resize(kFiles);
+    for (FileId f = 0; f < kFiles; ++f) {
+      originals_[f] = pattern_bytes(kFileSize, f);
+      writer.write(f, originals_[f], sp.placement(f).servers);
+      stable_.checkpoint(f, originals_[f]);
+    }
+  }
+
+  Cluster cluster_{8, gbps(1.0)};
+  Master master_;
+  ThreadPool pool_{4};
+  StableStore stable_;
+  Rng rng_{2026};
+  std::vector<std::vector<std::uint8_t>> originals_;
+};
+
+TEST_F(DegradedReadTest, MissingPieceFailsOverToStable) {
+  populate();
+  SpClient client(cluster_, master_, pool_, &stable_, fast_retry());
+  const auto meta = master_.peek(0);
+  ASSERT_GE(meta->partitions(), 1u);
+  cluster_.server(meta->servers[0]).erase(BlockKey{0, 0});
+
+  const auto result = client.read(0);
+  EXPECT_EQ(result.bytes, originals_[0]);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.degraded_pieces, 1u);
+  EXPECT_GT(result.retries, 0u) << "the missing piece should have been retried before failover";
+  EXPECT_GT(result.network_time, 0.0);
+}
+
+TEST_F(DegradedReadTest, KilledServerFailsOverToStable) {
+  populate();
+  SpClient client(cluster_, master_, pool_, &stable_, fast_retry());
+  const auto meta = master_.peek(1);
+  const std::uint32_t victim = meta->servers[0];
+  cluster_.kill(victim);
+
+  const auto result = client.read(1);
+  EXPECT_EQ(result.bytes, originals_[1]);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_GE(result.degraded_pieces, 1u);
+  cluster_.revive(victim);
+}
+
+TEST_F(DegradedReadTest, DegradedReadPaysStableBandwidth) {
+  populate();
+  SpClient client(cluster_, master_, pool_, &stable_, fast_retry());
+  const auto healthy = client.read(2);
+  ASSERT_FALSE(healthy.degraded);
+
+  const auto meta = master_.peek(2);
+  cluster_.server(meta->servers[0]).erase(BlockKey{2, 0});
+  const auto degraded = client.read(2);
+  ASSERT_TRUE(degraded.degraded);
+  // The stable store is far slower than the cluster network, and a
+  // failover restores the whole file through it.
+  EXPECT_GT(degraded.network_time, healthy.network_time);
+}
+
+TEST_F(DegradedReadTest, WithoutStableStoreThrowsAfterRetries) {
+  populate();
+  SpClient client(cluster_, master_, pool_, nullptr, fast_retry());
+  const auto meta = master_.peek(3);
+  cluster_.server(meta->servers[0]).erase(BlockKey{3, 0});
+  EXPECT_THROW(client.read(3), std::runtime_error);
+}
+
+TEST_F(DegradedReadTest, HealthyReadReportsNoDegradation) {
+  populate();
+  SpClient client(cluster_, master_, pool_, &stable_, fast_retry());
+  const auto result = client.read(4);
+  EXPECT_EQ(result.bytes, originals_[4]);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.degraded_pieces, 0u);
+  EXPECT_EQ(result.retries, 0u);
+}
+
+TEST_F(DegradedReadTest, InjectedFetchFailuresAreRetriedAway) {
+  populate();
+  fault::FaultConfig cfg;
+  cfg.fetch_fail_p = 0.30;
+  fault::FaultInjector injector(1234, cfg);
+  cluster_.set_fault_injector(&injector);
+
+  SpClient client(cluster_, master_, pool_, &stable_, fast_retry());
+  std::size_t retries = 0;
+  for (FileId f = 0; f < kFiles; ++f) {
+    const auto result = client.read(f);
+    EXPECT_EQ(result.bytes, originals_[f]) << "file " << f;
+    retries += result.retries;
+  }
+  EXPECT_GT(retries, 0u) << "a 30% fetch-failure rate must surface as retries";
+  EXPECT_GT(injector.stats().fetch_failures, 0u);
+  cluster_.set_fault_injector(nullptr);
+}
+
+TEST_F(DegradedReadTest, InjectedCorruptionNeverReachesTheCaller) {
+  populate();
+  fault::FaultConfig cfg;
+  cfg.corrupt_read_p = 0.15;
+  fault::FaultInjector injector(77, cfg);
+  cluster_.set_fault_injector(&injector);
+
+  SpClient client(cluster_, master_, pool_, &stable_, fast_retry());
+  for (int round = 0; round < 4; ++round) {
+    for (FileId f = 0; f < kFiles; ++f) {
+      const auto result = client.read(f);
+      // The whole-file CRC catches every injected flip; the read retries
+      // until it passes verification, so the caller only ever sees
+      // bit-exact data.
+      EXPECT_EQ(result.bytes, originals_[f]) << "file " << f;
+    }
+  }
+  EXPECT_GT(injector.stats().corrupt_reads, 0u) << "the corruption site never fired";
+  cluster_.set_fault_injector(nullptr);
+}
+
+TEST_F(DegradedReadTest, HeterogeneousPieceSizesFailOverCorrectly) {
+  // write_sized layouts have unequal pieces; the stable failover must
+  // slice the restored file by the recorded sizes, not an even split.
+  const auto data = pattern_bytes(90 * kKB, 5);
+  SpClient writer(cluster_, master_, pool_);
+  const std::vector<std::uint32_t> servers{0, 1, 2};
+  const std::vector<Bytes> sizes{10 * kKB, 30 * kKB, 50 * kKB};
+  writer.write_sized(99, data, servers, sizes);
+  stable_.checkpoint(99, data);
+
+  cluster_.server(1).erase(BlockKey{99, 1});
+  SpClient client(cluster_, master_, pool_, &stable_, fast_retry());
+  const auto result = client.read(99);
+  EXPECT_EQ(result.bytes, data);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.degraded_pieces, 1u);
+}
+
+TEST(RpcDegradedRead, RetriesRideThroughInjectedBusFaults) {
+  rpc::Bus bus;
+  fault::FaultConfig cfg;
+  cfg.bus_drop_p = 0.05;
+  cfg.bus_duplicate_p = 0.05;
+  cfg.bus_delay_p = 0.10;
+  cfg.bus_delay = std::chrono::microseconds(100);
+  fault::FaultInjector injector(4321, cfg);
+
+  rpc::MasterService master(bus);
+  std::vector<rpc::NodeId> workers;
+  std::vector<std::unique_ptr<rpc::CacheWorkerService>> services;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    services.push_back(std::make_unique<rpc::CacheWorkerService>(
+        bus, rpc::kFirstWorkerNode + s, s, gbps(1.0)));
+    workers.push_back(services.back()->node_id());
+  }
+
+  fault::RetryPolicy retry;
+  retry.piece_attempts = 4;
+  retry.read_attempts = 6;
+  retry.base_backoff = std::chrono::microseconds(100);
+  retry.max_backoff = std::chrono::milliseconds(1);
+  rpc::RpcSpClient client(bus, rpc::kFirstClientNode, rpc::kMasterNode, workers, retry,
+                          std::chrono::milliseconds(100));
+
+  std::vector<std::vector<std::uint8_t>> originals;
+  for (FileId f = 0; f < 6; ++f) {
+    originals.push_back(pattern_bytes(32 * kKB, f));
+    client.write(f, originals.back(), {0, 1, 2, 3});
+  }
+
+  // Chaos on: every envelope may be dropped, delayed, or duplicated.
+  bus.set_fault_injector(&injector);
+  std::size_t total_retries = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (FileId f = 0; f < 6; ++f) {
+      const auto stats = client.read_with_stats(f);
+      EXPECT_EQ(stats.bytes, originals[f]) << "file " << f;
+      total_retries += stats.retries;
+    }
+  }
+  bus.set_fault_injector(nullptr);
+
+  const auto fs = injector.stats();
+  EXPECT_GT(fs.bus_drops + fs.bus_duplicates + fs.bus_delays, 0u);
+  if (fs.bus_drops > 0) {
+    EXPECT_GT(total_retries, 0u) << "dropped envelopes must surface as retries";
+  }
+}
+
+}  // namespace
+}  // namespace spcache

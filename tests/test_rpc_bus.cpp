@@ -130,6 +130,53 @@ TEST(RpcBus, ConcurrentClientsShareOneServer) {
   EXPECT_EQ(handled.load(), kClients * 50);
 }
 
+TEST(RpcBus, TimeoutErasesThePendingSlot) {
+  // A timed-out call_sync must not leak its pending_ entry: the slot is
+  // forgotten on timeout, and the reply that eventually arrives is a
+  // counted no-op instead of a resolve on a dead promise.
+  Bus bus;
+  RpcNode server(bus, 1, "slow");
+  server.handle(1, [](BufferReader&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    return std::vector<std::uint8_t>{};
+  });
+  server.start();
+  RpcNode client(bus, 2, "client");
+  client.start();
+
+  const auto reply = client.call_sync(1, 1, {}, std::chrono::milliseconds(10));
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error_text(), "rpc timeout");
+  EXPECT_EQ(client.pending_calls(), 0u) << "timeout leaked a pending slot";
+
+  // Let the slow handler finish and send its (now unwanted) reply.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(client.late_replies(), 1u) << "the late reply was not counted as a no-op";
+  EXPECT_EQ(client.pending_calls(), 0u);
+
+  // The node is still fully usable after the leak-free timeout.
+  server.handle(2, [](BufferReader&) { return std::vector<std::uint8_t>{1, 2, 3}; });
+  const auto ok = client.call_sync(1, 2, {});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.payload.size(), 3u);
+}
+
+TEST(RpcBus, ForgetIsANoOpOnceTheReplyLanded) {
+  Bus bus;
+  RpcNode server(bus, 1, "echo");
+  server.handle(1, [](BufferReader&) { return std::vector<std::uint8_t>{42}; });
+  server.start();
+  RpcNode client(bus, 2, "client");
+  client.start();
+
+  auto pending = client.call_tagged(1, 1, {});
+  const auto reply = pending.reply.get();  // resolved -> slot already gone
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(client.forget(pending.request_id)) << "forget after resolve must report false";
+  EXPECT_EQ(client.pending_calls(), 0u);
+  EXPECT_EQ(client.late_replies(), 0u);
+}
+
 TEST(RpcBus, NodeDestructionFailsPendingCalls) {
   Bus bus;
   RpcNode client(bus, 2, "client");

@@ -16,7 +16,14 @@ QUICK=0
 # Concurrency-heavy tier: everything that exercises the sharded master,
 # striped stores, thread pool, or the RPC bus — including the
 # test_cluster_concurrency stress test.
-TSAN_FILTER='test_cluster_|test_rpc_|test_common_thread_pool|test_integration'
+TSAN_FILTER='test_cluster_|test_rpc_|test_common_thread_pool|test_integration|test_fault_injector'
+
+# Chaos tier: the seeded fault-injection suite — degraded reads riding
+# through injected failures, and the kill/revive storm whose repairs are
+# driven by the HealthMonitor. Run under TSan so the injector's decision
+# counters, the bus chaos hooks, and the monitor/repair pipeline are
+# checked for races, not just for correctness.
+CHAOS_FILTER='test_fault_injector|test_cluster_degraded_read|test_cluster_chaos'
 
 if [[ "$QUICK" -eq 0 ]]; then
   echo "==> tier-1: release build + full test suite"
@@ -31,5 +38,8 @@ cmake --build --preset tsan -j "$(nproc)"
 
 echo "==> ThreadSanitizer: tier-1 suite (concurrency tier: ${TSAN_FILTER})"
 ctest --preset tsan -R "${TSAN_FILTER}"
+
+echo "==> ThreadSanitizer: chaos stage (${CHAOS_FILTER})"
+ctest --preset tsan -R "${CHAOS_FILTER}"
 
 echo "==> all checks passed"
