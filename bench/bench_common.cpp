@@ -31,11 +31,19 @@ ExperimentResult run_experiment(CachingScheme& scheme, const Catalog& catalog,
 
   ExperimentResult out;
   out.mean = result.mean_latency();
-  out.p95 = result.tail_latency();
   out.cv = result.cv();
   out.imbalance = result.imbalance();
   out.server_loads = result.server_bytes;
   out.latencies = std::move(result.latencies);
+  // Fold the raw latencies into the obs histogram and read the reported
+  // percentiles off its snapshot — one percentile definition across the
+  // benches and the live ClusterObserver.
+  obs::LatencyHistogram hist;
+  for (const double v : out.latencies.values()) hist.record(v);
+  out.latency_hist = hist.snapshot();
+  out.p50 = out.latency_hist.percentile(0.50);
+  out.p95 = out.latency_hist.percentile(0.95);
+  out.p99 = out.latency_hist.percentile(0.99);
   return out;
 }
 
@@ -48,6 +56,14 @@ Seconds sequential_write_latency(const WritePlan& plan, Bandwidth client_link,
   return t;
 }
 
+JsonField text_field(std::string key, std::string text) {
+  JsonField f;
+  f.key = std::move(key);
+  f.text = std::move(text);
+  f.is_text = true;
+  return f;
+}
+
 std::string write_json_report(const std::string& name, const std::vector<JsonRow>& rows) {
   const std::string path = "BENCH_" + name + ".json";
   std::ostringstream out;
@@ -56,7 +72,13 @@ std::string write_json_report(const std::string& name, const std::vector<JsonRow
   for (std::size_t r = 0; r < rows.size(); ++r) {
     out << (r == 0 ? "" : ", ") << "{";
     for (std::size_t f = 0; f < rows[r].size(); ++f) {
-      out << (f == 0 ? "" : ", ") << "\"" << rows[r][f].key << "\": " << rows[r][f].value;
+      const auto& field = rows[r][f];
+      out << (f == 0 ? "" : ", ") << "\"" << field.key << "\": ";
+      if (field.is_text) {
+        out << "\"" << field.text << "\"";
+      } else {
+        out << field.value;
+      }
     }
     out << "}";
   }
@@ -64,6 +86,13 @@ std::string write_json_report(const std::string& name, const std::vector<JsonRow
   std::ofstream file(path);
   file << out.str();
   return path;
+}
+
+void append_percentiles(JsonRow& row, const std::string& prefix,
+                        const obs::HistogramSnapshot& hist, double scale) {
+  row.push_back({prefix + "p50", hist.percentile(0.50) * scale});
+  row.push_back({prefix + "p95", hist.percentile(0.95) * scale});
+  row.push_back({prefix + "p99", hist.percentile(0.99) * scale});
 }
 
 }  // namespace spcache::bench

@@ -15,6 +15,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "core/scheme.h"
+#include "obs/metrics.h"
 #include "sim/simulation.h"
 #include "workload/file_catalog.h"
 
@@ -27,11 +28,17 @@ SimConfig default_sim_config(std::uint64_t seed, Bandwidth link = gbps(1.0));
 
 struct ExperimentResult {
   double mean = 0.0;
+  double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   double cv = 0.0;
   double imbalance = 0.0;
   std::vector<double> server_loads;
   Sample latencies;
+  // The same latencies folded into the obs fixed-geometry histogram; p50/
+  // p95/p99 above are read off this snapshot, so bench percentiles and
+  // ClusterObserver percentiles share one definition.
+  obs::HistogramSnapshot latency_hist;
 };
 
 // Place the scheme on the default cluster and replay `n_requests` Poisson
@@ -50,13 +57,25 @@ Seconds sequential_write_latency(const WritePlan& plan, Bandwidth client_link,
 // the concurrency-scaling numbers) across revisions. Writes
 // `BENCH_<name>.json` in the working directory:
 //   {"bench": "<name>", "rows": [{"k1": v1, "k2": v2, ...}, ...]}
-// Every value is a double; field order within a row is preserved.
+// Values are doubles by default; a field built with text_field() is
+// emitted as a JSON string instead (e.g. a scheme name). Field order
+// within a row is preserved.
 struct JsonField {
   std::string key;
   double value = 0.0;
+  std::string text;       // used iff is_text
+  bool is_text = false;
+  JsonField() = default;
+  JsonField(std::string k, double v) : key(std::move(k)), value(v) {}
 };
+JsonField text_field(std::string key, std::string text);
 using JsonRow = std::vector<JsonField>;
 // Returns the path written.
 std::string write_json_report(const std::string& name, const std::vector<JsonRow>& rows);
+
+// Append "<prefix>p50/p95/p99" fields read off an obs histogram snapshot —
+// the standard way a bench records percentiles in its JSON report.
+void append_percentiles(JsonRow& row, const std::string& prefix,
+                        const obs::HistogramSnapshot& hist, double scale = 1.0);
 
 }  // namespace spcache::bench

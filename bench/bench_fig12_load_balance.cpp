@@ -1,17 +1,35 @@
 // Fig. 12: per-server load distribution under the three load-balancing
 // schemes (Section 7.3).
 //
-// Setup per the paper: 500 x 100 MB files, Zipf 1.05, request rate 18; load
-// measured as total bytes served per cache server. Expected ordering of the
-// imbalance factor eta = (max-avg)/avg:
-//   SP-Cache (~0.18)  <<  EC-Cache (~0.44)  <<  selective replication (~1.18).
+// Two passes:
+//
+//   simulated   the paper-scale setup (500 x 100 MB files, Zipf 1.05,
+//               request rate 18; load = bytes served per cache server).
+//               Expected ordering of the imbalance factor
+//               eta = (max-avg)/avg:
+//                 SP-Cache (~0.18) << EC-Cache (~0.44) << replication (~1.18).
+//
+//   measured    the same experiment on the *threaded* cluster at reduced
+//               scale (real bytes move, so 300 x 64 KB instead of 50 GB):
+//               files are written per the scheme's placement, Poisson
+//               arrivals replayed through an instrumented SpClient, and
+//               the headline numbers — max/mean server load and read
+//               p50/p95/p99 — come straight from a ClusterObserver
+//               snapshot of the obs::MetricsRegistry, not from
+//               recomputed means. BENCH_fig12_load_balance.json carries
+//               one row per scheme.
 #include <algorithm>
 #include <iostream>
 
 #include "bench_common.h"
+#include "cluster/client.h"
+#include "common/thread_pool.h"
 #include "core/ec_cache.h"
 #include "core/selective_replication.h"
+#include "core/simple_partition.h"
 #include "core/sp_cache.h"
+#include "obs/cluster_observer.h"
+#include "workload/arrivals.h"
 
 using namespace spcache;
 using namespace spcache::bench;
@@ -31,6 +49,66 @@ void report(const std::string& name, const ExperimentResult& r, Table& dist, Tab
                 loads[loads.size() / 2] / avg, loads[3 * loads.size() / 4] / avg,
                 loads.back() / avg});
   eta.add_row({name, r.imbalance});
+}
+
+// --- measured pass: the threaded cluster with the obs layer attached ----
+
+constexpr std::size_t kMeasuredServers = 16;
+constexpr std::size_t kMeasuredFiles = 300;
+constexpr Bytes kMeasuredFileBytes = 64 * kKB;
+constexpr std::size_t kMeasuredRequests = 3000;
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed * 31 + i * 7);
+  return v;
+}
+
+// Write every file per the scheme's placement, replay Poisson arrivals
+// through an instrumented client, and return the ClusterObserver stats.
+obs::ClusterStats run_measured(CachingScheme& scheme, const Catalog& catalog,
+                               std::uint64_t seed) {
+  Cluster cluster(kMeasuredServers, gbps(1.0));
+  Master master;
+  ThreadPool pool(4);
+  obs::MetricsRegistry registry;
+
+  Rng place_rng(seed);
+  scheme.place(catalog, cluster.bandwidths(), place_rng);
+
+  SpClient client(cluster, master, pool);
+  for (FileId f = 0; f < kMeasuredFiles; ++f) {
+    const auto& p = scheme.placement(f);
+    // Replicated schemes store copies; the load experiment reads one copy,
+    // so write the first data_pieces worth of the placement.
+    std::vector<std::uint32_t> servers(p.servers.begin(),
+                                       p.servers.begin() + static_cast<long>(p.data_pieces));
+    const auto data = pattern_bytes(kMeasuredFileBytes, f);
+    if (servers.size() == p.data_pieces && p.piece_bytes.size() >= p.data_pieces) {
+      std::vector<Bytes> sizes(p.piece_bytes.begin(),
+                               p.piece_bytes.begin() + static_cast<long>(p.data_pieces));
+      Bytes sum = 0;
+      for (Bytes b : sizes) sum += b;
+      if (sum == data.size()) {
+        client.write_sized(f, data, servers, sizes);
+        continue;
+      }
+    }
+    client.write(f, data, servers);
+  }
+
+  // Instrument after the writes: the measured load is read traffic only.
+  cluster.attach_observability(&registry);
+  master.attach_observability(&registry);
+  client.attach_observability(&registry);
+  cluster.reset_load_counters();
+
+  Rng arrival_rng(seed + 1);
+  const auto arrivals = generate_poisson_arrivals(catalog, kMeasuredRequests, arrival_rng);
+  for (const auto& a : arrivals) (void)client.read(a.file);
+
+  obs::ClusterObserver observer(registry);
+  return observer.collect(cluster.served_bytes());
 }
 
 }  // namespace
@@ -58,5 +136,41 @@ int main() {
   eta.print(std::cout);
   std::cout << "\nPaper anchors: eta ~ 0.18 (SP) vs 0.44 (EC) vs 1.18 (replication) —\n"
                "SP-Cache balances best, replication worst.\n";
+
+  // --- measured pass on the threaded cluster ---------------------------
+  const auto measured_cat =
+      make_uniform_catalog(kMeasuredFiles, kMeasuredFileBytes, 1.05, 18.0);
+
+  Table measured({"scheme", "load_max/mean", "eta", "read_p50_us", "read_p95_us",
+                  "read_p99_us", "hit_ratio"});
+  std::vector<JsonRow> rows;
+  struct Entry {
+    std::string label;
+    CachingScheme* scheme;
+  };
+  SpCacheScheme sp_measured;
+  SimplePartitionScheme stock(1);  // stock, no-partition layout
+  for (const Entry& e : {Entry{"SP-Cache", &sp_measured}, Entry{"Stock", &stock}}) {
+    const auto stats = run_measured(*e.scheme, measured_cat, 7112);
+    measured.add_row({e.label, stats.load_imbalance, stats.load_eta, stats.read_p50_s * 1e6,
+                      stats.read_p95_s * 1e6, stats.read_p99_s * 1e6, stats.hit_ratio});
+    JsonRow row;
+    row.push_back(text_field("scheme", e.label));
+    row.push_back({"load_max", stats.load_max});
+    row.push_back({"load_mean", stats.load_mean});
+    row.push_back({"imbalance_max_over_mean", stats.load_imbalance});
+    row.push_back({"eta", stats.load_eta});
+    row.push_back({"reads", static_cast<double>(stats.reads)});
+    append_percentiles(row, "read_s_", stats.read_latency);
+    row.push_back({"hit_ratio", stats.hit_ratio});
+    rows.push_back(std::move(row));
+  }
+  std::cout << "\nMeasured on the threaded cluster (" << kMeasuredServers << " servers, "
+            << kMeasuredFiles << " x " << kMeasuredFileBytes / kKB
+            << " KB, ClusterObserver snapshot):\n";
+  measured.print(std::cout);
+
+  const auto path = write_json_report("fig12_load_balance", rows);
+  std::cout << "\nwrote " << path << "\n";
   return 0;
 }

@@ -20,12 +20,16 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "bench_common.h"
 #include "cluster/client.h"
 #include "cluster/health_monitor.h"
 #include "cluster/stable_store.h"
 #include "common/table.h"
 #include "core/sp_cache.h"
+#include "obs/cluster_observer.h"
+#include "obs/trace.h"
 
 namespace spcache::bench {
 namespace {
@@ -46,11 +50,15 @@ struct ReadSample {
   double wall_ms = 0.0;      // mean wall-clock per read
   double modelled_ms = 0.0;  // mean modelled network time per read
   double degraded_frac = 0.0;
+  // Per-phase wall-latency percentiles: the delta between the registry's
+  // "client.read_s" histogram before and after this phase's reads.
+  obs::HistogramSnapshot latency;
 };
 
-ReadSample read_all(SpClient& client) {
+ReadSample read_all(SpClient& client, const obs::MetricsRegistry& registry) {
   ReadSample s;
   std::size_t degraded = 0;
+  const auto before = registry.snapshot();
   const auto t0 = Clock::now();
   for (FileId f = 0; f < kFiles; ++f) {
     const auto result = client.read(f);
@@ -58,6 +66,10 @@ ReadSample read_all(SpClient& client) {
     if (result.degraded) ++degraded;
   }
   const std::chrono::duration<double, std::milli> wall = Clock::now() - t0;
+  const auto after = registry.snapshot();
+  const auto* h0 = before.histogram_named(obs::names::kClientReadLatency);
+  const auto* h1 = after.histogram_named(obs::names::kClientReadLatency);
+  if (h1) s.latency = h0 ? h1->minus(*h0) : *h1;
   s.wall_ms = wall.count() / static_cast<double>(kFiles);
   s.modelled_ms /= static_cast<double>(kFiles);
   s.degraded_frac = static_cast<double>(degraded) / static_cast<double>(kFiles);
@@ -81,6 +93,8 @@ int main() {
   ThreadPool pool(4);
   StableStore stable;  // 400 Mbps restore path
   Rng rng(8080);
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder trace;
 
   auto catalog = make_uniform_catalog(kFiles, kFileBytes, 1.05, 10.0);
   SpCacheScheme sp;
@@ -98,18 +112,25 @@ int main() {
   retry.max_backoff = std::chrono::microseconds(400);
   SpClient client(cluster, master, pool, &stable, retry);
 
+  // Instrument the whole pipeline; per-phase latency comes from snapshot
+  // deltas, repair spans from the monitor's detect-to-repair histogram.
+  cluster.attach_observability(&registry);
+  master.attach_observability(&registry);
+  client.attach_observability(&registry, &trace);
+
   // --- healthy baseline -------------------------------------------------
-  const auto healthy = read_all(client);
+  const auto healthy = read_all(client, registry);
 
   // --- degraded: every file loses one piece ----------------------------
   for (FileId f = 0; f < kFiles; ++f) {
     const auto meta = master.peek(f);
     cluster.server(meta->servers[0]).erase(BlockKey{f, 0});
   }
-  const auto degraded = read_all(client);
+  const auto degraded = read_all(client, registry);
 
   // Heal the self-inflicted losses before the server-kill experiment.
   RecoveryManager recovery(cluster, master, stable);
+  recovery.attach_observability(&registry);
   for (FileId f = 0; f < kFiles; ++f) (void)recovery.repair_file(f);
 
   // --- repair: kill a server, let the monitor heal the cluster ---------
@@ -117,6 +138,7 @@ int main() {
   mon_cfg.heartbeat_interval = std::chrono::milliseconds(1);
   mon_cfg.missed_beats_to_declare_dead = 3;
   HealthMonitor monitor(cluster, recovery, mon_cfg);
+  monitor.attach_observability(&registry, &trace);
   monitor.start();
 
   // Kill the server carrying the most bytes so the repair has real work.
@@ -138,39 +160,70 @@ int main() {
   const auto hs = monitor.stats();
   monitor.stop();
 
-  const auto healed = read_all(client);
+  const auto healed = read_all(client, registry);
 
-  Table t({"phase", "wall_ms_per_read", "modelled_ms_per_read", "degraded_frac"});
-  t.add_row({std::string("healthy"), healthy.wall_ms, healthy.modelled_ms,
-             healthy.degraded_frac});
-  t.add_row({std::string("degraded"), degraded.wall_ms, degraded.modelled_ms,
-             degraded.degraded_frac});
-  t.add_row({std::string("post_repair"), healed.wall_ms, healed.modelled_ms,
-             healed.degraded_frac});
+  Table t({"phase", "wall_ms_per_read", "p50_ms", "p95_ms", "p99_ms",
+           "modelled_ms_per_read", "degraded_frac"});
+  const auto phase_row = [&t](const char* name, const ReadSample& s) {
+    t.add_row({std::string(name), s.wall_ms, s.latency.percentile(0.50) * 1e3,
+               s.latency.percentile(0.95) * 1e3, s.latency.percentile(0.99) * 1e3,
+               s.modelled_ms, s.degraded_frac});
+  };
+  phase_row("healthy", healthy);
+  phase_row("degraded", degraded);
+  phase_row("post_repair", healed);
   t.print(std::cout);
+
+  // Observer-reported repair span: heartbeat-declared death to repair done,
+  // straight off the monitor's detect-to-repair histogram.
+  const auto final_snapshot = registry.snapshot();
+  double span_p50_ms = 0.0, span_max_ms = 0.0;
+  if (const auto* span = final_snapshot.histogram_named(obs::names::kMonitorRepairSpan)) {
+    span_p50_ms = span->percentile(0.50) * 1e3;
+    span_max_ms = span->percentile(1.0) * 1e3;
+  }
 
   std::cout << "\nself-healing repair after killing the most-loaded server:\n"
             << "  wall time (kill -> all healthy): " << repair_wall.count() << " ms\n"
+            << "  detect-to-repair span (p50/max): " << span_p50_ms << " / " << span_max_ms
+            << " ms\n"
             << "  pieces recovered:                " << hs.pieces_recovered << "\n"
             << "  modelled repair time:            " << hs.modelled_repair_time * 1e3
             << " ms\n"
             << "  degraded read penalty:           "
             << degraded.modelled_ms / healthy.modelled_ms << "x modelled, "
-            << degraded.wall_ms / healthy.wall_ms << "x wall\n";
+            << degraded.wall_ms / healthy.wall_ms << "x wall\n"
+            << "  trace events recorded:           " << trace.recorded() << " (dropped "
+            << trace.dropped() << ")\n";
 
   std::vector<JsonRow> rows;
-  rows.push_back(JsonRow{{"healthy_wall_ms", healthy.wall_ms},
-                         {"healthy_modelled_ms", healthy.modelled_ms},
-                         {"degraded_wall_ms", degraded.wall_ms},
-                         {"degraded_modelled_ms", degraded.modelled_ms},
-                         {"degraded_frac", degraded.degraded_frac},
-                         {"post_repair_wall_ms", healed.wall_ms},
-                         {"post_repair_modelled_ms", healed.modelled_ms},
-                         {"repair_wall_ms", repair_wall.count()},
-                         {"repair_modelled_ms", hs.modelled_repair_time * 1e3},
-                         {"pieces_recovered", static_cast<double>(hs.pieces_recovered)},
-                         {"deaths_declared", static_cast<double>(hs.deaths_declared)}});
+  JsonRow row{{"healthy_wall_ms", healthy.wall_ms},
+              {"healthy_modelled_ms", healthy.modelled_ms},
+              {"degraded_wall_ms", degraded.wall_ms},
+              {"degraded_modelled_ms", degraded.modelled_ms},
+              {"degraded_frac", degraded.degraded_frac},
+              {"post_repair_wall_ms", healed.wall_ms},
+              {"post_repair_modelled_ms", healed.modelled_ms},
+              {"repair_wall_ms", repair_wall.count()},
+              {"repair_span_p50_ms", span_p50_ms},
+              {"repair_span_max_ms", span_max_ms},
+              {"repair_modelled_ms", hs.modelled_repair_time * 1e3},
+              {"pieces_recovered", static_cast<double>(hs.pieces_recovered)},
+              {"deaths_declared", static_cast<double>(hs.deaths_declared)}};
+  append_percentiles(row, "healthy_read_ms_", healthy.latency, 1e3);
+  append_percentiles(row, "degraded_read_ms_", degraded.latency, 1e3);
+  append_percentiles(row, "post_repair_read_ms_", healed.latency, 1e3);
+  rows.push_back(std::move(row));
   const auto path = write_json_report("recovery", rows);
   std::cout << "\nwrote " << path << "\n";
+
+  // Full cluster snapshot + recent trace tail for post-mortem inspection
+  // (the README's "dump a metrics snapshot after a chaos run" example).
+  obs::ClusterObserver observer(registry);
+  const auto stats = observer.collect(cluster.served_bytes());
+  std::ofstream dump("BENCH_recovery_observer.json");
+  dump << "{\"cluster\": " << obs::ClusterObserver::to_json(stats)
+       << ", \"trace\": " << trace.to_json(64) << "}\n";
+  std::cout << "wrote BENCH_recovery_observer.json\n";
   return 0;
 }

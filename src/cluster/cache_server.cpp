@@ -1,16 +1,63 @@
 #include "cluster/cache_server.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <string>
 
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
 
 namespace spcache {
+
+namespace {
+
+// Times one request and records service time + in-flight depth on exit —
+// including the throwing exits, so error paths are measured too.
+class ServeScope {
+ public:
+  explicit ServeScope(const CacheServer::ObsProbes* probes) : probes_(probes) {
+    if (probes_ == nullptr) return;
+    probes_->in_flight->add(1);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~ServeScope() {
+    if (probes_ == nullptr) return;
+    probes_->in_flight->sub(1);
+    probes_->service->record(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count());
+  }
+
+ private:
+  const CacheServer::ObsProbes* probes_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace
 
 CacheServer::CacheServer(std::uint32_t id, Bandwidth bandwidth)
     : id_(id), bandwidth_(bandwidth) {}
 
+void CacheServer::attach_observability(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    probes_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  namespace n = obs::names;
+  auto probes = std::make_unique<ObsProbes>();
+  probes->gets = &registry->counter(n::server_metric(id_, n::kServerGets));
+  probes->misses = &registry->counter(n::server_metric(id_, n::kServerMisses));
+  probes->errors = &registry->counter(n::server_metric(id_, n::kServerErrors));
+  probes->puts = &registry->counter(n::server_metric(id_, n::kServerPuts));
+  probes->service = &registry->histogram(n::server_metric(id_, n::kServerServiceTime));
+  probes->in_flight = &registry->gauge(n::server_metric(id_, n::kServerInFlight));
+  probes_storage_ = std::move(probes);
+  probes_.store(probes_storage_.get(), std::memory_order_release);
+}
+
 void CacheServer::put(BlockKey key, std::vector<std::uint8_t> bytes) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  ServeScope scope(probes);
+  if (probes) probes->puts->add(1);
   if (!alive()) {
     throw std::runtime_error("CacheServer::put: server " + std::to_string(id_) + " is down");
   }
@@ -32,11 +79,18 @@ void CacheServer::put(BlockKey key, std::vector<std::uint8_t> bytes) {
 }
 
 BlockRef CacheServer::get(const BlockKey& key) const {
+  // Probes are loaded before the alive-check so requests against a dead
+  // server still count as attempts (and as errors).
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  ServeScope scope(probes);
+  if (probes) probes->gets->add(1);
   if (!alive()) {
+    if (probes) probes->errors->add(1);
     throw std::runtime_error("CacheServer::get: server " + std::to_string(id_) + " is down");
   }
   auto* injector = injector_.load(std::memory_order_acquire);
   if (injector && injector->fail_fetch(id_)) {
+    if (probes) probes->errors->add(1);
     throw std::runtime_error("CacheServer::get: injected fetch failure (server " +
                              std::to_string(id_) + ")");
   }
@@ -45,7 +99,10 @@ BlockRef CacheServer::get(const BlockKey& key) const {
     auto& stripe = stripe_for(key);
     std::lock_guard lock(stripe.mu);
     const auto it = stripe.blocks.find(key);
-    if (it == stripe.blocks.end()) return nullptr;
+    if (it == stripe.blocks.end()) {
+      if (probes) probes->misses->add(1);
+      return nullptr;
+    }
     block = it->second;
   }
   bytes_served_.fetch_add(block->bytes.size(), std::memory_order_relaxed);
@@ -61,6 +118,7 @@ BlockRef CacheServer::get(const BlockKey& key) const {
   // a read and must not serialize the stripe. The block is immutable once
   // published, so the check is race-free.
   if (crc32(block->bytes) != block->crc) {
+    if (probes) probes->errors->add(1);
     throw std::runtime_error("CacheServer::get: checksum mismatch (corrupted block)");
   }
   return block;
@@ -197,6 +255,10 @@ std::size_t Cluster::alive_count() const {
 
 void Cluster::set_fault_injector(fault::FaultInjector* injector) {
   for (auto& s : servers_) s->set_fault_injector(injector);
+}
+
+void Cluster::attach_observability(obs::MetricsRegistry* registry) {
+  for (auto& s : servers_) s->attach_observability(registry);
 }
 
 }  // namespace spcache

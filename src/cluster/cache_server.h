@@ -36,6 +36,14 @@ namespace spcache::fault {
 class FaultInjector;
 }  // namespace spcache::fault
 
+namespace spcache::obs {
+class Counter;
+class Gauge;
+class LatencyHistogram;
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace spcache::obs
+
 namespace spcache {
 
 using PieceIndex = std::uint32_t;
@@ -107,6 +115,25 @@ class CacheServer {
     injector_.store(injector, std::memory_order_release);
   }
 
+  // --- Observability (src/obs) ----------------------------------------
+  // Resolve this server's metrics ("server.<id>.gets|misses|get_errors|
+  // puts|service_s|in_flight") in `registry` once and start recording
+  // per-request service time, outcome counts, and in-flight depth.
+  // Detached (the default) the hot path pays one relaxed pointer load and
+  // a branch — nothing else. Pass nullptr to detach again.
+  void attach_observability(obs::MetricsRegistry* registry);
+
+  // Metric handles resolved at attach time so recording is free of any
+  // name lookup or registry lock (public for the .cpp's timing scope).
+  struct ObsProbes {
+    obs::Counter* gets = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* puts = nullptr;
+    obs::LatencyHistogram* service = nullptr;
+    obs::Gauge* in_flight = nullptr;
+  };
+
   // Metadata-only rename of a stored block (no byte movement) — used by the
   // online partition adjuster when piece indices shift after a local
   // split/merge. Returns false if `from` is absent; overwrites `to`.
@@ -139,6 +166,8 @@ class CacheServer {
   mutable std::atomic<std::uint64_t> bytes_served_{0};
   std::atomic<bool> alive_{true};
   std::atomic<fault::FaultInjector*> injector_{nullptr};
+  std::unique_ptr<ObsProbes> probes_storage_;
+  mutable std::atomic<ObsProbes*> probes_{nullptr};
 };
 
 // A fixed-size fleet of cache servers.
@@ -159,6 +188,9 @@ class Cluster {
 
   // Install (or clear, with nullptr) the chaos hook on every server.
   void set_fault_injector(fault::FaultInjector* injector);
+
+  // Attach (or detach, with nullptr) per-server metrics on every server.
+  void attach_observability(obs::MetricsRegistry* registry);
 
   std::vector<Bandwidth> bandwidths() const;
   // Per-server cumulative outbound bytes.

@@ -8,6 +8,8 @@
 
 #include "cluster/stable_store.h"
 #include "common/hash_mix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spcache {
 
@@ -99,8 +101,10 @@ IoResult SpClient::write(FileId id, std::span<const std::uint8_t> data,
 // pieces stayed unfetchable with no usable stable copy, or the end-to-end
 // CRC failed (racing repartition, injected wire flip) — both heal on a
 // later pass once the layout settles or the flip doesn't recur.
-bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, IoResult& result,
-                         std::string& error) {
+bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, std::uint64_t op,
+                         IoResult& result, std::string& error) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
   const std::size_t k = meta.partitions();
   std::vector<Bytes> offsets(k, 0);
   Bytes total = 0;
@@ -124,6 +128,11 @@ bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, IoRe
           std::copy(block->bytes.begin(), block->bytes.end(),
                     result.bytes.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
           fetched[i] = 1;
+          if (trace) {
+            trace->record(obs::TraceKind::kPieceFetch, op, id, meta.servers[i],
+                          static_cast<std::uint32_t>(i),
+                          static_cast<double>(meta.piece_sizes[i]));
+          }
           return;
         }
       } catch (const std::exception&) {
@@ -132,6 +141,10 @@ bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, IoRe
       }
       if (attempt < retry_.piece_attempts) {
         refetches.fetch_add(1, std::memory_order_relaxed);
+        if (trace) {
+          trace->record(obs::TraceKind::kPieceRetry, op, id, meta.servers[i],
+                        static_cast<std::uint32_t>(i), static_cast<double>(attempt));
+        }
         fault::backoff_sleep(retry_, attempt,
                              mix64((static_cast<std::uint64_t>(id) << 20) ^ (i << 4) ^ pass));
       }
@@ -157,6 +170,10 @@ bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, IoRe
                     bytes->begin() + static_cast<std::ptrdiff_t>(offsets[i] + meta.piece_sizes[i]),
                     result.bytes.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
           ++degraded;
+          if (trace) {
+            trace->record(obs::TraceKind::kPieceDegraded, op, id, meta.servers[i],
+                          static_cast<std::uint32_t>(i));
+          }
         }
         restored = true;
       }
@@ -193,19 +210,70 @@ bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, IoRe
 }
 
 IoResult SpClient::read(FileId id) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
+  const std::uint64_t op = trace ? trace->begin_op() : 0;
+  if (trace) trace->record(obs::TraceKind::kReadStart, op, id);
+  const auto start = std::chrono::steady_clock::now();
+
   IoResult result;
   std::string error = "unknown file";
   for (std::size_t pass = 1; pass <= retry_.read_attempts; ++pass) {
     if (pass > 1) {
       ++result.retries;
+      if (trace) {
+        trace->record(obs::TraceKind::kReadRepeatPass, op, id, 0, 0,
+                      static_cast<double>(pass));
+      }
       fault::backoff_sleep(retry_, pass, mix64(static_cast<std::uint64_t>(id) * 0x51ed) ^ pass);
     }
     const auto meta = master_.lookup_for_read(id);
-    if (!meta) throw std::runtime_error("SpClient::read: unknown file");
-    if (read_pass(id, *meta, pass, result, error)) return result;
+    if (!meta) {
+      if (probes) probes->read_failures->add(1);
+      if (trace) trace->record(obs::TraceKind::kReadFailed, op, id);
+      throw std::runtime_error("SpClient::read: unknown file");
+    }
+    if (read_pass(id, *meta, pass, op, result, error)) {
+      if (probes) {
+        const double wall = elapsed_seconds(start);
+        probes->reads->add(1);
+        probes->retries->add(result.retries);
+        if (result.degraded) probes->degraded_reads->add(1);
+        probes->degraded_pieces->add(result.degraded_pieces);
+        probes->read_wall->record(wall);
+        probes->read_model->record(result.network_time + result.compute_time);
+        if (trace) trace->record(obs::TraceKind::kReadDone, op, id, 0, 0, wall);
+      }
+      return result;
+    }
+  }
+  if (probes) {
+    probes->read_failures->add(1);
+    probes->retries->add(result.retries);
+    if (trace) trace->record(obs::TraceKind::kReadFailed, op, id);
   }
   throw std::runtime_error("SpClient::read: " + error + " after " +
                            std::to_string(retry_.read_attempts) + " attempts");
+}
+
+void SpClient::attach_observability(obs::MetricsRegistry* registry,
+                                    obs::TraceRecorder* trace) {
+  if (registry == nullptr) {
+    probes_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  namespace n = obs::names;
+  auto probes = std::make_unique<ObsProbes>();
+  probes->reads = &registry->counter(n::kClientReads);
+  probes->read_failures = &registry->counter(n::kClientReadFailures);
+  probes->retries = &registry->counter(n::kClientRetries);
+  probes->degraded_reads = &registry->counter(n::kClientDegradedReads);
+  probes->degraded_pieces = &registry->counter(n::kClientDegradedPieces);
+  probes->read_wall = &registry->histogram(n::kClientReadLatency);
+  probes->read_model = &registry->histogram(n::kClientReadModelled);
+  probes->trace = trace;
+  probes_storage_ = std::move(probes);
+  probes_.store(probes_storage_.get(), std::memory_order_release);
 }
 
 EcClient::EcClient(Cluster& cluster, Master& master, ThreadPool& pool, std::size_t k,

@@ -30,7 +30,9 @@
 // degraded.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -88,12 +90,36 @@ class SpClient {
 
   const fault::RetryPolicy& retry_policy() const { return retry_; }
 
+  // --- Observability (src/obs) ----------------------------------------
+  // Resolve the shared "client.*" metrics in `registry` once and start
+  // recording end-to-end read latency (wall + modelled), outcome counters,
+  // and — when `trace` is non-null — per-op structured events:
+  // kReadStart/kReadDone/kReadFailed/kReadRepeatPass at the read level and
+  // kPieceFetch/kPieceRetry/kPieceDegraded per piece. The event counts
+  // mirror IoResult exactly: #kPieceRetry + #kReadRepeatPass == retries,
+  // #kPieceDegraded == degraded_pieces (the trace-completeness test pins
+  // this). Detached (default): one relaxed pointer load + branch.
+  void attach_observability(obs::MetricsRegistry* registry,
+                            obs::TraceRecorder* trace = nullptr);
+
+  struct ObsProbes {
+    obs::Counter* reads = nullptr;
+    obs::Counter* read_failures = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* degraded_reads = nullptr;
+    obs::Counter* degraded_pieces = nullptr;
+    obs::LatencyHistogram* read_wall = nullptr;
+    obs::LatencyHistogram* read_model = nullptr;
+    obs::TraceRecorder* trace = nullptr;  // may stay null (metrics only)
+  };
+
  private:
   // One full read pass against a freshly fetched layout. Returns true on
   // success; false means retryable failure (missing pieces without a
-  // usable stable copy, or a whole-file checksum mismatch).
-  bool read_pass(FileId id, const FileMeta& meta, std::size_t pass, IoResult& result,
-                 std::string& error);
+  // usable stable copy, or a whole-file checksum mismatch). `op` is the
+  // trace op-id of the enclosing read (0 when tracing is detached).
+  bool read_pass(FileId id, const FileMeta& meta, std::size_t pass, std::uint64_t op,
+                 IoResult& result, std::string& error);
 
   Cluster& cluster_;
   Master& master_;
@@ -101,6 +127,8 @@ class SpClient {
   StableStore* stable_ = nullptr;
   fault::RetryPolicy retry_;
   GoodputModel goodput_;
+  std::unique_ptr<ObsProbes> probes_storage_;
+  std::atomic<ObsProbes*> probes_{nullptr};
 };
 
 class EcClient {

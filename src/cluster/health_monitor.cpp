@@ -1,6 +1,8 @@
 #include "cluster/health_monitor.h"
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spcache {
 
@@ -42,6 +44,8 @@ void HealthMonitor::loop() {
 }
 
 void HealthMonitor::heartbeat_round() {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
   // The heartbeat is the liveness probe of the real deployment: a live
   // server answers, a crashed one stays silent. Collect the deaths to
   // declare first, run the (slow) repairs outside the state lock.
@@ -53,6 +57,9 @@ void HealthMonitor::heartbeat_round() {
       if (cluster_.is_alive(s)) {
         if (state.declared_dead) {
           ++stats_.revivals_observed;
+          if (trace) {
+            trace->record(obs::TraceKind::kServerRejoined, 0, 0, static_cast<std::uint32_t>(s));
+          }
           SPCACHE_LOG(kInfo) << "health: server " << s << " rejoined (empty)";
         }
         state.missed = 0;
@@ -70,12 +77,24 @@ void HealthMonitor::heartbeat_round() {
   }
 
   for (const std::uint32_t s : newly_dead) {
+    // The detection timestamp anchors the detection-to-repaired span.
+    const auto declared_at = std::chrono::steady_clock::now();
+    if (probes) probes->deaths->add(1);
+    if (trace) trace->record(obs::TraceKind::kServerDeclaredDead, 0, 0, s);
     SPCACHE_LOG(kWarn) << "health: server " << s << " missed "
                        << config_.missed_beats_to_declare_dead << " beats — declared dead";
     if (!config_.auto_repair) continue;
     repair_in_flight_.store(true, std::memory_order_release);
+    if (trace) trace->record(obs::TraceKind::kRepairStart, 0, 0, s);
     try {
       const auto stats = recovery_.repair_after_server_loss(s);
+      const double span =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - declared_at).count();
+      if (probes) {
+        probes->repairs->add(1);
+        probes->repair_span->record(span);
+      }
+      if (trace) trace->record(obs::TraceKind::kRepairDone, 0, 0, s, 0, span);
       std::lock_guard lock(mu_);
       ++stats_.repairs_completed;
       stats_.pieces_recovered += stats.pieces_recovered;
@@ -88,6 +107,22 @@ void HealthMonitor::heartbeat_round() {
     }
     repair_in_flight_.store(false, std::memory_order_release);
   }
+}
+
+void HealthMonitor::attach_observability(obs::MetricsRegistry* registry,
+                                         obs::TraceRecorder* trace) {
+  if (registry == nullptr) {
+    probes_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  namespace n = obs::names;
+  auto probes = std::make_unique<ObsProbes>();
+  probes->deaths = &registry->counter(n::kMonitorDeaths);
+  probes->repairs = &registry->counter(n::kMonitorRepairs);
+  probes->repair_span = &registry->histogram(n::kMonitorRepairSpan);
+  probes->trace = trace;
+  probes_storage_ = std::move(probes);
+  probes_.store(probes_storage_.get(), std::memory_order_release);
 }
 
 HealthStats HealthMonitor::stats() const {

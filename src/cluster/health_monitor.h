@@ -18,6 +18,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -66,6 +67,23 @@ class HealthMonitor {
   // Poll until all_healthy() (true) or the deadline passes (false).
   bool wait_all_healthy(std::chrono::milliseconds timeout) const;
 
+  // --- Observability (src/obs) ----------------------------------------
+  // Resolve "monitor.deaths_declared|repairs_completed|detect_to_repair_s"
+  // in `registry` once; with `trace` non-null each declaration/repair also
+  // records kServerDeclaredDead/kServerRejoined/kRepairStart/kRepairDone
+  // events. The detect_to_repair_s histogram measures the wall span from
+  // declaring a server dead to its repair completing — the paper's
+  // detection-to-repaired recovery window. Detached by default.
+  void attach_observability(obs::MetricsRegistry* registry,
+                            obs::TraceRecorder* trace = nullptr);
+
+  struct ObsProbes {
+    obs::Counter* deaths = nullptr;
+    obs::Counter* repairs = nullptr;
+    obs::LatencyHistogram* repair_span = nullptr;
+    obs::TraceRecorder* trace = nullptr;
+  };
+
  private:
   void loop();
   void heartbeat_round();
@@ -89,6 +107,8 @@ class HealthMonitor {
   std::condition_variable wake_cv_;
   bool stop_requested_ = false;
   std::thread thread_;
+  std::unique_ptr<ObsProbes> probes_storage_;
+  std::atomic<ObsProbes*> probes_{nullptr};
 };
 
 }  // namespace spcache

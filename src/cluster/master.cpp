@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/hash_mix.h"
+#include "obs/metrics.h"
 
 namespace spcache {
 
@@ -26,6 +28,9 @@ void Master::register_file(FileId id, FileMeta meta) {
 
 void Master::update_file(FileId id, FileMeta meta) {
   assert(meta.servers.size() == meta.piece_sizes.size());
+  if (const auto* probes = probes_.load(std::memory_order_acquire)) {
+    probes->updates->add(1);
+  }
   auto& shard = shard_for(id);
   std::unique_lock lock(shard.mu);
   const auto it = shard.files.find(id);
@@ -40,12 +45,36 @@ bool Master::remove_file(FileId id) {
 }
 
 std::optional<FileMeta> Master::lookup_for_read(FileId id) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  if (probes == nullptr) {
+    // Uninstrumented fast path: identical to the pre-observability code.
+    auto& shard = shard_for(id);
+    std::shared_lock lock(shard.mu);
+    const auto it = shard.files.find(id);
+    if (it == shard.files.end()) return std::nullopt;
+    it->second->access_count.fetch_add(1, std::memory_order_relaxed);
+    return it->second->meta;
+  }
+  probes->lookups->add(1);
+  const auto start = std::chrono::steady_clock::now();
   auto& shard = shard_for(id);
-  std::shared_lock lock(shard.mu);
+  // try_lock first purely to observe contention; on failure fall back to
+  // the normal blocking acquire and count the stall.
+  std::shared_lock lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    probes->contention->add(1);
+    lock.lock();
+  }
+  std::optional<FileMeta> out;
   const auto it = shard.files.find(id);
-  if (it == shard.files.end()) return std::nullopt;
-  it->second->access_count.fetch_add(1, std::memory_order_relaxed);
-  return it->second->meta;
+  if (it != shard.files.end()) {
+    it->second->access_count.fetch_add(1, std::memory_order_relaxed);
+    out = it->second->meta;
+  }
+  lock.unlock();
+  probes->lookup_latency->record(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+  return out;
 }
 
 std::optional<FileMeta> Master::peek(FileId id) const {
@@ -119,6 +148,21 @@ Catalog Master::snapshot_catalog(Seconds window, double min_rate) const {
     infos[r.id].request_rate = std::max(min_rate, static_cast<double>(r.count) / window);
   }
   return Catalog(std::move(infos));
+}
+
+void Master::attach_observability(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    probes_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  namespace n = obs::names;
+  auto probes = std::make_unique<ObsProbes>();
+  probes->lookups = &registry->counter(n::kMasterLookups);
+  probes->updates = &registry->counter(n::kMasterUpdates);
+  probes->contention = &registry->counter(n::kMasterShardContention);
+  probes->lookup_latency = &registry->histogram(n::kMasterLookupLatency);
+  probes_storage_ = std::move(probes);
+  probes_.store(probes_storage_.get(), std::memory_order_release);
 }
 
 Master::FileGuard Master::lock_file(FileId id) {

@@ -41,6 +41,12 @@
 #include "common/units.h"
 #include "workload/file_catalog.h"
 
+namespace spcache::obs {
+class Counter;
+class LatencyHistogram;
+class MetricsRegistry;
+}  // namespace spcache::obs
+
 namespace spcache {
 
 struct FileMeta {
@@ -110,6 +116,21 @@ class Master {
   };
   FileGuard lock_file(FileId id);
 
+  // --- Observability (src/obs) ----------------------------------------
+  // Resolve "master.lookups|updates|shard_contention|lookup_s" in
+  // `registry` once and start recording lookup latency, mutation counts,
+  // and shard-lock contention (lookups that found their shard's shared
+  // lock busy). Detached (the default) the hot path pays one relaxed
+  // pointer load and a branch. Pass nullptr to detach.
+  void attach_observability(obs::MetricsRegistry* registry);
+
+  struct ObsProbes {
+    obs::Counter* lookups = nullptr;
+    obs::Counter* updates = nullptr;
+    obs::Counter* contention = nullptr;
+    obs::LatencyHistogram* lookup_latency = nullptr;
+  };
+
  private:
   struct Shard {
     mutable std::shared_mutex mu;
@@ -120,6 +141,8 @@ class Master {
   const Shard& shard_for(FileId id) const;
 
   std::array<Shard, kShards> shards_;
+  std::unique_ptr<ObsProbes> probes_storage_;
+  std::atomic<ObsProbes*> probes_{nullptr};
 };
 
 // One file's master-side state. Entries are heap-allocated and shared so

@@ -7,12 +7,52 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include <chrono>
+
 #include "common/log.h"
 #include "erasure/rs_code.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spcache {
 
 namespace {
+
+// Brackets one repartition epoch with the kRepartitionStart/Done event
+// pair and the master-side epoch metrics. Wall time, not modelled time:
+// the histogram answers "how long was the metadata/data path busy".
+class RepartitionScope {
+ public:
+  RepartitionScope(obs::MetricsRegistry* registry, obs::TraceRecorder* trace,
+                   std::size_t files_planned)
+      : registry_(registry), trace_(trace) {
+    if (trace_) {
+      op_ = trace_->begin_op();
+      trace_->record(obs::TraceKind::kRepartitionStart, op_, 0, 0, 0,
+                     static_cast<double>(files_planned));
+    }
+    if (registry_ || trace_) start_ = std::chrono::steady_clock::now();
+  }
+
+  void finish(const RepartitionStats& stats) {
+    if (registry_ == nullptr && trace_ == nullptr) return;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+    if (registry_) {
+      registry_->counter(obs::names::kMasterRepartitions).add(1);
+      registry_->histogram(obs::names::kMasterRepartitionLatency).record(wall);
+    }
+    if (trace_) {
+      trace_->record(obs::TraceKind::kRepartitionDone, op_, 0, 0, 0, stats.modelled_time);
+    }
+  }
+
+ private:
+  obs::MetricsRegistry* registry_;
+  obs::TraceRecorder* trace_;
+  std::uint64_t op_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+};
 
 // Fetch all pieces of a file and reassemble. Returns the raw bytes and the
 // number of remote bytes pulled (pieces on `local_server` are free;
@@ -74,8 +114,11 @@ constexpr std::uint32_t kNoLocalServer = 0xFFFFFFFFu;
 
 RepartitionStats execute_sequential_repartition(Cluster& cluster, Master& master,
                                                 const RepartitionPlan& plan,
-                                                Bandwidth master_bandwidth, Rng& rng) {
+                                                Bandwidth master_bandwidth, Rng& rng,
+                                                obs::MetricsRegistry* registry,
+                                                obs::TraceRecorder* trace) {
   assert(master_bandwidth > 0.0);
+  RepartitionScope scope(registry, trace, plan.new_k.size());
   RepartitionStats stats;
   const auto ids = master.file_ids();
   assert(ids.size() == plan.new_k.size());
@@ -103,6 +146,7 @@ RepartitionStats execute_sequential_repartition(Cluster& cluster, Master& master
     ++stats.files_touched;
   }
   stats.modelled_time = static_cast<double>(stats.bytes_moved) / master_bandwidth;
+  scope.finish(stats);
   SPCACHE_LOG(kInfo) << "sequential repartition: " << stats.files_touched << " files, "
                      << stats.bytes_moved / kMB << " MB via master, modelled "
                      << stats.modelled_time << " s";
@@ -110,11 +154,17 @@ RepartitionStats execute_sequential_repartition(Cluster& cluster, Master& master
 }
 
 RepartitionStats execute_parallel_repartition(Cluster& cluster, Master& master,
-                                              const RepartitionPlan& plan, ThreadPool& pool) {
+                                              const RepartitionPlan& plan, ThreadPool& pool,
+                                              obs::MetricsRegistry* registry,
+                                              obs::TraceRecorder* trace) {
+  RepartitionScope scope(registry, trace, plan.changed_files.size());
   RepartitionStats stats;
   const std::size_t n_changed = plan.changed_files.size();
   stats.files_touched = n_changed;
-  if (n_changed == 0) return stats;
+  if (n_changed == 0) {
+    scope.finish(stats);
+    return stats;
+  }
 
   // Group the changed files by executing repartitioner so per-executor
   // traffic can be accumulated (the fleet finishes when the busiest
@@ -156,6 +206,7 @@ RepartitionStats execute_parallel_repartition(Cluster& cluster, Master& master,
 
   stats.modelled_time = max_executor_time;
   stats.bytes_moved = total_moved;
+  scope.finish(stats);
   SPCACHE_LOG(kInfo) << "parallel repartition: " << stats.files_touched << " files across "
                      << by_executor.size() << " executors, " << stats.bytes_moved / kMB
                      << " MB moved, modelled " << stats.modelled_time << " s";

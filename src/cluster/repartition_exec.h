@@ -28,6 +28,11 @@
 #include "cluster/master.h"
 #include "core/repartition.h"
 
+namespace spcache::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace spcache::obs
+
 namespace spcache {
 
 struct RepartitionStats {
@@ -38,14 +43,20 @@ struct RepartitionStats {
 
 // Sequential baseline: re-splits every file in `plan.new_k` through the
 // master (bandwidth `master_bandwidth`), placing partitions on random
-// distinct servers.
+// distinct servers. With `registry`/`trace` non-null the run records
+// "master.repartitions" / "master.repartition_s" (wall time of the epoch)
+// and a kRepartitionStart/kRepartitionDone event pair.
 RepartitionStats execute_sequential_repartition(Cluster& cluster, Master& master,
                                                 const RepartitionPlan& plan,
-                                                Bandwidth master_bandwidth, Rng& rng);
+                                                Bandwidth master_bandwidth, Rng& rng,
+                                                obs::MetricsRegistry* registry = nullptr,
+                                                obs::TraceRecorder* trace = nullptr);
 
 // Parallel scheme: executes only plan.changed_files on their assigned
-// executors, concurrently via `pool`.
+// executors, concurrently via `pool`. Same optional observability hooks.
 RepartitionStats execute_parallel_repartition(Cluster& cluster, Master& master,
-                                              const RepartitionPlan& plan, ThreadPool& pool);
+                                              const RepartitionPlan& plan, ThreadPool& pool,
+                                              obs::MetricsRegistry* registry = nullptr,
+                                              obs::TraceRecorder* trace = nullptr);
 
 }  // namespace spcache

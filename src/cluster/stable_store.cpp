@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "erasure/rs_code.h"
+#include "obs/metrics.h"
 
 namespace spcache {
 
@@ -61,7 +62,31 @@ RecoveryStats RecoveryManager::repair_file(FileId id) {
   // split/merge) of the same file while pieces are re-created.
   const auto guard = master_.lock_file(id);
   if (!guard) throw std::runtime_error("repair_file: unknown file");
-  return repair_pieces(id);
+  const auto stats = repair_pieces(id);
+  record_repair(stats);
+  return stats;
+}
+
+void RecoveryManager::attach_observability(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    probes_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  namespace n = obs::names;
+  auto probes = std::make_unique<ObsProbes>();
+  probes->pieces = &registry->counter(n::kRecoveryPieces);
+  probes->bytes = &registry->counter(n::kRecoveryBytes);
+  probes->repair_time = &registry->histogram(n::kRecoveryRepairTime);
+  probes_storage_ = std::move(probes);
+  probes_.store(probes_storage_.get(), std::memory_order_release);
+}
+
+void RecoveryManager::record_repair(const RecoveryStats& stats) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  if (probes == nullptr) return;
+  probes->pieces->add(stats.pieces_recovered);
+  probes->bytes->add(stats.bytes_restored);
+  if (stats.pieces_recovered > 0) probes->repair_time->record(stats.modelled_time);
 }
 
 namespace {
@@ -217,6 +242,7 @@ RecoveryStats RecoveryManager::repair_after_server_loss(std::uint32_t failed_ser
     total.modelled_time += static_cast<double>(bytes->size()) / stable_.bandwidth() +
                            static_cast<double>(rewritten) / cluster_.server(0).bandwidth();
   }
+  record_repair(total);
   return total;
 }
 

@@ -15,7 +15,9 @@
 // moved plus the modelled recovery time.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -88,14 +90,30 @@ class RecoveryManager {
   // rather than aborting the sweep.
   RecoveryStats repair_after_server_loss(std::uint32_t failed_server);
 
+  // --- Observability (src/obs) ----------------------------------------
+  // Resolve "recovery.pieces_recovered|bytes_restored|repair_model_s" in
+  // `registry` once; every successful repair adds its RecoveryStats to the
+  // counters and records the modelled repair time. Detached by default.
+  void attach_observability(obs::MetricsRegistry* registry);
+
+  struct ObsProbes {
+    obs::Counter* pieces = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::LatencyHistogram* repair_time = nullptr;
+  };
+
  private:
   // Body of repair_file, run while the caller already holds the file's
   // master-side mutation guard.
   RecoveryStats repair_pieces(FileId id);
+  // Fold one repair's stats into the attached probes (no-op when detached).
+  void record_repair(const RecoveryStats& stats);
 
   Cluster& cluster_;
   Master& master_;
   StableStore& stable_;
+  std::unique_ptr<ObsProbes> probes_storage_;
+  std::atomic<ObsProbes*> probes_{nullptr};
 };
 
 }  // namespace spcache

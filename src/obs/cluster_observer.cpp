@@ -1,0 +1,74 @@
+#include "obs/cluster_observer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spcache::obs {
+
+ClusterStats ClusterObserver::collect(const std::vector<double>& server_loads) const {
+  const auto snap = registry_.snapshot();
+  ClusterStats stats;
+
+  stats.server_loads = server_loads;
+  for (const double load : server_loads) stats.load_max = std::max(stats.load_max, load);
+  if (!server_loads.empty()) {
+    double total = 0.0;
+    for (const double load : server_loads) total += load;
+    stats.load_mean = total / static_cast<double>(server_loads.size());
+  }
+  if (stats.load_mean > 0.0) {
+    stats.load_imbalance = stats.load_max / stats.load_mean;
+    stats.load_eta = (stats.load_max - stats.load_mean) / stats.load_mean;
+  }
+
+  if (const auto* hist = snap.histogram_named(names::kClientReadLatency)) {
+    stats.read_latency = *hist;
+    stats.read_mean_s = hist->mean();
+    stats.read_p50_s = hist->percentile(0.50);
+    stats.read_p95_s = hist->percentile(0.95);
+    stats.read_p99_s = hist->percentile(0.99);
+  }
+
+  stats.reads = snap.counter_value(names::kClientReads);
+  stats.read_failures = snap.counter_value(names::kClientReadFailures);
+  stats.retries = snap.counter_value(names::kClientRetries);
+  stats.degraded_reads = snap.counter_value(names::kClientDegradedReads);
+  stats.degraded_pieces = snap.counter_value(names::kClientDegradedPieces);
+  if (stats.reads > 0) {
+    stats.degraded_read_rate =
+        static_cast<double>(stats.degraded_reads) / static_cast<double>(stats.reads);
+    stats.retry_rate = static_cast<double>(stats.retries) / static_cast<double>(stats.reads);
+  }
+
+  // Per-server suffix sums: attempts vs. misses vs. errors. A "hit" is a
+  // GET that actually handed back a resident block.
+  const std::uint64_t gets = snap.counter_suffix_sum(".gets");
+  const std::uint64_t misses = snap.counter_suffix_sum(".misses");
+  const std::uint64_t errors = snap.counter_suffix_sum(".get_errors");
+  if (gets > 0) {
+    const std::uint64_t failed = std::min(gets, misses + errors);
+    stats.hit_ratio = static_cast<double>(gets - failed) / static_cast<double>(gets);
+  }
+  return stats;
+}
+
+std::string ClusterObserver::to_json(const ClusterStats& stats) {
+  std::ostringstream out;
+  out.precision(12);
+  out << "{\"load\": {\"max\": " << stats.load_max << ", \"mean\": " << stats.load_mean
+      << ", \"imbalance_max_over_mean\": " << stats.load_imbalance
+      << ", \"eta\": " << stats.load_eta << ", \"per_server\": [";
+  for (std::size_t i = 0; i < stats.server_loads.size(); ++i) {
+    out << (i ? ", " : "") << stats.server_loads[i];
+  }
+  out << "]}, \"read_latency_s\": {\"count\": " << stats.reads
+      << ", \"failures\": " << stats.read_failures << ", \"mean\": " << stats.read_mean_s
+      << ", \"p50\": " << stats.read_p50_s << ", \"p95\": " << stats.read_p95_s
+      << ", \"p99\": " << stats.read_p99_s << "}, \"hit_ratio\": " << stats.hit_ratio
+      << ", \"degraded_read_rate\": " << stats.degraded_read_rate
+      << ", \"retry_rate\": " << stats.retry_rate
+      << ", \"degraded_pieces\": " << stats.degraded_pieces << "}";
+  return out.str();
+}
+
+}  // namespace spcache::obs

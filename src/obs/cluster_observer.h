@@ -1,0 +1,72 @@
+// ClusterObserver: per-server snapshots aggregated into the paper's
+// headline statistics.
+//
+// The evaluation quantities SP-Cache is judged on (Section 7) are cluster
+// aggregates, not per-component counters: the load imbalance of Fig. 12
+// (max vs. mean bytes served per server, and eta = (max-mean)/mean of
+// Eq. 15), read latency percentiles (mean/p50/p95/p99, Figs. 13/21), the
+// hit ratio (Fig. 20), and the degraded/retry rates of the fault-tolerance
+// story (Section 8). The observer derives all of them from one
+// MetricsRegistry snapshot plus the per-server cumulative loads, so a
+// bench or a chaos test gets the whole dashboard from a single call —
+// and the JSON export lets BENCH_*.json carry measured percentile curves
+// instead of recomputed means.
+//
+// Layering: obs knows nothing about the cluster types. Callers pass
+// Cluster::served_bytes() (or any per-server load vector); the observer
+// finds client/server metrics by their well-known names (obs::names).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace spcache::obs {
+
+struct ClusterStats {
+  // Load distribution (bytes served per server since the last reset).
+  std::vector<double> server_loads;
+  double load_max = 0.0;
+  double load_mean = 0.0;
+  double load_imbalance = 0.0;  // max/mean (1.0 = perfectly balanced)
+  double load_eta = 0.0;        // (max - mean)/mean, the paper's Eq. 15
+
+  // End-to-end read latency (merged client histograms, seconds).
+  std::uint64_t reads = 0;
+  std::uint64_t read_failures = 0;
+  double read_mean_s = 0.0;
+  double read_p50_s = 0.0;
+  double read_p95_s = 0.0;
+  double read_p99_s = 0.0;
+  HistogramSnapshot read_latency;  // full distribution for custom queries
+
+  // Health / fault-tolerance rates.
+  double hit_ratio = 0.0;          // served GETs / attempted GETs
+  double degraded_read_rate = 0.0; // degraded reads / completed reads
+  double retry_rate = 0.0;         // retries per completed read
+  std::uint64_t retries = 0;
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t degraded_pieces = 0;
+};
+
+class ClusterObserver {
+ public:
+  explicit ClusterObserver(const MetricsRegistry& registry) : registry_(registry) {}
+
+  // Aggregate the registry's current state with per-server cumulative
+  // loads (Cluster::served_bytes()). Safe to call at any time, including
+  // mid-chaos — every input is a tear-free snapshot.
+  ClusterStats collect(const std::vector<double>& server_loads) const;
+
+  static std::string to_json(const ClusterStats& stats);
+  std::string to_json(const std::vector<double>& server_loads) const {
+    return to_json(collect(server_loads));
+  }
+
+ private:
+  const MetricsRegistry& registry_;
+};
+
+}  // namespace spcache::obs

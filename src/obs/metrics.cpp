@@ -1,0 +1,201 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace spcache::obs {
+
+namespace {
+
+// ratio = 10^(1/8): 8 buckets per decade.
+const double kRatio = std::pow(10.0, 1.0 / static_cast<double>(LatencyHistogram::kBucketsPerDecade));
+const double kLogRatio = std::log(kRatio);
+
+}  // namespace
+
+double LatencyHistogram::bucket_lo(std::size_t i) {
+  if (i == 0) return 0.0;
+  return kLoSeconds * std::pow(kRatio, static_cast<double>(i - 1));
+}
+
+double LatencyHistogram::bucket_hi(std::size_t i) {
+  return kLoSeconds * std::pow(kRatio, static_cast<double>(i));
+}
+
+std::size_t LatencyHistogram::bucket_index(double seconds) {
+  if (!(seconds >= kLoSeconds)) return 0;  // also catches NaN and negatives
+  const auto i =
+      static_cast<std::size_t>(std::floor(std::log(seconds / kLoSeconds) / kLogRatio)) + 1;
+  return std::min(i, kBuckets - 1);
+}
+
+void LatencyHistogram::record(double seconds) {
+  if (seconds < 0.0 || std::isnan(seconds)) seconds = 0.0;
+  counts_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9), std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.counts.resize(kBuckets);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    total += snap.counts[i];
+  }
+  // Derived from the copied buckets, so the snapshot is self-consistent
+  // even when writers are racing the copy.
+  snap.total = total;
+  snap.sum_seconds = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return snap;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (total == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts[i];
+    if (static_cast<double>(seen) >= target) {
+      const double lo = LatencyHistogram::bucket_lo(i);
+      const double hi = LatencyHistogram::bucket_hi(i);
+      const double frac =
+          counts[i] ? (target - before) / static_cast<double>(counts[i]) : 0.0;
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+  }
+  return LatencyHistogram::bucket_hi(counts.size() - 1);
+}
+
+HistogramSnapshot& HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (counts.size() < other.counts.size()) counts.resize(other.counts.size(), 0);
+  for (std::size_t i = 0; i < other.counts.size(); ++i) counts[i] += other.counts[i];
+  total += other.total;
+  sum_seconds += other.sum_seconds;
+  return *this;
+}
+
+HistogramSnapshot HistogramSnapshot::minus(const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  out.counts.resize(counts.size());
+  std::uint64_t total_out = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t prev = i < earlier.counts.size() ? earlier.counts[i] : 0;
+    out.counts[i] = counts[i] >= prev ? counts[i] - prev : 0;
+    total_out += out.counts[i];
+  }
+  out.total = total_out;
+  out.sum_seconds = std::max(0.0, sum_seconds - earlier.sum_seconds);
+  return out;
+}
+
+Histogram HistogramSnapshot::to_histogram(std::size_t bins, double hi_seconds) const {
+  Histogram h(0.0, hi_seconds, bins);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double center =
+        0.5 * (LatencyHistogram::bucket_lo(i) + LatencyHistogram::bucket_hi(i));
+    h.add(center, static_cast<double>(counts[i]));
+  }
+  return h;
+}
+
+namespace names {
+std::string server_metric(std::uint32_t server, std::string_view leaf) {
+  std::string out = "server.";
+  out += std::to_string(server);
+  out += '.';
+  out += leaf;
+  return out;
+}
+}  // namespace names
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto& slot = counters_[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto& slot = gauges_[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  std::lock_guard lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) snap.histograms.emplace_back(name, h->snapshot());
+  return snap;
+}
+
+std::uint64_t MetricsRegistry::Snapshot::counter_suffix_sum(std::string_view suffix) const {
+  std::uint64_t sum = 0;
+  for (const auto& [name, value] : counters) {
+    if (name.size() >= suffix.size() &&
+        std::string_view(name).substr(name.size() - suffix.size()) == suffix) {
+      sum += value;
+    }
+  }
+  return sum;
+}
+
+std::uint64_t MetricsRegistry::Snapshot::counter_value(std::string_view name) const {
+  for (const auto& [n, value] : counters) {
+    if (n == name) return value;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsRegistry::Snapshot::histogram_named(
+    std::string_view name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const auto snap = snapshot();
+  std::ostringstream out;
+  out.precision(12);
+  out << "{\"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << snap.counters[i].first << "\": " << snap.counters[i].second;
+  }
+  out << "}, \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << snap.gauges[i].first << "\": " << snap.gauges[i].second;
+  }
+  out << "}, \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    out << (i ? ", " : "") << "\"" << name << "\": {\"count\": " << h.count()
+        << ", \"mean_s\": " << h.mean() << ", \"p50_s\": " << h.percentile(0.50)
+        << ", \"p95_s\": " << h.percentile(0.95) << ", \"p99_s\": " << h.percentile(0.99)
+        << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace spcache::obs

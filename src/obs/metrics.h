@@ -1,0 +1,191 @@
+// Cluster-wide metrics substrate: named relaxed-atomic counters/gauges and
+// a concurrent fixed-bucket latency histogram, collected by a registry
+// that can be snapshotted without stopping the world.
+//
+// SP-Cache's claims are statistical — per-server load converging toward
+// 1/alpha (Section 5.1), the Eq. 9 fork-join bound tracking tail latency —
+// so the substrate has to *measure* load distributions and latency
+// percentiles, not just means. The design constraints, in order:
+//
+//   * lock-cheap hot path: a counter bump is one relaxed fetch_add, a
+//     histogram record is one log2-ish bucket index plus two relaxed
+//     fetch_adds. No mutex is ever taken while recording.
+//   * tear-free snapshots: readers copy bucket counts with relaxed loads
+//     and derive the total *from the copied buckets*, so every snapshot
+//     satisfies count() == sum(buckets) by construction even while 16
+//     writers are mid-flight (the invariant test pins this down).
+//   * mergeable: snapshots merge by bucket-wise addition (identical fixed
+//     geometry), so per-thread or per-phase histograms aggregate exactly;
+//     phase deltas come from minus() on two snapshots of one histogram.
+//
+// Bucket geometry is geometric (8 buckets per decade, 100 ns .. ~1e5 s),
+// shared by every LatencyHistogram so merge needs no rebinning; snapshots
+// export into the repo's common/histogram printers for the ASCII plots the
+// benches already emit.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace spcache::obs {
+
+// Monotonic event count. Relaxed ordering: these are statistical tallies,
+// never synchronizers.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Instantaneous signed level (queue depth, in-flight ops).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d) { value_.fetch_sub(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// A point-in-time copy of a LatencyHistogram. Self-consistent: count()
+// equals the sum of bucket counts by construction. Values are seconds.
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> counts;  // fixed geometry, see LatencyHistogram
+  std::uint64_t total = 0;            // == sum(counts)
+  double sum_seconds = 0.0;           // sum of recorded values
+
+  std::uint64_t count() const { return total; }
+  double mean() const { return total ? sum_seconds / static_cast<double>(total) : 0.0; }
+
+  // q in [0, 1]; linear interpolation inside the chosen bucket. Monotone
+  // in q. Returns 0 for an empty snapshot.
+  double percentile(double q) const;
+
+  // Bucket-wise sum (identical geometry, no rebinning).
+  HistogramSnapshot& merge(const HistogramSnapshot& other);
+  // This snapshot minus an earlier snapshot of the *same* histogram —
+  // the per-phase delta used by the recovery bench.
+  HistogramSnapshot minus(const HistogramSnapshot& earlier) const;
+
+  // Export into the repo's standard printer: each bucket's count lands at
+  // its center in a linear `bins`-bin Histogram over [0, hi_seconds).
+  Histogram to_histogram(std::size_t bins, double hi_seconds) const;
+};
+
+// Concurrent fixed-bucket latency histogram. Writers are wait-free
+// (relaxed atomics); snapshot() is safe at any time and never blocks a
+// writer.
+class LatencyHistogram {
+ public:
+  // 8 geometric buckets per decade from kLoSeconds up, bucket 0 catching
+  // everything below and the last bucket open-ended above: 12 decades,
+  // 100 ns .. ~1e5 s — every latency this repo models or measures fits.
+  static constexpr std::size_t kBuckets = 97;
+  static constexpr double kLoSeconds = 1e-7;
+  static constexpr std::size_t kBucketsPerDecade = 8;
+
+  void record(double seconds);
+
+  std::uint64_t count() const { return total_.load(std::memory_order_relaxed); }
+  HistogramSnapshot snapshot() const;
+
+  // Bucket bounds of the shared geometry (bucket 0 is [0, kLoSeconds)).
+  static double bucket_lo(std::size_t i);
+  static double bucket_hi(std::size_t i);
+  static std::size_t bucket_index(double seconds);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> total_{0};
+  // Nanoseconds so the sum is a single integer fetch_add (no CAS loop).
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+// Well-known metric names, so instrumented components and the
+// ClusterObserver agree without compile-time coupling. Per-server metrics
+// are "server.<id>.<leaf>"; the observer aggregates them by leaf suffix.
+namespace names {
+inline constexpr std::string_view kClientReads = "client.reads";
+inline constexpr std::string_view kClientReadFailures = "client.read_failures";
+inline constexpr std::string_view kClientRetries = "client.retries";
+inline constexpr std::string_view kClientDegradedReads = "client.degraded_reads";
+inline constexpr std::string_view kClientDegradedPieces = "client.degraded_pieces";
+inline constexpr std::string_view kClientReadLatency = "client.read_s";        // wall
+inline constexpr std::string_view kClientReadModelled = "client.read_model_s"; // virtual
+inline constexpr std::string_view kMasterLookups = "master.lookups";
+inline constexpr std::string_view kMasterUpdates = "master.updates";
+inline constexpr std::string_view kMasterShardContention = "master.shard_contention";
+inline constexpr std::string_view kMasterLookupLatency = "master.lookup_s";
+inline constexpr std::string_view kMasterRepartitionLatency = "master.repartition_s";
+inline constexpr std::string_view kMasterRepartitions = "master.repartitions";
+inline constexpr std::string_view kBusRouted = "bus.routed";
+inline constexpr std::string_view kBusInFlight = "bus.in_flight";
+inline constexpr std::string_view kBusDrops = "bus.drops";
+inline constexpr std::string_view kBusDelays = "bus.delays";
+inline constexpr std::string_view kBusDuplicates = "bus.duplicates";
+inline constexpr std::string_view kMonitorDeaths = "monitor.deaths_declared";
+inline constexpr std::string_view kMonitorRepairs = "monitor.repairs_completed";
+inline constexpr std::string_view kMonitorRepairSpan = "monitor.detect_to_repair_s";
+inline constexpr std::string_view kRecoveryPieces = "recovery.pieces_recovered";
+inline constexpr std::string_view kRecoveryBytes = "recovery.bytes_restored";
+inline constexpr std::string_view kRecoveryRepairTime = "recovery.repair_model_s";
+// Per-server leaf names (full name: server.<id>.<leaf>).
+inline constexpr std::string_view kServerGets = "gets";
+inline constexpr std::string_view kServerMisses = "misses";
+inline constexpr std::string_view kServerErrors = "get_errors";
+inline constexpr std::string_view kServerPuts = "puts";
+inline constexpr std::string_view kServerServiceTime = "service_s";
+inline constexpr std::string_view kServerInFlight = "in_flight";
+
+std::string server_metric(std::uint32_t server, std::string_view leaf);
+}  // namespace names
+
+// Named metric store. Registration takes a mutex once per name; the
+// returned references are stable for the registry's lifetime, so hot
+// paths resolve their metrics at attach time and never touch the map
+// again. snapshot() walks the (sorted) maps under the registration mutex
+// — it contends only with registration, never with recording.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  LatencyHistogram& histogram(std::string_view name);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    // Sum of all counters whose name ends with `suffix` (".gets" sums the
+    // per-server GET counters).
+    std::uint64_t counter_suffix_sum(std::string_view suffix) const;
+    std::uint64_t counter_value(std::string_view name) const;  // 0 if absent
+    const HistogramSnapshot* histogram_named(std::string_view name) const;
+  };
+  Snapshot snapshot() const;
+
+  // Flat JSON dump of every metric (histograms as percentile summaries).
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace spcache::obs

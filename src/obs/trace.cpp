@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spcache::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kReadStart: return "read_start";
+    case TraceKind::kReadDone: return "read_done";
+    case TraceKind::kReadFailed: return "read_failed";
+    case TraceKind::kReadRepeatPass: return "read_repeat_pass";
+    case TraceKind::kPieceFetch: return "piece_fetch";
+    case TraceKind::kPieceRetry: return "piece_retry";
+    case TraceKind::kPieceDegraded: return "piece_degraded";
+    case TraceKind::kRepairStart: return "repair_start";
+    case TraceKind::kRepairDone: return "repair_done";
+    case TraceKind::kRepartitionStart: return "repartition_start";
+    case TraceKind::kRepartitionDone: return "repartition_done";
+    case TraceKind::kServerDeclaredDead: return "server_declared_dead";
+    case TraceKind::kServerRejoined: return "server_rejoined";
+    case TraceKind::kBusDrop: return "bus_drop";
+    case TraceKind::kBusDelay: return "bus_delay";
+    case TraceKind::kBusDuplicate: return "bus_duplicate";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      epoch_(std::chrono::steady_clock::now()) {
+  ring_.resize(capacity_);
+}
+
+void TraceRecorder::record(TraceKind kind, std::uint64_t op, std::uint64_t file,
+                           std::uint32_t server, std::uint32_t piece, double value) {
+  TraceEvent event;
+  event.op = op;
+  event.kind = kind;
+  event.file = file;
+  event.server = server;
+  event.piece = piece;
+  event.value = value;
+  event.t_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - epoch_)
+                   .count();
+  std::lock_guard lock(mu_);
+  event.seq = next_seq_++;
+  if (size_ < capacity_) {
+    ring_[(head_ + size_) % capacity_] = event;
+    ++size_;
+  } else {
+    ring_[head_] = event;  // overwrite the oldest
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard lock(mu_);
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) out.push_back(ring_[(head_ + i) % capacity_]);
+  return out;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::lock_guard lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  head_ = 0;
+  size_ = 0;
+  // next_seq_ and next_op_ keep counting: sequence numbers are never
+  // reused, so post-clear events still sort after pre-clear ones.
+}
+
+std::string TraceRecorder::to_json(std::size_t max_events) const {
+  const auto events = snapshot();
+  const std::size_t start = events.size() > max_events ? events.size() - max_events : 0;
+  std::ostringstream out;
+  out.precision(12);
+  out << "[";
+  for (std::size_t i = start; i < events.size(); ++i) {
+    const auto& e = events[i];
+    out << (i == start ? "" : ", ") << "{\"seq\": " << e.seq << ", \"op\": " << e.op
+        << ", \"kind\": \"" << trace_kind_name(e.kind) << "\", \"file\": " << e.file
+        << ", \"server\": " << e.server << ", \"piece\": " << e.piece
+        << ", \"t_ns\": " << e.t_ns << ", \"value\": " << e.value << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace spcache::obs

@@ -1,0 +1,116 @@
+// Structured trace events over a bounded ring (the cluster's flight
+// recorder).
+//
+// Every interesting transition on the read/repair/chaos paths — read
+// start, per-piece fetch, retry, degrade-to-stable, repair span,
+// repartition, bus faults — is recorded as one fixed-size `TraceEvent`
+// with a monotonic timestamp and a per-operation id, so a chaos run can be
+// reconstructed event by event after the fact. Two properties the test
+// suite relies on:
+//
+//   * determinism: with a seeded FaultInjector and a single-threaded
+//     client, the event sequence (minus timestamps) is a pure function of
+//     the seed — replaying a chaotic run twice yields identical traces;
+//   * completeness: every retry and every degraded piece the IoResult
+//     telemetry reports has a matching trace event — the trace never
+//     silently drops a fault the counters saw.
+//
+// The ring is bounded: when full, the oldest events are overwritten and
+// counted in dropped() — tracing never grows without bound and never
+// throws on the hot path. Recording takes a short mutex (append + index
+// bump); components treat the recorder pointer as optional and skip the
+// call entirely when tracing is detached.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spcache::obs {
+
+enum class TraceKind : std::uint8_t {
+  kReadStart = 0,    // op, file
+  kReadDone,         // op, file, value = wall seconds
+  kReadFailed,       // op, file (retry budget exhausted)
+  kReadRepeatPass,   // op, file, value = pass number (layout re-fetched)
+  kPieceFetch,       // op, file, server, piece, value = bytes
+  kPieceRetry,       // op, file, server, piece, value = attempt number
+  kPieceDegraded,    // op, file, piece (served from stable storage)
+  kRepairStart,      // server (loss being repaired)
+  kRepairDone,       // server, value = detection-to-repaired wall seconds
+  kRepartitionStart, // op, value = files to touch
+  kRepartitionDone,  // op, value = modelled seconds
+  kServerDeclaredDead,  // server
+  kServerRejoined,      // server
+  kBusDrop,          // (no op context)
+  kBusDelay,
+  kBusDuplicate,
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceEvent {
+  std::uint64_t seq = 0;   // global record order (monotone, never reused)
+  std::uint64_t op = 0;    // per-operation id from begin_op(); 0 = none
+  TraceKind kind = TraceKind::kReadStart;
+  std::uint64_t file = 0;
+  std::uint32_t server = 0;
+  std::uint32_t piece = 0;
+  std::int64_t t_ns = 0;   // monotonic ns since the recorder's epoch
+  double value = 0.0;      // kind-specific payload
+
+  // True for kinds whose `value` is a measured wall-clock duration rather
+  // than deterministic payload (bytes, attempt numbers, modelled seconds).
+  static bool value_is_wall_clock(TraceKind kind) {
+    return kind == TraceKind::kReadDone || kind == TraceKind::kRepairDone;
+  }
+
+  // Replay identity: everything except seq, the wall timestamp, and
+  // wall-clock-valued payloads.
+  bool same_shape(const TraceEvent& other) const {
+    return op == other.op && kind == other.kind && file == other.file &&
+           server == other.server && piece == other.piece &&
+           (value_is_wall_clock(kind) || value == other.value);
+  }
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 1 << 16);
+
+  // Allocate a fresh operation id (1-based; 0 means "no op context").
+  std::uint64_t begin_op() { return next_op_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  void record(TraceKind kind, std::uint64_t op = 0, std::uint64_t file = 0,
+              std::uint32_t server = 0, std::uint32_t piece = 0, double value = 0.0);
+
+  // Retained events, oldest first (at most capacity()).
+  std::vector<TraceEvent> snapshot() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t recorded() const;  // total ever recorded
+  std::uint64_t dropped() const;   // overwritten by ring wrap
+  // Discard retained events. The seq and op spaces keep counting — a
+  // sequence number is never reused, even across clear().
+  void clear();
+
+  // JSON array of the newest `max_events` retained events.
+  std::string to_json(std::size_t max_events = 256) const;
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;   // capacity_ slots; oldest at head_
+  std::size_t head_ = 0;           // index of the oldest retained event
+  std::size_t size_ = 0;           // retained events (<= capacity_)
+  std::uint64_t next_seq_ = 0;     // == recorded(); survives clear()
+  std::uint64_t dropped_ = 0;      // ring-wrap overwrites
+  std::atomic<std::uint64_t> next_op_{0};
+};
+
+}  // namespace spcache::obs

@@ -4,6 +4,8 @@
 #include <thread>
 
 #include "fault/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spcache::rpc {
 
@@ -198,20 +200,65 @@ void Bus::remove(NodeId id) {
 }
 
 bool Bus::route(Envelope envelope) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  if (probes) {
+    probes->routed->add(1);
+    probes->in_flight->add(1);
+  }
   bool duplicate = false;
   if (auto* injector = injector_.load(std::memory_order_acquire)) {
     // Drop: the envelope vanishes like a lost packet. Deliberately returns
     // true — the network accepted the send; the caller's timeout fires.
-    if (injector->drop_envelope()) return true;
-    if (injector->delay_envelope()) std::this_thread::sleep_for(injector->config().bus_delay);
+    if (injector->drop_envelope()) {
+      if (probes) {
+        probes->drops->add(1);
+        probes->in_flight->sub(1);
+        if (probes->trace) probes->trace->record(obs::TraceKind::kBusDrop);
+      }
+      return true;
+    }
+    if (injector->delay_envelope()) {
+      if (probes) {
+        probes->delays->add(1);
+        if (probes->trace) probes->trace->record(obs::TraceKind::kBusDelay);
+      }
+      std::this_thread::sleep_for(injector->config().bus_delay);
+    }
     duplicate = injector->duplicate_envelope();
+    if (duplicate && probes) {
+      probes->duplicates->add(1);
+      if (probes->trace) probes->trace->record(obs::TraceKind::kBusDuplicate);
+    }
   }
-  std::shared_lock lock(mu_);
-  const auto it = nodes_.find(envelope.to);
-  if (it == nodes_.end()) return false;
-  if (duplicate) it->second->deliver(envelope);
-  it->second->deliver(std::move(envelope));
-  return true;
+  bool delivered = false;
+  {
+    std::shared_lock lock(mu_);
+    const auto it = nodes_.find(envelope.to);
+    if (it != nodes_.end()) {
+      if (duplicate) it->second->deliver(envelope);
+      it->second->deliver(std::move(envelope));
+      delivered = true;
+    }
+  }
+  if (probes) probes->in_flight->sub(1);
+  return delivered;
+}
+
+void Bus::attach_observability(obs::MetricsRegistry* registry, obs::TraceRecorder* trace) {
+  if (registry == nullptr) {
+    probes_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  namespace n = obs::names;
+  auto probes = std::make_unique<ObsProbes>();
+  probes->routed = &registry->counter(n::kBusRouted);
+  probes->in_flight = &registry->gauge(n::kBusInFlight);
+  probes->drops = &registry->counter(n::kBusDrops);
+  probes->delays = &registry->counter(n::kBusDelays);
+  probes->duplicates = &registry->counter(n::kBusDuplicates);
+  probes->trace = trace;
+  probes_storage_ = std::move(probes);
+  probes_.store(probes_storage_.get(), std::memory_order_release);
 }
 
 }  // namespace spcache::rpc

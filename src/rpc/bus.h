@@ -17,6 +17,7 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -30,6 +31,13 @@
 namespace spcache::fault {
 class FaultInjector;
 }  // namespace spcache::fault
+
+namespace spcache::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace spcache::obs
 
 namespace spcache::rpc {
 
@@ -156,8 +164,28 @@ class Bus {
     injector_.store(injector, std::memory_order_release);
   }
 
+  // --- Observability (src/obs) ----------------------------------------
+  // Resolve "bus.routed|in_flight|drops|delays|duplicates" in `registry`
+  // once and start counting routed envelopes, the in-flight depth (inside
+  // route()), and injected faults; with `trace` non-null each injected
+  // fault also records a kBusDrop/kBusDelay/kBusDuplicate event.
+  // Detached (default): one relaxed pointer load + branch per route().
+  void attach_observability(obs::MetricsRegistry* registry,
+                            obs::TraceRecorder* trace = nullptr);
+
+  struct ObsProbes {
+    obs::Counter* routed = nullptr;
+    obs::Gauge* in_flight = nullptr;
+    obs::Counter* drops = nullptr;
+    obs::Counter* delays = nullptr;
+    obs::Counter* duplicates = nullptr;
+    obs::TraceRecorder* trace = nullptr;
+  };
+
  private:
   std::atomic<fault::FaultInjector*> injector_{nullptr};
+  std::unique_ptr<ObsProbes> probes_storage_;
+  std::atomic<ObsProbes*> probes_{nullptr};
 
   // Held shared across the whole lookup + deliver so a node cannot be
   // destroyed while an envelope is in flight to it: ~RpcNode's remove()

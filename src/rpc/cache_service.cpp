@@ -5,6 +5,8 @@
 
 #include "common/crc32.h"
 #include "erasure/rs_code.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spcache::rpc {
 
@@ -134,7 +136,10 @@ void RpcSpClient::write(FileId id, std::span<const std::uint8_t> data,
 
 std::optional<std::vector<std::uint8_t>> RpcSpClient::fetch_piece(FileId id, std::uint32_t piece,
                                                                   NodeId worker, std::size_t pass,
+                                                                  std::uint64_t op,
                                                                   std::size_t& retries) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
   for (std::size_t attempt = 1; attempt <= retry_.piece_attempts; ++attempt) {
     BufferWriter w;
     w.u32(id);
@@ -151,10 +156,19 @@ std::optional<std::vector<std::uint8_t>> RpcSpClient::fetch_piece(FileId id, std
     }
     if (reply.ok()) {
       BufferReader pr(reply.payload);
-      return pr.bytes();
+      auto bytes = pr.bytes();
+      if (trace) {
+        trace->record(obs::TraceKind::kPieceFetch, op, id, worker, piece,
+                      static_cast<double>(bytes.size()));
+      }
+      return bytes;
     }
     if (attempt < retry_.piece_attempts) {
       ++retries;
+      if (trace) {
+        trace->record(obs::TraceKind::kPieceRetry, op, id, worker, piece,
+                      static_cast<double>(attempt));
+      }
       fault::backoff_sleep(retry_, attempt,
                            (static_cast<std::uint64_t>(id) << 24) ^ (piece << 8) ^ pass);
     }
@@ -163,12 +177,22 @@ std::optional<std::vector<std::uint8_t>> RpcSpClient::fetch_piece(FileId id, std
 }
 
 RpcReadStats RpcSpClient::read_with_stats(FileId id) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
+  const std::uint64_t op = trace ? trace->begin_op() : 0;
+  if (trace) trace->record(obs::TraceKind::kReadStart, op, id);
+  const auto start = std::chrono::steady_clock::now();
+
   RpcReadStats stats;
   std::string error = "retry budget exhausted";
   for (std::size_t pass = 1; pass <= retry_.read_attempts; ++pass) {
     stats.passes = pass;
     if (pass > 1) {
       ++stats.retries;
+      if (trace) {
+        trace->record(obs::TraceKind::kReadRepeatPass, op, id, 0, 0,
+                      static_cast<double>(pass));
+      }
       fault::backoff_sleep(retry_, pass, static_cast<std::uint64_t>(id) * 0x9e37 + pass);
     }
     // Fresh LOOKUP each pass: a repaired file's re-placed layout is only
@@ -179,6 +203,8 @@ RpcReadStats RpcSpClient::read_with_stats(FileId id) {
     if (!reply.ok()) {
       error = "LOOKUP failed: " + reply.error_text();
       if (reply.error_text() == "unknown file") {
+        if (probes) probes->read_failures->add(1);
+        if (trace) trace->record(obs::TraceKind::kReadFailed, op, id);
         throw std::runtime_error("RpcSpClient::read: unknown file");
       }
       continue;
@@ -226,9 +252,17 @@ RpcReadStats RpcSpClient::read_with_stats(FileId id) {
       if (piece_reply.ok()) {
         BufferReader pr(piece_reply.payload);
         bytes = pr.bytes();
+        if (trace) {
+          trace->record(obs::TraceKind::kPieceFetch, op, id, worker_of_server_.at(servers[i]),
+                        i, static_cast<double>(bytes->size()));
+        }
       } else {
         ++stats.retries;
-        bytes = fetch_piece(id, i, worker_of_server_.at(servers[i]), pass, stats.retries);
+        if (trace) {
+          trace->record(obs::TraceKind::kPieceRetry, op, id, worker_of_server_.at(servers[i]),
+                        i, 0.0);
+        }
+        bytes = fetch_piece(id, i, worker_of_server_.at(servers[i]), pass, op, stats.retries);
       }
       if (!bytes || bytes->size() != piece_sizes[i]) {
         all_ok = false;
@@ -244,13 +278,43 @@ RpcReadStats RpcSpClient::read_with_stats(FileId id) {
       continue;
     }
     stats.bytes = std::move(out);
+    if (probes) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      probes->reads->add(1);
+      probes->retries->add(stats.retries);
+      probes->read_wall->record(wall);
+      if (trace) trace->record(obs::TraceKind::kReadDone, op, id, 0, 0, wall);
+    }
     return stats;
+  }
+  if (probes) {
+    probes->read_failures->add(1);
+    probes->retries->add(stats.retries);
+    if (trace) trace->record(obs::TraceKind::kReadFailed, op, id);
   }
   throw std::runtime_error("RpcSpClient::read: " + error + " after " +
                            std::to_string(retry_.read_attempts) + " attempts");
 }
 
 std::vector<std::uint8_t> RpcSpClient::read(FileId id) { return read_with_stats(id).bytes; }
+
+void RpcSpClient::attach_observability(obs::MetricsRegistry* registry,
+                                       obs::TraceRecorder* trace) {
+  if (registry == nullptr) {
+    probes_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  namespace n = obs::names;
+  auto probes = std::make_unique<ObsProbes>();
+  probes->reads = &registry->counter(n::kClientReads);
+  probes->read_failures = &registry->counter(n::kClientReadFailures);
+  probes->retries = &registry->counter(n::kClientRetries);
+  probes->read_wall = &registry->histogram(n::kClientReadLatency);
+  probes->trace = trace;
+  probes_storage_ = std::move(probes);
+  probes_.store(probes_storage_.get(), std::memory_order_release);
+}
 
 RpcEcClient::RpcEcClient(Bus& bus, NodeId node_id, NodeId master_node,
                          std::vector<NodeId> worker_of_server, std::size_t k, std::size_t n)

@@ -105,18 +105,38 @@ class RpcSpClient {
   const fault::RetryPolicy& retry_policy() const { return retry_; }
   RpcNode& node() { return *node_; }
 
+  // --- Observability (src/obs) ----------------------------------------
+  // Same "client.*" metric names as the in-process SpClient, so a mixed
+  // deployment aggregates into one view: end-to-end read wall latency,
+  // read/retry/failure counters, and (with `trace`) kReadStart/kReadDone/
+  // kReadFailed/kReadRepeatPass plus per-piece kPieceFetch/kPieceRetry
+  // events. Detached (default): one relaxed pointer load + branch.
+  void attach_observability(obs::MetricsRegistry* registry,
+                            obs::TraceRecorder* trace = nullptr);
+
+  struct ObsProbes {
+    obs::Counter* reads = nullptr;
+    obs::Counter* read_failures = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::LatencyHistogram* read_wall = nullptr;
+    obs::TraceRecorder* trace = nullptr;
+  };
+
  private:
   // One bounded-wait GET of piece `i`, including per-piece retries.
   // Returns the payload or nullopt once the per-piece budget is spent.
+  // `op` is the trace op-id of the enclosing read (0 = tracing detached).
   std::optional<std::vector<std::uint8_t>> fetch_piece(FileId id, std::uint32_t piece,
                                                        NodeId worker, std::size_t pass,
-                                                       std::size_t& retries);
+                                                       std::uint64_t op, std::size_t& retries);
 
   std::unique_ptr<RpcNode> node_;
   NodeId master_node_;
   std::vector<NodeId> worker_of_server_;
   fault::RetryPolicy retry_;
   std::chrono::milliseconds rpc_timeout_;
+  std::unique_ptr<ObsProbes> probes_storage_;
+  std::atomic<ObsProbes*> probes_{nullptr};
 };
 
 // An EC-Cache client over the same wire: writes run the real Reed-Solomon

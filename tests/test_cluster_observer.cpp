@@ -1,0 +1,132 @@
+// ClusterObserver aggregation: hand-computed registry state must come back
+// out as the paper's headline statistics (Eq. 15 imbalance, latency
+// percentiles, hit ratio), and an end-to-end run on the threaded cluster
+// must reconcile with the client's own accounting.
+#include "obs/cluster_observer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/client.h"
+#include "core/sp_cache.h"
+#include "obs/metrics.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed * 31 + i * 7);
+  return v;
+}
+
+TEST(ClusterObserver, AggregatesHandComputedRegistryState) {
+  obs::MetricsRegistry registry;
+  registry.counter(obs::names::kClientReads).add(10);
+  registry.counter(obs::names::kClientRetries).add(5);
+  registry.counter(obs::names::kClientDegradedReads).add(2);
+  registry.counter(obs::names::kClientDegradedPieces).add(3);
+  auto& hist = registry.histogram(obs::names::kClientReadLatency);
+  for (int i = 0; i < 90; ++i) hist.record(1e-3);
+  for (int i = 0; i < 10; ++i) hist.record(1e-2);
+  // Two servers: 20 attempts total, 4 misses, 1 error -> 15/20 hits.
+  registry.counter(obs::names::server_metric(0, obs::names::kServerGets)).add(8);
+  registry.counter(obs::names::server_metric(0, obs::names::kServerMisses)).add(4);
+  registry.counter(obs::names::server_metric(1, obs::names::kServerGets)).add(12);
+  registry.counter(obs::names::server_metric(1, obs::names::kServerErrors)).add(1);
+
+  obs::ClusterObserver observer(registry);
+  const auto stats = observer.collect({100.0, 200.0, 300.0, 400.0});
+
+  EXPECT_DOUBLE_EQ(stats.load_max, 400.0);
+  EXPECT_DOUBLE_EQ(stats.load_mean, 250.0);
+  EXPECT_DOUBLE_EQ(stats.load_imbalance, 1.6);
+  EXPECT_DOUBLE_EQ(stats.load_eta, 0.6);  // Eq. 15: (max - mean)/mean
+
+  EXPECT_EQ(stats.reads, 10u);
+  EXPECT_EQ(stats.retries, 5u);
+  EXPECT_EQ(stats.degraded_reads, 2u);
+  EXPECT_EQ(stats.degraded_pieces, 3u);
+  EXPECT_DOUBLE_EQ(stats.retry_rate, 0.5);
+  EXPECT_DOUBLE_EQ(stats.degraded_read_rate, 0.2);
+
+  // 90% of reads at ~1 ms, 10% at ~10 ms: p50 sits in the 1 ms bucket,
+  // p95/p99 in the 10 ms bucket.
+  EXPECT_EQ(stats.read_latency.total, 100u);
+  EXPECT_GT(stats.read_p50_s, 5e-4);
+  EXPECT_LT(stats.read_p50_s, 2e-3);
+  EXPECT_GT(stats.read_p95_s, 5e-3);
+  EXPECT_LT(stats.read_p99_s, 2e-2);
+  EXPECT_GE(stats.read_p99_s, stats.read_p95_s);
+  EXPECT_GE(stats.read_p95_s, stats.read_p50_s);
+
+  EXPECT_DOUBLE_EQ(stats.hit_ratio, 15.0 / 20.0);
+}
+
+TEST(ClusterObserver, EmptyRegistryYieldsZeroedStats) {
+  obs::MetricsRegistry registry;
+  obs::ClusterObserver observer(registry);
+  const auto stats = observer.collect({});
+  EXPECT_EQ(stats.reads, 0u);
+  EXPECT_DOUBLE_EQ(stats.load_imbalance, 0.0);
+  EXPECT_DOUBLE_EQ(stats.hit_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(stats.read_p99_s, 0.0);
+}
+
+TEST(ClusterObserver, JsonCarriesTheDashboard) {
+  obs::MetricsRegistry registry;
+  registry.counter(obs::names::kClientReads).add(4);
+  registry.histogram(obs::names::kClientReadLatency).record(2e-3);
+  obs::ClusterObserver observer(registry);
+  const std::string json = observer.to_json({10.0, 30.0});
+  for (const char* key : {"\"load\"", "\"max\"", "\"mean\"", "\"eta\"", "\"per_server\"",
+                          "\"read_latency_s\"", "\"p50\"", "\"p95\"", "\"p99\"",
+                          "\"hit_ratio\"", "\"retry_rate\"", "\"degraded_pieces\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in " << json;
+  }
+}
+
+TEST(ClusterObserver, EndToEndReconcilesWithClientAccounting) {
+  Cluster cluster(8, gbps(1.0));
+  Master master;
+  ThreadPool pool(2);
+  Rng rng(91);
+  obs::MetricsRegistry registry;
+
+  constexpr std::size_t kFiles = 12;
+  constexpr Bytes kFileSize = 32 * kKB;
+  auto catalog = make_uniform_catalog(kFiles, kFileSize, 1.05, 10.0);
+  SpCacheScheme sp;
+  sp.place(catalog, cluster.bandwidths(), rng);
+  SpClient client(cluster, master, pool);
+  for (FileId f = 0; f < kFiles; ++f) {
+    client.write(f, pattern_bytes(kFileSize, f), sp.placement(f).servers);
+  }
+
+  cluster.attach_observability(&registry);
+  client.attach_observability(&registry);
+  cluster.reset_load_counters();
+
+  constexpr std::size_t kReads = 60;
+  for (std::size_t i = 0; i < kReads; ++i) (void)client.read(i % kFiles);
+
+  obs::ClusterObserver observer(registry);
+  const auto stats = observer.collect(cluster.served_bytes());
+
+  EXPECT_EQ(stats.reads, kReads);
+  EXPECT_EQ(stats.read_failures, 0u);
+  EXPECT_EQ(stats.degraded_reads, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_ratio, 1.0);  // healthy cluster: every GET hits
+  EXPECT_EQ(stats.read_latency.total, kReads);
+  EXPECT_GT(stats.read_p50_s, 0.0);
+  EXPECT_GE(stats.load_imbalance, 1.0);
+  EXPECT_NEAR(stats.load_eta, stats.load_imbalance - 1.0, 1e-12);
+  // All bytes served are accounted: total load == reads * file size.
+  double total = 0.0;
+  for (const double l : stats.server_loads) total += l;
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(kReads * kFileSize));
+}
+
+}  // namespace
+}  // namespace spcache

@@ -1,0 +1,200 @@
+// TraceRecorder properties: bounded ring semantics, replay determinism,
+// and completeness against the IoResult telemetry.
+//
+// The two load-bearing guarantees (see src/obs/trace.h):
+//
+//   * determinism — a chaos run with a seeded FaultInjector and a
+//     single-threaded client produces an event sequence that is a pure
+//     function of the seed; replaying it yields same_shape-identical
+//     traces (timestamps and global seq excluded);
+//   * completeness — every retry and every degraded piece the IoResult
+//     counters report has a matching trace event: the trace never
+//     silently drops a fault the counters saw.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/client.h"
+#include "cluster/stable_store.h"
+#include "core/sp_cache.h"
+#include "fault/fault_injector.h"
+#include "obs/metrics.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint32_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(seed * 31 + i * 7);
+  return v;
+}
+
+struct ChaosRun {
+  std::vector<obs::TraceEvent> events;
+  std::uint64_t reads_completed = 0;
+  std::uint64_t total_retries = 0;  // piece refetches + extra whole-read passes
+  std::uint64_t total_degraded_pieces = 0;
+};
+
+std::uint64_t count_kind(const std::vector<obs::TraceEvent>& events, obs::TraceKind kind) {
+  std::uint64_t n = 0;
+  for (const auto& e : events) n += (e.kind == kind) ? 1 : 0;
+  return n;
+}
+
+// One deterministic chaos run: 8 files on 8 servers, a seeded injector
+// failing ~30% of piece fetches, a single-worker pool and zero backoff so
+// the event order is a pure function of the seed.
+ChaosRun run_chaos(std::uint64_t seed) {
+  Cluster cluster(8, gbps(1.0));
+  Master master;
+  ThreadPool pool(1);
+  StableStore stable;
+  Rng rng(2026);
+
+  constexpr std::size_t kFiles = 8;
+  constexpr Bytes kFileSize = 64 * kKB;
+  auto catalog = make_uniform_catalog(kFiles, kFileSize, 1.05, 10.0);
+  SpCacheScheme sp;
+  sp.place(catalog, cluster.bandwidths(), rng);
+  SpClient writer(cluster, master, pool);
+  for (FileId f = 0; f < kFiles; ++f) {
+    writer.write(f, pattern_bytes(kFileSize, f), sp.placement(f).servers);
+    stable.checkpoint(f, pattern_bytes(kFileSize, f));
+  }
+
+  fault::FaultConfig fcfg;
+  fcfg.fetch_fail_p = 0.3;
+  fault::FaultInjector injector(seed, fcfg);
+  injector.disarm();  // no decisions consumed until the read phase
+
+  fault::RetryPolicy retry;
+  retry.piece_attempts = 2;
+  retry.base_backoff = std::chrono::microseconds(0);
+  retry.max_backoff = std::chrono::microseconds(0);
+  SpClient client(cluster, master, pool, &stable, retry);
+
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder trace;
+  client.attach_observability(&registry, &trace);
+  cluster.set_fault_injector(&injector);
+  injector.arm();
+
+  ChaosRun out;
+  for (int round = 0; round < 4; ++round) {
+    for (FileId f = 0; f < kFiles; ++f) {
+      const auto result = client.read(f);
+      ++out.reads_completed;
+      out.total_retries += result.retries;
+      out.total_degraded_pieces += result.degraded_pieces;
+    }
+  }
+  cluster.set_fault_injector(nullptr);
+  out.events = trace.snapshot();
+  return out;
+}
+
+TEST(TraceRecorder, RingBoundsRetentionAndCountsDrops) {
+  obs::TraceRecorder trace(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    trace.record(obs::TraceKind::kPieceFetch, /*op=*/i, /*file=*/i);
+  }
+  EXPECT_EQ(trace.recorded(), 20u);
+  EXPECT_EQ(trace.dropped(), 12u);
+  const auto events = trace.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest first, newest retained, seq monotone and never reused.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 12 + i);
+    EXPECT_EQ(events[i].op, 12 + i);
+  }
+  trace.clear();
+  EXPECT_EQ(trace.snapshot().size(), 0u);
+  // Seq space survives clear(): no reuse of old sequence numbers.
+  trace.record(obs::TraceKind::kReadStart);
+  EXPECT_GE(trace.snapshot().front().seq, 20u);
+}
+
+TEST(TraceRecorder, OpIdsAreUniqueAndOneBased) {
+  obs::TraceRecorder trace;
+  EXPECT_EQ(trace.begin_op(), 1u);
+  EXPECT_EQ(trace.begin_op(), 2u);
+  EXPECT_EQ(trace.begin_op(), 3u);
+}
+
+TEST(TraceRecorder, TimestampsAreMonotone) {
+  obs::TraceRecorder trace;
+  for (int i = 0; i < 100; ++i) trace.record(obs::TraceKind::kReadStart, i);
+  const auto events = trace.snapshot();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].t_ns, events[i - 1].t_ns);
+  }
+}
+
+TEST(TraceChaos, SeededRunReplaysWithIdenticalShape) {
+  const auto a = run_chaos(1234);
+  const auto b = run_chaos(1234);
+  EXPECT_GT(a.total_retries, 0u) << "chaos config fired no faults; test is vacuous";
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_TRUE(a.events[i].same_shape(b.events[i]))
+        << "event " << i << " diverged: kind " << static_cast<int>(a.events[i].kind) << " vs "
+        << static_cast<int>(b.events[i].kind);
+  }
+  // A different seed produces a different schedule.
+  const auto c = run_chaos(99);
+  bool identical = a.events.size() == c.events.size();
+  for (std::size_t i = 0; identical && i < a.events.size(); ++i) {
+    identical = a.events[i].same_shape(c.events[i]);
+  }
+  EXPECT_FALSE(identical) << "two different seeds produced identical traces";
+}
+
+TEST(TraceChaos, TraceIsCompleteAgainstIoResultTelemetry) {
+  const auto run = run_chaos(777);
+  // Every retry the IoResult counters saw appears in the trace: piece-level
+  // retries as kPieceRetry, whole-read repeat passes as kReadRepeatPass.
+  EXPECT_EQ(count_kind(run.events, obs::TraceKind::kPieceRetry) +
+                count_kind(run.events, obs::TraceKind::kReadRepeatPass),
+            run.total_retries);
+  EXPECT_EQ(count_kind(run.events, obs::TraceKind::kPieceDegraded),
+            run.total_degraded_pieces);
+  EXPECT_EQ(count_kind(run.events, obs::TraceKind::kReadStart), run.reads_completed);
+  EXPECT_EQ(count_kind(run.events, obs::TraceKind::kReadDone), run.reads_completed);
+  EXPECT_EQ(count_kind(run.events, obs::TraceKind::kReadFailed), 0u);
+}
+
+TEST(TraceChaos, EveryEventCarriesItsOpContext) {
+  const auto run = run_chaos(4242);
+  for (const auto& e : run.events) {
+    switch (e.kind) {
+      case obs::TraceKind::kReadStart:
+      case obs::TraceKind::kReadDone:
+      case obs::TraceKind::kPieceFetch:
+      case obs::TraceKind::kPieceRetry:
+      case obs::TraceKind::kPieceDegraded:
+        EXPECT_GT(e.op, 0u) << "read-path event without an op id";
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(TraceRecorder, ToJsonEmitsNewestEvents) {
+  obs::TraceRecorder trace;
+  const auto op = trace.begin_op();
+  trace.record(obs::TraceKind::kReadStart, op, /*file=*/7);
+  trace.record(obs::TraceKind::kReadDone, op, /*file=*/7, /*server=*/0, /*piece=*/0,
+               /*value=*/0.001);
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("read_start"), std::string::npos);
+  EXPECT_NE(json.find("read_done"), std::string::npos);
+  EXPECT_NE(json.find("\"file\": 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spcache

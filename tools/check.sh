@@ -25,11 +25,19 @@ TSAN_FILTER='test_cluster_|test_rpc_|test_common_thread_pool|test_integration|te
 # checked for races, not just for correctness.
 CHAOS_FILTER='test_fault_injector|test_cluster_degraded_read|test_cluster_chaos'
 
+# Observability tier: the `obs` ctest label — metrics-registry invariants
+# under 16 concurrent writers, trace determinism/completeness, the
+# ClusterObserver aggregation, and the Eq. 1 partition property suite
+# (`ctest -L property` runs just the latter).
+
 if [[ "$QUICK" -eq 0 ]]; then
   echo "==> tier-1: release build + full test suite"
   cmake --preset default
   cmake --build --preset default -j "$(nproc)"
   ctest --preset default -j "$(nproc)"
+
+  echo "==> observability: registry/trace/observer invariants (-L obs)"
+  ctest --preset default -L obs
 fi
 
 echo "==> ThreadSanitizer: configure + build"
@@ -41,5 +49,8 @@ ctest --preset tsan -R "${TSAN_FILTER}"
 
 echo "==> ThreadSanitizer: chaos stage (${CHAOS_FILTER})"
 ctest --preset tsan -R "${CHAOS_FILTER}"
+
+echo "==> ThreadSanitizer: observability stage (-L obs)"
+ctest --preset tsan -L obs
 
 echo "==> all checks passed"
