@@ -1,0 +1,265 @@
+// Metadata-light read path: what the SP-Master stops paying per read.
+//
+// Under the paper's Zipf skew the servers Eq. 1 balances stop being the
+// bottleneck once every read also pays a synchronous master LOOKUP — the
+// metadata path saturates first. This bench drives the real RPC stack
+// (Bus + MasterService + CacheWorkerService workers + RpcSpClient) with
+// Zipf-distributed reads from concurrent client threads and compares two
+// configurations of the *same* cluster:
+//
+//   baseline   ClientCacheConfig with every knob off: LOOKUP per read,
+//              one kGetBlock envelope per piece, no single-flight.
+//   cached     the default metadata-light path: epoch-validated layout
+//              cache (kLookupBatch warmup), per-worker kGetBlockMulti
+//              coalescing, single-flight dedup, batched kReportAccess.
+//
+// Reported per mode: reads/sec, master LOOKUPs per read, the fraction of
+// reads that never touched the master (steady-state target: >= 90%),
+// bus envelopes per read, and p99 read latency. Popularity parity is
+// checked too: after the flush, the master's access total equals the
+// number of reads, so Eq. 1's P_i input survives the offload. Output:
+// console table + CSV + machine-readable BENCH_metadata.json.
+//
+// `--smoke` shrinks the measurement for CI (tools/check.sh).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "rpc/cache_service.h"
+#include "workload/zipf.h"
+
+namespace spcache::bench {
+namespace {
+
+constexpr std::size_t kNWorkers = 8;
+constexpr std::size_t kFiles = 48;
+constexpr Bytes kFileBytes = 96 * kKB;
+constexpr double kZipfExponent = 1.05;  // Section 7.1 skew
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchConfig {
+  std::size_t threads = 4;
+  double measure_seconds = 1.0;
+};
+
+struct ModeResult {
+  std::string mode;
+  std::uint64_t reads = 0;
+  double reads_per_sec = 0.0;
+  double lookups_per_read = 0.0;
+  double lookup_free_frac = 0.0;  // reads that never touched the master
+  double envelopes_per_read = 0.0;
+  double coalesced_per_read = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t access_total = 0;  // master-side popularity after flush
+};
+
+std::vector<std::uint8_t> payload(FileId id) {
+  std::vector<std::uint8_t> v(kFileBytes);
+  std::uint64_t s = 0x9e3779b97f4a7c15ull ^ (id * 0xbf58476d1ce4e5b9ull);
+  for (auto& b : v) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    b = static_cast<std::uint8_t>(s);
+  }
+  return v;
+}
+
+ModeResult run_mode(const std::string& mode, const ClientCacheConfig& cache,
+                    const BenchConfig& bench) {
+  rpc::Bus bus;
+  obs::MetricsRegistry registry;
+  rpc::MasterService master(bus);
+  std::vector<std::unique_ptr<rpc::CacheWorkerService>> workers;
+  std::vector<rpc::NodeId> worker_nodes;
+  for (std::size_t s = 0; s < kNWorkers; ++s) {
+    workers.push_back(std::make_unique<rpc::CacheWorkerService>(
+        bus, rpc::kFirstWorkerNode + static_cast<rpc::NodeId>(s),
+        static_cast<std::uint32_t>(s), gbps(1.0)));
+    worker_nodes.push_back(workers.back()->node_id());
+  }
+  rpc::RpcSpClient client(bus, rpc::kFirstClientNode, rpc::kMasterNode, worker_nodes,
+                          fault::RetryPolicy{}, std::chrono::milliseconds(2000), cache);
+  bus.attach_observability(&registry);
+  client.attach_observability(&registry);
+  master.master().attach_observability(&registry);
+
+  // Catalog: hot files (low Zipf rank = low id) get more partitions, like
+  // Eq. 1 would assign them. The hottest few are chunked past the worker
+  // count (the Fig. 14 regime), so several of their pieces share a worker
+  // and the coalesced path has envelopes to merge.
+  std::vector<FileId> ids;
+  for (FileId f = 0; f < kFiles; ++f) {
+    const std::size_t k = f < 4 ? 12 : (f < 16 ? 3 : 1);
+    std::vector<std::uint32_t> servers;
+    for (std::size_t i = 0; i < k; ++i) {
+      servers.push_back(static_cast<std::uint32_t>((f + i) % kNWorkers));
+    }
+    client.write(f, payload(f), servers);
+    ids.push_back(f);
+  }
+
+  // Warm-up: one kLookupBatch primes the cache (metadata-light mode);
+  // a read of each file touches every worker path in both modes.
+  client.prefetch_layouts(ids);
+  for (FileId f = 0; f < kFiles; ++f) {
+    if (client.read(f).size() != kFileBytes) throw std::runtime_error("warmup: short read");
+  }
+
+  const auto lookups0 = registry.counter(obs::names::kMasterLookups).value();
+  const auto routed0 = registry.counter(obs::names::kBusRouted).value();
+  const auto coalesced0 = registry.counter(obs::names::kBusEnvelopesCoalesced).value();
+
+  ZipfDistribution zipf(kFiles, kZipfExponent);
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ops(bench.threads, 0);
+  std::vector<std::vector<double>> latencies(bench.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(bench.threads);
+  for (std::size_t t = 0; t < bench.threads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0xfeed + 31 * t);
+      auto& lat = latencies[t];
+      lat.reserve(1 << 12);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const FileId id = static_cast<FileId>(zipf.sample(rng));
+        const auto op_start = Clock::now();
+        const auto bytes = client.read(id);
+        const auto op_end = Clock::now();
+        if (bytes.size() != kFileBytes) throw std::runtime_error("bench: short read");
+        ++ops[t];
+        lat.push_back(std::chrono::duration<double, std::micro>(op_end - op_start).count());
+      }
+    });
+  }
+
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  while (std::chrono::duration<double>(Clock::now() - start).count() < bench.measure_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+
+  ModeResult result;
+  result.mode = mode;
+  std::vector<double> all;
+  for (std::size_t t = 0; t < bench.threads; ++t) {
+    result.reads += ops[t];
+    all.insert(all.end(), latencies[t].begin(), latencies[t].end());
+  }
+  result.reads_per_sec = static_cast<double>(result.reads) / elapsed;
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    result.p99_us = all[std::min(all.size() - 1,
+                                 static_cast<std::size_t>(0.99 * static_cast<double>(all.size())))];
+  }
+
+  const auto lookups = registry.counter(obs::names::kMasterLookups).value() - lookups0;
+  const auto routed = registry.counter(obs::names::kBusRouted).value() - routed0;
+  const auto coalesced = registry.counter(obs::names::kBusEnvelopesCoalesced).value() - coalesced0;
+  if (result.reads > 0) {
+    const double reads = static_cast<double>(result.reads);
+    result.lookups_per_read = static_cast<double>(lookups) / reads;
+    result.lookup_free_frac =
+        lookups >= result.reads ? 0.0 : 1.0 - static_cast<double>(lookups) / reads;
+    result.envelopes_per_read = static_cast<double>(routed) / reads;
+    result.coalesced_per_read = static_cast<double>(coalesced) / reads;
+  }
+
+  // Popularity parity: the flush delivers every cache-served access, so
+  // the master's total matches what a per-read-LOOKUP deployment records.
+  client.flush_access_reports();
+  for (FileId f = 0; f < kFiles; ++f) result.access_total += client.access_count(f);
+  return result;
+}
+
+}  // namespace
+}  // namespace spcache::bench
+
+int main(int argc, char** argv) {
+  using namespace spcache;
+  using namespace spcache::bench;
+
+  BenchConfig bench;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      bench.threads = 2;
+      bench.measure_seconds = 0.15;
+    }
+  }
+
+  print_experiment_header(
+      std::cout, "Metadata offload",
+      "Zipf reads over the RPC stack at " + std::to_string(bench.threads) +
+          " client threads: always-LOOKUP baseline vs the metadata-light\n"
+          "path (epoch-validated layout cache + per-worker multi-GET\n"
+          "coalescing + single-flight + batched kReportAccess). " +
+          std::to_string(kFiles) + " files x " + std::to_string(kFileBytes / kKB) + " kB on " +
+          std::to_string(kNWorkers) + " workers.");
+
+  ClientCacheConfig baseline;
+  baseline.layout_cache = false;
+  baseline.coalesce = false;
+  baseline.single_flight = false;
+  const auto base = run_mode("baseline", baseline, bench);
+  const auto light = run_mode("cached", ClientCacheConfig{}, bench);
+
+  Table table({"mode", "reads", "reads_s", "lookups_per_read", "lookup_free", "env_per_read",
+               "coalesced_per_read", "p99_us"});
+  table.set_precision(4);
+  std::vector<JsonRow> json_rows;
+  for (const auto& r : {base, light}) {
+    table.add_row({r.mode, static_cast<long long>(r.reads), r.reads_per_sec, r.lookups_per_read,
+                   r.lookup_free_frac, r.envelopes_per_read, r.coalesced_per_read, r.p99_us});
+    JsonRow row{text_field("mode", r.mode),
+                {"reads", static_cast<double>(r.reads)},
+                {"reads_per_sec", r.reads_per_sec},
+                {"lookups_per_read", r.lookups_per_read},
+                {"lookup_free_frac", r.lookup_free_frac},
+                {"envelopes_per_read", r.envelopes_per_read},
+                {"coalesced_per_read", r.coalesced_per_read},
+                {"p99_us", r.p99_us},
+                {"master_access_total", static_cast<double>(r.access_total)}};
+    json_rows.push_back(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+  table.print_csv(std::cout);
+
+  const double speedup = base.reads_per_sec > 0 ? light.reads_per_sec / base.reads_per_sec : 0.0;
+  json_rows.push_back(JsonRow{text_field("mode", "summary"),
+                              {"throughput_speedup", speedup},
+                              {"lookup_free_frac", light.lookup_free_frac}});
+  std::cout << "\nthroughput speedup (cached/baseline): " << speedup
+            << "\nlookup-free reads (cached, steady state): " << light.lookup_free_frac * 100.0
+            << "%\n";
+
+  const auto path = write_json_report("metadata", json_rows);
+  std::cout << "wrote " << path << "\n";
+
+  if (light.lookup_free_frac < 0.9) {
+    std::cerr << "FAIL: fewer than 90% of steady-state reads were lookup-free\n";
+    return 1;
+  }
+  if (speedup <= 1.0) {
+    std::cerr << "FAIL: metadata-light throughput did not beat the baseline\n";
+    return 1;
+  }
+  return 0;
+}

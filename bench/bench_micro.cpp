@@ -10,6 +10,7 @@
 #include "erasure/rs_code.h"
 #include "math/forkjoin_bound.h"
 #include "math/scale_factor.h"
+#include "rpc/serialize.h"
 #include "sim/lru_cache.h"
 #include "workload/file_catalog.h"
 
@@ -96,6 +97,35 @@ void BM_ScaleFactorSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScaleFactorSearch)->Arg(100)->Arg(500)->Unit(benchmark::kMillisecond);
+
+// Serialization of a kGetBlockMulti-style reply (count + per-piece tag +
+// length-prefixed bytes) with and without the up-front reserve() the RPC
+// hot paths now use — the delta is the cost of the O(log n) doubling
+// reallocations reserve() removes.
+void BM_BufferWriterSerialize(benchmark::State& state) {
+  Rng rng(7);
+  constexpr std::size_t kPieces = 8;
+  const auto piece = random_bytes(static_cast<std::size_t>(state.range(0)), rng);
+  const bool reserve = state.range(1) != 0;
+  for (auto _ : state) {
+    rpc::BufferWriter w;
+    if (reserve) w.reserve(4 + kPieces * (1 + 4 + piece.size()));
+    w.u32(kPieces);
+    for (std::size_t i = 0; i < kPieces; ++i) {
+      w.u8(1);
+      w.bytes(piece);
+    }
+    auto buf = w.take();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPieces * piece.size()));
+}
+BENCHMARK(BM_BufferWriterSerialize)
+    ->Args({64 * 1024, 0})
+    ->Args({64 * 1024, 1})
+    ->Args({512 * 1024, 0})
+    ->Args({512 * 1024, 1});
 
 void BM_LruAccess(benchmark::State& state) {
   const auto cat = make_uniform_catalog(10000, 100, 1.1, 1.0);

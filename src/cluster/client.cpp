@@ -32,16 +32,52 @@ double elapsed_seconds(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 SpClient::SpClient(Cluster& cluster, Master& master, ThreadPool& pool, GoodputModel goodput)
-    : cluster_(cluster), master_(master), pool_(pool), goodput_(goodput) {}
+    : SpClient(cluster, master, pool, nullptr, fault::RetryPolicy{}, goodput) {}
 
 SpClient::SpClient(Cluster& cluster, Master& master, ThreadPool& pool, StableStore* stable,
-                   fault::RetryPolicy retry, GoodputModel goodput)
+                   fault::RetryPolicy retry, GoodputModel goodput, ClientCacheConfig cache)
     : cluster_(cluster),
       master_(master),
       pool_(pool),
       stable_(stable),
       retry_(retry),
-      goodput_(goodput) {}
+      goodput_(goodput),
+      cache_config_(cache),
+      layout_cache_(cache.cache_capacity),
+      access_acc_(cache.report_flush_threshold) {}
+
+SpClient::~SpClient() { flush_access_reports(); }
+
+std::uint64_t SpClient::flush_access_reports() {
+  const auto deltas = access_acc_.drain();
+  if (deltas.empty()) return 0;
+  return master_.report_access_batch(deltas);
+}
+
+void SpClient::cache_own_write(FileId id) {
+  if (!cache_config_.layout_cache) return;
+  // The master assigned the epoch during register/update; re-read it so
+  // the cached entry carries the authoritative layout.
+  if (auto meta = master_.peek(id)) layout_cache_.put(id, std::move(*meta));
+}
+
+std::optional<FileMeta> SpClient::layout_for_pass(FileId id, std::size_t pass,
+                                                  bool& from_cache) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  from_cache = false;
+  if (cache_config_.layout_cache && pass == 1) {
+    if (auto cached = layout_cache_.get(id)) {
+      from_cache = true;
+      if (probes) probes->layout_hits->add(1);
+      if (access_acc_.record(id)) flush_access_reports();
+      return cached;
+    }
+    if (probes) probes->layout_misses->add(1);
+  }
+  auto meta = master_.lookup_for_read(id);
+  if (meta && cache_config_.layout_cache) layout_cache_.put(id, *meta);
+  return meta;
+}
 
 IoResult SpClient::write_sized(FileId id, std::span<const std::uint8_t> data,
                                const std::vector<std::uint32_t>& servers,
@@ -63,6 +99,7 @@ IoResult SpClient::write_sized(FileId id, std::span<const std::uint8_t> data,
   } else {
     master_.register_file(id, std::move(meta));
   }
+  cache_own_write(id);
   IoResult result;
   result.network_time = modelled_write_time(cluster_, servers, data.size(), goodput_);
   return result;
@@ -89,6 +126,7 @@ IoResult SpClient::write(FileId id, std::span<const std::uint8_t> data,
   } else {
     master_.register_file(id, std::move(meta));
   }
+  cache_own_write(id);
 
   IoResult result;
   result.network_time = modelled_write_time(cluster_, servers, data.size(), goodput_);
@@ -227,13 +265,15 @@ IoResult SpClient::read(FileId id) {
       }
       fault::backoff_sleep(retry_, pass, mix64(static_cast<std::uint64_t>(id) * 0x51ed) ^ pass);
     }
-    const auto meta = master_.lookup_for_read(id);
+    bool from_cache = false;
+    const auto meta = layout_for_pass(id, pass, from_cache);
     if (!meta) {
       if (probes) probes->read_failures->add(1);
       if (trace) trace->record(obs::TraceKind::kReadFailed, op, id);
       throw std::runtime_error("SpClient::read: unknown file");
     }
     if (read_pass(id, *meta, pass, op, result, error)) {
+      result.layout_cached = from_cache;
       if (probes) {
         const double wall = elapsed_seconds(start);
         probes->reads->add(1);
@@ -245,6 +285,13 @@ IoResult SpClient::read(FileId id) {
         if (trace) trace->record(obs::TraceKind::kReadDone, op, id, 0, 0, wall);
       }
       return result;
+    }
+    // The pass failed against this layout: drop it from the cache so the
+    // next pass (and concurrent readers) re-LOOKUP instead of replaying a
+    // stale layout.
+    if (cache_config_.layout_cache) {
+      layout_cache_.invalidate(id);
+      if (probes) probes->layout_invalidations->add(1);
     }
   }
   if (probes) {
@@ -269,6 +316,9 @@ void SpClient::attach_observability(obs::MetricsRegistry* registry,
   probes->retries = &registry->counter(n::kClientRetries);
   probes->degraded_reads = &registry->counter(n::kClientDegradedReads);
   probes->degraded_pieces = &registry->counter(n::kClientDegradedPieces);
+  probes->layout_hits = &registry->counter(n::kClientLayoutHits);
+  probes->layout_misses = &registry->counter(n::kClientLayoutMisses);
+  probes->layout_invalidations = &registry->counter(n::kClientLayoutInvalidations);
   probes->read_wall = &registry->histogram(n::kClientReadLatency);
   probes->read_model = &registry->histogram(n::kClientReadModelled);
   probes->trace = trace;

@@ -41,6 +41,7 @@
 #include "common/thread_pool.h"
 #include "common/units.h"
 #include "cluster/cache_server.h"
+#include "cluster/layout_cache.h"
 #include "cluster/master.h"
 #include "erasure/rs_code.h"
 #include "fault/retry.h"
@@ -57,6 +58,7 @@ struct IoResult {
   std::size_t retries = 0;          // piece refetches + extra whole-read passes
   std::size_t degraded_pieces = 0;  // pieces served from stable storage
   bool degraded = false;            // true iff any piece failed over to stable
+  bool layout_cached = false;       // read served without a master LOOKUP
 };
 
 class SpClient {
@@ -66,9 +68,13 @@ class SpClient {
 
   // Fault-tolerant variant: `stable` (may be nullptr) enables per-piece
   // failover to an inline stable-storage restore; `retry` tunes the
-  // backoff schedule.
+  // backoff schedule; `cache` tunes (or disables) the layout cache.
   SpClient(Cluster& cluster, Master& master, ThreadPool& pool, StableStore* stable,
-           fault::RetryPolicy retry, GoodputModel goodput = GoodputModel{});
+           fault::RetryPolicy retry, GoodputModel goodput = GoodputModel{},
+           ClientCacheConfig cache = ClientCacheConfig{});
+
+  // Flushes pending batched access reports (best effort).
+  ~SpClient();
 
   // Write `data` as `servers.size()` near-equal pieces, one per listed
   // server (distinct). Registers/updates the file at the master.
@@ -86,9 +92,22 @@ class SpClient {
   // stable-store failover, and whole-read repair-aware passes (see the
   // header comment). Throws std::runtime_error only once the file is
   // unknown or every pass of the retry budget is exhausted.
+  //
+  // Metadata-light: pass 1 serves the layout from the client cache when
+  // present (no master LOOKUP; the access is tallied locally and shipped
+  // via Master::report_access_batch on the flush threshold). Any pass
+  // failure invalidates the cached layout, and passes >= 2 always
+  // re-LOOKUP — so stale layouts converge through the existing retry
+  // machinery.
   IoResult read(FileId id);
 
+  // Ship pending cache-served access counts to the master now. Returns
+  // the number of accesses reported. Called automatically on the flush
+  // threshold and from the destructor.
+  std::uint64_t flush_access_reports();
+
   const fault::RetryPolicy& retry_policy() const { return retry_; }
+  const LayoutCache& layout_cache() const { return layout_cache_; }
 
   // --- Observability (src/obs) ----------------------------------------
   // Resolve the shared "client.*" metrics in `registry` once and start
@@ -108,6 +127,9 @@ class SpClient {
     obs::Counter* retries = nullptr;
     obs::Counter* degraded_reads = nullptr;
     obs::Counter* degraded_pieces = nullptr;
+    obs::Counter* layout_hits = nullptr;
+    obs::Counter* layout_misses = nullptr;
+    obs::Counter* layout_invalidations = nullptr;
     obs::LatencyHistogram* read_wall = nullptr;
     obs::LatencyHistogram* read_model = nullptr;
     obs::TraceRecorder* trace = nullptr;  // may stay null (metrics only)
@@ -121,12 +143,23 @@ class SpClient {
   bool read_pass(FileId id, const FileMeta& meta, std::size_t pass, std::uint64_t op,
                  IoResult& result, std::string& error);
 
+  // Layout for pass `pass`: cache on pass 1 (when enabled), fresh
+  // master LOOKUP otherwise (write-through to the cache). Sets
+  // `from_cache` and handles the hit/miss tallies + batched reporting.
+  std::optional<FileMeta> layout_for_pass(FileId id, std::size_t pass, bool& from_cache);
+
+  // Write-through helper: publish the just-registered layout to the cache.
+  void cache_own_write(FileId id);
+
   Cluster& cluster_;
   Master& master_;
   ThreadPool& pool_;
   StableStore* stable_ = nullptr;
   fault::RetryPolicy retry_;
   GoodputModel goodput_;
+  ClientCacheConfig cache_config_;
+  LayoutCache layout_cache_;
+  AccessAccumulator access_acc_;
   std::unique_ptr<ObsProbes> probes_storage_;
   std::atomic<ObsProbes*> probes_{nullptr};
 };

@@ -1,0 +1,92 @@
+#include "cluster/layout_cache.h"
+
+#include <algorithm>
+
+namespace spcache {
+
+LayoutCache::LayoutCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, kShards)),
+      per_shard_(std::max<std::size_t>(1, (capacity_ + kShards - 1) / kShards)) {}
+
+std::optional<FileMeta> LayoutCache::get(FileId id) {
+  auto& shard = shard_for(id);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void LayoutCache::put(FileId id, FileMeta meta) {
+  auto& shard = shard_for(id);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.entries.find(id);
+  if (it != shard.entries.end()) {
+    // Newer epoch wins: a slow LOOKUP reply must not clobber the layout a
+    // concurrent reader already refreshed past it.
+    if (meta.epoch >= it->second.epoch) it->second = std::move(meta);
+    return;
+  }
+  while (shard.entries.size() >= per_shard_ && !shard.fifo.empty()) {
+    shard.entries.erase(shard.fifo.front());
+    shard.fifo.pop_front();
+  }
+  shard.fifo.push_back(id);
+  shard.entries.emplace(id, std::move(meta));
+}
+
+bool LayoutCache::invalidate(FileId id) {
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  auto& shard = shard_for(id);
+  std::lock_guard lock(shard.mu);
+  // The fifo keeps the id; the eviction loop skips ids already erased
+  // (erase of an absent key is a no-op), so no O(n) fifo scan here.
+  return shard.entries.erase(id) > 0;
+}
+
+bool LayoutCache::contains(FileId id) const {
+  const auto& shard = shard_for(id);
+  std::lock_guard lock(shard.mu);
+  return shard.entries.find(id) != shard.entries.end();
+}
+
+std::size_t LayoutCache::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+AccessAccumulator::AccessAccumulator(std::size_t flush_threshold)
+    : flush_threshold_(flush_threshold) {}
+
+bool AccessAccumulator::record(FileId id, std::uint64_t n) {
+  if (n == 0) return false;
+  auto& shard = shards_[shard_of<kShards>(id)];
+  {
+    std::lock_guard lock(shard.mu);
+    shard.deltas[id] += n;
+  }
+  const auto pending = pending_.fetch_add(n, std::memory_order_relaxed) + n;
+  return pending >= flush_threshold_;
+}
+
+std::vector<std::pair<FileId, std::uint64_t>> AccessAccumulator::drain() {
+  std::vector<std::pair<FileId, std::uint64_t>> out;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    for (auto& [id, delta] : shard.deltas) {
+      out.emplace_back(id, delta);
+      pending_.fetch_sub(delta, std::memory_order_relaxed);
+    }
+    shard.deltas.clear();
+  }
+  return out;
+}
+
+}  // namespace spcache

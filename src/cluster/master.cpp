@@ -15,6 +15,17 @@ const Master::Shard& Master::shard_for(FileId id) const {
   return shards_[shard_of<kShards>(id)];
 }
 
+namespace {
+
+// Layout epochs are strictly monotone per file no matter what the writer
+// proposed: a stale or unset (0) proposal still lands above the previous
+// epoch, so cached-layout clients can always order two layouts.
+std::uint64_t next_epoch(std::uint64_t proposed, std::uint64_t current) {
+  return std::max(proposed, current + 1);
+}
+
+}  // namespace
+
 void Master::register_file(FileId id, FileMeta meta) {
   assert(meta.servers.size() == meta.piece_sizes.size());
   auto& shard = shard_for(id);
@@ -23,6 +34,7 @@ void Master::register_file(FileId id, FileMeta meta) {
   if (inserted) it->second = std::make_shared<MasterFileEntry>();
   // Re-registering keeps the existing access count (matches the pre-shard
   // behaviour of try_emplace on the counter map).
+  meta.epoch = next_epoch(meta.epoch, inserted ? 0 : it->second->meta.epoch);
   it->second->meta = std::move(meta);
 }
 
@@ -35,6 +47,7 @@ void Master::update_file(FileId id, FileMeta meta) {
   std::unique_lock lock(shard.mu);
   const auto it = shard.files.find(id);
   assert(it != shard.files.end());
+  meta.epoch = next_epoch(meta.epoch, it->second->meta.epoch);
   it->second->meta = std::move(meta);
 }
 
@@ -83,6 +96,33 @@ std::optional<FileMeta> Master::peek(FileId id) const {
   const auto it = shard.files.find(id);
   if (it == shard.files.end()) return std::nullopt;
   return it->second->meta;
+}
+
+std::uint64_t Master::file_epoch(FileId id) const {
+  const auto& shard = shard_for(id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.files.find(id);
+  return it == shard.files.end() ? 0 : it->second->meta.epoch;
+}
+
+std::uint64_t Master::report_access(FileId id, std::uint64_t delta) {
+  if (delta == 0) return 0;
+  auto& shard = shard_for(id);
+  std::shared_lock lock(shard.mu);
+  const auto it = shard.files.find(id);
+  if (it == shard.files.end()) return 0;
+  it->second->access_count.fetch_add(delta, std::memory_order_relaxed);
+  if (const auto* probes = probes_.load(std::memory_order_acquire)) {
+    probes->lookups_saved->add(delta);
+  }
+  return delta;
+}
+
+std::uint64_t Master::report_access_batch(
+    const std::vector<std::pair<FileId, std::uint64_t>>& deltas) {
+  std::uint64_t applied = 0;
+  for (const auto& [id, delta] : deltas) applied += report_access(id, delta);
+  return applied;
 }
 
 std::uint64_t Master::access_count(FileId id) const {
@@ -160,6 +200,7 @@ void Master::attach_observability(obs::MetricsRegistry* registry) {
   probes->lookups = &registry->counter(n::kMasterLookups);
   probes->updates = &registry->counter(n::kMasterUpdates);
   probes->contention = &registry->counter(n::kMasterShardContention);
+  probes->lookups_saved = &registry->counter(n::kMasterLookupsSaved);
   probes->lookup_latency = &registry->histogram(n::kMasterLookupLatency);
   probes_storage_ = std::move(probes);
   probes_.store(probes_storage_.get(), std::memory_order_release);

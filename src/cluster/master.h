@@ -54,6 +54,14 @@ struct FileMeta {
   std::vector<std::uint32_t> servers;    // piece i lives on servers[i]
   std::vector<Bytes> piece_sizes;        // parallel to servers
   std::uint32_t file_crc = 0;            // CRC of the whole file
+  // Layout generation, monotonically increasing per file. Every mutation
+  // that can move bytes (register/overwrite, repartition, online
+  // split/merge, repair re-placement) lands a strictly larger epoch, so a
+  // client-side layout cache can tell "same layout" from "stale layout"
+  // without comparing server lists. The Master enforces monotonicity on
+  // register_file/update_file; writers may propose an epoch (the RPC write
+  // path stamps pieces with it) and the master keeps max(proposed, old+1).
+  std::uint64_t epoch = 0;
 
   std::size_t partitions() const { return servers.size(); }
 };
@@ -75,6 +83,19 @@ class Master {
 
   // Metadata access without touching counters.
   std::optional<FileMeta> peek(FileId id) const;
+
+  // Current layout epoch; 0 for an unknown file.
+  std::uint64_t file_epoch(FileId id) const;
+
+  // Batched popularity report (the metadata-light read path): a client
+  // that served `delta` reads of `id` from its layout cache reports them
+  // here instead of paying `delta` LOOKUP round-trips. Feeds the same
+  // access counters as lookup_for_read, so Eq. 1's popularity input is
+  // unchanged; counts for unknown files are dropped (the file was removed
+  // since the client cached it). Returns the number of accesses applied.
+  std::uint64_t report_access(FileId id, std::uint64_t delta);
+  std::uint64_t report_access_batch(
+      const std::vector<std::pair<FileId, std::uint64_t>>& deltas);
 
   std::uint64_t access_count(FileId id) const;
   void reset_access_counts();
@@ -128,6 +149,7 @@ class Master {
     obs::Counter* lookups = nullptr;
     obs::Counter* updates = nullptr;
     obs::Counter* contention = nullptr;
+    obs::Counter* lookups_saved = nullptr;  // accesses applied via report_access
     obs::LatencyHistogram* lookup_latency = nullptr;
   };
 

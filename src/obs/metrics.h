@@ -126,7 +126,14 @@ inline constexpr std::string_view kClientDegradedReads = "client.degraded_reads"
 inline constexpr std::string_view kClientDegradedPieces = "client.degraded_pieces";
 inline constexpr std::string_view kClientReadLatency = "client.read_s";        // wall
 inline constexpr std::string_view kClientReadModelled = "client.read_model_s"; // virtual
+// Metadata-light read path (client-side layout cache + coalesced GETs).
+inline constexpr std::string_view kClientLayoutHits = "client.layout_cache.hits";
+inline constexpr std::string_view kClientLayoutMisses = "client.layout_cache.misses";
+inline constexpr std::string_view kClientLayoutInvalidations =
+    "client.layout_cache.invalidations";
+inline constexpr std::string_view kClientSingleFlightShared = "client.singleflight_shared";
 inline constexpr std::string_view kMasterLookups = "master.lookups";
+inline constexpr std::string_view kMasterLookupsSaved = "master.lookups_saved";
 inline constexpr std::string_view kMasterUpdates = "master.updates";
 inline constexpr std::string_view kMasterShardContention = "master.shard_contention";
 inline constexpr std::string_view kMasterLookupLatency = "master.lookup_s";
@@ -137,6 +144,14 @@ inline constexpr std::string_view kBusInFlight = "bus.in_flight";
 inline constexpr std::string_view kBusDrops = "bus.drops";
 inline constexpr std::string_view kBusDelays = "bus.delays";
 inline constexpr std::string_view kBusDuplicates = "bus.duplicates";
+// Multi-GET coalescing: envelopes NOT sent because pieces shared a
+// destination worker (pieces - distinct workers, per read fan-out).
+inline constexpr std::string_view kBusEnvelopesCoalesced = "bus.envelopes_coalesced";
+// Mailbox batch drains: service loops that swapped the whole deque under
+// one lock/cv cycle, and how many envelopes those swaps carried.
+inline constexpr std::string_view kBusMailboxBatches = "bus.mailbox_batches";
+inline constexpr std::string_view kBusMailboxBatchedEnvelopes =
+    "bus.mailbox_batched_envelopes";
 inline constexpr std::string_view kMonitorDeaths = "monitor.deaths_declared";
 inline constexpr std::string_view kMonitorRepairs = "monitor.repairs_completed";
 inline constexpr std::string_view kMonitorRepairSpan = "monitor.detect_to_repair_s";

@@ -120,19 +120,29 @@ void RpcNode::deliver(Envelope envelope) {
 }
 
 void RpcNode::service_loop() {
+  std::deque<Envelope> batch;
   for (;;) {
-    Envelope envelope;
+    batch.clear();
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !mailbox_.empty(); });
       if (mailbox_.empty()) return;  // stopping with drained mailbox
-      envelope = std::move(mailbox_.front());
-      mailbox_.pop_front();
+      // Batch drain: swap the whole mailbox out under the lock instead of
+      // popping one envelope per lock/cv cycle. Senders that arrive while
+      // we work fill a fresh deque; under load one wakeup amortizes over
+      // the entire backlog.
+      batch.swap(mailbox_);
     }
-    if (envelope.is_reply) {
-      resolve_reply(envelope);
-    } else {
-      dispatch_request(envelope);
+    if (auto* probes = bus_.observability(); probes && probes->mailbox_batches) {
+      probes->mailbox_batches->add(1);
+      probes->mailbox_batched_envelopes->add(batch.size());
+    }
+    for (auto& envelope : batch) {
+      if (envelope.is_reply) {
+        resolve_reply(envelope);
+      } else {
+        dispatch_request(envelope);
+      }
     }
   }
 }
@@ -155,6 +165,11 @@ void RpcNode::dispatch_request(const Envelope& envelope) {
       reply.payload.reserve(body.size() + 1);
       reply.payload.push_back(static_cast<std::uint8_t>(Status::kOk));
       reply.payload.insert(reply.payload.end(), body.begin(), body.end());
+    } catch (const WrongEpochError& e) {
+      reply.payload.clear();
+      reply.payload.push_back(static_cast<std::uint8_t>(Status::kWrongEpoch));
+      const std::string msg = e.what();
+      reply.payload.insert(reply.payload.end(), msg.begin(), msg.end());
     } catch (const std::exception& e) {
       reply.payload.clear();
       reply.payload.push_back(static_cast<std::uint8_t>(Status::kError));
@@ -256,6 +271,9 @@ void Bus::attach_observability(obs::MetricsRegistry* registry, obs::TraceRecorde
   probes->drops = &registry->counter(n::kBusDrops);
   probes->delays = &registry->counter(n::kBusDelays);
   probes->duplicates = &registry->counter(n::kBusDuplicates);
+  probes->mailbox_batches = &registry->counter(n::kBusMailboxBatches);
+  probes->mailbox_batched_envelopes = &registry->counter(n::kBusMailboxBatchedEnvelopes);
+  probes->envelopes_coalesced = &registry->counter(n::kBusEnvelopesCoalesced);
   probes->trace = trace;
   probes_storage_ = std::move(probes);
   probes_.store(probes_storage_.get(), std::memory_order_release);

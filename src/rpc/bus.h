@@ -21,6 +21,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -45,7 +46,17 @@ using NodeId = std::uint32_t;
 using MethodId = std::uint16_t;
 
 // Status byte leading every reply payload.
-enum class Status : std::uint8_t { kOk = 0, kError = 1, kNoSuchMethod = 2 };
+enum class Status : std::uint8_t { kOk = 0, kError = 1, kNoSuchMethod = 2, kWrongEpoch = 3 };
+
+// Thrown by a handler that detects a stale layout epoch in the request
+// (e.g. a cache server asked for blocks of a layout that has since been
+// repartitioned). dispatch_request turns it into a kWrongEpoch reply —
+// distinguishable from kError so clients invalidate their cached layout
+// and re-LOOKUP instead of burning retries against the same stale layout.
+class WrongEpochError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct Envelope {
   NodeId from = 0;
@@ -179,8 +190,22 @@ class Bus {
     obs::Counter* drops = nullptr;
     obs::Counter* delays = nullptr;
     obs::Counter* duplicates = nullptr;
+    // Mailbox batch-drain stats (recorded by RpcNode::service_loop):
+    // batches = lock/cv cycles that yielded work, batched_envelopes = total
+    // envelopes those cycles drained. batched_envelopes / batches is the
+    // mean drain depth — >1 under load means the swap is amortizing locks.
+    obs::Counter* mailbox_batches = nullptr;
+    obs::Counter* mailbox_batched_envelopes = nullptr;
+    // Multi-GET coalescing (counted by clients): envelopes *not* sent
+    // because pieces shared a kGetBlockMulti with another piece.
+    obs::Counter* envelopes_coalesced = nullptr;
     obs::TraceRecorder* trace = nullptr;
   };
+
+  // Probe access for nodes/clients that tally bus-level metrics
+  // themselves (mailbox batch sizes, coalesced envelopes). Null while
+  // observability is detached.
+  ObsProbes* observability() const { return probes_.load(std::memory_order_acquire); }
 
  private:
   std::atomic<fault::FaultInjector*> injector_{nullptr};

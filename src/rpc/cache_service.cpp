@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "common/crc32.h"
 #include "erasure/rs_code.h"
@@ -14,6 +15,35 @@ namespace {
 
 std::vector<std::uint8_t> empty_body() { return {}; }
 
+// Layout wire format, shared by kLookupFile / kLookupBatch replies and
+// the client parsers: size u64, crc u32, epoch u64, n u32, then n
+// (server u32, piece_size u64) pairs.
+void write_meta(BufferWriter& w, const FileMeta& meta) {
+  w.u64(meta.size);
+  w.u32(meta.file_crc);
+  w.u64(meta.epoch);
+  w.u32(static_cast<std::uint32_t>(meta.partitions()));
+  for (std::size_t i = 0; i < meta.partitions(); ++i) {
+    w.u32(meta.servers[i]);
+    w.u64(meta.piece_sizes[i]);
+  }
+}
+
+FileMeta read_meta(BufferReader& r) {
+  FileMeta meta;
+  meta.size = r.u64();
+  meta.file_crc = r.u32();
+  meta.epoch = r.u64();
+  const std::uint32_t n = r.u32();
+  meta.servers.reserve(n);
+  meta.piece_sizes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    meta.servers.push_back(r.u32());
+    meta.piece_sizes.push_back(r.u64());
+  }
+  return meta;
+}
+
 }  // namespace
 
 CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t server_id,
@@ -23,7 +53,11 @@ CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t s
   node_->handle(kPutBlock, [this](BufferReader& r) {
     const auto file = static_cast<FileId>(r.u32());
     const auto piece = static_cast<PieceIndex>(r.u32());
-    store_.put(BlockKey{file, piece}, r.bytes());
+    auto data = r.bytes();
+    const std::uint64_t epoch = r.u64();
+    store_.put(BlockKey{file, piece}, std::move(data));
+    auto& recorded = epochs_[file];
+    recorded = std::max(recorded, epoch);
     return empty_body();
   });
   node_->handle(kGetBlock, [this](BufferReader& r) {
@@ -35,6 +69,40 @@ CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t s
     if (!block) throw std::runtime_error("block not found");
     BufferWriter w;
     w.bytes(block->bytes);
+    return w.take();
+  });
+  node_->handle(kGetBlockMulti, [this](BufferReader& r) {
+    const auto file = static_cast<FileId>(r.u32());
+    const std::uint64_t epoch = r.u64();
+    if (const auto it = epochs_.find(file); it != epochs_.end() && epoch < it->second) {
+      // The request was built against a layout this worker has already
+      // seen superseded: reject it wholesale so the client re-LOOKUPs
+      // instead of fetching pieces of a torn layout.
+      throw WrongEpochError("stale layout epoch " + std::to_string(epoch) + " < " +
+                            std::to_string(it->second));
+    }
+    const std::uint32_t count = r.u32();
+    std::vector<BlockRef> blocks;
+    blocks.reserve(count);
+    std::size_t total = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      blocks.push_back(store_.get(BlockKey{file, static_cast<PieceIndex>(r.u32())}));
+      if (blocks.back()) total += blocks.back()->bytes.size();
+    }
+    // Reply: count u32, then per piece a found byte + length-prefixed
+    // bytes. The reply length is known exactly, so one reserve() replaces
+    // the doubling reallocations a multi-megabyte append sequence pays.
+    BufferWriter w;
+    w.reserve(4 + count * 5 + total);
+    w.u32(count);
+    for (const auto& block : blocks) {
+      if (!block) {
+        w.u8(0);  // missing piece: the client's per-piece retry handles it
+        continue;
+      }
+      w.u8(1);
+      w.bytes(block->bytes);
+    }
     return w.take();
   });
   node_->handle(kEraseBlock, [this](BufferReader& r) {
@@ -51,34 +119,40 @@ MasterService::MasterService(Bus& bus, NodeId node_id) {
   node_ = std::make_unique<RpcNode>(bus, node_id, "sp-master");
   node_->handle(kRegisterFile, [this](BufferReader& r) {
     const auto id = static_cast<FileId>(r.u32());
-    FileMeta meta;
-    meta.size = r.u64();
-    meta.file_crc = r.u32();
-    const std::uint32_t n = r.u32();
-    meta.servers.reserve(n);
-    meta.piece_sizes.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      meta.servers.push_back(r.u32());
-      meta.piece_sizes.push_back(r.u64());
-    }
+    FileMeta meta = read_meta(r);  // .epoch is the writer's proposal
     if (master_.peek(id).has_value()) {
       master_.update_file(id, std::move(meta));
     } else {
       master_.register_file(id, std::move(meta));
     }
-    return empty_body();
+    // Reply with the epoch the master actually assigned (it enforces
+    // monotonicity past the proposal) so the writer can cache its own
+    // layout at the authoritative generation.
+    BufferWriter w;
+    w.u64(master_.file_epoch(id));
+    return w.take();
   });
   node_->handle(kLookupFile, [this](BufferReader& r) {
     const auto id = static_cast<FileId>(r.u32());
     const auto meta = master_.lookup_for_read(id);
     if (!meta) throw std::runtime_error("unknown file");
     BufferWriter w;
-    w.u64(meta->size);
-    w.u32(meta->file_crc);
-    w.u32(static_cast<std::uint32_t>(meta->partitions()));
-    for (std::size_t i = 0; i < meta->partitions(); ++i) {
-      w.u32(meta->servers[i]);
-      w.u64(meta->piece_sizes[i]);
+    write_meta(w, *meta);
+    return w.take();
+  });
+  node_->handle(kLookupBatch, [this](BufferReader& r) {
+    const std::uint32_t count = r.u32();
+    BufferWriter w;
+    w.u32(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto id = static_cast<FileId>(r.u32());
+      const auto meta = master_.lookup_for_read(id);
+      if (!meta) {
+        w.u8(0);
+        continue;
+      }
+      w.u8(1);
+      write_meta(w, *meta);
     }
     return w.take();
   });
@@ -88,32 +162,116 @@ MasterService::MasterService(Bus& bus, NodeId node_id) {
     w.u64(master_.access_count(id));
     return w.take();
   });
+  node_->handle(kFileEpoch, [this](BufferReader& r) {
+    const auto id = static_cast<FileId>(r.u32());
+    BufferWriter w;
+    w.u64(master_.file_epoch(id));
+    return w.take();
+  });
+  node_->handle(kReportAccess, [this](BufferReader& r) {
+    const std::uint32_t count = r.u32();
+    std::vector<std::pair<FileId, std::uint64_t>> deltas;
+    deltas.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const auto id = static_cast<FileId>(r.u32());
+      deltas.emplace_back(id, r.u64());
+    }
+    BufferWriter w;
+    w.u64(master_.report_access_batch(deltas));
+    return w.take();
+  });
   node_->start();
 }
 
 RpcSpClient::RpcSpClient(Bus& bus, NodeId node_id, NodeId master_node,
                          std::vector<NodeId> worker_of_server, fault::RetryPolicy retry,
-                         std::chrono::milliseconds rpc_timeout)
-    : master_node_(master_node),
+                         std::chrono::milliseconds rpc_timeout, ClientCacheConfig cache)
+    : bus_(bus),
+      master_node_(master_node),
       worker_of_server_(std::move(worker_of_server)),
       retry_(retry),
-      rpc_timeout_(rpc_timeout) {
+      rpc_timeout_(rpc_timeout),
+      cache_config_(cache),
+      layout_cache_(cache.cache_capacity),
+      access_acc_(cache.report_flush_threshold) {
   node_ = std::make_unique<RpcNode>(bus, node_id, "sp-client-" + std::to_string(node_id));
   node_->start();  // needed to receive replies
+}
+
+RpcSpClient::~RpcSpClient() {
+  try {
+    flush_access_reports();
+  } catch (const std::exception&) {
+    // Best effort: a dead master must not fail teardown.
+  }
+}
+
+std::uint64_t RpcSpClient::flush_access_reports() {
+  const auto deltas = access_acc_.drain();
+  if (deltas.empty()) return 0;
+  BufferWriter w;
+  w.u32(static_cast<std::uint32_t>(deltas.size()));
+  for (const auto& [id, delta] : deltas) {
+    w.u32(id);
+    w.u64(delta);
+  }
+  const auto reply = node_->call_sync(master_node_, kReportAccess, w.take(), rpc_timeout_);
+  if (!reply.ok()) {
+    // The envelope (or master) was lost: put the counts back so the next
+    // flush retries them — popularity must not silently leak away.
+    for (const auto& [id, delta] : deltas) access_acc_.record(id, delta);
+    return 0;
+  }
+  BufferReader r(reply.payload);
+  return r.u64();
+}
+
+std::size_t RpcSpClient::prefetch_layouts(const std::vector<FileId>& ids) {
+  if (!cache_config_.layout_cache || ids.empty()) return 0;
+  BufferWriter w;
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const auto id : ids) w.u32(id);
+  const auto reply = node_->call_sync(master_node_, kLookupBatch, w.take(), rpc_timeout_);
+  if (!reply.ok()) return 0;
+  BufferReader r(reply.payload);
+  const std::uint32_t count = r.u32();
+  std::size_t found = 0;
+  for (std::uint32_t i = 0; i < count && i < ids.size(); ++i) {
+    if (r.u8() == 0) continue;
+    layout_cache_.put(ids[i], read_meta(r));
+    ++found;
+  }
+  return found;
+}
+
+std::uint64_t RpcSpClient::file_epoch(FileId id) {
+  BufferWriter w;
+  w.u32(id);
+  const auto reply = node_->call_sync(master_node_, kFileEpoch, w.take(), rpc_timeout_);
+  if (!reply.ok()) return 0;  // the master re-enforces monotonicity at REGISTER
+  BufferReader r(reply.payload);
+  return r.u64();
 }
 
 void RpcSpClient::write(FileId id, std::span<const std::uint8_t> data,
                         const std::vector<std::uint32_t>& servers) {
   const auto pieces = split_plain(data, servers.size());
+  // Propose the next layout generation. The workers record it at PUT so a
+  // later multi-GET against the *previous* generation draws kWrongEpoch;
+  // the master keeps max(proposal, current+1), so a lost/failed kFileEpoch
+  // degrades to a weaker proposal, never a regression.
+  const std::uint64_t proposed = file_epoch(id) + 1;
 
   // Fan out the PUTs, then join.
   std::vector<std::future<Reply>> puts;
   puts.reserve(pieces.size());
   for (std::size_t i = 0; i < pieces.size(); ++i) {
     BufferWriter w;
+    w.reserve(4 + 4 + 4 + pieces[i].size() + 8);  // whole PUT frame, one allocation
     w.u32(id);
     w.u32(static_cast<std::uint32_t>(i));
     w.bytes(pieces[i]);
+    w.u64(proposed);
     puts.push_back(node_->call(worker_of_server_.at(servers[i]), kPutBlock, w.take()));
   }
   for (auto& f : puts) {
@@ -121,17 +279,24 @@ void RpcSpClient::write(FileId id, std::span<const std::uint8_t> data,
     if (!reply.ok()) throw std::runtime_error("PUT failed: " + reply.error_text());
   }
 
+  FileMeta meta;
+  meta.size = data.size();
+  meta.file_crc = crc32(data);
+  meta.epoch = proposed;
+  meta.servers = servers;
+  meta.piece_sizes.reserve(pieces.size());
+  for (const auto& p : pieces) meta.piece_sizes.push_back(p.size());
+
   BufferWriter w;
   w.u32(id);
-  w.u64(data.size());
-  w.u32(crc32(data));
-  w.u32(static_cast<std::uint32_t>(servers.size()));
-  for (std::size_t i = 0; i < servers.size(); ++i) {
-    w.u32(servers[i]);
-    w.u64(pieces[i].size());
-  }
+  write_meta(w, meta);
   const auto reply = node_->call_sync(master_node_, kRegisterFile, w.take());
   if (!reply.ok()) throw std::runtime_error("REGISTER failed: " + reply.error_text());
+  if (cache_config_.layout_cache) {
+    BufferReader r(reply.payload);
+    meta.epoch = r.u64();  // the epoch the master actually assigned
+    layout_cache_.put(id, std::move(meta));
+  }
 }
 
 std::optional<std::vector<std::uint8_t>> RpcSpClient::fetch_piece(FileId id, std::uint32_t piece,
@@ -176,7 +341,170 @@ std::optional<std::vector<std::uint8_t>> RpcSpClient::fetch_piece(FileId id, std
   return std::nullopt;
 }
 
-RpcReadStats RpcSpClient::read_with_stats(FileId id) {
+std::optional<FileMeta> RpcSpClient::layout_for_pass(FileId id, std::size_t pass,
+                                                     bool& from_cache, bool& unknown,
+                                                     std::string& error) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  from_cache = false;
+  unknown = false;
+  if (cache_config_.layout_cache && pass == 1) {
+    if (auto cached = layout_cache_.get(id)) {
+      from_cache = true;
+      if (probes) probes->layout_hits->add(1);
+      // The master saw no LOOKUP for this read: tally it locally and ship
+      // the batch once the threshold fills.
+      if (access_acc_.record(id)) flush_access_reports();
+      return cached;
+    }
+    if (probes) probes->layout_misses->add(1);
+  }
+  BufferWriter lookup;
+  lookup.u32(id);
+  const auto reply = node_->call_sync(master_node_, kLookupFile, lookup.take(), rpc_timeout_);
+  if (!reply.ok()) {
+    error = "LOOKUP failed: " + reply.error_text();
+    unknown = reply.error_text() == "unknown file";
+    return std::nullopt;
+  }
+  BufferReader r(reply.payload);
+  FileMeta meta = read_meta(r);
+  if (cache_config_.layout_cache) layout_cache_.put(id, meta);
+  return meta;
+}
+
+bool RpcSpClient::multi_get_pass(FileId id, const FileMeta& meta, std::size_t pass,
+                                 std::uint64_t op, std::vector<std::uint8_t>& out,
+                                 std::size_t& retries, bool& wrong_epoch, std::string& error) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
+  const std::size_t n = meta.partitions();
+  std::vector<std::uint64_t> offsets(n, 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    offsets[i] = total;
+    total += meta.piece_sizes[i];
+  }
+  out.assign(total, 0);
+  std::vector<std::uint8_t> have(n, 0);
+  wrong_epoch = false;
+
+  if (cache_config_.coalesce) {
+    // Coalesce: one kGetBlockMulti per destination worker, covering every
+    // piece of this file that lives there.
+    struct Group {
+      NodeId worker = 0;
+      std::vector<std::uint32_t> pieces;
+      RpcNode::PendingCall call;
+    };
+    std::vector<Group> groups;
+    std::unordered_map<NodeId, std::size_t> group_of;
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId worker = worker_of_server_.at(meta.servers[i]);
+      const auto [it, inserted] = group_of.try_emplace(worker, groups.size());
+      if (inserted) {
+        groups.emplace_back();
+        groups.back().worker = worker;
+      }
+      groups[it->second].pieces.push_back(static_cast<std::uint32_t>(i));
+    }
+    auto* bus_probes = bus_.observability();
+    for (auto& g : groups) {
+      BufferWriter w;
+      w.u32(id);
+      w.u64(meta.epoch);
+      w.u32(static_cast<std::uint32_t>(g.pieces.size()));
+      for (const auto p : g.pieces) w.u32(p);
+      g.call = node_->call_tagged(g.worker, kGetBlockMulti, w.take());
+      if (g.pieces.size() > 1 && bus_probes && bus_probes->envelopes_coalesced) {
+        bus_probes->envelopes_coalesced->add(g.pieces.size() - 1);
+      }
+    }
+    for (auto& g : groups) {
+      Reply reply;
+      if (g.call.reply.wait_for(rpc_timeout_) == std::future_status::ready) {
+        reply = g.call.reply.get();
+      } else {
+        node_->forget(g.call.request_id);
+        reply.status = Status::kError;
+      }
+      if (reply.status == Status::kWrongEpoch) {
+        // Keep draining the remaining groups' futures (their replies
+        // self-resolve), but the pass is already lost.
+        wrong_epoch = true;
+        error = "stale layout: " + reply.error_text();
+        continue;
+      }
+      if (!reply.ok()) continue;  // whole group falls to the per-piece path
+      BufferReader pr(reply.payload);
+      const std::uint32_t count = pr.u32();
+      if (count != g.pieces.size()) continue;
+      for (const auto i : g.pieces) {
+        if (pr.u8() == 0) continue;  // missing on the worker
+        const auto bytes = pr.bytes_view();
+        if (bytes.size() != meta.piece_sizes[i]) continue;
+        std::copy(bytes.begin(), bytes.end(),
+                  out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+        have[i] = 1;
+        if (trace) {
+          trace->record(obs::TraceKind::kPieceFetch, op, id, g.worker, i,
+                        static_cast<double>(bytes.size()));
+        }
+      }
+    }
+    if (wrong_epoch) return false;
+  } else {
+    // Baseline: one kGetBlock per piece, fanned out in parallel.
+    std::vector<RpcNode::PendingCall> gets;
+    gets.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      BufferWriter w;
+      w.u32(id);
+      w.u32(i);
+      gets.push_back(node_->call_tagged(worker_of_server_.at(meta.servers[i]), kGetBlock,
+                                        w.take()));
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Reply reply;
+      if (gets[i].reply.wait_for(rpc_timeout_) == std::future_status::ready) {
+        reply = gets[i].reply.get();
+      } else {
+        node_->forget(gets[i].request_id);
+        reply.status = Status::kError;
+      }
+      if (!reply.ok()) continue;
+      BufferReader pr(reply.payload);
+      const auto bytes = pr.bytes_view();
+      if (bytes.size() != meta.piece_sizes[i]) continue;
+      std::copy(bytes.begin(), bytes.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+      have[i] = 1;
+      if (trace) {
+        trace->record(obs::TraceKind::kPieceFetch, op, id, worker_of_server_.at(meta.servers[i]),
+                      i, static_cast<double>(bytes.size()));
+      }
+    }
+  }
+
+  // Per-piece retry fallback for anything the fan-out missed.
+  bool all_ok = true;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (have[i]) continue;
+    const NodeId worker = worker_of_server_.at(meta.servers[i]);
+    ++retries;
+    if (trace) trace->record(obs::TraceKind::kPieceRetry, op, id, worker, i, 0.0);
+    const auto bytes = fetch_piece(id, i, worker, pass, op, retries);
+    if (!bytes || bytes->size() != meta.piece_sizes[i]) {
+      all_ok = false;
+      error = "piece " + std::to_string(i) + " unfetchable";
+      continue;
+    }
+    std::copy(bytes->begin(), bytes->end(),
+              out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+  }
+  return all_ok;
+}
+
+RpcReadStats RpcSpClient::do_read(FileId id) {
   const auto* probes = probes_.load(std::memory_order_acquire);
   obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
   const std::uint64_t op = trace ? trace->begin_op() : 0;
@@ -195,89 +523,37 @@ RpcReadStats RpcSpClient::read_with_stats(FileId id) {
       }
       fault::backoff_sleep(retry_, pass, static_cast<std::uint64_t>(id) * 0x9e37 + pass);
     }
-    // Fresh LOOKUP each pass: a repaired file's re-placed layout is only
-    // visible through the master.
-    BufferWriter lookup;
-    lookup.u32(id);
-    const auto reply = node_->call_sync(master_node_, kLookupFile, lookup.take(), rpc_timeout_);
-    if (!reply.ok()) {
-      error = "LOOKUP failed: " + reply.error_text();
-      if (reply.error_text() == "unknown file") {
+    bool from_cache = false;
+    bool unknown = false;
+    const auto meta = layout_for_pass(id, pass, from_cache, unknown, error);
+    if (!meta) {
+      if (unknown) {
         if (probes) probes->read_failures->add(1);
         if (trace) trace->record(obs::TraceKind::kReadFailed, op, id);
         throw std::runtime_error("RpcSpClient::read: unknown file");
       }
-      continue;
+      continue;  // transient LOOKUP failure: back off and retry the pass
     }
 
-    BufferReader r(reply.payload);
-    const std::uint64_t size = r.u64();
-    const std::uint32_t file_crc = r.u32();
-    const std::uint32_t n = r.u32();
-    std::vector<std::uint32_t> servers(n);
-    std::vector<std::uint64_t> piece_sizes(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      servers[i] = r.u32();
-      piece_sizes[i] = r.u64();
-    }
-    std::vector<std::uint64_t> offsets(n, 0);
-    std::uint64_t total = 0;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      offsets[i] = total;
-      total += piece_sizes[i];
-    }
-
-    // First round: parallel GET fan-out; each piece lands exactly once, at
-    // its final offset in the preallocated output buffer. Pieces that fail
-    // or time out drop into the sequential retry path below.
-    std::vector<RpcNode::PendingCall> gets;
-    gets.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      BufferWriter w;
-      w.u32(id);
-      w.u32(i);
-      gets.push_back(node_->call_tagged(worker_of_server_.at(servers[i]), kGetBlock, w.take()));
-    }
-    std::vector<std::uint8_t> out(total);
-    bool all_ok = true;
-    for (std::uint32_t i = 0; i < n; ++i) {
-      std::optional<std::vector<std::uint8_t>> bytes;
-      Reply piece_reply;
-      if (gets[i].reply.wait_for(rpc_timeout_) == std::future_status::ready) {
-        piece_reply = gets[i].reply.get();
-      } else {
-        node_->forget(gets[i].request_id);
-        piece_reply.status = Status::kError;
-      }
-      if (piece_reply.ok()) {
-        BufferReader pr(piece_reply.payload);
-        bytes = pr.bytes();
-        if (trace) {
-          trace->record(obs::TraceKind::kPieceFetch, op, id, worker_of_server_.at(servers[i]),
-                        i, static_cast<double>(bytes->size()));
-        }
-      } else {
-        ++stats.retries;
-        if (trace) {
-          trace->record(obs::TraceKind::kPieceRetry, op, id, worker_of_server_.at(servers[i]),
-                        i, 0.0);
-        }
-        bytes = fetch_piece(id, i, worker_of_server_.at(servers[i]), pass, op, stats.retries);
-      }
-      if (!bytes || bytes->size() != piece_sizes[i]) {
-        all_ok = false;
-        error = "piece " + std::to_string(i) + " unfetchable";
-        continue;  // drain the remaining futures so none leak
-      }
-      std::copy(bytes->begin(), bytes->end(),
-                out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
-    }
-    if (!all_ok) continue;
-    if (out.size() != size || crc32(out) != file_crc) {
+    std::vector<std::uint8_t> out;
+    bool wrong_epoch = false;
+    bool fetched = multi_get_pass(id, *meta, pass, op, out, stats.retries, wrong_epoch, error);
+    if (fetched && (out.size() != meta->size || crc32(out) != meta->file_crc)) {
       error = "whole-file checksum mismatch";
+      fetched = false;
+    }
+    if (!fetched) {
+      // This layout failed us — whether it came from the cache or a LOOKUP
+      // that raced a repartition. Drop it so pass+1 (and concurrent
+      // readers) start from a fresh LOOKUP.
+      if (cache_config_.layout_cache) {
+        layout_cache_.invalidate(id);
+        if (probes) probes->layout_invalidations->add(1);
+      }
       continue;
     }
     stats.bytes = std::move(out);
+    stats.layout_cached = from_cache;
     if (probes) {
       const double wall =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -297,6 +573,59 @@ RpcReadStats RpcSpClient::read_with_stats(FileId id) {
                            std::to_string(retry_.read_attempts) + " attempts");
 }
 
+RpcReadStats RpcSpClient::read_with_stats(FileId id) {
+  if (!cache_config_.single_flight) return do_read(id);
+
+  std::shared_ptr<Inflight> inflight;
+  bool leader = false;
+  {
+    std::lock_guard lock(sf_mu_);
+    auto& slot = inflight_[id];
+    if (!slot) {
+      slot = std::make_shared<Inflight>();
+      slot->future = slot->promise.get_future().share();
+      leader = true;
+    } else {
+      ++slot->waiters;
+    }
+    inflight = slot;
+  }
+  if (!leader) {
+    // Single-flight follower: the leader's fetch is already on the wire;
+    // wait for its result and copy the bytes instead of re-fetching.
+    if (const auto* probes = probes_.load(std::memory_order_acquire)) {
+      probes->singleflight_shared->add(1);
+    }
+    const auto shared = inflight->future.get();  // rethrows the leader's failure
+    RpcReadStats stats;
+    stats.bytes = shared->bytes;
+    stats.passes = shared->passes;
+    stats.layout_cached = shared->layout_cached;
+    stats.shared = true;
+    return stats;
+  }
+  std::size_t waiters = 0;
+  try {
+    auto stats = do_read(id);
+    {
+      std::lock_guard lock(sf_mu_);
+      inflight_.erase(id);
+      waiters = inflight->waiters;
+    }
+    // Publish (one bytes copy) only if someone actually waited.
+    if (waiters > 0) inflight->promise.set_value(std::make_shared<const RpcReadStats>(stats));
+    return stats;
+  } catch (...) {
+    {
+      std::lock_guard lock(sf_mu_);
+      inflight_.erase(id);
+      waiters = inflight->waiters;
+    }
+    if (waiters > 0) inflight->promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
 std::vector<std::uint8_t> RpcSpClient::read(FileId id) { return read_with_stats(id).bytes; }
 
 void RpcSpClient::attach_observability(obs::MetricsRegistry* registry,
@@ -310,6 +639,10 @@ void RpcSpClient::attach_observability(obs::MetricsRegistry* registry,
   probes->reads = &registry->counter(n::kClientReads);
   probes->read_failures = &registry->counter(n::kClientReadFailures);
   probes->retries = &registry->counter(n::kClientRetries);
+  probes->layout_hits = &registry->counter(n::kClientLayoutHits);
+  probes->layout_misses = &registry->counter(n::kClientLayoutMisses);
+  probes->layout_invalidations = &registry->counter(n::kClientLayoutInvalidations);
+  probes->singleflight_shared = &registry->counter(n::kClientSingleFlightShared);
   probes->read_wall = &registry->histogram(n::kClientReadLatency);
   probes->trace = trace;
   probes_storage_ = std::move(probes);
@@ -333,9 +666,11 @@ void RpcEcClient::write(FileId id, std::span<const std::uint8_t> data,
   puts.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
     BufferWriter w;
+    w.reserve(4 + 4 + 4 + shards[i].bytes.size() + 8);
     w.u32(id);
     w.u32(static_cast<std::uint32_t>(i));
     w.bytes(shards[i].bytes);
+    w.u64(0);  // epoch proposal 0: the master still bumps to current+1
     puts.push_back(node_->call(worker_of_server_.at(servers[i]), kPutBlock, w.take()));
   }
   for (auto& f : puts) {
@@ -343,15 +678,17 @@ void RpcEcClient::write(FileId id, std::span<const std::uint8_t> data,
     if (!reply.ok()) throw std::runtime_error("EC PUT failed: " + reply.error_text());
   }
 
+  FileMeta meta;
+  meta.size = data.size();
+  meta.file_crc = crc32(data);
+  meta.epoch = 0;
+  meta.servers = servers;
+  meta.piece_sizes.reserve(shards.size());
+  for (const auto& s : shards) meta.piece_sizes.push_back(s.bytes.size());
+
   BufferWriter w;
   w.u32(id);
-  w.u64(data.size());
-  w.u32(crc32(data));
-  w.u32(static_cast<std::uint32_t>(servers.size()));
-  for (std::size_t i = 0; i < servers.size(); ++i) {
-    w.u32(servers[i]);
-    w.u64(shards[i].bytes.size());
-  }
+  write_meta(w, meta);
   const auto reply = node_->call_sync(master_node_, kRegisterFile, w.take());
   if (!reply.ok()) throw std::runtime_error("EC REGISTER failed: " + reply.error_text());
 }
@@ -363,15 +700,12 @@ std::vector<std::uint8_t> RpcEcClient::read(FileId id, Rng& rng) {
   if (!reply.ok()) throw std::runtime_error("EC LOOKUP failed: " + reply.error_text());
 
   BufferReader r(reply.payload);
-  const std::uint64_t size = r.u64();
-  const std::uint32_t file_crc = r.u32();
-  const std::uint32_t n = r.u32();
+  const FileMeta meta = read_meta(r);
+  const std::uint64_t size = meta.size;
+  const std::uint32_t file_crc = meta.file_crc;
+  const auto n = static_cast<std::uint32_t>(meta.partitions());
   if (n != rs_.total_shards()) throw std::runtime_error("EC layout mismatch");
-  std::vector<std::uint32_t> servers(n);
-  for (std::uint32_t i = 0; i < n; ++i) {
-    servers[i] = r.u32();
-    (void)r.u64();  // shard length (implied by the code geometry)
-  }
+  const auto& servers = meta.servers;
 
   // Late binding: fan out k+1 GETs; decode from the first k that return.
   const std::size_t fetch_count = std::min(rs_.data_shards() + 1, static_cast<std::size_t>(n));

@@ -9,12 +9,16 @@
 #pragma once
 
 #include <chrono>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cache_server.h"
+#include "cluster/layout_cache.h"
 #include "cluster/master.h"
 #include "erasure/rs_code.h"
 #include "fault/retry.h"
@@ -27,15 +31,25 @@ inline constexpr NodeId kFirstWorkerNode = 1;
 inline constexpr NodeId kFirstClientNode = 1000;
 
 // Method ids.
-inline constexpr MethodId kPutBlock = 1;
+inline constexpr MethodId kPutBlock = 1;       // carries the layout epoch
 inline constexpr MethodId kGetBlock = 2;
 inline constexpr MethodId kEraseBlock = 3;
-inline constexpr MethodId kRegisterFile = 10;
-inline constexpr MethodId kLookupFile = 11;   // bumps the access count
+inline constexpr MethodId kGetBlockMulti = 4;  // all of one file's pieces on a worker
+inline constexpr MethodId kRegisterFile = 10;  // proposes an epoch, replies the assigned one
+inline constexpr MethodId kLookupFile = 11;    // bumps the access count; reply carries epoch
 inline constexpr MethodId kAccessCount = 12;
+inline constexpr MethodId kFileEpoch = 13;     // current layout epoch (0 = unknown file)
+inline constexpr MethodId kLookupBatch = 14;   // many kLookupFile in one envelope
+inline constexpr MethodId kReportAccess = 15;  // batched per-file access-count deltas
 
 // A cache worker: an RpcNode whose handlers are backed by a CacheServer
 // block store (checksummed, thread-safe).
+//
+// Epoch validation: every PUT carries the layout epoch it belongs to; the
+// worker remembers the highest epoch seen per file (service-thread state,
+// no lock). A kGetBlockMulti whose request epoch is older than that gets a
+// kWrongEpoch reply instead of bytes — the signal that tells a caching
+// client its layout is stale *before* it wastes GETs and a CRC pass.
 class CacheWorkerService {
  public:
   CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t server_id, Bandwidth bandwidth);
@@ -45,6 +59,9 @@ class CacheWorkerService {
 
  private:
   CacheServer store_;
+  // file -> highest layout epoch PUT here. Touched only by this node's
+  // service thread (all mutations arrive as RPCs), so unlocked by design.
+  std::unordered_map<FileId, std::uint64_t> epochs_;
   std::unique_ptr<RpcNode> node_;
 };
 
@@ -65,7 +82,9 @@ class MasterService {
 struct RpcReadStats {
   std::vector<std::uint8_t> bytes;
   std::size_t retries = 0;  // per-piece re-GETs plus extra whole-read passes
-  std::size_t passes = 1;   // LOOKUP rounds (>1 ⇒ the layout was re-fetched)
+  std::size_t passes = 1;   // read rounds (>1 ⇒ the layout was re-fetched)
+  bool layout_cached = false;  // served without a master LOOKUP
+  bool shared = false;         // piggybacked on a concurrent read (single-flight)
 };
 
 // An SP-Client that speaks only RPC. Reads follow Section 6.1: LOOKUP at
@@ -78,16 +97,33 @@ struct RpcReadStats {
 // read re-LOOKUPs — picking up any layout the RecoveryManager published
 // while repairing — before trying again. Abandoned GETs are forgotten at
 // the RpcNode, so dropped replies become counted no-ops, not leaks.
+//
+// Metadata-light path (all on by default; ClientCacheConfig turns the
+// pieces off for baselines):
+//   * layout cache — pass 1 serves the layout from the client's epoch-
+//     validated LayoutCache; the master sees no LOOKUP. Cache-served
+//     accesses accumulate locally and flush as one kReportAccess batch.
+//   * multi-GET coalescing — pieces that live on the same worker travel
+//     in one kGetBlockMulti envelope instead of one kGetBlock each; a
+//     kWrongEpoch reply invalidates the cached layout and the next pass
+//     re-LOOKUPs.
+//   * single-flight — concurrent reads of the same file share one fetch;
+//     followers block on the leader's result and copy its bytes.
 class RpcSpClient {
  public:
   // `worker_of_server[i]` maps cache-server index i to its bus NodeId.
   RpcSpClient(Bus& bus, NodeId node_id, NodeId master_node,
               std::vector<NodeId> worker_of_server,
               fault::RetryPolicy retry = fault::RetryPolicy{},
-              std::chrono::milliseconds rpc_timeout = std::chrono::milliseconds(1000));
+              std::chrono::milliseconds rpc_timeout = std::chrono::milliseconds(1000),
+              ClientCacheConfig cache = ClientCacheConfig{});
+
+  // Flushes pending batched access reports (best effort).
+  ~RpcSpClient();
 
   // Split into servers.size() near-equal pieces, PUT them (in parallel,
-  // via async calls), then REGISTER the layout. Throws on any RPC failure.
+  // via async calls) stamped with the next layout epoch, then REGISTER
+  // the layout proposing that epoch. Throws on any RPC failure.
   void write(FileId id, std::span<const std::uint8_t> data,
              const std::vector<std::uint32_t>& servers);
 
@@ -102,7 +138,17 @@ class RpcSpClient {
   // Master-side access count (for tests).
   std::uint64_t access_count(FileId id);
 
+  // Ship pending cache-served access counts to the master now (one
+  // kReportAccess envelope). Returns the number of accesses reported.
+  std::uint64_t flush_access_reports();
+
+  // Warm the layout cache for `ids` with a single kLookupBatch envelope
+  // (one LOOKUP round-trip instead of ids.size()). Returns how many of
+  // the ids the master knew. No-op (returns 0) with the cache disabled.
+  std::size_t prefetch_layouts(const std::vector<FileId>& ids);
+
   const fault::RetryPolicy& retry_policy() const { return retry_; }
+  const LayoutCache& layout_cache() const { return layout_cache_; }
   RpcNode& node() { return *node_; }
 
   // --- Observability (src/obs) ----------------------------------------
@@ -118,6 +164,10 @@ class RpcSpClient {
     obs::Counter* reads = nullptr;
     obs::Counter* read_failures = nullptr;
     obs::Counter* retries = nullptr;
+    obs::Counter* layout_hits = nullptr;
+    obs::Counter* layout_misses = nullptr;
+    obs::Counter* layout_invalidations = nullptr;
+    obs::Counter* singleflight_shared = nullptr;
     obs::LatencyHistogram* read_wall = nullptr;
     obs::TraceRecorder* trace = nullptr;
   };
@@ -130,11 +180,45 @@ class RpcSpClient {
                                                        NodeId worker, std::size_t pass,
                                                        std::uint64_t op, std::size_t& retries);
 
+  // Layout for pass `pass`: cache on pass 1 (when enabled), kLookupFile
+  // otherwise (write-through to the cache). nullopt = LOOKUP failure, with
+  // `unknown` telling a permanently-unknown file from a transient loss.
+  std::optional<FileMeta> layout_for_pass(FileId id, std::size_t pass, bool& from_cache,
+                                          bool& unknown, std::string& error);
+
+  // Current layout epoch at the master (kFileEpoch; 0 = unknown file).
+  std::uint64_t file_epoch(FileId id);
+
+  // The read itself (all passes); read_with_stats wraps it in the
+  // single-flight gate.
+  RpcReadStats do_read(FileId id);
+
+  // Coalesced GET phase of one pass: per-worker kGetBlockMulti fan-out,
+  // falling back to per-piece fetch_piece for pieces a multi-GET missed.
+  // Returns false (with `error` set) when the pass must be retried;
+  // `wrong_epoch` reports a kWrongEpoch reply (caller invalidates).
+  bool multi_get_pass(FileId id, const FileMeta& meta, std::size_t pass, std::uint64_t op,
+                      std::vector<std::uint8_t>& out, std::size_t& retries,
+                      bool& wrong_epoch, std::string& error);
+
+  // One read in flight per file; followers share the leader's bytes.
+  struct Inflight {
+    std::promise<std::shared_ptr<const RpcReadStats>> promise;
+    std::shared_future<std::shared_ptr<const RpcReadStats>> future;
+    std::size_t waiters = 0;  // guarded by sf_mu_
+  };
+
+  Bus& bus_;
   std::unique_ptr<RpcNode> node_;
   NodeId master_node_;
   std::vector<NodeId> worker_of_server_;
   fault::RetryPolicy retry_;
   std::chrono::milliseconds rpc_timeout_;
+  ClientCacheConfig cache_config_;
+  LayoutCache layout_cache_;
+  AccessAccumulator access_acc_;
+  std::mutex sf_mu_;
+  std::unordered_map<FileId, std::shared_ptr<Inflight>> inflight_;
   std::unique_ptr<ObsProbes> probes_storage_;
   std::atomic<ObsProbes*> probes_{nullptr};
 };

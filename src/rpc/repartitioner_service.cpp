@@ -36,6 +36,22 @@ std::vector<std::uint8_t> RepartitionerService::handle_repartition(BufferReader&
 
   Bytes moved = 0;
 
+  // Propose the next layout generation up front: the re-placed pieces are
+  // PUT under it, so a caching client that multi-GETs with the *old*
+  // layout's epoch is told kWrongEpoch instead of being served a torn mix
+  // of generations.
+  std::uint64_t current_epoch = 0;
+  {
+    BufferWriter w;
+    w.u32(file);
+    const auto reply = client_->call_sync(master_node_, kFileEpoch, w.take());
+    if (reply.ok()) {
+      BufferReader er(reply.payload);
+      current_epoch = er.u64();
+    }
+  }
+  const std::uint64_t proposed = current_epoch + 1;
+
   // Assemble: GET every old piece; pieces already on this executor's
   // co-located worker are free (Fig. 9b's locality optimization).
   std::vector<std::future<Reply>> gets;
@@ -75,6 +91,7 @@ std::vector<std::uint8_t> RepartitionerService::handle_repartition(BufferReader&
     w.u32(file);
     w.u32(i);
     w.bytes(pieces[i]);
+    w.u64(proposed);
     if (new_servers[i] != server_id_) moved += pieces[i].size();
     puts.push_back(client_->call(worker_of_server_.at(new_servers[i]), kPutBlock, w.take()));
   }
@@ -88,6 +105,7 @@ std::vector<std::uint8_t> RepartitionerService::handle_repartition(BufferReader&
   reg.u32(file);
   reg.u64(data.size());
   reg.u32(crc32(data));
+  reg.u64(proposed);
   reg.u32(new_n);
   for (std::uint32_t i = 0; i < new_n; ++i) {
     reg.u32(new_servers[i]);

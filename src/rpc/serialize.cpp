@@ -19,6 +19,9 @@ void BufferWriter::f64(double v) {
 
 void BufferWriter::bytes(std::span<const std::uint8_t> data) {
   if (data.size() > 0xFFFFFFFFull) throw std::runtime_error("BufferWriter: bytes too long");
+  // One exact allocation for prefix + payload instead of letting the
+  // doubling growth copy a multi-megabyte piece several times.
+  reserve(4 + data.size());
   u32(static_cast<std::uint32_t>(data.size()));
   buf_.insert(buf_.end(), data.begin(), data.end());
 }

@@ -20,6 +20,12 @@ namespace spcache::rpc {
 
 class BufferWriter {
  public:
+  // Pre-size the buffer for a message whose length is known (or cheaply
+  // bounded) up front — e.g. a multi-block reply that sums its payload
+  // sizes first. Turns the O(log n) doubling reallocations of a large
+  // append sequence into one allocation; appends stay amortized O(1).
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);

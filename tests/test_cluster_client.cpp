@@ -88,6 +88,9 @@ TEST_F(ClientTest, AccessCountsBumpOnRead) {
   client.read(6);
   client.read(6);
   client.read(6);
+  // Cache-served reads tally locally; the popularity signal reaches the
+  // master once the batch flushes (here: explicitly).
+  client.flush_access_reports();
   EXPECT_EQ(master_.access_count(6), 3u);
 }
 

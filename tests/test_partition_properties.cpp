@@ -182,5 +182,61 @@ TEST(PartitionProperties, MasterPublishedLayoutMatchesPlacement) {
   EXPECT_EQ(total_published, total_expected);
 }
 
+TEST(PartitionProperties, BatchedAccessReportsMatchPerReadLookups) {
+  // Popularity parity: Eq. 1's P_i input must be identical whether clients
+  // LOOKUP per read (baseline) or serve layouts from their cache and ship
+  // batched kReportAccess deltas. Two identical clusters run the same
+  // Zipf-ish read schedule; after the caching client flushes, every file's
+  // access count — and therefore every partition count Eq. 1 would derive —
+  // must match the baseline exactly.
+  constexpr std::size_t kFiles = 16;
+  constexpr std::size_t kReads = 400;
+  Rng schedule_rng(73);
+  std::vector<FileId> schedule(kReads);
+  for (auto& f : schedule) {
+    // Skewed-ish: low ids drawn more often, like a Zipf head.
+    const auto a = schedule_rng.uniform_index(kFiles);
+    const auto b = schedule_rng.uniform_index(kFiles);
+    f = static_cast<FileId>(std::min(a, b));
+  }
+
+  ClientCacheConfig baseline_config;
+  baseline_config.layout_cache = false;
+  ClientCacheConfig cached_config;  // defaults: cache on, batched reports
+
+  Cluster baseline_cluster(8, gbps(1.0));
+  Master baseline_master;
+  Cluster cached_cluster(8, gbps(1.0));
+  Master cached_master;
+  ThreadPool pool(4);
+  SpClient baseline(baseline_cluster, baseline_master, pool, nullptr, fault::RetryPolicy{},
+                    GoodputModel{}, baseline_config);
+  SpClient cached(cached_cluster, cached_master, pool, nullptr, fault::RetryPolicy{},
+                  GoodputModel{}, cached_config);
+
+  std::vector<std::uint8_t> data(32 * kKB, 0x3c);
+  for (FileId f = 0; f < kFiles; ++f) {
+    const std::vector<std::uint32_t> servers{static_cast<std::uint32_t>(f % 8),
+                                             static_cast<std::uint32_t>((f + 1) % 8)};
+    baseline.write(f, data, servers);
+    cached.write(f, data, servers);
+  }
+
+  for (const auto f : schedule) {
+    baseline.read(f);
+    cached.read(f);
+  }
+  cached.flush_access_reports();
+
+  std::uint64_t total_baseline = 0;
+  for (FileId f = 0; f < kFiles; ++f) {
+    EXPECT_EQ(cached_master.access_count(f), baseline_master.access_count(f)) << "file " << f;
+    total_baseline += baseline_master.access_count(f);
+  }
+  EXPECT_EQ(total_baseline, kReads);
+  // The cached run actually exercised the metadata-light path.
+  EXPECT_GT(cached.layout_cache().hits(), 0u);
+}
+
 }  // namespace
 }  // namespace spcache

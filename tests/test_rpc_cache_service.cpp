@@ -77,6 +77,9 @@ TEST_F(RpcClusterTest, AccessCountsBumpViaLookup) {
   EXPECT_EQ(client_->access_count(5), 0u);
   client_->read(5);
   client_->read(5);
+  // Cache-served reads tally locally; the popularity signal reaches the
+  // master once the batched kReportAccess flushes (here: explicitly).
+  client_->flush_access_reports();
   EXPECT_EQ(client_->access_count(5), 2u);
 }
 

@@ -7,6 +7,8 @@
 #
 # The TSan tree lives in build-tsan/ (the `tsan` preset in
 # CMakePresets.json); the release tree in build/ (the `default` preset).
+# An Address+UBSan tree is available via `cmake --preset asan` (build-asan/)
+# for memory-error hunts; it is not part of this script's default run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +40,11 @@ if [[ "$QUICK" -eq 0 ]]; then
 
   echo "==> observability: registry/trace/observer invariants (-L obs)"
   ctest --preset default -L obs
+
+  echo "==> metadata-light smoke: cached reads must beat the always-LOOKUP baseline"
+  # Exits non-zero unless >=90% of steady-state reads skip the master and
+  # throughput ends up above the baseline; writes BENCH_metadata.json.
+  (cd build/bench && ./bench_metadata_offload --smoke)
 fi
 
 echo "==> ThreadSanitizer: configure + build"
