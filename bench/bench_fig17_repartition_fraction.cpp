@@ -5,6 +5,7 @@
 // k_i = ceil(alpha * L_i) changes are touched by the parallel repartitioner.
 // Expected shape: the fraction decreases as the catalog grows — the cold
 // tail (k = 1 before and after any shuffle) dominates larger catalogs.
+#include <cstring>
 #include <iostream>
 
 #include "bench_common.h"
@@ -14,17 +15,27 @@
 using namespace spcache;
 using namespace spcache::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;  // CI mode (tools/check.sh): one sweep point, 3 trials
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   print_experiment_header(std::cout, "Fig. 17",
                           "Fraction of files repartitioned after a random popularity "
                           "shuffle, vs catalog size. 10 trials; mean with p5/p95.");
 
   const std::vector<Bandwidth> bw(kServers, gbps(1.0));
 
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{100}
+            : std::vector<std::size_t>{100, 150, 200, 250, 300, 350, 500, 1000};
+  const int trials = smoke ? 3 : 10;
+
   Table t({"files", "mean_fraction", "p5", "p95"});
-  for (std::size_t n : {100u, 150u, 200u, 250u, 300u, 350u, 500u, 1000u}) {
+  for (std::size_t n : sweep) {
     Sample fractions;
-    for (int trial = 0; trial < 10; ++trial) {
+    for (int trial = 0; trial < trials; ++trial) {
       Rng rng(1700 + n * 13 + static_cast<std::uint64_t>(trial));
       auto cat = make_uniform_catalog(n, 50 * kMB, 1.05, 10.0);
       SpCacheScheme sp;

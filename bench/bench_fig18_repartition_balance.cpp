@@ -9,6 +9,7 @@
 //
 // Expected shape: the greedy layout is tighter (lower imbalance factor).
 #include <algorithm>
+#include <cstring>
 #include <iostream>
 
 #include "bench_common.h"
@@ -60,18 +61,24 @@ std::vector<double> expected_loads(const Bed& bed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;  // CI mode (tools/check.sh): smaller catalog
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t n_files = smoke ? 100 : 350;
+
   print_experiment_header(std::cout, "Fig. 18",
                           "Per-server expected read load after repartition: greedy "
                           "(parallel scheme) vs random (sequential scheme) placement, "
-                          "350 files.");
+                          "350 files (100 under --smoke).");
 
   Rng rng(1800);
   Table t({"scheme", "min/avg", "median/avg", "max/avg", "imbalance_eta"});
 
   for (const bool greedy : {true, false}) {
     Bed bed;
-    populate(bed, 350, rng);
+    populate(bed, n_files, rng);
     bed.catalog.shuffle_popularities(rng);
     const auto plan = plan_repartition(bed.catalog, bed.cluster.bandwidths(), bed.k, bed.servers,
                                        ScaleFactorConfig{}, rng);

@@ -1,5 +1,6 @@
 #include "cluster/cache_server.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <string>
@@ -124,6 +125,142 @@ BlockRef CacheServer::get(const BlockKey& key) const {
   return block;
 }
 
+std::vector<std::uint8_t> CacheServer::get_range(const BlockKey& key, Bytes offset,
+                                                 Bytes length) const {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  ServeScope scope(probes);
+  if (probes) probes->gets->add(1);
+  if (!alive()) {
+    if (probes) probes->errors->add(1);
+    throw std::runtime_error("CacheServer::get_range: server " + std::to_string(id_) +
+                             " is down");
+  }
+  auto* injector = injector_.load(std::memory_order_acquire);
+  if (injector && injector->fail_fetch(id_)) {
+    if (probes) probes->errors->add(1);
+    throw std::runtime_error("CacheServer::get_range: injected fetch failure (server " +
+                             std::to_string(id_) + ")");
+  }
+  BlockRef block;
+  {
+    auto& stripe = stripe_for(key);
+    std::lock_guard lock(stripe.mu);
+    const auto it = stripe.blocks.find(key);
+    if (it == stripe.blocks.end()) {
+      if (probes) probes->misses->add(1);
+      throw std::runtime_error("CacheServer::get_range: block not found");
+    }
+    block = it->second;
+  }
+  if (offset + length > block->bytes.size()) {
+    if (probes) probes->errors->add(1);
+    throw std::runtime_error("CacheServer::get_range: range out of bounds");
+  }
+  // Same discipline as get(): the CRC pass runs outside the stripe lock,
+  // over the immutable published block. The whole block is verified — a
+  // migrated range must never launder a corrupted byte into a new piece.
+  if (crc32(block->bytes) != block->crc) {
+    if (probes) probes->errors->add(1);
+    throw std::runtime_error("CacheServer::get_range: checksum mismatch (corrupted block)");
+  }
+  bytes_served_.fetch_add(length, std::memory_order_relaxed);
+  return std::vector<std::uint8_t>(
+      block->bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+      block->bytes.begin() + static_cast<std::ptrdiff_t>(offset + length));
+}
+
+void CacheServer::stage_range(const BlockKey& key, std::uint64_t epoch, Bytes piece_size,
+                              Bytes offset, std::span<const std::uint8_t> bytes) {
+  if (!alive()) {
+    throw std::runtime_error("CacheServer::stage_range: server " + std::to_string(id_) +
+                             " is down");
+  }
+  if (offset + bytes.size() > piece_size) {
+    throw std::runtime_error("CacheServer::stage_range: range exceeds piece size");
+  }
+  std::lock_guard lock(stage_mu_);
+  auto [it, inserted] = staged_.try_emplace(StageKey{key, epoch});
+  auto& piece = it->second;
+  if (inserted) {
+    piece.block = std::make_shared<Block>();
+    piece.block->bytes.resize(piece_size);
+  } else if (piece.block->bytes.size() != piece_size) {
+    throw std::runtime_error("CacheServer::stage_range: piece size disagreement");
+  }
+  // In-order assembly contract: each range lands exactly where the
+  // previous one ended, so `filled` alone proves completeness.
+  if (offset != piece.filled) {
+    throw std::runtime_error("CacheServer::stage_range: out-of-order range (staged " +
+                             std::to_string(piece.filled) + ", got offset " +
+                             std::to_string(offset) + ")");
+  }
+  std::copy(bytes.begin(), bytes.end(),
+            piece.block->bytes.begin() + static_cast<std::ptrdiff_t>(offset));
+  piece.filled += bytes.size();
+  piece.finalized = false;
+}
+
+bool CacheServer::finalize_staged(const BlockKey& key, std::uint64_t epoch) {
+  std::shared_ptr<Block> block;
+  {
+    std::lock_guard lock(stage_mu_);
+    const auto it = staged_.find(StageKey{key, epoch});
+    if (it == staged_.end()) return false;
+    if (it->second.filled != it->second.block->bytes.size()) return false;
+    block = it->second.block;
+  }
+  // CRC outside the staging lock: this is the expensive part of the seal,
+  // deliberately hoisted out of the cutover critical section by the
+  // executor (finalize before lock, publish under it).
+  const std::uint32_t crc = crc32(block->bytes);
+  std::lock_guard lock(stage_mu_);
+  const auto it = staged_.find(StageKey{key, epoch});
+  if (it == staged_.end()) return false;  // discarded (e.g. kill) meanwhile
+  it->second.block->crc = crc;
+  it->second.finalized = true;
+  return true;
+}
+
+bool CacheServer::publish_staged(const BlockKey& key, std::uint64_t epoch) {
+  if (!alive()) {
+    throw std::runtime_error("CacheServer::publish_staged: server " + std::to_string(id_) +
+                             " is down");
+  }
+  std::shared_ptr<Block> block;
+  {
+    std::lock_guard lock(stage_mu_);
+    const auto it = staged_.find(StageKey{key, epoch});
+    if (it == staged_.end()) return false;
+    if (!it->second.finalized) {
+      throw std::runtime_error("CacheServer::publish_staged: piece not finalized");
+    }
+    block = std::move(it->second.block);
+    staged_.erase(it);
+  }
+  const Bytes incoming = block->bytes.size();
+  Bytes replaced = 0;
+  {
+    auto& stripe = stripe_for(key);
+    std::lock_guard lock(stripe.mu);
+    auto [it, inserted] = stripe.blocks.try_emplace(key);
+    if (!inserted) replaced = it->second->bytes.size();
+    it->second = std::move(block);
+  }
+  if (replaced > 0) bytes_stored_.fetch_sub(replaced, std::memory_order_relaxed);
+  bytes_stored_.fetch_add(incoming, std::memory_order_relaxed);
+  return true;
+}
+
+bool CacheServer::discard_staged(const BlockKey& key, std::uint64_t epoch) {
+  std::lock_guard lock(stage_mu_);
+  return staged_.erase(StageKey{key, epoch}) > 0;
+}
+
+std::size_t CacheServer::staged_count() const {
+  std::lock_guard lock(stage_mu_);
+  return staged_.size();
+}
+
 bool CacheServer::contains(const BlockKey& key) const {
   if (!alive()) return false;
   auto& stripe = stripe_for(key);
@@ -134,6 +271,8 @@ bool CacheServer::contains(const BlockKey& key) const {
 void CacheServer::kill() {
   alive_.store(false, std::memory_order_release);
   clear();  // a crash loses every in-memory block
+  std::lock_guard lock(stage_mu_);
+  staged_.clear();  // ...and every piece still under construction
 }
 
 void CacheServer::revive() {

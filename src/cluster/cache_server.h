@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -99,8 +100,43 @@ class CacheServer {
   // the client's whole-file CRC can catch.
   BlockRef get(const BlockKey& key) const;
 
+  // Range read for the delta repartition pipeline: a checksummed copy of
+  // `length` bytes of the resident block starting at `offset` (the whole
+  // block's CRC is verified outside the stripe lock, like get()). Bytes-
+  // served accounting charges only the range, not the whole block. Throws
+  // on a dead server, injected fetch failure, absent block, checksum
+  // mismatch, or an out-of-range request — migration errors are loud.
+  std::vector<std::uint8_t> get_range(const BlockKey& key, Bytes offset, Bytes length) const;
+
   bool contains(const BlockKey& key) const;
   bool erase(const BlockKey& key);
+
+  // --- Staged piece assembly (delta repartition, two-phase cutover) ----
+  // New-layout pieces are assembled out of band in a staging area keyed by
+  // (block, layout epoch) while readers keep serving the old layout from
+  // the live store. Ranges must arrive in offset order (offset == bytes
+  // staged so far); the first range allocates the full piece buffer.
+  //
+  //   stage_range     append one range of the piece under construction
+  //   finalize_staged verify the piece is complete and checksum it —
+  //                   called OUTSIDE the cutover critical section so the
+  //                   CRC pass never extends the publish window
+  //   publish_staged  swap the finalized piece into the live store (an
+  //                   O(1) map splice — safe inside the short cutover
+  //                   critical section); overwrites any same-key old block
+  //   discard_staged  drop a staged piece without publishing (abort path)
+  //
+  // kill() discards all staged pieces along with the live blocks.
+  void stage_range(const BlockKey& key, std::uint64_t epoch, Bytes piece_size, Bytes offset,
+                   std::span<const std::uint8_t> bytes);
+  // Returns false if nothing is staged under (key, epoch) or the piece is
+  // incomplete (the caller aborts the cutover for this file).
+  bool finalize_staged(const BlockKey& key, std::uint64_t epoch);
+  // Requires a finalize_staged first; throws if the piece was not
+  // finalized (publishing an unchecksummed buffer would be a silent bug).
+  bool publish_staged(const BlockKey& key, std::uint64_t epoch);
+  bool discard_staged(const BlockKey& key, std::uint64_t epoch);
+  std::size_t staged_count() const;
 
   // --- Crash/restart lifecycle (fault-injection substrate) -----------
   // kill() drops every block and marks the server down: subsequent put/get
@@ -159,9 +195,30 @@ class CacheServer {
     return stripes_[shard_of<kStripes>(key.packed())];
   }
 
+  // (block, epoch) -> piece under construction. Staging is off the read
+  // path entirely: one mutex is plenty (a handful of repartitioners, not
+  // thousands of readers), and nothing here is visible to get().
+  struct StageKey {
+    BlockKey key;
+    std::uint64_t epoch = 0;
+    bool operator==(const StageKey&) const = default;
+  };
+  struct StageKeyHash {
+    std::size_t operator()(const StageKey& k) const {
+      return static_cast<std::size_t>(mix64(k.key.packed() ^ mix64(k.epoch)));
+    }
+  };
+  struct StagedPiece {
+    std::shared_ptr<Block> block;  // bytes sized up front; crc set at finalize
+    Bytes filled = 0;
+    bool finalized = false;
+  };
+
   std::uint32_t id_;
   Bandwidth bandwidth_;
   mutable std::array<Stripe, kStripes> stripes_;
+  mutable std::mutex stage_mu_;
+  std::unordered_map<StageKey, StagedPiece, StageKeyHash> staged_;
   std::atomic<Bytes> bytes_stored_{0};
   mutable std::atomic<std::uint64_t> bytes_served_{0};
   std::atomic<bool> alive_{true};

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -110,6 +111,21 @@ FileMeta scatter_file(Cluster& cluster, FileId id, const std::vector<std::uint8_
 
 constexpr std::uint32_t kNoLocalServer = 0xFFFFFFFFu;
 
+// Range fetch with a small retry budget: a transient injected fault should
+// not abort a whole file's migration. Persistent failures still throw —
+// the caller discards the staged pieces and leaves the old layout serving.
+std::vector<std::uint8_t> fetch_range_with_retry(CacheServer& src, const BlockKey& key,
+                                                 Bytes offset, Bytes length) {
+  constexpr int kAttempts = 3;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return src.get_range(key, offset, length);
+    } catch (const std::exception&) {
+      if (attempt >= kAttempts) throw;
+    }
+  }
+}
+
 }  // namespace
 
 RepartitionStats execute_sequential_repartition(Cluster& cluster, Master& master,
@@ -210,6 +226,165 @@ RepartitionStats execute_parallel_repartition(Cluster& cluster, Master& master,
   SPCACHE_LOG(kInfo) << "parallel repartition: " << stats.files_touched << " files across "
                      << by_executor.size() << " executors, " << stats.bytes_moved / kMB
                      << " MB moved, modelled " << stats.modelled_time << " s";
+  return stats;
+}
+
+RepartitionStats execute_delta_repartition(Cluster& cluster, Master& master,
+                                           const RepartitionPlan& plan, ThreadPool& pool,
+                                           obs::MetricsRegistry* registry,
+                                           obs::TraceRecorder* trace) {
+  RepartitionScope scope(registry, trace, plan.changed_files.size());
+  RepartitionStats stats;
+  const std::size_t n_changed = plan.changed_files.size();
+  if (n_changed == 0) {
+    scope.finish(stats);
+    return stats;
+  }
+
+  // Shared accumulators: per-NIC traffic for the modelled time, plus the
+  // headline byte counts. One mutex, taken once per file.
+  std::mutex stats_mu;
+  std::vector<double> tx(cluster.size(), 0.0);
+  std::vector<double> rx(cluster.size(), 0.0);
+
+  pool.parallel_for(n_changed, [&](std::size_t j) {
+    const FileId id = plan.changed_files[j];
+    const auto& new_servers = plan.new_servers[j];
+    const auto meta = master.peek(id);
+    if (!meta) return;
+    const std::uint64_t epoch0 = meta->epoch;
+    const std::uint64_t staging_epoch = epoch0 + 1;
+    const auto rplan =
+        plan_range_transfer(meta->size, meta->piece_sizes, meta->servers, new_servers);
+
+    const auto discard_all = [&] {
+      for (const auto& piece : rplan.pieces) {
+        cluster.server(piece.dst_server)
+            .discard_staged(BlockKey{id, piece.new_piece}, staging_epoch);
+      }
+    };
+
+    // Phase 1 — stage every new piece out of band. Readers keep hitting the
+    // old layout; nothing here is visible to them. Any persistent failure
+    // (dead server, exhausted retries) aborts just this file: staged pieces
+    // are discarded and the old layout keeps serving.
+    try {
+      for (const auto& piece : rplan.pieces) {
+        auto& dst = cluster.server(piece.dst_server);
+        const BlockKey key{id, piece.new_piece};
+        Bytes filled = 0;
+        for (const auto& range : piece.sources) {
+          auto bytes = fetch_range_with_retry(cluster.server(range.src_server),
+                                              BlockKey{id, range.old_piece},
+                                              range.offset_in_piece, range.length);
+          dst.stage_range(key, staging_epoch, piece.piece_size, filled,
+                          std::span<const std::uint8_t>(bytes));
+          filled += bytes.size();
+        }
+        // Completeness + CRC now, so the publish below is a pure map splice.
+        if (!dst.finalize_staged(key, staging_epoch)) {
+          throw std::runtime_error("delta repartition: staged piece incomplete");
+        }
+      }
+    } catch (const std::exception&) {
+      discard_all();
+      return;
+    }
+
+    // Phase 2 — cutover. The guard + epoch check make this optimistic: if
+    // any other writer landed a layout since we planned, our staged bytes
+    // describe a stale file and are discarded.
+    Seconds cutover = 0.0;
+    {
+      const auto guard = master.lock_file(id);
+      if (!guard) {
+        discard_all();
+        return;
+      }
+      const auto current = master.peek(id);
+      if (!current || current->epoch != epoch0) {
+        discard_all();
+        return;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      bool ok = true;
+      for (const auto& piece : rplan.pieces) {
+        try {
+          if (!cluster.server(piece.dst_server)
+                   .publish_staged(BlockKey{id, piece.new_piece}, staging_epoch)) {
+            ok = false;
+          }
+        } catch (const std::exception&) {
+          ok = false;  // destination died between finalize and publish
+        }
+        if (!ok) break;
+      }
+      if (!ok) {
+        // A partial publish may have overwritten same-key old pieces;
+        // readers detect the size mismatch and fall back to stable storage
+        // until the next repartition or repair lands a consistent layout.
+        discard_all();
+        return;
+      }
+      FileMeta new_meta;
+      new_meta.size = meta->size;
+      new_meta.servers = new_servers;
+      new_meta.piece_sizes.reserve(rplan.pieces.size());
+      for (const auto& piece : rplan.pieces) new_meta.piece_sizes.push_back(piece.piece_size);
+      new_meta.file_crc = meta->file_crc;
+      new_meta.epoch = staging_epoch;
+      master.update_file(id, std::move(new_meta));
+      cutover = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }  // guard released: readers converge on the new layout from here on
+
+    if (registry) {
+      registry->counter(obs::names::kRepartitionBytesMoved).add(rplan.bytes_moved);
+      registry->counter(obs::names::kRepartitionBytesSaved).add(rplan.bytes_saved);
+      registry->histogram(obs::names::kRepartitionCutover).record(cutover * 1e6);
+    }
+    if (trace) {
+      trace->record(obs::TraceKind::kRepartitionCutover, 0, id, 0, 0, cutover);
+    }
+
+    // Phase 3 — lazy GC, outside the critical section. An old piece whose
+    // index AND server survive into the new layout was overwritten by the
+    // publish above (same BlockKey) and must not be erased; everything else
+    // is now unreachable through the master and can go. A reader still
+    // holding the old layout either sees unchanged bytes (CRC passes) or a
+    // missing/mis-sized piece — both funnel into the invalidate/retry path.
+    for (std::size_t i = 0; i < meta->servers.size(); ++i) {
+      const bool reused_in_place =
+          i < new_servers.size() && meta->servers[i] == new_servers[i];
+      if (!reused_in_place) {
+        cluster.server(meta->servers[i]).erase(BlockKey{id, static_cast<PieceIndex>(i)});
+      }
+    }
+
+    std::lock_guard lock(stats_mu);
+    stats.bytes_moved += rplan.bytes_moved;
+    stats.bytes_saved += rplan.bytes_saved;
+    stats.max_cutover_time = std::max(stats.max_cutover_time, cutover);
+    ++stats.files_touched;
+    for (const auto& piece : rplan.pieces) {
+      for (const auto& range : piece.sources) {
+        if (range.local) continue;
+        tx[range.src_server] += static_cast<double>(range.length);
+        rx[piece.dst_server] += static_cast<double>(range.length);
+      }
+    }
+  });
+
+  // Per-NIC completion: every remote range occupies its source's TX and its
+  // destination's RX; the migration finishes when the busiest NIC drains.
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    stats.modelled_time =
+        std::max(stats.modelled_time, (tx[s] + rx[s]) / cluster.server(s).bandwidth());
+  }
+  scope.finish(stats);
+  SPCACHE_LOG(kInfo) << "delta repartition: " << stats.files_touched << " files, "
+                     << stats.bytes_moved / kMB << " MB moved, " << stats.bytes_saved / kMB
+                     << " MB saved in place, modelled " << stats.modelled_time
+                     << " s, max cutover " << stats.max_cutover_time * 1e6 << " us";
   return stats;
 }
 

@@ -38,6 +38,10 @@ namespace spcache {
 struct RepartitionStats {
   Seconds modelled_time = 0.0;  // virtual completion time of the data movement
   Bytes bytes_moved = 0;        // remote traffic (excludes free local pieces)
+  // Delta scheme only: bytes already resident on their destination server
+  // (never sent), and the widest per-file publish critical section (wall).
+  Bytes bytes_saved = 0;
+  Seconds max_cutover_time = 0.0;
   std::size_t files_touched = 0;
 };
 
@@ -58,5 +62,31 @@ RepartitionStats execute_parallel_repartition(Cluster& cluster, Master& master,
                                               const RepartitionPlan& plan, ThreadPool& pool,
                                               obs::MetricsRegistry* registry = nullptr,
                                               obs::TraceRecorder* trace = nullptr);
+
+// Delta scheme: per changed file, computes the range transfer plan
+// (core/repartition) and moves ONLY the byte ranges whose source server
+// differs from their destination — ranges already resident on the
+// destination never cross a NIC. Pieces migrate server-to-server via
+// get_range/stage_range; no repartitioner ever materializes the whole
+// file. Reads keep serving the old layout the entire time: new pieces are
+// staged under epoch+1 out of band, then published in one short critical
+// section (O(k) map splices + the master's layout swap), and the old
+// pieces are garbage-collected lazily after the guard is released —
+// readers racing the cutover converge via the size-mismatch/invalidate
+// retry path. A file whose layout changes underneath the staging phase
+// (epoch moved on) is skipped, staged pieces discarded: delta repartition
+// is optimistic and never blocks a concurrent writer.
+//
+// Modelled time is per-NIC: every remote range charges its length to the
+// source's TX and the destination's RX, and the fleet finishes when the
+// busiest NIC drains — max over servers of (tx + rx) / bandwidth.
+//
+// With `registry` non-null also bumps repartition.bytes_moved/bytes_saved
+// and records repartition.cutover_us per published file; with `trace`
+// non-null emits one kRepartitionCutover event per file.
+RepartitionStats execute_delta_repartition(Cluster& cluster, Master& master,
+                                           const RepartitionPlan& plan, ThreadPool& pool,
+                                           obs::MetricsRegistry* registry = nullptr,
+                                           obs::TraceRecorder* trace = nullptr);
 
 }  // namespace spcache

@@ -6,6 +6,76 @@
 
 namespace spcache {
 
+Bytes plain_piece_offset(Bytes size, std::size_t k, std::size_t i) {
+  assert(k >= 1);
+  assert(i <= k);
+  const Bytes base = size / k;
+  const Bytes extra = size % k;
+  return static_cast<Bytes>(i) * base + std::min<Bytes>(i, extra);
+}
+
+RangeTransferPlan plan_range_transfer(Bytes size, const std::vector<Bytes>& old_piece_sizes,
+                                      const std::vector<std::uint32_t>& old_servers,
+                                      const std::vector<std::uint32_t>& new_servers) {
+  assert(old_piece_sizes.size() == old_servers.size());
+  assert(!old_servers.empty());
+  assert(!new_servers.empty());
+#ifndef NDEBUG
+  {
+    Bytes total = 0;
+    for (Bytes s : old_piece_sizes) total += s;
+    assert(total == size);
+  }
+#endif
+
+  RangeTransferPlan plan;
+  plan.file_size = size;
+  const std::size_t k_new = new_servers.size();
+  plan.pieces.reserve(k_new);
+
+  // Walk the file once, keeping a cursor into the old layout. New piece
+  // boundaries follow split_plain; every crossing of an old boundary inside
+  // a new piece starts a fresh source range.
+  std::size_t old_piece = 0;
+  Bytes old_start = 0;  // file offset where old_piece begins
+  for (std::size_t j = 0; j < k_new; ++j) {
+    PieceAssembly assembly;
+    assembly.new_piece = static_cast<std::uint32_t>(j);
+    assembly.dst_server = new_servers[j];
+    const Bytes lo = plain_piece_offset(size, k_new, j);
+    const Bytes hi = plain_piece_offset(size, k_new, j + 1);
+    assembly.piece_size = hi - lo;
+    Bytes pos = lo;
+    while (pos < hi) {
+      // Advance the old cursor past zero-length pieces and pieces that end
+      // at or before `pos` (possible when size < k_old leaves empty tails).
+      while (old_piece < old_piece_sizes.size() &&
+             old_start + old_piece_sizes[old_piece] <= pos) {
+        old_start += old_piece_sizes[old_piece];
+        ++old_piece;
+      }
+      assert(old_piece < old_piece_sizes.size());
+      const Bytes old_end = old_start + old_piece_sizes[old_piece];
+      RangeSource range;
+      range.old_piece = static_cast<std::uint32_t>(old_piece);
+      range.src_server = old_servers[old_piece];
+      range.offset_in_piece = pos - old_start;
+      range.offset_in_file = pos;
+      range.length = std::min(hi, old_end) - pos;
+      range.local = range.src_server == assembly.dst_server;
+      if (range.local) {
+        plan.bytes_saved += range.length;
+      } else {
+        plan.bytes_moved += range.length;
+      }
+      pos += range.length;
+      assembly.sources.push_back(range);
+    }
+    plan.pieces.push_back(std::move(assembly));
+  }
+  return plan;
+}
+
 RepartitionPlan plan_repartition(const Catalog& updated_catalog,
                                  const std::vector<Bandwidth>& bandwidth,
                                  const std::vector<std::size_t>& old_k,

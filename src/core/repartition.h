@@ -42,6 +42,59 @@ struct RepartitionPlan {
   }
 };
 
+// --- Delta repartitioning: byte-range transfer plans -------------------
+//
+// Re-splitting a file from k_old to k_new pieces does not need the whole
+// file to move: the new piece boundaries overlap the old ones, so each new
+// piece is a concatenation of byte ranges of old pieces. A RangeTransferPlan
+// spells that algebra out — per new piece, the ordered source ranges that
+// assemble it — and classifies each range as local (source server ==
+// destination server: the bytes are already resident, zero network cost)
+// or remote (one direct server-to-server transfer). This generalizes the
+// executor's "one free local piece" rule to per-range granularity: for the
+// common online-adjust case (small k-delta, placements largely reused) most
+// bytes never cross a NIC.
+//
+// Old piece sizes are taken as given (heterogeneous write_sized layouts
+// repartition correctly); new piece sizes follow split_plain's rule — the
+// first (size % k_new) pieces get one extra byte.
+
+// One contiguous byte range of an old piece feeding a new piece.
+struct RangeSource {
+  std::uint32_t old_piece = 0;   // source piece index in the old layout
+  std::uint32_t src_server = 0;  // where that piece lives
+  Bytes offset_in_piece = 0;     // range start within the old piece
+  Bytes offset_in_file = 0;      // range start within the whole file
+  Bytes length = 0;
+  bool local = false;            // src_server == destination server (free)
+};
+
+// One new piece: its destination and the ordered ranges that assemble it
+// (concatenated in order, they are exactly the piece's bytes).
+struct PieceAssembly {
+  std::uint32_t new_piece = 0;
+  std::uint32_t dst_server = 0;
+  Bytes piece_size = 0;
+  std::vector<RangeSource> sources;
+};
+
+struct RangeTransferPlan {
+  Bytes file_size = 0;
+  Bytes bytes_moved = 0;  // sum of remote range lengths (each counted once)
+  Bytes bytes_saved = 0;  // sum of local range lengths (== file_size - moved)
+  std::vector<PieceAssembly> pieces;  // one per new piece, in piece order
+};
+
+// Byte offset where piece `i` of a k-way split_plain layout starts.
+Bytes plain_piece_offset(Bytes size, std::size_t k, std::size_t i);
+
+// Compute the range transfer plan from the current layout
+// (old_piece_sizes[i] bytes of piece i on old_servers[i]) to a
+// split_plain(new_servers.size()) layout on `new_servers`. O(k_old + k_new).
+RangeTransferPlan plan_range_transfer(Bytes size, const std::vector<Bytes>& old_piece_sizes,
+                                      const std::vector<std::uint32_t>& old_servers,
+                                      const std::vector<std::uint32_t>& new_servers);
+
 // Algorithm 2. `old_k[i]` / `old_servers[i]` describe the current layout.
 RepartitionPlan plan_repartition(const Catalog& updated_catalog,
                                  const std::vector<Bandwidth>& bandwidth,

@@ -40,6 +40,13 @@ ClusterStats ClusterObserver::collect(const std::vector<double>& server_loads) c
     stats.retry_rate = static_cast<double>(stats.retries) / static_cast<double>(stats.reads);
   }
 
+  stats.repartition_bytes_moved = snap.counter_value(names::kRepartitionBytesMoved);
+  stats.repartition_bytes_saved = snap.counter_value(names::kRepartitionBytesSaved);
+  if (const auto* hist = snap.histogram_named(names::kRepartitionCutover)) {
+    stats.repartition_cutovers = hist->count();
+    stats.repartition_cutover_p99_us = hist->percentile(0.99);
+  }
+
   // Per-server suffix sums: attempts vs. misses vs. errors. A "hit" is a
   // GET that actually handed back a resident block.
   const std::uint64_t gets = snap.counter_suffix_sum(".gets");
@@ -67,7 +74,11 @@ std::string ClusterObserver::to_json(const ClusterStats& stats) {
       << ", \"p99\": " << stats.read_p99_s << "}, \"hit_ratio\": " << stats.hit_ratio
       << ", \"degraded_read_rate\": " << stats.degraded_read_rate
       << ", \"retry_rate\": " << stats.retry_rate
-      << ", \"degraded_pieces\": " << stats.degraded_pieces << "}";
+      << ", \"degraded_pieces\": " << stats.degraded_pieces
+      << ", \"repartition\": {\"bytes_moved\": " << stats.repartition_bytes_moved
+      << ", \"bytes_saved\": " << stats.repartition_bytes_saved
+      << ", \"cutovers\": " << stats.repartition_cutovers
+      << ", \"cutover_p99_us\": " << stats.repartition_cutover_p99_us << "}}";
   return out.str();
 }
 

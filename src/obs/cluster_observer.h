@@ -49,6 +49,13 @@ struct ClusterStats {
   std::uint64_t retries = 0;
   std::uint64_t degraded_reads = 0;
   std::uint64_t degraded_pieces = 0;
+
+  // Delta repartition: migrated vs. never-sent bytes, and the width of the
+  // publish critical section (one histogram sample per file cut over).
+  std::uint64_t repartition_bytes_moved = 0;
+  std::uint64_t repartition_bytes_saved = 0;
+  std::uint64_t repartition_cutovers = 0;
+  double repartition_cutover_p99_us = 0.0;
 };
 
 class ClusterObserver {

@@ -158,6 +158,13 @@ inline constexpr std::string_view kMonitorRepairSpan = "monitor.detect_to_repair
 inline constexpr std::string_view kRecoveryPieces = "recovery.pieces_recovered";
 inline constexpr std::string_view kRecoveryBytes = "recovery.bytes_restored";
 inline constexpr std::string_view kRecoveryRepairTime = "recovery.repair_model_s";
+// Delta repartition (two-phase cutover): remote bytes actually migrated,
+// bytes already resident on their destination (never sent), and the width
+// of the per-file publish critical section. The histogram records
+// MICROseconds (the geometry is unit-agnostic; the name carries the unit).
+inline constexpr std::string_view kRepartitionBytesMoved = "repartition.bytes_moved";
+inline constexpr std::string_view kRepartitionBytesSaved = "repartition.bytes_saved";
+inline constexpr std::string_view kRepartitionCutover = "repartition.cutover_us";
 // Per-server leaf names (full name: server.<id>.<leaf>).
 inline constexpr std::string_view kServerGets = "gets";
 inline constexpr std::string_view kServerMisses = "misses";

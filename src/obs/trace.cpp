@@ -18,6 +18,7 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kRepairDone: return "repair_done";
     case TraceKind::kRepartitionStart: return "repartition_start";
     case TraceKind::kRepartitionDone: return "repartition_done";
+    case TraceKind::kRepartitionCutover: return "repartition_cutover";
     case TraceKind::kServerDeclaredDead: return "server_declared_dead";
     case TraceKind::kServerRejoined: return "server_rejoined";
     case TraceKind::kBusDrop: return "bus_drop";

@@ -43,6 +43,7 @@ enum class TraceKind : std::uint8_t {
   kRepairDone,       // server, value = detection-to-repaired wall seconds
   kRepartitionStart, // op, value = files to touch
   kRepartitionDone,  // op, value = modelled seconds
+  kRepartitionCutover,  // file, value = publish critical-section wall seconds
   kServerDeclaredDead,  // server
   kServerRejoined,      // server
   kBusDrop,          // (no op context)
@@ -65,7 +66,8 @@ struct TraceEvent {
   // True for kinds whose `value` is a measured wall-clock duration rather
   // than deterministic payload (bytes, attempt numbers, modelled seconds).
   static bool value_is_wall_clock(TraceKind kind) {
-    return kind == TraceKind::kReadDone || kind == TraceKind::kRepairDone;
+    return kind == TraceKind::kReadDone || kind == TraceKind::kRepairDone ||
+           kind == TraceKind::kRepartitionCutover;
   }
 
   // Replay identity: everything except seq, the wall timestamp, and

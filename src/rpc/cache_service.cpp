@@ -15,9 +15,8 @@ namespace {
 
 std::vector<std::uint8_t> empty_body() { return {}; }
 
-// Layout wire format, shared by kLookupFile / kLookupBatch replies and
-// the client parsers: size u64, crc u32, epoch u64, n u32, then n
-// (server u32, piece_size u64) pairs.
+}  // namespace
+
 void write_meta(BufferWriter& w, const FileMeta& meta) {
   w.u64(meta.size);
   w.u32(meta.file_crc);
@@ -43,8 +42,6 @@ FileMeta read_meta(BufferReader& r) {
   }
   return meta;
 }
-
-}  // namespace
 
 CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t server_id,
                                        Bandwidth bandwidth)
@@ -102,6 +99,68 @@ CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t s
       }
       w.u8(1);
       w.bytes(block->bytes);
+    }
+    return w.take();
+  });
+  node_->handle(kGetRange, [this](BufferReader& r) {
+    const auto file = static_cast<FileId>(r.u32());
+    const auto piece = static_cast<PieceIndex>(r.u32());
+    const Bytes offset = r.u64();
+    const Bytes length = r.u64();
+    const auto bytes = store_.get_range(BlockKey{file, piece}, offset, length);
+    BufferWriter w;
+    w.reserve(4 + bytes.size());
+    w.bytes(bytes);
+    return w.take();
+  });
+  node_->handle(kStagePiece, [this](BufferReader& r) {
+    const auto file = static_cast<FileId>(r.u32());
+    const auto piece = static_cast<PieceIndex>(r.u32());
+    const std::uint64_t epoch = r.u64();
+    const std::uint8_t op = r.u8();
+    const BlockKey key{file, piece};
+    BufferWriter w;
+    switch (op) {
+      case kStageOpAppend: {
+        const Bytes piece_size = r.u64();
+        const Bytes offset = r.u64();
+        store_.stage_range(key, epoch, piece_size, offset, r.bytes_view());
+        w.u8(1);
+        break;
+      }
+      case kStageOpLocalCopy: {
+        // The source range is resident right here: serve it out of the own
+        // store and stage it without any payload having crossed the wire.
+        const Bytes piece_size = r.u64();
+        const Bytes offset = r.u64();
+        const auto src_piece = static_cast<PieceIndex>(r.u32());
+        const Bytes src_offset = r.u64();
+        const Bytes length = r.u64();
+        const auto bytes = store_.get_range(BlockKey{file, src_piece}, src_offset, length);
+        store_.stage_range(key, epoch, piece_size, offset, bytes);
+        w.u8(1);
+        break;
+      }
+      case kStageOpFinalize:
+        w.u8(store_.finalize_staged(key, epoch) ? 1 : 0);
+        break;
+      case kStageOpPublish: {
+        const bool ok = store_.publish_staged(key, epoch);
+        if (ok) {
+          // The published piece belongs to the new layout generation:
+          // record it so a multi-GET built against the old one is rejected
+          // with kWrongEpoch instead of served a torn mix.
+          auto& recorded = epochs_[file];
+          recorded = std::max(recorded, epoch);
+        }
+        w.u8(ok ? 1 : 0);
+        break;
+      }
+      case kStageOpDiscard:
+        w.u8(store_.discard_staged(key, epoch) ? 1 : 0);
+        break;
+      default:
+        throw std::runtime_error("kStagePiece: unknown op " + std::to_string(op));
     }
     return w.take();
   });

@@ -35,12 +35,39 @@ inline constexpr MethodId kPutBlock = 1;       // carries the layout epoch
 inline constexpr MethodId kGetBlock = 2;
 inline constexpr MethodId kEraseBlock = 3;
 inline constexpr MethodId kGetBlockMulti = 4;  // all of one file's pieces on a worker
+inline constexpr MethodId kGetRange = 5;       // byte range of one resident piece
+inline constexpr MethodId kStagePiece = 6;     // staged-assembly ops (delta repartition)
 inline constexpr MethodId kRegisterFile = 10;  // proposes an epoch, replies the assigned one
 inline constexpr MethodId kLookupFile = 11;    // bumps the access count; reply carries epoch
 inline constexpr MethodId kAccessCount = 12;
 inline constexpr MethodId kFileEpoch = 13;     // current layout epoch (0 = unknown file)
 inline constexpr MethodId kLookupBatch = 14;   // many kLookupFile in one envelope
 inline constexpr MethodId kReportAccess = 15;  // batched per-file access-count deltas
+
+// kStagePiece sub-operations. Common request header: file u32, piece u32,
+// epoch u64, op u8; then per op:
+//   kStageOpAppend     piece_size u64, offset u64, length-prefixed bytes
+//   kStageOpLocalCopy  piece_size u64, offset u64, src_piece u32,
+//                      src_offset u64, length u64 — the worker copies the
+//                      range out of its own resident store (the bytes are
+//                      already on the destination; no payload on the wire)
+//   kStageOpFinalize   (no body) completeness check + CRC of the staged piece
+//   kStageOpPublish    (no body) splice the finalized piece into the live
+//                      store and record the epoch for kWrongEpoch rejection
+//   kStageOpDiscard    (no body) drop the staged piece (abort path)
+// Reply for every op: u8 success flag.
+inline constexpr std::uint8_t kStageOpAppend = 0;
+inline constexpr std::uint8_t kStageOpLocalCopy = 1;
+inline constexpr std::uint8_t kStageOpFinalize = 2;
+inline constexpr std::uint8_t kStageOpPublish = 3;
+inline constexpr std::uint8_t kStageOpDiscard = 4;
+
+// Layout wire format, shared by kLookupFile/kLookupBatch replies, the
+// kRegisterFile request body (after the file id), and every client parser:
+// size u64, crc u32, epoch u64, n u32, then n (server u32, piece_size u64)
+// pairs.
+void write_meta(BufferWriter& w, const FileMeta& meta);
+FileMeta read_meta(BufferReader& r);
 
 // A cache worker: an RpcNode whose handlers are backed by a CacheServer
 // block store (checksummed, thread-safe).

@@ -18,8 +18,17 @@
 
 namespace spcache::rpc {
 
-// Method id on repartitioner nodes.
+// Method ids on repartitioner nodes.
 inline constexpr MethodId kRepartitionFile = 20;
+// Delta variant: request is file u32, new piece count u32, then per new
+// piece a server u32. The handler looks the current layout (sizes + epoch)
+// up at the master, computes the range transfer plan, relays only the
+// remote ranges (kGetRange from the source, kStagePiece to the
+// destination, one range at a time — the whole file is never materialized
+// anywhere), stages local ranges with zero wire payload, seals, publishes
+// under epoch+1, REGISTERs, and lazily erases old pieces not reused in
+// place. Reply: u64 remote bytes moved, u64 bytes saved in place.
+inline constexpr MethodId kDeltaRepartitionFile = 21;
 // Node-id convention: repartitioner for server s = kFirstRepartitionerNode + s.
 inline constexpr NodeId kFirstRepartitionerNode = 500;
 
@@ -40,6 +49,7 @@ class RepartitionerService {
 
  private:
   std::vector<std::uint8_t> handle_repartition(BufferReader& r);
+  std::vector<std::uint8_t> handle_delta_repartition(BufferReader& r);
 
   std::uint32_t server_id_;
   NodeId master_node_;
@@ -50,6 +60,7 @@ class RepartitionerService {
 
 struct RpcRepartitionStats {
   Bytes bytes_moved = 0;       // remote traffic summed over executors
+  Bytes bytes_saved = 0;       // delta scheme only: ranges staged in place
   std::size_t files_touched = 0;
 };
 
@@ -61,5 +72,13 @@ RpcRepartitionStats rpc_execute_repartition(RpcNode& coordinator, const Repartit
                                             const std::vector<std::vector<std::uint32_t>>&
                                                 old_servers,
                                             const std::vector<NodeId>& repartitioner_of_server);
+
+// Delta coordinator: same fan-out/join over kDeltaRepartitionFile. The
+// request carries only the new placement — each executor fetches the
+// authoritative old layout (piece sizes, epoch) from the master itself, so
+// the coordinator needs no piece-size bookkeeping.
+RpcRepartitionStats rpc_execute_delta_repartition(
+    RpcNode& coordinator, const RepartitionPlan& plan,
+    const std::vector<NodeId>& repartitioner_of_server);
 
 }  // namespace spcache::rpc

@@ -1,0 +1,190 @@
+// Property tests for the delta repartition plan algebra (randomized):
+//   * the range transfer plan covers every byte of the file exactly once,
+//     in order, with piece sizes matching split_plain's rule;
+//   * a range is local iff source server == destination server — the plan
+//     never emits a same-server network transfer;
+//   * bytes_moved + bytes_saved == file_size;
+//   * executing a randomized plan against a live cluster reassembles every
+//     file bit-exactly and leaves no staged residue.
+#include "core/repartition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/client.h"
+#include "cluster/repartition_exec.h"
+#include "erasure/rs_code.h"
+
+namespace spcache {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  return v;
+}
+
+// k distinct servers drawn from [0, n_servers).
+std::vector<std::uint32_t> distinct_servers(Rng& rng, std::size_t n_servers, std::size_t k) {
+  std::vector<std::uint32_t> all(n_servers);
+  std::iota(all.begin(), all.end(), 0u);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::swap(all[i], all[i + rng.uniform_index(n_servers - i)]);
+  }
+  all.resize(k);
+  return all;
+}
+
+// A random composition of `size` into `k` non-negative parts (old layouts
+// need not follow split_plain's rounding — write_sized layouts don't).
+std::vector<Bytes> random_composition(Rng& rng, Bytes size, std::size_t k) {
+  std::vector<Bytes> cuts;
+  for (std::size_t i = 0; i + 1 < k; ++i) cuts.push_back(rng.uniform_index(size + 1));
+  cuts.push_back(0);
+  cuts.push_back(size);
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<Bytes> sizes;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) sizes.push_back(cuts[i + 1] - cuts[i]);
+  return sizes;
+}
+
+TEST(RepartitionProperties, PlainOffsetsMatchSplitPlain) {
+  Rng rng(401);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Bytes size = 1 + rng.uniform_index(4096);
+    const std::size_t k = 1 + rng.uniform_index(16);
+    const auto data = random_bytes(size, rng);
+    const auto pieces = split_plain(data, k);
+    ASSERT_EQ(pieces.size(), k);
+    EXPECT_EQ(plain_piece_offset(size, k, 0), 0u);
+    EXPECT_EQ(plain_piece_offset(size, k, k), size);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(plain_piece_offset(size, k, i + 1) - plain_piece_offset(size, k, i),
+                pieces[i].size())
+          << "size=" << size << " k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(RepartitionProperties, PlanCoversEveryByteExactlyOnce) {
+  Rng rng(402);
+  constexpr std::size_t kServers = 20;
+  for (int trial = 0; trial < 300; ++trial) {
+    const Bytes size = 1 + rng.uniform_index(200 * 1024);
+    const std::size_t k_old = 1 + rng.uniform_index(16);
+    const std::size_t k_new = 1 + rng.uniform_index(16);
+    const auto old_sizes = random_composition(rng, size, k_old);
+    // Old servers need not be distinct between pieces of different files,
+    // but within one file the planner may assume distinctness — honor it.
+    const auto old_servers = distinct_servers(rng, kServers, k_old);
+    const auto new_servers = distinct_servers(rng, kServers, k_new);
+
+    const auto plan = plan_range_transfer(size, old_sizes, old_servers, new_servers);
+    ASSERT_EQ(plan.pieces.size(), k_new);
+    EXPECT_EQ(plan.file_size, size);
+    EXPECT_EQ(plan.bytes_moved + plan.bytes_saved, size);
+
+    std::vector<Bytes> old_start(k_old + 1, 0);
+    for (std::size_t i = 0; i < k_old; ++i) old_start[i + 1] = old_start[i] + old_sizes[i];
+
+    Bytes pos = 0;  // running cursor over the file: ranges must be in order
+    Bytes moved = 0, saved = 0;
+    for (std::size_t p = 0; p < k_new; ++p) {
+      const auto& piece = plan.pieces[p];
+      EXPECT_EQ(piece.new_piece, p);
+      EXPECT_EQ(piece.dst_server, new_servers[p]);
+      EXPECT_EQ(piece.piece_size,
+                plain_piece_offset(size, k_new, p + 1) - plain_piece_offset(size, k_new, p));
+      Bytes filled = 0;
+      for (const auto& r : piece.sources) {
+        ASSERT_LT(r.old_piece, k_old);
+        EXPECT_GT(r.length, 0u);
+        // Contiguous, in order, and consistent between the two offsets.
+        EXPECT_EQ(r.offset_in_file, pos);
+        EXPECT_EQ(r.offset_in_file, old_start[r.old_piece] + r.offset_in_piece);
+        EXPECT_LE(r.offset_in_piece + r.length, old_sizes[r.old_piece]);
+        EXPECT_EQ(r.src_server, old_servers[r.old_piece]);
+        // Local iff same server — a remote range with src == dst would be
+        // a pointless network transfer, a local range with src != dst
+        // would lose bytes.
+        EXPECT_EQ(r.local, r.src_server == piece.dst_server);
+        (r.local ? saved : moved) += r.length;
+        pos += r.length;
+        filled += r.length;
+      }
+      EXPECT_EQ(filled, piece.piece_size);
+    }
+    EXPECT_EQ(pos, size);  // union of all ranges covers [0, size) exactly
+    EXPECT_EQ(moved, plan.bytes_moved);
+    EXPECT_EQ(saved, plan.bytes_saved);
+  }
+}
+
+TEST(RepartitionProperties, UnchangedPlacementIsAllLocal) {
+  Rng rng(403);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bytes size = 1 + rng.uniform_index(64 * 1024);
+    const std::size_t k = 1 + rng.uniform_index(12);
+    const auto servers = distinct_servers(rng, 20, k);
+    // Old layout already follows split_plain's rounding on the same
+    // servers: the "repartition" is a no-op byte-wise, so zero bytes move.
+    std::vector<Bytes> old_sizes;
+    for (std::size_t i = 0; i < k; ++i) {
+      old_sizes.push_back(plain_piece_offset(size, k, i + 1) - plain_piece_offset(size, k, i));
+    }
+    const auto plan = plan_range_transfer(size, old_sizes, servers, servers);
+    EXPECT_EQ(plan.bytes_moved, 0u);
+    EXPECT_EQ(plan.bytes_saved, size);
+  }
+}
+
+// End-to-end on a live cluster: random files, random old/new placements,
+// the delta executor must reassemble every file bit-exactly under the new
+// layout with a bumped epoch and an empty staging area.
+TEST(RepartitionProperties, RandomizedDeltaRepartitionIsBitExact) {
+  Cluster cluster(12, gbps(1.0));
+  Master master;
+  ThreadPool pool(4);
+  Rng rng(404);
+  SpClient client(cluster, master, pool);
+
+  constexpr std::size_t kFiles = 20;
+  std::vector<std::vector<std::uint8_t>> originals;
+  RepartitionPlan plan;
+  plan.new_k.resize(kFiles);
+  for (FileId f = 0; f < kFiles; ++f) {
+    const Bytes size = 1 + rng.uniform_index(96 * 1024);
+    const std::size_t k_old = 1 + rng.uniform_index(6);
+    originals.push_back(random_bytes(size, rng));
+    const auto old = distinct_servers(rng, cluster.size(), k_old);
+    client.write(f, originals[f], old);
+
+    const std::size_t k_new = 1 + rng.uniform_index(6);
+    plan.new_k[f] = k_new;
+    plan.changed_files.push_back(f);
+    plan.new_servers.push_back(distinct_servers(rng, cluster.size(), k_new));
+    plan.executor.push_back(old[rng.uniform_index(old.size())]);
+  }
+
+  std::vector<std::uint64_t> epoch_before(kFiles);
+  for (FileId f = 0; f < kFiles; ++f) epoch_before[f] = master.peek(f)->epoch;
+
+  const auto stats = execute_delta_repartition(cluster, master, plan, pool);
+  EXPECT_EQ(stats.files_touched, kFiles);
+
+  for (FileId f = 0; f < kFiles; ++f) {
+    EXPECT_EQ(client.read(f).bytes, originals[f]) << "file " << f;
+    const auto meta = master.peek(f);
+    ASSERT_TRUE(meta.has_value());
+    EXPECT_EQ(meta->servers, plan.new_servers[f]);
+    EXPECT_GT(meta->epoch, epoch_before[f]);
+  }
+  for (std::size_t s = 0; s < cluster.size(); ++s) {
+    EXPECT_EQ(cluster.server(s).staged_count(), 0u) << "server " << s;
+  }
+}
+
+}  // namespace
+}  // namespace spcache

@@ -136,5 +136,77 @@ TEST_F(RpcRepartitionTest, EmptyPlanIsNoOp) {
   EXPECT_EQ(stats.bytes_moved, 0u);
 }
 
+// --- Delta flow (kDeltaRepartitionFile: kGetRange + kStagePiece relay) ---
+
+TEST_F(RpcRepartitionTest, DeltaRepartitionPreservesEveryFile) {
+  populate();
+  catalog_.shuffle_popularities(rng_);
+  const auto plan = plan_repartition_with_alpha(
+      catalog_, kWorkers, 6.0 / catalog_.max_load(), old_k_, old_servers_, rng_);
+  ASSERT_GT(plan.changed_files.size(), 0u);
+
+  std::vector<std::uint64_t> epoch_before(kFiles);
+  for (FileId f = 0; f < kFiles; ++f) {
+    epoch_before[f] = master_->master().peek(f)->epoch;
+  }
+
+  const auto stats = rpc_execute_delta_repartition(*coordinator_, plan, repartitioner_nodes_);
+  EXPECT_EQ(stats.files_touched, plan.changed_files.size());
+  EXPECT_GT(stats.bytes_moved, 0u);
+
+  Bytes changed_bytes = 0;
+  for (const FileId f : plan.changed_files) changed_bytes += originals_[f].size();
+  // Every byte of every changed file is moved once or staged in place.
+  EXPECT_EQ(stats.bytes_moved + stats.bytes_saved, changed_bytes);
+
+  for (FileId f = 0; f < kFiles; ++f) {
+    EXPECT_EQ(client_->read(f), originals_[f]) << "file " << f;
+  }
+  for (std::size_t j = 0; j < plan.changed_files.size(); ++j) {
+    const FileId f = plan.changed_files[j];
+    const auto meta = master_->master().peek(f);
+    ASSERT_TRUE(meta.has_value());
+    EXPECT_EQ(meta->servers, plan.new_servers[j]);
+    EXPECT_GT(meta->epoch, epoch_before[f]) << "file " << f;
+    for (std::size_t i = 0; i < meta->servers.size(); ++i) {
+      EXPECT_TRUE(workers_[meta->servers[i]]->store().contains(
+          BlockKey{f, static_cast<PieceIndex>(i)}));
+    }
+  }
+  // Nothing left in any staging area.
+  for (const auto& w : workers_) EXPECT_EQ(w->store().staged_count(), 0u);
+}
+
+TEST_F(RpcRepartitionTest, DeltaReusedPlacementShipsOnlyBoundaryRanges) {
+  populate();
+  // Grow file 0 from k to k+1 pieces while keeping every old server in
+  // place: new piece i lives where old piece i already does, so only the
+  // bytes that slide across the shifted boundaries change server. The
+  // delta flow must stage the overlap in place (zero wire payload) and
+  // ship strictly less than the file.
+  const FileId f = 0;
+  RepartitionPlan plan;
+  plan.new_k = old_k_;
+  plan.new_k[f] = old_k_[f] + 1;
+  plan.changed_files = {f};
+  auto grown = old_servers_[f];
+  for (std::uint32_t s = 0; s < kWorkers; ++s) {
+    if (std::find(grown.begin(), grown.end(), s) == grown.end()) {
+      grown.push_back(s);
+      break;
+    }
+  }
+  ASSERT_EQ(grown.size(), old_k_[f] + 1);
+  plan.new_servers = {grown};
+  plan.executor = {old_servers_[f][0]};
+
+  const auto stats = rpc_execute_delta_repartition(*coordinator_, plan, repartitioner_nodes_);
+  EXPECT_EQ(stats.files_touched, 1u);
+  EXPECT_EQ(stats.bytes_moved + stats.bytes_saved, kFileSize);
+  EXPECT_GT(stats.bytes_saved, 0u);
+  EXPECT_LT(stats.bytes_moved, kFileSize);
+  EXPECT_EQ(client_->read(f), originals_[f]);
+}
+
 }  // namespace
 }  // namespace spcache::rpc

@@ -45,6 +45,14 @@ if [[ "$QUICK" -eq 0 ]]; then
   # Exits non-zero unless >=90% of steady-state reads skip the master and
   # throughput ends up above the baseline; writes BENCH_metadata.json.
   (cd build/bench && ./bench_metadata_offload --smoke)
+
+  echo "==> repartition smoke: delta must cut >=30% of the rewrite executor's bytes"
+  # Shrunken Figs. 16-18 sweep; fig16 exits non-zero unless the delta
+  # executor moves <=70% of the rewrite executor's bytes on the
+  # online-adjust workload; writes BENCH_repartition.json.
+  (cd build/bench && ./bench_fig16_repartition_time --smoke)
+  (cd build/bench && ./bench_fig17_repartition_fraction --smoke >/dev/null)
+  (cd build/bench && ./bench_fig18_repartition_balance --smoke >/dev/null)
 fi
 
 echo "==> ThreadSanitizer: configure + build"
@@ -59,5 +67,8 @@ ctest --preset tsan -R "${CHAOS_FILTER}"
 
 echo "==> ThreadSanitizer: observability stage (-L obs)"
 ctest --preset tsan -L obs
+
+echo "==> ThreadSanitizer: repartition smoke (staging/cutover under the race detector)"
+(cd build-tsan/bench && ./bench_fig16_repartition_time --smoke)
 
 echo "==> all checks passed"
