@@ -5,31 +5,40 @@
 // services own the blocks, and an SP-Client performs Algorithm-1-placed
 // writes and parallel reads purely via RPC — every payload crossing a
 // serialization boundary, as in the networked Alluxio deployment.
+//
+// The bus is transport-agnostic. By default the fleet shares one process
+// and one InprocTransport; with --transport=tcp the services live behind
+// a listening TcpTransport and the client talks to them through its own
+// TcpTransport over real loopback sockets — same services, same client,
+// different backend under the seam.
+#include <cstring>
 #include <iostream>
 
 #include "core/sp_cache.h"
 #include "rpc/cache_service.h"
+#include "rpc/tcp_transport.h"
 
 using namespace spcache;
 using namespace spcache::rpc;
 
-int main() {
+namespace {
+
+int run(Bus& service_bus, Bus& client_bus) {
   constexpr std::size_t kWorkers = 12;
   constexpr std::size_t kFiles = 30;
   constexpr Bytes kFileSize = 256 * kKB;
 
   // Boot the fleet: one master, twelve workers, one client.
-  Bus bus;
-  MasterService master(bus);
+  MasterService master(service_bus);
   std::vector<std::unique_ptr<CacheWorkerService>> workers;
   std::vector<NodeId> worker_nodes;
   for (std::size_t s = 0; s < kWorkers; ++s) {
     workers.push_back(std::make_unique<CacheWorkerService>(
-        bus, kFirstWorkerNode + static_cast<NodeId>(s), static_cast<std::uint32_t>(s),
+        service_bus, kFirstWorkerNode + static_cast<NodeId>(s), static_cast<std::uint32_t>(s),
         gbps(1.0)));
     worker_nodes.push_back(workers.back()->node_id());
   }
-  RpcSpClient client(bus, kFirstClientNode, kMasterNode, worker_nodes);
+  RpcSpClient client(client_bus, kFirstClientNode, kMasterNode, worker_nodes);
   std::cout << "Booted SP-Master + " << kWorkers << " cache workers on the message bus.\n";
 
   // Algorithm 1 decides the layout; the client executes it over RPC.
@@ -72,4 +81,49 @@ int main() {
   for (const auto& w : workers) std::cout << ' ' << w->store().blocks_stored();
   std::cout << '\n';
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string transport = "inproc";
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--transport=", 0) == 0) {
+      transport = flag.substr(std::strlen("--transport="));
+    } else if (flag == "--transport" && i + 1 < argc) {
+      transport = argv[++i];
+    } else {
+      std::cerr << "usage: rpc_cluster [--transport=inproc|tcp]\n";
+      return 2;
+    }
+  }
+
+  if (transport == "inproc") {
+    Bus bus;  // owns an InprocTransport; services and client share it
+    return run(bus, bus);
+  }
+  if (transport == "tcp") {
+    // Services behind a listening socket, the client on its own transport:
+    // every envelope crosses real loopback TCP, framed and reassembled.
+    TcpTransport service_tcp;
+    const std::uint16_t port = service_tcp.listen("127.0.0.1", 0);
+    TcpTransport client_tcp;
+    client_tcp.start();
+    client_tcp.add_peer(kMasterNode, "127.0.0.1", port);
+    for (std::size_t s = 0; s < 12; ++s) {
+      client_tcp.add_peer(kFirstWorkerNode + static_cast<NodeId>(s), "127.0.0.1", port);
+    }
+    std::cout << "TCP transport: services on 127.0.0.1:" << port << ".\n";
+    Bus service_bus(service_tcp);
+    Bus client_bus(client_tcp);
+    const int rc = run(service_bus, client_bus);
+    const auto c = client_tcp.counters();
+    std::cout << "Client transport: " << c.connects << " connection(s), " << c.bytes_tx
+              << " bytes out, " << c.bytes_rx << " bytes in, " << c.framing_errors
+              << " framing errors.\n";
+    return rc != 0 ? rc : (c.framing_errors == 0 ? 0 : 1);
+  }
+  std::cerr << "rpc_cluster: unknown transport '" << transport << "' (inproc|tcp)\n";
+  return 2;
 }

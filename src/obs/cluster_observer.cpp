@@ -40,6 +40,16 @@ ClusterStats ClusterObserver::collect(const std::vector<double>& server_loads) c
     stats.retry_rate = static_cast<double>(stats.retries) / static_cast<double>(stats.reads);
   }
 
+  stats.bus_routed = snap.counter_value(names::kBusRouted);
+  stats.bus_drops = snap.counter_value(names::kBusDrops);
+  stats.bus_duplicates = snap.counter_value(names::kBusDuplicates);
+  stats.transport_connects = snap.counter_value(names::kTransportConnects);
+  stats.transport_reconnects = snap.counter_value(names::kTransportReconnects);
+  stats.transport_framing_errors = snap.counter_value(names::kTransportFramingErrors);
+  stats.transport_bytes_tx = snap.counter_value(names::kTransportBytesTx);
+  stats.transport_bytes_rx = snap.counter_value(names::kTransportBytesRx);
+  stats.transport_frames_dropped = snap.counter_value(names::kTransportFramesDropped);
+
   stats.repartition_bytes_moved = snap.counter_value(names::kRepartitionBytesMoved);
   stats.repartition_bytes_saved = snap.counter_value(names::kRepartitionBytesSaved);
   if (const auto* hist = snap.histogram_named(names::kRepartitionCutover)) {
@@ -78,7 +88,15 @@ std::string ClusterObserver::to_json(const ClusterStats& stats) {
       << ", \"repartition\": {\"bytes_moved\": " << stats.repartition_bytes_moved
       << ", \"bytes_saved\": " << stats.repartition_bytes_saved
       << ", \"cutovers\": " << stats.repartition_cutovers
-      << ", \"cutover_p99_us\": " << stats.repartition_cutover_p99_us << "}}";
+      << ", \"cutover_p99_us\": " << stats.repartition_cutover_p99_us
+      << "}, \"bus\": {\"routed\": " << stats.bus_routed << ", \"drops\": " << stats.bus_drops
+      << ", \"duplicates\": " << stats.bus_duplicates
+      << "}, \"transport\": {\"connects\": " << stats.transport_connects
+      << ", \"reconnects\": " << stats.transport_reconnects
+      << ", \"framing_errors\": " << stats.transport_framing_errors
+      << ", \"bytes_tx\": " << stats.transport_bytes_tx
+      << ", \"bytes_rx\": " << stats.transport_bytes_rx
+      << ", \"frames_dropped\": " << stats.transport_frames_dropped << "}}";
   return out.str();
 }
 

@@ -56,6 +56,18 @@ struct ClusterStats {
   std::uint64_t repartition_bytes_saved = 0;
   std::uint64_t repartition_cutovers = 0;
   double repartition_cutover_p99_us = 0.0;
+
+  // Message fabric: Bus routing totals (both backends) plus the TCP
+  // transport's connection/wire counters (zero under inproc).
+  std::uint64_t bus_routed = 0;
+  std::uint64_t bus_drops = 0;
+  std::uint64_t bus_duplicates = 0;
+  std::uint64_t transport_connects = 0;
+  std::uint64_t transport_reconnects = 0;
+  std::uint64_t transport_framing_errors = 0;
+  std::uint64_t transport_bytes_tx = 0;
+  std::uint64_t transport_bytes_rx = 0;
+  std::uint64_t transport_frames_dropped = 0;
 };
 
 class ClusterObserver {

@@ -152,6 +152,15 @@ inline constexpr std::string_view kBusEnvelopesCoalesced = "bus.envelopes_coales
 inline constexpr std::string_view kBusMailboxBatches = "bus.mailbox_batches";
 inline constexpr std::string_view kBusMailboxBatchedEnvelopes =
     "bus.mailbox_batched_envelopes";
+// TCP transport (rpc/tcp_transport.h): connection lifecycle and wire
+// volume. framing_errors > 0 means a peer's byte stream was malformed —
+// the smoke gate in tools/check.sh fails the run on it.
+inline constexpr std::string_view kTransportConnects = "transport.connects";
+inline constexpr std::string_view kTransportReconnects = "transport.reconnects";
+inline constexpr std::string_view kTransportFramingErrors = "transport.framing_errors";
+inline constexpr std::string_view kTransportBytesTx = "transport.bytes_tx";
+inline constexpr std::string_view kTransportBytesRx = "transport.bytes_rx";
+inline constexpr std::string_view kTransportFramesDropped = "transport.frames_dropped";
 inline constexpr std::string_view kMonitorDeaths = "monitor.deaths_declared";
 inline constexpr std::string_view kMonitorRepairs = "monitor.repairs_completed";
 inline constexpr std::string_view kMonitorRepairSpan = "monitor.detect_to_repair_s";

@@ -204,15 +204,15 @@ void RpcNode::resolve_reply(const Envelope& envelope) {
   promise.set_value(std::move(reply));
 }
 
-void Bus::add(RpcNode& node) {
-  std::unique_lock lock(mu_);
-  nodes_[node.id()] = &node;
+Bus::Bus() : owned_transport_(std::make_unique<InprocTransport>()) {
+  transport_ = owned_transport_.get();
 }
 
-void Bus::remove(NodeId id) {
-  std::unique_lock lock(mu_);
-  nodes_.erase(id);
-}
+Bus::Bus(Transport& transport) : transport_(&transport) {}
+
+void Bus::add(RpcNode& node) { transport_->attach(node.id(), node); }
+
+void Bus::remove(NodeId id) { transport_->detach(id); }
 
 bool Bus::route(Envelope envelope) {
   const auto* probes = probes_.load(std::memory_order_acquire);
@@ -245,21 +245,17 @@ bool Bus::route(Envelope envelope) {
       if (probes->trace) probes->trace->record(obs::TraceKind::kBusDuplicate);
     }
   }
-  bool delivered = false;
-  {
-    std::shared_lock lock(mu_);
-    const auto it = nodes_.find(envelope.to);
-    if (it != nodes_.end()) {
-      if (duplicate) it->second->deliver(envelope);
-      it->second->deliver(std::move(envelope));
-      delivered = true;
-    }
-  }
+  // Duplication sends a second, independent copy through the transport —
+  // the backend treats it like any other envelope, so handler idempotency
+  // and late-reply accounting are exercised on every backend.
+  if (duplicate) transport_->send(Envelope(envelope));
+  const bool delivered = transport_->send(std::move(envelope));
   if (probes) probes->in_flight->sub(1);
   return delivered;
 }
 
 void Bus::attach_observability(obs::MetricsRegistry* registry, obs::TraceRecorder* trace) {
+  transport_->attach_observability(registry);
   if (registry == nullptr) {
     probes_.store(nullptr, std::memory_order_release);
     return;

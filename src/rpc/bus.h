@@ -2,13 +2,21 @@
 //
 // The paper's system is a set of networked processes — SP-Master,
 // SP-Clients, Alluxio workers, SP-Repartitioners (Fig. 9). This module
-// gives the repository that structure without sockets: every component is
-// an `RpcNode` with its own mailbox and service thread; nodes exchange
-// length-delimited binary envelopes through a `Bus` that routes by node id.
-// Calls are asynchronous request/reply pairs matched by request id, with
-// timeouts; handlers run on the callee's service thread, so all the
-// concurrency discipline of a real deployment (no shared memory between
-// components, explicit serialization at every boundary) is exercised.
+// gives the repository that structure: every component is an `RpcNode`
+// with its own mailbox and service thread; nodes exchange length-delimited
+// binary envelopes through a `Bus` that routes by node id. Calls are
+// asynchronous request/reply pairs matched by request id, with timeouts;
+// handlers run on the callee's service thread, so all the concurrency
+// discipline of a real deployment (no shared memory between components,
+// explicit serialization at every boundary) is exercised.
+//
+// Delivery itself goes through the `Transport` seam (rpc/transport.h):
+// the default is the in-process mailbox registry (`InprocTransport` —
+// fast, deterministic, what every test uses); a `TcpTransport`
+// (rpc/tcp_transport.h) carries the same envelopes over real sockets for
+// multi-process deployments. The Bus stays the single place where fault
+// injection and bus-level observability hook the send path, whichever
+// backend is underneath.
 #pragma once
 
 #include <atomic>
@@ -20,7 +28,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -28,6 +35,7 @@
 #include <vector>
 
 #include "rpc/serialize.h"
+#include "rpc/transport.h"
 
 namespace spcache::fault {
 class FaultInjector;
@@ -41,41 +49,6 @@ class TraceRecorder;
 }  // namespace spcache::obs
 
 namespace spcache::rpc {
-
-using NodeId = std::uint32_t;
-using MethodId = std::uint16_t;
-
-// Status byte leading every reply payload.
-enum class Status : std::uint8_t { kOk = 0, kError = 1, kNoSuchMethod = 2, kWrongEpoch = 3 };
-
-// Thrown by a handler that detects a stale layout epoch in the request
-// (e.g. a cache server asked for blocks of a layout that has since been
-// repartitioned). dispatch_request turns it into a kWrongEpoch reply —
-// distinguishable from kError so clients invalidate their cached layout
-// and re-LOOKUP instead of burning retries against the same stale layout.
-class WrongEpochError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-struct Envelope {
-  NodeId from = 0;
-  NodeId to = 0;
-  std::uint64_t request_id = 0;  // matches replies to calls
-  bool is_reply = false;
-  MethodId method = 0;
-  std::vector<std::uint8_t> payload;
-};
-
-// The reply to a call: status + payload (error text for non-kOk).
-struct Reply {
-  Status status = Status::kOk;
-  std::vector<std::uint8_t> payload;
-
-  bool ok() const { return status == Status::kOk; }
-  // Error message carried by a failed reply.
-  std::string error_text() const { return std::string(payload.begin(), payload.end()); }
-};
 
 class Bus;
 
@@ -127,7 +100,7 @@ class RpcNode {
   std::size_t pending_calls() const;
   std::uint64_t late_replies() const { return late_replies_.load(std::memory_order_relaxed); }
 
-  // Used by the Bus to deliver an envelope into this node's mailbox.
+  // Used by the transport to deliver an envelope into this node's mailbox.
   void deliver(Envelope envelope);
 
  private:
@@ -153,7 +126,7 @@ class RpcNode {
   std::atomic<std::uint64_t> late_replies_{0};
 };
 
-// Routes envelopes between registered nodes. Nodes register on
+// Routes envelopes between nodes through a Transport. Nodes register on
 // construction and deregister on destruction; sending to an unknown node
 // fails the call immediately.
 //
@@ -161,9 +134,21 @@ class RpcNode {
 // envelope (it vanishes, like a lost packet — the caller's timeout path
 // fires), stall the sender briefly (delay), or deliver the envelope twice
 // (duplication — handlers run twice and the second reply lands as a
-// counted late-reply no-op).
+// counted late-reply no-op). The hooks sit above the transport seam, so
+// they apply identically to the inproc and TCP backends.
 class Bus {
  public:
+  // Default: a private InprocTransport — fast, deterministic, in-process.
+  Bus();
+  // External transport (e.g. a TcpTransport). Not owned: the transport
+  // must outlive the Bus, and one transport serves exactly one Bus.
+  explicit Bus(Transport& transport);
+
+  Bus(const Bus&) = delete;
+  Bus& operator=(const Bus&) = delete;
+
+  Transport& transport() { return *transport_; }
+
   void add(RpcNode& node);
   void remove(NodeId id);
 
@@ -179,7 +164,9 @@ class Bus {
   // Resolve "bus.routed|in_flight|drops|delays|duplicates" in `registry`
   // once and start counting routed envelopes, the in-flight depth (inside
   // route()), and injected faults; with `trace` non-null each injected
-  // fault also records a kBusDrop/kBusDelay/kBusDuplicate event.
+  // fault also records a kBusDrop/kBusDelay/kBusDuplicate event. Also
+  // forwards `registry` to the transport so backends with their own
+  // counters (transport.* on TcpTransport) wire up through one call.
   // Detached (default): one relaxed pointer load + branch per route().
   void attach_observability(obs::MetricsRegistry* registry,
                             obs::TraceRecorder* trace = nullptr);
@@ -208,15 +195,12 @@ class Bus {
   ObsProbes* observability() const { return probes_.load(std::memory_order_acquire); }
 
  private:
+  std::unique_ptr<Transport> owned_transport_;  // default-constructed Bus only
+  Transport* transport_;
+
   std::atomic<fault::FaultInjector*> injector_{nullptr};
   std::unique_ptr<ObsProbes> probes_storage_;
   std::atomic<ObsProbes*> probes_{nullptr};
-
-  // Held shared across the whole lookup + deliver so a node cannot be
-  // destroyed while an envelope is in flight to it: ~RpcNode's remove()
-  // takes it exclusively and thus waits out concurrent deliveries.
-  std::shared_mutex mu_;
-  std::unordered_map<NodeId, RpcNode*> nodes_;
 };
 
 }  // namespace spcache::rpc

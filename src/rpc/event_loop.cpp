@@ -1,0 +1,127 @@
+#include "rpc/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace spcache::rpc {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw std::runtime_error("EventLoop: epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error("EventLoop: eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::start() {
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void EventLoop::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  wake();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
+  {
+    std::lock_guard lock(mu_);
+    callbacks_[fd] = std::make_shared<FdCallback>(std::move(callback));
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard lock(mu_);
+    callbacks_.erase(fd);
+    throw std::runtime_error(std::string("EventLoop: EPOLL_CTL_ADD failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EventLoop::remove_fd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  std::lock_guard lock(mu_);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mu_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::run() {
+  loop_thread_id_.store(std::this_thread::get_id(), std::memory_order_release);
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone — only happens at teardown
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] const auto r = ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      // Look the callback up per event: an fd deregistered earlier in this
+      // batch (a callback closed a sibling connection) is skipped cleanly.
+      std::shared_ptr<FdCallback> callback;
+      {
+        std::lock_guard lock(mu_);
+        const auto it = callbacks_.find(fd);
+        if (it != callbacks_.end()) callback = it->second;
+      }
+      if (callback) (*callback)(events[i].events);
+      if (stopping_.load(std::memory_order_acquire)) return;
+    }
+    // Drain posted closures after I/O dispatch. Swap under the lock so a
+    // closure that posts again (send after send) never deadlocks.
+    std::vector<std::function<void()>> batch;
+    {
+      std::lock_guard lock(mu_);
+      batch.swap(posted_);
+    }
+    for (auto& fn : batch) fn();
+  }
+}
+
+}  // namespace spcache::rpc

@@ -1,0 +1,76 @@
+// A minimal epoll reactor for the TCP transport.
+//
+// One thread owns epoll_wait and runs every I/O callback; other threads
+// interact only through post(), which queues a closure and wakes the loop
+// via an eventfd. That single-threaded discipline is what keeps the
+// TcpTransport's connection state lock-light: sockets, buffers, and the
+// connection table are touched exclusively on the loop thread, so the
+// only shared state is the post queue and the (rarely written) routing
+// maps the send path consults.
+//
+// fd registration (add_fd / modify_fd / remove_fd) is safe from any
+// thread: the callback table is mutex-guarded and epoll_ctl is itself
+// thread-safe against a concurrent epoll_wait. Callbacks may remove their
+// own fd (or another's) mid-dispatch — events for an fd deregistered
+// earlier in the same wait batch are skipped, never delivered stale.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace spcache::rpc {
+
+class EventLoop {
+ public:
+  // Receives the raw epoll event mask (EPOLLIN | EPOLLOUT | EPOLLERR...).
+  using FdCallback = std::function<void(std::uint32_t)>;
+
+  EventLoop();
+  ~EventLoop();  // stops and joins if still running
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Spawn the loop thread. Call once; fds may be added before or after.
+  void start();
+  // Signal the loop to exit and join it. Idempotent. Posted closures not
+  // yet run are discarded.
+  void stop();
+  bool running() const { return started_ && !stopping_.load(std::memory_order_acquire); }
+
+  // Register `fd` for `events` (EPOLLIN / EPOLLOUT). The callback runs on
+  // the loop thread for every readiness notification.
+  void add_fd(int fd, std::uint32_t events, FdCallback callback);
+  void modify_fd(int fd, std::uint32_t events);
+  // Deregister; pending events for the fd are dropped. Does not close it.
+  void remove_fd(int fd);
+
+  // Run `fn` on the loop thread as soon as possible. Safe from any thread
+  // including the loop thread itself (runs after the current dispatch).
+  void post(std::function<void()> fn);
+
+  bool on_loop_thread() const { return std::this_thread::get_id() == loop_thread_id_; }
+
+ private:
+  void run();
+  void wake();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: post()/stop() nudge epoll_wait
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+  std::atomic<std::thread::id> loop_thread_id_{};
+
+  std::mutex mu_;
+  std::unordered_map<int, std::shared_ptr<FdCallback>> callbacks_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace spcache::rpc

@@ -1,0 +1,113 @@
+#include "rpc/frame.h"
+
+#include <cstring>
+#include <string>
+
+namespace spcache::rpc {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+constexpr std::uint8_t kFlagIsReply = 0x01;
+
+}  // namespace
+
+void encode_frame(const Envelope& envelope, std::vector<std::uint8_t>& out) {
+  out.reserve(out.size() + kFrameHeaderSize + envelope.payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(kFrameVersion);
+  out.push_back(envelope.is_reply ? kFlagIsReply : 0);
+  put_u16(out, envelope.method);
+  put_u32(out, envelope.from);
+  put_u32(out, envelope.to);
+  put_u64(out, envelope.request_id);
+  put_u32(out, static_cast<std::uint32_t>(envelope.payload.size()));
+  out.insert(out.end(), envelope.payload.begin(), envelope.payload.end());
+}
+
+std::vector<std::uint8_t> encode_frame(const Envelope& envelope) {
+  std::vector<std::uint8_t> out;
+  encode_frame(envelope, out);
+  return out;
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> data) {
+  // Compact before growing: once the consumed prefix dominates the buffer,
+  // shifting the live tail down keeps the buffer near one frame's size
+  // instead of growing with the whole connection's history.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+std::optional<Envelope> FrameDecoder::next() {
+  if (poisoned_) throw FramingError("FrameDecoder: poisoned by an earlier framing error");
+  if (buffered() < kFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + pos_;
+
+  const std::uint32_t magic = get_u32(h);
+  if (magic != kFrameMagic) {
+    poisoned_ = true;
+    throw FramingError("bad frame magic 0x" + std::to_string(magic) + " at stream offset " +
+                       std::to_string(stream_offset_));
+  }
+  const std::uint8_t version = h[4];
+  if (version != kFrameVersion) {
+    poisoned_ = true;
+    throw FramingError("unsupported frame version " + std::to_string(version) +
+                       " at stream offset " + std::to_string(stream_offset_));
+  }
+  const std::uint32_t payload_len = get_u32(h + 24);
+  if (payload_len > kMaxFramePayload) {
+    poisoned_ = true;
+    throw FramingError("frame payload length " + std::to_string(payload_len) +
+                       " exceeds the " + std::to_string(kMaxFramePayload) +
+                       "-byte cap at stream offset " + std::to_string(stream_offset_));
+  }
+  if (buffered() < kFrameHeaderSize + payload_len) return std::nullopt;
+
+  Envelope envelope;
+  envelope.is_reply = (h[5] & kFlagIsReply) != 0;
+  envelope.method = get_u16(h + 6);
+  envelope.from = get_u32(h + 8);
+  envelope.to = get_u32(h + 12);
+  envelope.request_id = get_u64(h + 16);
+  const std::uint8_t* body = h + kFrameHeaderSize;
+  envelope.payload.assign(body, body + payload_len);
+
+  pos_ += kFrameHeaderSize + payload_len;
+  stream_offset_ += kFrameHeaderSize + payload_len;
+  return envelope;
+}
+
+}  // namespace spcache::rpc

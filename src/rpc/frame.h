@@ -1,0 +1,83 @@
+// Wire framing for the TCP transport: one envelope per frame.
+//
+// A frame is a fixed 28-byte little-endian header followed by the payload:
+//
+//   offset  size  field
+//        0     4  magic      0x53504357 ("SPCW")
+//        4     1  version    kFrameVersion (1)
+//        5     1  flags      bit 0 = is_reply
+//        6     2  method id
+//        8     4  from node id
+//       12     4  to node id
+//       16     8  request id
+//       24     4  payload length (bytes that follow)
+//
+// The payload is the envelope body unchanged — the same length-delimited
+// bytes the in-process transport hands to handlers, so the two backends
+// are interchangeable above this layer.
+//
+// Decoding is incremental and defensive: `FrameDecoder` accepts arbitrary
+// byte chunks (TCP has no message boundaries) and validates magic,
+// version, and payload length *before* trusting the length field, so a
+// corrupted or hostile stream yields a `FramingError` — never a crash, an
+// over-read, or an unbounded allocation. A decoder that has thrown is
+// poisoned (the stream position is unrecoverable); the connection must be
+// dropped, which is exactly what TcpTransport does.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "rpc/transport.h"
+
+namespace spcache::rpc {
+
+inline constexpr std::uint32_t kFrameMagic = 0x53504357u;  // "SPCW" little-endian
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 28;
+// Upper bound on a single payload: large enough for any piece this repo
+// moves, small enough that a corrupted length field cannot demand an
+// absurd allocation or stall the stream forever.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 30;  // 1 GiB
+
+// A malformed frame header (bad magic, unknown version, oversized
+// length). Carries the byte offset of the offending frame within the
+// decoder's stream for wire debugging.
+class FramingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Append the framed encoding of `envelope` to `out` (header + payload).
+void encode_frame(const Envelope& envelope, std::vector<std::uint8_t>& out);
+std::vector<std::uint8_t> encode_frame(const Envelope& envelope);
+
+// Incremental frame parser for one byte stream (one TCP connection).
+class FrameDecoder {
+ public:
+  // Buffer raw stream bytes. Never throws; validation happens in next().
+  void feed(std::span<const std::uint8_t> data);
+
+  // Extract the next complete envelope, or nullopt while the buffered
+  // bytes end mid-frame. Throws FramingError on a header that can never
+  // be valid (bad magic / version / oversized length); after a throw the
+  // decoder is poisoned and every further call throws.
+  std::optional<Envelope> next();
+
+  // Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size() - pos_; }
+  // Total stream bytes consumed as complete frames (error offsets are
+  // relative to the stream start, same coordinate system).
+  std::uint64_t stream_offset() const { return stream_offset_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;             // consumed prefix of buf_
+  std::uint64_t stream_offset_ = 0; // stream position of buf_[pos_]
+  bool poisoned_ = false;
+};
+
+}  // namespace spcache::rpc

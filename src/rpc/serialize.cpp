@@ -31,7 +31,14 @@ void BufferWriter::str(const std::string& s) {
 }
 
 void BufferReader::need(std::size_t n) {
-  if (remaining() < n) throw std::runtime_error("BufferReader: truncated message");
+  // Locate the failure precisely: wire debugging of a bad frame needs to
+  // know *where* in a multi-field payload the decode fell off the end.
+  if (remaining() < n) {
+    throw std::runtime_error("BufferReader: truncated message: need " + std::to_string(n) +
+                             " byte(s) at offset " + std::to_string(pos_) + ", but only " +
+                             std::to_string(remaining()) + " of " + std::to_string(data_.size()) +
+                             " remain");
+  }
 }
 
 std::uint8_t BufferReader::u8() {
@@ -66,8 +73,16 @@ std::vector<std::uint8_t> BufferReader::bytes() {
 }
 
 std::span<const std::uint8_t> BufferReader::bytes_view() {
+  const std::size_t prefix_at = pos_;
   const std::uint32_t len = u32();
-  need(len);
+  if (remaining() < len) {
+    // Distinguish a lying length prefix from plain truncation: report both
+    // the prefix's own offset and the length it promised.
+    throw std::runtime_error("BufferReader: byte string at offset " + std::to_string(prefix_at) +
+                             " declares " + std::to_string(len) + " byte(s) but only " +
+                             std::to_string(remaining()) + " of " + std::to_string(data_.size()) +
+                             " remain");
+  }
   const auto view = data_.subspan(pos_, len);
   pos_ += len;
   return view;

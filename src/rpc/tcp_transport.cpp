@@ -1,0 +1,393 @@
+#include "rpc/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "rpc/bus.h"
+
+namespace spcache::rpc {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) {
+    throw std::runtime_error("TcpTransport: bad IPv4 address '" + host + "'");
+  }
+  return sin;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport() = default;
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+std::uint16_t TcpTransport::listen(const std::string& host, std::uint16_t port) {
+  if (loop_started_) throw std::runtime_error("TcpTransport: already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpTransport: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  auto sin = make_addr(host, port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("TcpTransport: bind(" + host + ":" + std::to_string(port) +
+                             ") failed: " + err);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("TcpTransport: listen() failed");
+  }
+  socklen_t len = sizeof(sin);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&sin), &len);
+  loop_.add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t) { handle_listen_ready(); });
+  start();
+  return ntohs(sin.sin_port);
+}
+
+void TcpTransport::start() {
+  if (loop_started_) return;
+  loop_started_ = true;
+  loop_.start();
+}
+
+void TcpTransport::add_peer(NodeId id, std::string host, std::uint16_t port) {
+  std::lock_guard lock(mu_);
+  auto& peer = addrs_[id];
+  peer.host = std::move(host);
+  peer.port = port;
+}
+
+void TcpTransport::attach(NodeId id, RpcNode& node) {
+  std::lock_guard lock(mu_);
+  locals_[id] = &node;
+}
+
+void TcpTransport::detach(NodeId id) {
+  std::lock_guard lock(mu_);
+  locals_.erase(id);
+}
+
+bool TcpTransport::send(Envelope envelope) {
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  {
+    std::lock_guard lock(mu_);
+    // Local short-circuit: a co-hosted destination never touches a socket
+    // (a daemon's own services talk at in-process speed). Delivery under
+    // mu_ so detach() waits it out.
+    if (const auto it = locals_.find(envelope.to); it != locals_.end()) {
+      it->second->deliver(std::move(envelope));
+      return true;
+    }
+    if (!route_.contains(envelope.to) && !addrs_.contains(envelope.to)) return false;
+  }
+  if (!loop_started_) return false;
+  // shared_ptr keeps the (possibly multi-megabyte) payload from being
+  // copied by std::function's copyable-closure requirement.
+  auto boxed = std::make_shared<Envelope>(std::move(envelope));
+  loop_.post([this, boxed] { send_on_loop(std::move(*boxed)); });
+  return true;
+}
+
+void TcpTransport::send_on_loop(Envelope envelope) {
+  Conn* conn = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (const auto it = route_.find(envelope.to); it != route_.end()) {
+      const auto cit = conns_.find(it->second);
+      if (cit != conns_.end()) conn = cit->second.get();
+    }
+  }
+  if (conn == nullptr) conn = connect_peer(envelope.to);
+  if (conn == nullptr) {
+    // Reachability changed between send() and here (peer connection died
+    // and it has no address, or connect failed immediately): the envelope
+    // is lost like a packet on a dead link — the caller's timeout fires.
+    count(frames_dropped_, &ObsProbes::frames_dropped);
+    return;
+  }
+  encode_frame(envelope, conn->out);
+  flush_conn(*conn);
+}
+
+TcpTransport::Conn* TcpTransport::connect_peer(NodeId id) {
+  std::string host;
+  std::uint16_t port = 0;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = addrs_.find(id);
+    if (it == addrs_.end()) return nullptr;
+    host = it->second.host;
+    port = it->second.port;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto sin = make_addr(host, port);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->peer = id;
+  conn->peer_known = true;
+  conn->connecting = (rc != 0);
+  Conn* raw = conn.get();
+  conns_[fd] = std::move(conn);
+  {
+    std::lock_guard lock(mu_);
+    route_[id] = fd;
+  }
+  loop_.add_fd(fd, EPOLLIN | EPOLLOUT, [this, fd](std::uint32_t ev) {
+    handle_conn_event(fd, ev);
+  });
+  // rc == 0: connected instantly (loopback). Otherwise the outcome arrives
+  // as EPOLLOUT (success) or EPOLLERR/EPOLLHUP (refused); frames queue on
+  // conn->out meanwhile.
+  if (!raw->connecting) on_connected(*raw);
+  return raw;
+}
+
+void TcpTransport::on_connected(Conn& conn) {
+  conn.connecting = false;
+  bool again = false;
+  {
+    std::lock_guard lock(mu_);
+    if (const auto it = addrs_.find(conn.peer); it != addrs_.end()) {
+      again = it->second.ever_connected;
+      it->second.ever_connected = true;
+    }
+  }
+  count(connects_, &ObsProbes::connects);
+  if (again) count(reconnects_, &ObsProbes::reconnects);
+  flush_conn(conn);
+}
+
+void TcpTransport::handle_listen_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) break;  // EAGAIN (or teardown)
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->inbound = true;
+    conns_[fd] = std::move(conn);
+    loop_.add_fd(fd, EPOLLIN, [this, fd](std::uint32_t ev) { handle_conn_event(fd, ev); });
+  }
+}
+
+void TcpTransport::handle_conn_event(int fd, std::uint32_t events) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    close_conn(fd);
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (conn.connecting) {
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        close_conn(fd);
+        return;
+      }
+      on_connected(conn);
+    } else {
+      flush_conn(conn);
+    }
+    if (!conns_.contains(fd)) return;  // flush hit a fatal error
+  }
+  if ((events & EPOLLIN) != 0) read_conn(conn);
+}
+
+void TcpTransport::read_conn(Conn& conn) {
+  std::uint8_t buffer[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      count(bytes_rx_, &ObsProbes::bytes_rx, static_cast<std::uint64_t>(n));
+      conn.decoder.feed(std::span(buffer, static_cast<std::size_t>(n)));
+      try {
+        while (auto envelope = conn.decoder.next()) {
+          deliver_inbound(std::move(*envelope), conn.fd);
+        }
+      } catch (const FramingError&) {
+        // The stream is unrecoverable past a bad header: count it and cut
+        // the connection; the peer's in-flight calls time out and retry.
+        count(framing_errors_, &ObsProbes::framing_errors);
+        close_conn(conn.fd);
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {  // orderly peer close
+      close_conn(conn.fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_conn(conn.fd);
+    return;
+  }
+}
+
+void TcpTransport::deliver_inbound(Envelope envelope, int via_fd) {
+  std::unique_lock lock(mu_);
+  // Learn the reply route: the sender is reachable over this connection.
+  // Newest connection wins, so a reconnected peer supersedes its corpse.
+  route_[envelope.from] = via_fd;
+  const auto it = locals_.find(envelope.to);
+  if (it != locals_.end()) {
+    it->second->deliver(std::move(envelope));
+    return;
+  }
+  lock.unlock();
+  count(frames_dropped_, &ObsProbes::frames_dropped);
+}
+
+void TcpTransport::flush_conn(Conn& conn) {
+  if (conn.connecting) return;  // queued; the EPOLLOUT completion flushes
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
+                              conn.out.size() - conn.out_pos);
+    if (n > 0) {
+      count(bytes_tx_, &ObsProbes::bytes_tx, static_cast<std::uint64_t>(n));
+      conn.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(conn.fd);
+    return;
+  }
+  if (conn.out_pos == conn.out.size()) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  } else if (conn.out_pos > 64 * 1024) {
+    conn.out.erase(conn.out.begin(), conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_pos));
+    conn.out_pos = 0;
+  }
+  update_interest(conn);
+}
+
+void TcpTransport::update_interest(Conn& conn) {
+  const bool want_write = conn.connecting || conn.out_pos < conn.out.size();
+  loop_.modify_fd(conn.fd, EPOLLIN | (want_write ? EPOLLOUT : 0u));
+}
+
+void TcpTransport::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  if (conn.out_pos < conn.out.size()) {
+    count(frames_dropped_, &ObsProbes::frames_dropped);
+  }
+  loop_.remove_fd(fd);
+  ::close(fd);
+  {
+    std::lock_guard lock(mu_);
+    // Unbind every node routed over this connection — but only if the
+    // route still points here (a reconnect may have superseded it).
+    for (auto rit = route_.begin(); rit != route_.end();) {
+      if (rit->second == fd) {
+        rit = route_.erase(rit);
+      } else {
+        ++rit;
+      }
+    }
+  }
+  conns_.erase(it);
+}
+
+void TcpTransport::attach_observability(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    probes_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  namespace n = obs::names;
+  auto probes = std::make_unique<ObsProbes>();
+  probes->connects = &registry->counter(n::kTransportConnects);
+  probes->reconnects = &registry->counter(n::kTransportReconnects);
+  probes->framing_errors = &registry->counter(n::kTransportFramingErrors);
+  probes->bytes_tx = &registry->counter(n::kTransportBytesTx);
+  probes->bytes_rx = &registry->counter(n::kTransportBytesRx);
+  probes->frames_dropped = &registry->counter(n::kTransportFramesDropped);
+  probes_storage_ = std::move(probes);
+  probes_.store(probes_storage_.get(), std::memory_order_release);
+}
+
+void TcpTransport::shutdown() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) return;
+  if (!loop_started_) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  // Run the teardown on the loop thread so it cannot race live I/O, then
+  // stop the loop itself.
+  std::promise<void> done;
+  loop_.post([this, &done] {
+    if (listen_fd_ >= 0) {
+      loop_.remove_fd(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Best-effort graceful flush: one non-blocking write pass per
+    // connection so replies already serialized reach the wire. Work off a
+    // snapshot of fds — flush_conn can erase a dead connection.
+    std::vector<int> fds;
+    fds.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+    for (const int fd : fds) {
+      if (const auto it = conns_.find(fd); it != conns_.end()) flush_conn(*it->second);
+    }
+    for (const int fd : fds) close_conn(fd);
+    done.set_value();
+  });
+  done.get_future().wait();
+  loop_.stop();
+}
+
+TcpTransport::Counters TcpTransport::counters() const {
+  Counters c;
+  c.connects = connects_.load(std::memory_order_relaxed);
+  c.reconnects = reconnects_.load(std::memory_order_relaxed);
+  c.framing_errors = framing_errors_.load(std::memory_order_relaxed);
+  c.bytes_tx = bytes_tx_.load(std::memory_order_relaxed);
+  c.bytes_rx = bytes_rx_.load(std::memory_order_relaxed);
+  c.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void TcpTransport::count(std::atomic<std::uint64_t>& counter, obs::Counter* ObsProbes::* probe,
+                         std::uint64_t n) {
+  counter.fetch_add(n, std::memory_order_relaxed);
+  if (auto* probes = probes_.load(std::memory_order_acquire)) (probes->*probe)->add(n);
+}
+
+}  // namespace spcache::rpc

@@ -1,0 +1,156 @@
+// TCP backend for the Transport seam: real sockets, framed envelopes.
+//
+// One TcpTransport serves one process (one Bus). It hosts any number of
+// local nodes (a daemon's master or worker services, a client's reply
+// endpoint) and reaches remote nodes two ways:
+//
+//   * the address book — add_peer(id, host, port) names where a daemon
+//     node listens. The first send to that node opens a non-blocking
+//     connection; the connection is pooled per peer and reused for every
+//     later envelope (requests and replies alike).
+//   * learned reply routes — a frame arriving from node X binds X to the
+//     connection it arrived on, so replies to clients (which listen on
+//     nothing) travel back over the caller's own connection, exactly like
+//     a real RPC server. The newest connection for a node wins.
+//
+// Loss semantics match the in-process backend's contract: send() returns
+// false only for a node that is neither local, addressed, nor learned —
+// the immediate-error path. Everything else returns true ("the network
+// accepted it"); a connection that then fails drops its queued frames and
+// the caller's timeout fires (RpcNode pairs every bounded wait with
+// forget(), so lost replies are counted no-ops, never hangs). The next
+// send to an addressed peer opens a fresh connection — that is the
+// reconnect-on-failure path, visible as transport.reconnects.
+//
+// Concurrency: all socket and connection state is owned by the epoll
+// EventLoop thread; send() does a locked reachability check, then posts
+// the envelope to the loop. The routing maps (locals, address book,
+// learned routes) are the only cross-thread state and sit under one
+// mutex. Counters are relaxed atomics, mirrored into the MetricsRegistry
+// (transport.*) when observability is attached.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/event_loop.h"
+#include "rpc/frame.h"
+#include "rpc/transport.h"
+
+namespace spcache::obs {
+class Counter;
+}  // namespace spcache::obs
+
+namespace spcache::rpc {
+
+class TcpTransport final : public Transport {
+ public:
+  TcpTransport();
+  ~TcpTransport() override;
+
+  // Daemon side: bind + listen on host:port (port 0 = kernel-assigned) and
+  // start the event loop. Returns the bound port. SO_REUSEADDR is set, so
+  // a restarted daemon rebinds its old port immediately.
+  std::uint16_t listen(const std::string& host, std::uint16_t port);
+  // Client side: start the event loop with no listening socket.
+  void start();
+
+  // Address-book entry for a remote daemon node. Call before traffic to
+  // that node; replies need no entry (routes are learned per connection).
+  void add_peer(NodeId id, std::string host, std::uint16_t port);
+
+  void attach(NodeId id, RpcNode& node) override;
+  void detach(NodeId id) override;
+  bool send(Envelope envelope) override;
+  void attach_observability(obs::MetricsRegistry* registry) override;
+
+  // Graceful shutdown: best-effort flush of every connection's pending
+  // bytes, close all sockets, stop the loop. Idempotent; the destructor
+  // calls it.
+  void shutdown() override;
+
+  struct Counters {
+    std::uint64_t connects = 0;        // connections successfully established
+    std::uint64_t reconnects = 0;      // of those, re-establishments after a failure
+    std::uint64_t framing_errors = 0;  // malformed inbound streams (connection dropped)
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t frames_dropped = 0;  // undeliverable frames (dead peer / unknown node)
+  };
+  Counters counters() const;
+
+ private:
+  struct Peer {
+    std::string host;
+    std::uint16_t port = 0;
+    bool ever_connected = false;  // loop thread; distinguishes re-connects
+  };
+
+  struct Conn {
+    int fd = -1;
+    NodeId peer = 0;            // 0 = not yet known (inbound, pre-first-frame)
+    bool peer_known = false;
+    bool connecting = false;    // connect() in flight (EINPROGRESS)
+    bool inbound = false;
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> out;  // pending write bytes
+    std::size_t out_pos = 0;
+  };
+
+  struct ObsProbes {
+    obs::Counter* connects = nullptr;
+    obs::Counter* reconnects = nullptr;
+    obs::Counter* framing_errors = nullptr;
+    obs::Counter* bytes_tx = nullptr;
+    obs::Counter* bytes_rx = nullptr;
+    obs::Counter* frames_dropped = nullptr;
+  };
+
+  // --- loop-thread only ------------------------------------------------
+  void send_on_loop(Envelope envelope);
+  Conn* connect_peer(NodeId id);
+  void on_connected(Conn& conn);
+  void handle_listen_ready();
+  void handle_conn_event(int fd, std::uint32_t events);
+  void read_conn(Conn& conn);
+  void flush_conn(Conn& conn);
+  void update_interest(Conn& conn);
+  void close_conn(int fd);
+  void deliver_inbound(Envelope envelope, int via_fd);
+
+  void count(std::atomic<std::uint64_t>& counter, obs::Counter* ObsProbes::* probe,
+             std::uint64_t n = 1);
+
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopped_{false};
+  bool loop_started_ = false;
+
+  // Cross-thread routing state (send() reachability check vs. loop-thread
+  // updates). locals_ deliveries hold mu_ so detach() waits them out, the
+  // same guarantee InprocTransport gives RpcNode teardown.
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, RpcNode*> locals_;
+  std::unordered_map<NodeId, Peer> addrs_;
+  std::unordered_map<NodeId, int> route_;  // node -> live connection fd
+
+  // Loop-thread-only connection table.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+
+  std::atomic<std::uint64_t> connects_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> framing_errors_{0};
+  std::atomic<std::uint64_t> bytes_tx_{0};
+  std::atomic<std::uint64_t> bytes_rx_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+
+  std::unique_ptr<ObsProbes> probes_storage_;
+  std::atomic<ObsProbes*> probes_{nullptr};
+};
+
+}  // namespace spcache::rpc

@@ -1,0 +1,27 @@
+#include "rpc/transport.h"
+
+#include "rpc/bus.h"
+
+namespace spcache::rpc {
+
+void Transport::attach_observability(obs::MetricsRegistry*) {}
+
+void InprocTransport::attach(NodeId id, RpcNode& node) {
+  std::unique_lock lock(mu_);
+  nodes_[id] = &node;
+}
+
+void InprocTransport::detach(NodeId id) {
+  std::unique_lock lock(mu_);
+  nodes_.erase(id);
+}
+
+bool InprocTransport::send(Envelope envelope) {
+  std::shared_lock lock(mu_);
+  const auto it = nodes_.find(envelope.to);
+  if (it == nodes_.end()) return false;
+  it->second->deliver(std::move(envelope));
+  return true;
+}
+
+}  // namespace spcache::rpc

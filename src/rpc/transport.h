@@ -1,0 +1,123 @@
+// Transport seam of the RPC layer: how envelopes travel between nodes.
+//
+// The paper's deployment (Fig. 9) is a set of networked OS processes —
+// SP-Master, cache workers, SP-Clients, SP-Repartitioners. Everything in
+// this repo speaks length-delimited binary envelopes already; the only
+// thing that distinguishes a fast in-process test cluster from a real
+// multi-process one is *how an envelope reaches its destination mailbox*.
+// That seam is the `Transport` interface below:
+//
+//   * `InprocTransport` (this file) — the mailbox routing the repo grew up
+//     on: a shared registry of local `RpcNode`s, delivery is a deque push.
+//     Deterministic, allocation-light, and the default every test and
+//     bench keeps using.
+//   * `TcpTransport` (rpc/tcp_transport.h) — the same envelopes framed
+//     onto real sockets via an epoll event loop, so a cluster runs as
+//     actual OS processes (tools/spcache_masterd, tools/spcache_serverd).
+//
+// Everything above the seam — `RpcNode`, `Bus` chaos/observability hooks,
+// `RpcSpClient`, cache and repartitioner services — is transport-agnostic:
+// services keep taking `Bus&` and never learn which backend carries their
+// bytes.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spcache::obs {
+class MetricsRegistry;
+}  // namespace spcache::obs
+
+namespace spcache::rpc {
+
+using NodeId = std::uint32_t;
+using MethodId = std::uint16_t;
+
+// Status byte leading every reply payload.
+enum class Status : std::uint8_t { kOk = 0, kError = 1, kNoSuchMethod = 2, kWrongEpoch = 3 };
+
+// Thrown by a handler that detects a stale layout epoch in the request
+// (e.g. a cache server asked for blocks of a layout that has since been
+// repartitioned). dispatch_request turns it into a kWrongEpoch reply —
+// distinguishable from kError so clients invalidate their cached layout
+// and re-LOOKUP instead of burning retries against the same stale layout.
+class WrongEpochError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Envelope {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t request_id = 0;  // matches replies to calls
+  bool is_reply = false;
+  MethodId method = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// The reply to a call: status + payload (error text for non-kOk).
+struct Reply {
+  Status status = Status::kOk;
+  std::vector<std::uint8_t> payload;
+
+  bool ok() const { return status == Status::kOk; }
+  // Error message carried by a failed reply.
+  std::string error_text() const { return std::string(payload.begin(), payload.end()); }
+};
+
+class RpcNode;
+
+// Where envelopes go once the Bus has applied fault injection and
+// accounting. One transport per Bus; local endpoints register through
+// Bus::add / Bus::remove, which forward here.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Local endpoint registration: inbound envelopes addressed to `id` are
+  // delivered into `node`'s mailbox. detach() must not return while a
+  // concurrent delivery to that node is in flight — RpcNode's destructor
+  // relies on this to tear down safely.
+  virtual void attach(NodeId id, RpcNode& node) = 0;
+  virtual void detach(NodeId id) = 0;
+
+  // Carry `envelope` toward its destination. Returns false when the
+  // destination is not a known endpoint (the caller turns that into an
+  // immediate error reply); true means the transport *accepted* the send.
+  // Like a real network, acceptance is not delivery — losses surface at
+  // the caller's timeout, never as a hang (RpcNode::call_sync pairs every
+  // bounded wait with forget()).
+  virtual bool send(Envelope envelope) = 0;
+
+  // Resolve transport-level metrics in `registry` and start counting
+  // (no-op for transports with nothing to count). Forwarded by
+  // Bus::attach_observability so callers wire one seam.
+  virtual void attach_observability(obs::MetricsRegistry* registry);
+
+  // Stop moving envelopes and release transport resources (sockets,
+  // threads). Idempotent; a destructor-only teardown is also legal.
+  virtual void shutdown() {}
+};
+
+// The in-process mailbox transport: routes by node id through a local
+// registry. Extracted verbatim from the original Bus routing, so every
+// pre-existing test and bench behaves identically.
+class InprocTransport final : public Transport {
+ public:
+  void attach(NodeId id, RpcNode& node) override;
+  void detach(NodeId id) override;
+  bool send(Envelope envelope) override;
+
+ private:
+  // Held shared across the whole lookup + deliver so a node cannot be
+  // destroyed while an envelope is in flight to it: detach() takes it
+  // exclusively and thus waits out concurrent deliveries.
+  std::shared_mutex mu_;
+  std::unordered_map<NodeId, RpcNode*> nodes_;
+};
+
+}  // namespace spcache::rpc

@@ -53,6 +53,48 @@ if [[ "$QUICK" -eq 0 ]]; then
   (cd build/bench && ./bench_fig16_repartition_time --smoke)
   (cd build/bench && ./bench_fig17_repartition_fraction --smoke >/dev/null)
   (cd build/bench && ./bench_fig18_repartition_balance --smoke >/dev/null)
+
+  echo "==> transport: multi-process TCP cluster (1 master + 3 servers + CLI workload)"
+  # Boots real daemons on ephemeral localhost ports, drives the write+read
+  # workload through spcache_cli --rpc (bit-exact verification inside), and
+  # fails on any nonzero exit or a single framing error on the client side.
+  TRANSPORT_DIR="$(mktemp -d)"
+  TRANSPORT_PIDS=()
+  cleanup_transport() {
+    for pid in "${TRANSPORT_PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    for pid in "${TRANSPORT_PIDS[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+    rm -rf "$TRANSPORT_DIR"
+  }
+  trap cleanup_transport EXIT
+  ./build/tools/spcache_masterd --port 0 --max-seconds 180 \
+      > "$TRANSPORT_DIR/master.log" 2>&1 &
+  TRANSPORT_PIDS+=($!)
+  for n in 1 2 3; do
+    ./build/tools/spcache_serverd --node "$n" --port 0 --max-seconds 180 \
+        > "$TRANSPORT_DIR/server$n.log" 2>&1 &
+    TRANSPORT_PIDS+=($!)
+  done
+  # Each daemon prints "... listening on HOST:PORT" once bound (--port 0 =
+  # kernel-assigned, so parallel check runs cannot collide).
+  for _ in $(seq 50); do
+    [[ -s "$TRANSPORT_DIR/master.log" && -s "$TRANSPORT_DIR/server3.log" ]] && break
+    sleep 0.1
+  done
+  MASTER_ADDR="$(grep -oE '[0-9.]+:[0-9]+$' "$TRANSPORT_DIR/master.log" | head -1)"
+  WORKER_ADDRS="$(for n in 1 2 3; do
+    grep -oE '[0-9.]+:[0-9]+$' "$TRANSPORT_DIR/server$n.log" | head -1
+  done | paste -sd,)"
+  [[ -n "$MASTER_ADDR" && -n "$WORKER_ADDRS" ]] || {
+    echo "transport stage: daemons failed to report their ports" >&2
+    cat "$TRANSPORT_DIR"/*.log >&2
+    exit 1
+  }
+  ./build/tools/spcache_cli --rpc --master "$MASTER_ADDR" --workers "$WORKER_ADDRS" \
+      --files 24 --requests 48 --seed 7 | tee "$TRANSPORT_DIR/cli.log"
+  grep -q 'mismatches=0 ' "$TRANSPORT_DIR/cli.log"
+  grep -q 'transport\.framing_errors=0 ' "$TRANSPORT_DIR/cli.log"
+  cleanup_transport
+  trap - EXIT
 fi
 
 echo "==> ThreadSanitizer: configure + build"

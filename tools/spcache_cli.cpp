@@ -27,6 +27,25 @@
 //                      --zipf/--rate; see workload/trace_io.h)
 //   --arrivals F       replay an arrivals CSV (overrides --requests)
 //   --csv              machine-readable output
+//
+// Multi-process mode — drive a real TCP cluster instead of the simulator:
+//
+//   spcache_cli --rpc --master 127.0.0.1:7070 \
+//               --workers 127.0.0.1:7171,127.0.0.1:7172,127.0.0.1:7173 \
+//               --files 24 --size-mb 0.25 --requests 48
+//
+//   --rpc              talk to spcache_masterd / spcache_serverd daemons
+//   --master H:P       the master daemon's address
+//   --workers LIST     comma-separated worker daemon addresses; the i-th
+//                      entry must be the daemon started with --node i+1
+//   --files/--size-mb/--zipf/--seed shape the dataset ([--size-mb 0.25]
+//                      in this mode); --requests is the read count
+//                      [2 x files]
+//
+// Writes every file through PUT + REGISTER, reads them back over the
+// sockets, and verifies each file bit-exact (whole-file CRC plus byte
+// compare). Exits nonzero on any mismatch or if transport.framing_errors
+// is nonzero; the final stdout line reports the transport counters.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -40,6 +59,9 @@
 #include "core/selective_replication.h"
 #include "core/simple_partition.h"
 #include "core/sp_cache.h"
+#include "obs/metrics.h"
+#include "rpc/cache_service.h"
+#include "rpc/tcp_transport.h"
 #include "sim/simulation.h"
 #include "workload/arrivals.h"
 #include "workload/trace_io.h"
@@ -69,6 +91,13 @@ struct Options {
   std::string arrivals_file;
   std::uint64_t seed = 1;
   bool csv = false;
+
+  // Multi-process mode (--rpc): real daemons instead of the simulator.
+  bool rpc = false;
+  std::string master_addr;
+  std::vector<std::string> worker_addrs;
+  bool size_set = false;      // was --size-mb given explicitly?
+  bool requests_set = false;  // was --requests given explicitly?
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -96,6 +125,7 @@ Options parse(int argc, char** argv) {
       unum(o.files);
     } else if (flag == "--size-mb") {
       num(o.size_mb);
+      o.size_set = true;
     } else if (flag == "--zipf") {
       num(o.zipf);
     } else if (flag == "--rate") {
@@ -104,6 +134,7 @@ Options parse(int argc, char** argv) {
       unum(o.servers);
     } else if (flag == "--requests") {
       unum(o.requests);
+      o.requests_set = true;
     } else if (flag == "--bandwidth-gbps") {
       num(o.bandwidth_gbps);
     } else if (flag == "--stragglers") {
@@ -136,6 +167,23 @@ Options parse(int argc, char** argv) {
       ++i;
     } else if (flag == "--csv") {
       o.csv = true;
+    } else if (flag == "--rpc") {
+      o.rpc = true;
+    } else if (flag == "--master") {
+      o.master_addr = need_value(i);
+      ++i;
+    } else if (flag == "--workers") {
+      std::string list = need_value(i);
+      ++i;
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string addr =
+            list.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!addr.empty()) o.worker_addrs.push_back(addr);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else if (flag == "--help" || flag == "-h") {
       std::cout << "See the header comment of tools/spcache_cli.cpp for options.\n";
       std::exit(0);
@@ -144,7 +192,102 @@ Options parse(int argc, char** argv) {
     }
   }
   if (o.files == 0 || o.servers == 0 || o.requests == 0) usage_error("zero-sized experiment");
+  if (o.rpc) {
+    if (o.master_addr.empty()) usage_error("--rpc needs --master HOST:PORT");
+    if (o.worker_addrs.empty()) usage_error("--rpc needs --workers HOST:PORT[,HOST:PORT...]");
+  }
   return o;
+}
+
+std::pair<std::string, std::uint16_t> parse_addr(const std::string& addr) {
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon + 1 == addr.size()) {
+    usage_error("address '" + addr + "' is not HOST:PORT");
+  }
+  return {addr.substr(0, colon),
+          static_cast<std::uint16_t>(std::atoi(addr.c_str() + colon + 1))};
+}
+
+// --rpc: write a placed dataset into a live daemon cluster over TCP, read
+// it all back, verify bit-exact. Returns the process exit code.
+int run_rpc(const Options& o) {
+  using namespace spcache::rpc;
+
+  TcpTransport transport;
+  transport.start();
+  const auto [master_host, master_port] = parse_addr(o.master_addr);
+  transport.add_peer(kMasterNode, master_host, master_port);
+  std::vector<NodeId> worker_nodes;
+  for (std::size_t i = 0; i < o.worker_addrs.size(); ++i) {
+    const auto [host, port] = parse_addr(o.worker_addrs[i]);
+    const NodeId node = kFirstWorkerNode + static_cast<NodeId>(i);
+    transport.add_peer(node, host, port);
+    worker_nodes.push_back(node);
+  }
+
+  Bus bus(transport);
+  obs::MetricsRegistry registry;
+  bus.attach_observability(&registry);
+  RpcSpClient client(bus, kFirstClientNode, kMasterNode, worker_nodes);
+  client.attach_observability(&registry);
+
+  // Algorithm 1 decides each file's partition across the real workers.
+  // Whole 100 MB defaults make no sense against localhost daemons; without
+  // an explicit --size-mb the dataset drops to 0.25 MB files.
+  const double size_mb = o.size_set ? o.size_mb : 0.25;
+  const auto catalog = make_uniform_catalog(o.files, megabytes(size_mb), o.zipf, o.rate);
+  SpCacheScheme scheme;
+  Rng rng(o.seed);
+  scheme.place(catalog, std::vector<Bandwidth>(worker_nodes.size(), gbps(o.bandwidth_gbps)),
+               rng);
+
+  std::vector<std::vector<std::uint8_t>> originals(o.files);
+  for (FileId f = 0; f < o.files; ++f) {
+    const Bytes size = catalog.file(f).size;
+    originals[f].resize(size);
+    // Deterministic per-file content so a re-run (or another process) can
+    // regenerate the expected bytes from --seed alone.
+    std::uint64_t x = o.seed * 0x9E3779B97F4A7C15ull + f + 1;
+    for (std::size_t i = 0; i < size; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      originals[f][i] = static_cast<std::uint8_t>(x);
+    }
+    client.write(f, originals[f], scheme.placement(f).servers);
+  }
+  std::cout << "wrote " << o.files << " files ("
+            << static_cast<double>(catalog.total_bytes()) / static_cast<double>(kMB)
+            << " MB) across " << worker_nodes.size() << " workers\n";
+
+  // Read pass: every file at least once, wrapping until the request budget
+  // is spent. read() CRC-verifies; the byte compare makes bit-exactness
+  // explicit.
+  const std::size_t reads = o.requests_set ? o.requests : 2 * o.files;
+  std::size_t mismatches = 0;
+  for (std::size_t r = 0; r < reads; ++r) {
+    const FileId f = static_cast<FileId>(r % o.files);
+    try {
+      if (client.read(f) != originals[f]) {
+        std::cerr << "spcache_cli: file " << f << " read back different bytes\n";
+        ++mismatches;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "spcache_cli: read of file " << f << " failed: " << e.what() << "\n";
+      ++mismatches;
+    }
+  }
+  client.flush_access_reports();
+
+  const auto c = transport.counters();
+  std::cout << "reads=" << reads << " mismatches=" << mismatches
+            << " transport.connects=" << c.connects
+            << " transport.reconnects=" << c.reconnects
+            << " transport.framing_errors=" << c.framing_errors
+            << " transport.bytes_tx=" << c.bytes_tx << " transport.bytes_rx=" << c.bytes_rx
+            << " transport.frames_dropped=" << c.frames_dropped << std::endl;
+  if (mismatches > 0 || c.framing_errors > 0) return 1;
+  return 0;
 }
 
 std::unique_ptr<CachingScheme> make_scheme(const Options& o) {
@@ -177,6 +320,7 @@ std::unique_ptr<CachingScheme> make_scheme(const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (o.rpc) return run_rpc(o);
 
   const auto catalog = o.catalog_file.empty()
                            ? make_uniform_catalog(o.files, megabytes(o.size_mb), o.zipf, o.rate)

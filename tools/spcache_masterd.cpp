@@ -1,0 +1,91 @@
+// spcache_masterd — the SP-Master as a standalone process.
+//
+// Binds a TcpTransport, hosts a MasterService on node 0, and serves
+// metadata RPCs (REGISTER / LOOKUP / batch lookup / access reports) until
+// SIGINT/SIGTERM or --max-seconds elapses. The first stdout line is
+//
+//   spcache_masterd listening on <host>:<port>
+//
+// so scripts that pass --port 0 (kernel-assigned) can parse the real port.
+//
+//   spcache_masterd [--host H] [--port P] [--max-seconds S]
+//
+//   --host H         bind address                [127.0.0.1]
+//   --port P         listen port, 0 = ephemeral  [7070]
+//   --max-seconds S  auto-exit after S seconds, 0 = run forever  [0]
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "rpc/cache_service.h"
+#include "rpc/tcp_transport.h"
+
+using namespace spcache;
+using namespace spcache::rpc;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7070;
+  long max_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&] {
+      if (i + 1 >= argc) {
+        std::cerr << "spcache_masterd: missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--host") {
+      host = value();
+    } else if (flag == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(value().c_str()));
+    } else if (flag == "--max-seconds") {
+      max_seconds = std::atol(value().c_str());
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << "spcache_masterd [--host H] [--port P] [--max-seconds S]\n";
+      return 0;
+    } else {
+      std::cerr << "spcache_masterd: unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  TcpTransport transport;
+  const std::uint16_t bound = transport.listen(host, port);
+  Bus bus(transport);
+  obs::MetricsRegistry registry;
+  bus.attach_observability(&registry);
+  MasterService master(bus);
+
+  std::cout << "spcache_masterd listening on " << host << ":" << bound << std::endl;
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(max_seconds);
+  while (!g_stop.load()) {
+    if (max_seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const auto c = transport.counters();
+  std::cout << "spcache_masterd exiting: transport.connects=" << c.connects
+            << " transport.framing_errors=" << c.framing_errors
+            << " transport.bytes_rx=" << c.bytes_rx << " transport.bytes_tx=" << c.bytes_tx
+            << std::endl;
+  return c.framing_errors == 0 ? 0 : 1;
+}

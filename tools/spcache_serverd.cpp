@@ -1,0 +1,110 @@
+// spcache_serverd — one cache worker as a standalone process.
+//
+// Binds a TcpTransport, hosts a CacheWorkerService (block put/get/erase,
+// staged-assembly ops) on the given node id, and serves until
+// SIGINT/SIGTERM or --max-seconds elapses. The first stdout line is
+//
+//   spcache_serverd node <id> listening on <host>:<port>
+//
+// so scripts that pass --port 0 (kernel-assigned) can parse the real port.
+//
+//   spcache_serverd --node N [--host H] [--port P] [--bandwidth-gbps B]
+//                   [--max-seconds S]
+//
+//   --node N            bus node id (workers are 1..N)   [1]
+//   --host H            bind address                     [127.0.0.1]
+//   --port P            listen port, 0 = ephemeral       [0]
+//   --bandwidth-gbps B  modelled link speed              [1.0]
+//   --max-seconds S     auto-exit after S seconds, 0 = run forever  [0]
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "rpc/cache_service.h"
+#include "rpc/tcp_transport.h"
+
+using namespace spcache;
+using namespace spcache::rpc;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  NodeId node = kFirstWorkerNode;
+  double bandwidth_gbps = 1.0;
+  long max_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&] {
+      if (i + 1 >= argc) {
+        std::cerr << "spcache_serverd: missing value for " << flag << "\n";
+        std::exit(2);
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--host") {
+      host = value();
+    } else if (flag == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(value().c_str()));
+    } else if (flag == "--node") {
+      node = static_cast<NodeId>(std::atoi(value().c_str()));
+    } else if (flag == "--bandwidth-gbps") {
+      bandwidth_gbps = std::atof(value().c_str());
+    } else if (flag == "--max-seconds") {
+      max_seconds = std::atol(value().c_str());
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << "spcache_serverd --node N [--host H] [--port P] [--bandwidth-gbps B] "
+                   "[--max-seconds S]\n";
+      return 0;
+    } else {
+      std::cerr << "spcache_serverd: unknown flag " << flag << "\n";
+      return 2;
+    }
+  }
+  if (node < kFirstWorkerNode) {
+    std::cerr << "spcache_serverd: --node must be >= " << kFirstWorkerNode << "\n";
+    return 2;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  TcpTransport transport;
+  const std::uint16_t bound = transport.listen(host, port);
+  Bus bus(transport);
+  obs::MetricsRegistry registry;
+  bus.attach_observability(&registry);
+  // server_id is the zero-based cache-server index behind this node.
+  const auto server_id = static_cast<std::uint32_t>(node - kFirstWorkerNode);
+  CacheWorkerService worker(bus, node, server_id, gbps(bandwidth_gbps));
+
+  std::cout << "spcache_serverd node " << node << " listening on " << host << ":" << bound
+            << std::endl;
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(max_seconds);
+  while (!g_stop.load()) {
+    if (max_seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  const auto c = transport.counters();
+  std::cout << "spcache_serverd node " << node
+            << " exiting: blocks_stored=" << worker.store().blocks_stored()
+            << " transport.connects=" << c.connects
+            << " transport.framing_errors=" << c.framing_errors
+            << " transport.bytes_rx=" << c.bytes_rx << " transport.bytes_tx=" << c.bytes_tx
+            << std::endl;
+  return c.framing_errors == 0 ? 0 : 1;
+}
