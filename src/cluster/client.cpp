@@ -183,8 +183,7 @@ bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, std:
           trace->record(obs::TraceKind::kPieceRetry, op, id, meta.servers[i],
                         static_cast<std::uint32_t>(i), static_cast<double>(attempt));
         }
-        fault::backoff_sleep(retry_, attempt,
-                             mix64((static_cast<std::uint64_t>(id) << 20) ^ (i << 4) ^ pass));
+        fault::backoff_sleep(retry_, attempt, fault::retry_token(id, i, pass));
       }
     }
   });
@@ -263,7 +262,7 @@ IoResult SpClient::read(FileId id) {
         trace->record(obs::TraceKind::kReadRepeatPass, op, id, 0, 0,
                       static_cast<double>(pass));
       }
-      fault::backoff_sleep(retry_, pass, mix64(static_cast<std::uint64_t>(id) * 0x51ed) ^ pass);
+      fault::backoff_sleep(retry_, pass, fault::retry_token(id, 0, pass));
     }
     bool from_cache = false;
     const auto meta = layout_for_pass(id, pass, from_cache);

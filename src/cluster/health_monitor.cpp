@@ -6,9 +6,21 @@
 
 namespace spcache {
 
+HealthMonitor::HealthMonitor(std::size_t n_servers, ProbeFn probe, RepairFn repair,
+                             HealthMonitorConfig config)
+    : n_servers_(n_servers),
+      probe_(std::move(probe)),
+      repair_(std::move(repair)),
+      config_(config),
+      states_(n_servers) {}
+
 HealthMonitor::HealthMonitor(Cluster& cluster, RecoveryManager& recovery,
                              HealthMonitorConfig config)
-    : cluster_(cluster), recovery_(recovery), config_(config), states_(cluster.size()) {}
+    : HealthMonitor(
+          cluster.size(),
+          [&cluster](std::uint32_t s) { return cluster.is_alive(s); },
+          [&recovery](std::uint32_t s) { return recovery.repair_after_server_loss(s); },
+          config) {}
 
 HealthMonitor::~HealthMonitor() { stop(); }
 
@@ -47,14 +59,18 @@ void HealthMonitor::heartbeat_round() {
   const auto* probes = probes_.load(std::memory_order_acquire);
   obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
   // The heartbeat is the liveness probe of the real deployment: a live
-  // server answers, a crashed one stays silent. Collect the deaths to
-  // declare first, run the (slow) repairs outside the state lock.
+  // server answers, a crashed one stays silent. Probe first with no lock
+  // held (an RPC probe blocks up to its timeout), then run the state
+  // machine; the (slow) repairs happen outside the state lock too.
+  std::vector<char> alive(n_servers_, 0);
+  for (std::size_t s = 0; s < n_servers_; ++s) alive[s] = probe_(static_cast<std::uint32_t>(s));
   std::vector<std::uint32_t> newly_dead;
   {
     std::lock_guard lock(mu_);
-    for (std::size_t s = 0; s < cluster_.size(); ++s) {
+    for (std::size_t s = 0; s < n_servers_; ++s) {
       auto& state = states_[s];
-      if (cluster_.is_alive(s)) {
+      state.alive = alive[s] != 0;
+      if (state.alive) {
         if (state.declared_dead) {
           ++stats_.revivals_observed;
           if (trace) {
@@ -87,7 +103,7 @@ void HealthMonitor::heartbeat_round() {
     repair_in_flight_.store(true, std::memory_order_release);
     if (trace) trace->record(obs::TraceKind::kRepairStart, 0, 0, s);
     try {
-      const auto stats = recovery_.repair_after_server_loss(s);
+      const auto stats = repair_(s);
       const double span =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - declared_at).count();
       if (probes) {
@@ -133,14 +149,14 @@ HealthStats HealthMonitor::stats() const {
 bool HealthMonitor::server_healthy(std::uint32_t server) const {
   std::lock_guard lock(mu_);
   return server < states_.size() && !states_[server].declared_dead &&
-         states_[server].missed == 0 && cluster_.is_alive(server);
+         states_[server].missed == 0 && states_[server].alive;
 }
 
 bool HealthMonitor::all_healthy() const {
   if (repair_in_flight_.load(std::memory_order_acquire)) return false;
   std::lock_guard lock(mu_);
   for (std::size_t s = 0; s < states_.size(); ++s) {
-    if (states_[s].declared_dead || states_[s].missed > 0 || !cluster_.is_alive(s)) return false;
+    if (states_[s].declared_dead || states_[s].missed > 0 || !states_[s].alive) return false;
   }
   return true;
 }

@@ -3,21 +3,28 @@
 //
 // The paper's master learns about dead Alluxio workers from missed
 // heartbeats and re-creates their partitions from checkpointed stable
-// storage. `HealthMonitor` closes that loop for the threaded cluster: a
-// monitor thread next to the Master pings every cache server once per
-// `heartbeat_interval`; a server that misses `missed_beats_to_declare_dead`
-// consecutive beats is declared dead, and (with auto_repair on) the
-// monitor immediately invokes `RecoveryManager::repair_after_server_loss`
-// so the lost partitions are re-placed on live servers while readers ride
-// through on retries and degraded (stable-store) reads. A revived server
-// rejoins empty and is simply marked healthy again — its former
-// partitions already live elsewhere.
+// storage. `HealthMonitor` closes that loop: a monitor thread next to the
+// Master pings every cache server once per `heartbeat_interval`; a server
+// that misses `missed_beats_to_declare_dead` consecutive beats is
+// declared dead, and (with auto_repair on) the monitor immediately runs
+// the repair endpoint so the lost partitions are re-placed on live
+// servers while readers ride through on retries and degraded
+// (stable-store) reads. A revived server rejoins empty and is simply
+// marked healthy again — its former partitions already live elsewhere.
+//
+// The probe and the repair are pluggable endpoints, so the same detection
+// state machine drives both deployments: the threaded cluster probes
+// `Cluster::is_alive` and repairs through `RecoveryManager` (the
+// convenience constructor), while spcache_masterd probes workers with a
+// kPing RPC over TCP and repairs through the RpcRecoveryCoordinator —
+// real missed heartbeats from a really dead process.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -46,6 +53,18 @@ struct HealthStats {
 
 class HealthMonitor {
  public:
+  // Liveness probe for one server: true = it answered this heartbeat.
+  // Called off the monitor thread with no lock held, so an RPC probe with
+  // a bounded timeout is fine.
+  using ProbeFn = std::function<bool(std::uint32_t server)>;
+  // Repair endpoint for a declared-dead server; may throw (counted as
+  // repair_failures).
+  using RepairFn = std::function<RecoveryStats(std::uint32_t server)>;
+
+  HealthMonitor(std::size_t n_servers, ProbeFn probe, RepairFn repair,
+                HealthMonitorConfig config = HealthMonitorConfig{});
+  // Threaded-cluster convenience: probe Cluster::is_alive, repair through
+  // RecoveryManager::repair_after_server_loss.
   HealthMonitor(Cluster& cluster, RecoveryManager& recovery,
                 HealthMonitorConfig config = HealthMonitorConfig{});
   ~HealthMonitor();  // stops and joins
@@ -60,7 +79,8 @@ class HealthMonitor {
   const HealthMonitorConfig& config() const { return config_; }
   HealthStats stats() const;
 
-  // A server is healthy when it answered its latest heartbeat.
+  // A server is healthy when it answered its latest heartbeat (cached
+  // from the last round — no probe is issued here).
   bool server_healthy(std::uint32_t server) const;
   // Every server answering heartbeats and no repair in flight.
   bool all_healthy() const;
@@ -88,13 +108,15 @@ class HealthMonitor {
   void loop();
   void heartbeat_round();
 
-  Cluster& cluster_;
-  RecoveryManager& recovery_;
+  std::size_t n_servers_;
+  ProbeFn probe_;
+  RepairFn repair_;
   HealthMonitorConfig config_;
 
   struct ServerState {
     int missed = 0;
     bool declared_dead = false;
+    bool alive = true;  // last probe verdict (optimistic before round 1)
   };
 
   mutable std::mutex mu_;  // guards states_ and stats_

@@ -55,6 +55,19 @@ bool FaultInjector::corrupt_read(std::uint32_t server) {
                 corrupt_reads_);
 }
 
+bool FaultInjector::sock_partial_write() {
+  return decide(kSiteSockPartial, sock_partial_seq_, config_.sock_partial_write_p,
+                sock_partial_writes_);
+}
+
+bool FaultInjector::sock_reset() {
+  return decide(kSiteSockReset, sock_reset_seq_, config_.sock_reset_p, sock_resets_);
+}
+
+bool FaultInjector::sock_delay() {
+  return decide(kSiteSockDelay, sock_delay_seq_, config_.sock_delay_p, sock_delays_);
+}
+
 void FaultInjector::schedule(CrashEvent event) {
   std::lock_guard lock(schedule_mu_);
   schedule_.push_back(event);
@@ -89,6 +102,9 @@ FaultStats FaultInjector::stats() const {
   s.bus_duplicates = bus_dups_.load(std::memory_order_relaxed);
   s.fetch_failures = fetch_failures_.load(std::memory_order_relaxed);
   s.corrupt_reads = corrupt_reads_.load(std::memory_order_relaxed);
+  s.sock_partial_writes = sock_partial_writes_.load(std::memory_order_relaxed);
+  s.sock_resets = sock_resets_.load(std::memory_order_relaxed);
+  s.sock_delays = sock_delays_.load(std::memory_order_relaxed);
   s.decisions = decisions_.load(std::memory_order_relaxed);
   return s;
 }

@@ -46,6 +46,20 @@ struct FaultConfig {
   // Cache-server read faults: probability per CacheServer::get().
   double fetch_fail_p = 0.0;
   double corrupt_read_p = 0.0;
+
+  // Socket-level faults, consulted by TcpTransport on its loop thread so
+  // chaos over real sockets stays deterministic per seed:
+  //   * partial write — one flush pass clamps its write() to a few bytes,
+  //     splitting frames across many segments (exercises reassembly);
+  //   * reset — the connection is closed with SO_LINGER{1,0}, so the peer
+  //     sees a hard RST instead of an orderly FIN;
+  //   * delay — the loop thread stalls briefly before flushing (models a
+  //     congested link; keep sock_delay tiny, the loop serves every
+  //     connection).
+  double sock_partial_write_p = 0.0;
+  double sock_reset_p = 0.0;
+  double sock_delay_p = 0.0;
+  std::chrono::microseconds sock_delay{100};
 };
 
 // Cumulative fired-fault counters (a snapshot; counters are monotonic).
@@ -55,6 +69,9 @@ struct FaultStats {
   std::uint64_t bus_duplicates = 0;
   std::uint64_t fetch_failures = 0;
   std::uint64_t corrupt_reads = 0;
+  std::uint64_t sock_partial_writes = 0;
+  std::uint64_t sock_resets = 0;
+  std::uint64_t sock_delays = 0;
   std::uint64_t decisions = 0;  // total decision points consulted
 
   bool operator==(const FaultStats&) const = default;
@@ -91,6 +108,10 @@ class FaultInjector {
   bool duplicate_envelope();
   bool fail_fetch(std::uint32_t server);
   bool corrupt_read(std::uint32_t server);
+  // Socket sites, consulted by TcpTransport per flush pass / connection.
+  bool sock_partial_write();
+  bool sock_reset();
+  bool sock_delay();
 
   // --- Scheduled crash/restart lifecycle -----------------------------
   void schedule(CrashEvent event);
@@ -109,6 +130,9 @@ class FaultInjector {
     kSiteBusDuplicate = 0x03,
     kSiteFetchFail = 0x100,    // + server id
     kSiteCorruptRead = 0x200,  // + server id
+    kSiteSockPartial = 0x20,
+    kSiteSockReset = 0x21,
+    kSiteSockDelay = 0x22,
   };
 
   // Per-server decision streams are tracked modulo this many slots; two
@@ -127,12 +151,18 @@ class FaultInjector {
   std::atomic<std::uint64_t> bus_dup_seq_{0};
   std::array<std::atomic<std::uint64_t>, kServerSlots> fetch_seq_{};
   std::array<std::atomic<std::uint64_t>, kServerSlots> corrupt_seq_{};
+  std::atomic<std::uint64_t> sock_partial_seq_{0};
+  std::atomic<std::uint64_t> sock_reset_seq_{0};
+  std::atomic<std::uint64_t> sock_delay_seq_{0};
 
   std::atomic<std::uint64_t> bus_drops_{0};
   std::atomic<std::uint64_t> bus_delays_{0};
   std::atomic<std::uint64_t> bus_dups_{0};
   std::atomic<std::uint64_t> fetch_failures_{0};
   std::atomic<std::uint64_t> corrupt_reads_{0};
+  std::atomic<std::uint64_t> sock_partial_writes_{0};
+  std::atomic<std::uint64_t> sock_resets_{0};
+  std::atomic<std::uint64_t> sock_delays_{0};
   std::atomic<std::uint64_t> decisions_{0};
 
   mutable std::mutex schedule_mu_;

@@ -7,6 +7,12 @@
 
 namespace spcache::fault {
 
+std::uint64_t retry_token(std::uint64_t stream, std::uint64_t unit, std::uint64_t attempt) {
+  // Full mix between fields (not just shifts) so small ids in one field
+  // can never collide with small ids in another.
+  return mix64(mix64(stream) ^ mix64(unit * 0x9e3779b97f4a7c15ULL + 1) ^ attempt);
+}
+
 std::chrono::microseconds backoff_delay(const RetryPolicy& policy, std::size_t attempt,
                                         std::uint64_t token) {
   if (attempt == 0) attempt = 1;

@@ -24,6 +24,15 @@ struct RetryPolicy {
   std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
 };
 
+// Canonical jitter token for a retry site: mixes a caller-chosen stream
+// tag (file id, request class — anything that separates concurrent retry
+// loops), the unit within the stream (piece index, server id; 0 if none)
+// and the attempt/pass number into one decorrelated 64-bit token.
+// Callers used to hand-roll this with ad-hoc shift-and-xor recipes and
+// magic multipliers; one mixer keeps the streams decorrelated by
+// construction and greppable at every call site.
+std::uint64_t retry_token(std::uint64_t stream, std::uint64_t unit, std::uint64_t attempt);
+
 // Backoff before retry `attempt` (1-based): min(max, base * 2^(attempt-1)),
 // scaled by the deterministic jitter factor for `token`.
 std::chrono::microseconds backoff_delay(const RetryPolicy& policy, std::size_t attempt,

@@ -1,7 +1,9 @@
 #include "obs/cluster_observer.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 namespace spcache::obs {
 
@@ -49,6 +51,32 @@ ClusterStats ClusterObserver::collect(const std::vector<double>& server_loads) c
   stats.transport_bytes_tx = snap.counter_value(names::kTransportBytesTx);
   stats.transport_bytes_rx = snap.counter_value(names::kTransportBytesRx);
   stats.transport_frames_dropped = snap.counter_value(names::kTransportFramesDropped);
+  stats.transport_connections_active = snap.gauge_value(names::kTransportConnectionsActive);
+  stats.transport_backpressure_events = snap.counter_value(names::kTransportBackpressureEvents);
+  stats.transport_backpressure_rejects = snap.counter_value(names::kTransportBackpressureRejects);
+  stats.transport_backpressure_drops = snap.counter_value(names::kTransportBackpressureDrops);
+  stats.transport_circuit_opens = snap.counter_value(names::kTransportCircuitOpens);
+  stats.bus_deadline_shed = snap.counter_value(names::kBusDeadlineShed);
+  // Peers whose breaker is currently open: the per-peer gauges are named
+  // "transport.peer.<id>.circuit_open" and flip between 0 and 1.
+  constexpr std::string_view kPeerPrefix = "transport.peer.";
+  constexpr std::string_view kPeerSuffix = ".circuit_open";
+  for (const auto& [name, value] : snap.gauges) {
+    if (value != 1) continue;
+    if (name.size() <= kPeerPrefix.size() + kPeerSuffix.size()) continue;
+    if (name.compare(0, kPeerPrefix.size(), kPeerPrefix) != 0) continue;
+    if (name.compare(name.size() - kPeerSuffix.size(), kPeerSuffix.size(), kPeerSuffix) != 0) {
+      continue;
+    }
+    const std::string id_text =
+        name.substr(kPeerPrefix.size(), name.size() - kPeerPrefix.size() - kPeerSuffix.size());
+    char* end = nullptr;
+    const unsigned long id = std::strtoul(id_text.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && !id_text.empty()) {
+      stats.circuit_open_peers.push_back(static_cast<std::uint32_t>(id));
+    }
+  }
+  std::sort(stats.circuit_open_peers.begin(), stats.circuit_open_peers.end());
 
   stats.repartition_bytes_moved = snap.counter_value(names::kRepartitionBytesMoved);
   stats.repartition_bytes_saved = snap.counter_value(names::kRepartitionBytesSaved);
@@ -91,12 +119,23 @@ std::string ClusterObserver::to_json(const ClusterStats& stats) {
       << ", \"cutover_p99_us\": " << stats.repartition_cutover_p99_us
       << "}, \"bus\": {\"routed\": " << stats.bus_routed << ", \"drops\": " << stats.bus_drops
       << ", \"duplicates\": " << stats.bus_duplicates
+      << ", \"deadline_shed\": " << stats.bus_deadline_shed
       << "}, \"transport\": {\"connects\": " << stats.transport_connects
       << ", \"reconnects\": " << stats.transport_reconnects
       << ", \"framing_errors\": " << stats.transport_framing_errors
       << ", \"bytes_tx\": " << stats.transport_bytes_tx
       << ", \"bytes_rx\": " << stats.transport_bytes_rx
-      << ", \"frames_dropped\": " << stats.transport_frames_dropped << "}}";
+      << ", \"frames_dropped\": " << stats.transport_frames_dropped
+      << ", \"connections_active\": " << stats.transport_connections_active
+      << ", \"backpressure_events\": " << stats.transport_backpressure_events
+      << ", \"backpressure_rejects\": " << stats.transport_backpressure_rejects
+      << ", \"backpressure_drops\": " << stats.transport_backpressure_drops
+      << ", \"circuit_opens\": " << stats.transport_circuit_opens
+      << ", \"circuit_open_peers\": [";
+  for (std::size_t i = 0; i < stats.circuit_open_peers.size(); ++i) {
+    out << (i ? ", " : "") << stats.circuit_open_peers[i];
+  }
+  out << "]}}";
   return out.str();
 }
 

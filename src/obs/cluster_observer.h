@@ -68,6 +68,16 @@ struct ClusterStats {
   std::uint64_t transport_bytes_tx = 0;
   std::uint64_t transport_bytes_rx = 0;
   std::uint64_t transport_frames_dropped = 0;
+  // Overload / failure-isolation state (zero under inproc): bounded
+  // write-queue backpressure, deadline shedding, and per-peer circuit
+  // breakers ("transport.peer.<id>.circuit_open" gauges at 1).
+  std::int64_t transport_connections_active = 0;
+  std::uint64_t transport_backpressure_events = 0;
+  std::uint64_t transport_backpressure_rejects = 0;
+  std::uint64_t transport_backpressure_drops = 0;
+  std::uint64_t transport_circuit_opens = 0;
+  std::uint64_t bus_deadline_shed = 0;
+  std::vector<std::uint32_t> circuit_open_peers;
 };
 
 class ClusterObserver {

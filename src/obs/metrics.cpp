@@ -166,6 +166,13 @@ std::uint64_t MetricsRegistry::Snapshot::counter_value(std::string_view name) co
   return 0;
 }
 
+std::int64_t MetricsRegistry::Snapshot::gauge_value(std::string_view name) const {
+  for (const auto& [n, value] : gauges) {
+    if (n == name) return value;
+  }
+  return 0;
+}
+
 const HistogramSnapshot* MetricsRegistry::Snapshot::histogram_named(
     std::string_view name) const {
   for (const auto& [n, h] : histograms) {

@@ -152,6 +152,11 @@ inline constexpr std::string_view kBusEnvelopesCoalesced = "bus.envelopes_coales
 inline constexpr std::string_view kBusMailboxBatches = "bus.mailbox_batches";
 inline constexpr std::string_view kBusMailboxBatchedEnvelopes =
     "bus.mailbox_batched_envelopes";
+// Requests shed at dispatch because their propagated deadline expired in
+// the mailbox, and sends refused before the wire (transport backpressure
+// or an open circuit breaker).
+inline constexpr std::string_view kBusDeadlineShed = "bus.deadline_shed";
+inline constexpr std::string_view kBusSendRejected = "bus.send_rejected";
 // TCP transport (rpc/tcp_transport.h): connection lifecycle and wire
 // volume. framing_errors > 0 means a peer's byte stream was malformed —
 // the smoke gate in tools/check.sh fails the run on it.
@@ -161,6 +166,26 @@ inline constexpr std::string_view kTransportFramingErrors = "transport.framing_e
 inline constexpr std::string_view kTransportBytesTx = "transport.bytes_tx";
 inline constexpr std::string_view kTransportBytesRx = "transport.bytes_rx";
 inline constexpr std::string_view kTransportFramesDropped = "transport.frames_dropped";
+// Backpressure on the bounded per-connection write queues: events = times
+// a queue crossed its high watermark, rejects = sends refused fast while a
+// peer was flagged, drops = envelopes discarded at the hard cap (2x high),
+// wqueue_peak = high-water mark of any queue's byte depth.
+inline constexpr std::string_view kTransportBackpressureEvents =
+    "transport.backpressure_events";
+inline constexpr std::string_view kTransportBackpressureRejects =
+    "transport.backpressure_rejects";
+inline constexpr std::string_view kTransportBackpressureDrops =
+    "transport.backpressure_drops";
+inline constexpr std::string_view kTransportWqueuePeak = "transport.wqueue_peak";
+// Per-peer circuit breaker: opens = closed->open transitions, fast_fails =
+// sends refused while a circuit was open. Per-peer state is the gauge
+// "transport.peer.<id>.circuit_open" (1 = open or half-open).
+inline constexpr std::string_view kTransportCircuitOpens = "transport.circuit_opens";
+inline constexpr std::string_view kTransportCircuitFastFails =
+    "transport.circuit_fast_fails";
+// Live socket count (listen-accepted + outbound), maintained by the loop.
+inline constexpr std::string_view kTransportConnectionsActive =
+    "transport.connections_active";
 inline constexpr std::string_view kMonitorDeaths = "monitor.deaths_declared";
 inline constexpr std::string_view kMonitorRepairs = "monitor.repairs_completed";
 inline constexpr std::string_view kMonitorRepairSpan = "monitor.detect_to_repair_s";
@@ -205,6 +230,7 @@ class MetricsRegistry {
     // per-server GET counters).
     std::uint64_t counter_suffix_sum(std::string_view suffix) const;
     std::uint64_t counter_value(std::string_view name) const;  // 0 if absent
+    std::int64_t gauge_value(std::string_view name) const;     // 0 if absent
     const HistogramSnapshot* histogram_named(std::string_view name) const;
   };
   Snapshot snapshot() const;

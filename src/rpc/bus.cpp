@@ -46,7 +46,8 @@ void RpcNode::start() {
 }
 
 RpcNode::PendingCall RpcNode::call_tagged(NodeId to, MethodId method,
-                                          std::vector<std::uint8_t> payload) {
+                                          std::vector<std::uint8_t> payload,
+                                          std::chrono::milliseconds deadline) {
   std::promise<Reply> promise;
   PendingCall pending;
   pending.reply = promise.get_future();
@@ -61,14 +62,34 @@ RpcNode::PendingCall RpcNode::call_tagged(NodeId to, MethodId method,
   envelope.request_id = pending.request_id;
   envelope.is_reply = false;
   envelope.method = method;
+  if (deadline.count() > 0) {
+    envelope.deadline_ms = static_cast<std::uint32_t>(
+        std::min<std::int64_t>(deadline.count(), UINT32_MAX));
+  }
   envelope.payload = std::move(payload);
-  if (!bus_.route(std::move(envelope))) {
+  const SendStatus sent = bus_.route(std::move(envelope));
+  if (sent != SendStatus::kAccepted) {
+    // Refused before the wire: resolve the call right now with a typed
+    // error so the caller backs off instead of burning its timeout.
     std::lock_guard lock(pending_mu_);
     const auto it = pending_.find(pending.request_id);
     if (it != pending_.end()) {
       Reply reply;
-      reply.status = Status::kError;
-      const std::string msg = "no such node";
+      std::string msg;
+      switch (sent) {
+        case SendStatus::kOverloaded:
+          reply.status = Status::kTransportOverloaded;
+          msg = "transport overloaded";
+          break;
+        case SendStatus::kCircuitOpen:
+          reply.status = Status::kTransportOverloaded;
+          msg = "circuit open to node " + std::to_string(to);
+          break;
+        default:
+          reply.status = Status::kError;
+          msg = "no such node";
+          break;
+      }
       reply.payload.assign(msg.begin(), msg.end());
       it->second.set_value(std::move(reply));
       pending_.erase(it);
@@ -78,8 +99,9 @@ RpcNode::PendingCall RpcNode::call_tagged(NodeId to, MethodId method,
 }
 
 std::future<Reply> RpcNode::call(NodeId to, MethodId method,
-                                 std::vector<std::uint8_t> payload) {
-  return call_tagged(to, method, std::move(payload)).reply;
+                                 std::vector<std::uint8_t> payload,
+                                 std::chrono::milliseconds deadline) {
+  return call_tagged(to, method, std::move(payload), deadline).reply;
 }
 
 bool RpcNode::forget(std::uint64_t request_id) {
@@ -89,7 +111,10 @@ bool RpcNode::forget(std::uint64_t request_id) {
 
 Reply RpcNode::call_sync(NodeId to, MethodId method, std::vector<std::uint8_t> payload,
                          std::chrono::milliseconds timeout) {
-  auto pending = call_tagged(to, method, std::move(payload));
+  // The bounded wait doubles as the propagated deadline: a server that
+  // reaches the request after `timeout` sheds it — by then this caller
+  // has already returned "rpc timeout" and forgotten the slot.
+  auto pending = call_tagged(to, method, std::move(payload), timeout);
   if (pending.reply.wait_for(timeout) != std::future_status::ready) {
     // Reclaim the pending slot so it cannot leak and a late reply becomes
     // a counted no-op. If the reply raced us past the timeout, forget()
@@ -111,6 +136,9 @@ std::size_t RpcNode::pending_calls() const {
 }
 
 void RpcNode::deliver(Envelope envelope) {
+  // Arrival stamp for deadline accounting: the queueing delay between here
+  // and dispatch_request is what the shed check measures.
+  envelope.accepted_at = std::chrono::steady_clock::now();
   {
     std::lock_guard lock(mu_);
     if (stopping_) return;
@@ -154,6 +182,23 @@ void RpcNode::dispatch_request(const Envelope& envelope) {
   reply.request_id = envelope.request_id;
   reply.is_reply = true;
   reply.method = envelope.method;
+
+  // Shed already-expired work: if the request sat in the mailbox past its
+  // propagated deadline, the caller has timed out and forgotten the call —
+  // running the handler would only burn service time on a reply destined
+  // to be a late-reply no-op.
+  if (envelope.deadline_ms > 0 &&
+      std::chrono::steady_clock::now() - envelope.accepted_at >
+          std::chrono::milliseconds(envelope.deadline_ms)) {
+    if (auto* probes = bus_.observability(); probes && probes->deadline_shed) {
+      probes->deadline_shed->add(1);
+    }
+    reply.payload.push_back(static_cast<std::uint8_t>(Status::kDeadlineExpired));
+    const std::string msg = "deadline expired before dispatch";
+    reply.payload.insert(reply.payload.end(), msg.begin(), msg.end());
+    bus_.route(std::move(reply));
+    return;
+  }
 
   const auto it = handlers_.find(envelope.method);
   if (it == handlers_.end()) {
@@ -214,7 +259,7 @@ void Bus::add(RpcNode& node) { transport_->attach(node.id(), node); }
 
 void Bus::remove(NodeId id) { transport_->detach(id); }
 
-bool Bus::route(Envelope envelope) {
+SendStatus Bus::route(Envelope envelope) {
   const auto* probes = probes_.load(std::memory_order_acquire);
   if (probes) {
     probes->routed->add(1);
@@ -223,14 +268,14 @@ bool Bus::route(Envelope envelope) {
   bool duplicate = false;
   if (auto* injector = injector_.load(std::memory_order_acquire)) {
     // Drop: the envelope vanishes like a lost packet. Deliberately returns
-    // true — the network accepted the send; the caller's timeout fires.
+    // kAccepted — the network took the send; the caller's timeout fires.
     if (injector->drop_envelope()) {
       if (probes) {
         probes->drops->add(1);
         probes->in_flight->sub(1);
         if (probes->trace) probes->trace->record(obs::TraceKind::kBusDrop);
       }
-      return true;
+      return SendStatus::kAccepted;
     }
     if (injector->delay_envelope()) {
       if (probes) {
@@ -249,8 +294,14 @@ bool Bus::route(Envelope envelope) {
   // the backend treats it like any other envelope, so handler idempotency
   // and late-reply accounting are exercised on every backend.
   if (duplicate) transport_->send(Envelope(envelope));
-  const bool delivered = transport_->send(std::move(envelope));
-  if (probes) probes->in_flight->sub(1);
+  const SendStatus delivered = transport_->send(std::move(envelope));
+  if (probes) {
+    probes->in_flight->sub(1);
+    if ((delivered == SendStatus::kOverloaded || delivered == SendStatus::kCircuitOpen) &&
+        probes->send_rejected) {
+      probes->send_rejected->add(1);
+    }
+  }
   return delivered;
 }
 
@@ -270,6 +321,8 @@ void Bus::attach_observability(obs::MetricsRegistry* registry, obs::TraceRecorde
   probes->mailbox_batches = &registry->counter(n::kBusMailboxBatches);
   probes->mailbox_batched_envelopes = &registry->counter(n::kBusMailboxBatchedEnvelopes);
   probes->envelopes_coalesced = &registry->counter(n::kBusEnvelopesCoalesced);
+  probes->deadline_shed = &registry->counter(n::kBusDeadlineShed);
+  probes->send_rejected = &registry->counter(n::kBusSendRejected);
   probes->trace = trace;
   probes_storage_ = std::move(probes);
   probes_.store(probes_storage_.get(), std::memory_order_release);

@@ -82,8 +82,15 @@ class RpcNode {
   // Asynchronous call; the future resolves with the callee's Reply. If the
   // request or its reply is lost (dropped envelope, dead node), the future
   // never resolves — bounded waiters must pair wait_for with forget().
-  PendingCall call_tagged(NodeId to, MethodId method, std::vector<std::uint8_t> payload);
-  std::future<Reply> call(NodeId to, MethodId method, std::vector<std::uint8_t> payload);
+  // A nonzero `deadline` rides the envelope (frame header over TCP): a
+  // server whose queue delays dispatch past it sheds the request with
+  // kDeadlineExpired instead of running the handler. A refused send
+  // (unknown node, backpressure, open circuit breaker) resolves the
+  // future immediately with the matching error status.
+  PendingCall call_tagged(NodeId to, MethodId method, std::vector<std::uint8_t> payload,
+                          std::chrono::milliseconds deadline = std::chrono::milliseconds(0));
+  std::future<Reply> call(NodeId to, MethodId method, std::vector<std::uint8_t> payload,
+                          std::chrono::milliseconds deadline = std::chrono::milliseconds(0));
 
   // Abandon a pending call after a timeout: erases its slot so a reply
   // arriving later becomes a counted no-op instead of resolving a dead
@@ -92,7 +99,9 @@ class RpcNode {
   bool forget(std::uint64_t request_id);
 
   // Blocking convenience with timeout. On timeout the pending slot is
-  // reclaimed via forget(); a reply racing the timeout still wins.
+  // reclaimed via forget(); a reply racing the timeout still wins. The
+  // timeout doubles as the propagated deadline — a server reaching the
+  // request after it passed sheds it instead of serving a ghost.
   Reply call_sync(NodeId to, MethodId method, std::vector<std::uint8_t> payload,
                   std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
 
@@ -152,9 +161,10 @@ class Bus {
   void add(RpcNode& node);
   void remove(NodeId id);
 
-  // Returns false if the destination is unknown (the caller turns this
-  // into an immediate error reply).
-  bool route(Envelope envelope);
+  // kNoRoute if the destination is unknown, kOverloaded/kCircuitOpen if
+  // the transport refused the send (the caller turns each into an
+  // immediate typed error reply), kAccepted otherwise.
+  SendStatus route(Envelope envelope);
 
   void set_fault_injector(fault::FaultInjector* injector) {
     injector_.store(injector, std::memory_order_release);
@@ -186,6 +196,11 @@ class Bus {
     // Multi-GET coalescing (counted by clients): envelopes *not* sent
     // because pieces shared a kGetBlockMulti with another piece.
     obs::Counter* envelopes_coalesced = nullptr;
+    // Requests shed at dispatch because their propagated deadline had
+    // already expired (counted by RpcNode::dispatch_request), and sends
+    // refused by transport backpressure / an open circuit breaker.
+    obs::Counter* deadline_shed = nullptr;
+    obs::Counter* send_rejected = nullptr;
     obs::TraceRecorder* trace = nullptr;
   };
 

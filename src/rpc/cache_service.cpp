@@ -171,6 +171,13 @@ CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t s
     w.u8(store_.erase(BlockKey{file, piece}) ? 1 : 0);
     return w.take();
   });
+  node_->handle(kPing, [](BufferReader& r) {
+    // Liveness probe: echo the caller's token. Running on the service
+    // thread means a wedged worker fails the probe, not just a dead one.
+    BufferWriter w;
+    w.u64(r.u64());
+    return w.take();
+  });
   node_->start();
 }
 
@@ -237,6 +244,18 @@ MasterService::MasterService(Bus& bus, NodeId node_id) {
     }
     BufferWriter w;
     w.u64(master_.report_access_batch(deltas));
+    return w.take();
+  });
+  node_->handle(kPutStable, [this](BufferReader& r) {
+    // Alluxio-style checkpoint to the stable tier: the whole file, kept
+    // durable so a worker death is repairable without cache replicas.
+    const auto id = static_cast<FileId>(r.u32());
+    stable_.checkpoint(id, r.bytes_view());
+    return empty_body();
+  });
+  node_->handle(kPing, [](BufferReader& r) {
+    BufferWriter w;
+    w.u64(r.u64());
     return w.take();
   });
   node_->start();
@@ -356,6 +375,16 @@ void RpcSpClient::write(FileId id, std::span<const std::uint8_t> data,
     meta.epoch = r.u64();  // the epoch the master actually assigned
     layout_cache_.put(id, std::move(meta));
   }
+
+  // Checkpoint the whole file to the master's stable tier (Section 8: the
+  // underlying storage, not cache replicas, is the durability story). Best
+  // effort — a lost checkpoint narrows repair coverage, never fails the
+  // write; the file is already served from cache.
+  BufferWriter cw;
+  cw.reserve(4 + 4 + data.size());
+  cw.u32(id);
+  cw.bytes(data);
+  (void)node_->call_sync(master_node_, kPutStable, cw.take());
 }
 
 std::optional<std::vector<std::uint8_t>> RpcSpClient::fetch_piece(FileId id, std::uint32_t piece,
@@ -393,8 +422,7 @@ std::optional<std::vector<std::uint8_t>> RpcSpClient::fetch_piece(FileId id, std
         trace->record(obs::TraceKind::kPieceRetry, op, id, worker, piece,
                       static_cast<double>(attempt));
       }
-      fault::backoff_sleep(retry_, attempt,
-                           (static_cast<std::uint64_t>(id) << 24) ^ (piece << 8) ^ pass);
+      fault::backoff_sleep(retry_, attempt, fault::retry_token(id, piece, pass));
     }
   }
   return std::nullopt;
@@ -580,7 +608,7 @@ RpcReadStats RpcSpClient::do_read(FileId id) {
         trace->record(obs::TraceKind::kReadRepeatPass, op, id, 0, 0,
                       static_cast<double>(pass));
       }
-      fault::backoff_sleep(retry_, pass, static_cast<std::uint64_t>(id) * 0x9e37 + pass);
+      fault::backoff_sleep(retry_, pass, fault::retry_token(id, 0, pass));
     }
     bool from_cache = false;
     bool unknown = false;

@@ -5,7 +5,8 @@
 // piece of metadata crosses a serialization boundary, exactly as in the
 // networked deployment.
 //
-// Node-id convention: master = 0, workers = 1..N, clients >= 1000.
+// Node-id convention: master = 0, workers = 1..N, monitor = 900,
+// clients >= 1000.
 #pragma once
 
 #include <chrono>
@@ -20,6 +21,7 @@
 #include "cluster/cache_server.h"
 #include "cluster/layout_cache.h"
 #include "cluster/master.h"
+#include "cluster/stable_store.h"
 #include "erasure/rs_code.h"
 #include "fault/retry.h"
 #include "rpc/bus.h"
@@ -28,6 +30,7 @@ namespace spcache::rpc {
 
 inline constexpr NodeId kMasterNode = 0;
 inline constexpr NodeId kFirstWorkerNode = 1;
+inline constexpr NodeId kMonitorNode = 900;  // masterd's liveness prober
 inline constexpr NodeId kFirstClientNode = 1000;
 
 // Method ids.
@@ -43,6 +46,8 @@ inline constexpr MethodId kAccessCount = 12;
 inline constexpr MethodId kFileEpoch = 13;     // current layout epoch (0 = unknown file)
 inline constexpr MethodId kLookupBatch = 14;   // many kLookupFile in one envelope
 inline constexpr MethodId kReportAccess = 15;  // batched per-file access-count deltas
+inline constexpr MethodId kPing = 16;          // liveness probe; echoes the sent token
+inline constexpr MethodId kPutStable = 17;     // checkpoint a whole file (master's StableStore)
 
 // kStagePiece sub-operations. Common request header: file u32, piece u32,
 // epoch u64, op u8; then per op:
@@ -92,16 +97,22 @@ class CacheWorkerService {
   std::unique_ptr<RpcNode> node_;
 };
 
-// The SP-Master as a service over the metadata Master.
+// The SP-Master as a service over the metadata Master. It also hosts the
+// deployment's StableStore (the checkpointed tier the paper assumes under
+// the cache): clients kPutStable whole files after a write, and the
+// RpcRecoveryCoordinator restores lost pieces from it after a worker
+// death — so degraded reads stay bit-exact without cache-level replicas.
 class MasterService {
  public:
   MasterService(Bus& bus, NodeId node_id = kMasterNode);
 
   Master& master() { return master_; }
+  StableStore& stable() { return stable_; }
   NodeId node_id() const { return node_->id(); }
 
  private:
   Master master_;
+  StableStore stable_;
   std::unique_ptr<RpcNode> node_;
 };
 

@@ -45,7 +45,13 @@ void EventLoop::stop() {
 
 void EventLoop::wake() {
   const std::uint64_t one = 1;
-  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+  // Retry through signal interruption: daemons take SIGTERM/SIGINT on
+  // arbitrary threads, and a swallowed wakeup would strand a posted
+  // closure until the next I/O event.
+  for (;;) {
+    if (::write(wake_fd_, &one, sizeof(one)) >= 0) return;
+    if (errno != EINTR) return;  // EAGAIN = counter saturated = already awake
+  }
 }
 
 void EventLoop::add_fd(int fd, std::uint32_t events, FdCallback callback) {
@@ -99,7 +105,8 @@ void EventLoop::run() {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
         std::uint64_t drained = 0;
-        [[maybe_unused]] const auto r = ::read(wake_fd_, &drained, sizeof(drained));
+        while (::read(wake_fd_, &drained, sizeof(drained)) < 0 && errno == EINTR) {
+        }
         continue;
       }
       // Look the callback up per event: an fd deregistered earlier in this

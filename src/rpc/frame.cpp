@@ -49,6 +49,7 @@ void encode_frame(const Envelope& envelope, std::vector<std::uint8_t>& out) {
   put_u32(out, envelope.from);
   put_u32(out, envelope.to);
   put_u64(out, envelope.request_id);
+  put_u32(out, envelope.deadline_ms);
   put_u32(out, static_cast<std::uint32_t>(envelope.payload.size()));
   out.insert(out.end(), envelope.payload.begin(), envelope.payload.end());
 }
@@ -87,7 +88,7 @@ std::optional<Envelope> FrameDecoder::next() {
     throw FramingError("unsupported frame version " + std::to_string(version) +
                        " at stream offset " + std::to_string(stream_offset_));
   }
-  const std::uint32_t payload_len = get_u32(h + 24);
+  const std::uint32_t payload_len = get_u32(h + 28);
   if (payload_len > kMaxFramePayload) {
     poisoned_ = true;
     throw FramingError("frame payload length " + std::to_string(payload_len) +
@@ -102,6 +103,7 @@ std::optional<Envelope> FrameDecoder::next() {
   envelope.from = get_u32(h + 8);
   envelope.to = get_u32(h + 12);
   envelope.request_id = get_u64(h + 16);
+  envelope.deadline_ms = get_u32(h + 24);
   const std::uint8_t* body = h + kFrameHeaderSize;
   envelope.payload.assign(body, body + payload_len);
 

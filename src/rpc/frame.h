@@ -1,16 +1,22 @@
 // Wire framing for the TCP transport: one envelope per frame.
 //
-// A frame is a fixed 28-byte little-endian header followed by the payload:
+// A frame is a fixed 32-byte little-endian header followed by the payload:
 //
 //   offset  size  field
 //        0     4  magic      0x53504357 ("SPCW")
-//        4     1  version    kFrameVersion (1)
+//        4     1  version    kFrameVersion (2)
 //        5     1  flags      bit 0 = is_reply
 //        6     2  method id
 //        8     4  from node id
 //       12     4  to node id
 //       16     8  request id
-//       24     4  payload length (bytes that follow)
+//       24     4  deadline, milliseconds of remaining budget (0 = none)
+//       28     4  payload length (bytes that follow)
+//
+// Version 2 added the deadline field (v1 was 28 bytes without it). The
+// deadline is relative, not a wall-clock timestamp, so it survives clock
+// skew between processes; the receiving RpcNode measures it against its
+// own arrival stamp to shed requests whose caller has already given up.
 //
 // The payload is the envelope body unchanged — the same length-delimited
 // bytes the in-process transport hands to handlers, so the two backends
@@ -36,8 +42,8 @@
 namespace spcache::rpc {
 
 inline constexpr std::uint32_t kFrameMagic = 0x53504357u;  // "SPCW" little-endian
-inline constexpr std::uint8_t kFrameVersion = 1;
-inline constexpr std::size_t kFrameHeaderSize = 28;
+inline constexpr std::uint8_t kFrameVersion = 2;
+inline constexpr std::size_t kFrameHeaderSize = 32;
 // Upper bound on a single payload: large enough for any piece this repo
 // moves, small enough that a corrupted length field cannot demand an
 // absurd allocation or stall the stream forever.

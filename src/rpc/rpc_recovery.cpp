@@ -1,0 +1,134 @@
+#include "rpc/rpc_recovery.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "common/log.h"
+#include "rpc/cache_service.h"
+
+namespace spcache::rpc {
+
+RpcRecoveryCoordinator::RpcRecoveryCoordinator(RpcNode& node, Master& master, StableStore& stable,
+                                               std::vector<NodeId> worker_of_server,
+                                               std::function<bool(std::uint32_t)> is_alive,
+                                               std::chrono::milliseconds rpc_timeout)
+    : node_(node),
+      master_(master),
+      stable_(stable),
+      worker_of_server_(std::move(worker_of_server)),
+      is_alive_(std::move(is_alive)),
+      rpc_timeout_(rpc_timeout) {}
+
+RecoveryStats RpcRecoveryCoordinator::repair_after_server_loss(std::uint32_t failed_server) {
+  RecoveryStats total;
+  // Sweep-local load tally so replacements spread instead of piling onto
+  // one survivor (cheap stand-in for the master's least-loaded choice).
+  std::vector<std::uint64_t> placed_bytes(worker_of_server_.size(), 0);
+
+  for (const FileId id : master_.file_ids()) {
+    auto guard = master_.lock_file(id);
+    if (!guard) continue;  // removed since file_ids()
+    auto meta = master_.peek(id);
+    if (!meta) continue;
+
+    std::vector<std::size_t> lost;
+    for (std::size_t i = 0; i < meta->servers.size(); ++i) {
+      if (meta->servers[i] == failed_server) lost.push_back(i);
+    }
+    if (lost.empty()) continue;  // untouched, or a concurrent sweep already repaired it
+
+    const auto bytes = stable_.restore(id);
+    if (!bytes) {
+      ++total.files_skipped;
+      SPCACHE_LOG(kWarn) << "rpc-recovery: file " << id << " has no stable checkpoint — skipped";
+      continue;
+    }
+
+    // Pick a live replacement per lost slot: prefer a server not already
+    // holding the file (keeps the one-piece-per-server partitioning),
+    // least bytes placed so far this sweep. In a cluster too small for an
+    // exclusive server, fall back to co-locating on any live survivor —
+    // suboptimal for balance, but the bytes stay readable, which is the
+    // repair's whole point.
+    std::vector<std::uint32_t> replacement(lost.size());
+    bool placeable = true;
+    auto servers = meta->servers;  // mutated as slots are re-assigned
+    for (std::size_t li = 0; li < lost.size() && placeable; ++li) {
+      std::optional<std::uint32_t> best;
+      std::optional<std::uint32_t> fallback;
+      for (std::uint32_t s = 0; s < worker_of_server_.size(); ++s) {
+        if (s == failed_server || !is_alive_(s)) continue;
+        if (!fallback || placed_bytes[s] < placed_bytes[*fallback]) fallback = s;
+        if (std::find(servers.begin(), servers.end(), s) != servers.end()) continue;
+        if (!best || placed_bytes[s] < placed_bytes[*best]) best = s;
+      }
+      if (!best) best = fallback;
+      if (!best) {
+        placeable = false;
+        break;
+      }
+      replacement[li] = *best;
+      servers[lost[li]] = *best;
+    }
+    if (!placeable) {
+      ++total.files_skipped;
+      SPCACHE_LOG(kWarn) << "rpc-recovery: no live replacement worker for file " << id
+                         << " — skipped";
+      continue;
+    }
+
+    // Re-split per the published layout and ship the lost pieces, stamped
+    // with the next epoch so stale multi-GETs draw kWrongEpoch. The PUTs
+    // land before update_file publishes, so a reader holding the new
+    // layout always finds the bytes.
+    const std::uint64_t new_epoch = meta->epoch + 1;
+    std::vector<std::uint64_t> offsets(meta->piece_sizes.size() + 1, 0);
+    std::partial_sum(meta->piece_sizes.begin(), meta->piece_sizes.end(), offsets.begin() + 1);
+    bool all_put = true;
+    std::uint64_t rewritten = 0;
+    for (std::size_t li = 0; li < lost.size(); ++li) {
+      const std::size_t piece = lost[li];
+      const std::uint64_t off = offsets[piece];
+      const std::uint64_t len = meta->piece_sizes[piece];
+      BufferWriter w;
+      w.reserve(4 + 4 + 4 + len + 8);
+      w.u32(id);
+      w.u32(static_cast<std::uint32_t>(piece));
+      w.bytes(std::span(bytes->data() + off, len));
+      w.u64(new_epoch);
+      const auto reply = node_.call_sync(worker_of_server_.at(replacement[li]), kPutBlock,
+                                         w.take(), rpc_timeout_);
+      if (!reply.ok()) {
+        all_put = false;
+        SPCACHE_LOG(kError) << "rpc-recovery: PUT of file " << id << " piece " << piece
+                            << " to server " << replacement[li]
+                            << " failed: " << reply.error_text();
+        break;
+      }
+      placed_bytes[replacement[li]] += len;
+      rewritten += len;
+    }
+    if (!all_put) {
+      // Publish nothing: the old layout stays, the next heartbeat round
+      // (or a second sweep) retries the whole file.
+      ++total.files_skipped;
+      continue;
+    }
+
+    FileMeta new_meta = *meta;
+    new_meta.servers = std::move(servers);
+    new_meta.epoch = new_epoch;
+    master_.update_file(id, std::move(new_meta));
+    total.pieces_recovered += lost.size();
+    total.bytes_restored += bytes->size();
+    total.modelled_time += static_cast<double>(bytes->size()) / stable_.bandwidth();
+    SPCACHE_LOG(kInfo) << "rpc-recovery: re-placed " << lost.size() << " piece(s) of file " << id
+                       << " (" << rewritten << " B) at epoch " << new_epoch;
+  }
+  return total;
+}
+
+}  // namespace spcache::rpc

@@ -1,0 +1,58 @@
+// Repair over the wire: re-create a dead worker's pieces through RPC.
+//
+// The threaded cluster repairs through RecoveryManager, which writes into
+// CacheServer objects it can touch directly. The TCP deployment has no
+// such luxury: the master's process holds only the metadata Master and
+// the StableStore; the replacement bytes must travel to the surviving
+// workers as kPutBlock envelopes, exactly like a client write. This
+// coordinator is that path — the repair endpoint spcache_masterd plugs
+// into its HealthMonitor.
+//
+// For every file with a piece on the failed server it, under the file's
+// master-side mutation guard: restores the whole file from the stable
+// tier, re-splits it per the current layout, PUTs each lost piece to a
+// live replacement worker stamped with a bumped epoch, and only then
+// publishes the new layout via Master::update_file. Readers holding the
+// old layout hit kWrongEpoch (or a dead socket), re-LOOKUP, and find the
+// repaired placement — the same degraded-read machinery the chaos tests
+// exercise in-process, now over real sockets. Files without a stable
+// checkpoint, or with no live replacement worker, are skipped and
+// counted, never aborting the sweep.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/master.h"
+#include "cluster/stable_store.h"
+#include "rpc/bus.h"
+
+namespace spcache::rpc {
+
+class RpcRecoveryCoordinator {
+ public:
+  // `node` issues the kPutBlock calls (the masterd monitor node);
+  // `is_alive(server)` is the caller's current liveness verdict — the
+  // HealthMonitor's cached probe state — used to pick replacements.
+  RpcRecoveryCoordinator(RpcNode& node, Master& master, StableStore& stable,
+                         std::vector<NodeId> worker_of_server,
+                         std::function<bool(std::uint32_t)> is_alive,
+                         std::chrono::milliseconds rpc_timeout = std::chrono::milliseconds(1000));
+
+  // Re-place every piece that lived on `failed_server`. Safe to run twice
+  // (each file is handled under its mutation guard; a file with no slot
+  // left on the failed server is skipped) and safe alongside readers.
+  RecoveryStats repair_after_server_loss(std::uint32_t failed_server);
+
+ private:
+  RpcNode& node_;
+  Master& master_;
+  StableStore& stable_;
+  std::vector<NodeId> worker_of_server_;
+  std::function<bool(std::uint32_t)> is_alive_;
+  std::chrono::milliseconds rpc_timeout_;
+};
+
+}  // namespace spcache::rpc

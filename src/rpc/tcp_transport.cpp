@@ -7,11 +7,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <future>
 #include <stdexcept>
+#include <thread>
 
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "rpc/bus.h"
 
@@ -31,7 +34,7 @@ sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
 
 }  // namespace
 
-TcpTransport::TcpTransport() = default;
+TcpTransport::TcpTransport(TcpTransportConfig config) : config_(config) {}
 
 TcpTransport::~TcpTransport() { shutdown(); }
 
@@ -84,8 +87,8 @@ void TcpTransport::detach(NodeId id) {
   locals_.erase(id);
 }
 
-bool TcpTransport::send(Envelope envelope) {
-  if (stopped_.load(std::memory_order_acquire)) return false;
+SendStatus TcpTransport::send(Envelope envelope) {
+  if (stopped_.load(std::memory_order_acquire)) return SendStatus::kNoRoute;
   {
     std::lock_guard lock(mu_);
     // Local short-circuit: a co-hosted destination never touches a socket
@@ -93,16 +96,34 @@ bool TcpTransport::send(Envelope envelope) {
     // mu_ so detach() waits it out.
     if (const auto it = locals_.find(envelope.to); it != locals_.end()) {
       it->second->deliver(std::move(envelope));
-      return true;
+      return SendStatus::kAccepted;
     }
-    if (!route_.contains(envelope.to) && !addrs_.contains(envelope.to)) return false;
+    const auto ait = addrs_.find(envelope.to);
+    if (!route_.contains(envelope.to) && ait == addrs_.end()) return SendStatus::kNoRoute;
+    if (ait != addrs_.end()) {
+      Peer& peer = ait->second;
+      if (peer.circuit_open) {
+        // Fail fast while the circuit is open; after the open window let
+        // exactly one envelope through as the half-open probe.
+        const auto now = std::chrono::steady_clock::now();
+        if (now < peer.open_until || peer.half_open_inflight) {
+          count(circuit_fast_fails_, &ObsProbes::circuit_fast_fails);
+          return SendStatus::kCircuitOpen;
+        }
+        peer.half_open_inflight = true;
+      }
+      if (peer.backpressured) {
+        count(backpressure_rejects_, &ObsProbes::backpressure_rejects);
+        return SendStatus::kOverloaded;
+      }
+    }
   }
-  if (!loop_started_) return false;
+  if (!loop_started_) return SendStatus::kNoRoute;
   // shared_ptr keeps the (possibly multi-megabyte) payload from being
   // copied by std::function's copyable-closure requirement.
   auto boxed = std::make_shared<Envelope>(std::move(envelope));
   loop_.post([this, boxed] { send_on_loop(std::move(*boxed)); });
-  return true;
+  return SendStatus::kAccepted;
 }
 
 void TcpTransport::send_on_loop(Envelope envelope) {
@@ -119,6 +140,16 @@ void TcpTransport::send_on_loop(Envelope envelope) {
     // Reachability changed between send() and here (peer connection died
     // and it has no address, or connect failed immediately): the envelope
     // is lost like a packet on a dead link — the caller's timeout fires.
+    count(frames_dropped_, &ObsProbes::frames_dropped);
+    return;
+  }
+  // Hard cap at 2x high: envelopes that were already in flight through the
+  // loop when the backpressure flag rose still land here; past the cap
+  // they are dropped (the caller's timeout fires) so a slow-draining peer
+  // bounds this process's memory instead of growing the queue forever.
+  const std::size_t queued = conn->out.size() - conn->out_pos;
+  if (queued + kFrameHeaderSize + envelope.payload.size() > 2 * config_.wqueue_high) {
+    count(backpressure_drops_, &ObsProbes::backpressure_drops);
     count(frames_dropped_, &ObsProbes::frames_dropped);
     return;
   }
@@ -153,6 +184,7 @@ TcpTransport::Conn* TcpTransport::connect_peer(NodeId id) {
   conn->connecting = (rc != 0);
   Conn* raw = conn.get();
   conns_[fd] = std::move(conn);
+  register_conn(fd);
   {
     std::lock_guard lock(mu_);
     route_[id] = fd;
@@ -173,8 +205,18 @@ void TcpTransport::on_connected(Conn& conn) {
   {
     std::lock_guard lock(mu_);
     if (const auto it = addrs_.find(conn.peer); it != addrs_.end()) {
-      again = it->second.ever_connected;
-      it->second.ever_connected = true;
+      Peer& peer = it->second;
+      again = peer.ever_connected;
+      peer.ever_connected = true;
+      // A completed connect is the breaker's success signal: the failure
+      // streak ends and an open circuit (this was the half-open probe)
+      // closes again.
+      peer.consecutive_failures = 0;
+      peer.half_open_inflight = false;
+      if (peer.circuit_open) {
+        peer.circuit_open = false;
+        set_circuit_gauge(conn.peer, peer, 0);
+      }
     }
   }
   count(connects_, &ObsProbes::connects);
@@ -185,13 +227,17 @@ void TcpTransport::on_connected(Conn& conn) {
 void TcpTransport::handle_listen_ready() {
   for (;;) {
     const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-    if (fd < 0) break;  // EAGAIN (or teardown)
+    if (fd < 0) {
+      if (errno == EINTR) continue;  // a signal is not "no more clients"
+      break;                        // EAGAIN (or teardown)
+    }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     conn->inbound = true;
     conns_[fd] = std::move(conn);
+    register_conn(fd);
     loop_.add_fd(fd, EPOLLIN, [this, fd](std::uint32_t ev) { handle_conn_event(fd, ev); });
   }
 }
@@ -269,12 +315,33 @@ void TcpTransport::deliver_inbound(Envelope envelope, int via_fd) {
 
 void TcpTransport::flush_conn(Conn& conn) {
   if (conn.connecting) return;  // queued; the EPOLLOUT completion flushes
+  // Seeded socket chaos, decided here on the loop thread so the fault
+  // schedule is a pure function of the seed even over real sockets.
+  std::size_t write_clamp = 0;  // 0 = no clamp
+  if (auto* injector = injector_.load(std::memory_order_acquire);
+      injector != nullptr && conn.out_pos < conn.out.size()) {
+    if (injector->sock_delay()) {
+      std::this_thread::sleep_for(injector->config().sock_delay);
+    }
+    if (injector->sock_reset()) {
+      // Hard RST instead of an orderly FIN: the peer's read() fails with
+      // ECONNRESET mid-stream, its decoder state is discarded with the
+      // connection, and retries drive a reconnect.
+      const linger lg{.l_onoff = 1, .l_linger = 0};
+      ::setsockopt(conn.fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+      close_conn(conn.fd);
+      return;
+    }
+    if (injector->sock_partial_write()) write_clamp = 7;
+  }
   while (conn.out_pos < conn.out.size()) {
-    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
-                              conn.out.size() - conn.out_pos);
+    std::size_t want = conn.out.size() - conn.out_pos;
+    if (write_clamp != 0) want = std::min(want, write_clamp);
+    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos, want);
     if (n > 0) {
       count(bytes_tx_, &ObsProbes::bytes_tx, static_cast<std::uint64_t>(n));
       conn.out_pos += static_cast<std::size_t>(n);
+      if (write_clamp != 0) break;  // leave the tail for the next EPOLLOUT
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -289,7 +356,34 @@ void TcpTransport::flush_conn(Conn& conn) {
     conn.out.erase(conn.out.begin(), conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_pos));
     conn.out_pos = 0;
   }
+  update_backpressure(conn);
   update_interest(conn);
+}
+
+void TcpTransport::update_backpressure(Conn& conn) {
+  const std::size_t queued = conn.out.size() - conn.out_pos;
+  if (queued > wqueue_peak_.load(std::memory_order_relaxed)) {
+    // Loop thread is the only writer, so load-compare-store is race-free.
+    wqueue_peak_.store(queued, std::memory_order_relaxed);
+    if (auto* probes = probes_.load(std::memory_order_acquire); probes && probes->wqueue_peak) {
+      probes->wqueue_peak->set(static_cast<std::int64_t>(queued));
+    }
+  }
+  if (!conn.peer_known) return;
+  bool crossed = false;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = addrs_.find(conn.peer);
+    if (it == addrs_.end()) return;
+    Peer& peer = it->second;
+    if (!peer.backpressured && queued >= config_.wqueue_high) {
+      peer.backpressured = true;
+      crossed = true;
+    } else if (peer.backpressured && queued <= config_.wqueue_low) {
+      peer.backpressured = false;
+    }
+  }
+  if (crossed) count(backpressure_events_, &ObsProbes::backpressure_events);
 }
 
 void TcpTransport::update_interest(Conn& conn) {
@@ -301,9 +395,15 @@ void TcpTransport::close_conn(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   Conn& conn = *it->second;
-  if (conn.out_pos < conn.out.size()) {
+  const bool stranded = conn.out_pos < conn.out.size();
+  if (stranded) {
     count(frames_dropped_, &ObsProbes::frames_dropped);
   }
+  // Breaker failure signal: an *outbound* connection that died while still
+  // connecting, or with bytes it never delivered. An orderly close of a
+  // drained connection (peer restarting cleanly) is not a failure.
+  const bool failed = !conn.inbound && conn.peer_known && (conn.connecting || stranded);
+  const NodeId failed_peer = conn.peer;
   loop_.remove_fd(fd);
   ::close(fd);
   {
@@ -317,13 +417,75 @@ void TcpTransport::close_conn(int fd) {
         ++rit;
       }
     }
+    // The queue died with the connection; never leave its flag wedged.
+    if (conn.peer_known) {
+      if (const auto ait = addrs_.find(conn.peer); ait != addrs_.end()) {
+        ait->second.backpressured = false;
+      }
+    }
   }
   conns_.erase(it);
+  unregister_conn();
+  if (failed) note_peer_failure(failed_peer);
+}
+
+void TcpTransport::note_peer_failure(NodeId id) {
+  if (config_.breaker_threshold == 0) return;
+  bool opened = false;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = addrs_.find(id);
+    if (it == addrs_.end()) return;
+    Peer& peer = it->second;
+    ++peer.consecutive_failures;
+    peer.half_open_inflight = false;  // the probe (if any) just failed
+    if (peer.consecutive_failures >= config_.breaker_threshold) {
+      if (!peer.circuit_open) {
+        peer.circuit_open = true;
+        opened = true;
+        set_circuit_gauge(id, peer, 1);
+      }
+      // Every further failure (including a failed half-open probe)
+      // re-arms the open window from now.
+      peer.open_until = std::chrono::steady_clock::now() + config_.breaker_open;
+    }
+  }
+  if (opened) count(circuit_opens_, &ObsProbes::circuit_opens);
+}
+
+void TcpTransport::register_conn(int /*fd*/) {
+  const auto active = connections_active_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (auto* probes = probes_.load(std::memory_order_acquire);
+      probes && probes->connections_active) {
+    probes->connections_active->set(static_cast<std::int64_t>(active));
+  }
+}
+
+void TcpTransport::unregister_conn() {
+  const auto active = connections_active_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  if (auto* probes = probes_.load(std::memory_order_acquire);
+      probes && probes->connections_active) {
+    probes->connections_active->set(static_cast<std::int64_t>(active));
+  }
+}
+
+void TcpTransport::set_circuit_gauge(NodeId id, Peer& peer, std::int64_t value) {
+  auto* registry = registry_.load(std::memory_order_acquire);
+  if (registry == nullptr) return;
+  if (peer.circuit_gauge == nullptr) {
+    // Lazy resolve: peers can be added after attach_observability. The
+    // registry's own mutex serializes this; it never takes mu_, so the
+    // lock order (mu_ -> registry) cannot cycle.
+    peer.circuit_gauge =
+        &registry->gauge("transport.peer." + std::to_string(id) + ".circuit_open");
+  }
+  peer.circuit_gauge->set(value);
 }
 
 void TcpTransport::attach_observability(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     probes_.store(nullptr, std::memory_order_release);
+    registry_.store(nullptr, std::memory_order_release);
     return;
   }
   namespace n = obs::names;
@@ -334,6 +496,14 @@ void TcpTransport::attach_observability(obs::MetricsRegistry* registry) {
   probes->bytes_tx = &registry->counter(n::kTransportBytesTx);
   probes->bytes_rx = &registry->counter(n::kTransportBytesRx);
   probes->frames_dropped = &registry->counter(n::kTransportFramesDropped);
+  probes->backpressure_events = &registry->counter(n::kTransportBackpressureEvents);
+  probes->backpressure_rejects = &registry->counter(n::kTransportBackpressureRejects);
+  probes->backpressure_drops = &registry->counter(n::kTransportBackpressureDrops);
+  probes->circuit_opens = &registry->counter(n::kTransportCircuitOpens);
+  probes->circuit_fast_fails = &registry->counter(n::kTransportCircuitFastFails);
+  probes->wqueue_peak = &registry->gauge(n::kTransportWqueuePeak);
+  probes->connections_active = &registry->gauge(n::kTransportConnectionsActive);
+  registry_.store(registry, std::memory_order_release);
   probes_storage_ = std::move(probes);
   probes_.store(probes_storage_.get(), std::memory_order_release);
 }
@@ -381,6 +551,13 @@ TcpTransport::Counters TcpTransport::counters() const {
   c.bytes_tx = bytes_tx_.load(std::memory_order_relaxed);
   c.bytes_rx = bytes_rx_.load(std::memory_order_relaxed);
   c.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+  c.backpressure_events = backpressure_events_.load(std::memory_order_relaxed);
+  c.backpressure_rejects = backpressure_rejects_.load(std::memory_order_relaxed);
+  c.backpressure_drops = backpressure_drops_.load(std::memory_order_relaxed);
+  c.wqueue_peak = wqueue_peak_.load(std::memory_order_relaxed);
+  c.circuit_opens = circuit_opens_.load(std::memory_order_relaxed);
+  c.circuit_fast_fails = circuit_fast_fails_.load(std::memory_order_relaxed);
+  c.connections_active = connections_active_.load(std::memory_order_relaxed);
   return c;
 }
 

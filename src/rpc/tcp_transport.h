@@ -14,23 +14,49 @@
 //     a real RPC server. The newest connection for a node wins.
 //
 // Loss semantics match the in-process backend's contract: send() returns
-// false only for a node that is neither local, addressed, nor learned —
-// the immediate-error path. Everything else returns true ("the network
-// accepted it"); a connection that then fails drops its queued frames and
-// the caller's timeout fires (RpcNode pairs every bounded wait with
-// forget(), so lost replies are counted no-ops, never hangs). The next
-// send to an addressed peer opens a fresh connection — that is the
-// reconnect-on-failure path, visible as transport.reconnects.
+// kNoRoute only for a node that is neither local, addressed, nor learned
+// — the immediate-error path. An accepted envelope ("the network took
+// it") may still be lost if its connection then fails; the caller's
+// timeout fires (RpcNode pairs every bounded wait with forget(), so lost
+// replies are counted no-ops, never hangs). The next send to an addressed
+// peer opens a fresh connection — that is the reconnect-on-failure path,
+// visible as transport.reconnects.
+//
+// Overload and failure isolation (send() can also *refuse*):
+//
+//   * Bounded write queues: each connection's pending-byte queue has a
+//     high/low watermark. Crossing high flags the peer overloaded —
+//     send() to it fails fast with kOverloaded until the queue drains
+//     below low (hysteresis, so the flag does not flap per byte). A queue
+//     that still reaches 2x high (envelopes already in flight through the
+//     loop when the flag rose) drops further frames at the cap, so a
+//     slow-draining peer bounds this process's memory instead of growing
+//     a buffer without limit.
+//   * Per-peer circuit breaker: `breaker_threshold` consecutive
+//     connection failures (refused connects, or closes that stranded
+//     queued bytes) open the circuit for `breaker_open`; sends fail fast
+//     with kCircuitOpen instead of burning a timeout per call. After the
+//     open window one send is let through as a half-open probe — success
+//     (a completed connect) closes the circuit, failure re-arms it.
+//
+// Chaos: set_fault_injector() arms seeded socket-level faults, decided on
+// the loop thread so the schedule is deterministic per seed even over
+// real sockets — partial writes (a flush pass clamps its write() to a few
+// bytes, splitting frames across segments), connection resets (close with
+// SO_LINGER{1,0}, so the peer sees a hard RST), and pre-flush delays (a
+// brief loop-thread stall, modelling a congested link).
 //
 // Concurrency: all socket and connection state is owned by the epoll
-// EventLoop thread; send() does a locked reachability check, then posts
-// the envelope to the loop. The routing maps (locals, address book,
-// learned routes) are the only cross-thread state and sit under one
-// mutex. Counters are relaxed atomics, mirrored into the MetricsRegistry
-// (transport.*) when observability is attached.
+// EventLoop thread; send() does a locked reachability/overload check,
+// then posts the envelope to the loop. The routing maps (locals, address
+// book with per-peer breaker/backpressure state, learned routes) are the
+// only cross-thread state and sit under one mutex. Counters are relaxed
+// atomics, mirrored into the MetricsRegistry (transport.*) when
+// observability is attached.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -42,15 +68,33 @@
 #include "rpc/frame.h"
 #include "rpc/transport.h"
 
+namespace spcache::fault {
+class FaultInjector;
+}  // namespace spcache::fault
+
 namespace spcache::obs {
 class Counter;
+class Gauge;
+class MetricsRegistry;
 }  // namespace spcache::obs
 
 namespace spcache::rpc {
 
+struct TcpTransportConfig {
+  // Per-connection write-queue watermarks, in bytes. Crossing high flags
+  // the peer overloaded (send() fails fast); draining to low clears it.
+  // The hard cap — where queued frames are dropped outright — is 2x high.
+  std::size_t wqueue_high = 8 * 1024 * 1024;
+  std::size_t wqueue_low = 2 * 1024 * 1024;
+  // Circuit breaker: open after this many consecutive connection
+  // failures to a peer (0 disables), for `breaker_open` per arming.
+  std::uint32_t breaker_threshold = 5;
+  std::chrono::milliseconds breaker_open{250};
+};
+
 class TcpTransport final : public Transport {
  public:
-  TcpTransport();
+  explicit TcpTransport(TcpTransportConfig config = TcpTransportConfig{});
   ~TcpTransport() override;
 
   // Daemon side: bind + listen on host:port (port 0 = kernel-assigned) and
@@ -64,9 +108,17 @@ class TcpTransport final : public Transport {
   // that node; replies need no entry (routes are learned per connection).
   void add_peer(NodeId id, std::string host, std::uint16_t port);
 
+  // Arm seeded socket-level chaos (null detaches). The injector must
+  // outlive the transport or be detached first.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_.store(injector, std::memory_order_release);
+  }
+
+  const TcpTransportConfig& config() const { return config_; }
+
   void attach(NodeId id, RpcNode& node) override;
   void detach(NodeId id) override;
-  bool send(Envelope envelope) override;
+  SendStatus send(Envelope envelope) override;
   void attach_observability(obs::MetricsRegistry* registry) override;
 
   // Graceful shutdown: best-effort flush of every connection's pending
@@ -81,6 +133,15 @@ class TcpTransport final : public Transport {
     std::uint64_t bytes_tx = 0;
     std::uint64_t bytes_rx = 0;
     std::uint64_t frames_dropped = 0;  // undeliverable frames (dead peer / unknown node)
+    // Backpressure on the bounded write queues.
+    std::uint64_t backpressure_events = 0;   // queues that crossed the high watermark
+    std::uint64_t backpressure_rejects = 0;  // sends refused while a peer was flagged
+    std::uint64_t backpressure_drops = 0;    // frames discarded at the 2x-high hard cap
+    std::uint64_t wqueue_peak = 0;           // deepest any write queue ever got (bytes)
+    // Per-peer circuit breaker.
+    std::uint64_t circuit_opens = 0;       // closed -> open transitions
+    std::uint64_t circuit_fast_fails = 0;  // sends refused while a circuit was open
+    std::uint64_t connections_active = 0;  // live sockets right now
   };
   Counters counters() const;
 
@@ -89,6 +150,18 @@ class TcpTransport final : public Transport {
     std::string host;
     std::uint16_t port = 0;
     bool ever_connected = false;  // loop thread; distinguishes re-connects
+    // Backpressure flag, set/cleared by the loop thread at the write-queue
+    // watermarks and read by send() for the fast-fail path. Under mu_.
+    bool backpressured = false;
+    // Circuit breaker (under mu_). consecutive_failures counts connection
+    // attempts that ended badly since the last success; once the circuit
+    // opens, sends fail fast until open_until, then one probe is allowed
+    // through (half_open_inflight) before the next verdict.
+    std::uint32_t consecutive_failures = 0;
+    bool circuit_open = false;
+    bool half_open_inflight = false;
+    std::chrono::steady_clock::time_point open_until{};
+    obs::Gauge* circuit_gauge = nullptr;  // "transport.peer.<id>.circuit_open"
   };
 
   struct Conn {
@@ -109,6 +182,13 @@ class TcpTransport final : public Transport {
     obs::Counter* bytes_tx = nullptr;
     obs::Counter* bytes_rx = nullptr;
     obs::Counter* frames_dropped = nullptr;
+    obs::Counter* backpressure_events = nullptr;
+    obs::Counter* backpressure_rejects = nullptr;
+    obs::Counter* backpressure_drops = nullptr;
+    obs::Counter* circuit_opens = nullptr;
+    obs::Counter* circuit_fast_fails = nullptr;
+    obs::Gauge* wqueue_peak = nullptr;
+    obs::Gauge* connections_active = nullptr;
   };
 
   // --- loop-thread only ------------------------------------------------
@@ -122,10 +202,19 @@ class TcpTransport final : public Transport {
   void update_interest(Conn& conn);
   void close_conn(int fd);
   void deliver_inbound(Envelope envelope, int via_fd);
+  // Watermark hysteresis + peak tracking for conn's write queue.
+  void update_backpressure(Conn& conn);
+  // Breaker bookkeeping after a connection to `id` failed (loop thread).
+  void note_peer_failure(NodeId id);
+  void register_conn(int fd);
+  void unregister_conn();
+  // Sets the per-peer circuit gauge (lazily resolved). Caller holds mu_.
+  void set_circuit_gauge(NodeId id, Peer& peer, std::int64_t value);
 
   void count(std::atomic<std::uint64_t>& counter, obs::Counter* ObsProbes::* probe,
              std::uint64_t n = 1);
 
+  TcpTransportConfig config_;
   EventLoop loop_;
   int listen_fd_ = -1;
   std::atomic<bool> stopped_{false};
@@ -142,13 +231,23 @@ class TcpTransport final : public Transport {
   // Loop-thread-only connection table.
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
 
+  std::atomic<fault::FaultInjector*> injector_{nullptr};
+
   std::atomic<std::uint64_t> connects_{0};
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<std::uint64_t> framing_errors_{0};
   std::atomic<std::uint64_t> bytes_tx_{0};
   std::atomic<std::uint64_t> bytes_rx_{0};
   std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> backpressure_events_{0};
+  std::atomic<std::uint64_t> backpressure_rejects_{0};
+  std::atomic<std::uint64_t> backpressure_drops_{0};
+  std::atomic<std::uint64_t> wqueue_peak_{0};
+  std::atomic<std::uint64_t> circuit_opens_{0};
+  std::atomic<std::uint64_t> circuit_fast_fails_{0};
+  std::atomic<std::uint64_t> connections_active_{0};
 
+  std::atomic<obs::MetricsRegistry*> registry_{nullptr};
   std::unique_ptr<ObsProbes> probes_storage_;
   std::atomic<ObsProbes*> probes_{nullptr};
 };

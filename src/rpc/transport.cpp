@@ -16,12 +16,12 @@ void InprocTransport::detach(NodeId id) {
   nodes_.erase(id);
 }
 
-bool InprocTransport::send(Envelope envelope) {
+SendStatus InprocTransport::send(Envelope envelope) {
   std::shared_lock lock(mu_);
   const auto it = nodes_.find(envelope.to);
-  if (it == nodes_.end()) return false;
+  if (it == nodes_.end()) return SendStatus::kNoRoute;
   it->second->deliver(std::move(envelope));
-  return true;
+  return SendStatus::kAccepted;
 }
 
 }  // namespace spcache::rpc

@@ -21,6 +21,7 @@
 // bytes.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <shared_mutex>
 #include <stdexcept>
@@ -38,7 +39,33 @@ using NodeId = std::uint32_t;
 using MethodId = std::uint16_t;
 
 // Status byte leading every reply payload.
-enum class Status : std::uint8_t { kOk = 0, kError = 1, kNoSuchMethod = 2, kWrongEpoch = 3 };
+//   kTransportOverloaded — the send was refused before touching the wire:
+//     the destination's write queue sits above its high watermark or its
+//     circuit breaker is open. A fast, retryable signal (back off, do not
+//     pile more bytes onto a struggling peer).
+//   kDeadlineExpired — the server shed the request because its propagated
+//     deadline had already passed when the service thread reached it;
+//     the caller has long stopped waiting, so no handler ran.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,
+  kNoSuchMethod = 2,
+  kWrongEpoch = 3,
+  kTransportOverloaded = 4,
+  kDeadlineExpired = 5,
+};
+
+// Outcome of handing an envelope to a transport.
+//   kAccepted  — the transport took it (acceptance is not delivery; losses
+//                surface at the caller's timeout).
+//   kNoRoute   — the destination is not a known endpoint; the caller turns
+//                this into an immediate "no such node" error.
+//   kOverloaded — refused by backpressure: the peer's write queue is above
+//                its high watermark. Immediate kTransportOverloaded error.
+//   kCircuitOpen — refused by the peer's circuit breaker after consecutive
+//                connection failures; retried sends pass again once a
+//                half-open probe succeeds.
+enum class SendStatus : std::uint8_t { kAccepted = 0, kNoRoute, kOverloaded, kCircuitOpen };
 
 // Thrown by a handler that detects a stale layout epoch in the request
 // (e.g. a cache server asked for blocks of a layout that has since been
@@ -56,6 +83,14 @@ struct Envelope {
   std::uint64_t request_id = 0;  // matches replies to calls
   bool is_reply = false;
   MethodId method = 0;
+  // Remaining time budget when the envelope was sent (0 = none). Carried
+  // on the wire as a *relative* duration — robust to clock skew between
+  // processes — and measured against `accepted_at` on the receiving side,
+  // so a request that sat in a queue past its budget is shed with
+  // kDeadlineExpired instead of running a handler nobody waits for.
+  std::uint32_t deadline_ms = 0;
+  // Stamped by RpcNode::deliver on the receiving side; not on the wire.
+  std::chrono::steady_clock::time_point accepted_at{};
   std::vector<std::uint8_t> payload;
 };
 
@@ -85,13 +120,14 @@ class Transport {
   virtual void attach(NodeId id, RpcNode& node) = 0;
   virtual void detach(NodeId id) = 0;
 
-  // Carry `envelope` toward its destination. Returns false when the
-  // destination is not a known endpoint (the caller turns that into an
-  // immediate error reply); true means the transport *accepted* the send.
-  // Like a real network, acceptance is not delivery — losses surface at
-  // the caller's timeout, never as a hang (RpcNode::call_sync pairs every
-  // bounded wait with forget()).
-  virtual bool send(Envelope envelope) = 0;
+  // Carry `envelope` toward its destination. kNoRoute when the
+  // destination is not a known endpoint, kOverloaded/kCircuitOpen when
+  // backpressure or the peer's breaker refuses it (both become immediate,
+  // typed error replies at the caller); kAccepted means the transport
+  // *accepted* the send. Like a real network, acceptance is not delivery —
+  // losses surface at the caller's timeout, never as a hang
+  // (RpcNode::call_sync pairs every bounded wait with forget()).
+  virtual SendStatus send(Envelope envelope) = 0;
 
   // Resolve transport-level metrics in `registry` and start counting
   // (no-op for transports with nothing to count). Forwarded by
@@ -110,7 +146,7 @@ class InprocTransport final : public Transport {
  public:
   void attach(NodeId id, RpcNode& node) override;
   void detach(NodeId id) override;
-  bool send(Envelope envelope) override;
+  SendStatus send(Envelope envelope) override;
 
  private:
   // Held shared across the whole lookup + deliver so a node cannot be

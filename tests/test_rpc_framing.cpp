@@ -21,6 +21,7 @@ Envelope make_envelope(Rng& rng, std::size_t payload_len) {
   e.request_id = rng.next_u64();
   e.is_reply = rng.uniform_index(2) == 1;
   e.method = static_cast<MethodId>(rng.uniform_index(0x10000));
+  e.deadline_ms = static_cast<std::uint32_t>(rng.uniform_index(120000));
   e.payload.resize(payload_len);
   for (auto& b : e.payload) b = static_cast<std::uint8_t>(rng.uniform_index(256));
   return e;
@@ -32,6 +33,7 @@ void expect_same(const Envelope& a, const Envelope& b) {
   EXPECT_EQ(a.request_id, b.request_id);
   EXPECT_EQ(a.is_reply, b.is_reply);
   EXPECT_EQ(a.method, b.method);
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
   EXPECT_EQ(a.payload, b.payload);
 }
 
@@ -110,6 +112,26 @@ TEST(Framing, EveryTruncationPointIsIncomplete) {
   }
 }
 
+// The v2 header carries the relative deadline at offset 24 (little
+// endian), ahead of the payload length at 28 — pin the exact wire bytes
+// so an accidental layout change cannot pass as a refactor.
+TEST(Framing, DeadlineRidesAtOffset24) {
+  Rng rng(11);
+  Envelope e = make_envelope(rng, 5);
+  e.deadline_ms = 0x0A0B0C0Du;
+  const auto bytes = encode_frame(e);
+  ASSERT_GE(bytes.size(), kFrameHeaderSize);
+  EXPECT_EQ(bytes[24], 0x0D);
+  EXPECT_EQ(bytes[25], 0x0C);
+  EXPECT_EQ(bytes[26], 0x0B);
+  EXPECT_EQ(bytes[27], 0x0A);
+  FrameDecoder d;
+  d.feed(bytes);
+  const auto out = d.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->deadline_ms, 0x0A0B0C0Du);
+}
+
 TEST(Framing, BadMagicRejected) {
   Rng rng(5);
   auto bytes = encode_frame(make_envelope(rng, 16));
@@ -137,7 +159,7 @@ TEST(Framing, OversizedLengthRejectedEagerly) {
   Rng rng(7);
   auto bytes = encode_frame(make_envelope(rng, 16));
   const std::uint32_t huge = static_cast<std::uint32_t>(kMaxFramePayload) + 1;
-  std::memcpy(bytes.data() + 24, &huge, sizeof(huge));
+  std::memcpy(bytes.data() + 28, &huge, sizeof(huge));
   FrameDecoder d;
   // Feed only the header: the length is invalid, so the decoder must not
   // sit waiting for a gigabyte that will never come.

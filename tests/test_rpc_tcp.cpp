@@ -11,11 +11,17 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "rpc/cache_service.h"
 
 namespace spcache::rpc {
@@ -259,6 +265,229 @@ TEST(TcpTransport, ReconnectAfterPeerRestart) {
   EXPECT_TRUE(recovered);
   EXPECT_GE(client_tcp.counters().reconnects, 1u);
   EXPECT_EQ(client_tcp.counters().framing_errors, 0u);
+}
+
+// A peer that accepts but never reads: the client's write queue backs up,
+// crosses the high watermark, and further sends fail fast with
+// kOverloaded — while the queue itself stays bounded at the 2x-high hard
+// cap instead of growing without limit.
+TEST(TcpTransport, SlowReaderHitsWatermarkAndFailsFast) {
+  // A raw listening socket that accepts connections and then ignores them
+  // completely — the TCP window closes and nothing drains.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(listen_fd, 0);
+  const int rcvbuf = 4096;  // tiny receive window: the kernel absorbs little
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  TcpTransportConfig cfg;
+  cfg.wqueue_high = 128 * 1024;
+  cfg.wqueue_low = 32 * 1024;
+  TcpTransport client(cfg);
+  client.start();
+  client.add_peer(1, "127.0.0.1", port);
+
+  const auto payload = pattern_payload(64 * 1024, 9);
+  bool overloaded = false;
+  for (int i = 0; i < 400 && !overloaded; ++i) {
+    Envelope e;
+    e.from = kFirstClientNode;
+    e.to = 1;
+    e.method = kEcho;
+    e.request_id = static_cast<std::uint64_t>(i + 1);
+    e.payload = payload;
+    const SendStatus st = client.send(std::move(e));
+    if (st == SendStatus::kOverloaded) overloaded = true;
+    std::this_thread::sleep_for(1ms);  // let the loop thread queue + flush
+  }
+  EXPECT_TRUE(overloaded) << "send() never failed fast against a non-draining peer";
+
+  const auto c = client.counters();
+  EXPECT_GE(c.backpressure_events, 1u);
+  EXPECT_GE(c.backpressure_rejects, 1u);
+  EXPECT_GE(c.wqueue_peak, cfg.wqueue_high);
+  // The bounded-memory claim: the queue never exceeded the hard cap.
+  EXPECT_LE(c.wqueue_peak, 2 * cfg.wqueue_high);
+
+  client.shutdown();
+  ::close(listen_fd);
+}
+
+// Deadline propagation over the wire: a request that sits in the server's
+// mailbox past its budget is shed with kDeadlineExpired — the handler
+// never runs for it.
+TEST(TcpTransport, DeadlineShedOverTcp) {
+  TcpTransport server_tcp;
+  const std::uint16_t port = server_tcp.listen("127.0.0.1", 0);
+  Bus server_bus(server_tcp);
+  RpcNode sloth(server_bus, 1, "sloth");
+  sloth.handle(kEcho, [](BufferReader& r) {
+    std::this_thread::sleep_for(300ms);  // holds the service thread
+    const auto body = r.bytes();
+    BufferWriter w;
+    w.bytes(body);
+    return w.take();
+  });
+  sloth.start();
+
+  TcpTransport client_tcp;
+  client_tcp.start();
+  client_tcp.add_peer(1, "127.0.0.1", port);
+  Bus client_bus(client_tcp);
+  RpcNode caller(client_bus, kFirstClientNode, "caller");
+  caller.start();
+
+  // Call A occupies the service thread; call B queues behind it with a
+  // 50ms budget that expires long before dispatch.
+  BufferWriter wa;
+  wa.bytes(pattern_payload(32, 1));
+  auto a = caller.call_tagged(1, kEcho, wa.take());
+  std::this_thread::sleep_for(50ms);  // A is in the handler by now
+  BufferWriter wb;
+  wb.bytes(pattern_payload(32, 2));
+  auto b = caller.call_tagged(1, kEcho, wb.take(), 50ms);
+
+  ASSERT_EQ(b.reply.wait_for(5s), std::future_status::ready);
+  EXPECT_EQ(b.reply.get().status, Status::kDeadlineExpired);
+  ASSERT_EQ(a.reply.wait_for(5s), std::future_status::ready);
+  EXPECT_TRUE(a.reply.get().ok());
+}
+
+// Consecutive connection failures open the per-peer circuit: sends fail
+// fast with kCircuitOpen instead of burning a timeout each, and after the
+// open window one half-open probe is admitted again.
+TEST(TcpTransport, CircuitBreakerFastFailsAfterConsecutiveFailures) {
+  // Reserve a port, then free it so every connect is refused.
+  std::uint16_t dead_port = 0;
+  {
+    TcpTransport probe;
+    dead_port = probe.listen("127.0.0.1", 0);
+    probe.shutdown();
+  }
+
+  TcpTransportConfig cfg;
+  cfg.breaker_threshold = 2;
+  cfg.breaker_open = 200ms;
+  TcpTransport client(cfg);
+  client.start();
+  client.add_peer(1, "127.0.0.1", dead_port);
+
+  auto send_one = [&](std::uint64_t id) {
+    Envelope e;
+    e.from = kFirstClientNode;
+    e.to = 1;
+    e.method = kEcho;
+    e.request_id = id;
+    e.payload = pattern_payload(16, 3);
+    return client.send(std::move(e));
+  };
+
+  bool circuit_open = false;
+  for (int i = 0; i < 100 && !circuit_open; ++i) {
+    if (send_one(static_cast<std::uint64_t>(i + 1)) == SendStatus::kCircuitOpen) {
+      circuit_open = true;
+      break;
+    }
+    std::this_thread::sleep_for(20ms);  // let the refused connect register
+  }
+  EXPECT_TRUE(circuit_open) << "circuit never opened against a refusing peer";
+  EXPECT_GE(client.counters().circuit_opens, 1u);
+  EXPECT_GE(client.counters().circuit_fast_fails, 1u);
+
+  // After the open window a single probe is let through (and will fail
+  // again here, re-arming the breaker — but it must not be refused).
+  std::this_thread::sleep_for(cfg.breaker_open + 100ms);
+  EXPECT_EQ(send_one(1000), SendStatus::kAccepted);
+  client.shutdown();
+}
+
+// Seeded partial-write chaos: every flush pass is clamped to a few bytes,
+// splitting each frame across many TCP segments — reassembly must still
+// be bit-exact.
+TEST(TcpTransport, ChaosPartialWritesStayBitExact) {
+  fault::FaultConfig fc;
+  fc.sock_partial_write_p = 1.0;
+  fault::FaultInjector injector(42, fc);
+
+  TcpTransport server_tcp;
+  const std::uint16_t port = server_tcp.listen("127.0.0.1", 0);
+  Bus server_bus(server_tcp);
+  RpcNode echo(server_bus, 1, "echo");
+  echo.handle(kEcho, [](BufferReader& r) {
+    const auto body = r.bytes();
+    BufferWriter w;
+    w.bytes(body);
+    return w.take();
+  });
+  echo.start();
+
+  TcpTransport client_tcp;
+  client_tcp.set_fault_injector(&injector);
+  client_tcp.start();
+  client_tcp.add_peer(1, "127.0.0.1", port);
+  Bus client_bus(client_tcp);
+  RpcNode caller(client_bus, kFirstClientNode, "caller");
+  caller.start();
+
+  BufferWriter w;
+  w.bytes(pattern_payload(2048, 7));
+  const Reply reply = caller.call_sync(1, kEcho, w.take(), 30000ms);
+  ASSERT_TRUE(reply.ok()) << reply.error_text();
+  BufferReader r(reply.payload);
+  EXPECT_EQ(r.bytes(), pattern_payload(2048, 7));
+  EXPECT_GT(injector.stats().sock_partial_writes, 0u);
+  EXPECT_EQ(server_tcp.counters().framing_errors, 0u);
+}
+
+// Seeded reset chaos: connections are torn down with a hard RST mid-
+// stream. Individual calls may fail, but nothing hangs, the stream never
+// misframes, and the client keeps succeeding via reconnects.
+TEST(TcpTransport, ChaosResetsRecoverViaReconnect) {
+  fault::FaultConfig fc;
+  fc.sock_reset_p = 0.05;
+  fault::FaultInjector injector(7, fc);
+
+  TcpTransport server_tcp;
+  const std::uint16_t port = server_tcp.listen("127.0.0.1", 0);
+  Bus server_bus(server_tcp);
+  RpcNode echo(server_bus, 1, "echo");
+  echo.handle(kEcho, [](BufferReader& r) {
+    const auto body = r.bytes();
+    BufferWriter w;
+    w.bytes(body);
+    return w.take();
+  });
+  echo.start();
+
+  TcpTransport client_tcp;
+  client_tcp.set_fault_injector(&injector);
+  client_tcp.start();
+  client_tcp.add_peer(1, "127.0.0.1", port);
+  Bus client_bus(client_tcp);
+  RpcNode caller(client_bus, kFirstClientNode, "caller");
+  caller.start();
+
+  std::size_t ok = 0;
+  for (int i = 0; i < 60; ++i) {
+    BufferWriter w;
+    w.bytes(pattern_payload(4096, static_cast<std::uint8_t>(i)));
+    const Reply reply = caller.call_sync(1, kEcho, w.take(), 1000ms);
+    if (!reply.ok()) continue;
+    BufferReader r(reply.payload);
+    if (r.bytes() == pattern_payload(4096, static_cast<std::uint8_t>(i))) ++ok;
+  }
+  EXPECT_GT(injector.stats().sock_resets, 0u);
+  EXPECT_GE(ok, 20u) << "too few calls survived seeded resets";
+  EXPECT_EQ(client_tcp.counters().framing_errors, 0u);
+  EXPECT_EQ(server_tcp.counters().framing_errors, 0u);
 }
 
 // Shutdown with traffic in flight must not crash, leak, or deadlock.

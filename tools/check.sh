@@ -58,6 +58,9 @@ if [[ "$QUICK" -eq 0 ]]; then
   # Boots real daemons on ephemeral localhost ports, drives the write+read
   # workload through spcache_cli --rpc (bit-exact verification inside), and
   # fails on any nonzero exit or a single framing error on the client side.
+  # Every daemon runs under a hard `timeout` (belt) on top of its own
+  # --max-seconds (suspenders), so a wedged process can never outlive the
+  # stage or leak into the next check run.
   TRANSPORT_DIR="$(mktemp -d)"
   TRANSPORT_PIDS=()
   cleanup_transport() {
@@ -66,11 +69,11 @@ if [[ "$QUICK" -eq 0 ]]; then
     rm -rf "$TRANSPORT_DIR"
   }
   trap cleanup_transport EXIT
-  ./build/tools/spcache_masterd --port 0 --max-seconds 180 \
+  timeout -k 5 180 ./build/tools/spcache_masterd --port 0 --max-seconds 170 \
       > "$TRANSPORT_DIR/master.log" 2>&1 &
   TRANSPORT_PIDS+=($!)
   for n in 1 2 3; do
-    ./build/tools/spcache_serverd --node "$n" --port 0 --max-seconds 180 \
+    timeout -k 5 180 ./build/tools/spcache_serverd --node "$n" --port 0 --max-seconds 170 \
         > "$TRANSPORT_DIR/server$n.log" 2>&1 &
     TRANSPORT_PIDS+=($!)
   done
@@ -80,21 +83,112 @@ if [[ "$QUICK" -eq 0 ]]; then
     [[ -s "$TRANSPORT_DIR/master.log" && -s "$TRANSPORT_DIR/server3.log" ]] && break
     sleep 0.1
   done
-  MASTER_ADDR="$(grep -oE '[0-9.]+:[0-9]+$' "$TRANSPORT_DIR/master.log" | head -1)"
+  MASTER_ADDR="$(grep -oE '[0-9.]+:[0-9]+' "$TRANSPORT_DIR/master.log" | head -1)"
   WORKER_ADDRS="$(for n in 1 2 3; do
-    grep -oE '[0-9.]+:[0-9]+$' "$TRANSPORT_DIR/server$n.log" | head -1
+    grep -oE '[0-9.]+:[0-9]+' "$TRANSPORT_DIR/server$n.log" | head -1
   done | paste -sd,)"
   [[ -n "$MASTER_ADDR" && -n "$WORKER_ADDRS" ]] || {
     echo "transport stage: daemons failed to report their ports" >&2
     cat "$TRANSPORT_DIR"/*.log >&2
     exit 1
   }
-  ./build/tools/spcache_cli --rpc --master "$MASTER_ADDR" --workers "$WORKER_ADDRS" \
-      --files 24 --requests 48 --seed 7 | tee "$TRANSPORT_DIR/cli.log"
+  timeout -k 5 120 ./build/tools/spcache_cli --rpc --master "$MASTER_ADDR" \
+      --workers "$WORKER_ADDRS" --files 24 --requests 48 --seed 7 \
+      | tee "$TRANSPORT_DIR/cli.log"
   grep -q 'mismatches=0 ' "$TRANSPORT_DIR/cli.log"
   grep -q 'transport\.framing_errors=0 ' "$TRANSPORT_DIR/cli.log"
   cleanup_transport
   trap - EXIT
+
+  echo "==> chaos-tcp: seeded socket faults, then a worker killed mid-workload"
+  # The hardened-deployment acceptance scenario. Phase 1 writes + reads the
+  # dataset through seeded socket chaos (partial writes splitting frames
+  # across segments, loop-thread delays) — bit-exact or the stage fails.
+  # Phase 2 re-reads the same dataset (regenerated from the seed via
+  # --read-only) while one spcache_serverd is kill -9'd mid-run: the
+  # masterd's health monitor must detect the death over TCP (missed kPing
+  # beats), restore the lost pieces from its stable tier onto the survivor
+  # via kPutBlock, and publish the repaired layout — every read still
+  # bit-exact, and the master's exit line must report a completed repair.
+  CHAOS_DIR="$(mktemp -d)"
+  CHAOS_PIDS=()
+  cleanup_chaos() {
+    # The tracked PIDs are `timeout` wrappers: SIGKILLing one would orphan
+    # its daemon, so sweep each wrapper's children first.
+    for pid in "${CHAOS_PIDS[@]:-}"; do pkill -9 -P "$pid" 2>/dev/null || true; done
+    for pid in "${CHAOS_PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+    for pid in "${CHAOS_PIDS[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+    rm -rf "$CHAOS_DIR"
+  }
+  trap cleanup_chaos EXIT
+  SERVER_PIDS=()
+  for n in 1 2; do
+    timeout -k 5 180 ./build/tools/spcache_serverd --node "$n" --port 0 --max-seconds 170 \
+        > "$CHAOS_DIR/server$n.log" 2>&1 &
+    SERVER_PIDS+=($!)
+    CHAOS_PIDS+=($!)
+  done
+  for _ in $(seq 50); do
+    [[ -s "$CHAOS_DIR/server1.log" && -s "$CHAOS_DIR/server2.log" ]] && break
+    sleep 0.1
+  done
+  CHAOS_WORKERS="$(for n in 1 2; do
+    grep -oE '[0-9.]+:[0-9]+' "$CHAOS_DIR/server$n.log" | head -1
+  done | paste -sd,)"
+  timeout -k 5 180 ./build/tools/spcache_masterd --port 0 --max-seconds 170 \
+      --workers "$CHAOS_WORKERS" --heartbeat-ms 50 \
+      > "$CHAOS_DIR/master.log" 2>&1 &
+  MASTERD_PID=$!
+  CHAOS_PIDS+=($MASTERD_PID)
+  for _ in $(seq 50); do
+    [[ -s "$CHAOS_DIR/master.log" ]] && break
+    sleep 0.1
+  done
+  CHAOS_MASTER="$(grep -oE '[0-9.]+:[0-9]+' "$CHAOS_DIR/master.log" | head -1)"
+  [[ -n "$CHAOS_MASTER" && -n "$CHAOS_WORKERS" ]] || {
+    echo "chaos-tcp stage: daemons failed to report their ports" >&2
+    cat "$CHAOS_DIR"/*.log >&2
+    exit 1
+  }
+  # Phase 1: the write+read workload through seeded socket faults.
+  timeout -k 5 120 ./build/tools/spcache_cli --rpc --master "$CHAOS_MASTER" \
+      --workers "$CHAOS_WORKERS" --files 16 --requests 32 --seed 11 \
+      --chaos-seed 5 --chaos-partial 0.05 --chaos-delay 0.05 \
+      | tee "$CHAOS_DIR/cli1.log"
+  grep -q 'mismatches=0 ' "$CHAOS_DIR/cli1.log"
+  grep -qE 'chaos\.partial_writes=[1-9]' "$CHAOS_DIR/cli1.log"
+  # Phase 2: read-only re-run in the background; kill -9 worker 2 under it.
+  timeout -k 5 120 ./build/tools/spcache_cli --rpc --master "$CHAOS_MASTER" \
+      --workers "$CHAOS_WORKERS" --files 16 --requests 2000 --seed 11 \
+      --read-only > "$CHAOS_DIR/cli2.log" 2>&1 &
+  CLI2_PID=$!
+  CHAOS_PIDS+=($CLI2_PID)
+  sleep 0.4
+  # kill -9 the serverd itself, not its `timeout` wrapper — a SIGKILLed
+  # wrapper would orphan the daemon alive.
+  SERVERD2_PID="$(pgrep -P "${SERVER_PIDS[1]}" | head -1)"
+  kill -9 "${SERVERD2_PID:-${SERVER_PIDS[1]}}" 2>/dev/null || true
+  wait "$CLI2_PID"
+  grep -q 'mismatches=0 ' "$CHAOS_DIR/cli2.log"
+  # The master must have detected the kill and completed an RPC repair.
+  kill -TERM "$MASTERD_PID" 2>/dev/null || true
+  wait "$MASTERD_PID" 2>/dev/null || true
+  grep -qE 'monitor\.deaths_declared=[1-9]' "$CHAOS_DIR/master.log" || {
+    echo "chaos-tcp stage: master never declared the killed worker dead" >&2
+    cat "$CHAOS_DIR/master.log" >&2
+    exit 1
+  }
+  grep -qE 'monitor\.repairs_completed=[1-9]' "$CHAOS_DIR/master.log" || {
+    echo "chaos-tcp stage: master never completed a repair" >&2
+    cat "$CHAOS_DIR/master.log" >&2
+    exit 1
+  }
+  cleanup_chaos
+  trap - EXIT
+  # The slow-reader/backpressure unit check in the release tree (the whole
+  # test_rpc_tcp suite runs again under TSan below).
+  timeout -k 5 120 ./build/tests/test_rpc_tcp \
+      --gtest_filter='TcpTransport.SlowReaderHitsWatermarkAndFailsFast'
 fi
 
 echo "==> ThreadSanitizer: configure + build"

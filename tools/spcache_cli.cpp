@@ -41,11 +41,22 @@
 //   --files/--size-mb/--zipf/--seed shape the dataset ([--size-mb 0.25]
 //                      in this mode); --requests is the read count
 //                      [2 x files]
+//   --read-only        skip the write pass: regenerate the expected bytes
+//                      from --seed and only read (the dataset must have
+//                      been written by an earlier run with the same
+//                      --files/--size-mb/--seed)
+//   --rpc-timeout-ms T per-RPC timeout / propagated deadline  [1000]
+//   --chaos-seed S     arm seeded socket chaos on this client's transport
+//   --chaos-partial P  per-flush partial-write probability    [0]
+//   --chaos-reset P    per-flush connection-reset probability [0]
+//   --chaos-delay P    per-flush loop-stall probability       [0]
 //
-// Writes every file through PUT + REGISTER, reads them back over the
-// sockets, and verifies each file bit-exact (whole-file CRC plus byte
-// compare). Exits nonzero on any mismatch or if transport.framing_errors
-// is nonzero; the final stdout line reports the transport counters.
+// Writes every file through PUT + REGISTER (checkpointing each to the
+// master's stable tier), reads them back over the sockets, and verifies
+// each file bit-exact (whole-file CRC plus byte compare). Exits nonzero on
+// any mismatch or if transport.framing_errors is nonzero; the final stdout
+// line reports the transport counters (including backpressure/circuit
+// state) and, with chaos armed, the fired-fault counts.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -54,6 +65,7 @@
 
 #include "common/table.h"
 #include "core/ec_cache.h"
+#include "fault/fault_injector.h"
 #include "core/fixed_chunking.h"
 #include "core/hash_placement.h"
 #include "core/selective_replication.h"
@@ -98,6 +110,13 @@ struct Options {
   std::vector<std::string> worker_addrs;
   bool size_set = false;      // was --size-mb given explicitly?
   bool requests_set = false;  // was --requests given explicitly?
+  bool read_only = false;
+  std::size_t rpc_timeout_ms = 1000;
+  // Seeded socket chaos (armed when any probability is nonzero).
+  std::uint64_t chaos_seed = 1;
+  double chaos_partial = 0.0;
+  double chaos_reset = 0.0;
+  double chaos_delay = 0.0;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -169,6 +188,20 @@ Options parse(int argc, char** argv) {
       o.csv = true;
     } else if (flag == "--rpc") {
       o.rpc = true;
+    } else if (flag == "--read-only") {
+      o.read_only = true;
+    } else if (flag == "--rpc-timeout-ms") {
+      unum(o.rpc_timeout_ms);
+    } else if (flag == "--chaos-seed") {
+      std::size_t s = 0;
+      unum(s);
+      o.chaos_seed = s;
+    } else if (flag == "--chaos-partial") {
+      num(o.chaos_partial);
+    } else if (flag == "--chaos-reset") {
+      num(o.chaos_reset);
+    } else if (flag == "--chaos-delay") {
+      num(o.chaos_delay);
     } else if (flag == "--master") {
       o.master_addr = need_value(i);
       ++i;
@@ -214,6 +247,16 @@ int run_rpc(const Options& o) {
   using namespace spcache::rpc;
 
   TcpTransport transport;
+  // Seeded socket chaos on this client's half of every connection. The
+  // schedule is a pure function of (seed, site, decision index), so a
+  // failing run replays from the command line alone.
+  const bool chaos = o.chaos_partial > 0.0 || o.chaos_reset > 0.0 || o.chaos_delay > 0.0;
+  fault::FaultConfig chaos_cfg;
+  chaos_cfg.sock_partial_write_p = o.chaos_partial;
+  chaos_cfg.sock_reset_p = o.chaos_reset;
+  chaos_cfg.sock_delay_p = o.chaos_delay;
+  fault::FaultInjector injector(o.chaos_seed, chaos_cfg);
+  if (chaos) transport.set_fault_injector(&injector);
   transport.start();
   const auto [master_host, master_port] = parse_addr(o.master_addr);
   transport.add_peer(kMasterNode, master_host, master_port);
@@ -228,7 +271,9 @@ int run_rpc(const Options& o) {
   Bus bus(transport);
   obs::MetricsRegistry registry;
   bus.attach_observability(&registry);
-  RpcSpClient client(bus, kFirstClientNode, kMasterNode, worker_nodes);
+  RpcSpClient client(bus, kFirstClientNode, kMasterNode, worker_nodes,
+                     fault::RetryPolicy{},
+                     std::chrono::milliseconds(o.rpc_timeout_ms));
   client.attach_observability(&registry);
 
   // Algorithm 1 decides each file's partition across the real workers.
@@ -254,11 +299,17 @@ int run_rpc(const Options& o) {
       x ^= x << 17;
       originals[f][i] = static_cast<std::uint8_t>(x);
     }
-    client.write(f, originals[f], scheme.placement(f).servers);
+    if (!o.read_only) client.write(f, originals[f], scheme.placement(f).servers);
   }
-  std::cout << "wrote " << o.files << " files ("
-            << static_cast<double>(catalog.total_bytes()) / static_cast<double>(kMB)
-            << " MB) across " << worker_nodes.size() << " workers\n";
+  if (o.read_only) {
+    std::cout << "read-only: expecting " << o.files << " files ("
+              << static_cast<double>(catalog.total_bytes()) / static_cast<double>(kMB)
+              << " MB) written by an earlier run with seed " << o.seed << "\n";
+  } else {
+    std::cout << "wrote " << o.files << " files ("
+              << static_cast<double>(catalog.total_bytes()) / static_cast<double>(kMB)
+              << " MB) across " << worker_nodes.size() << " workers\n";
+  }
 
   // Read pass: every file at least once, wrapping until the request budget
   // is spent. read() CRC-verifies; the byte compare makes bit-exactness
@@ -285,7 +336,18 @@ int run_rpc(const Options& o) {
             << " transport.reconnects=" << c.reconnects
             << " transport.framing_errors=" << c.framing_errors
             << " transport.bytes_tx=" << c.bytes_tx << " transport.bytes_rx=" << c.bytes_rx
-            << " transport.frames_dropped=" << c.frames_dropped << std::endl;
+            << " transport.frames_dropped=" << c.frames_dropped
+            << " transport.backpressure_events=" << c.backpressure_events
+            << " transport.backpressure_rejects=" << c.backpressure_rejects
+            << " transport.backpressure_drops=" << c.backpressure_drops
+            << " transport.wqueue_peak=" << c.wqueue_peak
+            << " transport.circuit_opens=" << c.circuit_opens;
+  if (chaos) {
+    const auto fs = injector.stats();
+    std::cout << " chaos.partial_writes=" << fs.sock_partial_writes
+              << " chaos.resets=" << fs.sock_resets << " chaos.delays=" << fs.sock_delays;
+  }
+  std::cout << std::endl;
   if (mismatches > 0 || c.framing_errors > 0) return 1;
   return 0;
 }

@@ -16,7 +16,6 @@
 //   --port P            listen port, 0 = ephemeral       [0]
 //   --bandwidth-gbps B  modelled link speed              [1.0]
 //   --max-seconds S     auto-exit after S seconds, 0 = run forever  [0]
-#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -33,8 +32,24 @@ using namespace spcache::rpc;
 
 namespace {
 
-std::atomic<bool> g_stop{false};
-void on_signal(int) { g_stop.store(true); }
+// Signal handlers may only touch lock-free sig_atomic_t state; teardown
+// happens on the main thread once the flag is observed.
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupted syscalls return EINTR and
+                    // their call sites retry, so shutdown stays prompt
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  struct sigaction ign = {};
+  ign.sa_handler = SIG_IGN;
+  sigemptyset(&ign.sa_mask);
+  sigaction(SIGPIPE, &ign, nullptr);
+}
 
 }  // namespace
 
@@ -77,9 +92,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
-  std::signal(SIGPIPE, SIG_IGN);
+  install_signal_handlers();
 
   TcpTransport transport;
   const std::uint16_t bound = transport.listen(host, port);
@@ -94,7 +107,7 @@ int main(int argc, char** argv) {
             << std::endl;
 
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(max_seconds);
-  while (!g_stop.load()) {
+  while (g_stop == 0) {
     if (max_seconds > 0 && std::chrono::steady_clock::now() >= deadline) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
