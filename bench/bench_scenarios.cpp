@@ -1,0 +1,196 @@
+// Adversarial scenario suite: closed-loop alpha adaptation vs frozen alpha.
+//
+// Runs every scripted scenario (diurnal drift, flash crowd, correlated
+// rack loss, multi-tenant interference) twice through the ScenarioDriver:
+// once with the AlphaController closing the observe -> decide -> act loop
+// online, once with alpha frozen at the offline Algorithm 1 value — the
+// "yesterday's re-balance" control arm. Per phase it reports the Eq. 15
+// load imbalance over the phase's served-bytes delta, modelled latency
+// percentiles, degradation/retry counts, and the controller's activity.
+//
+// Output: console table + BENCH_scenarios.json (one row per
+// scenario x phase x arm, plus a "worst" summary row per scenario x arm).
+//
+// `--smoke` shrinks every phase for CI runtimes and turns the report into
+// a gate for tools/check.sh's scenario stage:
+//   * zero read failures and zero bit-exactness mismatches in both arms;
+//   * with the adaptive controller, every phase's eta stays under
+//     kEtaGate — including the phases scripted to wreck the layout;
+//   * modelled p99 stays under kP99GateMs in every adaptive phase, even
+//     the rack-loss window where reads fail over to stable storage;
+//   * across the whole suite, the adaptive arm's worst-phase eta beats
+//     the frozen arm's worst-phase eta — the closed loop must pay for
+//     itself exactly where the frozen layout is worst.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "scenario/driver.h"
+#include "scenario/script.h"
+
+namespace spcache::bench {
+namespace {
+
+constexpr std::size_t kScenarioServers = 10;
+constexpr std::size_t kSmokeRequests = 280;
+
+// Smoke gates, tuned against the deterministic smoke-size runs (the
+// scripts are seeded, so these are replay-stable, with headroom for the
+// grid granularity of Algorithm 1's 1.5x alpha steps).
+constexpr double kEtaGate = 2.0;
+constexpr double kP99GateMs = 25.0;
+
+scenario::ScenarioScript shrink(scenario::ScenarioScript script, std::size_t requests) {
+  for (auto& phase : script.phases) {
+    phase.requests = requests;
+    if (phase.kill_hot_holders) {
+      phase.kill_at = requests / 8;
+      phase.repair_at = requests / 2;
+    }
+  }
+  return script;
+}
+
+scenario::ScenarioReport run_arm(const scenario::ScenarioScript& script, bool adaptive) {
+  scenario::ScenarioDriverConfig config;
+  config.n_servers = kScenarioServers;
+  config.threads = 1;  // deterministic: the gates replay exactly
+  config.adaptive = adaptive;
+  scenario::ScenarioDriver driver(script, config);
+  return driver.run(nullptr, nullptr);
+}
+
+JsonRow phase_row(const scenario::ScenarioReport& report, const scenario::PhaseReport& phase) {
+  JsonRow row{text_field("scenario", report.scenario),
+              text_field("phase", phase.name),
+              {"adaptive", report.adaptive ? 1.0 : 0.0},
+              {"requests", static_cast<double>(phase.requests)},
+              {"failures", static_cast<double>(phase.failures)},
+              {"mismatches", static_cast<double>(phase.mismatches)},
+              {"eta", phase.eta},
+              {"p50_ms", phase.p50_ms},
+              {"p99_ms", phase.p99_ms},
+              {"retries", static_cast<double>(phase.retries)},
+              {"degraded_reads", static_cast<double>(phase.degraded_reads)},
+              {"triggers", static_cast<double>(phase.triggers)},
+              {"adaptations", static_cast<double>(phase.adaptations)},
+              {"splits", static_cast<double>(phase.splits)},
+              {"merges", static_cast<double>(phase.merges)},
+              {"bytes_moved", static_cast<double>(phase.bytes_moved)},
+              {"alpha_end", phase.alpha_end},
+              {"kills", static_cast<double>(phase.kills)},
+              {"repairs", static_cast<double>(phase.repairs)},
+              {"hot_partitions_start", static_cast<double>(phase.hot_partitions_start)},
+              {"hot_partitions_end", static_cast<double>(phase.hot_partitions_end)}};
+  return row;
+}
+
+}  // namespace
+}  // namespace spcache::bench
+
+int main(int argc, char** argv) {
+  using namespace spcache;
+  using namespace spcache::bench;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  print_experiment_header(
+      std::cout, "Adversarial scenarios",
+      "Scripted adversarial workloads (diurnal drift, flash crowd, correlated "
+      "rack loss, multi-tenant interference) with the online AlphaController "
+      "closing the loop vs alpha frozen at the offline Algorithm 1 value "
+      "(10 servers, 1 Gbps links, deterministic seeds).");
+
+  auto scripts = scenario::all_scenarios(kScenarioServers);
+  if (smoke) {
+    for (auto& script : scripts) script = shrink(std::move(script), kSmokeRequests);
+  }
+
+  Table table({"scenario", "phase", "arm", "eta", "p50_ms", "p99_ms", "degraded", "retries",
+               "splits", "adapts", "hot_parts", "alpha_end"});
+  std::vector<JsonRow> rows;
+  std::vector<std::string> violations;
+  double adaptive_worst_eta = 0.0;
+  double frozen_worst_eta = 0.0;
+
+  for (const auto& script : scripts) {
+    const auto adaptive = run_arm(script, true);
+    const auto frozen = run_arm(script, false);
+    for (const auto* report : {&adaptive, &frozen}) {
+      const char* arm = report->adaptive ? "adaptive" : "frozen";
+      for (const auto& phase : report->phases) {
+        table.add_row({report->scenario, phase.name, std::string(arm), phase.eta, phase.p50_ms,
+                       phase.p99_ms, static_cast<double>(phase.degraded_reads),
+                       static_cast<double>(phase.retries), static_cast<double>(phase.splits),
+                       static_cast<double>(phase.adaptations),
+                       static_cast<double>(phase.hot_partitions_end), phase.alpha_end});
+        rows.push_back(phase_row(*report, phase));
+      }
+      JsonRow worst{text_field("scenario", report->scenario), text_field("phase", "worst"),
+                    {"adaptive", report->adaptive ? 1.0 : 0.0},
+                    {"eta", report->worst_eta()},
+                    {"p99_ms", report->worst_p99_ms()},
+                    {"failures", static_cast<double>(report->total_failures())},
+                    {"mismatches", static_cast<double>(report->total_mismatches())}};
+      rows.push_back(std::move(worst));
+    }
+
+    adaptive_worst_eta = std::max(adaptive_worst_eta, adaptive.worst_eta());
+    frozen_worst_eta = std::max(frozen_worst_eta, frozen.worst_eta());
+
+    // Invariants gated in smoke mode (reported in full mode too).
+    for (const auto* report : {&adaptive, &frozen}) {
+      const char* arm = report->adaptive ? "adaptive" : "frozen";
+      if (report->total_failures() != 0) {
+        violations.push_back(report->scenario + "/" + arm + ": " +
+                             std::to_string(report->total_failures()) + " read failures");
+      }
+      if (report->total_mismatches() != 0) {
+        violations.push_back(report->scenario + "/" + arm + ": " +
+                             std::to_string(report->total_mismatches()) + " byte mismatches");
+      }
+    }
+    for (const auto& phase : adaptive.phases) {
+      if (phase.eta > kEtaGate) {
+        violations.push_back(adaptive.scenario + "/" + phase.name + ": adaptive eta " +
+                             std::to_string(phase.eta) + " > gate " + std::to_string(kEtaGate));
+      }
+      if (phase.p99_ms > kP99GateMs) {
+        violations.push_back(adaptive.scenario + "/" + phase.name + ": adaptive p99 " +
+                             std::to_string(phase.p99_ms) + " ms > gate " +
+                             std::to_string(kP99GateMs) + " ms");
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nworst-phase eta across the suite: adaptive " << adaptive_worst_eta
+            << " vs frozen " << frozen_worst_eta << "\n";
+  if (!(adaptive_worst_eta < frozen_worst_eta)) {
+    violations.push_back("adaptive worst-phase eta " + std::to_string(adaptive_worst_eta) +
+                         " does not beat frozen " + std::to_string(frozen_worst_eta));
+  }
+
+  const auto path = write_json_report("scenarios", rows);
+  std::cout << "wrote " << path << "\n";
+
+  if (smoke) {
+    if (!violations.empty()) {
+      std::cout << "\nSMOKE GATE FAILURES:\n";
+      for (const auto& v : violations) std::cout << "  " << v << "\n";
+      return 1;
+    }
+    std::cout << "smoke gates passed: eta <= " << kEtaGate << " and p99 <= " << kP99GateMs
+              << " ms in every adaptive phase; adaptive beats frozen on worst-phase eta\n";
+  } else if (!violations.empty()) {
+    std::cout << "\nnote (not gated outside --smoke):\n";
+    for (const auto& v : violations) std::cout << "  " << v << "\n";
+  }
+  return 0;
+}

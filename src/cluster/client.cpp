@@ -273,6 +273,14 @@ IoResult SpClient::read(FileId id) {
     }
     if (read_pass(id, *meta, pass, op, result, error)) {
       result.layout_cached = from_cache;
+      if (result.degraded && cache_config_.layout_cache) {
+        // A degraded success means this layout references pieces that are
+        // gone. Drop it so the next read re-LOOKUPs and picks up a
+        // repair's re-placement, instead of replaying the stale layout
+        // and paying the stable-store failover on every read forever.
+        layout_cache_.invalidate(id);
+        if (probes) probes->layout_invalidations->add(1);
+      }
       if (probes) {
         const double wall = elapsed_seconds(start);
         probes->reads->add(1);

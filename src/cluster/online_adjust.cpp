@@ -19,7 +19,14 @@ std::size_t target_partitions(double alpha, double load, std::size_t n_servers) 
 
 OnlineAdjustPlan plan_online_adjust(const Catalog& live_catalog, const Master& master,
                                     std::size_t n_servers, const OnlineAdjustConfig& config) {
-  assert(config.alpha > 0.0);
+  if (!(config.alpha > 0.0)) {
+    // The default-constructed config has alpha = 0, under which every
+    // target_k degenerates to 1 and the plan silently merges the whole
+    // cluster down to unpartitioned files. Refuse loudly instead.
+    throw std::invalid_argument(
+        "plan_online_adjust: config.alpha must be > 0 (supply Algorithm 1's "
+        "scale factor; the default 0.0 disables Eq. 1 targeting)");
+  }
   OnlineAdjustPlan plan;
 
   // Current per-server piece counts, for least-loaded split targets.

@@ -30,7 +30,11 @@
 namespace spcache {
 
 struct OnlineAdjustConfig {
-  double alpha = 0.0;            // current scale factor (from Algorithm 1)
+  // Current scale factor (from Algorithm 1 / the online AlphaController).
+  // MANDATORY: plan_online_adjust throws std::invalid_argument if left at
+  // the default 0.0, which would silently disable Eq. 1 targeting and
+  // merge every file down to one partition.
+  double alpha = 0.0;
   double split_factor = 2.0;     // split when target_k >= factor * current_k
   double merge_factor = 0.5;     // merge when target_k <= factor * current_k
   std::size_t max_ops_per_file = 8;  // gradual adjustment per invocation

@@ -118,4 +118,79 @@ ScaleFactorResult find_scale_factor(const Catalog& catalog, const std::vector<do
   return result;
 }
 
+ScaleFactorResult refine_scale_factor(const Catalog& catalog,
+                                      const std::vector<double>& bandwidth,
+                                      const ScaleFactorConfig& config,
+                                      std::uint64_t placement_seed, double warm_alpha) {
+  assert(!catalog.empty() && !bandwidth.empty());
+  const std::size_t n_servers = bandwidth.size();
+  const double max_load = catalog.max_load();
+  assert(max_load > 0.0);
+  const double alpha1 = static_cast<double>(n_servers) * config.initial_fraction / max_load;
+
+  ScaleFactorResult result;
+  const double log_step = std::log(config.inflation);
+  // Snap the warm start onto the canonical grid (j >= 0 keeps the hottest
+  // file at no fewer partitions than the from-scratch seed point).
+  long j0 = 0;
+  if (warm_alpha > 0.0 && alpha1 > 0.0) {
+    j0 = std::lround(std::log(warm_alpha / alpha1) / log_step);
+    if (j0 < 0) j0 = 0;
+  }
+  const auto grid = [&](long j) { return alpha1 * std::pow(config.inflation, j); };
+
+  double best_alpha = grid(j0);
+  double best_bound = std::numeric_limits<double>::infinity();
+  std::size_t evals = 0;
+  const auto eval = [&](long j) {
+    const double alpha = grid(j);
+    const double bound =
+        latency_bound_for_alpha(catalog, bandwidth, alpha, config, placement_seed);
+    result.history.emplace_back(alpha, bound);
+    ++evals;
+    if (bound < best_bound * (1.0 - config.improvement_threshold)) {
+      best_bound = bound;
+      best_alpha = alpha;
+      return std::pair<double, bool>{bound, true};  // improved
+    }
+    return std::pair<double, bool>{bound, false};
+  };
+
+  // Upward leg (covers the start point), mirroring the from-scratch walk's
+  // stopping rules: patience over consecutive finite non-improvements,
+  // divergence cutoff, and the all-files-saturated cut. An infinite bound
+  // (overloaded server at this alpha) neither improves nor counts against
+  // patience — keep inflating until the system is stable.
+  std::size_t stale = 0;
+  for (long j = j0; evals < config.max_iterations; ++j) {
+    const auto [bound, improved] = eval(j);
+    if (!improved && std::isfinite(bound) && std::isfinite(best_bound)) {
+      ++stale;
+      if (stale >= config.patience || bound > best_bound * config.divergence_factor) break;
+    } else if (improved) {
+      stale = 0;
+    }
+    const auto k = partition_counts_for_alpha(catalog, grid(j), n_servers);
+    if (std::all_of(k.begin(), k.end(), [&](std::size_t ki) { return ki == n_servers; })) break;
+  }
+  // Downward leg back toward j = 0. An infinite bound here means a server
+  // is overloaded at this alpha, and still-smaller alphas only overload it
+  // further — the leg stops immediately.
+  stale = 0;
+  for (long j = j0 - 1; j >= 0 && evals < config.max_iterations; --j) {
+    const auto [bound, improved] = eval(j);
+    if (!std::isfinite(bound)) break;
+    if (!improved) {
+      ++stale;
+      if (stale >= config.patience || bound > best_bound * config.divergence_factor) break;
+    }
+  }
+
+  result.alpha = best_alpha;
+  result.bound = best_bound;
+  result.iterations = evals;
+  result.partition_counts = partition_counts_for_alpha(catalog, result.alpha, n_servers);
+  return result;
+}
+
 }  // namespace spcache

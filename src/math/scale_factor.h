@@ -99,4 +99,25 @@ double latency_bound_for_alpha(const Catalog& catalog, const std::vector<double>
 ScaleFactorResult find_scale_factor(const Catalog& catalog, const std::vector<double>& bandwidth,
                                     const ScaleFactorConfig& config, Rng& rng);
 
+// Warm-started (incremental) Algorithm 1, for the online controller that
+// re-runs the search whenever observed imbalance crosses a threshold.
+//
+// The search walks the SAME geometric alpha grid as `find_scale_factor`
+// — alpha^1 * inflation^j with alpha^1 = (N * initial_fraction) / max_i
+// (P_i S_i), recomputed from the live catalog — but starts at the grid
+// point nearest `warm_alpha` (the previous epoch's elbow) instead of j = 0,
+// then hill-walks outward in both directions with the same improvement
+// threshold / patience / divergence rules. When the popularity shift is
+// modest the previous elbow is near the new one and the walk touches a
+// handful of grid points instead of the full exponential sweep; the
+// returned elbow matches a from-scratch run on the same catalog and
+// placement seed (the alpha-controller property test pins this within one
+// grid step). `placement_seed` must be held fixed across re-runs so bounds
+// at different epochs are comparable (find_scale_factor draws it from its
+// Rng once; the controller stores it).
+ScaleFactorResult refine_scale_factor(const Catalog& catalog,
+                                      const std::vector<double>& bandwidth,
+                                      const ScaleFactorConfig& config,
+                                      std::uint64_t placement_seed, double warm_alpha);
+
 }  // namespace spcache

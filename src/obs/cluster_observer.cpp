@@ -7,6 +7,39 @@
 
 namespace spcache::obs {
 
+double load_eta(const std::vector<double>& loads) {
+  if (loads.empty()) return 0.0;
+  double max = 0.0;
+  double total = 0.0;
+  for (const double load : loads) {
+    max = std::max(max, load);
+    total += load;
+  }
+  const double mean = total / static_cast<double>(loads.size());
+  if (mean <= 0.0) return 0.0;
+  return (max - mean) / mean;
+}
+
+double ImbalanceWindow::update(const std::vector<double>& cumulative_loads) {
+  if (previous_.size() != cumulative_loads.size()) {
+    // First call (or the cluster was resized): establish the baseline.
+    previous_ = cumulative_loads;
+    last_window_.clear();
+    last_eta_ = 0.0;
+    return 0.0;
+  }
+  last_window_.resize(cumulative_loads.size());
+  for (std::size_t i = 0; i < cumulative_loads.size(); ++i) {
+    // Counters are monotone; clamp anyway so a reset can't produce a
+    // negative load.
+    last_window_[i] = std::max(0.0, cumulative_loads[i] - previous_[i]);
+  }
+  previous_ = cumulative_loads;
+  last_eta_ = load_eta(last_window_);
+  ++windows_;
+  return last_eta_;
+}
+
 ClusterStats ClusterObserver::collect(const std::vector<double>& server_loads) const {
   const auto snap = registry_.snapshot();
   ClusterStats stats;
@@ -20,7 +53,7 @@ ClusterStats ClusterObserver::collect(const std::vector<double>& server_loads) c
   }
   if (stats.load_mean > 0.0) {
     stats.load_imbalance = stats.load_max / stats.load_mean;
-    stats.load_eta = (stats.load_max - stats.load_mean) / stats.load_mean;
+    stats.load_eta = load_eta(server_loads);
   }
 
   if (const auto* hist = snap.histogram_named(names::kClientReadLatency)) {

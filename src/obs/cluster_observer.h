@@ -25,6 +25,39 @@
 
 namespace spcache::obs {
 
+// Eq. 15 load imbalance over a load vector: (max - mean) / mean, or 0 when
+// the vector is empty or all-zero. The single definition shared by
+// ClusterObserver::collect, the ImbalanceWindow trigger, and the benches.
+double load_eta(const std::vector<double>& loads);
+
+// Windowed Eq. 15 imbalance over *cumulative* per-server loads
+// (Cluster::served_bytes() grows monotonically). Each update() takes the
+// current cumulative vector, differences it against the previous call's,
+// and returns eta of the delta — the imbalance of the traffic since the
+// last observation, not since process start. This is what the online
+// alpha controller triggers on: a flash crowd must be visible in the
+// *recent* window even when hours of balanced history dominate the
+// cumulative totals.
+class ImbalanceWindow {
+ public:
+  // Eta of the window since the previous update (0.0 on the first call,
+  // which only establishes the baseline).
+  double update(const std::vector<double>& cumulative_loads);
+
+  double last_eta() const { return last_eta_; }
+  std::uint64_t windows() const { return windows_; }
+  // Per-server load delta of the most recent window (empty before the
+  // second update). The controller hands this to Algorithm 1 as the
+  // observed traffic it must rebalance.
+  const std::vector<double>& last_window() const { return last_window_; }
+
+ private:
+  std::vector<double> previous_;
+  std::vector<double> last_window_;
+  double last_eta_ = 0.0;
+  std::uint64_t windows_ = 0;
+};
+
 struct ClusterStats {
   // Load distribution (bytes served per server since the last reset).
   std::vector<double> server_loads;

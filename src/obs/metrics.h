@@ -199,6 +199,26 @@ inline constexpr std::string_view kRecoveryRepairTime = "recovery.repair_model_s
 inline constexpr std::string_view kRepartitionBytesMoved = "repartition.bytes_moved";
 inline constexpr std::string_view kRepartitionBytesSaved = "repartition.bytes_saved";
 inline constexpr std::string_view kRepartitionCutover = "repartition.cutover_us";
+// Online alpha controller (cluster/alpha_controller.h): the closed
+// observe->decide->act loop. triggers = windowed eta crossed the
+// threshold; adaptations = re-runs of Algorithm 1 whose new alpha was
+// acted on; skipped_* = triggers suppressed by hysteresis (cooldown
+// window, or new alpha within the deadband of the current one). The
+// gauges export the controller's current alpha (x1e6, gauges are
+// integral) and the last windowed eta (x1e6).
+inline constexpr std::string_view kControllerTriggers = "controller.triggers";
+inline constexpr std::string_view kControllerAdaptations = "controller.adaptations";
+inline constexpr std::string_view kControllerSkippedCooldown =
+    "controller.skipped_cooldown";
+inline constexpr std::string_view kControllerSkippedDeadband =
+    "controller.skipped_deadband";
+inline constexpr std::string_view kControllerSplits = "controller.splits";
+inline constexpr std::string_view kControllerMerges = "controller.merges";
+inline constexpr std::string_view kControllerBytesMoved = "controller.bytes_moved";
+inline constexpr std::string_view kControllerSearchIterations =
+    "controller.search_iterations";
+inline constexpr std::string_view kControllerAlphaMicro = "controller.alpha_x1e6";
+inline constexpr std::string_view kControllerEtaMicro = "controller.eta_x1e6";
 // Per-server leaf names (full name: server.<id>.<leaf>).
 inline constexpr std::string_view kServerGets = "gets";
 inline constexpr std::string_view kServerMisses = "misses";

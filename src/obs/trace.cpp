@@ -24,6 +24,9 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kBusDrop: return "bus_drop";
     case TraceKind::kBusDelay: return "bus_delay";
     case TraceKind::kBusDuplicate: return "bus_duplicate";
+    case TraceKind::kAlphaTrigger: return "alpha_trigger";
+    case TraceKind::kAlphaAdapted: return "alpha_adapted";
+    case TraceKind::kScenarioPhase: return "scenario_phase";
   }
   return "unknown";
 }

@@ -49,6 +49,12 @@ enum class TraceKind : std::uint8_t {
   kBusDrop,          // (no op context)
   kBusDelay,
   kBusDuplicate,
+  // Online alpha controller (cluster/alpha_controller.h): the observed
+  // window imbalance crossed the trigger, and the adaptation it produced.
+  kAlphaTrigger,     // value = windowed Eq. 15 eta
+  kAlphaAdapted,     // value = new alpha (post-refine)
+  // Scenario driver (scenario/driver.h): phase boundary marker.
+  kScenarioPhase,    // file = phase index, value = requests in the phase
 };
 
 const char* trace_kind_name(TraceKind kind);

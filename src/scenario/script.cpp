@@ -1,0 +1,171 @@
+#include "scenario/script.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace spcache::scenario {
+
+Catalog phase_catalog(const ScenarioScript& script, const PhaseSpec& spec) {
+  const std::size_t n = script.n_files;
+  assert(n > 0);
+
+  // Tenant A: Zipf(s) over rank (i + rotate) % n.
+  std::vector<double> weights(n, 0.0);
+  double sum_a = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t rank = (i + spec.rotate_ranks) % n;
+    weights[i] = std::pow(static_cast<double>(rank + 1), -spec.zipf_exponent);
+    sum_a += weights[i];
+  }
+  for (double& w : weights) w /= sum_a;
+
+  // Tenant B: Zipf over the reversed id order, blended in by share.
+  if (spec.tenant_b_share > 0.0) {
+    std::vector<double> b(n, 0.0);
+    double sum_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      b[i] = std::pow(static_cast<double>(n - i), -spec.tenant_b_exponent);
+      sum_b += b[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = (1.0 - spec.tenant_b_share) * weights[i] +
+                   spec.tenant_b_share * (b[i] / sum_b);
+    }
+  }
+
+  // Flash crowd last: the flash file takes its share outright, the rest
+  // keep their relative proportions in what remains.
+  if (spec.has_flash && spec.flash_file < n) {
+    for (double& w : weights) w *= (1.0 - spec.flash_share);
+    weights[spec.flash_file] += spec.flash_share;
+  }
+
+  std::vector<FileInfo> files(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    files[i].id = static_cast<FileId>(i);
+    files[i].size = script.file_size;
+    files[i].request_rate = weights[i] * spec.total_rate;
+  }
+  return Catalog(std::move(files));
+}
+
+FileId phase_hot_file(const ScenarioScript& script, const PhaseSpec& spec) {
+  if (spec.has_flash && spec.flash_file < script.n_files) return spec.flash_file;
+  const Catalog catalog = phase_catalog(script, spec);
+  FileId hot = 0;
+  for (FileId i = 1; i < catalog.size(); ++i) {
+    if (catalog.file(i).request_rate > catalog.file(hot).request_rate) hot = i;
+  }
+  return hot;
+}
+
+ScenarioScript make_drift_scenario() {
+  ScenarioScript s;
+  s.name = "drift";
+  s.seed = 101;
+  // Four "times of day": the popularity ranks rotate a quarter turn each
+  // phase, so every phase's hottest files were mid-pack in the last one.
+  const char* names[] = {"night", "morning", "midday", "evening"};
+  for (std::size_t p = 0; p < 4; ++p) {
+    PhaseSpec phase;
+    phase.name = names[p];
+    phase.requests = 400;
+    phase.rotate_ranks = p * (s.n_files / 4);
+    s.phases.push_back(phase);
+  }
+  return s;
+}
+
+ScenarioScript make_flash_crowd_scenario() {
+  ScenarioScript s;
+  s.name = "flash";
+  s.seed = 202;
+  const FileId cold = static_cast<FileId>(s.n_files - 1);
+  PhaseSpec steady;
+  steady.name = "steady";
+  steady.requests = 300;
+  s.phases.push_back(steady);
+
+  PhaseSpec flash;
+  flash.name = "flash";
+  flash.requests = 500;
+  flash.has_flash = true;
+  flash.flash_file = cold;   // the coldest file goes viral
+  flash.flash_share = 0.6;
+  flash.arrivals = ArrivalKind::kMmpp;  // viral traffic arrives in bursts
+  flash.mmpp.calm_rate = 30.0;
+  flash.mmpp.burst_rate = 150.0;
+  flash.mmpp.mean_calm_time = 4.0;
+  flash.mmpp.mean_burst_time = 1.0;
+  s.phases.push_back(flash);
+
+  PhaseSpec decay;
+  decay.name = "decay";
+  decay.requests = 300;
+  decay.has_flash = true;
+  decay.flash_file = cold;
+  decay.flash_share = 0.15;  // the crowd thins but does not vanish
+  s.phases.push_back(decay);
+  return s;
+}
+
+ScenarioScript make_correlated_failure_scenario(std::size_t n_servers) {
+  (void)n_servers;  // the driver resolves ceil(N/3) against its cluster
+  ScenarioScript s;
+  s.name = "correlated-failure";
+  s.seed = 303;
+  PhaseSpec steady;
+  steady.name = "steady";
+  steady.requests = 300;
+  s.phases.push_back(steady);
+
+  // A rack loss under straggler pressure: ceil(N/3) of the hot file's
+  // holders die at request 60; repair runs at request 240 while traffic
+  // continues; every read in between must degrade to stable bit-exactly.
+  PhaseSpec failure;
+  failure.name = "rack-loss";
+  failure.requests = 500;
+  failure.straggler_p = 0.05;
+  failure.kill_hot_holders = true;
+  failure.kill_at = 60;
+  failure.repair_at = 240;
+  s.phases.push_back(failure);
+
+  PhaseSpec recovered;
+  recovered.name = "recovered";
+  recovered.requests = 300;
+  s.phases.push_back(recovered);
+  return s;
+}
+
+ScenarioScript make_multi_tenant_scenario() {
+  ScenarioScript s;
+  s.name = "multi-tenant";
+  s.seed = 404;
+  PhaseSpec solo;
+  solo.name = "tenant-a";
+  solo.requests = 300;
+  s.phases.push_back(solo);
+
+  PhaseSpec contention;
+  contention.name = "contention";
+  contention.requests = 400;
+  contention.tenant_b_share = 0.5;  // B's hot files are A's cold files
+  s.phases.push_back(contention);
+
+  PhaseSpec flipped;
+  flipped.name = "b-dominates";
+  flipped.requests = 400;
+  flipped.tenant_b_share = 0.85;
+  flipped.tenant_b_exponent = 1.3;  // and B is more skewed than A
+  s.phases.push_back(flipped);
+  return s;
+}
+
+std::vector<ScenarioScript> all_scenarios(std::size_t n_servers) {
+  return {make_drift_scenario(), make_flash_crowd_scenario(),
+          make_correlated_failure_scenario(n_servers), make_multi_tenant_scenario()};
+}
+
+}  // namespace spcache::scenario

@@ -1,0 +1,112 @@
+// Adversarial scenario scripts: deterministic, phased workload
+// descriptions the driver replays against the threaded cluster.
+//
+// Production traffic breaks the benign Zipf+Poisson assumptions of the
+// paper's evaluation in four recurring ways, each of which is one canned
+// scenario here:
+//
+//   drift       diurnal popularity rotation — the rank order of files
+//               shifts phase by phase (night/morning/midday/evening), so
+//               yesterday's layout is always slightly wrong;
+//   flash       a cold file becomes the hottest key within one phase
+//               (then decays), the case Section 8's online split exists
+//               for;
+//   correlated  ceil(N/3) servers holding pieces of the same hot file die
+//               together mid-phase (a rack loss), reads must degrade to
+//               stable storage bit-exactly until a scripted repair;
+//   multi-tenant two tenants with *reversed* popularity ranks share the
+//               cluster, and tenant B's share ramps up — every file is
+//               somebody's hot file.
+//
+// A script is pure data: phases compose the existing workload generators
+// (Zipf catalogs, Poisson/MMPP arrivals, the Bing straggler profile, the
+// FaultInjector crash list). Everything is derived deterministically from
+// the script's seed — same script + seed replays to an identical trace
+// (the scenario-driver test pins this via TraceEvent::same_shape).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "fault/fault_injector.h"
+#include "workload/arrivals.h"
+#include "workload/file_catalog.h"
+
+namespace spcache::scenario {
+
+enum class ArrivalKind : std::uint8_t { kPoisson, kMmpp };
+
+// One phase: a popularity shape + an arrival process + optional faults.
+// Request indices (`at_step`, `kill_at`, `repair_at`) count requests
+// *within this phase*, starting at 0.
+struct PhaseSpec {
+  std::string name;
+  std::size_t requests = 400;
+
+  // Popularity shape. The base is Zipf(zipf_exponent) in id order (file 0
+  // hottest), optionally rotated by `rotate_ranks` positions (diurnal
+  // drift: file i inherits rank (i + rotate_ranks) % n).
+  double zipf_exponent = 1.05;
+  double total_rate = 50.0;  // aggregate requests/second
+  std::size_t rotate_ranks = 0;
+
+  // Flash crowd: `flash_file` absorbs `flash_share` of the total rate; the
+  // remaining files keep their relative proportions in the rest.
+  bool has_flash = false;
+  FileId flash_file = 0;
+  double flash_share = 0.6;
+
+  // Multi-tenant interference: tenant B contributes `tenant_b_share` of
+  // the traffic with its own Zipf(tenant_b_exponent) over the REVERSED id
+  // order — B's hottest file is A's coldest.
+  double tenant_b_share = 0.0;
+  double tenant_b_exponent = 1.1;
+
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  MmppParams mmpp;  // used iff arrivals == kMmpp
+
+  // Per-read straggler probability (Bing profile); 0 disables.
+  double straggler_p = 0.0;
+
+  // Explicit scripted server lifecycle events (at_step = request index).
+  std::vector<fault::CrashEvent> events;
+
+  // Correlated failure: at request `kill_at`, kill ceil(N/3) of the
+  // servers currently holding pieces of the phase's hottest file (resolved
+  // against the live layout at that moment). A nonzero `repair_at` runs
+  // RecoveryManager::repair_after_server_loss for every dead server at
+  // that request index. All killed servers are revived at phase end.
+  bool kill_hot_holders = false;
+  std::size_t kill_at = 0;
+  std::size_t repair_at = 0;
+};
+
+struct ScenarioScript {
+  std::string name;
+  std::uint64_t seed = 1;
+  std::size_t n_files = 40;
+  Bytes file_size = 64 * kKB;
+  std::vector<PhaseSpec> phases;
+};
+
+// The phase's catalog (uniform sizes; rates per the spec's shape), built
+// deterministically with no RNG. Exposed so spcache_cli can shape its TCP
+// read sequence from the same scripts the in-process driver uses.
+Catalog phase_catalog(const ScenarioScript& script, const PhaseSpec& spec);
+
+// The file the phase concentrates load on: flash_file under a flash, the
+// max-rate file of the phase catalog otherwise.
+FileId phase_hot_file(const ScenarioScript& script, const PhaseSpec& spec);
+
+// The four canned adversarial scenarios.
+ScenarioScript make_drift_scenario();
+ScenarioScript make_flash_crowd_scenario();
+ScenarioScript make_correlated_failure_scenario(std::size_t n_servers);
+ScenarioScript make_multi_tenant_scenario();
+
+// All four, sized for `n_servers` (bench/check.sh iterate this).
+std::vector<ScenarioScript> all_scenarios(std::size_t n_servers);
+
+}  // namespace spcache::scenario

@@ -173,6 +173,58 @@ TEST_F(DegradedReadTest, HeterogeneousPieceSizesFailOverCorrectly) {
   EXPECT_EQ(result.degraded_pieces, 1u);
 }
 
+TEST_F(DegradedReadTest, CorrelatedFailureDegradesEveryReadWhileRepairConverges) {
+  // A rack loss: ceil(N/3) = 3 of the 8 servers die together, all of them
+  // holding pieces of the same hot file. Every read — of the hot file and
+  // of innocent bystanders with pieces on the dead servers — must complete
+  // degraded-but-bit-exact from stable storage, and the repair sweep must
+  // converge to a fully live layout under that traffic.
+  populate();
+  constexpr FileId kHot = 0;
+  // Re-lay the hot file across 5 distinct servers so a 3-server loss hits
+  // it multiple times while leaving enough live non-holders for repair to
+  // re-place every lost slot (no two pieces of a file may share a server).
+  SpClient writer(cluster_, master_, pool_);
+  writer.write(kHot, originals_[kHot], {0, 1, 2, 3, 4});
+
+  const auto meta = master_.peek(kHot);
+  ASSERT_EQ(meta->partitions(), 5u);
+  const std::size_t n_kill = (cluster_.size() + 2) / 3;  // ceil(8/3) = 3
+  std::vector<std::uint32_t> victims(meta->servers.begin(),
+                                     meta->servers.begin() + static_cast<long>(n_kill));
+  for (const std::uint32_t v : victims) cluster_.kill(v);
+
+  // Phase 1: the outage window. Every file still reads bit-exact; the hot
+  // file is necessarily degraded (three of its holders are gone).
+  SpClient client(cluster_, master_, pool_, &stable_, fast_retry());
+  const auto hot_read = client.read(kHot);
+  EXPECT_EQ(hot_read.bytes, originals_[kHot]);
+  EXPECT_TRUE(hot_read.degraded);
+  EXPECT_GE(hot_read.degraded_pieces, n_kill);
+  for (FileId f = 0; f < kFiles; ++f) {
+    EXPECT_EQ(client.read(f).bytes, originals_[f]) << "file " << f << " during the outage";
+  }
+
+  // Phase 2: repair converges while the servers are still dead — every
+  // slot on a dead server moves to a live replacement and is restored
+  // from stable storage before the layout is published.
+  RecoveryManager recovery(cluster_, master_, stable_);
+  for (const std::uint32_t v : victims) recovery.repair_after_server_loss(v);
+
+  for (FileId f = 0; f < kFiles; ++f) {
+    const auto repaired = master_.peek(f);
+    ASSERT_TRUE(repaired.has_value());
+    for (const std::uint32_t s : repaired->servers) {
+      EXPECT_TRUE(cluster_.is_alive(s))
+          << "file " << f << " still references dead server " << s << " after repair";
+    }
+    const auto result = client.read(f);
+    EXPECT_EQ(result.bytes, originals_[f]) << "file " << f << " after repair";
+    EXPECT_FALSE(result.degraded) << "file " << f << " should read clean after repair";
+  }
+  for (const std::uint32_t v : victims) cluster_.revive(v);
+}
+
 TEST(RpcDegradedRead, RetriesRideThroughInjectedBusFaults) {
   rpc::Bus bus;
   fault::FaultConfig cfg;

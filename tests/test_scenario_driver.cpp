@@ -1,0 +1,142 @@
+// Scenario driver: replay determinism and the adversarial invariants.
+//
+// The suite pins the properties check.sh's scenario stage depends on:
+// same seed + script replays to an identical trace (TraceEvent::same_shape
+// over the full ring) and identical per-phase reports; the flash-crowd
+// script makes the adaptive controller raise the hot file's partition
+// count within the phase; the frozen arm never touches the layout; and
+// every scripted scenario completes all reads bit-exactly.
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "scenario/driver.h"
+#include "scenario/script.h"
+
+namespace spcache::scenario {
+namespace {
+
+// Shrink a script for unit-test runtimes (the bench runs the full sizes).
+ScenarioScript shrink(ScenarioScript script, std::size_t requests_per_phase) {
+  for (auto& phase : script.phases) {
+    phase.requests = requests_per_phase;
+    if (phase.kill_hot_holders) {
+      phase.kill_at = requests_per_phase / 8;
+      phase.repair_at = requests_per_phase / 2;
+    }
+  }
+  return script;
+}
+
+ScenarioDriverConfig test_config(bool adaptive) {
+  ScenarioDriverConfig config;
+  config.n_servers = 8;
+  config.threads = 1;  // deterministic trace ordering
+  config.adaptive = adaptive;
+  return config;
+}
+
+TEST(ScenarioDriver, ReplayDeterminism) {
+  const auto script = shrink(make_flash_crowd_scenario(), 160);
+
+  obs::TraceRecorder trace_a, trace_b;
+  ScenarioDriver driver_a(script, test_config(true));
+  ScenarioDriver driver_b(script, test_config(true));
+  const auto report_a = driver_a.run(nullptr, &trace_a);
+  const auto report_b = driver_b.run(nullptr, &trace_b);
+
+  ASSERT_EQ(report_a.phases.size(), report_b.phases.size());
+  for (std::size_t p = 0; p < report_a.phases.size(); ++p) {
+    const auto& a = report_a.phases[p];
+    const auto& b = report_b.phases[p];
+    EXPECT_EQ(a.requests, b.requests) << "phase " << p;
+    EXPECT_EQ(a.failures, b.failures) << "phase " << p;
+    EXPECT_EQ(a.splits, b.splits) << "phase " << p;
+    EXPECT_EQ(a.merges, b.merges) << "phase " << p;
+    EXPECT_EQ(a.adaptations, b.adaptations) << "phase " << p;
+    EXPECT_DOUBLE_EQ(a.eta, b.eta) << "phase " << p;
+    EXPECT_DOUBLE_EQ(a.alpha_end, b.alpha_end) << "phase " << p;
+    EXPECT_EQ(a.hot_partitions_end, b.hot_partitions_end) << "phase " << p;
+  }
+
+  const auto events_a = trace_a.snapshot();
+  const auto events_b = trace_b.snapshot();
+  ASSERT_EQ(events_a.size(), events_b.size());
+  for (std::size_t i = 0; i < events_a.size(); ++i) {
+    EXPECT_TRUE(events_a[i].same_shape(events_b[i])) << "event " << i;
+  }
+  EXPECT_EQ(trace_a.recorded(), trace_b.recorded());
+}
+
+TEST(ScenarioDriver, FlashCrowdRaisesHotFilePartitionCount) {
+  const auto script = shrink(make_flash_crowd_scenario(), 250);
+  ScenarioDriver driver(script, test_config(true));
+  obs::MetricsRegistry registry;
+  const auto report = driver.run(&registry, nullptr);
+
+  ASSERT_EQ(report.phases.size(), 3u);
+  const auto& flash = report.phases[1];
+  EXPECT_EQ(flash.name, "flash");
+  // The viral file started cold (few partitions); the controller must
+  // split it within the phase.
+  EXPECT_GT(flash.hot_partitions_end, flash.hot_partitions_start);
+  EXPECT_GT(flash.splits, 0u);
+  EXPECT_GT(flash.triggers, 0u);
+  EXPECT_EQ(report.total_failures(), 0u);
+  EXPECT_EQ(report.total_mismatches(), 0u);
+
+  const auto snap = registry.snapshot();
+  EXPECT_GT(snap.counter_value(obs::names::kControllerTriggers), 0u);
+  EXPECT_GT(snap.counter_value(obs::names::kControllerAdaptations), 0u);
+}
+
+TEST(ScenarioDriver, FrozenModeNeverAdjustsTheLayout) {
+  const auto script = shrink(make_flash_crowd_scenario(), 160);
+  ScenarioDriver driver(script, test_config(false));
+  const auto report = driver.run(nullptr, nullptr);
+
+  for (const auto& phase : report.phases) {
+    EXPECT_EQ(phase.splits, 0u);
+    EXPECT_EQ(phase.merges, 0u);
+    EXPECT_EQ(phase.adaptations, 0u);
+    EXPECT_EQ(phase.triggers, 0u);
+    EXPECT_DOUBLE_EQ(phase.alpha_end, report.initial_alpha);
+    EXPECT_EQ(phase.hot_partitions_end, phase.hot_partitions_start);
+  }
+  EXPECT_EQ(report.total_failures(), 0u);
+  EXPECT_EQ(report.total_mismatches(), 0u);
+}
+
+TEST(ScenarioDriver, CorrelatedFailurePhaseDegradesButStaysBitExact) {
+  auto script = shrink(make_correlated_failure_scenario(8), 200);
+  ScenarioDriver driver(script, test_config(true));
+  const auto report = driver.run(nullptr, nullptr);
+
+  ASSERT_EQ(report.phases.size(), 3u);
+  const auto& loss = report.phases[1];
+  EXPECT_EQ(loss.name, "rack-loss");
+  EXPECT_GT(loss.kills, 0u);
+  EXPECT_GT(loss.repairs, 0u);
+  // Reads between the kill and the repair are served degraded from stable
+  // storage — and every single read in every phase stayed bit-exact.
+  EXPECT_GT(loss.degraded_reads, 0u);
+  EXPECT_EQ(report.total_failures(), 0u);
+  EXPECT_EQ(report.total_mismatches(), 0u);
+}
+
+TEST(ScenarioDriver, AllScenariosCompleteCleanly) {
+  for (auto script : all_scenarios(8)) {
+    script = shrink(std::move(script), 120);
+    ScenarioDriver driver(script, test_config(true));
+    const auto report = driver.run(nullptr, nullptr);
+    EXPECT_EQ(report.total_failures(), 0u) << script.name;
+    EXPECT_EQ(report.total_mismatches(), 0u) << script.name;
+    EXPECT_EQ(report.phases.size(), script.phases.size()) << script.name;
+    for (const auto& phase : report.phases) {
+      EXPECT_EQ(phase.requests, 120u) << script.name << "/" << phase.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spcache::scenario

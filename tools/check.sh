@@ -54,6 +54,16 @@ if [[ "$QUICK" -eq 0 ]]; then
   (cd build/bench && ./bench_fig17_repartition_fraction --smoke >/dev/null)
   (cd build/bench && ./bench_fig18_repartition_balance --smoke >/dev/null)
 
+  echo "==> scenario: adversarial suite (-L scenario) + adaptive-vs-frozen smoke gates"
+  # The adversarial tier: replay determinism, the closed-loop alpha
+  # controller property tests, and the correlated-failure degraded-read
+  # invariants. Then bench_scenarios --smoke replays every scripted
+  # scenario in both arms and exits non-zero unless per-phase eta and p99
+  # stay under its gates with the adaptive controller AND the adaptive
+  # arm beats frozen alpha on worst-phase eta; writes BENCH_scenarios.json.
+  ctest --preset default -L scenario
+  (cd build/bench && timeout -k 5 120 ./bench_scenarios --smoke)
+
   echo "==> transport: multi-process TCP cluster (1 master + 3 servers + CLI workload)"
   # Boots real daemons on ephemeral localhost ports, drives the write+read
   # workload through spcache_cli --rpc (bit-exact verification inside), and
@@ -97,6 +107,14 @@ if [[ "$QUICK" -eq 0 ]]; then
       | tee "$TRANSPORT_DIR/cli.log"
   grep -q 'mismatches=0 ' "$TRANSPORT_DIR/cli.log"
   grep -q 'transport\.framing_errors=0 ' "$TRANSPORT_DIR/cli.log"
+  # Same daemons, adversarial key sequence: the flash-crowd script's
+  # phase catalogs shape the reads (hot key flips mid-run), every read
+  # still bit-exact over the sockets.
+  timeout -k 5 120 ./build/tools/spcache_cli --rpc --master "$MASTER_ADDR" \
+      --workers "$WORKER_ADDRS" --scenario flash --requests 60 --seed 7 \
+      | tee "$TRANSPORT_DIR/cli_scenario.log"
+  grep -q 'mismatches=0 ' "$TRANSPORT_DIR/cli_scenario.log"
+  grep -q 'scenario=flash phase=decay' "$TRANSPORT_DIR/cli_scenario.log"
   cleanup_transport
   trap - EXIT
 
@@ -203,6 +221,9 @@ ctest --preset tsan -R "${CHAOS_FILTER}"
 
 echo "==> ThreadSanitizer: observability stage (-L obs)"
 ctest --preset tsan -L obs
+
+echo "==> ThreadSanitizer: scenario stage (-L scenario)"
+ctest --preset tsan -L scenario
 
 echo "==> ThreadSanitizer: repartition smoke (staging/cutover under the race detector)"
 (cd build-tsan/bench && ./bench_fig16_repartition_time --smoke)

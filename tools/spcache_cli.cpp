@@ -45,6 +45,16 @@
 //                      from --seed and only read (the dataset must have
 //                      been written by an earlier run with the same
 //                      --files/--size-mb/--seed)
+//   --scenario NAME    shape the read sequence from an adversarial
+//                      scenario script (drift|flash|multi-tenant; see
+//                      src/scenario/script.h) instead of round-robin:
+//                      each phase samples reads from its phase catalog's
+//                      rates and prints a per-phase line. The dataset is
+//                      sized by the script (--files/--size-mb ignored);
+//                      --requests overrides the per-phase read count.
+//                      correlated-failure needs server kills, which the
+//                      CLI can't do to live daemons — use bench_scenarios
+//                      for that one.
 //   --rpc-timeout-ms T per-RPC timeout / propagated deadline  [1000]
 //   --chaos-seed S     arm seeded socket chaos on this client's transport
 //   --chaos-partial P  per-flush partial-write probability    [0]
@@ -57,11 +67,13 @@
 // any mismatch or if transport.framing_errors is nonzero; the final stdout
 // line reports the transport counters (including backpressure/circuit
 // state) and, with chaos armed, the fired-fault counts.
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "core/ec_cache.h"
@@ -74,6 +86,7 @@
 #include "obs/metrics.h"
 #include "rpc/cache_service.h"
 #include "rpc/tcp_transport.h"
+#include "scenario/script.h"
 #include "sim/simulation.h"
 #include "workload/arrivals.h"
 #include "workload/trace_io.h"
@@ -111,6 +124,7 @@ struct Options {
   bool size_set = false;      // was --size-mb given explicitly?
   bool requests_set = false;  // was --requests given explicitly?
   bool read_only = false;
+  std::string scenario;  // --rpc only: adversarial script name
   std::size_t rpc_timeout_ms = 1000;
   // Seeded socket chaos (armed when any probability is nonzero).
   std::uint64_t chaos_seed = 1;
@@ -190,6 +204,9 @@ Options parse(int argc, char** argv) {
       o.rpc = true;
     } else if (flag == "--read-only") {
       o.read_only = true;
+    } else if (flag == "--scenario") {
+      o.scenario = need_value(i);
+      ++i;
     } else if (flag == "--rpc-timeout-ms") {
       unum(o.rpc_timeout_ms);
     } else if (flag == "--chaos-seed") {
@@ -229,6 +246,7 @@ Options parse(int argc, char** argv) {
     if (o.master_addr.empty()) usage_error("--rpc needs --master HOST:PORT");
     if (o.worker_addrs.empty()) usage_error("--rpc needs --workers HOST:PORT[,HOST:PORT...]");
   }
+  if (!o.scenario.empty() && !o.rpc) usage_error("--scenario requires --rpc");
   return o;
 }
 
@@ -239,6 +257,23 @@ std::pair<std::string, std::uint16_t> parse_addr(const std::string& addr) {
   }
   return {addr.substr(0, colon),
           static_cast<std::uint16_t>(std::atoi(addr.c_str() + colon + 1))};
+}
+
+// --scenario: resolve the named adversarial script, sized for this worker
+// count. The correlated-failure script needs to kill servers, which the
+// CLI cannot do to out-of-process daemons.
+scenario::ScenarioScript resolve_scenario(const std::string& name, std::size_t n_workers) {
+  for (auto& script : scenario::all_scenarios(n_workers)) {
+    if (script.name != name) continue;
+    if (script.phases.front().kill_hot_holders ||
+        std::any_of(script.phases.begin(), script.phases.end(),
+                    [](const scenario::PhaseSpec& p) { return p.kill_hot_holders; })) {
+      usage_error("--scenario " + name +
+                  " scripts server kills; drive it in-process via bench_scenarios instead");
+    }
+    return script;
+  }
+  usage_error("unknown --scenario '" + name + "' (drift|flash|multi-tenant)");
 }
 
 // --rpc: write a placed dataset into a live daemon cluster over TCP, read
@@ -278,16 +313,24 @@ int run_rpc(const Options& o) {
 
   // Algorithm 1 decides each file's partition across the real workers.
   // Whole 100 MB defaults make no sense against localhost daemons; without
-  // an explicit --size-mb the dataset drops to 0.25 MB files.
+  // an explicit --size-mb the dataset drops to 0.25 MB files. With
+  // --scenario, the script's phase-0 catalog is the layout baseline (the
+  // same "yesterday's re-balance" the in-process driver starts from).
+  const bool scenario_mode = !o.scenario.empty();
+  scenario::ScenarioScript script;
+  if (scenario_mode) script = resolve_scenario(o.scenario, o.worker_addrs.size());
+  const std::size_t n_files = scenario_mode ? script.n_files : o.files;
   const double size_mb = o.size_set ? o.size_mb : 0.25;
-  const auto catalog = make_uniform_catalog(o.files, megabytes(size_mb), o.zipf, o.rate);
+  const auto catalog =
+      scenario_mode ? scenario::phase_catalog(script, script.phases.front())
+                    : make_uniform_catalog(o.files, megabytes(size_mb), o.zipf, o.rate);
   SpCacheScheme scheme;
   Rng rng(o.seed);
   scheme.place(catalog, std::vector<Bandwidth>(worker_nodes.size(), gbps(o.bandwidth_gbps)),
                rng);
 
-  std::vector<std::vector<std::uint8_t>> originals(o.files);
-  for (FileId f = 0; f < o.files; ++f) {
+  std::vector<std::vector<std::uint8_t>> originals(n_files);
+  for (FileId f = 0; f < n_files; ++f) {
     const Bytes size = catalog.file(f).size;
     originals[f].resize(size);
     // Deterministic per-file content so a re-run (or another process) can
@@ -302,22 +345,25 @@ int run_rpc(const Options& o) {
     if (!o.read_only) client.write(f, originals[f], scheme.placement(f).servers);
   }
   if (o.read_only) {
-    std::cout << "read-only: expecting " << o.files << " files ("
+    std::cout << "read-only: expecting " << n_files << " files ("
               << static_cast<double>(catalog.total_bytes()) / static_cast<double>(kMB)
               << " MB) written by an earlier run with seed " << o.seed << "\n";
   } else {
-    std::cout << "wrote " << o.files << " files ("
+    std::cout << "wrote " << n_files << " files ("
               << static_cast<double>(catalog.total_bytes()) / static_cast<double>(kMB)
               << " MB) across " << worker_nodes.size() << " workers\n";
   }
 
-  // Read pass: every file at least once, wrapping until the request budget
-  // is spent. read() CRC-verifies; the byte compare makes bit-exactness
-  // explicit.
-  const std::size_t reads = o.requests_set ? o.requests : 2 * o.files;
+  // Read pass. Default: every file at least once, wrapping until the
+  // request budget is spent. With --scenario, each phase instead samples
+  // reads from its phase catalog's rates (the popularity shape the
+  // in-process driver replays), so the daemons see the same adversarial
+  // sequence of hot keys. read() CRC-verifies; the byte compare makes
+  // bit-exactness explicit.
+  std::size_t reads = 0;
   std::size_t mismatches = 0;
-  for (std::size_t r = 0; r < reads; ++r) {
-    const FileId f = static_cast<FileId>(r % o.files);
+  const auto verified_read = [&](FileId f) {
+    ++reads;
     try {
       if (client.read(f) != originals[f]) {
         std::cerr << "spcache_cli: file " << f << " read back different bytes\n";
@@ -326,6 +372,40 @@ int run_rpc(const Options& o) {
     } catch (const std::exception& e) {
       std::cerr << "spcache_cli: read of file " << f << " failed: " << e.what() << "\n";
       ++mismatches;
+    }
+  };
+  if (scenario_mode) {
+    for (std::size_t p = 0; p < script.phases.size(); ++p) {
+      const auto& spec = script.phases[p];
+      const auto phase_cat = scenario::phase_catalog(script, spec);
+      std::vector<double> cumulative(phase_cat.size(), 0.0);
+      double total = 0.0;
+      for (FileId f = 0; f < phase_cat.size(); ++f) {
+        total += phase_cat.file(f).request_rate;
+        cumulative[f] = total;
+      }
+      // Same per-phase stream derivation as the in-process driver: the
+      // read sequence is a pure function of the script seed.
+      Rng phase_rng(script.seed ^ (0x9E3779B97F4A7C15ull * (p + 1)));
+      const std::size_t phase_reads = o.requests_set ? o.requests : spec.requests;
+      const std::size_t mismatches_before = mismatches;
+      for (std::size_t r = 0; r < phase_reads; ++r) {
+        const double u = phase_rng.uniform() * total;
+        const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+        verified_read(static_cast<FileId>(it == cumulative.end()
+                                              ? phase_cat.size() - 1
+                                              : static_cast<std::size_t>(
+                                                    it - cumulative.begin())));
+      }
+      std::cout << "scenario=" << script.name << " phase=" << spec.name
+                << " reads=" << phase_reads
+                << " hot_file=" << scenario::phase_hot_file(script, spec)
+                << " mismatches=" << (mismatches - mismatches_before) << "\n";
+    }
+  } else {
+    const std::size_t budget = o.requests_set ? o.requests : 2 * n_files;
+    for (std::size_t r = 0; r < budget; ++r) {
+      verified_read(static_cast<FileId>(r % n_files));
     }
   }
   client.flush_access_reports();
