@@ -55,18 +55,8 @@ void CacheServer::attach_observability(obs::MetricsRegistry* registry) {
   probes_.store(probes_storage_.get(), std::memory_order_release);
 }
 
-void CacheServer::put(BlockKey key, std::vector<std::uint8_t> bytes) {
-  const auto* probes = probes_.load(std::memory_order_acquire);
-  ServeScope scope(probes);
-  if (probes) probes->puts->add(1);
-  if (!alive()) {
-    throw std::runtime_error("CacheServer::put: server " + std::to_string(id_) + " is down");
-  }
-  // Checksum and allocation happen before the stripe lock; the critical
-  // section is just the map probe and pointer swap.
-  const Bytes incoming = bytes.size();
-  auto block = std::make_shared<Block>(Block{std::move(bytes), 0});
-  block->crc = crc32(block->bytes);
+void CacheServer::insert_block(const BlockKey& key, std::shared_ptr<Block> block) {
+  const Bytes incoming = block->bytes.size();
   Bytes replaced = 0;
   {
     auto& stripe = stripe_for(key);
@@ -77,6 +67,35 @@ void CacheServer::put(BlockKey key, std::vector<std::uint8_t> bytes) {
   }
   if (replaced > 0) bytes_stored_.fetch_sub(replaced, std::memory_order_relaxed);
   bytes_stored_.fetch_add(incoming, std::memory_order_relaxed);
+}
+
+void CacheServer::put(BlockKey key, std::vector<std::uint8_t> bytes) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  ServeScope scope(probes);
+  if (probes) probes->puts->add(1);
+  if (!alive()) {
+    throw std::runtime_error("CacheServer::put: server " + std::to_string(id_) + " is down");
+  }
+  // Checksum and allocation happen before the stripe lock; the critical
+  // section is just the map probe and pointer swap.
+  auto block = std::make_shared<Block>(Block{std::move(bytes), 0});
+  block->crc = crc32(block->bytes);
+  insert_block(key, std::move(block));
+}
+
+void CacheServer::put_copy(BlockKey key, std::span<const std::uint8_t> bytes) {
+  const auto* probes = probes_.load(std::memory_order_acquire);
+  ServeScope scope(probes);
+  if (probes) probes->puts->add(1);
+  if (!alive()) {
+    throw std::runtime_error("CacheServer::put: server " + std::to_string(id_) + " is down");
+  }
+  // The ingest copy and the checksum are one fused pass over the payload
+  // (crc32_copy): the source view is read once, never rescanned.
+  auto block = std::make_shared<Block>();
+  block->bytes.resize(bytes.size());
+  block->crc = crc32_copy(block->bytes, bytes);
+  insert_block(key, std::move(block));
 }
 
 BlockRef CacheServer::get(const BlockKey& key) const {
@@ -194,30 +213,31 @@ void CacheServer::stage_range(const BlockKey& key, std::uint64_t epoch, Bytes pi
                              std::to_string(piece.filled) + ", got offset " +
                              std::to_string(offset) + ")");
   }
-  std::copy(bytes.begin(), bytes.end(),
-            piece.block->bytes.begin() + static_cast<std::ptrdiff_t>(offset));
+  // Fused copy+CRC: the range lands in the piece buffer with the running
+  // checksum advanced in the same pass. Because ranges arrive strictly in
+  // offset order, the accumulated state at completion IS the whole-piece
+  // CRC — finalize never rescans a byte.
+  piece.crc_state = crc32_copy_update(
+      piece.crc_state,
+      std::span<std::uint8_t>(piece.block->bytes.data() + offset, bytes.size()), bytes);
   piece.filled += bytes.size();
   piece.finalized = false;
 }
 
 bool CacheServer::finalize_staged(const BlockKey& key, std::uint64_t epoch) {
-  std::shared_ptr<Block> block;
-  {
-    std::lock_guard lock(stage_mu_);
-    const auto it = staged_.find(StageKey{key, epoch});
-    if (it == staged_.end()) return false;
-    if (it->second.filled != it->second.block->bytes.size()) return false;
-    block = it->second.block;
-  }
-  // CRC outside the staging lock: this is the expensive part of the seal,
-  // deliberately hoisted out of the cutover critical section by the
-  // executor (finalize before lock, publish under it).
-  const std::uint32_t crc = crc32(block->bytes);
+  // O(1): the CRC was accumulated range-by-range during staging, so the
+  // seal is a completeness check plus a finalize of the running state —
+  // no byte pass, one lock acquisition. (The pre-fusion implementation
+  // rescanned the whole piece here, outside the lock; keeping the seal
+  // cheap matters because the executor calls it right before the cutover
+  // critical section.)
   std::lock_guard lock(stage_mu_);
   const auto it = staged_.find(StageKey{key, epoch});
-  if (it == staged_.end()) return false;  // discarded (e.g. kill) meanwhile
-  it->second.block->crc = crc;
-  it->second.finalized = true;
+  if (it == staged_.end()) return false;
+  auto& piece = it->second;
+  if (piece.filled != piece.block->bytes.size()) return false;
+  piece.block->crc = crc32_final(piece.crc_state);
+  piece.finalized = true;
   return true;
 }
 

@@ -91,6 +91,12 @@ class CacheServer {
   // already holding the old block keep a consistent snapshot.
   void put(BlockKey key, std::vector<std::uint8_t> bytes);
 
+  // Fused-copy ingest for callers holding a view (RPC payloads, write-path
+  // piece slices): copies `bytes` into a fresh block with the CRC computed
+  // in the same pass (crc32_copy), instead of copy-then-rescan. Same
+  // semantics as put() otherwise.
+  void put_copy(BlockKey key, std::span<const std::uint8_t> bytes);
+
   // Zero-copy read: returns a shared reference to the resident block,
   // verifying its checksum (outside the stripe lock). nullptr if absent.
   // Throws std::runtime_error on checksum mismatch (corruption), on a
@@ -186,7 +192,11 @@ class CacheServer {
   void reset_load_counters();
 
  private:
-  struct Stripe {
+  // Cache-line aligned: adjacent stripes' mutexes otherwise share a line,
+  // so 16 threads hitting 16 different stripes still bounce the same cache
+  // lines (measured as part of the 16-thread scaling sag; see DESIGN.md
+  // §"Data plane kernels").
+  struct alignas(64) Stripe {
     mutable std::mutex mu;
     std::unordered_map<BlockKey, BlockRef, BlockKeyHash> blocks;
   };
@@ -194,6 +204,10 @@ class CacheServer {
   Stripe& stripe_for(const BlockKey& key) const {
     return stripes_[shard_of<kStripes>(key.packed())];
   }
+
+  // Shared publish tail of put()/put_copy(): swap the checksummed block
+  // into its stripe and settle the stored-bytes accounting.
+  void insert_block(const BlockKey& key, std::shared_ptr<Block> block);
 
   // (block, epoch) -> piece under construction. Staging is off the read
   // path entirely: one mutex is plenty (a handful of repartitioners, not
@@ -211,6 +225,10 @@ class CacheServer {
   struct StagedPiece {
     std::shared_ptr<Block> block;  // bytes sized up front; crc set at finalize
     Bytes filled = 0;
+    // Running CRC accumulated range-by-range as bytes are staged (fused
+    // with the copy). The in-order assembly contract makes the incremental
+    // state exactly the whole-piece CRC, so finalize_staged is O(1).
+    std::uint32_t crc_state = 0xFFFFFFFFu;
     bool finalized = false;
   };
 
@@ -219,9 +237,12 @@ class CacheServer {
   mutable std::array<Stripe, kStripes> stripes_;
   mutable std::mutex stage_mu_;
   std::unordered_map<StageKey, StagedPiece, StageKeyHash> staged_;
-  std::atomic<Bytes> bytes_stored_{0};
-  mutable std::atomic<std::uint64_t> bytes_served_{0};
-  std::atomic<bool> alive_{true};
+  // Write-hot atomics each get their own cache line: bytes_served_ is
+  // bumped by every concurrent reader and must not share a line with
+  // bytes_stored_ (writers) or the read-mostly flags below it.
+  alignas(64) std::atomic<Bytes> bytes_stored_{0};
+  alignas(64) mutable std::atomic<std::uint64_t> bytes_served_{0};
+  alignas(64) std::atomic<bool> alive_{true};
   std::atomic<fault::FaultInjector*> injector_{nullptr};
   std::unique_ptr<ObsProbes> probes_storage_;
   mutable std::atomic<ObsProbes*> probes_{nullptr};

@@ -61,29 +61,34 @@ void SpClient::cache_own_write(FileId id) {
   if (auto meta = master_.peek(id)) layout_cache_.put(id, std::move(*meta));
 }
 
-std::optional<FileMeta> SpClient::layout_for_pass(FileId id, std::size_t pass,
-                                                  bool& from_cache) {
+bool SpClient::layout_for_pass(FileId id, std::size_t pass, bool& from_cache,
+                               FileMeta& out) {
   const auto* probes = probes_.load(std::memory_order_acquire);
   from_cache = false;
   if (cache_config_.layout_cache && pass == 1) {
-    if (auto cached = layout_cache_.get(id)) {
+    if (layout_cache_.get_into(id, out)) {
       from_cache = true;
       if (probes) probes->layout_hits->add(1);
       if (access_acc_.record(id)) flush_access_reports();
-      return cached;
+      return true;
     }
     if (probes) probes->layout_misses->add(1);
   }
   auto meta = master_.lookup_for_read(id);
-  if (meta && cache_config_.layout_cache) layout_cache_.put(id, *meta);
-  return meta;
+  if (!meta) return false;
+  if (cache_config_.layout_cache) layout_cache_.put(id, *meta);
+  out = std::move(*meta);
+  return true;
 }
 
 IoResult SpClient::write_sized(FileId id, std::span<const std::uint8_t> data,
                                const std::vector<std::uint32_t>& servers,
                                const std::vector<Bytes>& piece_sizes) {
   assert(servers.size() == piece_sizes.size());
-  auto pieces = split_sized(data, piece_sizes);
+  // Pieces are views into `data`: each piece's only copy is the fused
+  // copy+CRC pass inside put_copy, straight into the server's block.
+  std::vector<std::span<const std::uint8_t>> pieces(piece_sizes.size());
+  split_sized_views(data, piece_sizes, pieces);
   FileMeta meta;
   meta.size = data.size();
   meta.servers = servers;
@@ -91,8 +96,8 @@ IoResult SpClient::write_sized(FileId id, std::span<const std::uint8_t> data,
   meta.file_crc = crc32(data);
 
   pool_.parallel_for(pieces.size(), [&](std::size_t i) {
-    cluster_.server(servers[i]).put(BlockKey{id, static_cast<PieceIndex>(i)},
-                                    std::move(pieces[i]));
+    cluster_.server(servers[i]).put_copy(BlockKey{id, static_cast<PieceIndex>(i)},
+                                         pieces[i]);
   });
   if (master_.peek(id).has_value()) {
     master_.update_file(id, std::move(meta));
@@ -108,7 +113,8 @@ IoResult SpClient::write_sized(FileId id, std::span<const std::uint8_t> data,
 IoResult SpClient::write(FileId id, std::span<const std::uint8_t> data,
                          const std::vector<std::uint32_t>& servers) {
   assert(!servers.empty());
-  auto pieces = split_plain(data, servers.size());
+  std::vector<std::span<const std::uint8_t>> pieces(servers.size());
+  split_plain_views(data, servers.size(), pieces);
   FileMeta meta;
   meta.size = data.size();
   meta.servers = servers;
@@ -117,8 +123,8 @@ IoResult SpClient::write(FileId id, std::span<const std::uint8_t> data,
   meta.file_crc = crc32(data);
 
   pool_.parallel_for(pieces.size(), [&](std::size_t i) {
-    cluster_.server(servers[i]).put(BlockKey{id, static_cast<PieceIndex>(i)},
-                                    std::move(pieces[i]));
+    cluster_.server(servers[i]).put_copy(BlockKey{id, static_cast<PieceIndex>(i)},
+                                         pieces[i]);
   });
 
   if (master_.peek(id).has_value()) {
@@ -139,23 +145,37 @@ IoResult SpClient::write(FileId id, std::span<const std::uint8_t> data,
 // pieces stayed unfetchable with no usable stable copy, or the end-to-end
 // CRC failed (racing repartition, injected wire flip) — both heal on a
 // later pass once the layout settles or the flip doesn't recur.
-bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, std::uint64_t op,
-                         IoResult& result, std::string& error) {
+bool SpClient::read_pass(FileId id, std::size_t pass, std::uint64_t op,
+                         ReadScratch& scratch, std::string& error) {
   const auto* probes = probes_.load(std::memory_order_acquire);
   obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
+  const FileMeta& meta = scratch.meta;
+  IoResult& result = scratch.result;
   const std::size_t k = meta.partitions();
-  std::vector<Bytes> offsets(k, 0);
+  // Per-pass bookkeeping lives in the scratch arena: no vector allocations
+  // on the hot path, and reset() makes the next pass start from a clean
+  // bump pointer.
+  scratch.arena.reset();
+  auto offsets = scratch.arena.make_span<Bytes>(k);
+  auto fetched = scratch.arena.make_span<std::uint8_t>(k);
+  auto piece_crcs = scratch.arena.make_span<std::uint32_t>(k);
   Bytes total = 0;
   for (std::size_t i = 0; i < k; ++i) {
     offsets[i] = total;
     total += meta.piece_sizes[i];
+    fetched[i] = 0;
   }
 
-  result.bytes.assign(total, 0);
+  // resize, not assign(total, 0): every byte of the live range is written
+  // by a piece copy (or the stable-store restore) before the pass can
+  // succeed, so pre-zeroing is pure overhead; a warmed buffer reuses its
+  // capacity and allocates nothing.
+  result.bytes.resize(total);
   // Zero-copy reassembly: each shared block's bytes are copied exactly
-  // once, directly into their final offset in the output buffer. Fetch
-  // outcomes are per-piece; a thread never throws out of the pool.
-  std::vector<std::uint8_t> fetched(k, 0);
+  // once, directly into their final offset in the output buffer — through
+  // the fused crc32_copy kernel, which also yields the piece's CRC for the
+  // O(k·32) whole-file combine below. Fetch outcomes are per-piece; a
+  // thread never throws out of the pool.
   std::atomic<std::size_t> refetches{0};
   pool_.parallel_for(k, [&](std::size_t i) {
     const BlockKey key{id, static_cast<PieceIndex>(i)};
@@ -163,8 +183,10 @@ bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, std:
       try {
         auto block = cluster_.server(meta.servers[i]).get(key);
         if (block && block->bytes.size() == meta.piece_sizes[i]) {
-          std::copy(block->bytes.begin(), block->bytes.end(),
-                    result.bytes.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+          piece_crcs[i] = crc32_copy(
+              std::span<std::uint8_t>(result.bytes.data() + offsets[i],
+                                      meta.piece_sizes[i]),
+              block->bytes);
           fetched[i] = 1;
           if (trace) {
             trace->record(obs::TraceKind::kPieceFetch, op, id, meta.servers[i],
@@ -189,10 +211,12 @@ bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, std:
   });
   result.retries += refetches.load(std::memory_order_relaxed);
 
-  std::vector<std::size_t> failed;
+  auto failed = scratch.arena.make_span<std::size_t>(k);
+  std::size_t n_failed = 0;
   for (std::size_t i = 0; i < k; ++i) {
-    if (!fetched[i]) failed.push_back(i);
+    if (!fetched[i]) failed[n_failed++] = i;
   }
+  failed = failed.first(n_failed);
   std::size_t degraded = 0;
   if (!failed.empty()) {
     // Failover: restore the checkpointed file inline and serve the
@@ -221,7 +245,21 @@ bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, std:
     }
   }
 
-  if (crc32(result.bytes) != meta.file_crc) {
+  // Whole-file verification. Clean pass: stitch the per-piece CRCs from
+  // the fused copies into crc32(result.bytes) via the combiner — O(k·32)
+  // xors, the reassembled buffer is never rescanned. Degraded pass: some
+  // ranges came from the stable restore (no fused CRC), so fall back to
+  // one full pass.
+  std::uint32_t whole_crc;
+  if (degraded == 0 && k > 0) {
+    whole_crc = piece_crcs[0];
+    for (std::size_t i = 1; i < k; ++i) {
+      whole_crc = scratch.combiner.combine(whole_crc, piece_crcs[i], meta.piece_sizes[i]);
+    }
+  } else {
+    whole_crc = crc32(result.bytes);
+  }
+  if (whole_crc != meta.file_crc) {
     error = "whole-file checksum mismatch";
     return false;
   }
@@ -247,13 +285,27 @@ bool SpClient::read_pass(FileId id, const FileMeta& meta, std::size_t pass, std:
 }
 
 IoResult SpClient::read(FileId id) {
+  // Compatibility wrapper: one-shot scratch. Hot callers (benches, the
+  // adversarial scenario readers) hold a ReadScratch per thread and call
+  // the allocation-free overload directly.
+  ReadScratch scratch;
+  return std::move(read(id, scratch));
+}
+
+IoResult& SpClient::read(FileId id, ReadScratch& scratch) {
   const auto* probes = probes_.load(std::memory_order_acquire);
   obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
   const std::uint64_t op = trace ? trace->begin_op() : 0;
   if (trace) trace->record(obs::TraceKind::kReadStart, op, id);
   const auto start = std::chrono::steady_clock::now();
 
-  IoResult result;
+  IoResult& result = scratch.result;
+  result.network_time = 0.0;
+  result.compute_time = 0.0;
+  result.retries = 0;
+  result.degraded_pieces = 0;
+  result.degraded = false;
+  result.layout_cached = false;
   std::string error = "unknown file";
   for (std::size_t pass = 1; pass <= retry_.read_attempts; ++pass) {
     if (pass > 1) {
@@ -265,13 +317,12 @@ IoResult SpClient::read(FileId id) {
       fault::backoff_sleep(retry_, pass, fault::retry_token(id, 0, pass));
     }
     bool from_cache = false;
-    const auto meta = layout_for_pass(id, pass, from_cache);
-    if (!meta) {
+    if (!layout_for_pass(id, pass, from_cache, scratch.meta)) {
       if (probes) probes->read_failures->add(1);
       if (trace) trace->record(obs::TraceKind::kReadFailed, op, id);
       throw std::runtime_error("SpClient::read: unknown file");
     }
-    if (read_pass(id, *meta, pass, op, result, error)) {
+    if (read_pass(id, pass, op, scratch, error)) {
       result.layout_cached = from_cache;
       if (result.degraded && cache_config_.layout_cache) {
         // A degraded success means this layout references pieces that are
@@ -289,6 +340,10 @@ IoResult SpClient::read(FileId id) {
         probes->degraded_pieces->add(result.degraded_pieces);
         probes->read_wall->record(wall);
         probes->read_model->record(result.network_time + result.compute_time);
+        probes->arena_high_water->set(
+            static_cast<std::int64_t>(scratch.arena.high_water()));
+        probes->arena_fallbacks->set(
+            static_cast<std::int64_t>(scratch.arena.fallback_allocs()));
         if (trace) trace->record(obs::TraceKind::kReadDone, op, id, 0, 0, wall);
       }
       return result;
@@ -328,6 +383,8 @@ void SpClient::attach_observability(obs::MetricsRegistry* registry,
   probes->layout_invalidations = &registry->counter(n::kClientLayoutInvalidations);
   probes->read_wall = &registry->histogram(n::kClientReadLatency);
   probes->read_model = &registry->histogram(n::kClientReadModelled);
+  probes->arena_high_water = &registry->gauge(n::kArenaHighWater);
+  probes->arena_fallbacks = &registry->gauge(n::kArenaFallbackAllocs);
   probes->trace = trace;
   probes_storage_ = std::move(probes);
   probes_.store(probes_storage_.get(), std::memory_order_release);
@@ -345,6 +402,13 @@ IoResult EcClient::write(FileId id, std::span<const std::uint8_t> data,
   const auto encode_start = std::chrono::steady_clock::now();
   auto shards = rs_.encode(data);
   const double encode_time = elapsed_seconds(encode_start);
+  if (auto* probes = probes_.load(std::memory_order_acquire)) {
+    probes->encode_bytes->add(data.size());
+    if (encode_time > 0.0) {
+      probes->encode_gbps->set(static_cast<std::int64_t>(
+          static_cast<double>(data.size()) / encode_time / 1e6));  // x1e3 GB/s
+    }
+  }
 
   FileMeta meta;
   meta.size = data.size();
@@ -384,33 +448,62 @@ IoResult EcClient::read(FileId id, Rng& rng) {
   const std::size_t fetch_count = std::min(k + 1, n);
   const auto picks = rng.sample_without_replacement(n, fetch_count);
 
-  std::vector<Shard> shards(fetch_count);
+  // Zero-copy shard access: the fetched BlockRefs stay alive for the whole
+  // decode, and the decoder reads the cached bytes through non-owning
+  // ShardViews — the old path copied every shard into a working Shard
+  // first, which doubled the read's memory traffic.
+  std::vector<BlockRef> blocks(fetch_count);
+  std::vector<ShardView> views(fetch_count);
   pool_.parallel_for(fetch_count, [&](std::size_t j) {
     const std::size_t piece = picks[j];
     auto block = cluster_.server(meta->servers[piece])
                      .get(BlockKey{id, static_cast<PieceIndex>(piece)});
     if (!block) throw std::runtime_error("EcClient::read: missing shard");
-    // The decoder needs its own working copy; the shared block stays
-    // untouched in the cache (zero-copy read contract).
-    shards[j] = Shard{piece, block->bytes};
+    views[j] = ShardView{piece, block->bytes};
+    blocks[j] = std::move(block);
   });
-  shards.resize(k);  // the k "fastest"
 
   const auto decode_start = std::chrono::steady_clock::now();
   IoResult result;
-  result.bytes = rs_.decode(shards, meta->size);
+  result.bytes.resize(meta->size);
+  RsScratch scratch;
+  // Decode from the first k of the sample (the k "fastest").
+  rs_.decode_into(std::span<const ShardView>(views.data(), k), meta->size, result.bytes,
+                  scratch);
   result.compute_time = elapsed_seconds(decode_start);
+  if (auto* probes = probes_.load(std::memory_order_acquire)) {
+    probes->decode_bytes->add(meta->size);
+    if (result.compute_time > 0.0) {
+      probes->decode_gbps->set(static_cast<std::int64_t>(
+          static_cast<double>(meta->size) / result.compute_time / 1e6));  // x1e3 GB/s
+    }
+  }
   if (crc32(result.bytes) != meta->file_crc) {
     throw std::runtime_error("EcClient::read: whole-file checksum mismatch");
   }
   Seconds slowest = 0.0;
   for (std::size_t j = 0; j < k; ++j) {
-    const Bandwidth bw = cluster_.server(meta->servers[shards[j].index]).bandwidth();
-    slowest = std::max(slowest, static_cast<double>(shards[j].bytes.size()) /
+    const Bandwidth bw = cluster_.server(meta->servers[views[j].index]).bandwidth();
+    slowest = std::max(slowest, static_cast<double>(views[j].bytes.size()) /
                                     (bw * goodput_.factor(fetch_count)));
   }
   result.network_time = slowest;
   return result;
+}
+
+void EcClient::attach_observability(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    probes_.store(nullptr, std::memory_order_release);
+    return;
+  }
+  namespace n = obs::names;
+  auto probes = std::make_unique<CodecProbes>();
+  probes->encode_bytes = &registry->counter(n::kCodecEncodeBytes);
+  probes->decode_bytes = &registry->counter(n::kCodecDecodeBytes);
+  probes->encode_gbps = &registry->gauge(n::kCodecEncodeGbps);
+  probes->decode_gbps = &registry->gauge(n::kCodecDecodeGbps);
+  probes_storage_ = std::move(probes);
+  probes_.store(probes_storage_.get(), std::memory_order_release);
 }
 
 }  // namespace spcache

@@ -37,6 +37,8 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/crc32.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
@@ -59,6 +61,23 @@ struct IoResult {
   std::size_t degraded_pieces = 0;  // pieces served from stable storage
   bool degraded = false;            // true iff any piece failed over to stable
   bool layout_cached = false;       // read served without a master LOOKUP
+};
+
+// Reusable read workspace for SpClient::read(id, scratch) — everything a
+// read needs that would otherwise be heap-allocated per call: the
+// reassembly buffer (result.bytes), the layout copy, the per-pass
+// bookkeeping arrays (arena-backed), and the CRC combine operators. After
+// one warming read, a cached-layout read of a same-or-smaller file is
+// allocation-free end to end (asserted by tests/test_cluster_read_alloc).
+//
+// Not thread-safe: one ReadScratch per reader thread, and the IoResult
+// reference returned by read(id, scratch) aliases scratch.result — it is
+// valid until the next read against the same scratch.
+struct ReadScratch {
+  IoResult result;           // result.bytes doubles as the reassembly buffer
+  FileMeta meta;             // layout storage (vectors keep their capacity)
+  Arena arena{16 * kKB};     // offsets / fetch flags / per-piece CRCs
+  Crc32Combiner combiner;    // stitches piece CRCs into the whole-file CRC
 };
 
 class SpClient {
@@ -101,6 +120,16 @@ class SpClient {
   // machinery.
   IoResult read(FileId id);
 
+  // Allocation-free variant: identical semantics to read(id), but every
+  // per-read buffer lives in `scratch` and is reused across calls. The
+  // returned reference aliases scratch.result (valid until the next read
+  // with the same scratch). This is the steady-state hot path: with a
+  // warmed scratch and a cached layout, a read performs zero heap
+  // allocations — the piece copies run through the fused crc32_copy kernel
+  // and the whole-file CRC is stitched from the per-piece CRCs (O(k·32))
+  // instead of rescanning the reassembled bytes.
+  IoResult& read(FileId id, ReadScratch& scratch);
+
   // Ship pending cache-served access counts to the master now. Returns
   // the number of accesses reported. Called automatically on the flush
   // threshold and from the destructor.
@@ -132,21 +161,27 @@ class SpClient {
     obs::Counter* layout_invalidations = nullptr;
     obs::LatencyHistogram* read_wall = nullptr;
     obs::LatencyHistogram* read_model = nullptr;
+    // Read-scratch arena telemetry (most recent read): occupancy high-water
+    // and lifetime heap-spill count. fallbacks staying 0 is the
+    // allocation-free invariant, exported so the observer can flag it.
+    obs::Gauge* arena_high_water = nullptr;
+    obs::Gauge* arena_fallbacks = nullptr;
     obs::TraceRecorder* trace = nullptr;  // may stay null (metrics only)
   };
 
  private:
-  // One full read pass against a freshly fetched layout. Returns true on
+  // One full read pass against the layout in scratch.meta. Returns true on
   // success; false means retryable failure (missing pieces without a
   // usable stable copy, or a whole-file checksum mismatch). `op` is the
   // trace op-id of the enclosing read (0 when tracing is detached).
-  bool read_pass(FileId id, const FileMeta& meta, std::size_t pass, std::uint64_t op,
-                 IoResult& result, std::string& error);
+  bool read_pass(FileId id, std::size_t pass, std::uint64_t op, ReadScratch& scratch,
+                 std::string& error);
 
-  // Layout for pass `pass`: cache on pass 1 (when enabled), fresh
-  // master LOOKUP otherwise (write-through to the cache). Sets
-  // `from_cache` and handles the hit/miss tallies + batched reporting.
-  std::optional<FileMeta> layout_for_pass(FileId id, std::size_t pass, bool& from_cache);
+  // Layout for pass `pass`, written into `out`: cache on pass 1 (when
+  // enabled; a hit copy-assigns into out's warmed vectors), fresh master
+  // LOOKUP otherwise (write-through to the cache). Sets `from_cache` and
+  // handles the hit/miss tallies + batched reporting. False: unknown file.
+  bool layout_for_pass(FileId id, std::size_t pass, bool& from_cache, FileMeta& out);
 
   // Write-through helper: publish the just-registered layout to the cache.
   void cache_own_write(FileId id);
@@ -178,12 +213,26 @@ class EcClient {
 
   const ReedSolomon& codec() const { return rs_; }
 
+  // Resolve the shared "codec.*" metrics in `registry` and start recording
+  // bytes through the encoder/decoder plus the most recent single-op
+  // throughput (gauges in x1e3 GB/s). nullptr detaches.
+  void attach_observability(obs::MetricsRegistry* registry);
+
+  struct CodecProbes {
+    obs::Counter* encode_bytes = nullptr;
+    obs::Counter* decode_bytes = nullptr;
+    obs::Gauge* encode_gbps = nullptr;
+    obs::Gauge* decode_gbps = nullptr;
+  };
+
  private:
   Cluster& cluster_;
   Master& master_;
   ThreadPool& pool_;
   ReedSolomon rs_;
   GoodputModel goodput_;
+  std::unique_ptr<CodecProbes> probes_storage_;
+  std::atomic<CodecProbes*> probes_{nullptr};
 };
 
 }  // namespace spcache

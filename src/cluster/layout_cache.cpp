@@ -20,6 +20,21 @@ std::optional<FileMeta> LayoutCache::get(FileId id) {
   return it->second;
 }
 
+bool LayoutCache::get_into(FileId id, FileMeta& out) {
+  auto& shard = shard_for(id);
+  std::lock_guard lock(shard.mu);
+  const auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // Copy-assignment (not a fresh FileMeta): the servers/piece_sizes vectors
+  // in `out` keep their capacity, so steady-state hits never allocate.
+  out = it->second;
+  return true;
+}
+
 void LayoutCache::put(FileId id, FileMeta meta) {
   auto& shard = shard_for(id);
   std::lock_guard lock(shard.mu);

@@ -65,6 +65,12 @@ class LayoutCache {
   // Cached layout, or nullopt on a miss. Counts the hit/miss.
   std::optional<FileMeta> get(FileId id);
 
+  // Allocation-light variant for the steady-state read path: copy-assigns
+  // the cached layout into caller-owned storage (a warmed `out` reuses its
+  // vectors' capacity, so a hit allocates nothing). Returns false on a
+  // miss, leaving `out` untouched. Counts the hit/miss like get().
+  bool get_into(FileId id, FileMeta& out);
+
   // Insert or refresh. On a race the newer epoch wins; an equal-epoch put
   // refreshes the entry (idempotent). Evicts FIFO when the shard is full.
   void put(FileId id, FileMeta meta);

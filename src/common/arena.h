@@ -1,0 +1,121 @@
+// Bump-pointer arena and pooled byte buffers for the allocation-free
+// steady-state data plane.
+//
+// Ownership/lifetime rules (also documented in DESIGN.md §"Data plane
+// kernels"):
+//   - An Arena owns one slab, allocated at construction and never resized.
+//     allocate() hands out sub-spans of it; reset() rewinds the bump pointer
+//     and invalidates every span handed out since the previous reset.
+//   - Spans returned by allocate()/make_span() are *uninitialized* storage:
+//     write before read. Only trivially-copyable element types are allowed.
+//   - Requests that do not fit the remaining slab spill to the heap (and are
+//     freed on reset()); each spill bumps fallback_allocs(). A correctly
+//     sized arena shows fallback_allocs() == 0 in steady state — the
+//     read-path allocation test asserts exactly that.
+//   - Arenas are single-threaded: each worker/scratch owns its own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace spcache {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t capacity)
+      : slab_(new std::uint8_t[capacity]), capacity_(capacity) {
+    fallbacks_.reserve(4);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  std::span<std::uint8_t> allocate(std::size_t n, std::size_t align = 16) {
+    const std::size_t aligned = (used_ + align - 1) & ~(align - 1);
+    if (aligned + n <= capacity_) {
+      used_ = aligned + n;
+      high_water_ = used_ > high_water_ ? used_ : high_water_;
+      return {slab_.get() + aligned, n};
+    }
+    // Spill: correctness is preserved, the allocation counter records the
+    // miss so tests and metrics can flag an undersized arena.
+    ++fallback_allocs_;
+    fallback_bytes_ += n;
+    fallbacks_.emplace_back(n);
+    return {fallbacks_.back().data(), n};
+  }
+
+  template <typename T>
+  std::span<T> make_span(std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto raw = allocate(count * sizeof(T), alignof(T) > 16 ? alignof(T) : 16);
+    return {reinterpret_cast<T*>(raw.data()), count};
+  }
+
+  // Rewinds the bump pointer and frees any heap spills. Every span handed
+  // out since the last reset() is invalidated.
+  void reset() {
+    used_ = 0;
+    fallback_bytes_ = 0;
+    if (!fallbacks_.empty()) fallbacks_.clear();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t bytes_in_use() const { return used_ + fallback_bytes_; }
+  std::size_t high_water() const { return high_water_; }
+  std::uint64_t fallback_allocs() const { return fallback_allocs_; }
+
+ private:
+  std::unique_ptr<std::uint8_t[]> slab_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t fallback_bytes_ = 0;
+  std::uint64_t fallback_allocs_ = 0;  // lifetime count, never reset
+  std::vector<std::vector<std::uint8_t>> fallbacks_;
+};
+
+// Size-bucketed pool of byte vectors for buffers that must *own* their
+// storage (e.g. staged pieces that later become cached blocks). acquire()
+// reuses a released vector's capacity when one is big enough; release()
+// returns a vector to the pool. Single-threaded, like Arena.
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_pooled = 16) : max_pooled_(max_pooled) {
+    pool_.reserve(max_pooled);
+  }
+
+  std::vector<std::uint8_t> acquire(std::size_t n) {
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (pool_[i].capacity() >= n) {
+        std::vector<std::uint8_t> out = std::move(pool_[i]);
+        pool_[i] = std::move(pool_.back());
+        pool_.pop_back();
+        out.resize(n);
+        return out;
+      }
+    }
+    std::vector<std::uint8_t> out;
+    out.resize(n);
+    return out;
+  }
+
+  void release(std::vector<std::uint8_t>&& buf) {
+    if (pool_.size() < max_pooled_) {
+      buf.clear();
+      pool_.push_back(std::move(buf));
+    }
+  }
+
+  std::size_t pooled() const { return pool_.size(); }
+
+ private:
+  std::size_t max_pooled_;
+  std::vector<std::vector<std::uint8_t>> pool_;
+};
+
+}  // namespace spcache

@@ -1,40 +1,35 @@
 #include "common/crc32.h"
 
-#include <array>
+#include "simd/simd.h"
 
 namespace spcache {
 
 namespace {
 
-// Slicing-by-8 tables for the reflected IEEE polynomial 0xEDB88320,
-// generated at startup. Table 0 is the classic byte-at-a-time table;
-// table k advances a byte's contribution k extra positions, letting the
-// inner loop fold 8 input bytes per iteration. Same polynomial, same
-// results as the byte-wise form — only the throughput changes (the block
-// store verifies every cached piece, so this is squarely on the hot read
-// path).
-using Crc32Tables = std::array<std::array<std::uint32_t, 256>, 8>;
-
-Crc32Tables make_tables() {
-  Crc32Tables t{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    }
-    t[0][i] = c;
-  }
-  for (std::size_t k = 1; k < 8; ++k) {
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
-    }
-  }
-  return t;
+// Appending one zero *bit* to a reflected CRC state is the linear map
+// state -> (state >> 1) ^ (poly if the low bit was set). Column i of that
+// matrix is the image of the unit vector with bit i set.
+Crc32ShiftOp one_zero_bit_op() {
+  Crc32ShiftOp op;
+  op.mat[0] = 0xEDB88320u;
+  for (int i = 1; i < 32; ++i) op.mat[i] = 1u << (i - 1);
+  return op;
 }
 
-const Crc32Tables& tables() {
-  static const auto t = make_tables();
-  return t;
+std::uint32_t gf2_times(const Crc32ShiftOp& op, std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  for (int i = 0; vec != 0; ++i, vec >>= 1) {
+    if (vec & 1u) sum ^= op.mat[i];
+  }
+  return sum;
+}
+
+// out = a ∘ b (apply b, then a). All operators here are powers of the same
+// "append one zero bit" map, so composition commutes.
+Crc32ShiftOp gf2_compose(const Crc32ShiftOp& a, const Crc32ShiftOp& b) {
+  Crc32ShiftOp out;
+  for (int i = 0; i < 32; ++i) out.mat[i] = gf2_times(a, b.mat[i]);
+  return out;
 }
 
 }  // namespace
@@ -42,32 +37,73 @@ const Crc32Tables& tables() {
 std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
 
 std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data) {
-  const auto& t = tables();
-  const std::uint8_t* p = data.data();
-  std::size_t n = data.size();
-  // Explicit byte loads keep this endian-agnostic.
-  while (n >= 8) {
-    const std::uint32_t lo = state ^ (static_cast<std::uint32_t>(p[0]) |
-                                      static_cast<std::uint32_t>(p[1]) << 8 |
-                                      static_cast<std::uint32_t>(p[2]) << 16 |
-                                      static_cast<std::uint32_t>(p[3]) << 24);
-    state = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
-            t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
-    p += 8;
-    n -= 8;
-  }
-  while (n > 0) {
-    state = t[0][(state ^ *p) & 0xFFu] ^ (state >> 8);
-    ++p;
-    --n;
-  }
-  return state;
+  return simd::kernels().crc32_update(state, data.data(), data.size());
 }
 
 std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
   return crc32_final(crc32_update(crc32_init(), data));
+}
+
+std::uint32_t crc32_copy_update(std::uint32_t state, std::span<std::uint8_t> dst,
+                                std::span<const std::uint8_t> src) {
+  return simd::kernels().crc32_copy_update(state, dst.data(), src.data(),
+                                           src.size());
+}
+
+std::uint32_t crc32_copy(std::span<std::uint8_t> dst,
+                         std::span<const std::uint8_t> src) {
+  return crc32_final(crc32_copy_update(crc32_init(), dst, src));
+}
+
+Crc32ShiftOp crc32_zeros_op(std::size_t len) {
+  Crc32ShiftOp result;
+  result.len = len;
+  for (int i = 0; i < 32; ++i) result.mat[i] = 1u << i;  // identity
+  if (len == 0) return result;
+
+  // power = operator for appending 8 * 2^j zero bits; start at one byte.
+  Crc32ShiftOp power = one_zero_bit_op();       // 1 bit
+  power = gf2_compose(power, power);            // 2 bits
+  power = gf2_compose(power, power);            // 4 bits
+  power = gf2_compose(power, power);            // 8 bits = 1 byte
+  for (std::size_t rem = len;;) {
+    if (rem & 1u) result = gf2_compose(power, result);
+    rem >>= 1;
+    if (rem == 0) break;
+    power = gf2_compose(power, power);
+  }
+  // gf2_compose only fills mat, so the assignments above reset len to 0 —
+  // restore it, or Crc32Combiner's by-length cache never matches and every
+  // combine silently rebuilds the matrix.
+  result.len = len;
+  return result;
+}
+
+std::uint32_t crc32_shift(const Crc32ShiftOp& op, std::uint32_t crc) {
+  return gf2_times(op, crc);
+}
+
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::size_t len_b) {
+  if (len_b == 0) return crc_a ^ crc_b;  // crc32 of an empty buffer is 0
+  return crc32_shift(crc32_zeros_op(len_b), crc_a) ^ crc_b;
+}
+
+std::uint32_t Crc32Combiner::combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                                     std::size_t len_b) {
+  if (len_b == 0) return crc_a ^ crc_b;
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    if (valid_[i] && ops_[i].len == len_b) {
+      return crc32_shift(ops_[i], crc_a) ^ crc_b;
+    }
+  }
+  const std::size_t slot = next_;
+  next_ = (next_ + 1) % kSlots;
+  ops_[slot] = crc32_zeros_op(len_b);
+  valid_[slot] = true;
+  return crc32_shift(ops_[slot], crc_a) ^ crc_b;
 }
 
 }  // namespace spcache

@@ -3,8 +3,19 @@
 // The threaded cluster substrate (src/cluster) checksums every cached block
 // on write and verifies it on read/reassembly, mirroring how real cluster
 // caches detect corruption during partition transfer.
+//
+// The byte-crunching itself is delegated to src/simd (PCLMULQDQ folding
+// where the CPU has it, slicing-by-8 otherwise; see simd/simd.h for the
+// dispatch policy). This header adds the fused and parallel-combine
+// primitives the data plane is built on:
+//   - crc32_copy: checksum computed in the same pass as the memcpy, so hot
+//     reads touch each byte once instead of twice.
+//   - crc32_combine: stitch per-piece CRCs into the whole-file CRC without
+//     rescanning the reassembled buffer (pieces are checksummed in parallel
+//     while they are copied, then combined in O(k) instead of O(bytes)).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -19,5 +30,55 @@ std::uint32_t crc32(std::span<const std::uint8_t> data);
 std::uint32_t crc32_init();
 std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data);
 std::uint32_t crc32_final(std::uint32_t state);
+
+// Fused copy+checksum: copies src into dst (same length, non-overlapping)
+// and advances the CRC state over those bytes in the same pass.
+std::uint32_t crc32_copy_update(std::uint32_t state, std::span<std::uint8_t> dst,
+                                std::span<const std::uint8_t> src);
+
+// One-shot fused copy: copies src into dst and returns the finalized CRC of
+// the copied bytes.
+std::uint32_t crc32_copy(std::span<std::uint8_t> dst,
+                         std::span<const std::uint8_t> src);
+
+// ---------------------------------------------------------------------------
+// CRC combination (GF(2) matrix method, as in zlib's crc32_combine).
+//
+// If crc_a = crc32(A) and crc_b = crc32(B) (both finalized), then
+// crc32_combine(crc_a, crc_b, B.size()) == crc32(A || B). Appending len_b
+// zero *bytes* to A is a linear operator on the 32-bit CRC; the operator is
+// built once per distinct length (≈64 matrix squarings) and applying it is
+// 32 xors.
+
+struct Crc32ShiftOp {
+  std::array<std::uint32_t, 32> mat;  // column i = operator applied to bit i
+  std::size_t len = 0;                // zero-byte count this operator appends
+};
+
+// Builds the operator for appending `len` zero bytes.
+Crc32ShiftOp crc32_zeros_op(std::size_t len);
+
+// Applies a prebuilt operator to a finalized CRC.
+std::uint32_t crc32_shift(const Crc32ShiftOp& op, std::uint32_t crc);
+
+// One-off combine (builds the operator internally; prefer Crc32Combiner on
+// hot paths where lengths repeat).
+std::uint32_t crc32_combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                            std::size_t len_b);
+
+// Caches shift operators by length in a small fixed-capacity ring, so
+// steady-state combining (pieces of a file share at most two distinct
+// lengths) never allocates and never rebuilds the matrix.
+class Crc32Combiner {
+ public:
+  std::uint32_t combine(std::uint32_t crc_a, std::uint32_t crc_b,
+                        std::size_t len_b);
+
+ private:
+  static constexpr std::size_t kSlots = 8;
+  std::array<Crc32ShiftOp, kSlots> ops_{};
+  std::array<bool, kSlots> valid_{};
+  std::size_t next_ = 0;  // round-robin eviction
+};
 
 }  // namespace spcache

@@ -23,35 +23,91 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool::Batch* ThreadPool::find_batch_locked() {
+  for (Batch* b = batches_; b != nullptr; b = b->link) {
+    if (b->next < b->n) return b;
+  }
+  return nullptr;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
-    {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
-      if (jobs_.empty()) return;  // stopping_ with drained queue
-      job = std::move(jobs_.front());
-      jobs_.pop_front();
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [this] {
+      return stopping_ || !jobs_.empty() || find_batch_locked() != nullptr;
+    });
+    if (Batch* b = find_batch_locked()) {
+      const std::size_t i = b->next++;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        b->fn(b->ctx, i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      if (err && !b->error) b->error = err;
+      if (++b->done == b->n) done_cv_.notify_all();
+      continue;
     }
-    job();
+    if (!jobs_.empty()) {
+      std::function<void()> job = std::move(jobs_.front());
+      jobs_.pop_front();
+      lock.unlock();
+      job();
+      continue;
+    }
+    if (stopping_) return;
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
-  }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+void ThreadPool::run_batch(std::size_t n, void (*thunk)(void*, std::size_t),
+                           void* ctx) {
+  if (workers_.size() == 1) {
+    // One-worker pools run the batch serially on the caller, in index
+    // order. This keeps parallel_for on a ThreadPool(1) deterministic —
+    // the seeded chaos-replay tests depend on it — and matches the old
+    // future-based semantics (every item runs; the first error is
+    // rethrown after the batch).
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        thunk(ctx, i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
     }
+    if (error) std::rethrow_exception(error);
+    return;
   }
-  if (first_error) std::rethrow_exception(first_error);
+  Batch b{thunk, ctx, n};
+  std::unique_lock lock(mu_);
+  b.link = batches_;
+  batches_ = &b;
+  cv_.notify_all();
+  // The caller claims and runs items alongside the workers.
+  while (b.next < n) {
+    const std::size_t i = b.next++;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      thunk(ctx, i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !b.error) b.error = err;
+    ++b.done;
+  }
+  // Unlink so workers stop scanning it, then wait out any items still
+  // running on workers. All batch state is mutated under mu_, so once
+  // done == n no thread can touch `b` again.
+  Batch** pp = &batches_;
+  while (*pp != &b) pp = &(*pp)->link;
+  *pp = b.link;
+  done_cv_.wait(lock, [&b] { return b.done == b.n; });
+  lock.unlock();
+  if (b.error) std::rethrow_exception(b.error);
 }
 
 }  // namespace spcache

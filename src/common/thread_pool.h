@@ -57,15 +57,49 @@ class ThreadPool {
 
   // Run `fn(i)` for i in [0, n) across the pool and wait for completion.
   // Exceptions from tasks are rethrown (the first one encountered).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  //
+  // Allocation-free: the batch control block lives on the caller's stack,
+  // workers claim indices one at a time under the pool lock, and the caller
+  // participates until the batch drains — no per-item std::function,
+  // promise/future, or queue-node allocations. Because the caller always
+  // helps, nested parallel_for calls complete even with zero free workers.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& fn) {
+    if (n == 0) return;
+    if (n == 1) {  // common degenerate case: skip all locking
+      fn(static_cast<std::size_t>(0));
+      return;
+    }
+    using Fn = std::remove_reference_t<F>;
+    run_batch(
+        n, [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
 
  private:
+  // One in-flight parallel_for. Lives on the calling thread's stack; all
+  // fields are guarded by the pool mutex, and the caller cannot return
+  // until done == n, so workers never touch a dead batch.
+  struct Batch {
+    void (*fn)(void*, std::size_t);
+    void* ctx;
+    std::size_t n;
+    std::size_t next = 0;
+    std::size_t done = 0;
+    std::exception_ptr error = nullptr;
+    Batch* link = nullptr;  // intrusive list of active batches
+  };
+
+  void run_batch(std::size_t n, void (*thunk)(void*, std::size_t), void* ctx);
+  Batch* find_batch_locked();
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> jobs_;
+  Batch* batches_ = nullptr;
   std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       // work available (jobs or batch items)
+  std::condition_variable done_cv_;  // batch items completed
   bool stopping_ = false;
 };
 

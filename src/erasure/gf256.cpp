@@ -3,6 +3,8 @@
 #include <array>
 #include <cassert>
 
+#include "simd/simd.h"
+
 namespace spcache::gf256 {
 
 namespace {
@@ -64,44 +66,19 @@ std::uint8_t pow(std::uint8_t a, unsigned e) {
   return t.exp_[log_result];
 }
 
+// The slice kernels are where RS encode/decode spends its time; they
+// dispatch to the SIMD layer (PSHUFB/AVX2 split-nibble lookups, or the
+// scalar product-row loop at SPCACHE_SIMD=scalar). Coefficient fast paths
+// (c == 0, c == 1) and the tiny-slice log/exp path live inside the kernels.
 void mul_add_slice(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src,
                    std::uint8_t c) {
   assert(dst.size() == src.size());
-  if (c == 0) return;
-  if (c == 1) {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
-    return;
-  }
-  // Per-coefficient 256-entry product table: one lookup per byte instead of
-  // two log lookups — the standard software RS inner loop.
-  const auto& t = tables();
-  const std::uint16_t log_c = t.log_[c];
-  std::array<std::uint8_t, 256> row{};
-  for (int v = 1; v < 256; ++v) {
-    row[static_cast<std::size_t>(v)] =
-        t.exp_[static_cast<std::size_t>(t.log_[static_cast<std::size_t>(v)]) + log_c];
-  }
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= row[src[i]];
+  simd::kernels().gf256_mul_add(dst.data(), src.data(), dst.size(), c);
 }
 
 void mul_slice(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src, std::uint8_t c) {
   assert(dst.size() == src.size());
-  if (c == 0) {
-    for (auto& b : dst) b = 0;
-    return;
-  }
-  if (c == 1) {
-    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
-    return;
-  }
-  const auto& t = tables();
-  const std::uint16_t log_c = t.log_[c];
-  std::array<std::uint8_t, 256> row{};
-  for (int v = 1; v < 256; ++v) {
-    row[static_cast<std::size_t>(v)] =
-        t.exp_[static_cast<std::size_t>(t.log_[static_cast<std::size_t>(v)]) + log_c];
-  }
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = row[src[i]];
+  simd::kernels().gf256_mul(dst.data(), src.data(), dst.size(), c);
 }
 
 }  // namespace spcache::gf256

@@ -91,4 +91,59 @@ std::optional<GfMatrix> GfMatrix::inverse() const {
   return inv;
 }
 
+void GfMatrix::assign_dims(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0);  // reuses capacity once warmed
+}
+
+void GfMatrix::select_rows_into(std::span<const std::size_t> indices,
+                                GfMatrix& out) const {
+  out.assign_dims(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < rows_);
+    for (std::size_t j = 0; j < cols_; ++j) out.at(i, j) = at(indices[i], j);
+  }
+}
+
+bool GfMatrix::invert_into(GfMatrix& inv, GfMatrix& work) const {
+  assert(rows_ == cols_);
+  const std::size_t n = rows_;
+  work.assign_dims(n, n);
+  inv.assign_dims(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inv.at(i, i) = 1;
+    for (std::size_t j = 0; j < n; ++j) work.at(i, j) = at(i, j);
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && work.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) return false;  // singular
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(work.at(pivot, j), work.at(col, j));
+        std::swap(inv.at(pivot, j), inv.at(col, j));
+      }
+    }
+    const std::uint8_t p = work.at(col, col);
+    if (p != 1) {
+      const std::uint8_t pinv = gf256::inv(p);
+      for (std::size_t j = 0; j < n; ++j) {
+        work.at(col, j) = gf256::mul(work.at(col, j), pinv);
+        inv.at(col, j) = gf256::mul(inv.at(col, j), pinv);
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const std::uint8_t factor = work.at(r, col);
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        work.at(r, j) = gf256::add(work.at(r, j), gf256::mul(factor, work.at(col, j)));
+        inv.at(r, j) = gf256::add(inv.at(r, j), gf256::mul(factor, inv.at(col, j)));
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace spcache

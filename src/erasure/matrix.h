@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace spcache {
@@ -37,6 +38,14 @@ class GfMatrix {
 
   // Gauss-Jordan inverse; nullopt if singular. Requires a square matrix.
   std::optional<GfMatrix> inverse() const;
+
+  // Allocation-reusing variants for scratch-backed decode: resize into
+  // existing capacity instead of constructing fresh matrices.
+  void assign_dims(std::size_t rows, std::size_t cols);
+  void select_rows_into(std::span<const std::size_t> indices, GfMatrix& out) const;
+  // inv = this^-1 using `work` as the elimination workspace; returns false
+  // if singular. Both matrices are resized in place (capacity reused).
+  bool invert_into(GfMatrix& inv, GfMatrix& work) const;
 
   bool operator==(const GfMatrix& other) const = default;
 

@@ -26,6 +26,23 @@ struct Shard {
   std::vector<std::uint8_t> bytes;
 };
 
+// Non-owning shard reference for the span-based decode path: lets callers
+// decode straight out of cached blocks without copying shard bytes first.
+struct ShardView {
+  std::size_t index = 0;
+  std::span<const std::uint8_t> bytes;
+};
+
+// Reusable decode workspace. All members are resized in place, so a warmed
+// scratch makes repeated decodes of same-shaped files allocation-free.
+struct RsScratch {
+  GfMatrix sub, inv, work;
+  std::vector<std::size_t> rows;
+  std::vector<const ShardView*> chosen;
+  std::vector<std::uint8_t> seen;
+  std::vector<std::uint8_t> stage;  // staging for the truncated tail shard
+};
+
 class ReedSolomon {
  public:
   // Requires 1 <= k <= n <= 256.
@@ -46,10 +63,22 @@ class ReedSolomon {
   // Encode a file into n shards (first k are the zero-padded data).
   std::vector<Shard> encode(std::span<const std::uint8_t> data) const;
 
+  // Span-based encode: writes all n shards into caller-provided buffers
+  // (each exactly shard_size(data.size()) bytes; arena- or pool-backed on
+  // the hot path). Buffers need no zero-initialization — every byte is
+  // written exactly once, including the zero padding of the data tail.
+  void encode_into(std::span<const std::uint8_t> data,
+                   std::span<const std::span<std::uint8_t>> shards) const;
+
   // Compute only the parity shards for pre-split data shards (all the same
   // length). Used by the cluster write path, which splits first.
   std::vector<Shard> encode_parity(
       const std::vector<std::span<const std::uint8_t>>& data) const;
+
+  // Span-based parity: writes the n-k parity shards into caller-provided
+  // buffers of the data-shard length (no zero-init required).
+  void encode_parity_into(std::span<const std::span<const std::uint8_t>> data,
+                          std::span<const std::span<std::uint8_t>> parity) const;
 
   // Reconstruct the original file from any >= k distinct shards.
   // `original_size` removes the padding. Throws std::invalid_argument on
@@ -57,6 +86,13 @@ class ReedSolomon {
   // shard lengths.
   std::vector<std::uint8_t> decode(const std::vector<Shard>& shards,
                                    std::size_t original_size) const;
+
+  // Span-based decode: reconstructs into `out` (exactly original_size
+  // bytes) from non-owning shard views, reusing `scratch` for the inverted
+  // submatrix and tail staging. Shards whose bytes land entirely in the
+  // stripped padding are never computed. Same validation/throws as decode().
+  void decode_into(std::span<const ShardView> shards, std::size_t original_size,
+                   std::span<std::uint8_t> out, RsScratch& scratch) const;
 
   const GfMatrix& generator() const { return generator_; }
 
@@ -78,5 +114,20 @@ std::vector<std::vector<std::uint8_t>> split_sized(std::span<const std::uint8_t>
                                                    const std::vector<Bytes>& sizes);
 
 std::vector<std::uint8_t> join_plain(const std::vector<std::vector<std::uint8_t>>& pieces);
+
+// View-based splitting for the zero-copy write path: pieces are contiguous
+// slices *into* `data` (no bytes move). `out` must hold k (resp.
+// sizes.size()) entries. split_sized_views throws if sizes don't sum to
+// data.size(), mirroring split_sized.
+void split_plain_views(std::span<const std::uint8_t> data, std::size_t k,
+                       std::span<std::span<const std::uint8_t>> out);
+void split_sized_views(std::span<const std::uint8_t> data,
+                       std::span<const Bytes> sizes,
+                       std::span<std::span<const std::uint8_t>> out);
+
+// Concatenate pieces into a caller-provided buffer (piece sizes must sum to
+// out.size(); throws std::invalid_argument otherwise).
+void join_into(std::span<const std::span<const std::uint8_t>> pieces,
+               std::span<std::uint8_t> out);
 
 }  // namespace spcache

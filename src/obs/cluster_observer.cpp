@@ -111,6 +111,16 @@ ClusterStats ClusterObserver::collect(const std::vector<double>& server_loads) c
   }
   std::sort(stats.circuit_open_peers.begin(), stats.circuit_open_peers.end());
 
+  stats.codec_encode_bytes = snap.counter_value(names::kCodecEncodeBytes);
+  stats.codec_decode_bytes = snap.counter_value(names::kCodecDecodeBytes);
+  // The gauges carry x1e3 GB/s (gauges are integral); export real GB/s.
+  stats.codec_encode_gbps =
+      static_cast<double>(snap.gauge_value(names::kCodecEncodeGbps)) / 1e3;
+  stats.codec_decode_gbps =
+      static_cast<double>(snap.gauge_value(names::kCodecDecodeGbps)) / 1e3;
+  stats.arena_high_water = snap.gauge_value(names::kArenaHighWater);
+  stats.arena_fallback_allocs = snap.gauge_value(names::kArenaFallbackAllocs);
+
   stats.repartition_bytes_moved = snap.counter_value(names::kRepartitionBytesMoved);
   stats.repartition_bytes_saved = snap.counter_value(names::kRepartitionBytesSaved);
   if (const auto* hist = snap.histogram_named(names::kRepartitionCutover)) {
@@ -168,7 +178,12 @@ std::string ClusterObserver::to_json(const ClusterStats& stats) {
   for (std::size_t i = 0; i < stats.circuit_open_peers.size(); ++i) {
     out << (i ? ", " : "") << stats.circuit_open_peers[i];
   }
-  out << "]}}";
+  out << "]}, \"codec\": {\"encode_bytes\": " << stats.codec_encode_bytes
+      << ", \"decode_bytes\": " << stats.codec_decode_bytes
+      << ", \"encode_gbps\": " << stats.codec_encode_gbps
+      << ", \"decode_gbps\": " << stats.codec_decode_gbps
+      << "}, \"arena\": {\"high_water\": " << stats.arena_high_water
+      << ", \"fallback_allocs\": " << stats.arena_fallback_allocs << "}}";
   return out.str();
 }
 

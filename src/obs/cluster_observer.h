@@ -111,6 +111,17 @@ struct ClusterStats {
   std::uint64_t transport_circuit_opens = 0;
   std::uint64_t bus_deadline_shed = 0;
   std::vector<std::uint32_t> circuit_open_peers;
+
+  // Data-plane kernels: cumulative bytes through the RS codec, the most
+  // recent single-op throughput (GB/s), and the read-scratch arena's
+  // telemetry. arena_fallback_allocs > 0 means some read spilled past its
+  // arena to the heap — the allocation-free invariant was missed.
+  std::uint64_t codec_encode_bytes = 0;
+  std::uint64_t codec_decode_bytes = 0;
+  double codec_encode_gbps = 0.0;
+  double codec_decode_gbps = 0.0;
+  std::int64_t arena_high_water = 0;
+  std::int64_t arena_fallback_allocs = 0;
 };
 
 class ClusterObserver {

@@ -40,7 +40,12 @@ namespace spcache::obs {
 
 // Monotonic event count. Relaxed ordering: these are statistical tallies,
 // never synchronizers.
-class Counter {
+//
+// Cache-line aligned (like Gauge): counters are 8-byte heap objects that
+// the registry allocates back-to-back, so without the alignment two hot
+// counters bumped by different threads (e.g. adjacent servers' gets) end
+// up false-sharing one line — measurable in the 16-thread bench.
+class alignas(64) Counter {
  public:
   void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
@@ -50,7 +55,7 @@ class Counter {
 };
 
 // Instantaneous signed level (queue depth, in-flight ops).
-class Gauge {
+class alignas(64) Gauge {
  public:
   void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void add(std::int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
@@ -219,6 +224,18 @@ inline constexpr std::string_view kControllerSearchIterations =
     "controller.search_iterations";
 inline constexpr std::string_view kControllerAlphaMicro = "controller.alpha_x1e6";
 inline constexpr std::string_view kControllerEtaMicro = "controller.eta_x1e6";
+// Data-plane kernels (src/simd + common/arena.h): cumulative bytes pushed
+// through the RS codec, the most recent single-op throughput (x1e3 GB/s —
+// gauges are integral), and the read-scratch arena's occupancy/spill
+// telemetry. arena.fallback_allocs > 0 flags an undersized arena (the
+// read-path allocation test and the check.sh kernels gate assert 0).
+inline constexpr std::string_view kCodecEncodeBytes = "codec.encode_bytes";
+inline constexpr std::string_view kCodecDecodeBytes = "codec.decode_bytes";
+inline constexpr std::string_view kCodecEncodeGbps = "codec.encode_gbps_x1e3";
+inline constexpr std::string_view kCodecDecodeGbps = "codec.decode_gbps_x1e3";
+inline constexpr std::string_view kArenaBytesInUse = "arena.bytes_in_use";
+inline constexpr std::string_view kArenaHighWater = "arena.high_water";
+inline constexpr std::string_view kArenaFallbackAllocs = "arena.fallback_allocs";
 // Per-server leaf names (full name: server.<id>.<leaf>).
 inline constexpr std::string_view kServerGets = "gets";
 inline constexpr std::string_view kServerMisses = "misses";

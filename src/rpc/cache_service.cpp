@@ -50,9 +50,11 @@ CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t s
   node_->handle(kPutBlock, [this](BufferReader& r) {
     const auto file = static_cast<FileId>(r.u32());
     const auto piece = static_cast<PieceIndex>(r.u32());
-    auto data = r.bytes();
+    // View straight into the request payload: the only copy of the block
+    // bytes is the fused copy+CRC inside put_copy.
+    const auto data = r.bytes_view();
     const std::uint64_t epoch = r.u64();
-    store_.put(BlockKey{file, piece}, std::move(data));
+    store_.put_copy(BlockKey{file, piece}, data);
     auto& recorded = epochs_[file];
     recorded = std::max(recorded, epoch);
     return empty_body();
@@ -461,7 +463,8 @@ std::optional<FileMeta> RpcSpClient::layout_for_pass(FileId id, std::size_t pass
 
 bool RpcSpClient::multi_get_pass(FileId id, const FileMeta& meta, std::size_t pass,
                                  std::uint64_t op, std::vector<std::uint8_t>& out,
-                                 std::size_t& retries, bool& wrong_epoch, std::string& error) {
+                                 std::size_t& retries, bool& wrong_epoch,
+                                 std::uint32_t& whole_crc, std::string& error) {
   const auto* probes = probes_.load(std::memory_order_acquire);
   obs::TraceRecorder* trace = probes ? probes->trace : nullptr;
   const std::size_t n = meta.partitions();
@@ -471,8 +474,16 @@ bool RpcSpClient::multi_get_pass(FileId id, const FileMeta& meta, std::size_t pa
     offsets[i] = total;
     total += meta.piece_sizes[i];
   }
-  out.assign(total, 0);
+  // No pre-zeroing: a successful pass writes every byte through the fused
+  // copies below, and a failed pass never surfaces `out`.
+  out.resize(total);
   std::vector<std::uint8_t> have(n, 0);
+  std::vector<std::uint32_t> piece_crcs(n, 0);
+  const auto fused_copy_at = [&](std::size_t i, std::span<const std::uint8_t> bytes) {
+    piece_crcs[i] = crc32_copy(
+        std::span<std::uint8_t>(out.data() + offsets[i], bytes.size()), bytes);
+    have[i] = 1;
+  };
   wrong_epoch = false;
 
   if (cache_config_.coalesce) {
@@ -529,9 +540,7 @@ bool RpcSpClient::multi_get_pass(FileId id, const FileMeta& meta, std::size_t pa
         if (pr.u8() == 0) continue;  // missing on the worker
         const auto bytes = pr.bytes_view();
         if (bytes.size() != meta.piece_sizes[i]) continue;
-        std::copy(bytes.begin(), bytes.end(),
-                  out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
-        have[i] = 1;
+        fused_copy_at(i, bytes);
         if (trace) {
           trace->record(obs::TraceKind::kPieceFetch, op, id, g.worker, i,
                         static_cast<double>(bytes.size()));
@@ -562,9 +571,7 @@ bool RpcSpClient::multi_get_pass(FileId id, const FileMeta& meta, std::size_t pa
       BufferReader pr(reply.payload);
       const auto bytes = pr.bytes_view();
       if (bytes.size() != meta.piece_sizes[i]) continue;
-      std::copy(bytes.begin(), bytes.end(),
-                out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
-      have[i] = 1;
+      fused_copy_at(i, bytes);
       if (trace) {
         trace->record(obs::TraceKind::kPieceFetch, op, id, worker_of_server_.at(meta.servers[i]),
                       i, static_cast<double>(bytes.size()));
@@ -585,8 +592,17 @@ bool RpcSpClient::multi_get_pass(FileId id, const FileMeta& meta, std::size_t pa
       error = "piece " + std::to_string(i) + " unfetchable";
       continue;
     }
-    std::copy(bytes->begin(), bytes->end(),
-              out.begin() + static_cast<std::ptrdiff_t>(offsets[i]));
+    fused_copy_at(i, *bytes);
+  }
+  if (all_ok) {
+    // Stitch the per-piece CRCs (from the fused copies) into crc32(out):
+    // O(n·32) xors instead of a second pass over the reassembled file. The
+    // combiner caches the shift operator per distinct piece length.
+    Crc32Combiner combiner;
+    whole_crc = n > 0 ? piece_crcs[0] : crc32(out);
+    for (std::size_t i = 1; i < n; ++i) {
+      whole_crc = combiner.combine(whole_crc, piece_crcs[i], meta.piece_sizes[i]);
+    }
   }
   return all_ok;
 }
@@ -624,8 +640,10 @@ RpcReadStats RpcSpClient::do_read(FileId id) {
 
     std::vector<std::uint8_t> out;
     bool wrong_epoch = false;
-    bool fetched = multi_get_pass(id, *meta, pass, op, out, stats.retries, wrong_epoch, error);
-    if (fetched && (out.size() != meta->size || crc32(out) != meta->file_crc)) {
+    std::uint32_t whole_crc = 0;
+    bool fetched = multi_get_pass(id, *meta, pass, op, out, stats.retries, wrong_epoch,
+                                  whole_crc, error);
+    if (fetched && (out.size() != meta->size || whole_crc != meta->file_crc)) {
       error = "whole-file checksum mismatch";
       fetched = false;
     }
@@ -805,18 +823,26 @@ std::vector<std::uint8_t> RpcEcClient::read(FileId id, Rng& rng) {
     w.u32(static_cast<std::uint32_t>(picks[j]));
     gets.push_back(node_->call(worker_of_server_.at(servers[picks[j]]), kGetBlock, w.take()));
   }
-  std::vector<Shard> shards;
-  shards.reserve(rs_.data_shards());
-  for (std::size_t j = 0; j < fetch_count && shards.size() < rs_.data_shards(); ++j) {
-    const auto shard_reply = gets[j].get();
+  // Zero-copy decode: keep the reply payloads alive and hand the decoder
+  // non-owning views into them — shard bytes are never copied into a
+  // working buffer first.
+  std::vector<Reply> replies;
+  std::vector<ShardView> views;
+  replies.reserve(rs_.data_shards());
+  views.reserve(rs_.data_shards());
+  for (std::size_t j = 0; j < fetch_count && views.size() < rs_.data_shards(); ++j) {
+    auto shard_reply = gets[j].get();
     if (!shard_reply.ok()) continue;  // the late-binding hedge absorbs one loss
-    BufferReader pr(shard_reply.payload);
-    shards.push_back(Shard{picks[j], pr.bytes()});
+    replies.push_back(std::move(shard_reply));
+    BufferReader pr(replies.back().payload);
+    views.push_back(ShardView{picks[j], pr.bytes_view()});
   }
-  if (shards.size() < rs_.data_shards()) {
+  if (views.size() < rs_.data_shards()) {
     throw std::runtime_error("EC read: not enough shards survived");
   }
-  auto out = rs_.decode(shards, size);
+  std::vector<std::uint8_t> out(size);
+  RsScratch scratch;
+  rs_.decode_into(views, size, out, scratch);
   if (crc32(out) != file_crc) throw std::runtime_error("EC read: checksum mismatch");
   return out;
 }

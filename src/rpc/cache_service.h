@@ -234,10 +234,13 @@ class RpcSpClient {
   // Coalesced GET phase of one pass: per-worker kGetBlockMulti fan-out,
   // falling back to per-piece fetch_piece for pieces a multi-GET missed.
   // Returns false (with `error` set) when the pass must be retried;
-  // `wrong_epoch` reports a kWrongEpoch reply (caller invalidates).
+  // `wrong_epoch` reports a kWrongEpoch reply (caller invalidates). Every
+  // reassembly copy runs through the fused crc32_copy kernel; on success
+  // `whole_crc` carries the per-piece CRCs combined into crc32(out), so
+  // the caller's end-to-end verification never rescans the bytes.
   bool multi_get_pass(FileId id, const FileMeta& meta, std::size_t pass, std::uint64_t op,
                       std::vector<std::uint8_t>& out, std::size_t& retries,
-                      bool& wrong_epoch, std::string& error);
+                      bool& wrong_epoch, std::uint32_t& whole_crc, std::string& error);
 
   // One read in flight per file; followers share the leader's bytes.
   struct Inflight {

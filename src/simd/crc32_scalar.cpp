@@ -1,0 +1,85 @@
+// Scalar CRC-32 kernels: slicing-by-8 over the reflected IEEE polynomial
+// 0xEDB88320, plus the fused copy variant that stores each 8-byte word as it
+// folds it. Explicit byte loads keep both endian-agnostic.
+#include <array>
+#include <cstring>
+
+#include "simd/kernels_impl.h"
+
+namespace spcache::simd::detail {
+
+namespace {
+
+using Crc32Tables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+Crc32Tables make_tables() {
+  Crc32Tables t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[0][i] = c;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+    }
+  }
+  return t;
+}
+
+const Crc32Tables& tables() {
+  static const auto t = make_tables();
+  return t;
+}
+
+inline std::uint32_t fold8(const Crc32Tables& t, std::uint32_t state,
+                           const std::uint8_t* p) {
+  const std::uint32_t lo = state ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+  return t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+         t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+}
+
+}  // namespace
+
+std::uint32_t crc32_update_scalar(std::uint32_t state, const std::uint8_t* p,
+                                  std::size_t n) {
+  const auto& t = tables();
+  while (n >= 8) {
+    state = fold8(t, state, p);
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    state = t[0][(state ^ *p) & 0xFFu] ^ (state >> 8);
+    ++p;
+    --n;
+  }
+  return state;
+}
+
+std::uint32_t crc32_copy_update_scalar(std::uint32_t state, std::uint8_t* dst,
+                                       const std::uint8_t* src, std::size_t n) {
+  const auto& t = tables();
+  while (n >= 8) {
+    std::memcpy(dst, src, 8);  // single 64-bit store
+    state = fold8(t, state, src);
+    src += 8;
+    dst += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    *dst = *src;
+    state = t[0][(state ^ *src) & 0xFFu] ^ (state >> 8);
+    ++src;
+    ++dst;
+    --n;
+  }
+  return state;
+}
+
+}  // namespace spcache::simd::detail

@@ -1,0 +1,57 @@
+#include "simd/kernels_impl.h"
+
+namespace spcache::simd::detail {
+
+namespace {
+
+constexpr std::uint16_t kPolynomial = 0x11B;
+
+// Carry-less peasant multiply mod 0x11B. Deliberately independent of the
+// log/exp derivation so the full product table cross-checks it: the
+// equivalence suite also compares against erasure/gf256's tables.
+constexpr std::uint8_t peasant_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint16_t acc = 0;
+  std::uint16_t x = a;
+  for (std::uint8_t bb = b; bb != 0; bb >>= 1) {
+    if (bb & 1) acc ^= x;
+    x <<= 1;
+    if (x & 0x100) x ^= kPolynomial;
+  }
+  return static_cast<std::uint8_t>(acc);
+}
+
+Gf256Tables make_tables() {
+  Gf256Tables t{};
+  // log/exp via the generator 0x03 (x + 1), same as erasure/gf256.
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    std::uint16_t nx = static_cast<std::uint16_t>(x << 1) ^ x;
+    if (nx & 0x100) nx ^= kPolynomial;
+    x = nx & 0xFF;
+  }
+  for (int i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+  t.log[0] = 0;  // unused; guarded by callers
+
+  for (int c = 0; c < 256; ++c) {
+    for (int v = 0; v < 256; ++v) {
+      t.mul[c][v] = peasant_mul(static_cast<std::uint8_t>(c),
+                                static_cast<std::uint8_t>(v));
+    }
+    for (int i = 0; i < 16; ++i) {
+      t.nib_lo[c][i] = t.mul[c][i];
+      t.nib_hi[c][i] = t.mul[c][i << 4];
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const Gf256Tables& gf256_tables() {
+  static const Gf256Tables t = make_tables();
+  return t;
+}
+
+}  // namespace spcache::simd::detail

@@ -89,6 +89,14 @@ TEST(ClusterChaos, ReadersSurviveOnlineAdjustmentsAndRecovery) {
     recovery.repair_after_server_loss(3);
   }
 
+  // The chaos phase above can complete in single-digit milliseconds; keep
+  // the (now healthy) cluster under reader traffic until at least one read
+  // lands so the good_reads gate checks correctness, not scheduling luck.
+  // Bounded: a genuine read outage still fails below.
+  for (int i = 0; i < 5000 && good_reads.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
   stop.store(true);
   r1.join();
   r2.join();

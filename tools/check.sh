@@ -38,6 +38,22 @@ if [[ "$QUICK" -eq 0 ]]; then
   cmake --build --preset default -j "$(nproc)"
   ctest --preset default -j "$(nproc)"
 
+  echo "==> kernels: cross-ISA equivalence (-L kernels) once per SPCACHE_SIMD level"
+  # The data-plane kernel tier: the simd equivalence suite, the CRC/GF(256)
+  # unit tests, the RS codec suite, and the allocation-free read-path test,
+  # each run with the dispatcher pinned to every tier this CPU supports
+  # (unsupported levels clamp down, so the loop is safe on any host).
+  for level in scalar ssse3 avx2; do
+    SPCACHE_SIMD="$level" ctest --preset default -L kernels
+  done
+
+  echo "==> kernels: bench_micro smoke gates (RS encode throughput, bit-identity across tiers)"
+  # Exits non-zero unless every supported tier produces bit-identical RS
+  # output and (when AVX2 is present) single-core RS(8,11) encode clears
+  # 4 GB/s at >=2x the scalar tier; timing is best-of-5 to shed scheduler
+  # noise on shared hosts.
+  (cd build/bench && ./bench_micro --smoke)
+
   echo "==> observability: registry/trace/observer invariants (-L obs)"
   ctest --preset default -L obs
 
@@ -218,6 +234,14 @@ ctest --preset tsan -R "${TSAN_FILTER}"
 
 echo "==> ThreadSanitizer: chaos stage (${CHAOS_FILTER})"
 ctest --preset tsan -R "${CHAOS_FILTER}"
+
+echo "==> ThreadSanitizer: kernels stage (-L kernels, scalar tier)"
+# Pin the dispatcher to the scalar tier: TSan doesn't understand the vector
+# kernels' byte-level parallelism any better, and the scalar loops are the
+# ones every tier falls back to for heads/tails, so instrumenting them is
+# the coverage that matters. (The allocation-strictness assert in
+# test_cluster_read_alloc self-relaxes under sanitizer builds.)
+SPCACHE_SIMD=scalar ctest --preset tsan -L kernels
 
 echo "==> ThreadSanitizer: observability stage (-L obs)"
 ctest --preset tsan -L obs
