@@ -98,7 +98,13 @@ void CacheServer::put_copy(BlockKey key, std::span<const std::uint8_t> bytes) {
   insert_block(key, std::move(block));
 }
 
-BlockRef CacheServer::get(const BlockKey& key) const {
+BlockRef CacheServer::get(const BlockKey& key) const { return lookup_block(key, true); }
+
+BlockRef CacheServer::get_for_serve(const BlockKey& key) const {
+  return lookup_block(key, false);
+}
+
+BlockRef CacheServer::lookup_block(const BlockKey& key, bool verify) const {
   // Probes are loaded before the alive-check so requests against a dead
   // server still count as attempts (and as errors).
   const auto* probes = probes_.load(std::memory_order_acquire);
@@ -129,11 +135,16 @@ BlockRef CacheServer::get(const BlockKey& key) const {
   if (injector && !block->bytes.empty() && injector->corrupt_read(id_)) {
     // Post-checksum wire flip: hand back a bit-flipped copy carrying the
     // original CRC. The resident block stays pristine; only the caller's
-    // end-to-end verification can notice.
+    // end-to-end verification can notice. A fused-verify server (get_for_
+    // serve) would catch the flip against the original CRC, so for that
+    // path the copy's crc field is restamped to match the flipped bytes —
+    // the flip happened "after" the worker's checksum, by construction.
     auto corrupted = std::make_shared<Block>(*block);
     corrupted->bytes[corrupted->bytes.size() / 2] ^= 0x40;
+    if (!verify) corrupted->crc = crc32(corrupted->bytes);
     return corrupted;
   }
+  if (!verify) return block;  // the caller's fused copy+CRC is the scan
   // Verify outside the lock: CRC over the payload is the expensive part of
   // a read and must not serialize the stripe. The block is immutable once
   // published, so the check is race-free.

@@ -106,6 +106,16 @@ class CacheServer {
   // the client's whole-file CRC can catch.
   BlockRef get(const BlockKey& key) const;
 
+  // get() for serve paths that fuse verification into their outbound copy:
+  // identical lookup/liveness/chaos semantics, but the separate CRC scan
+  // is skipped — the caller MUST compare its fused copy's CRC against
+  // block->crc (crc32_copy makes that free). An injected read corruption
+  // hands back a bit-flipped copy whose crc field matches the flipped
+  // bytes, so the flip rides through the worker's fused check and only the
+  // client's whole-file verification catches it — the same post-checksum
+  // wire-flip model get() exposes.
+  BlockRef get_for_serve(const BlockKey& key) const;
+
   // Range read for the delta repartition pipeline: a checksummed copy of
   // `length` bytes of the resident block starting at `offset` (the whole
   // block's CRC is verified outside the stripe lock, like get()). Bytes-
@@ -208,6 +218,10 @@ class CacheServer {
   // Shared publish tail of put()/put_copy(): swap the checksummed block
   // into its stripe and settle the stored-bytes accounting.
   void insert_block(const BlockKey& key, std::shared_ptr<Block> block);
+
+  // Shared body of get()/get_for_serve(): probes, liveness, chaos, stripe
+  // lookup; `verify` gates the standalone CRC scan.
+  BlockRef lookup_block(const BlockKey& key, bool verify) const;
 
   // (block, epoch) -> piece under construction. Staging is off the read
   // path entirely: one mutex is plenty (a handful of repartitioners, not

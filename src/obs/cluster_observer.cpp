@@ -84,6 +84,14 @@ ClusterStats ClusterObserver::collect(const std::vector<double>& server_loads) c
   stats.transport_bytes_tx = snap.counter_value(names::kTransportBytesTx);
   stats.transport_bytes_rx = snap.counter_value(names::kTransportBytesRx);
   stats.transport_frames_dropped = snap.counter_value(names::kTransportFramesDropped);
+  stats.transport_writev_calls = snap.counter_value(names::kTransportWritevCalls);
+  stats.transport_frames_sent = snap.counter_value(names::kTransportFramesSent);
+  if (stats.transport_writev_calls > 0) {
+    stats.transport_frames_per_writev = static_cast<double>(stats.transport_frames_sent) /
+                                        static_cast<double>(stats.transport_writev_calls);
+    stats.transport_bytes_per_syscall = static_cast<double>(stats.transport_bytes_tx) /
+                                        static_cast<double>(stats.transport_writev_calls);
+  }
   stats.transport_connections_active = snap.gauge_value(names::kTransportConnectionsActive);
   stats.transport_backpressure_events = snap.counter_value(names::kTransportBackpressureEvents);
   stats.transport_backpressure_rejects = snap.counter_value(names::kTransportBackpressureRejects);
@@ -169,6 +177,10 @@ std::string ClusterObserver::to_json(const ClusterStats& stats) {
       << ", \"bytes_tx\": " << stats.transport_bytes_tx
       << ", \"bytes_rx\": " << stats.transport_bytes_rx
       << ", \"frames_dropped\": " << stats.transport_frames_dropped
+      << ", \"writev_calls\": " << stats.transport_writev_calls
+      << ", \"frames_sent\": " << stats.transport_frames_sent
+      << ", \"frames_per_writev\": " << stats.transport_frames_per_writev
+      << ", \"bytes_per_syscall\": " << stats.transport_bytes_per_syscall
       << ", \"connections_active\": " << stats.transport_connections_active
       << ", \"backpressure_events\": " << stats.transport_backpressure_events
       << ", \"backpressure_rejects\": " << stats.transport_backpressure_rejects

@@ -101,6 +101,13 @@ struct ClusterStats {
   std::uint64_t transport_bytes_tx = 0;
   std::uint64_t transport_bytes_rx = 0;
   std::uint64_t transport_frames_dropped = 0;
+  // Syscall budget of the batched write path: frames_per_writev > 1 means
+  // scatter-gather is amortizing syscalls; bytes_per_syscall is the mean
+  // payload a single ::writev carried.
+  std::uint64_t transport_writev_calls = 0;
+  std::uint64_t transport_frames_sent = 0;
+  double transport_frames_per_writev = 0.0;
+  double transport_bytes_per_syscall = 0.0;
   // Overload / failure-isolation state (zero under inproc): bounded
   // write-queue backpressure, deadline shedding, and per-peer circuit
   // breakers ("transport.peer.<id>.circuit_open" gauges at 1).

@@ -191,6 +191,13 @@ inline constexpr std::string_view kTransportCircuitFastFails =
 // Live socket count (listen-accepted + outbound), maintained by the loop.
 inline constexpr std::string_view kTransportConnectionsActive =
     "transport.connections_active";
+// Write-path syscall budget: gather syscalls issued (writev) and frames
+// fully drained by them. frames_sent/writev_calls is the mean scatter-
+// gather batch depth; bytes_tx/writev_calls the mean bytes per syscall —
+// ClusterObserver exports both ratios as transport.frames_per_writev and
+// transport.bytes_per_syscall.
+inline constexpr std::string_view kTransportWritevCalls = "transport.writev_calls";
+inline constexpr std::string_view kTransportFramesSent = "transport.frames_sent";
 inline constexpr std::string_view kMonitorDeaths = "monitor.deaths_declared";
 inline constexpr std::string_view kMonitorRepairs = "monitor.repairs_completed";
 inline constexpr std::string_view kMonitorRepairSpan = "monitor.detect_to_repair_s";

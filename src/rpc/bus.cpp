@@ -39,6 +39,11 @@ void RpcNode::handle(MethodId method, Handler handler) {
   handlers_[method] = std::move(handler);
 }
 
+void RpcNode::handle_into(MethodId method, StreamHandler handler) {
+  assert(!started_ && "handlers must be registered before start()");
+  stream_handlers_[method] = std::move(handler);
+}
+
 void RpcNode::start() {
   assert(!started_);
   started_ = true;
@@ -200,16 +205,26 @@ void RpcNode::dispatch_request(const Envelope& envelope) {
     return;
   }
 
+  const auto sit = stream_handlers_.find(envelope.method);
   const auto it = handlers_.find(envelope.method);
-  if (it == handlers_.end()) {
+  if (sit == stream_handlers_.end() && it == handlers_.end()) {
     reply.payload.push_back(static_cast<std::uint8_t>(Status::kNoSuchMethod));
   } else {
     try {
       BufferReader reader(envelope.payload);
-      auto body = it->second(reader);
-      reply.payload.reserve(body.size() + 1);
-      reply.payload.push_back(static_cast<std::uint8_t>(Status::kOk));
-      reply.payload.insert(reply.payload.end(), body.begin(), body.end());
+      if (sit != stream_handlers_.end()) {
+        // Streaming handler: status byte first, then the body lands
+        // directly in the reply payload — the bytes are written once.
+        BufferWriter w;
+        w.u8(static_cast<std::uint8_t>(Status::kOk));
+        sit->second(reader, w);
+        reply.payload = w.take();
+      } else {
+        auto body = it->second(reader);
+        reply.payload.reserve(body.size() + 1);
+        reply.payload.push_back(static_cast<std::uint8_t>(Status::kOk));
+        reply.payload.insert(reply.payload.end(), body.begin(), body.end());
+      }
     } catch (const WrongEpochError& e) {
       reply.payload.clear();
       reply.payload.push_back(static_cast<std::uint8_t>(Status::kWrongEpoch));

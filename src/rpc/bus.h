@@ -58,6 +58,12 @@ class Bus;
 class RpcNode {
  public:
   using Handler = std::function<std::vector<std::uint8_t>(BufferReader&)>;
+  // Streaming form for hot serve paths: the handler appends its body
+  // directly into the reply payload (the status byte is already written),
+  // so the reply bytes are produced exactly once — no body vector, no
+  // insert-copy into the envelope. Exceptions still become typed error
+  // replies; anything the handler wrote before throwing is discarded.
+  using StreamHandler = std::function<void(BufferReader&, BufferWriter&)>;
 
   RpcNode(Bus& bus, NodeId id, std::string name);
   ~RpcNode();
@@ -70,6 +76,7 @@ class RpcNode {
 
   // Registration is only legal before start().
   void handle(MethodId method, Handler handler);
+  void handle_into(MethodId method, StreamHandler handler);
   void start();
 
   // An in-flight call: the reply future plus the request id needed to
@@ -121,6 +128,7 @@ class RpcNode {
   NodeId id_;
   std::string name_;
   std::unordered_map<MethodId, Handler> handlers_;
+  std::unordered_map<MethodId, StreamHandler> stream_handlers_;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -17,6 +17,16 @@ std::vector<std::uint8_t> empty_body() { return {}; }
 
 }  // namespace
 
+void CacheWorkerService::serve_block_bytes(BufferWriter& w, const Block& block) {
+  w.u32(static_cast<std::uint32_t>(block.bytes.size()));
+  // The copy into the reply IS the integrity scan: one fused pass instead
+  // of a verify scan in the store followed by a separate append copy.
+  const auto dst = w.extend(block.bytes.size());
+  if (crc32_copy(dst, block.bytes) != block.crc) {
+    throw std::runtime_error("checksum mismatch (corrupted block)");
+  }
+}
+
 void write_meta(BufferWriter& w, const FileMeta& meta) {
   w.u64(meta.size);
   w.u32(meta.file_crc);
@@ -59,18 +69,18 @@ CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t s
     recorded = std::max(recorded, epoch);
     return empty_body();
   });
-  node_->handle(kGetBlock, [this](BufferReader& r) {
+  node_->handle_into(kGetBlock, [this](BufferReader& r, BufferWriter& w) {
     const auto file = static_cast<FileId>(r.u32());
     const auto piece = static_cast<PieceIndex>(r.u32());
-    // Zero-copy store read: the shared block is serialized straight into
-    // the reply frame — the only copy a GET makes.
-    const auto block = store_.get(BlockKey{file, piece});
+    // Fused serve: the block bytes go from the store straight into the
+    // reply payload with one crc32_copy pass that doubles as the verify
+    // scan — no body vector, no separate checksum sweep.
+    const auto block = store_.get_for_serve(BlockKey{file, piece});
     if (!block) throw std::runtime_error("block not found");
-    BufferWriter w;
-    w.bytes(block->bytes);
-    return w.take();
+    w.reserve(4 + block->bytes.size());
+    serve_block_bytes(w, *block);
   });
-  node_->handle(kGetBlockMulti, [this](BufferReader& r) {
+  node_->handle_into(kGetBlockMulti, [this](BufferReader& r, BufferWriter& w) {
     const auto file = static_cast<FileId>(r.u32());
     const std::uint64_t epoch = r.u64();
     if (const auto it = epochs_.find(file); it != epochs_.end() && epoch < it->second) {
@@ -81,39 +91,42 @@ CacheWorkerService::CacheWorkerService(Bus& bus, NodeId node_id, std::uint32_t s
                             std::to_string(it->second));
     }
     const std::uint32_t count = r.u32();
-    std::vector<BlockRef> blocks;
-    blocks.reserve(count);
+    // Piece indices land in the arena, BlockRefs in the recycled vector:
+    // in steady state this handler's only allocation is the reply payload
+    // itself, whose ownership transfers to the wire.
+    scratch_arena_.reset();
+    const auto pieces = scratch_arena_.make_span<PieceIndex>(count);
+    for (auto& p : pieces) p = static_cast<PieceIndex>(r.u32());
+    scratch_blocks_.clear();
+    scratch_blocks_.reserve(count);
     std::size_t total = 0;
-    for (std::uint32_t i = 0; i < count; ++i) {
-      blocks.push_back(store_.get(BlockKey{file, static_cast<PieceIndex>(r.u32())}));
-      if (blocks.back()) total += blocks.back()->bytes.size();
+    for (const auto piece : pieces) {
+      scratch_blocks_.push_back(store_.get_for_serve(BlockKey{file, piece}));
+      if (scratch_blocks_.back()) total += scratch_blocks_.back()->bytes.size();
     }
     // Reply: count u32, then per piece a found byte + length-prefixed
     // bytes. The reply length is known exactly, so one reserve() replaces
     // the doubling reallocations a multi-megabyte append sequence pays.
-    BufferWriter w;
     w.reserve(4 + count * 5 + total);
     w.u32(count);
-    for (const auto& block : blocks) {
+    for (const auto& block : scratch_blocks_) {
       if (!block) {
         w.u8(0);  // missing piece: the client's per-piece retry handles it
         continue;
       }
       w.u8(1);
-      w.bytes(block->bytes);
+      serve_block_bytes(w, *block);
     }
-    return w.take();
+    scratch_blocks_.clear();  // drop the shared refs before the reply ships
   });
-  node_->handle(kGetRange, [this](BufferReader& r) {
+  node_->handle_into(kGetRange, [this](BufferReader& r, BufferWriter& w) {
     const auto file = static_cast<FileId>(r.u32());
     const auto piece = static_cast<PieceIndex>(r.u32());
     const Bytes offset = r.u64();
     const Bytes length = r.u64();
     const auto bytes = store_.get_range(BlockKey{file, piece}, offset, length);
-    BufferWriter w;
     w.reserve(4 + bytes.size());
     w.bytes(bytes);
-    return w.take();
   });
   node_->handle(kStagePiece, [this](BufferReader& r) {
     const auto file = static_cast<FileId>(r.u32());

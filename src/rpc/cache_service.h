@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "cluster/cache_server.h"
 #include "cluster/layout_cache.h"
 #include "cluster/master.h"
@@ -90,10 +91,22 @@ class CacheWorkerService {
   CacheServer& store() { return store_; }
 
  private:
+  // Fused serve of one resident block: length prefix, then a single
+  // crc32_copy pass straight into the reply payload — the copy IS the
+  // integrity scan (compared against the block's ingest CRC). Throws on
+  // mismatch, which dispatch turns into a kError reply.
+  static void serve_block_bytes(BufferWriter& w, const Block& block);
+
   CacheServer store_;
   // file -> highest layout epoch PUT here. Touched only by this node's
   // service thread (all mutations arrive as RPCs), so unlocked by design.
   std::unordered_map<FileId, std::uint64_t> epochs_;
+  // Serve scratch, reused across requests (handlers run on the single
+  // service thread): the multi-GET piece-index span lives in the arena and
+  // the BlockRef list in a recycled vector, so a steady-state multi-GET
+  // allocates nothing beyond the reply payload that ships.
+  Arena scratch_arena_{16 * 1024};
+  std::vector<BlockRef> scratch_blocks_;
   std::unique_ptr<RpcNode> node_;
 };
 

@@ -7,19 +7,6 @@ namespace spcache::rpc {
 
 namespace {
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
 std::uint16_t get_u16(const std::uint8_t* p) {
   return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
 }
@@ -41,17 +28,31 @@ constexpr std::uint8_t kFlagIsReply = 0x01;
 }  // namespace
 
 void encode_frame(const Envelope& envelope, std::vector<std::uint8_t>& out) {
+  const auto header = encode_frame_header(envelope, envelope.payload.size());
   out.reserve(out.size() + kFrameHeaderSize + envelope.payload.size());
-  put_u32(out, kFrameMagic);
-  out.push_back(kFrameVersion);
-  out.push_back(envelope.is_reply ? kFlagIsReply : 0);
-  put_u16(out, envelope.method);
-  put_u32(out, envelope.from);
-  put_u32(out, envelope.to);
-  put_u64(out, envelope.request_id);
-  put_u32(out, envelope.deadline_ms);
-  put_u32(out, static_cast<std::uint32_t>(envelope.payload.size()));
+  out.insert(out.end(), header.begin(), header.end());
   out.insert(out.end(), envelope.payload.begin(), envelope.payload.end());
+}
+
+std::array<std::uint8_t, kFrameHeaderSize> encode_frame_header(const Envelope& envelope,
+                                                               std::size_t payload_len) {
+  std::array<std::uint8_t, kFrameHeaderSize> h;
+  auto put32 = [&](std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) h[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  put32(0, kFrameMagic);
+  h[4] = kFrameVersion;
+  h[5] = envelope.is_reply ? kFlagIsReply : 0;
+  h[6] = static_cast<std::uint8_t>(envelope.method);
+  h[7] = static_cast<std::uint8_t>(envelope.method >> 8);
+  put32(8, envelope.from);
+  put32(12, envelope.to);
+  for (int i = 0; i < 8; ++i) {
+    h[16 + i] = static_cast<std::uint8_t>(envelope.request_id >> (8 * i));
+  }
+  put32(24, envelope.deadline_ms);
+  put32(28, static_cast<std::uint32_t>(payload_len));
+  return h;
 }
 
 std::vector<std::uint8_t> encode_frame(const Envelope& envelope) {
@@ -71,11 +72,7 @@ void FrameDecoder::feed(std::span<const std::uint8_t> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 
-std::optional<Envelope> FrameDecoder::next() {
-  if (poisoned_) throw FramingError("FrameDecoder: poisoned by an earlier framing error");
-  if (buffered() < kFrameHeaderSize) return std::nullopt;
-  const std::uint8_t* h = buf_.data() + pos_;
-
+std::uint32_t FrameDecoder::validate_header(const std::uint8_t* h) {
   const std::uint32_t magic = get_u32(h);
   if (magic != kFrameMagic) {
     poisoned_ = true;
@@ -95,6 +92,15 @@ std::optional<Envelope> FrameDecoder::next() {
                        " exceeds the " + std::to_string(kMaxFramePayload) +
                        "-byte cap at stream offset " + std::to_string(stream_offset_));
   }
+  return payload_len;
+}
+
+std::optional<Envelope> FrameDecoder::next() {
+  if (poisoned_) throw FramingError("FrameDecoder: poisoned by an earlier framing error");
+  if (direct_) return std::nullopt;  // mid-frame: bytes go through commit_direct
+  if (buffered() < kFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + pos_;
+  const std::uint32_t payload_len = validate_header(h);
   if (buffered() < kFrameHeaderSize + payload_len) return std::nullopt;
 
   Envelope envelope;
@@ -110,6 +116,51 @@ std::optional<Envelope> FrameDecoder::next() {
   pos_ += kFrameHeaderSize + payload_len;
   stream_offset_ += kFrameHeaderSize + payload_len;
   return envelope;
+}
+
+bool FrameDecoder::try_begin_direct(std::size_t min_payload) {
+  if (direct_) return true;
+  if (poisoned_) throw FramingError("FrameDecoder: poisoned by an earlier framing error");
+  if (buffered() < kFrameHeaderSize) return false;
+  const std::uint8_t* h = buf_.data() + pos_;
+  const std::uint32_t payload_len = validate_header(h);
+  // Small frames are cheaper through the buffer; complete frames belong to
+  // next() (the caller drains those first).
+  if (payload_len < min_payload) return false;
+  if (buffered() >= kFrameHeaderSize + payload_len) return false;
+
+  direct_env_ = Envelope{};
+  direct_env_.is_reply = (h[5] & 0x01) != 0;
+  direct_env_.method = get_u16(h + 6);
+  direct_env_.from = get_u32(h + 8);
+  direct_env_.to = get_u32(h + 12);
+  direct_env_.request_id = get_u64(h + 16);
+  direct_env_.deadline_ms = get_u32(h + 24);
+  direct_env_.payload.resize(payload_len);
+  // Move the body prefix that already arrived, then hand the tail to the
+  // transport as the receive target.
+  const std::size_t prefix = buffered() - kFrameHeaderSize;
+  std::memcpy(direct_env_.payload.data(), h + kFrameHeaderSize, prefix);
+  direct_filled_ = prefix;
+  buf_.clear();
+  pos_ = 0;
+  direct_ = true;
+  return true;
+}
+
+std::span<std::uint8_t> FrameDecoder::direct_window() {
+  if (!direct_) return {};
+  return {direct_env_.payload.data() + direct_filled_,
+          direct_env_.payload.size() - direct_filled_};
+}
+
+std::optional<Envelope> FrameDecoder::commit_direct(std::size_t n) {
+  direct_filled_ += n;
+  if (direct_filled_ < direct_env_.payload.size()) return std::nullopt;
+  direct_ = false;
+  stream_offset_ += kFrameHeaderSize + direct_env_.payload.size();
+  direct_filled_ = 0;
+  return std::move(direct_env_);
 }
 
 }  // namespace spcache::rpc

@@ -31,6 +31,7 @@
 // dropped, which is exactly what TcpTransport does.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -61,6 +62,13 @@ class FramingError : public std::runtime_error {
 void encode_frame(const Envelope& envelope, std::vector<std::uint8_t>& out);
 std::vector<std::uint8_t> encode_frame(const Envelope& envelope);
 
+// Header-only encode for scatter-gather senders: fills a 32-byte scratch
+// with the frame header of an envelope whose payload is `payload_len`
+// bytes, so the payload itself can ride a second iovec instead of being
+// copied behind the header.
+std::array<std::uint8_t, kFrameHeaderSize> encode_frame_header(const Envelope& envelope,
+                                                               std::size_t payload_len);
+
 // Incremental frame parser for one byte stream (one TCP connection).
 class FrameDecoder {
  public:
@@ -79,11 +87,47 @@ class FrameDecoder {
   // relative to the stream start, same coordinate system).
   std::uint64_t stream_offset() const { return stream_offset_; }
 
+  // --- Direct (zero-copy) receive of large payloads --------------------
+  // When the buffered bytes start a frame whose payload is at least
+  // `min_payload` and the rest of that payload has not arrived yet, the
+  // decoder can switch to direct mode: it sizes the envelope's payload
+  // vector up front, moves the already-buffered body prefix into it, and
+  // exposes the unfilled tail as a writable window. The transport then
+  // reads (readv) straight into the window — the payload bytes never pass
+  // through the decoder's internal buffer, so a multi-megabyte frame costs
+  // one copy (kernel -> payload) instead of two.
+  //
+  // Call after next() has drained every complete frame. Returns true if
+  // direct mode engaged (or was already engaged). Validates the header
+  // exactly like next() — throws FramingError on a header that can never
+  // be valid.
+  bool try_begin_direct(std::size_t min_payload = kDirectPayloadThreshold);
+  bool in_direct() const { return direct_; }
+  // Writable unfilled tail of the pending payload. Only valid in direct
+  // mode; invalidated by commit_direct.
+  std::span<std::uint8_t> direct_window();
+  // Account `n` bytes just read into the window. Returns the completed
+  // envelope once the payload is full, nullopt while bytes remain.
+  std::optional<Envelope> commit_direct(std::size_t n);
+
+  // Payloads at least this large take the direct path (smaller ones are
+  // cheaper to pass through the buffer than to track per-frame).
+  static constexpr std::size_t kDirectPayloadThreshold = 4096;
+
  private:
+  // Shared header validation: throws FramingError (and poisons) on a
+  // header that can never be valid; returns the payload length.
+  std::uint32_t validate_header(const std::uint8_t* h);
+
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;             // consumed prefix of buf_
   std::uint64_t stream_offset_ = 0; // stream position of buf_[pos_]
   bool poisoned_ = false;
+  // Direct-mode state: the pending envelope (payload sized to the full
+  // frame length) and how much of the payload has landed.
+  bool direct_ = false;
+  Envelope direct_env_;
+  std::size_t direct_filled_ = 0;
 };
 
 }  // namespace spcache::rpc

@@ -27,6 +27,14 @@ class BufferWriter {
   void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
+  // Append `n` writable bytes and return the region, for producers that
+  // build their bytes in place — e.g. a fused copy+CRC straight into the
+  // reply payload instead of staging through an intermediate buffer. The
+  // span is invalidated by any further append.
+  std::span<std::uint8_t> extend(std::size_t n) {
+    buf_.resize(buf_.size() + n);
+    return {buf_.data() + buf_.size() - n, n};
+  }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void f64(double v);

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -120,13 +121,80 @@ SendStatus TcpTransport::send(Envelope envelope) {
   }
   if (!loop_started_) return SendStatus::kNoRoute;
   // shared_ptr keeps the (possibly multi-megabyte) payload from being
-  // copied by std::function's copyable-closure requirement.
+  // copied by std::function's copyable-closure requirement — and, on the
+  // batched write path, the same box then keeps the payload alive by
+  // reference while it sits in the connection's frame queue.
   auto boxed = std::make_shared<Envelope>(std::move(envelope));
-  loop_.post([this, boxed] { send_on_loop(std::move(*boxed)); });
+  if (config_.batch_writes) {
+    // Stage the envelope and wake the loop only if no sweep is already
+    // pending: a burst of sends (e.g. replies fanned out by a service
+    // thread) rides a single eventfd wake and drains in one sweep, which
+    // flushes each touched connection exactly once.
+    bool need_post = false;
+    {
+      std::lock_guard lock(stage_mu_);
+      staged_.push_back(std::move(boxed));
+      need_post = !stage_sweep_pending_;
+      stage_sweep_pending_ = true;
+    }
+    if (need_post) loop_.post([this] { drain_staged(); });
+  } else {
+    // Pre-batching behavior: one loop wake and one write per send.
+    loop_.post([this, boxed] {
+      const int fd = enqueue_on_loop(boxed);
+      if (fd >= 0) {
+        const auto it = conns_.find(fd);
+        if (it != conns_.end()) flush_conn(*it->second);
+      }
+    });
+  }
   return SendStatus::kAccepted;
 }
 
-void TcpTransport::send_on_loop(Envelope envelope) {
+void TcpTransport::drain_staged() {
+  std::vector<std::shared_ptr<Envelope>> batch;
+  {
+    std::lock_guard lock(stage_mu_);
+    batch.swap(staged_);
+    // Reset before processing: a producer staging after this point needs a
+    // fresh post, because this sweep no longer sees its envelope.
+    stage_sweep_pending_ = false;
+  }
+  // Dedup touched fds so each connection flushes once per burst. Bursts are
+  // small (tens of frames over a handful of peers) — linear scan beats a set.
+  constexpr std::size_t kMaxTouched = 64;
+  int touched[kMaxTouched];
+  std::size_t ntouched = 0;
+  for (auto& boxed : batch) {
+    const int fd = enqueue_on_loop(std::move(boxed));
+    if (fd < 0) continue;
+    bool seen = false;
+    for (std::size_t i = 0; i < ntouched; ++i) {
+      if (touched[i] == fd) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      if (ntouched == kMaxTouched) {
+        // Overflow safety valve: flush the fullest slate and start over.
+        for (std::size_t i = 0; i < ntouched; ++i) {
+          const auto it = conns_.find(touched[i]);
+          if (it != conns_.end()) flush_conn(*it->second);
+        }
+        ntouched = 0;
+      }
+      touched[ntouched++] = fd;
+    }
+  }
+  for (std::size_t i = 0; i < ntouched; ++i) {
+    const auto it = conns_.find(touched[i]);
+    if (it != conns_.end()) flush_conn(*it->second);
+  }
+}
+
+int TcpTransport::enqueue_on_loop(std::shared_ptr<Envelope> boxed) {
+  Envelope& envelope = *boxed;
   Conn* conn = nullptr;
   {
     std::lock_guard lock(mu_);
@@ -141,20 +209,39 @@ void TcpTransport::send_on_loop(Envelope envelope) {
     // and it has no address, or connect failed immediately): the envelope
     // is lost like a packet on a dead link — the caller's timeout fires.
     count(frames_dropped_, &ObsProbes::frames_dropped);
-    return;
+    return -1;
   }
   // Hard cap at 2x high: envelopes that were already in flight through the
   // loop when the backpressure flag rose still land here; past the cap
   // they are dropped (the caller's timeout fires) so a slow-draining peer
   // bounds this process's memory instead of growing the queue forever.
-  const std::size_t queued = conn->out.size() - conn->out_pos;
-  if (queued + kFrameHeaderSize + envelope.payload.size() > 2 * config_.wqueue_high) {
+  if (conn->out_bytes + kFrameHeaderSize + envelope.payload.size() > 2 * config_.wqueue_high) {
     count(backpressure_drops_, &ObsProbes::backpressure_drops);
     count(frames_dropped_, &ObsProbes::frames_dropped);
-    return;
+    return -1;
   }
-  encode_frame(envelope, conn->out);
-  flush_conn(*conn);
+  OutFrame frame;
+  frame.header = encode_frame_header(envelope, envelope.payload.size());
+  if (!envelope.payload.empty()) {
+    if (config_.batch_writes) {
+      // Aliasing ctor: the frame shares ownership of the envelope box but
+      // points at its payload — the bytes serialized in the handler are
+      // the very bytes the socket writes; no copy on this whole path.
+      frame.payload =
+          std::shared_ptr<const std::vector<std::uint8_t>>(boxed, &envelope.payload);
+    } else {
+      // Baseline arm: reproduce the pre-batching cost of copying every
+      // payload into the connection's output buffer.
+      frame.payload =
+          std::make_shared<const std::vector<std::uint8_t>>(envelope.payload);
+    }
+  }
+  conn->out_bytes += frame.size();
+  conn->outq.push_back(std::move(frame));
+  // The caller flushes this fd after the whole burst is enqueued;
+  // flush_conn refreshes backpressure and epoll interest on its way out.
+  update_backpressure(*conn);
+  return conn->fd;
 }
 
 TcpTransport::Conn* TcpTransport::connect_peer(NodeId id) {
@@ -271,14 +358,41 @@ void TcpTransport::handle_conn_event(int fd, std::uint32_t events) {
 void TcpTransport::read_conn(Conn& conn) {
   std::uint8_t buffer[64 * 1024];
   for (;;) {
-    const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+    // Large in-flight payloads receive straight into the decoder's sized
+    // payload window (readv: window first, scratch for whatever follows),
+    // so a multi-megabyte frame costs one kernel->payload copy instead of
+    // passing through the decoder buffer on the way.
+    std::size_t window_len = 0;
+    ssize_t n;
+    if (conn.decoder.in_direct()) {
+      const auto window = conn.decoder.direct_window();
+      window_len = window.size();
+      iovec iov[2];
+      iov[0].iov_base = window.data();
+      iov[0].iov_len = window_len;
+      iov[1].iov_base = buffer;
+      iov[1].iov_len = sizeof(buffer);
+      n = ::readv(conn.fd, iov, 2);
+    } else {
+      n = ::read(conn.fd, buffer, sizeof(buffer));
+    }
     if (n > 0) {
       count(bytes_rx_, &ObsProbes::bytes_rx, static_cast<std::uint64_t>(n));
-      conn.decoder.feed(std::span(buffer, static_cast<std::size_t>(n)));
       try {
+        const std::size_t direct_n = std::min(static_cast<std::size_t>(n), window_len);
+        if (direct_n > 0) {
+          if (auto envelope = conn.decoder.commit_direct(direct_n)) {
+            deliver_inbound(std::move(*envelope), conn.fd);
+          }
+        }
+        if (static_cast<std::size_t>(n) > direct_n) {
+          conn.decoder.feed(
+              std::span(buffer, static_cast<std::size_t>(n) - direct_n));
+        }
         while (auto envelope = conn.decoder.next()) {
           deliver_inbound(std::move(*envelope), conn.fd);
         }
+        conn.decoder.try_begin_direct();
       } catch (const FramingError&) {
         // The stream is unrecoverable past a bad header: count it and cut
         // the connection; the peer's in-flight calls time out and retry.
@@ -319,7 +433,7 @@ void TcpTransport::flush_conn(Conn& conn) {
   // schedule is a pure function of the seed even over real sockets.
   std::size_t write_clamp = 0;  // 0 = no clamp
   if (auto* injector = injector_.load(std::memory_order_acquire);
-      injector != nullptr && conn.out_pos < conn.out.size()) {
+      injector != nullptr && conn.out_bytes > 0) {
     if (injector->sock_delay()) {
       std::this_thread::sleep_for(injector->config().sock_delay);
     }
@@ -334,13 +448,68 @@ void TcpTransport::flush_conn(Conn& conn) {
     }
     if (injector->sock_partial_write()) write_clamp = 7;
   }
-  while (conn.out_pos < conn.out.size()) {
-    std::size_t want = conn.out.size() - conn.out_pos;
-    if (write_clamp != 0) want = std::min(want, write_clamp);
-    const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos, want);
+  // Up to kMaxIovPerWritev segments per syscall: each frame contributes
+  // its header and (if any) payload segment, so one writev drains many
+  // queued frames. A partial write leaves out_offset mid-frame — possibly
+  // mid-header — and the next pass resumes from that exact byte, across
+  // iovec boundaries.
+  constexpr std::size_t kMaxIovPerWritev = 64;
+  while (conn.out_bytes > 0) {
+    iovec iov[kMaxIovPerWritev];
+    std::size_t iovcnt = 0;
+    std::size_t batched = 0;
+    std::size_t skip = conn.out_offset;
+    for (const OutFrame& frame : conn.outq) {
+      if (iovcnt + 2 > kMaxIovPerWritev) break;
+      if (!config_.batch_writes && batched == 1) break;  // baseline: 1 frame/syscall
+      if (skip < kFrameHeaderSize) {
+        iov[iovcnt].iov_base =
+            const_cast<std::uint8_t*>(frame.header.data()) + skip;
+        iov[iovcnt].iov_len = kFrameHeaderSize - skip;
+        ++iovcnt;
+        skip = 0;
+      } else {
+        skip -= kFrameHeaderSize;
+      }
+      const std::size_t payload_len = frame.payload ? frame.payload->size() : 0;
+      if (payload_len > skip) {
+        iov[iovcnt].iov_base =
+            const_cast<std::uint8_t*>(frame.payload->data()) + skip;
+        iov[iovcnt].iov_len = payload_len - skip;
+        ++iovcnt;
+        skip = 0;
+      } else {
+        skip -= payload_len;
+      }
+      ++batched;
+    }
+    if (iovcnt == 0) break;
+    if (write_clamp != 0) {
+      // Honor the chaos clamp by trimming the gather list to the first
+      // write_clamp bytes — frames still split across segments exactly as
+      // they did with the clamped flat write().
+      std::size_t budget = write_clamp;
+      std::size_t kept = 0;
+      while (kept < iovcnt && budget > 0) {
+        if (iov[kept].iov_len > budget) iov[kept].iov_len = budget;
+        budget -= iov[kept].iov_len;
+        ++kept;
+      }
+      iovcnt = kept;
+    }
+    const ssize_t n = ::writev(conn.fd, iov, static_cast<int>(iovcnt));
     if (n > 0) {
       count(bytes_tx_, &ObsProbes::bytes_tx, static_cast<std::uint64_t>(n));
-      conn.out_pos += static_cast<std::size_t>(n);
+      count(writev_calls_, &ObsProbes::writev_calls);
+      conn.out_bytes -= static_cast<std::size_t>(n);
+      conn.out_offset += static_cast<std::size_t>(n);
+      std::uint64_t completed = 0;
+      while (!conn.outq.empty() && conn.out_offset >= conn.outq.front().size()) {
+        conn.out_offset -= conn.outq.front().size();
+        conn.outq.pop_front();
+        ++completed;
+      }
+      if (completed > 0) count(frames_sent_, &ObsProbes::frames_sent, completed);
       if (write_clamp != 0) break;  // leave the tail for the next EPOLLOUT
       continue;
     }
@@ -349,19 +518,12 @@ void TcpTransport::flush_conn(Conn& conn) {
     close_conn(conn.fd);
     return;
   }
-  if (conn.out_pos == conn.out.size()) {
-    conn.out.clear();
-    conn.out_pos = 0;
-  } else if (conn.out_pos > 64 * 1024) {
-    conn.out.erase(conn.out.begin(), conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_pos));
-    conn.out_pos = 0;
-  }
   update_backpressure(conn);
   update_interest(conn);
 }
 
 void TcpTransport::update_backpressure(Conn& conn) {
-  const std::size_t queued = conn.out.size() - conn.out_pos;
+  const std::size_t queued = conn.out_bytes;
   if (queued > wqueue_peak_.load(std::memory_order_relaxed)) {
     // Loop thread is the only writer, so load-compare-store is race-free.
     wqueue_peak_.store(queued, std::memory_order_relaxed);
@@ -387,7 +549,7 @@ void TcpTransport::update_backpressure(Conn& conn) {
 }
 
 void TcpTransport::update_interest(Conn& conn) {
-  const bool want_write = conn.connecting || conn.out_pos < conn.out.size();
+  const bool want_write = conn.connecting || conn.out_bytes > 0;
   loop_.modify_fd(conn.fd, EPOLLIN | (want_write ? EPOLLOUT : 0u));
 }
 
@@ -395,7 +557,7 @@ void TcpTransport::close_conn(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   Conn& conn = *it->second;
-  const bool stranded = conn.out_pos < conn.out.size();
+  const bool stranded = conn.out_bytes > 0;
   if (stranded) {
     count(frames_dropped_, &ObsProbes::frames_dropped);
   }
@@ -501,6 +663,8 @@ void TcpTransport::attach_observability(obs::MetricsRegistry* registry) {
   probes->backpressure_drops = &registry->counter(n::kTransportBackpressureDrops);
   probes->circuit_opens = &registry->counter(n::kTransportCircuitOpens);
   probes->circuit_fast_fails = &registry->counter(n::kTransportCircuitFastFails);
+  probes->writev_calls = &registry->counter(n::kTransportWritevCalls);
+  probes->frames_sent = &registry->counter(n::kTransportFramesSent);
   probes->wqueue_peak = &registry->gauge(n::kTransportWqueuePeak);
   probes->connections_active = &registry->gauge(n::kTransportConnectionsActive);
   registry_.store(registry, std::memory_order_release);
@@ -522,19 +686,39 @@ void TcpTransport::shutdown() {
   // stop the loop itself.
   std::promise<void> done;
   loop_.post([this, &done] {
+    // Posted closures run FIFO, so a pending staged-send sweep already ran —
+    // but drain explicitly anyway so envelopes staged between that sweep and
+    // stopped_ flipping still make it onto their connection queues.
+    drain_staged();
     if (listen_fd_ >= 0) {
       loop_.remove_fd(listen_fd_);
       ::close(listen_fd_);
       listen_fd_ = -1;
     }
-    // Best-effort graceful flush: one non-blocking write pass per
-    // connection so replies already serialized reach the wire. Work off a
-    // snapshot of fds — flush_conn can erase a dead connection.
+    // Graceful drain: retry non-blocking flush passes until every
+    // connection's frame queue empties or the drain deadline expires, so
+    // replies serialized just before shutdown reach the wire instead of
+    // being dropped by a single best-effort pass. Work off a snapshot of
+    // fds — flush_conn can erase a dead connection.
     std::vector<int> fds;
     fds.reserve(conns_.size());
     for (const auto& [fd, conn] : conns_) fds.push_back(fd);
-    for (const int fd : fds) {
-      if (const auto it = conns_.find(fd); it != conns_.end()) flush_conn(*it->second);
+    const auto drain_deadline = std::chrono::steady_clock::now() + config_.shutdown_drain;
+    for (;;) {
+      bool pending = false;
+      for (const int fd : fds) {
+        const auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+        flush_conn(*it->second);
+        if (const auto again = conns_.find(fd); again != conns_.end()) {
+          pending |= again->second->out_bytes > 0 && !again->second->connecting;
+        }
+      }
+      if (!pending || std::chrono::steady_clock::now() >= drain_deadline) break;
+      // The sockets are non-blocking; give the kernel a beat to drain its
+      // buffers before the next pass. Nothing else runs on this loop —
+      // stopped_ already refuses new sends.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     for (const int fd : fds) close_conn(fd);
     done.set_value();
@@ -558,6 +742,14 @@ TcpTransport::Counters TcpTransport::counters() const {
   c.circuit_opens = circuit_opens_.load(std::memory_order_relaxed);
   c.circuit_fast_fails = circuit_fast_fails_.load(std::memory_order_relaxed);
   c.connections_active = connections_active_.load(std::memory_order_relaxed);
+  c.writev_calls = writev_calls_.load(std::memory_order_relaxed);
+  c.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  if (c.writev_calls > 0) {
+    c.frames_per_writev =
+        static_cast<double>(c.frames_sent) / static_cast<double>(c.writev_calls);
+    c.bytes_per_syscall =
+        static_cast<double>(c.bytes_tx) / static_cast<double>(c.writev_calls);
+  }
   return c;
 }
 

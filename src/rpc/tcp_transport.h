@@ -39,12 +39,22 @@
 //     open window one send is let through as a half-open probe — success
 //     (a completed connect) closes the circuit, failure re-arms it.
 //
+// Write path: each connection keeps an iovec-based frame queue — queued
+// frames hold their payload by reference (shared with the boxed envelope
+// the sender posted), and flush drains many frames per syscall through
+// writev with partial-write resume across iovec boundaries. No payload
+// byte is copied between the handler's serialization and the socket.
+// Senders stage envelopes in an MPSC queue and wake the loop once per
+// burst (not once per envelope); the loop enqueues the whole burst, then
+// flushes each touched connection exactly once — so a burst of replies
+// costs one eventfd wake and one writev, not one of each per frame.
+//
 // Chaos: set_fault_injector() arms seeded socket-level faults, decided on
 // the loop thread so the schedule is deterministic per seed even over
-// real sockets — partial writes (a flush pass clamps its write() to a few
-// bytes, splitting frames across segments), connection resets (close with
-// SO_LINGER{1,0}, so the peer sees a hard RST), and pre-flush delays (a
-// brief loop-thread stall, modelling a congested link).
+// real sockets — partial writes (a flush pass clamps its gather list to a
+// few bytes, splitting frames across segments), connection resets (close
+// with SO_LINGER{1,0}, so the peer sees a hard RST), and pre-flush delays
+// (a brief loop-thread stall, modelling a congested link).
 //
 // Concurrency: all socket and connection state is owned by the epoll
 // EventLoop thread; send() does a locked reachability/overload check,
@@ -55,9 +65,11 @@
 // observability is attached.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -90,6 +102,16 @@ struct TcpTransportConfig {
   // failures to a peer (0 disables), for `breaker_open` per arming.
   std::uint32_t breaker_threshold = 5;
   std::chrono::milliseconds breaker_open{250};
+  // Scatter-gather write batching (the default): queued frames keep their
+  // payload by reference and drain many-per-syscall through writev. Off,
+  // the transport reproduces the pre-batching write path — each send pays
+  // a flat-buffer payload copy and each syscall carries at most one frame
+  // — kept as the measurable baseline arm for bench_tcp_scale.
+  bool batch_writes = true;
+  // Graceful-shutdown drain budget: shutdown() retries flush passes until
+  // every connection's queue empties or this deadline expires, so final
+  // replies under load are not silently dropped by a single-pass flush.
+  std::chrono::milliseconds shutdown_drain{250};
 };
 
 class TcpTransport final : public Transport {
@@ -121,9 +143,9 @@ class TcpTransport final : public Transport {
   SendStatus send(Envelope envelope) override;
   void attach_observability(obs::MetricsRegistry* registry) override;
 
-  // Graceful shutdown: best-effort flush of every connection's pending
-  // bytes, close all sockets, stop the loop. Idempotent; the destructor
-  // calls it.
+  // Graceful shutdown: flush passes retry until every connection's frame
+  // queue drains or config().shutdown_drain expires, then close all
+  // sockets and stop the loop. Idempotent; the destructor calls it.
   void shutdown() override;
 
   struct Counters {
@@ -142,6 +164,14 @@ class TcpTransport final : public Transport {
     std::uint64_t circuit_opens = 0;       // closed -> open transitions
     std::uint64_t circuit_fast_fails = 0;  // sends refused while a circuit was open
     std::uint64_t connections_active = 0;  // live sockets right now
+    // Syscall budget of the write path: gather syscalls issued and frames
+    // fully drained by them. frames_sent / writev_calls is the mean batch
+    // depth (> 1 means scatter-gather is amortizing syscalls); bytes_tx /
+    // writev_calls is the mean bytes per syscall.
+    std::uint64_t writev_calls = 0;
+    std::uint64_t frames_sent = 0;
+    double frames_per_writev = 0.0;   // derived: frames_sent / writev_calls
+    double bytes_per_syscall = 0.0;   // derived: bytes_tx / writev_calls
   };
   Counters counters() const;
 
@@ -164,6 +194,18 @@ class TcpTransport final : public Transport {
     obs::Gauge* circuit_gauge = nullptr;  // "transport.peer.<id>.circuit_open"
   };
 
+  // One queued outbound frame: the 32-byte header owned inline, the
+  // payload held by reference (shared with the boxed envelope send()
+  // created) — nothing is copied between send() and the socket.
+  struct OutFrame {
+    std::array<std::uint8_t, kFrameHeaderSize> header;
+    std::shared_ptr<const std::vector<std::uint8_t>> payload;  // null = empty
+
+    std::size_t size() const {
+      return kFrameHeaderSize + (payload ? payload->size() : 0);
+    }
+  };
+
   struct Conn {
     int fd = -1;
     NodeId peer = 0;            // 0 = not yet known (inbound, pre-first-frame)
@@ -171,8 +213,13 @@ class TcpTransport final : public Transport {
     bool connecting = false;    // connect() in flight (EINPROGRESS)
     bool inbound = false;
     FrameDecoder decoder;
-    std::vector<std::uint8_t> out;  // pending write bytes
-    std::size_t out_pos = 0;
+    // Pending frames, oldest first. out_offset is how far into the front
+    // frame the socket has advanced (may sit mid-header or mid-payload
+    // after a partial write); out_bytes is the total queued across the
+    // deque — the write-queue depth the watermarks measure.
+    std::deque<OutFrame> outq;
+    std::size_t out_offset = 0;
+    std::size_t out_bytes = 0;
   };
 
   struct ObsProbes {
@@ -187,12 +234,20 @@ class TcpTransport final : public Transport {
     obs::Counter* backpressure_drops = nullptr;
     obs::Counter* circuit_opens = nullptr;
     obs::Counter* circuit_fast_fails = nullptr;
+    obs::Counter* writev_calls = nullptr;
+    obs::Counter* frames_sent = nullptr;
     obs::Gauge* wqueue_peak = nullptr;
     obs::Gauge* connections_active = nullptr;
   };
 
   // --- loop-thread only ------------------------------------------------
-  void send_on_loop(Envelope envelope);
+  // Route + frame one staged envelope onto its connection's queue (no
+  // flush). Returns the fd the frame landed on, or -1 (unroutable or
+  // dropped at the hard cap) — the caller flushes touched fds.
+  int enqueue_on_loop(std::shared_ptr<Envelope> boxed);
+  // Drain the staged-send queue: enqueue the whole burst, then flush each
+  // touched connection once.
+  void drain_staged();
   Conn* connect_peer(NodeId id);
   void on_connected(Conn& conn);
   void handle_listen_ready();
@@ -231,6 +286,12 @@ class TcpTransport final : public Transport {
   // Loop-thread-only connection table.
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
 
+  // Staged sends (batched write path): producers push under stage_mu_ and
+  // post the drain closure only when none is pending — one wake per burst.
+  std::mutex stage_mu_;
+  std::vector<std::shared_ptr<Envelope>> staged_;
+  bool stage_sweep_pending_ = false;  // guarded by stage_mu_
+
   std::atomic<fault::FaultInjector*> injector_{nullptr};
 
   std::atomic<std::uint64_t> connects_{0};
@@ -246,6 +307,8 @@ class TcpTransport final : public Transport {
   std::atomic<std::uint64_t> circuit_opens_{0};
   std::atomic<std::uint64_t> circuit_fast_fails_{0};
   std::atomic<std::uint64_t> connections_active_{0};
+  std::atomic<std::uint64_t> writev_calls_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
 
   std::atomic<obs::MetricsRegistry*> registry_{nullptr};
   std::unique_ptr<ObsProbes> probes_storage_;

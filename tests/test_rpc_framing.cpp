@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -224,6 +225,129 @@ TEST(Framing, ErrorsCarryStreamOffset) {
     EXPECT_NE(std::string(e.what()).find(std::to_string(bad_at)), std::string::npos)
         << "error text missing offset " << bad_at << ": " << e.what();
   }
+}
+
+// The header-only encode is what the scatter-gather write path uses: the
+// header rides one iovec, the payload another. Byte-for-byte equal to the
+// contiguous encoding or the two paths would disagree on the wire.
+TEST(Framing, HeaderOnlyEncodeMatchesFullEncode) {
+  Rng rng(11);
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{4096}}) {
+    const Envelope e = make_envelope(rng, len);
+    const auto full = encode_frame(e);
+    const auto header = encode_frame_header(e, e.payload.size());
+    ASSERT_EQ(full.size(), kFrameHeaderSize + len);
+    EXPECT_EQ(0, std::memcmp(header.data(), full.data(), kFrameHeaderSize));
+  }
+}
+
+// Direct (zero-copy) receive must produce the identical envelope no matter
+// where the stream is split between buffered feed() bytes and bytes read
+// straight into the direct window — including splits inside the header,
+// exactly at the header/payload boundary, and mid-payload.
+TEST(Framing, DirectModeBitExactAtEverySplitPoint) {
+  Rng rng(12);
+  const Envelope e = make_envelope(rng, FrameDecoder::kDirectPayloadThreshold + 137);
+  const auto stream = encode_frame(e);
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    FrameDecoder d;
+    d.feed(std::span(stream.data(), split));
+    std::optional<Envelope> out = d.next();
+    if (!out.has_value() && d.try_begin_direct()) {
+      // Push the rest through the writable window in ragged chunks so the
+      // commit accounting is exercised at every boundary too.
+      std::size_t off = split;
+      std::size_t chunk = 1;
+      while (!out.has_value()) {
+        auto window = d.direct_window();
+        ASSERT_FALSE(window.empty()) << "split=" << split;
+        const std::size_t n = std::min({chunk, window.size(), stream.size() - off});
+        std::memcpy(window.data(), stream.data() + off, n);
+        off += n;
+        out = d.commit_direct(n);
+        chunk = chunk * 3 + 1;  // 1, 4, 13, 40, ... ragged on purpose
+      }
+      EXPECT_EQ(off, stream.size()) << "split=" << split;
+      EXPECT_FALSE(d.in_direct()) << "split=" << split;
+    } else if (!out.has_value()) {
+      // Too little buffered to engage (mid-header) — finish buffered.
+      d.feed(std::span(stream.data() + split, stream.size() - split));
+      out = d.next();
+    }
+    ASSERT_TRUE(out.has_value()) << "split=" << split;
+    expect_same(e, *out);
+    EXPECT_EQ(d.buffered(), 0u) << "split=" << split;
+    EXPECT_EQ(d.stream_offset(), stream.size()) << "split=" << split;
+  }
+}
+
+// Small payloads stay on the buffered path — tracking a direct window for
+// them would cost more than the copy it saves.
+TEST(Framing, DirectModeRefusesSmallPayloads) {
+  Rng rng(13);
+  const Envelope e = make_envelope(rng, FrameDecoder::kDirectPayloadThreshold - 1);
+  const auto stream = encode_frame(e);
+  FrameDecoder d;
+  d.feed(std::span(stream.data(), kFrameHeaderSize + 10));
+  EXPECT_FALSE(d.try_begin_direct());
+  EXPECT_FALSE(d.in_direct());
+  d.feed(std::span(stream.data() + kFrameHeaderSize + 10, stream.size() - kFrameHeaderSize - 10));
+  const auto out = d.next();
+  ASSERT_TRUE(out.has_value());
+  expect_same(e, *out);
+}
+
+// A direct-mode frame in the middle of a stream: buffered frames before
+// and after it must decode unchanged, with the stream offset continuous
+// across the zero-copy handoff.
+TEST(Framing, DirectModeInterleavesWithBufferedFrames) {
+  Rng rng(14);
+  const Envelope before = make_envelope(rng, 64);
+  const Envelope big = make_envelope(rng, FrameDecoder::kDirectPayloadThreshold * 2);
+  const Envelope after = make_envelope(rng, 64);
+  const auto big_bytes = encode_frame(big);
+
+  FrameDecoder d;
+  d.feed(encode_frame(before));
+  // Partial big frame: header + a sliver of payload.
+  const std::size_t sliver = kFrameHeaderSize + 100;
+  d.feed(std::span(big_bytes.data(), sliver));
+
+  auto out = d.next();
+  ASSERT_TRUE(out.has_value());
+  expect_same(before, *out);
+  ASSERT_FALSE(d.next().has_value());
+
+  ASSERT_TRUE(d.try_begin_direct());
+  std::size_t off = sliver;
+  std::optional<Envelope> got;
+  while (!got.has_value()) {
+    auto window = d.direct_window();
+    const std::size_t n = std::min(window.size(), big_bytes.size() - off);
+    std::memcpy(window.data(), big_bytes.data() + off, n);
+    off += n;
+    got = d.commit_direct(n);
+  }
+  expect_same(big, *got);
+
+  d.feed(encode_frame(after));
+  out = d.next();
+  ASSERT_TRUE(out.has_value());
+  expect_same(after, *out);
+  EXPECT_EQ(d.stream_offset(),
+            encode_frame(before).size() + big_bytes.size() + encode_frame(after).size());
+}
+
+// try_begin_direct validates the header exactly like next(): a corrupt
+// header throws (and poisons) instead of sizing a bogus payload.
+TEST(Framing, DirectModeRejectsCorruptHeader) {
+  Rng rng(15);
+  auto stream = encode_frame(make_envelope(rng, FrameDecoder::kDirectPayloadThreshold + 1));
+  stream[0] ^= 0xFF;  // bad magic
+  FrameDecoder d;
+  d.feed(std::span(stream.data(), kFrameHeaderSize + 5));
+  EXPECT_THROW(d.try_begin_direct(), FramingError);
+  EXPECT_THROW(d.next(), FramingError);  // poisoned
 }
 
 }  // namespace

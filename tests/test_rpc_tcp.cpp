@@ -491,6 +491,116 @@ TEST(TcpTransport, ChaosResetsRecoverViaReconnect) {
 }
 
 // Shutdown with traffic in flight must not crash, leak, or deadlock.
+// A multi-frame batch split by partial-write chaos at EVERY iovec
+// boundary: with sock_partial_write_p = 1.0 each flush pass is clamped to
+// 7 bytes, so the gathered stream (32-byte headers + payloads of every
+// alignment) leaves the socket in slivers that cross header/payload and
+// frame/frame boundaries at every offset mod 7. Both directions run
+// chaotic — concurrent callers queue several request frames on the client
+// connection while the echo replies queue on the server side — and every
+// payload must come back bit-exact with zero framing errors.
+TEST(TcpTransport, ChaosPartialWritesSplitMultiFrameBatchAtEveryBoundary) {
+  fault::FaultConfig fc;
+  fc.sock_partial_write_p = 1.0;
+  fault::FaultInjector server_injector(7, fc);
+  fault::FaultInjector client_injector(8, fc);
+
+  EchoPair p;
+  p.server_tcp.set_fault_injector(&server_injector);
+  p.client_tcp.set_fault_injector(&client_injector);
+
+  // Payload sizes chosen to land frame boundaries at every 7-byte phase:
+  // empty, sub-header-sliver, exactly one clamp, and larger odd sizes.
+  const std::size_t sizes[] = {0, 1, 6, 7, 8, 25, 33, 100, 501, 2048};
+  std::vector<std::thread> callers;
+  std::vector<Reply> replies(std::size(sizes));
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    callers.emplace_back([&, i] {
+      replies[i] = echo_call(*p.caller, sizes[i], static_cast<std::uint8_t>(i + 1), 30000ms);
+    });
+  }
+  for (auto& t : callers) t.join();
+
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    ASSERT_TRUE(replies[i].ok()) << "size=" << sizes[i] << ": " << replies[i].error_text();
+    BufferReader r(replies[i].payload);
+    EXPECT_EQ(r.bytes(), pattern_payload(sizes[i], static_cast<std::uint8_t>(i + 1)))
+        << "size=" << sizes[i];
+  }
+  EXPECT_GT(server_injector.stats().sock_partial_writes, 0u);
+  EXPECT_GT(client_injector.stats().sock_partial_writes, 0u);
+  EXPECT_EQ(p.server_tcp.counters().framing_errors, 0u);
+  EXPECT_EQ(p.client_tcp.counters().framing_errors, 0u);
+}
+
+// The syscall-budget counters are exact on a quiet wire: N echo calls are
+// N request frames out of the client and N reply frames out of the
+// server, and every gathered writev moved at least one whole frame.
+TEST(TcpTransport, WritevCountersTrackFramesExactly) {
+  EchoPair p;
+  constexpr std::size_t kCalls = 10;
+  for (std::size_t i = 0; i < kCalls; ++i) {
+    ASSERT_TRUE(echo_call(*p.caller, 64 + i, static_cast<std::uint8_t>(i)).ok());
+  }
+  const auto server = p.server_tcp.counters();
+  const auto client = p.client_tcp.counters();
+  EXPECT_EQ(server.frames_sent, kCalls);
+  EXPECT_EQ(client.frames_sent, kCalls);
+  EXPECT_GE(server.writev_calls, 1u);
+  EXPECT_LE(server.writev_calls, server.frames_sent);
+  EXPECT_GE(server.frames_per_writev, 1.0);
+  EXPECT_GT(server.bytes_per_syscall, 0.0);
+}
+
+// The --legacy-write-path arm (batch_writes=false) must reproduce the
+// pre-batching wire behavior: bit-exact payloads, and never more than one
+// frame per writev — that invariant is what makes it an honest baseline.
+TEST(TcpTransport, LegacyWritePathStaysBitExactOneFramePerWritev) {
+  TcpTransportConfig legacy;
+  legacy.batch_writes = false;
+
+  TcpTransport server_tcp(legacy);
+  const std::uint16_t port = server_tcp.listen("127.0.0.1", 0);
+  Bus server_bus(server_tcp);
+  RpcNode echo(server_bus, 1, "echo");
+  echo.handle(kEcho, [](BufferReader& r) {
+    const auto body = r.bytes();
+    BufferWriter w;
+    w.bytes(body);
+    return w.take();
+  });
+  echo.start();
+
+  TcpTransport client_tcp(legacy);
+  client_tcp.start();
+  client_tcp.add_peer(1, "127.0.0.1", port);
+  Bus client_bus(client_tcp);
+  RpcNode caller(client_bus, kFirstClientNode, "caller");
+  caller.start();
+
+  std::vector<std::thread> callers;
+  std::vector<Reply> replies(8);
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    callers.emplace_back([&, i] {
+      BufferWriter w;
+      w.bytes(pattern_payload(256 + i, static_cast<std::uint8_t>(i)));
+      replies[i] = caller.call_sync(1, kEcho, w.take(), 5000ms);
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    ASSERT_TRUE(replies[i].ok()) << replies[i].error_text();
+    BufferReader r(replies[i].payload);
+    EXPECT_EQ(r.bytes(), pattern_payload(256 + i, static_cast<std::uint8_t>(i)));
+  }
+  const auto server = server_tcp.counters();
+  EXPECT_EQ(server.frames_sent, replies.size());
+  EXPECT_GT(server.writev_calls, 0u);
+  EXPECT_LE(server.frames_per_writev, 1.0);
+  EXPECT_EQ(server.framing_errors, 0u);
+  EXPECT_EQ(client_tcp.counters().framing_errors, 0u);
+}
+
 TEST(TcpTransport, ShutdownIsIdempotentAndGraceful) {
   EchoPair p;
   ASSERT_TRUE(echo_call(*p.caller, 256, 5).ok());

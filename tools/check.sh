@@ -223,6 +223,22 @@ if [[ "$QUICK" -eq 0 ]]; then
   # test_rpc_tcp suite runs again under TSan below).
   timeout -k 5 120 ./build/tests/test_rpc_tcp \
       --gtest_filter='TcpTransport.SlowReaderHitsWatermarkAndFailsFast'
+
+  echo "==> tcp-scale: syscall-lean write path vs the pre-change baseline"
+  # bench_tcp_scale boots both arms' daemon clusters (batched and
+  # --legacy-write-path), interleaves timed multi-client read reps, then
+  # runs an untimed pass with partial-write chaos armed on both sides. The
+  # binary itself exits non-zero unless every read (chaos included) was
+  # bit-exact, no side saw a framing error, and the batched servers
+  # actually gathered (frames_per_writev > 1); the greps below pin those
+  # gates in the log so a silently weakened binary can't pass the stage.
+  TCP_SCALE_LOG="$(mktemp)"
+  timeout -k 5 300 ./build/bench/bench_tcp_scale --smoke --bindir ./build/tools \
+      | tee "$TCP_SCALE_LOG"
+  grep -q 'gates mismatches=0 framing_errors=0' "$TCP_SCALE_LOG"
+  grep -qE 'batched_frames_per_writev=([2-9]|1[0-9.]+[0-9])' "$TCP_SCALE_LOG"
+  grep -q 'result=PASS' "$TCP_SCALE_LOG"
+  rm -f "$TCP_SCALE_LOG"
 fi
 
 echo "==> ThreadSanitizer: configure + build"

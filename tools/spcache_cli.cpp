@@ -421,7 +421,9 @@ int run_rpc(const Options& o) {
             << " transport.backpressure_rejects=" << c.backpressure_rejects
             << " transport.backpressure_drops=" << c.backpressure_drops
             << " transport.wqueue_peak=" << c.wqueue_peak
-            << " transport.circuit_opens=" << c.circuit_opens;
+            << " transport.circuit_opens=" << c.circuit_opens
+            << " transport.writev_calls=" << c.writev_calls
+            << " transport.frames_per_writev=" << c.frames_per_writev;
   if (chaos) {
     const auto fs = injector.stats();
     std::cout << " chaos.partial_writes=" << fs.sock_partial_writes

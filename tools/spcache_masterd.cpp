@@ -19,7 +19,7 @@
 // can assert that a kill was detected and repaired.
 //
 //   spcache_masterd [--host H] [--port P] [--workers LIST]
-//                   [--heartbeat-ms B] [--max-seconds S]
+//                   [--heartbeat-ms B] [--max-seconds S] [--legacy-write-path]
 //
 //   --host H         bind address                [127.0.0.1]
 //   --port P         listen port, 0 = ephemeral  [7070]
@@ -28,6 +28,8 @@
 //                    health monitor + RPC repair.
 //   --heartbeat-ms B liveness probe interval     [100]
 //   --max-seconds S  auto-exit after S seconds, 0 = run forever  [0]
+//   --legacy-write-path  pre-batching write path (copy per send, one frame
+//                        per syscall) — the bench baseline arm
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
   std::uint16_t port = 7070;
   long max_seconds = 0;
   long heartbeat_ms = 100;
+  bool legacy_write_path = false;
   std::vector<std::string> worker_addrs;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -117,9 +120,11 @@ int main(int argc, char** argv) {
         if (comma == std::string::npos) break;
         start = comma + 1;
       }
+    } else if (flag == "--legacy-write-path") {
+      legacy_write_path = true;
     } else if (flag == "--help" || flag == "-h") {
       std::cout << "spcache_masterd [--host H] [--port P] [--workers LIST] [--heartbeat-ms B] "
-                   "[--max-seconds S]\n";
+                   "[--max-seconds S] [--legacy-write-path]\n";
       return 0;
     } else {
       std::cerr << "spcache_masterd: unknown flag " << flag << "\n";
@@ -130,7 +135,9 @@ int main(int argc, char** argv) {
 
   install_signal_handlers();
 
-  TcpTransport transport;
+  TcpTransportConfig config;
+  config.batch_writes = !legacy_write_path;
+  TcpTransport transport(config);
   const std::uint16_t bound = transport.listen(host, port);
   std::vector<NodeId> worker_nodes;
   for (std::size_t i = 0; i < worker_addrs.size(); ++i) {
@@ -203,6 +210,9 @@ int main(int argc, char** argv) {
   std::cout << "spcache_masterd exiting: transport.connects=" << c.connects
             << " transport.framing_errors=" << c.framing_errors
             << " transport.bytes_rx=" << c.bytes_rx << " transport.bytes_tx=" << c.bytes_tx
+            << " transport.writev_calls=" << c.writev_calls
+            << " transport.frames_sent=" << c.frames_sent
+            << " transport.frames_per_writev=" << c.frames_per_writev
             << " monitor.beats=" << hs.beats << " monitor.deaths_declared=" << hs.deaths_declared
             << " monitor.repairs_completed=" << hs.repairs_completed
             << " monitor.repair_failures=" << hs.repair_failures

@@ -9,13 +9,19 @@
 // so scripts that pass --port 0 (kernel-assigned) can parse the real port.
 //
 //   spcache_serverd --node N [--host H] [--port P] [--bandwidth-gbps B]
-//                   [--max-seconds S]
+//                   [--max-seconds S] [--legacy-write-path]
+//                   [--chaos-seed S] [--chaos-partial P] [--chaos-reset P]
 //
 //   --node N            bus node id (workers are 1..N)   [1]
 //   --host H            bind address                     [127.0.0.1]
 //   --port P            listen port, 0 = ephemeral       [0]
 //   --bandwidth-gbps B  modelled link speed              [1.0]
 //   --max-seconds S     auto-exit after S seconds, 0 = run forever  [0]
+//   --legacy-write-path pre-batching write path (copy per send, one frame
+//                       per syscall) — the bench baseline arm
+//   --chaos-seed S      arm seeded socket chaos on this server's transport [1]
+//   --chaos-partial P   per-flush partial-write probability    [0]
+//   --chaos-reset P     per-flush connection-reset probability [0]
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
@@ -23,6 +29,7 @@
 #include <string>
 #include <thread>
 
+#include "fault/fault_injector.h"
 #include "obs/metrics.h"
 #include "rpc/cache_service.h"
 #include "rpc/tcp_transport.h"
@@ -59,6 +66,10 @@ int main(int argc, char** argv) {
   NodeId node = kFirstWorkerNode;
   double bandwidth_gbps = 1.0;
   long max_seconds = 0;
+  bool legacy_write_path = false;
+  std::uint64_t chaos_seed = 1;
+  double chaos_partial = 0.0;
+  double chaos_reset = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto value = [&] {
@@ -78,9 +89,18 @@ int main(int argc, char** argv) {
       bandwidth_gbps = std::atof(value().c_str());
     } else if (flag == "--max-seconds") {
       max_seconds = std::atol(value().c_str());
+    } else if (flag == "--legacy-write-path") {
+      legacy_write_path = true;
+    } else if (flag == "--chaos-seed") {
+      chaos_seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (flag == "--chaos-partial") {
+      chaos_partial = std::atof(value().c_str());
+    } else if (flag == "--chaos-reset") {
+      chaos_reset = std::atof(value().c_str());
     } else if (flag == "--help" || flag == "-h") {
       std::cout << "spcache_serverd --node N [--host H] [--port P] [--bandwidth-gbps B] "
-                   "[--max-seconds S]\n";
+                   "[--max-seconds S] [--legacy-write-path] [--chaos-seed S] "
+                   "[--chaos-partial P] [--chaos-reset P]\n";
       return 0;
     } else {
       std::cerr << "spcache_serverd: unknown flag " << flag << "\n";
@@ -94,7 +114,18 @@ int main(int argc, char** argv) {
 
   install_signal_handlers();
 
-  TcpTransport transport;
+  TcpTransportConfig config;
+  config.batch_writes = !legacy_write_path;
+  TcpTransport transport(config);
+  // Seeded socket chaos (armed when any probability is nonzero): the fault
+  // schedule is a pure function of the seed, so a failing run replays from
+  // the command line alone.
+  const bool chaos = chaos_partial > 0.0 || chaos_reset > 0.0;
+  fault::FaultConfig chaos_cfg;
+  chaos_cfg.sock_partial_write_p = chaos_partial;
+  chaos_cfg.sock_reset_p = chaos_reset;
+  fault::FaultInjector injector(chaos_seed, chaos_cfg);
+  if (chaos) transport.set_fault_injector(&injector);
   const std::uint16_t bound = transport.listen(host, port);
   Bus bus(transport);
   obs::MetricsRegistry registry;
@@ -118,6 +149,14 @@ int main(int argc, char** argv) {
             << " transport.connects=" << c.connects
             << " transport.framing_errors=" << c.framing_errors
             << " transport.bytes_rx=" << c.bytes_rx << " transport.bytes_tx=" << c.bytes_tx
-            << std::endl;
+            << " transport.writev_calls=" << c.writev_calls
+            << " transport.frames_sent=" << c.frames_sent
+            << " transport.frames_per_writev=" << c.frames_per_writev;
+  if (chaos) {
+    const auto f = injector.stats();
+    std::cout << " chaos.sock_partial_writes=" << f.sock_partial_writes
+              << " chaos.sock_resets=" << f.sock_resets;
+  }
+  std::cout << std::endl;
   return c.framing_errors == 0 ? 0 : 1;
 }
